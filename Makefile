@@ -1,0 +1,42 @@
+# Developer entry points. Everything is plain `go` underneath; the targets
+# just name the common workflows.
+
+GO ?= go
+
+.PHONY: all build test vet cover bench bench-tables examples fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Full benchmark sweep (one iteration each; see bench_test.go for targets).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every table and figure at laptop scale.
+bench-tables:
+	$(GO) run ./cmd/benchtab -all | tee benchtab_small.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/qaoa_maxcut
+	$(GO) run ./examples/supremacy
+	$(GO) run ./examples/manybody
+	$(GO) run ./examples/reorder
+	$(GO) run ./examples/pipeline
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

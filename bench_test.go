@@ -1,0 +1,254 @@
+// Benchmarks regenerating the paper's tables and figures. Each benchmark
+// maps to one experiment of the evaluation (see DESIGN.md's experiment
+// index); cmd/benchtab renders the same data as formatted tables.
+//
+//	go test -bench=TableI -benchmem        # Table I method comparison
+//	go test -bench=TableII                 # Table II instance statistics
+//	go test -bench=Fig3b                   # Fig. 3b path growth
+//	go test -bench=Cascade                 # Ex. 4 cascade study
+//	go test -bench=Supremacy               # Sec. V extension
+//	go test -bench=Ablation                # design-choice ablations
+package hsfsim_test
+
+import (
+	"testing"
+	"time"
+
+	"hsfsim"
+	"hsfsim/internal/bench"
+	"hsfsim/internal/qaoa"
+)
+
+// benchAmplitudes mirrors the paper's partial-amplitude setting, scaled.
+const benchAmplitudes = 1 << 14
+
+// tableIInstances is the scaled Table I family, one density per size, so a
+// full -bench run stays in minutes. cmd/benchtab measures all nine.
+func tableIInstances() []qaoa.InstanceSpec {
+	all := qaoa.ScaledInstances()
+	return []qaoa.InstanceSpec{all[0], all[3], all[6]}
+}
+
+func simulateOnce(b *testing.B, c *hsfsim.Circuit, opts hsfsim.Options) {
+	b.Helper()
+	res, err := hsfsim.Simulate(c, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+}
+
+// BenchmarkTableI measures the three methods on the scaled QAOA instances.
+// Standard HSF is benchmarked only where its path count is feasible; the
+// paper's timed-out rows correspond to exactly these skipped cases.
+func BenchmarkTableI(b *testing.B) {
+	for _, spec := range tableIInstances() {
+		inst, err := spec.Generate(qaoa.SingleLayer())
+		if err != nil {
+			b.Fatal(err)
+		}
+		std, _, err := hsfsim.PathCounts(inst.Circuit, spec.CutPos(), hsfsim.BlockCascade, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec.Name+"/schrodinger", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simulateOnce(b, inst.Circuit, hsfsim.Options{
+					Method: hsfsim.Schrodinger, MaxAmplitudes: benchAmplitudes,
+				})
+			}
+		})
+		if std <= 1<<16 {
+			b.Run(spec.Name+"/standard-hsf", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					simulateOnce(b, inst.Circuit, hsfsim.Options{
+						Method: hsfsim.StandardHSF, CutPos: spec.CutPos(),
+						MaxAmplitudes: benchAmplitudes,
+					})
+				}
+			})
+		}
+		b.Run(spec.Name+"/joint-hsf", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simulateOnce(b, inst.Circuit, hsfsim.Options{
+					Method: hsfsim.JointHSF, CutPos: spec.CutPos(),
+					MaxAmplitudes: benchAmplitudes,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkTableII measures the instance-analysis cost (plan construction
+// over the full scaled family).
+func BenchmarkTableII(b *testing.B) {
+	specs := qaoa.ScaledInstances()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable2(specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3b regenerates the Fig. 3b path-count series.
+func BenchmarkFig3b(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		points, err := bench.Fig3Series(bench.Fig3MaxDepth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if points[len(points)-1].JointPaths > 16 {
+			b.Fatal("saturation bound violated")
+		}
+	}
+}
+
+// BenchmarkCascade regenerates the Ex. 4 cascade study.
+func BenchmarkCascade(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.CascadeSeries(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSupremacy measures the Sec. V extension configurations.
+func BenchmarkSupremacy(b *testing.B) {
+	cases := bench.DefaultSupremacyCases()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunSupremacy(cases, 1024, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBackends measures the array / DD / MPS backend study.
+func BenchmarkBackends(b *testing.B) {
+	cases, err := bench.DefaultBackendCases()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunBackends(cases); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkManybody measures the Trotterized Ising study (ref [35]).
+func BenchmarkManybody(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.ManybodySeries(12, 6, benchAmplitudes, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablations (DESIGN.md "Ablations") ---
+
+func ablationInstance(b *testing.B) (*hsfsim.Circuit, int) {
+	b.Helper()
+	spec := qaoa.ScaledInstances()[3] // q18-1
+	inst, err := spec.Generate(qaoa.SingleLayer())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst.Circuit, spec.CutPos()
+}
+
+// BenchmarkAblationFusion compares the Schrödinger baseline with and without
+// gate fusion.
+func BenchmarkAblationFusion(b *testing.B) {
+	c, _ := ablationInstance(b)
+	for _, cfg := range []struct {
+		name string
+		fq   int
+	}{{"fusion-on", 0}, {"fusion-off", -1}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simulateOnce(b, c, hsfsim.Options{
+					Method: hsfsim.Schrodinger, MaxAmplitudes: benchAmplitudes,
+					FusionMaxQubits: cfg.fq,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWorkers compares single-worker and all-core joint HSF.
+func BenchmarkAblationWorkers(b *testing.B) {
+	c, cutPos := ablationInstance(b)
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"workers-1", 1}, {"workers-all", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simulateOnce(b, c, hsfsim.Options{
+					Method: hsfsim.JointHSF, CutPos: cutPos,
+					MaxAmplitudes: benchAmplitudes, Workers: cfg.workers,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAnalytic compares numeric SVD and analytic cascade
+// decompositions during joint-cut preprocessing.
+func BenchmarkAblationAnalytic(b *testing.B) {
+	c, cutPos := ablationInstance(b)
+	for _, cfg := range []struct {
+		name     string
+		analytic bool
+	}{{"numeric-svd", false}, {"analytic-cascade", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simulateOnce(b, c, hsfsim.Options{
+					Method: hsfsim.JointHSF, CutPos: cutPos,
+					MaxAmplitudes: benchAmplitudes, UseAnalyticCascades: cfg.analytic,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEngine compares the array and decision-diagram HSF path
+// engines (ref [10]) on the same plan.
+func BenchmarkAblationEngine(b *testing.B) {
+	c, cutPos := ablationInstance(b)
+	for _, cfg := range []struct {
+		name string
+		dd   bool
+	}{{"array-engine", false}, {"dd-engine", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simulateOnce(b, c, hsfsim.Options{
+					Method: hsfsim.JointHSF, CutPos: cutPos,
+					MaxAmplitudes: benchAmplitudes, UseDDEngine: cfg.dd,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBlockStrategy compares cascade and window grouping on the
+// same QAOA instance.
+func BenchmarkAblationBlockStrategy(b *testing.B) {
+	c, cutPos := ablationInstance(b)
+	for _, cfg := range []struct {
+		name     string
+		strategy hsfsim.BlockStrategy
+	}{{"cascade", hsfsim.BlockCascade}, {"window", hsfsim.BlockWindow}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simulateOnce(b, c, hsfsim.Options{
+					Method: hsfsim.JointHSF, CutPos: cutPos, BlockStrategy: cfg.strategy,
+					MaxAmplitudes: benchAmplitudes,
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,168 @@
+// Command hsfsim simulates an OpenQASM 2.0 circuit with any of the three
+// methods and prints amplitudes plus run statistics:
+//
+//	hsfsim -method joint -cut 7 -amplitudes 16 circuit.qasm
+//	hsfsim -method schrodinger circuit.qasm
+//	hsfsim -method standard -cut 7 -timeout 1h circuit.qasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/cmplx"
+	"os"
+	"time"
+
+	"hsfsim"
+	"hsfsim/internal/dd"
+	"hsfsim/internal/mps"
+	"hsfsim/internal/qasm"
+)
+
+func main() {
+	var (
+		method   = flag.String("method", "joint", "schrodinger | standard | joint")
+		cutPos   = flag.Int("cut", -1, "cut position (last lower-partition qubit); default n/2-1")
+		amps     = flag.Int("amplitudes", 16, "number of amplitudes to print (0: all)")
+		maxAmps  = flag.Int("max-amplitudes", 0, "number of amplitudes to compute (0: all)")
+		workers  = flag.Int("workers", 0, "worker goroutines (0: all CPUs)")
+		timeout  = flag.Duration("timeout", 0, "abort after this duration (0: none)")
+		strategy = flag.String("blocks", "cascade", "joint grouping: cascade | window")
+		maxBlock = flag.Int("max-block-qubits", 0, "joint block qubit budget (0: default)")
+		analytic = flag.Bool("analytic", false, "use analytic cascade decompositions")
+		quiet    = flag.Bool("quiet", false, "print statistics only, no amplitudes")
+		backend  = flag.String("backend", "array", "schrodinger backend: array | dd | mps")
+		engine   = flag.String("engine", "array", "HSF path engine: array | dd (ref [10])")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hsfsim [flags] circuit.qasm")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	fail(err)
+	c, err := qasm.Parse(f)
+	f.Close()
+	fail(err)
+
+	opts := hsfsim.Options{
+		MaxAmplitudes:       *maxAmps,
+		Workers:             *workers,
+		Timeout:             *timeout,
+		MaxBlockQubits:      *maxBlock,
+		UseAnalyticCascades: *analytic,
+	}
+	switch *method {
+	case "schrodinger":
+		opts.Method = hsfsim.Schrodinger
+	case "standard":
+		opts.Method = hsfsim.StandardHSF
+	case "joint":
+		opts.Method = hsfsim.JointHSF
+	default:
+		fail(fmt.Errorf("unknown method %q", *method))
+	}
+	switch *strategy {
+	case "cascade":
+		opts.BlockStrategy = hsfsim.BlockCascade
+	case "window":
+		opts.BlockStrategy = hsfsim.BlockWindow
+	default:
+		fail(fmt.Errorf("unknown block strategy %q", *strategy))
+	}
+	if opts.Method != hsfsim.Schrodinger {
+		opts.CutPos = *cutPos
+		if opts.CutPos < 0 {
+			opts.CutPos = c.NumQubits/2 - 1
+		}
+		switch *engine {
+		case "array":
+		case "dd":
+			opts.UseDDEngine = true
+		default:
+			fail(fmt.Errorf("unknown engine %q", *engine))
+		}
+	}
+
+	var res *hsfsim.Result
+	if opts.Method == hsfsim.Schrodinger && *backend != "array" {
+		res, err = simulateAlternateBackend(c, *backend, *maxAmps)
+	} else {
+		res, err = hsfsim.Simulate(c, opts)
+	}
+	fail(err)
+	if *backend != "array" && opts.Method == hsfsim.Schrodinger {
+		fmt.Printf("backend:         %s\n", *backend)
+	}
+
+	fmt.Printf("method:          %v\n", res.Method)
+	fmt.Printf("qubits:          %d\n", c.NumQubits)
+	fmt.Printf("gates:           %d (%d two-qubit)\n", len(c.Gates), c.NumTwoQubitGates())
+	if res.Method != hsfsim.Schrodinger {
+		fmt.Printf("cut position:    %d\n", opts.CutPos)
+		fmt.Printf("cuts:            %d (%d blocks + %d separate)\n", res.NumCuts, res.NumBlocks, res.NumSeparateCuts)
+		fmt.Printf("paths:           2^%.1f (%d)\n", res.Log2Paths, res.NumPaths)
+	}
+	fmt.Printf("preprocessing:   %v\n", res.PreprocessTime)
+	fmt.Printf("simulation:      %v\n", res.SimTime)
+	if *quiet {
+		return
+	}
+	n := *amps
+	if n <= 0 || n > len(res.Amplitudes) {
+		n = len(res.Amplitudes)
+	}
+	fmt.Println("amplitudes:")
+	for i := 0; i < n; i++ {
+		a := res.Amplitudes[i]
+		fmt.Printf("  |%0*b>  % .6f%+.6fi   p=%.6f\n", c.NumQubits, i, real(a), imag(a), cmplx.Abs(a)*cmplx.Abs(a))
+	}
+}
+
+// simulateAlternateBackend runs Schrödinger simulation on the decision-
+// diagram or MPS representation and adapts the output to hsfsim.Result.
+func simulateAlternateBackend(c *hsfsim.Circuit, backend string, maxAmps int) (*hsfsim.Result, error) {
+	m := maxAmps
+	if m <= 0 || m > 1<<c.NumQubits {
+		m = 1 << c.NumQubits
+	}
+	start := time.Now()
+	amps := make([]complex128, m)
+	switch backend {
+	case "dd":
+		d := dd.New(c.NumQubits, 0)
+		if err := d.ApplyCircuit(c); err != nil {
+			return nil, err
+		}
+		for x := range amps {
+			amps[x] = d.Amplitude(uint64(x))
+		}
+		fmt.Printf("dd nodes:        %d\n", d.NumNodes())
+	case "mps":
+		t := mps.New(c.NumQubits)
+		if err := t.ApplyCircuit(c); err != nil {
+			return nil, err
+		}
+		for x := range amps {
+			amps[x] = t.Amplitude(uint64(x))
+		}
+		fmt.Printf("mps max bond:    %d\n", t.MaxBondDim())
+	default:
+		return nil, fmt.Errorf("unknown backend %q", backend)
+	}
+	return &hsfsim.Result{
+		Amplitudes: amps,
+		Method:     hsfsim.Schrodinger,
+		NumPaths:   1,
+		SimTime:    time.Since(start),
+	}, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hsfsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,31 @@
+// Command hsfsimd serves the simulator over HTTP (see internal/server for
+// the API):
+//
+//	hsfsimd -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/analyze -d '{"qasm":"qreg q[2]; h q[0]; cx q[0],q[1];"}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"hsfsim/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      10 * time.Minute,
+	}
+	log.Printf("hsfsimd listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

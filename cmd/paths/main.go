@@ -1,0 +1,112 @@
+// Command paths analyzes a circuit's cut structure without simulating: it
+// reports the crossing gates, the joint-cut blocks found by each strategy,
+// and the resulting path counts — a textual rendering of the paper's Fig. 6.
+//
+//	paths -cut 14 circuit.qasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hsfsim/internal/cut"
+	"hsfsim/internal/draw"
+	"hsfsim/internal/qasm"
+	"hsfsim/internal/reorder"
+)
+
+func main() {
+	var (
+		cutPos   = flag.Int("cut", -1, "cut position (default n/2-1)")
+		maxBlock = flag.Int("max-block-qubits", 0, "block qubit budget (0: default)")
+		render   = flag.Bool("draw", false, "render the joint-cut layout (Fig. 6 style)")
+		bestCut  = flag.Bool("best-cut", false, "search for the best cut position")
+		optimize = flag.Bool("reorder", false, "optimize the qubit order (paper's future work)")
+		jsonOut  = flag.Bool("json", false, "emit the cascade plan summary as JSON and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: paths [flags] circuit.qasm")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	fail(err)
+	c, err := qasm.Parse(f)
+	f.Close()
+	fail(err)
+
+	pos := *cutPos
+	if pos < 0 {
+		pos = c.NumQubits/2 - 1
+	}
+	p := cut.Partition{CutPos: pos}
+
+	if *jsonOut {
+		plan, err := cut.BuildPlan(c, cut.Options{Partition: p, Strategy: cut.StrategyCascade, MaxBlockQubits: *maxBlock})
+		fail(err)
+		fail(plan.WriteJSON(os.Stdout))
+		return
+	}
+
+	crossing := cut.CrossingGateIndices(c, p)
+	fmt.Printf("circuit: %d qubits, %d gates, cut after qubit %d\n", c.NumQubits, len(c.Gates), pos)
+	fmt.Printf("crossing gates: %d\n\n", len(crossing))
+
+	for _, strat := range []cut.Strategy{cut.StrategyNone, cut.StrategyCascade, cut.StrategyWindow} {
+		plan, err := cut.BuildPlan(c, cut.Options{Partition: p, Strategy: strat, MaxBlockQubits: *maxBlock})
+		fail(err)
+		n, exact := plan.NumPaths()
+		count := fmt.Sprintf("%d", n)
+		if !exact {
+			count = "overflow"
+		}
+		fmt.Printf("%-9s paths = 2^%-6.1f (%s)  cuts = %d (%d blocks + %d separate)\n",
+			strat.String()+":", plan.Log2Paths(), count, len(plan.Cuts), plan.NumBlocks(), plan.NumSeparateCuts())
+		if strat != cut.StrategyNone {
+			for _, cp := range plan.Cuts {
+				if cp.IsBlock() {
+					fmt.Printf("    %-18s rank %-3d lower %v upper %v\n",
+						cp.Label, cp.Rank(), cp.LowerQubits, cp.UpperQubits)
+				}
+			}
+		}
+		if *render && strat == cut.StrategyCascade {
+			fmt.Println(draw.Circuit(c, plan))
+			fmt.Println(draw.Legend())
+		}
+		fmt.Println()
+	}
+
+	if *bestCut {
+		best, all, err := cut.FindBestCut(c, cut.StrategyCascade, *maxBlock, 0.25)
+		fail(err)
+		fmt.Println("cut-position search (cascade strategy):")
+		for _, cand := range all {
+			marker := " "
+			if cand.CutPos == best.CutPos {
+				marker = "*"
+			}
+			fmt.Printf("  %s cut %-3d crossing %-3d blocks %-2d paths 2^%.1f\n",
+				marker, cand.CutPos, cand.Crossing, cand.Blocks, cand.Log2Paths)
+		}
+		fmt.Println()
+	}
+
+	if *optimize {
+		res, err := reorder.Optimize(c, pos, reorder.Options{MaxBlockQubits: *maxBlock})
+		fail(err)
+		fmt.Println("qubit-order optimization (Kernighan-Lin + planner-scored swaps):")
+		fmt.Printf("  crossing gates: %d -> %d\n", res.CrossingBefore, res.CrossingAfter)
+		fmt.Printf("  joint paths:    2^%.1f -> 2^%.1f\n", res.Log2PathsBefore, res.Log2PathsAfter)
+		fmt.Printf("  permutation:    %v\n", res.Perm)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paths:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+// Command qaoagen generates QAOA MaxCut instances over stochastic block
+// model graphs (the paper's Table II workload) and writes them as OpenQASM
+// plus a JSON metadata sidecar:
+//
+//	qaoagen -size-a 15 -size-b 15 -p-intra 0.8 -p-inter 0.1 -seed 3001 -o q30-1
+//
+// produces q30-1.qasm and q30-1.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hsfsim/internal/cut"
+	"hsfsim/internal/qaoa"
+	"hsfsim/internal/qasm"
+)
+
+type metadata struct {
+	Name          string  `json:"name"`
+	Qubits        int     `json:"qubits"`
+	CutPos        int     `json:"cut_pos"`
+	SizeA         int     `json:"size_a"`
+	SizeB         int     `json:"size_b"`
+	PIntra        float64 `json:"p_intra"`
+	PInter        float64 `json:"p_inter"`
+	Seed          int64   `json:"seed"`
+	Edges         int     `json:"edges"`
+	CrossingEdges int     `json:"crossing_edges"`
+	TwoQubitGates int     `json:"two_qubit_gates"`
+	Gamma         float64 `json:"gamma"`
+	Beta          float64 `json:"beta"`
+	StdLog2Paths  float64 `json:"standard_log2_paths"`
+	JntLog2Paths  float64 `json:"joint_log2_paths"`
+}
+
+func main() {
+	var (
+		sizeA  = flag.Int("size-a", 8, "vertices in block A")
+		sizeB  = flag.Int("size-b", 8, "vertices in block B")
+		pIntra = flag.Float64("p-intra", 0.8, "intra-block edge probability")
+		pInter = flag.Float64("p-inter", 0.1, "inter-block edge probability")
+		seed   = flag.Int64("seed", 1, "graph seed")
+		gamma  = flag.Float64("gamma", 0.7, "problem-layer angle")
+		beta   = flag.Float64("beta", 0.4, "mixer-layer angle")
+		layers = flag.Int("layers", 1, "QAOA layers")
+		out    = flag.String("o", "instance", "output file prefix")
+		dot    = flag.Bool("dot", false, "also write the problem graph as Graphviz DOT")
+	)
+	flag.Parse()
+
+	spec := qaoa.InstanceSpec{
+		Name:  *out,
+		SizeA: *sizeA, SizeB: *sizeB,
+		PIntra: *pIntra, PInter: *pInter,
+		Seed: *seed,
+	}
+	params := qaoa.Params{}
+	for i := 0; i < *layers; i++ {
+		params.Gammas = append(params.Gammas, *gamma)
+		params.Betas = append(params.Betas, *beta)
+	}
+	inst, err := spec.Generate(params)
+	fail(err)
+
+	p := cut.Partition{CutPos: spec.CutPos()}
+	std, err := cut.BuildPlan(inst.Circuit, cut.Options{Partition: p, Strategy: cut.StrategyNone})
+	fail(err)
+	jnt, err := cut.BuildPlan(inst.Circuit, cut.Options{Partition: p, Strategy: cut.StrategyCascade})
+	fail(err)
+
+	qf, err := os.Create(*out + ".qasm")
+	fail(err)
+	fail(qasm.Write(qf, inst.Circuit))
+	fail(qf.Close())
+
+	meta := metadata{
+		Name:   spec.Name,
+		Qubits: spec.NumQubits(), CutPos: spec.CutPos(),
+		SizeA: spec.SizeA, SizeB: spec.SizeB,
+		PIntra: spec.PIntra, PInter: spec.PInter, Seed: spec.Seed,
+		Edges:         inst.Graph.NumEdges(),
+		CrossingEdges: inst.Graph.CrossingEdges(spec.CutPos()),
+		TwoQubitGates: inst.Circuit.NumTwoQubitGates(),
+		Gamma:         *gamma, Beta: *beta,
+		StdLog2Paths: std.Log2Paths(),
+		JntLog2Paths: jnt.Log2Paths(),
+	}
+	jf, err := os.Create(*out + ".json")
+	fail(err)
+	enc := json.NewEncoder(jf)
+	enc.SetIndent("", "  ")
+	fail(enc.Encode(meta))
+	fail(jf.Close())
+
+	if *dot {
+		df, err := os.Create(*out + ".dot")
+		fail(err)
+		fail(inst.Graph.WriteDOT(df, spec.CutPos()))
+		fail(df.Close())
+	}
+
+	fmt.Printf("wrote %s.qasm (%d qubits, %d gates) and %s.json\n",
+		*out, inst.Circuit.NumQubits, len(inst.Circuit.Gates), *out)
+	fmt.Printf("paths: standard 2^%.1f, joint 2^%.1f\n", std.Log2Paths(), jnt.Log2Paths())
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qaoagen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+// Command transpile rewrites an OpenQASM circuit over the {single-qubit,
+// CNOT} basis and writes the result as QASM:
+//
+//	transpile circuit.qasm > basis.qasm
+//	transpile -stats circuit.qasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hsfsim/internal/peephole"
+	"hsfsim/internal/qasm"
+	"hsfsim/internal/route"
+	"hsfsim/internal/synth"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print gate statistics instead of QASM")
+	optimize := flag.Bool("optimize", false, "run the peephole simplifier on the output")
+	linear := flag.Bool("linear", false, "route onto a linear (chain) topology")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: transpile [flags] circuit.qasm")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	fail(err)
+	c, err := qasm.Parse(f)
+	f.Close()
+	fail(err)
+
+	out, err := synth.Transpile(c)
+	fail(err)
+	if *linear {
+		res, err := route.Linear(out)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "routing: %d swaps inserted; final mapping %v\n",
+			res.SwapsInserted, res.Final)
+		// Expand the inserted SWAPs back into the CX basis.
+		out, err = synth.Transpile(res.Circuit)
+		fail(err)
+	}
+	if *optimize {
+		before := len(out.Gates)
+		out = peephole.Optimize(out)
+		fmt.Fprintf(os.Stderr, "peephole: %d -> %d gates\n", before, len(out.Gates))
+	}
+
+	if *stats {
+		fmt.Printf("input:  %d gates (%d two-qubit), depth %d\n",
+			len(c.Gates), c.NumTwoQubitGates(), c.Depth())
+		fmt.Printf("output: %d gates (%d CNOTs), depth %d\n",
+			len(out.Gates), synth.CXCount(out), out.Depth())
+		for name, count := range out.GateCountByName() {
+			fmt.Printf("  %-4s %d\n", name, count)
+		}
+		return
+	}
+	fail(qasm.Write(os.Stdout, out))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "transpile:", err)
+		os.Exit(1)
+	}
+}

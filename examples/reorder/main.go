@@ -1,0 +1,83 @@
+// Qubit reordering: the paper's future-work idea implemented — when the
+// natural qubit labeling scatters strongly-coupled qubits across the cut,
+// relabeling them can shrink both the crossing-gate count and the joint-cut
+// path count by orders of magnitude. The example simulates a QAOA instance
+// whose cluster structure is hidden by an interleaved labeling, optimizes
+// the order, and verifies the permuted simulation agrees with the original.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+	"math/rand"
+
+	"hsfsim"
+	"hsfsim/internal/graph"
+	"hsfsim/internal/qaoa"
+	"hsfsim/internal/reorder"
+)
+
+func main() {
+	// Build a two-cluster SBM graph, then interleave the labels so cluster
+	// membership alternates: 0,2,4,… vs 1,3,5,… — the worst case for a
+	// cut placed at the register midpoint.
+	const half = 7
+	rng := rand.New(rand.NewSource(7))
+	g, err := graph.TwoBlockModel(half, half, 0.8, 0.15, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	interleave := make([]int, 2*half)
+	for i := 0; i < half; i++ {
+		interleave[i] = 2 * i        // cluster A -> even labels
+		interleave[half+i] = 2*i + 1 // cluster B -> odd labels
+	}
+	shuffled := graph.New(2 * half)
+	for _, e := range g.Edges {
+		if err := shuffled.AddEdge(interleave[e.U], interleave[e.V], e.W); err != nil {
+			log.Fatal(err)
+		}
+	}
+	shuffled.SortEdges()
+
+	c, err := qaoa.Build(shuffled, qaoa.SingleLayer())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cutPos := half - 1
+
+	res, err := reorder.Optimize(c, cutPos, reorder.Options{Seed: 1, SwapTrials: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interleaved labeling: %3d crossing gates, joint paths 2^%.1f\n",
+		res.CrossingBefore, res.Log2PathsBefore)
+	fmt.Printf("optimized labeling:   %3d crossing gates, joint paths 2^%.1f\n",
+		res.CrossingAfter, res.Log2PathsAfter)
+	fmt.Printf("permutation: %v\n", res.Perm)
+
+	// Simulate both orders and verify they describe the same state.
+	before, err := hsfsim.Simulate(c, hsfsim.Options{Method: hsfsim.JointHSF, CutPos: cutPos})
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := hsfsim.Simulate(res.Circuit, hsfsim.Options{Method: hsfsim.JointHSF, CutPos: cutPos})
+	if err != nil {
+		log.Fatal(err)
+	}
+	back := reorder.PermuteState(after.Amplitudes, res.Perm)
+	var maxDiff float64
+	for i := range back {
+		if d := cmplx.Abs(back[i] - before.Amplitudes[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("\nsimulation agreement after un-permuting: max diff %.2e\n", maxDiff)
+	fmt.Printf("paths simulated: %d before vs %d after reordering\n",
+		before.NumPaths, after.NumPaths)
+	if after.TotalTime() < before.TotalTime() {
+		fmt.Printf("wall-clock speedup: %.1fx\n",
+			before.TotalTime().Seconds()/after.TotalTime().Seconds())
+	}
+}

@@ -1,0 +1,99 @@
+package hsfsim
+
+import "hsfsim/internal/gate"
+
+// Re-exported gate constructors. Bit convention: in a multi-qubit gate the
+// first listed qubit supplies the least significant matrix index bit.
+
+// I returns the identity gate on q.
+func I(q int) Gate { return gate.I(q) }
+
+// X returns the Pauli-X gate.
+func X(q int) Gate { return gate.X(q) }
+
+// Y returns the Pauli-Y gate.
+func Y(q int) Gate { return gate.Y(q) }
+
+// Z returns the Pauli-Z gate.
+func Z(q int) Gate { return gate.Z(q) }
+
+// H returns the Hadamard gate.
+func H(q int) Gate { return gate.H(q) }
+
+// S returns the phase gate diag(1, i).
+func S(q int) Gate { return gate.S(q) }
+
+// Sdg returns S†.
+func Sdg(q int) Gate { return gate.Sdg(q) }
+
+// T returns the T gate.
+func T(q int) Gate { return gate.T(q) }
+
+// Tdg returns T†.
+func Tdg(q int) Gate { return gate.Tdg(q) }
+
+// SX returns √X.
+func SX(q int) Gate { return gate.SX(q) }
+
+// SY returns √Y.
+func SY(q int) Gate { return gate.SY(q) }
+
+// SW returns √W with W = (X+Y)/√2.
+func SW(q int) Gate { return gate.SW(q) }
+
+// RX returns exp(-iθX/2).
+func RX(theta float64, q int) Gate { return gate.RX(theta, q) }
+
+// RY returns exp(-iθY/2).
+func RY(theta float64, q int) Gate { return gate.RY(theta, q) }
+
+// RZ returns exp(-iθZ/2).
+func RZ(theta float64, q int) Gate { return gate.RZ(theta, q) }
+
+// P returns the phase gate diag(1, e^{iφ}).
+func P(phi float64, q int) Gate { return gate.P(phi, q) }
+
+// U3 returns the generic single-qubit rotation.
+func U3(theta, phi, lambda float64, q int) Gate { return gate.U3(theta, phi, lambda, q) }
+
+// CNOT returns the controlled-X gate.
+func CNOT(control, target int) Gate { return gate.CNOT(control, target) }
+
+// CZ returns the controlled-Z gate.
+func CZ(a, b int) Gate { return gate.CZ(a, b) }
+
+// CPhase returns the controlled-phase gate.
+func CPhase(phi float64, a, b int) Gate { return gate.CPhase(phi, a, b) }
+
+// SWAP returns the swap gate (Schmidt rank 4).
+func SWAP(a, b int) Gate { return gate.SWAP(a, b) }
+
+// ISWAP returns the iSWAP gate (Schmidt rank 4).
+func ISWAP(a, b int) Gate { return gate.ISWAP(a, b) }
+
+// RZZ returns exp(-iθ Z⊗Z/2), the QAOA problem-layer entangler.
+func RZZ(theta float64, a, b int) Gate { return gate.RZZ(theta, a, b) }
+
+// RXX returns exp(-iθ X⊗X/2).
+func RXX(theta float64, a, b int) Gate { return gate.RXX(theta, a, b) }
+
+// RYY returns exp(-iθ Y⊗Y/2).
+func RYY(theta float64, a, b int) Gate { return gate.RYY(theta, a, b) }
+
+// FSim returns the fermionic simulation gate.
+func FSim(theta, phi float64, a, b int) Gate { return gate.FSim(theta, phi, a, b) }
+
+// CRX returns the controlled-RX gate.
+func CRX(theta float64, control, target int) Gate { return gate.CRX(theta, control, target) }
+
+// CRY returns the controlled-RY gate.
+func CRY(theta float64, control, target int) Gate { return gate.CRY(theta, control, target) }
+
+// CRZ returns the controlled-RZ gate.
+func CRZ(theta float64, control, target int) Gate { return gate.CRZ(theta, control, target) }
+
+// CCX returns the Toffoli gate.
+func CCX(c1, c2, target int) Gate { return gate.CCX(c1, c2, target) }
+
+// CCZ returns the doubly-controlled Z gate.
+func CCZ(a, b, c int) Gate { return gate.CCZ(a, b, c) }

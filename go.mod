@@ -1,0 +1,3 @@
+module hsfsim
+
+go 1.22

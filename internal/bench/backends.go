@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/dd"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/mps"
+	"hsfsim/internal/qaoa"
+	"hsfsim/internal/statevec"
+)
+
+// BackendRow compares the three statevector representations the paper's
+// background surveys — plain arrays, decision diagrams, and tensor networks
+// (MPS) — on one circuit: runtime plus the representation-size measure of
+// each (amplitudes / DD nodes / max bond dimension).
+type BackendRow struct {
+	Name       string
+	Qubits     int
+	Gates      int
+	ArrayTime  time.Duration
+	ArrayAmps  int
+	DDTime     time.Duration
+	DDNodes    int
+	MPSTime    time.Duration
+	MPSMaxBond int
+	MaxDiff    float64 // cross-check between backends (small circuits only)
+}
+
+// BackendCase is one benchmark circuit.
+type BackendCase struct {
+	Name    string
+	Circuit *circuit.Circuit
+	// Verify expands all three representations and cross-checks amplitudes
+	// (exponential; keep for small circuits only).
+	Verify bool
+}
+
+// DefaultBackendCases builds the comparison workloads: a GHZ chain (DD and
+// MPS compress it), a QAOA layer (structured), and a random dense circuit
+// (arrays win).
+func DefaultBackendCases() ([]BackendCase, error) {
+	var cases []BackendCase
+
+	ghz := circuit.New(14)
+	ghz.Append(gate.H(0))
+	for q := 1; q < 14; q++ {
+		ghz.Append(gate.CNOT(q-1, q))
+	}
+	cases = append(cases, BackendCase{Name: "ghz-14", Circuit: ghz, Verify: true})
+
+	inst, err := qaoa.InstanceSpec{Name: "qaoa", SizeA: 6, SizeB: 6, PIntra: 0.8, PInter: 0.2, Seed: 9}.Generate(qaoa.SingleLayer())
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, BackendCase{Name: "qaoa-12", Circuit: inst.Circuit, Verify: true})
+
+	return cases, nil
+}
+
+// RunBackends measures every case on all three backends.
+func RunBackends(cases []BackendCase) ([]*BackendRow, error) {
+	var rows []*BackendRow
+	for _, cs := range cases {
+		c := cs.Circuit
+		row := &BackendRow{Name: cs.Name, Qubits: c.NumQubits, Gates: len(c.Gates)}
+
+		start := time.Now()
+		arr := statevec.NewState(c.NumQubits)
+		arr.ApplyAll(c.Gates)
+		row.ArrayTime = time.Since(start)
+		row.ArrayAmps = len(arr)
+
+		start = time.Now()
+		ddState := dd.New(c.NumQubits, 0)
+		if err := ddState.ApplyCircuit(c); err != nil {
+			return nil, fmt.Errorf("bench: %s dd: %w", cs.Name, err)
+		}
+		row.DDTime = time.Since(start)
+		row.DDNodes = ddState.NumNodes()
+
+		start = time.Now()
+		mpsState := mps.New(c.NumQubits)
+		if err := mpsState.ApplyCircuit(c); err != nil {
+			return nil, fmt.Errorf("bench: %s mps: %w", cs.Name, err)
+		}
+		row.MPSTime = time.Since(start)
+		row.MPSMaxBond = mpsState.MaxBondDim()
+
+		if cs.Verify {
+			dDD := statevec.MaxAbsDiff(ddState.ToStatevector(), arr)
+			dMPS := statevec.MaxAbsDiff(mpsState.ToStatevector(), arr)
+			row.MaxDiff = dDD
+			if dMPS > row.MaxDiff {
+				row.MaxDiff = dMPS
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderBackends formats the comparison.
+func RenderBackends(rows []*BackendRow) string {
+	t := &table{header: []string{
+		"circuit", "qubits", "gates", "array time", "2^n amps", "DD time", "DD nodes", "MPS time", "max bond", "max diff",
+	}}
+	for _, r := range rows {
+		t.add(r.Name,
+			fmt.Sprintf("%d", r.Qubits),
+			fmt.Sprintf("%d", r.Gates),
+			r.ArrayTime.Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", r.ArrayAmps),
+			r.DDTime.Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", r.DDNodes),
+			r.MPSTime.Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", r.MPSMaxBond),
+			fmt.Sprintf("%.1e", r.MaxDiff))
+	}
+	return "Backend study: array vs. decision diagram vs. MPS (paper Background, refs [9]-[15])\n" + t.String()
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hsfsim/internal/qaoa"
+)
+
+func TestFig3Series(t *testing.T) {
+	points, err := Fig3Series(Fig3MaxDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != Fig3MaxDepth {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Standard cutting: ranks 2,2,2,4,2,2,2,2 -> 2,4,8,32,64,128,256,512.
+	wantStd := []uint64{2, 4, 8, 32, 64, 128, 256, 512}
+	for i, p := range points {
+		if p.StandardPaths != wantStd[i] {
+			t.Errorf("d=%d standard = %d, want %d", p.Depth, p.StandardPaths, wantStd[i])
+		}
+		// Joint cutting must saturate at the 2^(2·2) = 16 bound.
+		if p.JointPaths > 16 {
+			t.Errorf("d=%d joint = %d exceeds saturation bound 16", p.Depth, p.JointPaths)
+		}
+		if p.JointPaths > p.StandardPaths {
+			t.Errorf("d=%d joint %d > standard %d", p.Depth, p.JointPaths, p.StandardPaths)
+		}
+	}
+	// Deep prefixes must show a strict win (the figure's whole point).
+	last := points[len(points)-1]
+	if last.JointPaths >= last.StandardPaths {
+		t.Fatalf("no strict win at d=%d: %d vs %d", last.Depth, last.JointPaths, last.StandardPaths)
+	}
+	out := RenderFig3(points)
+	if !strings.Contains(out, "Fig. 3b") || !strings.Contains(out, "512") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestFig3CircuitValidity(t *testing.T) {
+	if _, err := Fig3Circuit(0); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+	if _, err := Fig3Circuit(9); err == nil {
+		t.Fatal("depth 9 accepted")
+	}
+	c, err := Fig3Circuit(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCascadeSeries(t *testing.T) {
+	points, err := CascadeSeries(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		k := i + 1
+		if p.StandardPaths != 1<<uint(k) {
+			t.Errorf("k=%d standard = %d, want %d", k, p.StandardPaths, 1<<uint(k))
+		}
+		if p.JointPaths != 2 {
+			t.Errorf("k=%d joint = %d, want 2", k, p.JointPaths)
+		}
+	}
+	out := RenderCascades(points)
+	if !strings.Contains(out, "cascade") {
+		t.Fatal("render missing content")
+	}
+}
+
+func TestTable2SmallInstances(t *testing.T) {
+	rows, err := RunTable2(qaoa.ScaledInstances()[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Qubits != 16 {
+			t.Errorf("%s: qubits = %d", r.Name, r.Qubits)
+		}
+		if r.CutPos != 7 {
+			t.Errorf("%s: cut pos = %d", r.Name, r.CutPos)
+		}
+		if r.TwoQubitGates == 0 || r.SepCuts == 0 {
+			t.Errorf("%s: empty instance", r.Name)
+		}
+		if r.Blocks == 0 {
+			t.Errorf("%s: no cascades found", r.Name)
+		}
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "q16-1") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestTable1TinyInstance(t *testing.T) {
+	// A very small instance keeps this test fast while covering the whole
+	// measurement loop, including ratios.
+	spec := qaoa.InstanceSpec{Name: "tiny", SizeA: 5, SizeB: 5, PIntra: 0.8, PInter: 0.3, Seed: 42}
+	cfg := RunConfig{MaxAmplitudes: 256, Timeout: 20 * time.Second, Repetitions: 2}
+	row, err := RunTable1Instance(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Joint.FullTime.Mean <= 0 {
+		t.Fatal("joint run not measured")
+	}
+	if row.Standard.Paths <= row.Joint.Paths {
+		t.Fatalf("paths: standard 2^%.1f <= joint 2^%.1f", row.Standard.Paths, row.Joint.Paths)
+	}
+	if row.SJ <= 0 || row.TJ <= 0 {
+		t.Fatalf("ratios missing: S/J=%g T/J=%g", row.SJ, row.TJ)
+	}
+	out := RenderTable1([]*Table1Row{row}, cfg)
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "tiny") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestTable1TimeoutPath(t *testing.T) {
+	// Dense crossing structure + tiny timeout: standard must time out and
+	// T/J must be flagged as a lower bound.
+	spec := qaoa.InstanceSpec{Name: "dense", SizeA: 7, SizeB: 7, PIntra: 0.8, PInter: 0.9, Seed: 4}
+	cfg := RunConfig{MaxAmplitudes: 256, Timeout: 50 * time.Millisecond, Repetitions: 1}
+	row, err := RunTable1Instance(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Standard.TimedOut {
+		t.Skip("standard finished within 50ms on this machine; nothing to assert")
+	}
+	if !row.TJLowerBound || row.TJ <= 0 {
+		t.Fatalf("timed-out run should give a T/J lower bound, got %g (lb=%v)", row.TJ, row.TJLowerBound)
+	}
+	out := RenderTable1([]*Table1Row{row}, cfg)
+	if !strings.Contains(out, "timed out") || !strings.Contains(out, ">=") {
+		t.Fatalf("render missing timeout markers:\n%s", out)
+	}
+}
+
+func TestSupremacyRows(t *testing.T) {
+	cases := DefaultSupremacyCases()[:2] // cz + one iswap
+	rows, err := RunSupremacy(cases, 1024, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.JointLog2 > r.StandardLog2 {
+			t.Errorf("%s: joint paths exceed standard", r.Name)
+		}
+	}
+	// The iSWAP case must find blocks and strictly reduce paths.
+	isw := rows[1]
+	if isw.Blocks == 0 || isw.JointLog2 >= isw.StandardLog2 {
+		t.Errorf("iswap case: blocks=%d joint=%.1f std=%.1f", isw.Blocks, isw.JointLog2, isw.StandardLog2)
+	}
+	out := RenderSupremacy(rows, 20*time.Second)
+	if !strings.Contains(out, "iswap-4x4-d6") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tm := summarize([]float64{1, 2, 3})
+	if tm.Mean != 2 {
+		t.Fatalf("mean = %g", tm.Mean)
+	}
+	if tm.Std < 0.99 || tm.Std > 1.01 {
+		t.Fatalf("std = %g", tm.Std)
+	}
+	if s := summarize(nil); s.Mean != 0 || s.Std != 0 {
+		t.Fatal("empty summarize")
+	}
+	if s := summarize([]float64{5}); s.Mean != 5 || s.Std != 0 {
+		t.Fatal("single-sample summarize")
+	}
+}
+
+func TestFmtPaths(t *testing.T) {
+	if got := fmtPaths(10); got != "2^10" {
+		t.Fatalf("fmtPaths(10) = %q", got)
+	}
+	if got := fmtPaths(10.5); got != "2^10.5" {
+		t.Fatalf("fmtPaths(10.5) = %q", got)
+	}
+}

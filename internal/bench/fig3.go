@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cut"
+	"hsfsim/internal/gate"
+)
+
+// Fig3MaxDepth is the deepest prefix of the reconstructed Fig. 3a circuit.
+const Fig3MaxDepth = 8
+
+// Fig3Circuit reconstructs the paper's Fig. 3a example at depth d: a 4-qubit
+// circuit cut between q1 and q2 whose first d two-qubit gates all cross the
+// cut. The exact gate list is not published; this reconstruction preserves
+// the documented properties — every prefix gate crosses the cut, the fourth
+// gate is the SWAP whose Schmidt rank 4 causes the steeper standard-cutting
+// slope from d=3 to d=4, and the remaining gates have rank 2.
+func Fig3Circuit(d int) (*circuit.Circuit, error) {
+	if d < 1 || d > Fig3MaxDepth {
+		return nil, fmt.Errorf("bench: Fig. 3 depth %d outside 1..%d", d, Fig3MaxDepth)
+	}
+	gates := []gate.Gate{
+		gate.CNOT(1, 2),
+		gate.CZ(0, 2),
+		gate.CNOT(3, 1),
+		gate.SWAP(1, 2), // rank 4: the slope jump in Fig. 3b
+		gate.CZ(1, 3),
+		gate.CNOT(0, 2),
+		gate.CZ(1, 2),
+		gate.CNOT(2, 1),
+	}
+	c := circuit.New(4)
+	c.Append(gates[:d]...)
+	return c, nil
+}
+
+// Fig3CutPos is the cut location of the Fig. 3 example (between q1 and q2).
+const Fig3CutPos = 1
+
+// Fig3Point is one x-position of Fig. 3b.
+type Fig3Point struct {
+	Depth         int
+	StandardPaths uint64
+	JointPaths    uint64
+}
+
+// Fig3Series computes the standard and joint path counts for depths 1..max.
+// Joint cutting uses the window strategy with the full 4-qubit budget, so
+// the whole prefix becomes one block and the count saturates at
+// 2^(2·2) = 16 (paper Sec. IV-B).
+func Fig3Series(max int) ([]Fig3Point, error) {
+	if max <= 0 || max > Fig3MaxDepth {
+		max = Fig3MaxDepth
+	}
+	var out []Fig3Point
+	p := cut.Partition{CutPos: Fig3CutPos}
+	for d := 1; d <= max; d++ {
+		c, err := Fig3Circuit(d)
+		if err != nil {
+			return nil, err
+		}
+		std, err := cut.BuildPlan(c, cut.Options{Partition: p, Strategy: cut.StrategyNone})
+		if err != nil {
+			return nil, err
+		}
+		jnt, err := cut.BuildPlan(c, cut.Options{Partition: p, Strategy: cut.StrategyWindow, MaxBlockQubits: 4})
+		if err != nil {
+			return nil, err
+		}
+		ns, _ := std.NumPaths()
+		nj, _ := jnt.NumPaths()
+		out = append(out, Fig3Point{Depth: d, StandardPaths: ns, JointPaths: nj})
+	}
+	return out, nil
+}
+
+// RenderFig3 formats the Fig. 3b series as a text table.
+func RenderFig3(points []Fig3Point) string {
+	t := &table{header: []string{"depth d", "standard n_p", "joint n_p"}}
+	for _, p := range points {
+		t.add(fmt.Sprintf("%d", p.Depth),
+			fmt.Sprintf("%d", p.StandardPaths),
+			fmt.Sprintf("%d", p.JointPaths))
+	}
+	return "Fig. 3b: number of paths vs. circuit depth (4-qubit example, cut q1|q2)\n" + t.String()
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hsfsim"
+	"hsfsim/internal/cut"
+	"hsfsim/internal/qaoa"
+)
+
+// LayerPoint measures one QAOA depth of the multi-layer extension study:
+// because mixer walls separate the problem layers, cascades regroup within
+// each layer and both schemes scale exponentially in L — but joint cutting's
+// base is the per-layer block count rather than the crossing-gate count.
+type LayerPoint struct {
+	Layers       int
+	StandardLog2 float64
+	JointLog2    float64
+	JointTime    time.Duration
+	JointTimed   bool
+}
+
+// LayerSeries measures L = 1..maxLayers on the given instance.
+func LayerSeries(spec qaoa.InstanceSpec, maxLayers int, maxAmplitudes int, timeout time.Duration) ([]LayerPoint, error) {
+	var out []LayerPoint
+	for l := 1; l <= maxLayers; l++ {
+		params := qaoa.Params{}
+		for i := 0; i < l; i++ {
+			params.Gammas = append(params.Gammas, 0.7/float64(i+1))
+			params.Betas = append(params.Betas, 0.4/float64(i+1))
+		}
+		inst, err := spec.Generate(params)
+		if err != nil {
+			return nil, err
+		}
+		p := cut.Partition{CutPos: spec.CutPos()}
+		std, err := cut.BuildPlan(inst.Circuit, cut.Options{Partition: p, Strategy: cut.StrategyNone})
+		if err != nil {
+			return nil, err
+		}
+		jnt, err := cut.BuildPlan(inst.Circuit, cut.Options{Partition: p, Strategy: cut.StrategyCascade})
+		if err != nil {
+			return nil, err
+		}
+		pt := LayerPoint{Layers: l, StandardLog2: std.Log2Paths(), JointLog2: jnt.Log2Paths()}
+		res, err := hsfsim.Simulate(inst.Circuit, hsfsim.Options{
+			Method: hsfsim.JointHSF, CutPos: spec.CutPos(),
+			MaxAmplitudes: maxAmplitudes, Timeout: timeout,
+		})
+		switch err {
+		case nil:
+			pt.JointTime = res.TotalTime()
+		case hsfsim.ErrTimeout:
+			pt.JointTimed = true
+		default:
+			return nil, fmt.Errorf("bench: layers=%d: %w", l, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderLayers formats the multi-layer study.
+func RenderLayers(spec qaoa.InstanceSpec, points []LayerPoint, timeout time.Duration) string {
+	t := &table{header: []string{"layers", "standard paths", "joint paths", "joint time"}}
+	for _, p := range points {
+		jt := p.JointTime.Round(time.Millisecond).String()
+		if p.JointTimed {
+			jt = fmt.Sprintf("timed out (%s)", timeout)
+		}
+		t.add(fmt.Sprintf("%d", p.Layers), fmtPaths(p.StandardLog2), fmtPaths(p.JointLog2), jt)
+	}
+	return fmt.Sprintf("Multi-layer extension: QAOA depth scaling on %s\n", spec.Name) + t.String()
+}

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hsfsim/internal/qaoa"
+)
+
+func TestLayerSeriesScaling(t *testing.T) {
+	spec := qaoa.InstanceSpec{Name: "layers-test", SizeA: 5, SizeB: 5, PIntra: 0.8, PInter: 0.3, Seed: 42}
+	points, err := LayerSeries(spec, 3, 256, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		l := float64(i + 1)
+		// Both schemes scale linearly in log-space with the layer count.
+		if p.StandardLog2 != points[0].StandardLog2*l {
+			t.Errorf("standard log2 at L=%d is %g, want %g", i+1, p.StandardLog2, points[0].StandardLog2*l)
+		}
+		if p.JointLog2 != points[0].JointLog2*l {
+			t.Errorf("joint log2 at L=%d is %g, want %g", i+1, p.JointLog2, points[0].JointLog2*l)
+		}
+		if p.JointLog2 >= p.StandardLog2 {
+			t.Errorf("joint not better at L=%d", i+1)
+		}
+	}
+	out := RenderLayers(spec, points, 30*time.Second)
+	if !strings.Contains(out, "layers-test") {
+		t.Fatal("render missing instance name")
+	}
+}

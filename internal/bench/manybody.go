@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hsfsim"
+	"hsfsim/internal/cut"
+	"hsfsim/internal/trotter"
+)
+
+// ManybodyPoint measures HSF on a Trotterized Ising chain at one depth —
+// the Richter-style many-body workload (paper ref [35]): exactly one bond
+// crosses the cut, so standard HSF pays 2 paths per Trotter step while the
+// memory footprint stays at 2^(n/2+1).
+type ManybodyPoint struct {
+	Steps        int
+	StandardLog2 float64
+	JointLog2    float64
+	HSFTime      time.Duration
+	HSFTimed     bool
+	SchrodTime   time.Duration
+}
+
+// ManybodySeries measures steps = 1..maxSteps on an n-site chain.
+func ManybodySeries(n, maxSteps int, maxAmplitudes int, timeout time.Duration) ([]ManybodyPoint, error) {
+	var out []ManybodyPoint
+	cutPos := n/2 - 1
+	for s := 1; s <= maxSteps; s++ {
+		c, err := trotter.BuildIsing(
+			trotter.Ising{N: n, J: 1, H: 0.5},
+			trotter.Options{Steps: s, Dt: 0.1, PlusStart: true},
+		)
+		if err != nil {
+			return nil, err
+		}
+		p := cut.Partition{CutPos: cutPos}
+		std, err := cut.BuildPlan(c, cut.Options{Partition: p, Strategy: cut.StrategyNone})
+		if err != nil {
+			return nil, err
+		}
+		jnt, err := cut.BuildPlan(c, cut.Options{Partition: p, Strategy: cut.StrategyCascade})
+		if err != nil {
+			return nil, err
+		}
+		pt := ManybodyPoint{Steps: s, StandardLog2: std.Log2Paths(), JointLog2: jnt.Log2Paths()}
+
+		schrod, err := hsfsim.Simulate(c, hsfsim.Options{Method: hsfsim.Schrodinger, MaxAmplitudes: maxAmplitudes})
+		if err != nil {
+			return nil, err
+		}
+		pt.SchrodTime = schrod.TotalTime()
+
+		hres, err := hsfsim.Simulate(c, hsfsim.Options{
+			Method: hsfsim.StandardHSF, CutPos: cutPos,
+			MaxAmplitudes: maxAmplitudes, Timeout: timeout,
+		})
+		switch err {
+		case nil:
+			pt.HSFTime = hres.TotalTime()
+		case hsfsim.ErrTimeout:
+			pt.HSFTimed = true
+		default:
+			return nil, fmt.Errorf("bench: manybody steps=%d: %w", s, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderManybody formats the many-body study.
+func RenderManybody(n int, points []ManybodyPoint, timeout time.Duration) string {
+	t := &table{header: []string{"Trotter steps", "HSF paths (std)", "HSF paths (joint)", "HSF time", "Schrödinger time"}}
+	for _, p := range points {
+		ht := p.HSFTime.Round(time.Millisecond).String()
+		if p.HSFTimed {
+			ht = fmt.Sprintf("timed out (%s)", timeout)
+		}
+		t.add(fmt.Sprintf("%d", p.Steps),
+			fmtPaths(p.StandardLog2),
+			fmtPaths(p.JointLog2),
+			ht,
+			p.SchrodTime.Round(time.Millisecond).String())
+	}
+	return fmt.Sprintf("Many-body extension (ref [35]): Trotterized %d-site Ising chain, cut at the middle bond\n", n) + t.String()
+}

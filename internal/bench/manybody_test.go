@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestManybodySeries(t *testing.T) {
+	points, err := ManybodySeries(8, 4, 256, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		// Exactly one bond crosses the middle cut: standard HSF pays
+		// 2^steps paths.
+		if math.Abs(p.StandardLog2-float64(i+1)) > 1e-9 {
+			t.Errorf("steps=%d: standard log2 = %g, want %d", p.Steps, p.StandardLog2, i+1)
+		}
+		// The mixer walls pin the recurring bond: joint = standard here
+		// (the deep-circuit limitation the paper's conclusion names).
+		if p.JointLog2 != p.StandardLog2 {
+			t.Errorf("steps=%d: joint %g != standard %g", p.Steps, p.JointLog2, p.StandardLog2)
+		}
+		if p.HSFTimed {
+			t.Errorf("steps=%d unexpectedly timed out", p.Steps)
+		}
+		if p.SchrodTime <= 0 || p.HSFTime <= 0 {
+			t.Errorf("steps=%d: missing timings", p.Steps)
+		}
+	}
+	out := RenderManybody(8, points, 30*time.Second)
+	if !strings.Contains(out, "Ising chain") {
+		t.Fatal("render missing content")
+	}
+}

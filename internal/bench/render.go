@@ -1,0 +1,68 @@
+// Package bench is the experiment harness: it builds the paper's workloads,
+// runs the three simulation methods under a timeout, and renders every table
+// and figure of the evaluation (Table I, Table II, Fig. 3b, the Ex. 4
+// cascade study, and the Sec. V supremacy extension) as text tables.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table renders rows of cells with aligned columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// fmtDur renders seconds with millisecond resolution.
+func fmtDur(seconds float64) string {
+	return fmt.Sprintf("%.3f", seconds)
+}
+
+// fmtPaths renders a path count as 2^k when k is integral, else as a number.
+func fmtPaths(log2 float64) string {
+	k := int(log2 + 0.5)
+	if diff := log2 - float64(k); diff < 1e-9 && diff > -1e-9 {
+		return fmt.Sprintf("2^%d", k)
+	}
+	return fmt.Sprintf("2^%.1f", log2)
+}

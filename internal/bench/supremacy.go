@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hsfsim"
+	"hsfsim/internal/cut"
+	"hsfsim/internal/grcs"
+)
+
+// SupremacyCase is one grid-circuit configuration of the Sec. V extension
+// experiment: shallow supremacy-style circuits with the cut through the
+// middle of a row, where vertical and horizontal crossing entanglers share
+// boundary qubits and can be jointly cut.
+type SupremacyCase struct {
+	Name      string
+	Opts      grcs.Options
+	CutPos    int
+	MaxBlockQ int
+}
+
+// DefaultSupremacyCases returns the measured configurations. iSWAP
+// entanglers (Schmidt rank 4) profit most from anchored blocks; CZ circuits
+// are included to show the benefit filter falling back to standard cuts when
+// grouping would not pay off.
+func DefaultSupremacyCases() []SupremacyCase {
+	return []SupremacyCase{
+		{Name: "cz-4x4-d6", Opts: grcs.Options{Rows: 4, Cols: 4, Depth: 6, Entangler: grcs.CZ, Seed: 7}, CutPos: 9, MaxBlockQ: 5},
+		{Name: "iswap-4x4-d6", Opts: grcs.Options{Rows: 4, Cols: 4, Depth: 6, Entangler: grcs.ISwap, Seed: 7}, CutPos: 9, MaxBlockQ: 5},
+		{Name: "iswap-4x4-d8", Opts: grcs.Options{Rows: 4, Cols: 4, Depth: 8, Entangler: grcs.ISwap, Seed: 7}, CutPos: 9, MaxBlockQ: 6},
+		{Name: "iswap-4x5-d6", Opts: grcs.Options{Rows: 4, Cols: 5, Depth: 6, Entangler: grcs.ISwap, Seed: 11}, CutPos: 11, MaxBlockQ: 5},
+		{Name: "iswap-syc-4x4-d6", Opts: grcs.Options{Rows: 4, Cols: 4, Depth: 6, Entangler: grcs.ISwap, Seed: 7, Sycamore: true}, CutPos: 9, MaxBlockQ: 5},
+	}
+}
+
+// SupremacyRow is one measured configuration.
+type SupremacyRow struct {
+	Name          string
+	Qubits        int
+	StandardLog2  float64
+	JointLog2     float64
+	Blocks        int
+	StandardTime  time.Duration
+	JointTime     time.Duration
+	StandardTimed bool
+	JointTimed    bool
+}
+
+// RunSupremacy measures the cases: path counts always, runtimes where the
+// standard path count is feasible under the timeout.
+func RunSupremacy(cases []SupremacyCase, maxAmplitudes int, timeout time.Duration) ([]*SupremacyRow, error) {
+	var rows []*SupremacyRow
+	for _, cs := range cases {
+		c, err := grcs.Generate(cs.Opts)
+		if err != nil {
+			return nil, err
+		}
+		p := cut.Partition{CutPos: cs.CutPos}
+		std, err := cut.BuildPlan(c, cut.Options{Partition: p, Strategy: cut.StrategyNone})
+		if err != nil {
+			return nil, err
+		}
+		jnt, err := cut.BuildPlan(c, cut.Options{Partition: p, Strategy: cut.StrategyWindow, MaxBlockQubits: cs.MaxBlockQ})
+		if err != nil {
+			return nil, err
+		}
+		row := &SupremacyRow{
+			Name:         cs.Name,
+			Qubits:       c.NumQubits,
+			StandardLog2: std.Log2Paths(),
+			JointLog2:    jnt.Log2Paths(),
+			Blocks:       jnt.NumBlocks(),
+		}
+		stdRes, err := hsfsim.Simulate(c, hsfsim.Options{
+			Method: hsfsim.StandardHSF, CutPos: cs.CutPos,
+			MaxAmplitudes: maxAmplitudes, Timeout: timeout,
+		})
+		switch err {
+		case nil:
+			row.StandardTime = stdRes.TotalTime()
+		case hsfsim.ErrTimeout:
+			row.StandardTimed = true
+		default:
+			return nil, fmt.Errorf("bench: %s standard: %w", cs.Name, err)
+		}
+		jntRes, err := hsfsim.Simulate(c, hsfsim.Options{
+			Method: hsfsim.JointHSF, CutPos: cs.CutPos, BlockStrategy: hsfsim.BlockWindow,
+			MaxBlockQubits: cs.MaxBlockQ, MaxAmplitudes: maxAmplitudes, Timeout: timeout,
+		})
+		switch err {
+		case nil:
+			row.JointTime = jntRes.TotalTime()
+		case hsfsim.ErrTimeout:
+			row.JointTimed = true
+		default:
+			return nil, fmt.Errorf("bench: %s joint: %w", cs.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSupremacy formats the extension experiment.
+func RenderSupremacy(rows []*SupremacyRow, timeout time.Duration) string {
+	t := &table{header: []string{"circuit", "qubits", "std paths", "joint paths", "blocks", "std time", "joint time"}}
+	for _, r := range rows {
+		st := r.StandardTime.Round(time.Millisecond).String()
+		if r.StandardTimed {
+			st = fmt.Sprintf("timed out (%s)", timeout)
+		}
+		jt := r.JointTime.Round(time.Millisecond).String()
+		if r.JointTimed {
+			jt = fmt.Sprintf("timed out (%s)", timeout)
+		}
+		t.add(r.Name,
+			fmt.Sprintf("%d", r.Qubits),
+			fmtPaths(r.StandardLog2),
+			fmtPaths(r.JointLog2),
+			fmt.Sprintf("%d", r.Blocks),
+			st,
+			jt)
+	}
+	return "Sec. V extension: joint cutting of supremacy-style grid circuits (mid-row cut)\n" + t.String()
+}

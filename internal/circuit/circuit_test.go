@@ -1,0 +1,271 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+)
+
+func bellCircuit() *Circuit {
+	c := New(2)
+	c.Append(gate.H(0), gate.CNOT(0, 1))
+	return c
+}
+
+func TestBellUnitary(t *testing.T) {
+	u := bellCircuit().Unitary()
+	// Column 0 of the unitary is the Bell state (|00>+|11>)/√2.
+	s := math.Sqrt2 / 2
+	want := []complex128{complex(s, 0), 0, 0, complex(s, 0)}
+	for i, w := range want {
+		if d := u.At(i, 0) - w; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+			t.Fatalf("Bell column = [%v %v %v %v], want (|00>+|11>)/sqrt2",
+				u.At(0, 0), u.At(1, 0), u.At(2, 0), u.At(3, 0))
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := New(2)
+	c.Append(gate.H(0))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.Append(gate.CNOT(1, 2)) // out of range
+	if err := c.Validate(); err == nil {
+		t.Fatal("out-of-range gate not rejected")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	c := New(3)
+	if c.Depth() != 0 {
+		t.Fatal("empty circuit depth != 0")
+	}
+	c.Append(gate.H(0), gate.H(1), gate.H(2)) // parallel layer
+	if d := c.Depth(); d != 1 {
+		t.Fatalf("depth = %d, want 1", d)
+	}
+	c.Append(gate.CNOT(0, 1), gate.CNOT(1, 2))
+	if d := c.Depth(); d != 3 {
+		t.Fatalf("depth = %d, want 3", d)
+	}
+}
+
+func TestNumTwoQubitGates(t *testing.T) {
+	c := New(3)
+	c.Append(gate.H(0), gate.CNOT(0, 1), gate.RZZ(0.3, 1, 2), gate.X(2))
+	if n := c.NumTwoQubitGates(); n != 2 {
+		t.Fatalf("NumTwoQubitGates = %d, want 2", n)
+	}
+	h := c.GateCountByName()
+	if h["h"] != 1 || h["cx"] != 1 || h["rzz"] != 1 || h["x"] != 1 {
+		t.Fatalf("histogram wrong: %v", h)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := bellCircuit()
+	d := c.Clone()
+	d.Gates[0].Matrix.Set(0, 0, 42)
+	if c.Gates[0].Matrix.At(0, 0) == 42 {
+		t.Fatal("Clone shares gate matrices")
+	}
+}
+
+func TestCommuteDisjoint(t *testing.T) {
+	a := gate.CNOT(0, 1)
+	b := gate.CNOT(2, 3)
+	if !Commute(&a, &b) {
+		t.Fatal("disjoint gates must commute")
+	}
+}
+
+func TestCommuteDiagonal(t *testing.T) {
+	a := gate.RZZ(0.3, 0, 1)
+	b := gate.RZZ(0.9, 1, 2)
+	if !Commute(&a, &b) {
+		t.Fatal("RZZ gates must commute")
+	}
+	cz := gate.CZ(1, 4)
+	if !Commute(&a, &cz) {
+		t.Fatal("RZZ and CZ must commute")
+	}
+}
+
+func TestCommuteExplicit(t *testing.T) {
+	// X on the control of a CNOT does not commute with it.
+	x := gate.X(0)
+	cx := gate.CNOT(0, 1)
+	if Commute(&x, &cx) {
+		t.Fatal("X on control should not commute with CNOT")
+	}
+	// X on the *target* of a CNOT commutes with it.
+	xt := gate.X(1)
+	if !Commute(&xt, &cx) {
+		t.Fatal("X on target should commute with CNOT")
+	}
+	// Z on the control commutes.
+	z := gate.Z(0)
+	if !Commute(&z, &cx) {
+		t.Fatal("Z on control should commute with CNOT")
+	}
+	// RX does not commute with RZZ on a shared qubit.
+	rx := gate.RX(0.5, 1)
+	rzz := gate.RZZ(0.5, 1, 2)
+	if Commute(&rx, &rzz) {
+		t.Fatal("RX should not commute with RZZ on shared qubit")
+	}
+}
+
+func TestEmbedOnQubits(t *testing.T) {
+	// Embedding H(5) on register [3,5] must equal H ⊗ I in the (bit1=5,
+	// bit0=3) convention: H acts on bit 1.
+	h := gate.H(5)
+	m := EmbedOnQubits(&h, []int{3, 5})
+	want := cmat.Kron(gate.H(0).Matrix, cmat.Identity(2))
+	if !cmat.EqualTol(m, want, 1e-12) {
+		t.Fatalf("embed H on high bit wrong:\n%v\nwant\n%v", m, want)
+	}
+	// Embedding on the low bit: I ⊗ H.
+	h3 := gate.H(3)
+	m = EmbedOnQubits(&h3, []int{3, 5})
+	want = cmat.Kron(cmat.Identity(2), gate.H(0).Matrix)
+	if !cmat.EqualTol(m, want, 1e-12) {
+		t.Fatal("embed H on low bit wrong")
+	}
+}
+
+func TestDAGRespectsOrder(t *testing.T) {
+	c := New(2)
+	c.Append(gate.H(0), gate.RZZ(0.4, 0, 1), gate.RX(0.3, 0))
+	d := BuildDAG(c)
+	// H(0) -> RZZ and H(0) -> RX (both share qubit 0 and fail to commute),
+	// and RZZ -> RX.
+	if len(d.Succ[0]) != 2 || d.Succ[0][0] != 1 || d.Succ[0][1] != 2 {
+		t.Fatalf("Succ[0] = %v, want [1 2]", d.Succ[0])
+	}
+	if len(d.Succ[1]) != 1 || d.Succ[1][0] != 2 {
+		t.Fatalf("Succ[1] = %v", d.Succ[1])
+	}
+}
+
+func TestContractAndOrderValidGroup(t *testing.T) {
+	// Commuting RZZ layer: [rzz01, rzz12, rzz01'] — grouping gates 0 and 2 is
+	// valid because everything commutes.
+	c := New(3)
+	c.Append(gate.RZZ(0.1, 0, 1), gate.RZZ(0.2, 1, 2), gate.RZZ(0.3, 0, 1))
+	d := BuildDAG(c)
+	order, ok := d.ContractAndOrder([][]int{{0, 2}})
+	if !ok {
+		t.Fatal("valid group rejected")
+	}
+	// Members 0 and 2 must be adjacent in the order.
+	pos := make(map[int]int)
+	for p, idx := range order {
+		pos[idx] = p
+	}
+	if abs(pos[0]-pos[2]) != 1 {
+		t.Fatalf("group not contiguous in order %v", order)
+	}
+}
+
+func TestContractAndOrderInvalidGroup(t *testing.T) {
+	// H(1) between two RZZ gates on qubit 1 creates a dependency cycle when
+	// the RZZs are grouped: rzz -> h -> rzz and group -> group.
+	c := New(2)
+	c.Append(gate.RZZ(0.1, 0, 1), gate.H(1), gate.RZZ(0.2, 0, 1))
+	d := BuildDAG(c)
+	if _, ok := d.ContractAndOrder([][]int{{0, 2}}); ok {
+		t.Fatal("cyclic grouping accepted")
+	}
+}
+
+func TestContractAndOrderOverlappingGroups(t *testing.T) {
+	c := New(2)
+	c.Append(gate.RZZ(0.1, 0, 1), gate.RZZ(0.2, 0, 1))
+	d := BuildDAG(c)
+	if _, ok := d.ContractAndOrder([][]int{{0, 1}, {1}}); ok {
+		t.Fatal("overlapping groups accepted")
+	}
+}
+
+func TestReorderPreservesUnitary(t *testing.T) {
+	// Random circuits of commuting diagonal gates: any DAG-respecting order
+	// preserves the unitary.
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 10; trial++ {
+		c := New(4)
+		for i := 0; i < 8; i++ {
+			a := rng.Intn(4)
+			b := (a + 1 + rng.Intn(3)) % 4
+			c.Append(gate.RZZ(rng.Float64(), a, b))
+		}
+		c.Append(gate.RX(0.7, 0)) // one non-commuting gate at the end
+		d := BuildDAG(c)
+		// Group the first and fifth gates.
+		order, ok := d.ContractAndOrder([][]int{{0, 4}})
+		if !ok {
+			t.Fatal("grouping commuting gates failed")
+		}
+		r := c.Reorder(order)
+		if !cmat.EqualTol(c.Unitary(), r.Unitary(), 1e-9) {
+			t.Fatalf("trial %d: reordering changed the unitary", trial)
+		}
+	}
+}
+
+func TestReorderGeneralCircuitPreservesUnitary(t *testing.T) {
+	// A mixed circuit where some gates do not commute: the identity order and
+	// the DAG order with no groups must both reproduce the unitary.
+	c := New(3)
+	c.Append(gate.H(0), gate.CNOT(0, 1), gate.RZZ(0.5, 1, 2), gate.RX(0.3, 2), gate.CZ(0, 2))
+	d := BuildDAG(c)
+	order, ok := d.ContractAndOrder(nil)
+	if !ok {
+		t.Fatal("trivial contraction failed")
+	}
+	r := c.Reorder(order)
+	if !cmat.EqualTol(c.Unitary(), r.Unitary(), 1e-9) {
+		t.Fatal("DAG order changed the unitary")
+	}
+}
+
+func TestInverseUndoesCircuit(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := New(3)
+	for i := 0; i < 10; i++ {
+		a := rng.Intn(3)
+		b := (a + 1 + rng.Intn(2)) % 3
+		switch rng.Intn(4) {
+		case 0:
+			c.Append(gate.H(a))
+		case 1:
+			c.Append(gate.T(a))
+		case 2:
+			c.Append(gate.ISWAP(a, b))
+		default:
+			c.Append(gate.RZZ(rng.Float64(), a, b))
+		}
+	}
+	inv := c.Inverse()
+	if len(inv.Gates) != len(c.Gates) {
+		t.Fatal("gate count changed")
+	}
+	combined := New(3)
+	combined.Append(c.Gates...)
+	combined.Append(inv.Gates...)
+	if !cmat.EqualTol(combined.Unitary(), cmat.Identity(8), 1e-9) {
+		t.Fatal("U·U† != I")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,167 @@
+package cmat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEigNoConvergence is returned when the Jacobi eigensolver fails to
+// converge.
+var ErrEigNoConvergence = errors.New("cmat: eigendecomposition did not converge")
+
+// EigSymReal computes the eigendecomposition of a real symmetric matrix
+// given as row-major data: A = V·diag(vals)·Vᵀ with V orthogonal (columns
+// are eigenvectors) and eigenvalues sorted ascending. Uses cyclic Jacobi
+// rotations.
+func EigSymReal(a [][]float64) (vals []float64, vecs [][]float64, err error) {
+	n := len(a)
+	// Working copies.
+	b := make([][]float64, n)
+	v := make([][]float64, n)
+	for i := range b {
+		b[i] = append([]float64(nil), a[i]...)
+		if len(b[i]) != n {
+			return nil, nil, errors.New("cmat: EigSymReal needs a square matrix")
+		}
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+
+	off := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += b[i][j] * b[i][j]
+			}
+		}
+		return s
+	}
+	var norm float64
+	for i := range a {
+		for j := range a[i] {
+			norm += a[i][j] * a[i][j]
+		}
+	}
+	tol := 1e-28 * (norm + 1)
+
+	for sweep := 0; sweep < 64; sweep++ {
+		if off() <= tol {
+			vals = make([]float64, n)
+			for i := range vals {
+				vals[i] = b[i][i]
+			}
+			// Sort ascending, permuting eigenvector columns.
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(x, y int) bool { return vals[idx[x]] < vals[idx[y]] })
+			sv := make([]float64, n)
+			sw := make([][]float64, n)
+			for i := range sw {
+				sw[i] = make([]float64, n)
+			}
+			for newJ, oldJ := range idx {
+				sv[newJ] = vals[oldJ]
+				for i := 0; i < n; i++ {
+					sw[i][newJ] = v[i][oldJ]
+				}
+			}
+			return sv, sw, nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := b[p][q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				theta := (b[q][q] - b[p][p]) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(1+theta*theta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Rotate rows/columns p, q of b.
+				for i := 0; i < n; i++ {
+					bip, biq := b[i][p], b[i][q]
+					b[i][p] = c*bip - s*biq
+					b[i][q] = s*bip + c*biq
+				}
+				for j := 0; j < n; j++ {
+					bpj, bqj := b[p][j], b[q][j]
+					b[p][j] = c*bpj - s*bqj
+					b[q][j] = s*bpj + c*bqj
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = c*vip - s*viq
+					v[i][q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	return nil, nil, ErrEigNoConvergence
+}
+
+// SimDiagSymReal simultaneously diagonalizes two commuting real symmetric
+// matrices: returns an orthogonal O (as column vectors) with Oᵀ·X·O and
+// Oᵀ·Y·O both diagonal. Degenerate eigenspaces of X are resolved by
+// diagonalizing Y within them.
+func SimDiagSymReal(x, y [][]float64) ([][]float64, error) {
+	n := len(x)
+	valsX, o, err := EigSymReal(x)
+	if err != nil {
+		return nil, err
+	}
+	// Group near-equal eigenvalues of X.
+	const degTol = 1e-7
+	start := 0
+	for start < n {
+		end := start + 1
+		for end < n && math.Abs(valsX[end]-valsX[start]) < degTol {
+			end++
+		}
+		if end-start > 1 {
+			// Diagonalize the Y block restricted to columns [start, end).
+			k := end - start
+			block := make([][]float64, k)
+			for i := 0; i < k; i++ {
+				block[i] = make([]float64, k)
+				for j := 0; j < k; j++ {
+					// block[i][j] = o_{:,start+i}ᵀ · Y · o_{:,start+j}
+					var s float64
+					for r := 0; r < n; r++ {
+						var yr float64
+						for c := 0; c < n; c++ {
+							yr += y[r][c] * o[c][start+j]
+						}
+						s += o[r][start+i] * yr
+					}
+					block[i][j] = s
+				}
+			}
+			_, w, err := EigSymReal(block)
+			if err != nil {
+				return nil, err
+			}
+			// Rotate the group columns: o' = o_group · w.
+			rotated := make([][]float64, n)
+			for r := 0; r < n; r++ {
+				rotated[r] = make([]float64, k)
+				for j := 0; j < k; j++ {
+					var s float64
+					for i := 0; i < k; i++ {
+						s += o[r][start+i] * w[i][j]
+					}
+					rotated[r][j] = s
+				}
+			}
+			for r := 0; r < n; r++ {
+				for j := 0; j < k; j++ {
+					o[r][start+j] = rotated[r][j]
+				}
+			}
+		}
+		start = end
+	}
+	return o, nil
+}

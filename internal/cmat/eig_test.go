@@ -1,0 +1,165 @@
+package cmat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSym(rng *rand.Rand, n int) [][]float64 {
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a[i][j] = v
+			a[j][i] = v
+		}
+	}
+	return a
+}
+
+func checkEigenpairs(t *testing.T, a [][]float64, vals []float64, vecs [][]float64) {
+	t.Helper()
+	n := len(a)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var av float64
+			for k := 0; k < n; k++ {
+				av += a[i][k] * vecs[k][j]
+			}
+			if math.Abs(av-vals[j]*vecs[i][j]) > 1e-8 {
+				t.Fatalf("eigenpair %d residual %g", j, av-vals[j]*vecs[i][j])
+			}
+		}
+	}
+	// Orthonormal columns.
+	for p := 0; p < n; p++ {
+		for q := p; q < n; q++ {
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += vecs[i][p] * vecs[i][q]
+			}
+			want := 0.0
+			if p == q {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("columns %d,%d dot %g", p, q, dot)
+			}
+		}
+	}
+	// Ascending order.
+	for j := 1; j < n; j++ {
+		if vals[j] < vals[j-1]-1e-12 {
+			t.Fatalf("eigenvalues not ascending: %v", vals)
+		}
+	}
+}
+
+func TestEigSymRealProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := randomSym(rng, n)
+		vals, vecs, err := EigSymReal(a)
+		if err != nil {
+			return false
+		}
+		// Trace preserved.
+		var trA, sumV float64
+		for i := 0; i < n; i++ {
+			trA += a[i][i]
+			sumV += vals[i]
+		}
+		if math.Abs(trA-sumV) > 1e-8 {
+			return false
+		}
+		checkEigenpairs(t, a, vals, vecs)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigSymRealRejectsNonSquare(t *testing.T) {
+	if _, _, err := EigSymReal([][]float64{{1, 2}}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestEigSymRealIdentityAndDiagonal(t *testing.T) {
+	a := [][]float64{{3, 0}, {0, -1}}
+	vals, _, err := EigSymReal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]+1) > 1e-12 || math.Abs(vals[1]-3) > 1e-12 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestSimDiagCommutingFromSharedBasis(t *testing.T) {
+	// Build X = O D1 Oᵀ, Y = O D2 Oᵀ with a shared random orthogonal basis
+	// and DEGENERATE D1 so the grouping logic is exercised; the returned
+	// basis must diagonalize both.
+	rng := rand.New(rand.NewSource(33))
+	n := 4
+	// Random orthogonal O from EigSymReal of a random symmetric matrix.
+	_, o, err := EigSymReal(randomSym(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := []float64{2, 2, 2, 5} // triple degeneracy
+	d2 := []float64{1, 3, -1, 7}
+	build := func(d []float64) [][]float64 {
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					m[i][j] += o[i][k] * d[k] * o[j][k]
+				}
+			}
+		}
+		return m
+	}
+	x := build(d1)
+	y := build(d2)
+	q, err := SimDiagSymReal(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offDiag := func(m [][]float64) float64 {
+		var worst float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				var v float64
+				for r := 0; r < n; r++ {
+					var mr float64
+					for c := 0; c < n; c++ {
+						mr += m[r][c] * q[c][j]
+					}
+					v += q[r][i] * mr
+				}
+				if math.Abs(v) > worst {
+					worst = math.Abs(v)
+				}
+			}
+		}
+		return worst
+	}
+	if d := offDiag(x); d > 1e-8 {
+		t.Fatalf("X not diagonalized: %g", d)
+	}
+	if d := offDiag(y); d > 1e-8 {
+		t.Fatalf("Y not diagonalized: %g", d)
+	}
+}

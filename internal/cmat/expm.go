@@ -1,0 +1,42 @@
+package cmat
+
+import "math"
+
+// Expm computes the matrix exponential e^{A} by scaling-and-squaring with a
+// Taylor expansion: A is scaled by 2^{-k} until its Frobenius norm is small,
+// the series is summed to machine precision, and the result is squared k
+// times. Intended for the small operators used in tests and Hamiltonian
+// diagnostics (dimension ≲ 2^10).
+func Expm(a *Matrix) *Matrix {
+	if !a.IsSquare() {
+		panic("cmat: Expm of non-square matrix")
+	}
+	norm := a.FrobeniusNorm()
+	k := 0
+	for norm > 0.25 {
+		norm /= 2
+		k++
+	}
+	scale := complex(1/math.Pow(2, float64(k)), 0)
+	scaled := Scale(scale, a)
+
+	u := Identity(a.Rows)
+	term := Identity(a.Rows)
+	for m := 1; m <= 24; m++ {
+		term = Scale(complex(1/float64(m), 0), Mul(term, scaled))
+		u = Add(u, term)
+		if term.FrobeniusNorm() < 1e-18 {
+			break
+		}
+	}
+	for i := 0; i < k; i++ {
+		u = Mul(u, u)
+	}
+	return u
+}
+
+// ExpmHermitian computes e^{iθH} for Hermitian H — the time-evolution
+// helper used by the Trotter validation and the Hamiltonian diagnostics.
+func ExpmHermitian(h *Matrix, theta float64) *Matrix {
+	return Expm(Scale(complex(0, theta), h))
+}

@@ -1,0 +1,71 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestExpmZero(t *testing.T) {
+	if !EqualTol(Expm(New(4, 4)), Identity(4), 1e-14) {
+		t.Fatal("e^0 != I")
+	}
+}
+
+func TestExpmDiagonal(t *testing.T) {
+	a := New(3, 3)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, complex(0, math.Pi))
+	a.Set(2, 2, -2)
+	e := Expm(a)
+	want := []complex128{complex(math.E, 0), -1, complex(math.Exp(-2), 0)}
+	for i, w := range want {
+		if cmplx.Abs(e.At(i, i)-w) > 1e-12 {
+			t.Fatalf("e^diag[%d] = %v, want %v", i, e.At(i, i), w)
+		}
+	}
+	if !e.IsDiagonal(1e-12) {
+		t.Fatal("exponential of diagonal not diagonal")
+	}
+}
+
+func TestExpmAdditivityCommuting(t *testing.T) {
+	// e^{A}e^{A} = e^{2A}.
+	rng := rand.New(rand.NewSource(21))
+	a := randomMatrix(rng, 4, 4)
+	a = Scale(0.3, a)
+	lhs := Mul(Expm(a), Expm(a))
+	rhs := Expm(Scale(2, a))
+	if !EqualTol(lhs, rhs, 1e-10) {
+		t.Fatalf("additivity violated by %g", MaxAbsDiff(lhs, rhs))
+	}
+}
+
+func TestExpmHermitianUnitary(t *testing.T) {
+	// e^{iθH} is unitary for Hermitian H.
+	rng := rand.New(rand.NewSource(22))
+	m := randomMatrix(rng, 4, 4)
+	h := Scale(0.5, Add(m, m.Dagger())) // Hermitian
+	u := ExpmHermitian(h, 0.7)
+	if !u.IsUnitary(1e-10) {
+		t.Fatal("e^{iθH} not unitary")
+	}
+	// θ=0 gives the identity.
+	if !EqualTol(ExpmHermitian(h, 0), Identity(4), 1e-14) {
+		t.Fatal("e^{0} != I")
+	}
+}
+
+func TestExpmPauliRotation(t *testing.T) {
+	// e^{-iθX/2} matches the known RX matrix.
+	x := FromSlice(2, 2, []complex128{0, 1, 1, 0})
+	theta := 0.9
+	u := Expm(Scale(complex(0, -theta/2), x))
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	want := FromSlice(2, 2, []complex128{c, s, s, c})
+	if !EqualTol(u, want, 1e-12) {
+		t.Fatal("e^{-iθX/2} != RX(θ)")
+	}
+}

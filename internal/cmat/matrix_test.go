@@ -1,0 +1,223 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-10
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+// randomUnitary builds a Haar-ish random unitary by Gram-Schmidt on a random
+// Gaussian matrix.
+func randomUnitary(rng *rand.Rand, n int) *Matrix {
+	m := randomMatrix(rng, n, n)
+	// Modified Gram-Schmidt over columns.
+	for j := 0; j < n; j++ {
+		for k := 0; k < j; k++ {
+			var dot complex128
+			for i := 0; i < n; i++ {
+				dot += cmplx.Conj(m.At(i, k)) * m.At(i, j)
+			}
+			for i := 0; i < n; i++ {
+				m.Set(i, j, m.At(i, j)-dot*m.At(i, k))
+			}
+		}
+		var norm float64
+		for i := 0; i < n; i++ {
+			norm += real(m.At(i, j))*real(m.At(i, j)) + imag(m.At(i, j))*imag(m.At(i, j))
+		}
+		inv := complex(1/math.Sqrt(norm), 0)
+		for i := 0; i < n; i++ {
+			m.Set(i, j, m.At(i, j)*inv)
+		}
+	}
+	return m
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 5, 7)
+	if !EqualTol(Mul(Identity(5), a), a, tol) {
+		t.Fatal("I·A != A")
+	}
+	if !EqualTol(Mul(a, Identity(7)), a, tol) {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 3, 4)
+	b := randomMatrix(rng, 4, 5)
+	c := randomMatrix(rng, 5, 2)
+	left := Mul(Mul(a, b), c)
+	right := Mul(a, Mul(b, c))
+	if !EqualTol(left, right, 1e-9) {
+		t.Fatalf("(AB)C != A(BC), diff %g", MaxAbsDiff(left, right))
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 6, 4)
+	v := randomMatrix(rng, 4, 1)
+	got := MulVec(a, v.Data)
+	want := Mul(a, v)
+	for i := range got {
+		if cmplx.Abs(got[i]-want.Data[i]) > tol {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want.Data[i])
+		}
+	}
+}
+
+func TestKronDimensionsAndEntries(t *testing.T) {
+	a := FromSlice(2, 2, []complex128{1, 2, 3, 4})
+	b := FromSlice(2, 2, []complex128{0, 5, 6, 7})
+	k := Kron(a, b)
+	if k.Rows != 4 || k.Cols != 4 {
+		t.Fatalf("Kron shape %dx%d, want 4x4", k.Rows, k.Cols)
+	}
+	// (a⊗b)[ia*2+ib, ja*2+jb] = a[ia,ja]*b[ib,jb]
+	for ia := 0; ia < 2; ia++ {
+		for ja := 0; ja < 2; ja++ {
+			for ib := 0; ib < 2; ib++ {
+				for jb := 0; jb < 2; jb++ {
+					want := a.At(ia, ja) * b.At(ib, jb)
+					got := k.At(ia*2+ib, ja*2+jb)
+					if got != want {
+						t.Fatalf("Kron[%d%d,%d%d] = %v, want %v", ia, ib, ja, jb, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKronMixedProduct(t *testing.T) {
+	// (A⊗B)(C⊗D) = (AC)⊗(BD)
+	rng := rand.New(rand.NewSource(4))
+	a := randomMatrix(rng, 2, 2)
+	b := randomMatrix(rng, 3, 3)
+	c := randomMatrix(rng, 2, 2)
+	d := randomMatrix(rng, 3, 3)
+	lhs := Mul(Kron(a, b), Kron(c, d))
+	rhs := Kron(Mul(a, c), Mul(b, d))
+	if !EqualTol(lhs, rhs, 1e-9) {
+		t.Fatalf("mixed product rule violated, diff %g", MaxAbsDiff(lhs, rhs))
+	}
+}
+
+func TestDaggerInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomMatrix(rng, 4, 6)
+	if !EqualTol(a.Dagger().Dagger(), a, tol) {
+		t.Fatal("(A†)† != A")
+	}
+}
+
+func TestDaggerOfProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomMatrix(rng, 3, 4)
+	b := randomMatrix(rng, 4, 5)
+	lhs := Mul(a, b).Dagger()
+	rhs := Mul(b.Dagger(), a.Dagger())
+	if !EqualTol(lhs, rhs, 1e-9) {
+		t.Fatal("(AB)† != B†A†")
+	}
+}
+
+func TestRandomUnitaryIsUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 8} {
+		u := randomUnitary(rng, n)
+		if !u.IsUnitary(1e-9) {
+			t.Fatalf("randomUnitary(%d) not unitary", n)
+		}
+	}
+}
+
+func TestTraceCyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomMatrix(rng, 4, 4)
+	b := randomMatrix(rng, 4, 4)
+	d := Mul(a, b).Trace() - Mul(b, a).Trace()
+	if cmplx.Abs(d) > 1e-9 {
+		t.Fatalf("tr(AB) != tr(BA): diff %v", d)
+	}
+}
+
+func TestCommutatorDiagonal(t *testing.T) {
+	// Diagonal matrices commute.
+	a := FromSlice(3, 3, []complex128{1, 0, 0, 0, 2i, 0, 0, 0, -3})
+	b := FromSlice(3, 3, []complex128{7, 0, 0, 0, 1i, 0, 0, 0, 2})
+	if Commutator(a, b).FrobeniusNorm() > tol {
+		t.Fatal("diagonal matrices should commute")
+	}
+	if !a.IsDiagonal(tol) {
+		t.Fatal("IsDiagonal false for diagonal matrix")
+	}
+}
+
+func TestScaleAddSub(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomMatrix(rng, 3, 3)
+	twoA := Scale(2, a)
+	if !EqualTol(Add(a, a), twoA, tol) {
+		t.Fatal("A+A != 2A")
+	}
+	if Sub(a, a).FrobeniusNorm() > tol {
+		t.Fatal("A-A != 0")
+	}
+}
+
+func TestKronIdentityProperty(t *testing.T) {
+	// Property: Frobenius norm is multiplicative under Kronecker products.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 2, 2)
+		b := randomMatrix(rng, 2, 2)
+		got := Kron(a, b).FrobeniusNorm()
+		want := a.FrobeniusNorm() * b.FrobeniusNorm()
+		return math.Abs(got-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeVsDagger(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomMatrix(rng, 3, 5)
+	if !EqualTol(a.Transpose().Conj(), a.Dagger(), tol) {
+		t.Fatal("conj(transpose) != dagger")
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	FromSlice(2, 2, []complex128{1, 2, 3})
+}
+
+func TestMulPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dimension mismatch")
+		}
+	}()
+	Mul(New(2, 3), New(2, 3))
+}

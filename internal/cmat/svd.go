@@ -1,0 +1,206 @@
+package cmat
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// SVDResult holds a (thin) singular value decomposition A = U · diag(S) · V†.
+// U is Rows×k, V is Cols×k with k = min(Rows, Cols), and S is sorted in
+// descending order. Columns of U and V corresponding to singular values that
+// are numerically zero may be zero vectors; callers interested only in the
+// numerical rank (all of this repository) never touch them.
+type SVDResult struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// maxJacobiSweeps bounds the one-sided Jacobi iteration. Convergence for the
+// small, well-conditioned matrices produced by gate reshaping is typically
+// reached in fewer than ten sweeps.
+const maxJacobiSweeps = 64
+
+// ErrSVDNoConvergence is returned when the Jacobi iteration fails to converge
+// within maxJacobiSweeps sweeps.
+var ErrSVDNoConvergence = errors.New("cmat: SVD did not converge")
+
+// SVD computes the singular value decomposition of a using one-sided Jacobi
+// rotations. The input matrix is not modified.
+func SVD(a *Matrix) (*SVDResult, error) {
+	if a.Rows == 0 || a.Cols == 0 {
+		return &SVDResult{U: New(a.Rows, 0), S: nil, V: New(a.Cols, 0)}, nil
+	}
+	if a.Rows >= a.Cols {
+		return svdTall(a)
+	}
+	// For wide matrices decompose the conjugate transpose:
+	// A† = U'ΣV'† implies A = V'ΣU'†.
+	res, err := svdTall(a.Dagger())
+	if err != nil {
+		return nil, err
+	}
+	return &SVDResult{U: res.V, S: res.S, V: res.U}, nil
+}
+
+// svdTall handles Rows >= Cols via one-sided Jacobi: columns of a working
+// copy B are rotated pairwise until mutually orthogonal; then B = U·diag(S)
+// and the accumulated rotations form V.
+func svdTall(a *Matrix) (*SVDResult, error) {
+	m, n := a.Rows, a.Cols
+	b := a.Clone()
+	v := Identity(n)
+
+	// Column access helpers over the row-major layout.
+	colDot := func(mat *Matrix, p, q int) complex128 { // mat[:,p]† · mat[:,q]
+		var s complex128
+		for i := 0; i < mat.Rows; i++ {
+			s += cmplx.Conj(mat.Data[i*mat.Cols+p]) * mat.Data[i*mat.Cols+q]
+		}
+		return s
+	}
+	colNorm2 := func(mat *Matrix, p int) float64 {
+		var s float64
+		for i := 0; i < mat.Rows; i++ {
+			x := mat.Data[i*mat.Cols+p]
+			s += real(x)*real(x) + imag(x)*imag(x)
+		}
+		return s
+	}
+
+	const eps = 1e-14
+	// Columns whose norm is negligible relative to the matrix norm are
+	// treated as zero: rotating against them would chase round-off noise
+	// forever on rank-deficient inputs.
+	zeroCol := eps * a.FrobeniusNorm()
+	zeroCol2 := zeroCol * zeroCol
+	converged := false
+	for sweep := 0; sweep < maxJacobiSweeps && !converged; sweep++ {
+		converged = true
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha := colNorm2(b, p)
+				beta := colNorm2(b, q)
+				if alpha <= zeroCol2 || beta <= zeroCol2 {
+					continue
+				}
+				gamma := colDot(b, p, q)
+				ga := cmplx.Abs(gamma)
+				if ga <= eps*math.Sqrt(alpha*beta) || ga == 0 {
+					continue
+				}
+				converged = false
+				// Phase so that the effective off-diagonal element is real:
+				// with ṽ_q = e^{-iφ}·b_q we have b_p†·ṽ_q = |γ| ∈ ℝ.
+				phase := gamma / complex(ga, 0)
+				// Real 2x2 symmetric Jacobi on [[α,|γ|],[|γ|,β]].
+				zeta := (beta - alpha) / (2 * ga)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				cs := 1 / math.Sqrt(1+t*t)
+				sn := cs * t
+				// Column update matrix J (unitary):
+				//   new_p = cs·b_p - sn·conj(phase)·b_q
+				//   new_q = sn·phase·b_p + cs·b_q
+				cP := complex(cs, 0)
+				sP := complex(sn, 0) * cmplx.Conj(phase)
+				sQ := complex(sn, 0) * phase
+				rotateCols(b, p, q, cP, sP, sQ)
+				rotateCols(v, p, q, cP, sP, sQ)
+			}
+		}
+	}
+	if !converged {
+		return nil, ErrSVDNoConvergence
+	}
+
+	// Extract singular values (column norms) and normalize U.
+	s := make([]float64, n)
+	u := New(m, n)
+	for j := 0; j < n; j++ {
+		s[j] = math.Sqrt(colNorm2(b, j))
+		if s[j] > 0 {
+			inv := complex(1/s[j], 0)
+			for i := 0; i < m; i++ {
+				u.Data[i*n+j] = b.Data[i*n+j] * inv
+			}
+		}
+	}
+
+	// Sort descending by singular value, permuting U and V consistently.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return s[idx[i]] > s[idx[j]] })
+	us := New(m, n)
+	vs := New(n, n)
+	ss := make([]float64, n)
+	for newJ, oldJ := range idx {
+		ss[newJ] = s[oldJ]
+		for i := 0; i < m; i++ {
+			us.Data[i*n+newJ] = u.Data[i*n+oldJ]
+		}
+		for i := 0; i < n; i++ {
+			vs.Data[i*n+newJ] = v.Data[i*n+oldJ]
+		}
+	}
+	return &SVDResult{U: us, S: ss, V: vs}, nil
+}
+
+// rotateCols applies the unitary column rotation
+//
+//	new_p = cP·col_p - sP·col_q
+//	new_q = sQ·col_p + cP·col_q
+//
+// in place.
+func rotateCols(mat *Matrix, p, q int, cP, sP, sQ complex128) {
+	for i := 0; i < mat.Rows; i++ {
+		rp := i*mat.Cols + p
+		rq := i*mat.Cols + q
+		bp, bq := mat.Data[rp], mat.Data[rq]
+		mat.Data[rp] = cP*bp - sP*bq
+		mat.Data[rq] = sQ*bp + cP*bq
+	}
+}
+
+// Rank returns the numerical rank: the number of singular values exceeding
+// tol·S[0]. A non-positive tol selects a default of 1e-10.
+func (r *SVDResult) Rank(tol float64) int {
+	if len(r.S) == 0 || r.S[0] == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	cut := tol * r.S[0]
+	n := 0
+	for _, s := range r.S {
+		if s > cut {
+			n++
+		}
+	}
+	return n
+}
+
+// Reconstruct recomputes U·diag(S)·V† — useful for verifying the
+// factorization in tests.
+func (r *SVDResult) Reconstruct() *Matrix {
+	m := r.U.Rows
+	n := r.V.Rows
+	k := len(r.S)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for t := 0; t < k; t++ {
+			uv := r.U.Data[i*r.U.Cols+t] * complex(r.S[t], 0)
+			if uv == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += uv * cmplx.Conj(r.V.Data[j*r.V.Cols+t])
+			}
+		}
+	}
+	return out
+}

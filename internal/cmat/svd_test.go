@@ -1,0 +1,238 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkSVD verifies the three defining properties of an SVD: reconstruction,
+// descending singular values, and orthonormal columns (for columns with
+// nonzero singular values).
+func checkSVD(t *testing.T, a *Matrix, res *SVDResult) {
+	t.Helper()
+	rec := res.Reconstruct()
+	if d := MaxAbsDiff(a, rec); d > 1e-8 {
+		t.Fatalf("reconstruction error %g", d)
+	}
+	for i := 1; i < len(res.S); i++ {
+		if res.S[i] > res.S[i-1]+1e-12 {
+			t.Fatalf("singular values not descending: S[%d]=%g > S[%d]=%g", i, res.S[i], i-1, res.S[i-1])
+		}
+	}
+	for _, s := range res.S {
+		if s < -1e-15 {
+			t.Fatalf("negative singular value %g", s)
+		}
+	}
+	checkOrthonormalColumns(t, res.U, res.S)
+	checkOrthonormalColumns(t, res.V, res.S)
+}
+
+func checkOrthonormalColumns(t *testing.T, m *Matrix, s []float64) {
+	t.Helper()
+	for j := 0; j < m.Cols; j++ {
+		if s[j] <= 1e-12 {
+			continue
+		}
+		for k := j; k < m.Cols; k++ {
+			if s[k] <= 1e-12 {
+				continue
+			}
+			var dot complex128
+			for i := 0; i < m.Rows; i++ {
+				dot += cmplx.Conj(m.At(i, j)) * m.At(i, k)
+			}
+			want := complex128(0)
+			if j == k {
+				want = 1
+			}
+			if cmplx.Abs(dot-want) > 1e-8 {
+				t.Fatalf("columns %d,%d not orthonormal: dot=%v", j, k, dot)
+			}
+		}
+	}
+}
+
+func TestSVDSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 4, 8, 16} {
+		a := randomMatrix(rng, n, n)
+		res, err := SVD(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkSVD(t, a, res)
+	}
+}
+
+func TestSVDTall(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomMatrix(rng, 16, 4)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U.Rows != 16 || res.U.Cols != 4 || res.V.Rows != 4 {
+		t.Fatalf("unexpected shapes U %dx%d V %dx%d", res.U.Rows, res.U.Cols, res.V.Rows, res.V.Cols)
+	}
+	checkSVD(t, a, res)
+}
+
+func TestSVDWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomMatrix(rng, 4, 16)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U.Rows != 4 || res.V.Rows != 16 || len(res.S) != 4 {
+		t.Fatalf("unexpected shapes U %dx%d V %dx%d S %d", res.U.Rows, res.U.Cols, res.V.Rows, res.V.Cols, len(res.S))
+	}
+	checkSVD(t, a, res)
+}
+
+func TestSVDUnitaryHasUnitSingularValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	u := randomUnitary(rng, 8)
+	res, err := SVD(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.S {
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("S[%d]=%g, want 1 for unitary input", i, s)
+		}
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Build a rank-2 4x4 matrix as the sum of two outer products.
+	rng := rand.New(rand.NewSource(15))
+	u1 := randomMatrix(rng, 4, 1)
+	v1 := randomMatrix(rng, 4, 1)
+	u2 := randomMatrix(rng, 4, 1)
+	v2 := randomMatrix(rng, 4, 1)
+	a := Add(Mul(u1, v1.Dagger()), Mul(u2, v2.Dagger()))
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSVD(t, a, res)
+	if r := res.Rank(1e-10); r != 2 {
+		t.Fatalf("Rank = %d, want 2 (S=%v)", r, res.S)
+	}
+}
+
+func TestSVDZeroMatrix(t *testing.T) {
+	a := New(4, 4)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Rank(1e-10); r != 0 {
+		t.Fatalf("Rank of zero matrix = %d, want 0", r)
+	}
+}
+
+func TestSVDDiagonal(t *testing.T) {
+	a := New(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, complex(0, 5)) // complex diagonal entry: singular value is |.|=5
+	a.Set(2, 2, 1)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, 1}
+	for i := range want {
+		if math.Abs(res.S[i]-want[i]) > 1e-9 {
+			t.Fatalf("S = %v, want %v", res.S, want)
+		}
+	}
+	checkSVD(t, a, res)
+}
+
+func TestSVDSingularValuesMatchFrobenius(t *testing.T) {
+	// Property: Σ s_i² = ||A||_F² for random matrices of random small shapes.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(12)
+		cols := 1 + rng.Intn(12)
+		a := randomMatrix(rng, rows, cols)
+		res, err := SVD(a)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, s := range res.S {
+			sum += s * s
+		}
+		f2 := a.FrobeniusNorm()
+		return math.Abs(sum-f2*f2) < 1e-8*(1+f2*f2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVDReconstructProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(10)
+		cols := 1 + rng.Intn(10)
+		a := randomMatrix(rng, rows, cols)
+		res, err := SVD(a)
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(a, res.Reconstruct()) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVDEmpty(t *testing.T) {
+	res, err := SVD(New(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.S) != 0 {
+		t.Fatalf("expected no singular values, got %v", res.S)
+	}
+}
+
+func BenchmarkSVD16x16(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomMatrix(rng, 16, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SVD(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVD64x64(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	a := randomMatrix(rng, 64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SVD(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(44))
+	x := randomMatrix(rng, 64, 64)
+	y := randomMatrix(rng, 64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}

@@ -1,0 +1,325 @@
+package cut
+
+import (
+	"fmt"
+	"sort"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/schmidt"
+)
+
+// Options configures plan construction.
+type Options struct {
+	// Partition places the cut.
+	Partition Partition
+	// Strategy selects the grouping scheme (StrategyNone = standard HSF).
+	Strategy Strategy
+	// MaxBlockQubits caps the touched-qubit count of a block; 0 selects
+	// DefaultMaxBlockQubits.
+	MaxBlockQubits int
+	// Tol is the singular-value truncation tolerance; 0 selects
+	// schmidt.DefaultTol.
+	Tol float64
+	// UseAnalytic replaces the numeric SVD by the analytic rank-2 cascade
+	// decomposition when a block matches a known cascade pattern
+	// (paper Sec. IV-D). The paper's evaluation keeps this off ("the joint
+	// cuts were performed numerically") — it is provided for the ablation.
+	UseAnalytic bool
+	// MaxCutRank, when positive, truncates every cut to its MaxCutRank
+	// largest Schmidt terms, yielding an *approximate* simulation: the
+	// dropped weight Σσ² bounds the error. This extension trades fidelity
+	// for paths and is off (exact) by default.
+	MaxCutRank int
+}
+
+// BuildPlan analyzes the circuit and produces an HSF execution plan.
+func BuildPlan(c *circuit.Circuit, opts Options) (*Plan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Partition.Validate(c.NumQubits); err != nil {
+		return nil, err
+	}
+	maxBlock := opts.MaxBlockQubits
+	if maxBlock <= 0 {
+		maxBlock = DefaultMaxBlockQubits
+	}
+
+	groups, order, err := buildGroups(c, opts.Partition, opts.Strategy, maxBlock)
+	if err != nil {
+		return nil, err
+	}
+	rc := c.Reorder(order)
+	newPos := make([]int, len(order)) // original index -> new position
+	for np, oi := range order {
+		newPos[oi] = np
+	}
+
+	// groupOf[new position] = group id, or -1.
+	groupOf := make([]int, len(rc.Gates))
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	groupMembers := make([][]int, len(groups)) // new positions, sorted
+	for gi, grp := range groups {
+		for _, oi := range grp {
+			np := newPos[oi]
+			groupOf[np] = gi
+			groupMembers[gi] = append(groupMembers[gi], np)
+		}
+		sort.Ints(groupMembers[gi])
+	}
+
+	plan := &Plan{NumQubits: c.NumQubits, Partition: opts.Partition}
+	emitted := make([]bool, len(rc.Gates))
+
+	emitSingle := func(np int) error {
+		g := &rc.Gates[np]
+		emitted[np] = true
+		if !opts.Partition.Crosses(g) {
+			side := Upper
+			if opts.Partition.IsLower(g.Qubits[0]) {
+				side = Lower
+			}
+			plan.Steps = append(plan.Steps, Step{Kind: LocalStep, Side: side, Gate: *g})
+			return nil
+		}
+		cp, err := decomposeBlock(rc, opts, []int{np})
+		if err != nil {
+			return err
+		}
+		plan.Steps = append(plan.Steps, Step{Kind: CutStep, Cut: cp})
+		plan.Cuts = append(plan.Cuts, cp)
+		return nil
+	}
+
+	for np := range rc.Gates {
+		if emitted[np] {
+			continue
+		}
+		gi := groupOf[np]
+		if gi < 0 {
+			if err := emitSingle(np); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// First member of a block: decompose jointly and keep the block only
+		// if it strictly reduces the path contribution versus cutting its
+		// crossing members separately (Sec. IV-C: otherwise the SVD
+		// preprocessing is pure overhead).
+		members := groupMembers[gi]
+		cp, err := decomposeBlock(rc, opts, members)
+		if err != nil {
+			return nil, err
+		}
+		separate := 1
+		for _, m := range members {
+			g := &rc.Gates[m]
+			if !opts.Partition.Crosses(g) {
+				continue
+			}
+			r, err := GateSchmidtRank(g, opts.Partition, opts.Tol)
+			if err != nil {
+				return nil, err
+			}
+			separate *= r
+			if separate > 1<<30 {
+				break // saturate; the block certainly wins
+			}
+		}
+		if cp.Rank() < separate {
+			plan.Steps = append(plan.Steps, Step{Kind: CutStep, Cut: cp})
+			plan.Cuts = append(plan.Cuts, cp)
+			for _, m := range members {
+				emitted[m] = true
+			}
+			continue
+		}
+		// Not beneficial: emit the members individually in order.
+		for _, m := range members {
+			if err := emitSingle(m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return plan, nil
+}
+
+// decomposeBlock builds the joint operator of the member gates (indices into
+// rc, sorted) and Schmidt-decomposes it across the partition.
+func decomposeBlock(rc *circuit.Circuit, opts Options, members []int) (*CutPoint, error) {
+	lowerQ, upperQ := splitQubits(rc, opts.Partition, members)
+	touched := append(append([]int(nil), lowerQ...), upperQ...)
+	pos := make(map[int]int, len(touched))
+	for k, q := range touched {
+		pos[q] = k
+	}
+
+	label := blockLabel(rc, members)
+	cp := &CutPoint{LowerQubits: lowerQ, UpperQubits: upperQ, GateIndices: members, Label: label}
+
+	if opts.UseAnalytic && len(members) >= 2 {
+		if d, ok := analyticCascade(rc, opts.Partition, members, lowerQ, upperQ); ok {
+			cp.Terms = d.Terms
+			cp.Analytic = true
+			return cp, nil
+		}
+	}
+
+	// Numeric path: multiply the member gates on the touched-qubit register
+	// (lower qubits occupy the low bits because labels sort that way), then
+	// decompose.
+	block := circuit.New(len(touched))
+	for _, m := range members {
+		block.Append(rc.Gates[m].Remap(func(q int) int { return pos[q] }))
+	}
+	op := block.Unitary()
+	d, err := schmidt.Decompose(op, len(lowerQ), len(upperQ), opts.Tol)
+	if err != nil {
+		return nil, fmt.Errorf("cut: decomposing %s: %w", label, err)
+	}
+	cp.Terms = d.Terms
+	if opts.MaxCutRank > 0 && len(cp.Terms) > opts.MaxCutRank {
+		cp.Terms = cp.Terms[:opts.MaxCutRank]
+		cp.Truncated = true
+	}
+	return cp, nil
+}
+
+// blockLabel summarizes a block for reports, e.g. "block[rzz x3]".
+func blockLabel(rc *circuit.Circuit, members []int) string {
+	if len(members) == 1 {
+		return "sep[" + rc.Gates[members[0]].Name + "]"
+	}
+	names := make(map[string]int)
+	for _, m := range members {
+		names[rc.Gates[m].Name]++
+	}
+	if len(names) == 1 {
+		return fmt.Sprintf("block[%s x%d]", rc.Gates[members[0]].Name, len(members))
+	}
+	return fmt.Sprintf("block[mixed x%d]", len(members))
+}
+
+// analyticCascade recognizes cascade patterns and returns their analytic
+// decomposition: all members must be two-qubit gates of the same kind
+// sharing one anchor qubit, with pairwise-distinct fan qubits. CNOT cascades
+// additionally require the anchor to be every member's control.
+func analyticCascade(rc *circuit.Circuit, p Partition, members []int, lowerQ, upperQ []int) (*schmidt.Decomposition, bool) {
+	if len(lowerQ) == 0 || len(upperQ) == 0 {
+		return nil, false
+	}
+	var anchor int
+	var anchorUpper bool
+	switch {
+	case len(upperQ) == 1:
+		anchor = upperQ[0]
+		anchorUpper = true
+	case len(lowerQ) == 1:
+		anchor = lowerQ[0]
+		anchorUpper = false
+	default:
+		return nil, false
+	}
+	name := rc.Gates[members[0]].Name
+	fanTheta := make(map[int]float64, len(members))
+	for _, m := range members {
+		g := &rc.Gates[m]
+		if g.Name != name || g.NumQubits() != 2 || !g.Touches(anchor) {
+			return nil, false
+		}
+		fan := g.Qubits[0]
+		if fan == anchor {
+			fan = g.Qubits[1]
+		}
+		if _, dup := fanTheta[fan]; dup {
+			return nil, false // repeated fan qubit: product form needed
+		}
+		switch name {
+		case "rzz", "cp":
+			fanTheta[fan] = g.Params[0]
+		case "cz":
+			fanTheta[fan] = 0
+		case "cx":
+			if g.Qubits[0] != anchor { // control must be the anchor
+				return nil, false
+			}
+			fanTheta[fan] = 0
+		default:
+			return nil, false
+		}
+	}
+	// Fan qubits in ascending label order supply the kron-chain bits.
+	fans := lowerQ
+	if !anchorUpper {
+		fans = upperQ
+	}
+	if len(fans) != len(fanTheta) {
+		return nil, false
+	}
+	switch name {
+	case "rzz":
+		thetas := make([]float64, len(fans))
+		for i, f := range fans {
+			thetas[i] = fanTheta[f]
+		}
+		return schmidt.RZZCascade(thetas, anchorUpper), true
+	case "cp":
+		phis := make([]float64, len(fans))
+		for i, f := range fans {
+			phis[i] = fanTheta[f]
+		}
+		return schmidt.CPhaseCascade(phis, anchorUpper), true
+	case "cz":
+		return schmidt.CZCascade(len(fans), anchorUpper), true
+	case "cx":
+		return schmidt.CNOTCascade(len(fans), anchorUpper), true
+	}
+	return nil, false
+}
+
+// StandardPathCount returns the number of paths of the standard (per-gate)
+// cutting scheme, together with its log2. It is cheaper than building a full
+// plan when only the count is needed, but matches BuildPlan with
+// StrategyNone exactly.
+func StandardPathCount(c *circuit.Circuit, p Partition, tol float64) (uint64, float64, error) {
+	plan, err := BuildPlan(c, Options{Partition: p, Strategy: StrategyNone, Tol: tol})
+	if err != nil {
+		return 0, 0, err
+	}
+	n, _ := plan.NumPaths()
+	return n, plan.Log2Paths(), nil
+}
+
+// GateSchmidtRank computes the Schmidt rank of a single gate across the
+// partition.
+func GateSchmidtRank(g *gate.Gate, p Partition, tol float64) (int, error) {
+	var lowerQ, upperQ []int
+	for _, q := range g.Qubits {
+		if p.IsLower(q) {
+			lowerQ = append(lowerQ, q)
+		} else {
+			upperQ = append(upperQ, q)
+		}
+	}
+	sort.Ints(lowerQ)
+	sort.Ints(upperQ)
+	touched := append(append([]int(nil), lowerQ...), upperQ...)
+	pos := make(map[int]int, len(touched))
+	for k, q := range touched {
+		pos[q] = k
+	}
+	local := g.Remap(func(q int) int { return pos[q] })
+	op := circuit.EmbedOnQubits(&local, localIota(len(touched)))
+	return schmidt.OperatorSchmidtRank(op, len(lowerQ), len(upperQ), tol)
+}
+
+func localIota(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}

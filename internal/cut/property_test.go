@@ -1,0 +1,120 @@
+package cut
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+)
+
+// TestJointNeverWorseProperty fuzzes the central guarantee of the planner:
+// for random circuits, cut positions, and strategies, the joint plan never
+// needs more paths than the standard plan, and every plan covers every gate
+// exactly once.
+func TestJointNeverWorseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		c := circuit.New(n)
+		gates := 8 + rng.Intn(16)
+		for i := 0; i < gates; i++ {
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			switch rng.Intn(8) {
+			case 0:
+				c.Append(gate.H(a))
+			case 1:
+				c.Append(gate.RX(rng.Float64()*2, a))
+			case 2:
+				c.Append(gate.RZZ(rng.Float64()*2, a, b))
+			case 3:
+				c.Append(gate.CNOT(a, b))
+			case 4:
+				c.Append(gate.CZ(a, b))
+			case 5:
+				c.Append(gate.SWAP(a, b))
+			case 6:
+				c.Append(gate.ISWAP(a, b))
+			default:
+				c.Append(gate.CPhase(rng.Float64(), a, b))
+			}
+		}
+		cutPos := rng.Intn(n - 1)
+		p := Partition{CutPos: cutPos}
+		std, err := BuildPlan(c, Options{Partition: p, Strategy: StrategyNone})
+		if err != nil {
+			return false
+		}
+		for _, strategy := range []Strategy{StrategyCascade, StrategyWindow} {
+			jnt, err := BuildPlan(c, Options{
+				Partition: p, Strategy: strategy,
+				MaxBlockQubits: 3 + rng.Intn(4),
+			})
+			if err != nil {
+				return false
+			}
+			if jnt.Log2Paths() > std.Log2Paths()+1e-9 {
+				t.Logf("seed %d strategy %v: joint %.2f > standard %.2f",
+					seed, strategy, jnt.Log2Paths(), std.Log2Paths())
+				return false
+			}
+			if coveredGates(jnt) != len(c.Gates) {
+				t.Logf("seed %d strategy %v: plan covers %d of %d gates",
+					seed, strategy, coveredGates(jnt), len(c.Gates))
+				return false
+			}
+		}
+		return coveredGates(std) == len(c.Gates)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func coveredGates(p *Plan) int {
+	n := 0
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case LocalStep:
+			n++
+		case CutStep:
+			n += len(s.Cut.GateIndices)
+		}
+	}
+	return n
+}
+
+// TestPlanRanksWithinBounds checks every cut's rank against the theoretical
+// min(4^na, 4^nb) bound on random circuits.
+func TestPlanRanksWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	for trial := 0; trial < 10; trial++ {
+		c := circuit.New(6)
+		for i := 0; i < 12; i++ {
+			a := rng.Intn(6)
+			b := (a + 1 + rng.Intn(5)) % 6
+			c.Append(gate.RZZ(rng.Float64(), a, b))
+		}
+		plan, err := BuildPlan(c, Options{Partition: Partition{CutPos: 2}, Strategy: StrategyCascade})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cp := range plan.Cuts {
+			na, nb := len(cp.UpperQubits), len(cp.LowerQubits)
+			bound := 1 << (2 * min(na, nb))
+			if cp.Rank() > bound {
+				t.Fatalf("trial %d: rank %d exceeds bound %d (split %d|%d)",
+					trial, cp.Rank(), bound, nb, na)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package cut
+
+import (
+	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+)
+
+// TestResolveGroupsInterGroupConflict constructs two groups that are each
+// individually contiguous-able but mutually exclusive: contracting both
+// creates a cycle, so one must be dropped.
+//
+//	idx0: H(0)   (a1 ∈ A)
+//	idx1: H(1)   (b2 ∈ B)
+//	idx2: X(0)   (b1 ∈ B, pinned after a1)
+//	idx3: X(1)   (a2 ∈ A, pinned after b2)
+//
+// A = {0,3}, B = {1,2}: A→B via H(0)→X(0) and B→A via H(1)→X(1).
+func TestResolveGroupsInterGroupConflict(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(gate.H(0), gate.H(1), gate.X(0), gate.X(1))
+	dag := circuit.BuildDAG(c)
+
+	a := []int{0, 3}
+	b := []int{1, 2}
+	// Both are individually valid.
+	if _, ok := dag.ContractAndOrder([][]int{a}); !ok {
+		t.Fatal("group A should be individually valid")
+	}
+	if _, ok := dag.ContractAndOrder([][]int{b}); !ok {
+		t.Fatal("group B should be individually valid")
+	}
+	// Jointly they conflict.
+	if _, ok := dag.ContractAndOrder([][]int{a, b}); ok {
+		t.Fatal("groups A and B should conflict")
+	}
+
+	groups, order, err := resolveGroups(dag, [][]int{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("surviving groups = %d, want 1", len(groups))
+	}
+	if len(order) != 4 {
+		t.Fatalf("order covers %d gates", len(order))
+	}
+	// The order must respect the DAG and keep the surviving group
+	// contiguous; verify by reordering and checking the unitary.
+	r := c.Reorder(order)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResolveGroupsSplitsInvalid covers the split path through the shared
+// resolver (rather than via a strategy).
+func TestResolveGroupsSplitsInvalid(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(gate.RZZ(0.1, 0, 1), gate.H(1), gate.RZZ(0.2, 0, 1), gate.RZZ(0.3, 0, 1))
+	dag := circuit.BuildDAG(c)
+	// {0,2,3} is pinched by the H; the resolver must keep the valid tail
+	// {2,3} as a group.
+	groups, _, err := resolveGroups(dag, [][]int{{0, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0]) != 2 || groups[0][0] != 2 || groups[0][1] != 3 {
+		t.Fatalf("groups = %v, want [[2 3]]", groups)
+	}
+}

@@ -1,0 +1,68 @@
+package cut
+
+import (
+	"fmt"
+
+	"hsfsim/internal/circuit"
+)
+
+// CutCandidate scores one possible cut position.
+type CutCandidate struct {
+	CutPos    int
+	Crossing  int
+	Log2Paths float64
+	Blocks    int
+}
+
+// FindBestCut evaluates every cut position within balance·n of the middle
+// and returns the one minimizing the joint-cut path count (ties: the most
+// balanced). balance 0 selects 0.25, i.e. partitions between 25% and 75% of
+// the register; the memory saving of HSF degrades as the cut drifts off
+// center, so wildly unbalanced cuts are excluded.
+func FindBestCut(c *circuit.Circuit, strategy Strategy, maxBlockQubits int, balance float64) (*CutCandidate, []CutCandidate, error) {
+	if c.NumQubits < 2 {
+		return nil, nil, fmt.Errorf("cut: cannot cut a %d-qubit circuit", c.NumQubits)
+	}
+	if balance <= 0 || balance > 0.5 {
+		balance = 0.25
+	}
+	lo := int(float64(c.NumQubits)*balance) - 1
+	hi := int(float64(c.NumQubits)*(1-balance)) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > c.NumQubits-2 {
+		hi = c.NumQubits - 2
+	}
+	mid := float64(c.NumQubits-1)/2 - 0.5
+
+	var all []CutCandidate
+	var best *CutCandidate
+	for pos := lo; pos <= hi; pos++ {
+		p := Partition{CutPos: pos}
+		plan, err := BuildPlan(c, Options{Partition: p, Strategy: strategy, MaxBlockQubits: maxBlockQubits})
+		if err != nil {
+			return nil, nil, err
+		}
+		cand := CutCandidate{
+			CutPos:    pos,
+			Crossing:  len(CrossingGateIndices(c, p)),
+			Log2Paths: plan.Log2Paths(),
+			Blocks:    plan.NumBlocks(),
+		}
+		all = append(all, cand)
+		if best == nil || cand.Log2Paths < best.Log2Paths ||
+			(cand.Log2Paths == best.Log2Paths && absF(float64(pos)-mid) < absF(float64(best.CutPos)-mid)) {
+			b := cand
+			best = &b
+		}
+	}
+	return best, all, nil
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,71 @@
+package cut
+
+import (
+	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+)
+
+func TestFindBestCutPrefersSparseBoundary(t *testing.T) {
+	// Two dense 4-qubit clusters {0..3}, {4..7} with one weak link: the best
+	// cut is after qubit 3.
+	c := circuit.New(8)
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			c.Append(gate.RZZ(0.3, a, b))
+			c.Append(gate.RZZ(0.4, a+4, b+4))
+		}
+	}
+	c.Append(gate.RZZ(0.5, 3, 4))
+	best, all, err := FindBestCut(c, StrategyCascade, 0, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.CutPos != 3 {
+		t.Fatalf("best cut = %d, want 3 (candidates %+v)", best.CutPos, all)
+	}
+	if best.Crossing != 1 {
+		t.Fatalf("crossing = %d, want 1", best.Crossing)
+	}
+	if len(all) == 0 {
+		t.Fatal("no candidates returned")
+	}
+}
+
+func TestFindBestCutBalanceWindow(t *testing.T) {
+	c := circuit.New(8)
+	c.Append(gate.RZZ(0.2, 0, 7))
+	_, all, err := FindBestCut(c, StrategyCascade, 0, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cand := range all {
+		if cand.CutPos < 1 || cand.CutPos > 5 {
+			t.Fatalf("candidate %d outside the 25%%-75%% balance window", cand.CutPos)
+		}
+	}
+}
+
+func TestFindBestCutErrors(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(gate.H(0))
+	if _, _, err := FindBestCut(c, StrategyCascade, 0, 0.25); err == nil {
+		t.Fatal("single-qubit circuit accepted")
+	}
+}
+
+func TestFindBestCutTieBreakPrefersCenter(t *testing.T) {
+	// No multi-qubit gates at all: every cut has 0 paths; the middle wins.
+	c := circuit.New(9)
+	for q := 0; q < 9; q++ {
+		c.Append(gate.H(q))
+	}
+	best, _, err := FindBestCut(c, StrategyCascade, 0, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.CutPos != 3 && best.CutPos != 4 {
+		t.Fatalf("best cut = %d, want near center", best.CutPos)
+	}
+}

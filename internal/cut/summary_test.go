@@ -1,0 +1,59 @@
+package cut
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+)
+
+func TestSummarizeAndJSON(t *testing.T) {
+	c := circuit.New(5)
+	c.Append(
+		gate.RZZ(0.3, 1, 2), gate.RZZ(0.4, 1, 3), // cascade block
+		gate.SWAP(0, 4), // separate, rank 4
+	)
+	plan, err := BuildPlan(c, Options{Partition: Partition{CutPos: 1}, Strategy: StrategyCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Summarize()
+	if s.NumQubits != 5 || s.CutPos != 1 {
+		t.Fatalf("header wrong: %+v", s)
+	}
+	if s.NumCuts != 2 || s.NumBlocks != 1 || s.NumSeparateCuts != 1 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.NumPaths != 8 || !s.NumPathsExact {
+		t.Fatalf("paths = %d exact=%v, want 8 exact", s.NumPaths, s.NumPathsExact)
+	}
+	foundBlock := false
+	for _, cs := range s.Cuts {
+		if cs.Block {
+			foundBlock = true
+			if cs.Rank != 2 || cs.NumGates != 2 {
+				t.Fatalf("block summary wrong: %+v", cs)
+			}
+			if cs.TopSigma <= 0 {
+				t.Fatal("missing top sigma")
+			}
+		}
+	}
+	if !foundBlock {
+		t.Fatal("no block in summary")
+	}
+
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Summary
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.NumCuts != s.NumCuts || round.Log2Paths != s.Log2Paths {
+		t.Fatal("JSON round trip lost fields")
+	}
+}

@@ -1,0 +1,47 @@
+package cut
+
+import (
+	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+)
+
+func TestMaxCutRankTruncates(t *testing.T) {
+	// A SWAP has rank 4; truncating to 2 halves the paths and flags the cut.
+	c := circuit.New(2)
+	c.Append(gate.SWAP(0, 1))
+	exact, err := BuildPlan(c, Options{Partition: Partition{CutPos: 0}, Strategy: StrategyNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc, err := BuildPlan(c, Options{Partition: Partition{CutPos: 0}, Strategy: StrategyNone, MaxCutRank: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, _ := exact.NumPaths()
+	nt, _ := trunc.NumPaths()
+	if ne != 4 || nt != 2 {
+		t.Fatalf("paths = %d/%d, want 4/2", ne, nt)
+	}
+	if exact.Cuts[0].Truncated || !trunc.Cuts[0].Truncated {
+		t.Fatal("truncation flags wrong")
+	}
+	// Terms are sorted by σ descending, so the kept weight dominates.
+	kept := trunc.Cuts[0].Terms
+	if kept[0].Sigma < kept[1].Sigma {
+		t.Fatal("terms not sorted by sigma")
+	}
+}
+
+func TestMaxCutRankNoEffectOnLowRank(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(gate.RZZ(0.4, 0, 1))
+	plan, err := BuildPlan(c, Options{Partition: Partition{CutPos: 0}, Strategy: StrategyNone, MaxCutRank: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cuts[0].Truncated {
+		t.Fatal("rank-2 cut should not be flagged truncated by a rank-4 budget")
+	}
+}

@@ -1,0 +1,112 @@
+package dd
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsfsim/internal/gate"
+	"hsfsim/internal/statevec"
+)
+
+func TestApplyGateToIsFunctional(t *testing.T) {
+	// ApplyGateTo must leave the source state intact — the property that
+	// makes Feynman-path branching free on DDs.
+	d := New(3, 0)
+	h := gate.H(0)
+	if err := d.ApplyGate(&h); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Root()
+	beforeAmp := d.AmplitudeOf(before, 0)
+
+	x := gate.X(1)
+	after, err := d.ApplyGateTo(before, &x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The old root still denotes the pre-gate state.
+	if got := d.AmplitudeOf(before, 0); cmplx.Abs(got-beforeAmp) > 1e-12 {
+		t.Fatal("source state mutated by ApplyGateTo")
+	}
+	// The new root has the gate applied: |0> component moved to qubit-1=1.
+	if got := d.AmplitudeOf(after, 0b010); cmplx.Abs(got-beforeAmp) > 1e-12 {
+		t.Fatalf("new state wrong: %v", got)
+	}
+	if got := d.AmplitudeOf(after, 0); cmplx.Abs(got) > 1e-12 {
+		t.Fatal("new state kept old component")
+	}
+}
+
+func TestBranchingSharesNodes(t *testing.T) {
+	// Applying two different gates to the same root must keep both results
+	// addressable — the DD analogue of cloning the statevector.
+	d := New(4, 0)
+	for q := 0; q < 4; q++ {
+		h := gate.H(q)
+		if err := d.ApplyGate(&h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := d.Root()
+	z := gate.Z(2)
+	x := gate.X(2)
+	bz, err := d.ApplyGateTo(root, &z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, err := d.ApplyGateTo(root, &x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |+>⊗4 under X on qubit 2 is unchanged; under Z the qubit-2=1 branch
+	// flips sign.
+	if cmplx.Abs(d.AmplitudeOf(bx, 0)-0.25) > 1e-10 {
+		t.Fatal("X branch wrong")
+	}
+	if cmplx.Abs(d.AmplitudeOf(bz, 0b0100)+0.25) > 1e-10 {
+		t.Fatal("Z branch wrong")
+	}
+	if cmplx.Abs(d.AmplitudeOf(root, 0b0100)-0.25) > 1e-10 {
+		t.Fatal("root branch mutated")
+	}
+}
+
+func TestAmplitudeMatchesExpansionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		c := randomCircuit(rng, n, 8)
+		d := New(n, 0)
+		if err := d.ApplyCircuit(c); err != nil {
+			return false
+		}
+		dense := d.ToStatevector()
+		for x := 0; x < len(dense); x++ {
+			if cmplx.Abs(dense[x]-d.Amplitude(uint64(x))) > 1e-10 {
+				return false
+			}
+		}
+		// FillStatevector agrees too.
+		buf := make([]complex128, len(dense))
+		d.FillStatevector(d.Root(), buf)
+		return statevec.MaxAbsDiff(statevec.State(buf), dense) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetRoot(t *testing.T) {
+	d := New(2, 0)
+	h := gate.H(0)
+	branch, err := d.ApplyGateTo(d.Root(), &h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetRoot(branch)
+	if cmplx.Abs(d.Amplitude(1)) < 0.5 {
+		t.Fatal("SetRoot did not switch states")
+	}
+}

@@ -1,0 +1,55 @@
+package draw
+
+import (
+	"strings"
+	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cut"
+	"hsfsim/internal/gate"
+)
+
+func TestCircuitRendersBlocksAndCut(t *testing.T) {
+	c := circuit.New(5)
+	c.Append(
+		gate.H(0),
+		gate.RZZ(0.3, 1, 2), gate.RZZ(0.4, 1, 3), // cascade -> block B0
+		gate.SWAP(0, 4), // separate cut
+	)
+	plan, err := cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: 1}, Strategy: cut.StrategyCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Circuit(c, plan)
+	if !strings.Contains(out, "B0") {
+		t.Fatalf("no block tag in rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "S") {
+		t.Fatalf("no separate-cut tag in rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "<- cut") {
+		t.Fatalf("no cut marker in rendering:\n%s", out)
+	}
+	// Every qubit wire must be present.
+	for _, w := range []string{"q0", "q1", "q2", "q3", "q4"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("wire %s missing:\n%s", w, out)
+		}
+	}
+	if Legend() == "" {
+		t.Fatal("empty legend")
+	}
+}
+
+func TestCircuitRendersLocalGates(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(gate.H(0), gate.X(2), gate.RZZ(0.2, 1, 2))
+	plan, err := cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: 1}, Strategy: cut.StrategyNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Circuit(c, plan)
+	if !strings.Contains(out, "H") || !strings.Contains(out, "X") {
+		t.Fatalf("local gate initials missing:\n%s", out)
+	}
+}

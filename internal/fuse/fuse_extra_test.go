@@ -1,0 +1,54 @@
+package fuse
+
+import (
+	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+)
+
+func TestFuseBridgingGateMergesClusters(t *testing.T) {
+	// Two independent single-qubit clusters bridged by a CNOT: with a
+	// 2-qubit budget everything collapses into one cluster.
+	c := circuit.New(2)
+	c.Append(gate.H(0), gate.T(0), gate.H(1), gate.S(1), gate.CNOT(0, 1))
+	f := Fuse(c.Gates, 2)
+	if len(f) != 1 {
+		t.Fatalf("fused to %d gates, want 1", len(f))
+	}
+	if !cmat.EqualTol(c.Unitary(), (&circuit.Circuit{NumQubits: 2, Gates: f}).Unitary(), 1e-9) {
+		t.Fatal("bridged fusion changed the unitary")
+	}
+}
+
+func TestFuseClosesWhenBudgetExceeded(t *testing.T) {
+	// A chain of CNOTs over 4 qubits with a 2-qubit budget must close
+	// clusters instead of growing them.
+	c := circuit.New(4)
+	c.Append(gate.CNOT(0, 1), gate.CNOT(1, 2), gate.CNOT(2, 3))
+	f := Fuse(c.Gates, 2)
+	for _, g := range f {
+		if g.NumQubits() > 2 {
+			t.Fatalf("cluster exceeds budget: %d qubits", g.NumQubits())
+		}
+	}
+	if !cmat.EqualTol(c.Unitary(), (&circuit.Circuit{NumQubits: 4, Gates: f}).Unitary(), 1e-9) {
+		t.Fatal("budget-limited fusion changed the unitary")
+	}
+}
+
+func TestFuseKeepsDiagonalRunsCorrect(t *testing.T) {
+	// Diagonal-heavy circuits (QAOA problem layers) must fuse exactly.
+	c := circuit.New(3)
+	c.Append(
+		gate.RZZ(0.2, 0, 1), gate.RZ(0.3, 0), gate.RZZ(0.4, 0, 1),
+		gate.CZ(1, 2), gate.RZ(0.5, 2),
+	)
+	for _, maxQ := range []int{2, 3} {
+		f := FuseCircuit(c, maxQ)
+		if !cmat.EqualTol(c.Unitary(), f.Unitary(), 1e-9) {
+			t.Fatalf("maxQ=%d: diagonal fusion changed the unitary", maxQ)
+		}
+	}
+}

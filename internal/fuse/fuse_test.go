@@ -1,0 +1,136 @@
+package fuse
+
+import (
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+)
+
+// randomCircuit builds a random circuit mixing 1- and 2-qubit library gates.
+func randomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			c.Append(gate.H(rng.Intn(n)))
+		case 1:
+			c.Append(gate.RX(rng.Float64()*3, rng.Intn(n)))
+		case 2:
+			c.Append(gate.T(rng.Intn(n)))
+		case 3, 4:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.Append(gate.CNOT(a, b))
+		default:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.Append(gate.RZZ(rng.Float64(), a, b))
+		}
+	}
+	return c
+}
+
+func TestFusePreservesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.Intn(3)
+		c := randomCircuit(rng, n, 5+rng.Intn(15))
+		for _, maxQ := range []int{1, 2, 3, 4} {
+			f := FuseCircuit(c, maxQ)
+			if err := f.Validate(); err != nil {
+				t.Fatalf("trial %d maxQ %d: %v", trial, maxQ, err)
+			}
+			if !cmat.EqualTol(c.Unitary(), f.Unitary(), 1e-9) {
+				t.Fatalf("trial %d maxQ %d: fusion changed the unitary (%d -> %d gates)",
+					trial, maxQ, len(c.Gates), len(f.Gates))
+			}
+		}
+	}
+}
+
+func TestFuseReducesGateCount(t *testing.T) {
+	// A chain of single-qubit gates on one qubit must fuse to one gate.
+	c := circuit.New(1)
+	c.Append(gate.H(0), gate.T(0), gate.S(0), gate.X(0))
+	f := Fuse(c.Gates, 2)
+	if len(f) != 1 {
+		t.Fatalf("chain fused to %d gates, want 1", len(f))
+	}
+	// Singles around a CNOT fuse into the CNOT's cluster.
+	c = circuit.New(2)
+	c.Append(gate.H(0), gate.H(1), gate.CNOT(0, 1), gate.T(0), gate.T(1))
+	f = Fuse(c.Gates, 2)
+	if len(f) != 1 {
+		t.Fatalf("CNOT sandwich fused to %d gates, want 1", len(f))
+	}
+}
+
+func TestFuseRespectsMaxQubits(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	c := randomCircuit(rng, 6, 30)
+	for _, maxQ := range []int{1, 2, 3} {
+		for _, g := range Fuse(c.Gates, maxQ) {
+			if g.NumQubits() > maxQ && g.NumQubits() <= maxQ {
+				t.Fatalf("fused gate exceeds budget: %d > %d", g.NumQubits(), maxQ)
+			}
+		}
+	}
+	// maxQ=1 must leave 2-qubit gates untouched (pass-through).
+	f := Fuse(c.Gates, 1)
+	two := 0
+	for _, g := range f {
+		if g.NumQubits() == 2 {
+			two++
+		}
+	}
+	if two != c.NumTwoQubitGates() {
+		t.Fatalf("maxQ=1 changed two-qubit gate count: %d vs %d", two, c.NumTwoQubitGates())
+	}
+}
+
+func TestFuseEmptyAndSingle(t *testing.T) {
+	if out := Fuse(nil, 2); len(out) != 0 {
+		t.Fatal("fusing empty list should yield empty list")
+	}
+	g := gate.H(0)
+	out := Fuse([]gate.Gate{g}, 2)
+	if len(out) != 1 || out[0].Name != "h" {
+		t.Fatal("single gate should pass through with its name")
+	}
+}
+
+func TestFuseLargeGatePassThrough(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(gate.H(0), gate.CCX(0, 1, 2), gate.H(2))
+	f := Fuse(c.Gates, 2)
+	found := false
+	for _, g := range f {
+		if g.Name == "ccx" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("3-qubit gate should pass through a 2-qubit fusion budget")
+	}
+	if !cmat.EqualTol(c.Unitary(), (&circuit.Circuit{NumQubits: 3, Gates: f}).Unitary(), 1e-9) {
+		t.Fatal("pass-through fusion changed unitary")
+	}
+}
+
+func TestFuseDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := randomCircuit(rng, 5, 25)
+	a := Fuse(c.Gates, 3)
+	b := Fuse(c.Gates, 3)
+	if len(a) != len(b) {
+		t.Fatal("fusion not deterministic in length")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("fusion not deterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package gate
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"hsfsim/internal/cmat"
+)
+
+func TestControlledRotationsUnitary(t *testing.T) {
+	for _, g := range []Gate{CRX(0.7, 0, 1), CRY(-1.1, 0, 1), CRZ(2.3, 0, 1)} {
+		if !g.IsUnitary(1e-12) {
+			t.Errorf("%s not unitary", g.Name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestControlledRotationBlockStructure(t *testing.T) {
+	theta := 0.9
+	g := CRX(theta, 0, 1)
+	u := RX(theta, 0).Matrix
+	// Control off (bit 0 = 0): identity on indices {0, 2}.
+	if cmplx.Abs(g.Matrix.At(0, 0)-1) > 1e-12 || cmplx.Abs(g.Matrix.At(2, 2)-1) > 1e-12 {
+		t.Fatal("control-off block not identity")
+	}
+	// Control on: U on indices {1, 3}.
+	if cmplx.Abs(g.Matrix.At(1, 1)-u.At(0, 0)) > 1e-12 ||
+		cmplx.Abs(g.Matrix.At(1, 3)-u.At(0, 1)) > 1e-12 ||
+		cmplx.Abs(g.Matrix.At(3, 3)-u.At(1, 1)) > 1e-12 {
+		t.Fatal("control-on block wrong")
+	}
+}
+
+func TestCRZIsDiagonal(t *testing.T) {
+	if !CRZ(0.4, 0, 1).Diagonal {
+		t.Fatal("CRZ should be diagonal")
+	}
+	if CRX(0.4, 0, 1).Diagonal {
+		t.Fatal("CRX should not be diagonal")
+	}
+}
+
+func TestCRZRelatesToCPhase(t *testing.T) {
+	// CRZ(θ) = e^{-iθ/4}-twisted CPhase: CP(θ) = e^{iθ/2}·CRZ(θ) on the
+	// control-on block; verify via matrix identity CP(θ) = P(θ/2)_c · CRZ(θ).
+	theta := 1.3
+	crz := CRZ(theta, 0, 1).Matrix
+	pc := cmat.Kron(cmat.Identity(2), P(theta/2, 0).Matrix) // P on control=bit0
+	got := cmat.Mul(pc, crz)
+	want := CPhase(theta, 0, 1).Matrix
+	if !cmat.EqualTol(got, want, 1e-12) {
+		t.Fatal("P(θ/2)_c · CRZ(θ) != CP(θ)")
+	}
+}

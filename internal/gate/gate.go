@@ -1,0 +1,161 @@
+// Package gate defines the quantum gate library used throughout the
+// simulator: a Gate couples a unitary matrix with the circuit qubits it acts
+// on and bookkeeping (name, parameters, diagonality) needed by the cut
+// planner and the fusion pass.
+//
+// Bit convention: Qubits[k] supplies bit k of the matrix index, i.e.
+// Qubits[0] is the least significant bit. A gate on qubits [c, t] therefore
+// has a 4×4 matrix indexed by (t<<1 | c).
+package gate
+
+import (
+	"fmt"
+	"math/cmplx"
+	"strings"
+
+	"hsfsim/internal/cmat"
+)
+
+// Gate is a k-qubit operation. The matrix is 2^k × 2^k with k = len(Qubits).
+// Gates need not be unitary: the Schmidt-decomposed cut terms produced by HSF
+// simulation (e.g. the projectors of a CNOT decomposition) reuse this type.
+type Gate struct {
+	// Name identifies the gate family (e.g. "h", "rzz", "fused", "cut-term").
+	Name string
+	// Qubits lists the circuit qubits the gate acts on; Qubits[k] is bit k of
+	// the matrix index.
+	Qubits []int
+	// Params holds gate parameters (rotation angles), if any.
+	Params []float64
+	// Matrix is the 2^k×2^k operator in the bit convention above.
+	Matrix *cmat.Matrix
+	// Diagonal records that Matrix is diagonal, enabling cheap commutation
+	// checks and faster application.
+	Diagonal bool
+}
+
+// NumQubits returns the number of qubits the gate acts on.
+func (g *Gate) NumQubits() int { return len(g.Qubits) }
+
+// Validate checks internal consistency: matching matrix size, distinct
+// qubits, and non-negative indices.
+func (g *Gate) Validate() error {
+	k := len(g.Qubits)
+	if k == 0 {
+		return fmt.Errorf("gate %q: no qubits", g.Name)
+	}
+	dim := 1 << k
+	if g.Matrix == nil || g.Matrix.Rows != dim || g.Matrix.Cols != dim {
+		return fmt.Errorf("gate %q: matrix is not %dx%d", g.Name, dim, dim)
+	}
+	seen := make(map[int]bool, k)
+	for _, q := range g.Qubits {
+		if q < 0 {
+			return fmt.Errorf("gate %q: negative qubit %d", g.Name, q)
+		}
+		if seen[q] {
+			return fmt.Errorf("gate %q: duplicate qubit %d", g.Name, q)
+		}
+		seen[q] = true
+	}
+	return nil
+}
+
+// MaxQubit returns the largest qubit index the gate touches.
+func (g *Gate) MaxQubit() int {
+	m := 0
+	for _, q := range g.Qubits {
+		if q > m {
+			m = q
+		}
+	}
+	return m
+}
+
+// Touches reports whether the gate acts on qubit q.
+func (g *Gate) Touches(q int) bool {
+	for _, x := range g.Qubits {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}
+
+// SharesQubit reports whether g and h act on at least one common qubit.
+func (g *Gate) SharesQubit(h *Gate) bool {
+	for _, q := range g.Qubits {
+		if h.Touches(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the gate.
+func (g *Gate) Clone() Gate {
+	c := Gate{
+		Name:     g.Name,
+		Qubits:   append([]int(nil), g.Qubits...),
+		Diagonal: g.Diagonal,
+		Matrix:   g.Matrix.Clone(),
+	}
+	if g.Params != nil {
+		c.Params = append([]float64(nil), g.Params...)
+	}
+	return c
+}
+
+// Remap returns a copy of the gate with each qubit q replaced by f(q).
+// Used when extracting partition-local subcircuits in HSF simulation.
+func (g *Gate) Remap(f func(int) int) Gate {
+	c := g.Clone()
+	for i, q := range c.Qubits {
+		c.Qubits[i] = f(q)
+	}
+	return c
+}
+
+// IsUnitary reports whether the gate matrix is unitary within tol.
+func (g *Gate) IsUnitary(tol float64) bool { return g.Matrix.IsUnitary(tol) }
+
+// String renders a compact description like "rzz(0.500)[2 5]".
+func (g Gate) String() string {
+	var sb strings.Builder
+	sb.WriteString(g.Name)
+	if len(g.Params) > 0 {
+		sb.WriteString("(")
+		for i, p := range g.Params {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "%.3f", p)
+		}
+		sb.WriteString(")")
+	}
+	fmt.Fprintf(&sb, "%v", g.Qubits)
+	return sb.String()
+}
+
+// checkDiagonal computes the Diagonal flag from the matrix.
+func checkDiagonal(m *cmat.Matrix) bool {
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j && cmplx.Abs(m.At(i, j)) > 1e-14 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// New builds a gate from an explicit matrix, computing the diagonal flag.
+func New(name string, matrix *cmat.Matrix, params []float64, qubits ...int) Gate {
+	return Gate{
+		Name:     name,
+		Qubits:   qubits,
+		Params:   params,
+		Matrix:   matrix,
+		Diagonal: checkDiagonal(matrix),
+	}
+}

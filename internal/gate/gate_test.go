@@ -1,0 +1,277 @@
+package gate
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsfsim/internal/cmat"
+)
+
+const tol = 1e-12
+
+// allUnitaryGates builds one instance of every unitary gate in the library.
+func allUnitaryGates() []Gate {
+	return []Gate{
+		I(0), X(0), Y(0), Z(0), H(0), S(0), Sdg(0), T(0), Tdg(0),
+		SX(0), SY(0), SW(0),
+		RX(0.7, 0), RY(1.3, 0), RZ(-0.4, 0), P(2.1, 0), U3(0.3, 1.1, -0.8, 0),
+		CNOT(0, 1), CZ(0, 1), CPhase(0.9, 0, 1), SWAP(0, 1), ISWAP(0, 1),
+		RZZ(0.5, 0, 1), RXX(0.8, 0, 1), RYY(-1.2, 0, 1), FSim(0.5, 0.3, 0, 1),
+		CCX(0, 1, 2), CCZ(0, 1, 2),
+	}
+}
+
+func TestAllGatesUnitary(t *testing.T) {
+	for _, g := range allUnitaryGates() {
+		if !g.IsUnitary(tol) {
+			t.Errorf("%s is not unitary", g.Name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	x, y, z := X(0).Matrix, Y(0).Matrix, Z(0).Matrix
+	// XY = iZ
+	if !cmat.EqualTol(cmat.Mul(x, y), cmat.Scale(1i, z), tol) {
+		t.Error("XY != iZ")
+	}
+	// X² = Y² = Z² = I
+	id := cmat.Identity(2)
+	for n, m := range map[string]*cmat.Matrix{"X": x, "Y": y, "Z": z} {
+		if !cmat.EqualTol(cmat.Mul(m, m), id, tol) {
+			t.Errorf("%s^2 != I", n)
+		}
+	}
+}
+
+func TestHadamardConjugation(t *testing.T) {
+	h := H(0).Matrix
+	// H X H = Z
+	if !cmat.EqualTol(cmat.Mul(cmat.Mul(h, X(0).Matrix), h), Z(0).Matrix, tol) {
+		t.Error("HXH != Z")
+	}
+}
+
+func TestSquareRootGates(t *testing.T) {
+	cases := []struct {
+		name string
+		half Gate
+		full *cmat.Matrix
+	}{
+		{"sx", SX(0), X(0).Matrix},
+		{"sy", SY(0), Y(0).Matrix},
+		{"s", S(0), Z(0).Matrix},
+	}
+	for _, c := range cases {
+		sq := cmat.Mul(c.half.Matrix, c.half.Matrix)
+		if !cmat.EqualTol(sq, c.full, tol) {
+			t.Errorf("%s squared != full gate", c.name)
+		}
+	}
+	// SW² = (X+Y)/√2
+	w := cmat.Scale(complex(math.Sqrt2/2, 0), cmat.Add(X(0).Matrix, Y(0).Matrix))
+	if !cmat.EqualTol(cmat.Mul(SW(0).Matrix, SW(0).Matrix), w, tol) {
+		t.Error("SW squared != (X+Y)/sqrt2")
+	}
+}
+
+func TestRotationsComposition(t *testing.T) {
+	// RZ(a)·RZ(b) = RZ(a+b)
+	a, b := 0.7, -1.2
+	got := cmat.Mul(RZ(a, 0).Matrix, RZ(b, 0).Matrix)
+	if !cmat.EqualTol(got, RZ(a+b, 0).Matrix, tol) {
+		t.Error("RZ(a)RZ(b) != RZ(a+b)")
+	}
+	// RX(2π) = -I
+	if !cmat.EqualTol(RX(2*math.Pi, 0).Matrix, cmat.Scale(-1, cmat.Identity(2)), 1e-9) {
+		t.Error("RX(2pi) != -I")
+	}
+}
+
+func TestCNOTAction(t *testing.T) {
+	g := CNOT(0, 1) // bit0 = control, bit1 = target
+	// |c=1,t=0> = index 1 maps to |c=1,t=1> = index 3.
+	v := []complex128{0, 1, 0, 0}
+	out := cmat.MulVec(g.Matrix, v)
+	want := []complex128{0, 0, 0, 1}
+	for i := range want {
+		if cmplx.Abs(out[i]-want[i]) > tol {
+			t.Fatalf("CNOT|01> -> %v, want %v", out, want)
+		}
+	}
+	// |c=0,t=1> = index 2 unchanged.
+	v = []complex128{0, 0, 1, 0}
+	out = cmat.MulVec(g.Matrix, v)
+	if cmplx.Abs(out[2]-1) > tol {
+		t.Fatalf("CNOT|10> changed control-off state: %v", out)
+	}
+}
+
+func TestSWAPAction(t *testing.T) {
+	g := SWAP(0, 1)
+	v := []complex128{0, 1, 0, 0} // |q1=0 q0=1>
+	out := cmat.MulVec(g.Matrix, v)
+	if cmplx.Abs(out[2]-1) > tol { // |q1=1 q0=0>
+		t.Fatalf("SWAP|01> -> %v", out)
+	}
+}
+
+func TestRZZDiagonalAndSymmetric(t *testing.T) {
+	g := RZZ(0.9, 0, 1)
+	if !g.Diagonal {
+		t.Error("RZZ should be flagged diagonal")
+	}
+	// ZZ eigenvalue structure: entries 00 and 11 equal, 01 and 10 equal.
+	m := g.Matrix
+	if cmplx.Abs(m.At(0, 0)-m.At(3, 3)) > tol || cmplx.Abs(m.At(1, 1)-m.At(2, 2)) > tol {
+		t.Error("RZZ diagonal structure wrong")
+	}
+	// RZZ(θ) equals exp of sum: RZZ(a)RZZ(b) = RZZ(a+b)
+	got := cmat.Mul(RZZ(0.4, 0, 1).Matrix, RZZ(0.3, 0, 1).Matrix)
+	if !cmat.EqualTol(got, RZZ(0.7, 0, 1).Matrix, tol) {
+		t.Error("RZZ(a)RZZ(b) != RZZ(a+b)")
+	}
+}
+
+func TestDiagonalFlags(t *testing.T) {
+	diag := []Gate{Z(0), S(0), Sdg(0), T(0), Tdg(0), RZ(0.3, 0), P(0.4, 0), CZ(0, 1), CPhase(0.2, 0, 1), RZZ(0.1, 0, 1), CCZ(0, 1, 2)}
+	for _, g := range diag {
+		if !g.Diagonal {
+			t.Errorf("%s should be diagonal", g.Name)
+		}
+	}
+	nondiag := []Gate{X(0), H(0), RX(0.3, 0), CNOT(0, 1), SWAP(0, 1), ISWAP(0, 1), FSim(0.2, 0.3, 0, 1)}
+	for _, g := range nondiag {
+		if g.Diagonal {
+			t.Errorf("%s should not be diagonal", g.Name)
+		}
+	}
+}
+
+func TestCCXAction(t *testing.T) {
+	g := CCX(0, 1, 2)
+	// |c1=1,c2=1,t=0> = index 3 -> index 7.
+	v := make([]complex128, 8)
+	v[3] = 1
+	out := cmat.MulVec(g.Matrix, v)
+	if cmplx.Abs(out[7]-1) > tol {
+		t.Fatalf("CCX|011> -> %v", out)
+	}
+	// Single control set: unchanged.
+	v = make([]complex128, 8)
+	v[1] = 1
+	out = cmat.MulVec(g.Matrix, v)
+	if cmplx.Abs(out[1]-1) > tol {
+		t.Fatalf("CCX|001> changed: %v", out)
+	}
+}
+
+func TestFSimSpecialCases(t *testing.T) {
+	// FSim(π/2, 0) acts like an iSWAP up to the phase convention (-i vs i).
+	f := FSim(math.Pi/2, 0, 0, 1).Matrix
+	if cmplx.Abs(f.At(1, 2)+1i) > tol || cmplx.Abs(f.At(2, 1)+1i) > tol {
+		t.Error("FSim(pi/2,0) off-diagonal should be -i")
+	}
+	// FSim(0, -φ) equals CPhase(φ).
+	if !cmat.EqualTol(FSim(0, -0.8, 0, 1).Matrix, CPhase(0.8, 0, 1).Matrix, tol) {
+		t.Error("FSim(0,-phi) != CPhase(phi)")
+	}
+}
+
+func TestRemapAndClone(t *testing.T) {
+	g := RZZ(0.5, 2, 7)
+	r := g.Remap(func(q int) int { return q - 2 })
+	if r.Qubits[0] != 0 || r.Qubits[1] != 5 {
+		t.Fatalf("Remap gave %v", r.Qubits)
+	}
+	if g.Qubits[0] != 2 {
+		t.Fatal("Remap mutated the original")
+	}
+	c := g.Clone()
+	c.Matrix.Set(0, 0, 99)
+	if g.Matrix.At(0, 0) == 99 {
+		t.Fatal("Clone shares matrix storage")
+	}
+}
+
+func TestValidateRejectsBadGates(t *testing.T) {
+	g := Gate{Name: "bad", Qubits: []int{0, 0}, Matrix: cmat.Identity(4)}
+	if err := g.Validate(); err == nil {
+		t.Error("duplicate qubits not rejected")
+	}
+	g = Gate{Name: "bad", Qubits: []int{0}, Matrix: cmat.Identity(4)}
+	if err := g.Validate(); err == nil {
+		t.Error("wrong matrix size not rejected")
+	}
+	g = Gate{Name: "bad", Qubits: []int{-1}, Matrix: cmat.Identity(2)}
+	if err := g.Validate(); err == nil {
+		t.Error("negative qubit not rejected")
+	}
+	g = Gate{Name: "bad"}
+	if err := g.Validate(); err == nil {
+		t.Error("empty gate not rejected")
+	}
+}
+
+func TestTouchesAndShares(t *testing.T) {
+	g := CNOT(1, 3)
+	h := CZ(3, 5)
+	k := X(0)
+	if !g.Touches(1) || !g.Touches(3) || g.Touches(2) {
+		t.Error("Touches wrong")
+	}
+	if !g.SharesQubit(&h) || g.SharesQubit(&k) {
+		t.Error("SharesQubit wrong")
+	}
+	if g.MaxQubit() != 3 {
+		t.Error("MaxQubit wrong")
+	}
+}
+
+func TestU3Generality(t *testing.T) {
+	// U3(π,0,π) = X, U3(π/2,0,π) = H up to global phase conventions.
+	if !cmat.EqualTol(U3(math.Pi, 0, math.Pi, 0).Matrix, X(0).Matrix, 1e-12) {
+		t.Error("U3(pi,0,pi) != X")
+	}
+	if !cmat.EqualTol(U3(math.Pi/2, 0, math.Pi, 0).Matrix, H(0).Matrix, 1e-12) {
+		t.Error("U3(pi/2,0,pi) != H")
+	}
+}
+
+func TestRotationUnitaryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		theta := rng.Float64()*8 - 4
+		phi := rng.Float64()*8 - 4
+		gates := []Gate{
+			RX(theta, 0), RY(theta, 0), RZ(theta, 0),
+			RZZ(theta, 0, 1), RXX(theta, 0, 1), RYY(theta, 0, 1),
+			FSim(theta, phi, 0, 1), CPhase(phi, 0, 1), U3(theta, phi, theta*phi, 0),
+		}
+		for _, g := range gates {
+			if !g.IsUnitary(1e-10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateString(t *testing.T) {
+	s := RZZ(0.5, 0, 1).String()
+	if s != "rzz(0.500)[0 1]" {
+		t.Errorf("String() = %q", s)
+	}
+	if H(3).String() != "h[3]" {
+		t.Errorf("String() = %q", H(3).String())
+	}
+}

@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 0, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 3, 1); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if err := g.AddEdge(2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e := g.Edges[0]; e.U != 1 || e.V != 2 {
+		t.Fatal("edge not normalized")
+	}
+}
+
+func TestSBMStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	g, err := TwoBlockModel(8, 8, 1.0, 0.0, rng) // complete blocks, no crossing
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (8 * 7 / 2)
+	if g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	if g.CrossingEdges(7) != 0 {
+		t.Fatal("crossing edges with p_inter=0")
+	}
+	g, err = TwoBlockModel(4, 4, 0.0, 1.0, rng) // complete bipartite
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 16 || g.CrossingEdges(3) != 16 {
+		t.Fatalf("bipartite: %d edges, %d crossing", g.NumEdges(), g.CrossingEdges(3))
+	}
+}
+
+func TestSBMEdgeProbabilityStatistics(t *testing.T) {
+	// Empirical edge density must match p within a loose statistical bound.
+	rng := rand.New(rand.NewSource(71))
+	const trials = 30
+	var intra, inter float64
+	for i := 0; i < trials; i++ {
+		g, err := TwoBlockModel(10, 10, 0.8, 0.1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cross := g.CrossingEdges(9)
+		inter += float64(cross)
+		intra += float64(g.NumEdges() - cross)
+	}
+	intraPairs := float64(trials * 2 * (10 * 9 / 2))
+	interPairs := float64(trials * 100)
+	if p := intra / intraPairs; math.Abs(p-0.8) > 0.05 {
+		t.Fatalf("empirical p_intra = %g, want ~0.8", p)
+	}
+	if p := inter / interPairs; math.Abs(p-0.1) > 0.05 {
+		t.Fatalf("empirical p_inter = %g, want ~0.1", p)
+	}
+}
+
+func TestSBMDeterministicWithSeed(t *testing.T) {
+	a, _ := TwoBlockModel(6, 6, 0.5, 0.2, rand.New(rand.NewSource(5)))
+	b, _ := TwoBlockModel(6, 6, 0.5, 0.2, rand.New(rand.NewSource(5)))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed gave different graphs")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed gave different edges")
+		}
+	}
+}
+
+func TestSBMValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	if _, err := StochasticBlockModel([]int{2}, [][]float64{{1.5}}, rng); err == nil {
+		t.Fatal("p > 1 accepted")
+	}
+	if _, err := StochasticBlockModel([]int{2, 2}, [][]float64{{0.5, 0.1}, {0.2, 0.5}}, rng); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	if _, err := StochasticBlockModel([]int{2, 2}, [][]float64{{0.5}}, rng); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := StochasticBlockModel([]int{-1}, [][]float64{{0.5}}, rng); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	g, err := ErdosRenyi(40, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := 40 * 39 / 2
+	density := float64(g.NumEdges()) / float64(pairs)
+	if math.Abs(density-0.3) > 0.08 {
+		t.Fatalf("density %g, want ~0.3", density)
+	}
+}
+
+func TestCutValue(t *testing.T) {
+	// Triangle with unit weights: any nontrivial bipartition cuts 2 edges.
+	g := New(3)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(1, 2, 1)
+	_ = g.AddEdge(0, 2, 1)
+	if v := g.CutValue(0b001); v != 2 {
+		t.Fatalf("cut = %g, want 2", v)
+	}
+	if v := g.CutValue(0); v != 0 {
+		t.Fatalf("empty cut = %g", v)
+	}
+}
+
+func TestBruteForceMaxCut(t *testing.T) {
+	// Complete bipartite K_{2,3}: max cut = 6 (all edges).
+	g := New(5)
+	for u := 0; u < 2; u++ {
+		for v := 2; v < 5; v++ {
+			_ = g.AddEdge(u, v, 1)
+		}
+	}
+	best, assign, err := g.BruteForceMaxCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 6 {
+		t.Fatalf("max cut = %g, want 6", best)
+	}
+	if g.CutValue(assign) != best {
+		t.Fatal("assignment does not achieve the reported value")
+	}
+}
+
+func TestBruteForceMatchesExhaustive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := ErdosRenyi(8, 0.5, rng)
+		if err != nil {
+			return false
+		}
+		best, _, err := g.BruteForceMaxCut()
+		if err != nil {
+			return false
+		}
+		// Exhaustive check over all assignments (not halved).
+		var m float64
+		for a := uint64(0); a < 256; a++ {
+			if v := g.CutValue(a); v > m {
+				m = v
+			}
+		}
+		return best == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedCutFromProbabilities(t *testing.T) {
+	g := New(2)
+	_ = g.AddEdge(0, 1, 3)
+	// 50/50 mix of |01> and |00>: expected cut 1.5.
+	probs := []float64{0.5, 0.5, 0, 0}
+	if e := g.ExpectedCutFromProbabilities(probs); math.Abs(e-1.5) > 1e-12 {
+		t.Fatalf("expected cut = %g, want 1.5", e)
+	}
+}
+
+func TestQUBOToMaxCutConsistency(t *testing.T) {
+	// For random small QUBOs, min_x xᵀQx must equal offset - 2·maxcut.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		q := NewQUBO(n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				w := math.Round(rng.NormFloat64()*4) / 2
+				q.Q[i][j] = w
+				q.Q[j][i] = w
+			}
+		}
+		// Brute-force QUBO minimum.
+		minV := math.Inf(1)
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			if v := q.Value(x); v < minV {
+				minV = v
+			}
+		}
+		g, offset := q.ToMaxCut()
+		// Brute-force max cut (weights may be negative; CutValue handles it).
+		best := math.Inf(-1)
+		for a := uint64(0); a < 1<<uint(g.N); a++ {
+			if v := g.CutValue(a); v > best {
+				best = v
+			}
+		}
+		return math.Abs((offset-2*best)-minV) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	g := New(4)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(0, 2, 1)
+	_ = g.AddEdge(0, 3, 1)
+	d := g.Degree()
+	if d[0] != 3 || d[1] != 1 || d[2] != 1 || d[3] != 1 {
+		t.Fatalf("degree = %v", d)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New(4)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(1, 2, 2.5) // crossing + weighted
+	_ = g.AddEdge(2, 3, 1)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph G {", "cluster_lower", "cluster_upper", "1 -- 2", "color=red", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// No clustering when cutPos < 0.
+	buf.Reset()
+	if err := g.WriteDOT(&buf, -1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "cluster") {
+		t.Fatal("unexpected clusters")
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+import "fmt"
+
+// CutValue returns the weight of edges crossing the bipartition encoded in
+// the bitmask assignment: bit v of assignment is the side of vertex v.
+func (g *Graph) CutValue(assignment uint64) float64 {
+	var w float64
+	for _, e := range g.Edges {
+		if (assignment>>uint(e.U))&1 != (assignment>>uint(e.V))&1 {
+			w += e.W
+		}
+	}
+	return w
+}
+
+// BruteForceMaxCut enumerates all bipartitions (feasible up to ~28 vertices)
+// and returns the best cut value and one optimal assignment.
+func (g *Graph) BruteForceMaxCut() (best float64, assignment uint64, err error) {
+	if g.N > 28 {
+		return 0, 0, fmt.Errorf("graph: %d vertices too many for brute force", g.N)
+	}
+	if g.N == 0 {
+		return 0, 0, nil
+	}
+	// Fixing vertex 0 on side 0 halves the search space.
+	total := uint64(1) << uint(g.N-1)
+	for a := uint64(0); a < total; a++ {
+		mask := a << 1 // vertex 0 stays 0
+		if v := g.CutValue(mask); v > best {
+			best = v
+			assignment = mask
+		}
+	}
+	return best, assignment, nil
+}
+
+// ExpectedCutFromProbabilities computes E[cut] = Σ_x p(x)·cut(x) given basis
+// state probabilities p over the first len(probs) computational basis states
+// (vertex v ↔ qubit v). Used by the QAOA example to score circuit output.
+func (g *Graph) ExpectedCutFromProbabilities(probs []float64) float64 {
+	var e float64
+	for x, p := range probs {
+		if p == 0 {
+			continue
+		}
+		e += p * g.CutValue(uint64(x))
+	}
+	return e
+}
+
+// QUBO is a quadratic unconstrained binary optimization instance:
+// minimize xᵀQx over x ∈ {0,1}^N with symmetric Q (paper Sec. V cites the
+// classic reduction of any QUBO to weighted MaxCut).
+type QUBO struct {
+	N int
+	Q [][]float64
+}
+
+// NewQUBO returns a zero QUBO on n variables.
+func NewQUBO(n int) *QUBO {
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+	}
+	return &QUBO{N: n, Q: q}
+}
+
+// Value evaluates xᵀQx for the bitmask x.
+func (q *QUBO) Value(x uint64) float64 {
+	var v float64
+	for i := 0; i < q.N; i++ {
+		if (x>>uint(i))&1 == 0 {
+			continue
+		}
+		for j := 0; j < q.N; j++ {
+			if (x>>uint(j))&1 == 1 {
+				v += q.Q[i][j]
+			}
+		}
+	}
+	return v
+}
+
+// ToMaxCut reduces the QUBO to a weighted MaxCut instance on N+1 vertices
+// using the standard transformation (Ivănescu 1965; Barahona et al. 1989):
+// variable i maps to vertex i+1, the extra vertex 0 anchors the linear
+// terms, and minimizing xᵀQx equals a constant minus the maximum cut.
+//
+// With s_i = 1-2x_i ∈ {±1} and s_0 fixed, x_i = (1-s_0·s_{i+1})/2; the cut
+// weight between u,v collects the coefficient of s_u·s_v.
+func (q *QUBO) ToMaxCut() (*Graph, float64) {
+	n := q.N
+	g := New(n + 1)
+	// Coefficient bookkeeping: x_i x_j = (1 - s_0 s_i - s_0 s_j + s_i s_j)/4
+	// (for i≠j, with s_i meaning vertex i+1); x_i² = x_i = (1 - s_0 s_i)/2.
+	// Minimize Σ Q_ij x_i x_j  ⇔  maximize the cut of the graph whose edge
+	// (u,v) weight is minus the s_u s_v coefficient, up to a constant.
+	type key struct{ u, v int }
+	coef := make(map[key]float64)
+	var constant float64
+	addPair := func(u, v int, w float64) {
+		if u == v {
+			constant += w
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		coef[key{u, v}] += w
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w := q.Q[i][j]
+			if w == 0 {
+				continue
+			}
+			if i == j {
+				// x_i = (1 - s_0 s_{i+1})/2
+				constant += w / 2
+				addPair(0, i+1, -w/2)
+			} else {
+				// x_i x_j = (1 - s_0 s_{i+1} - s_0 s_{j+1} + s_{i+1} s_{j+1})/4
+				constant += w / 4
+				addPair(0, i+1, -w/4)
+				addPair(0, j+1, -w/4)
+				addPair(i+1, j+1, w/4)
+			}
+		}
+	}
+	// s_u s_v = 1 - 2·[u,v cut]; Σ c_uv s_u s_v = Σ c_uv - 2 Σ c_uv·cut_uv.
+	// Minimizing constant + Σ c_uv s_u s_v means maximizing Σ c_uv·cut_uv.
+	var coefSum float64
+	for k, w := range coef {
+		coefSum += w
+		g.Edges = append(g.Edges, Edge{U: k.u, V: k.v, W: w})
+	}
+	g.SortEdges()
+	offset := constant + coefSum
+	// minimum QUBO value = offset - 2·maxcut(g)  (weights may be negative).
+	return g, offset
+}

@@ -1,0 +1,120 @@
+// Package grcs generates Google-random-circuit-sampling style ("supremacy")
+// circuits on a 2D qubit grid: layers of random single-qubit gates from
+// {√X, √Y, √W} interleaved with a cycling pattern of two-qubit CZ or iSWAP
+// entanglers, following Boixo et al. The paper's Sec. V notes joint cutting
+// applies to shallow instances of these circuits; this package provides the
+// workload for that extension experiment.
+package grcs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+)
+
+// EntanglerKind selects the two-qubit gate of the entangling layers.
+type EntanglerKind int
+
+// Entangler kinds.
+const (
+	CZ EntanglerKind = iota
+	ISwap
+	// FSimGate mimics Sycamore's fSim(π/2, π/6) two-qubit gate.
+	FSimGate
+)
+
+// Options configures circuit generation.
+type Options struct {
+	// Rows, Cols define the qubit grid; qubit index = r*Cols + c.
+	Rows, Cols int
+	// Depth is the number of entangling layers.
+	Depth int
+	// Entangler selects CZ (default) or iSWAP two-qubit gates.
+	Entangler EntanglerKind
+	// Seed drives the random single-qubit gate choice.
+	Seed int64
+	// Sycamore switches the entangling-pattern schedule from the simple
+	// 0,1,2,3 cycle to the ABCDCDAB sequence of the supremacy experiment,
+	// which repeats patterns at distance two and thereby exposes more
+	// same-pair entangler sandwiches to joint cutting.
+	Sycamore bool
+}
+
+// Generate builds the circuit: an initial Hadamard wall, then Depth cycles
+// of (random single-qubit layer, entangling pattern). The entangling
+// patterns alternate between vertical and horizontal neighbour pairings with
+// two offsets each, giving the standard four-pattern cycle.
+func Generate(opts Options) (*circuit.Circuit, error) {
+	if opts.Rows <= 0 || opts.Cols <= 0 {
+		return nil, fmt.Errorf("grcs: invalid grid %dx%d", opts.Rows, opts.Cols)
+	}
+	if opts.Depth < 0 {
+		return nil, fmt.Errorf("grcs: negative depth %d", opts.Depth)
+	}
+	n := opts.Rows * opts.Cols
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.Append(gate.H(q))
+	}
+	qubit := func(r, col int) int { return r*opts.Cols + col }
+	singles := []func(int) gate.Gate{gate.SX, gate.SY, gate.SW}
+	lastSingle := make([]int, n)
+	for i := range lastSingle {
+		lastSingle[i] = -1
+	}
+	for d := 0; d < opts.Depth; d++ {
+		// Random single-qubit layer: never repeat the previous gate on the
+		// same qubit (the GRCS rule preventing gate cancellation).
+		for q := 0; q < n; q++ {
+			k := rng.Intn(len(singles))
+			for k == lastSingle[q] {
+				k = rng.Intn(len(singles))
+			}
+			lastSingle[q] = k
+			c.Append(singles[k](q))
+		}
+		// Entangling pattern: either the plain 4-cycle or the supremacy
+		// experiment's ABCDCDAB 8-cycle (A=0, B=1, C=2, D=3).
+		pattern := d % 4
+		if opts.Sycamore {
+			seq := [8]int{0, 1, 2, 3, 2, 3, 0, 1}
+			pattern = seq[d%8]
+		}
+		addPair := func(a, b int) {
+			switch opts.Entangler {
+			case ISwap:
+				c.Append(gate.ISWAP(a, b))
+			case FSimGate:
+				c.Append(gate.FSim(math.Pi/2, math.Pi/6, a, b))
+			default:
+				c.Append(gate.CZ(a, b))
+			}
+		}
+		switch pattern {
+		case 0, 1: // vertical pairs (r, r+1), starting row parity = pattern
+			for r := pattern % 2; r+1 < opts.Rows; r += 2 {
+				for col := 0; col < opts.Cols; col++ {
+					addPair(qubit(r, col), qubit(r+1, col))
+				}
+			}
+		case 2, 3: // horizontal pairs (c, c+1), starting col parity
+			for r := 0; r < opts.Rows; r++ {
+				for col := pattern % 2; col+1 < opts.Cols; col += 2 {
+					addPair(qubit(r, col), qubit(r, col+1))
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// RowCutPos returns the cut position that bipartitions the grid between row
+// cutRow-1 and cutRow: all qubits of rows < cutRow are in the lower
+// partition. Only vertical entanglers cross this cut.
+func RowCutPos(opts Options, cutRow int) int {
+	return cutRow*opts.Cols - 1
+}

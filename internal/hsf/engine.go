@@ -1,0 +1,312 @@
+// Package hsf executes HSF (Hybrid Schrödinger-Feynman) simulation plans:
+// the two partition statevectors are evolved through the plan's local gates,
+// and every cut branches the simulation over its Schmidt terms. Each complete
+// branch assignment is one Feynman "path"; the amplitudes of the full state
+// are accumulated as ψ[x] += (∏σ) · up[x_a] · lo[x_b] over all paths.
+//
+// The engine shares path prefixes: cuts are processed in circuit order and a
+// branch clones the partition states only when more than one term remains,
+// so the exponential path tree re-simulates only suffixes. Independent
+// subtrees run on a worker pool.
+package hsf
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hsfsim/internal/cut"
+	"hsfsim/internal/fuse"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/statevec"
+)
+
+// ErrTimeout is returned when the simulation exceeds Options.Timeout.
+var ErrTimeout = errors.New("hsf: simulation timed out")
+
+// Options configures plan execution.
+type Options struct {
+	// MaxAmplitudes limits the output to the first M amplitudes of the full
+	// statevector (the paper computes the first 10^6). 0 means the full
+	// 2^n state.
+	MaxAmplitudes int
+	// Workers is the number of parallel path workers; 0 uses GOMAXPROCS.
+	Workers int
+	// FusionMaxQubits configures per-segment gate fusion: 0 selects
+	// fuse.DefaultMaxQubits, negative disables fusion.
+	FusionMaxQubits int
+	// Timeout aborts the simulation after the given duration (0: none),
+	// mirroring the paper's 1 h limit for standard HSF runs.
+	Timeout time.Duration
+}
+
+// Result holds the simulated amplitudes and execution statistics.
+type Result struct {
+	// Amplitudes are the first MaxAmplitudes entries of the statevector.
+	Amplitudes []complex128
+	// NumPaths is the plan's total path count (saturating at MaxUint64).
+	NumPaths uint64
+	// Log2Paths is log2 of the path count.
+	Log2Paths float64
+	// PathsSimulated counts the leaves actually reached.
+	PathsSimulated int64
+	// NumQubits is the register size.
+	NumQubits int
+	// Elapsed is the wall-clock simulation time.
+	Elapsed time.Duration
+}
+
+// segment is the run of local gates between two consecutive cuts, remapped
+// to partition-local qubit labels and optionally fused.
+type segment struct {
+	lower []gate.Gate
+	upper []gate.Gate
+}
+
+// compiledCut is a cut with its terms lowered to partition-local gates.
+type compiledCut struct {
+	sigma []complex128
+	lower []gate.Gate // one per term
+	upper []gate.Gate
+}
+
+type engine struct {
+	segs    []segment
+	cuts    []compiledCut
+	nLower  int
+	nUpper  int
+	m       int // output amplitudes
+	timeout atomic.Bool
+	paths   atomic.Int64
+}
+
+// Run executes the plan.
+func Run(plan *cut.Plan, opts Options) (*Result, error) {
+	nLower := plan.Partition.NumLower()
+	nUpper := plan.Partition.NumUpper(plan.NumQubits)
+	if nLower <= 0 || nUpper <= 0 {
+		return nil, fmt.Errorf("hsf: degenerate partition %d|%d", nLower, nUpper)
+	}
+	dim := 1 << plan.NumQubits
+	m := opts.MaxAmplitudes
+	if m <= 0 || m > dim {
+		m = dim
+	}
+
+	e := &engine{nLower: nLower, nUpper: nUpper, m: m}
+	e.compile(plan, opts.FusionMaxQubits)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var timer *time.Timer
+	if opts.Timeout > 0 {
+		timer = time.AfterFunc(opts.Timeout, func() { e.timeout.Store(true) })
+		defer timer.Stop()
+	}
+
+	start := time.Now()
+	amps, err := e.run(workers)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	np, _ := plan.NumPaths()
+	return &Result{
+		Amplitudes:     amps,
+		NumPaths:       np,
+		Log2Paths:      plan.Log2Paths(),
+		PathsSimulated: e.paths.Load(),
+		NumQubits:      plan.NumQubits,
+		Elapsed:        elapsed,
+	}, nil
+}
+
+// compile lowers the plan: local gates are remapped to partition-local
+// labels, grouped into segments between cuts, and fused; cut terms become
+// partition-local gates.
+func (e *engine) compile(plan *cut.Plan, fusionMaxQubits int) {
+	upOff := e.nLower
+	seg := segment{}
+	for _, st := range plan.Steps {
+		switch st.Kind {
+		case cut.LocalStep:
+			g := st.Gate
+			if st.Side == cut.Lower {
+				seg.lower = append(seg.lower, g)
+			} else {
+				seg.upper = append(seg.upper, g.Remap(func(q int) int { return q - upOff }))
+			}
+		case cut.CutStep:
+			e.segs = append(e.segs, seg)
+			seg = segment{}
+			cp := st.Cut
+			cc := compiledCut{}
+			loQ := append([]int(nil), cp.LowerQubits...)
+			upQ := make([]int, len(cp.UpperQubits))
+			for i, q := range cp.UpperQubits {
+				upQ[i] = q - upOff
+			}
+			for _, t := range cp.Terms {
+				cc.sigma = append(cc.sigma, complex(t.Sigma, 0))
+				cc.lower = append(cc.lower, gate.New("cut-term", t.Lower, nil, loQ...))
+				cc.upper = append(cc.upper, gate.New("cut-term", t.Upper, nil, upQ...))
+			}
+			e.cuts = append(e.cuts, cc)
+		}
+	}
+	e.segs = append(e.segs, seg) // trailing segment after the last cut
+
+	if fusionMaxQubits >= 0 {
+		if fusionMaxQubits == 0 {
+			fusionMaxQubits = fuse.DefaultMaxQubits
+		}
+		for i := range e.segs {
+			e.segs[i].lower = fuse.Fuse(e.segs[i].lower, fusionMaxQubits)
+			e.segs[i].upper = fuse.Fuse(e.segs[i].upper, fusionMaxQubits)
+		}
+	}
+}
+
+// run executes the path tree. The first splitLevels cuts are expanded
+// breadth-first into independent prefix tasks distributed over the worker
+// pool; each worker owns a private accumulator that is merged at the end.
+func (e *engine) run(workers int) ([]complex128, error) {
+	// Determine how many leading cut levels to expand so that the task count
+	// comfortably exceeds the worker count.
+	splitLevels := 0
+	tasks := 1
+	for splitLevels < len(e.cuts) && tasks < 4*workers {
+		tasks *= len(e.cuts[splitLevels].sigma)
+		splitLevels++
+	}
+
+	// Enumerate prefix choice vectors.
+	prefixes := [][]int{{}}
+	for l := 0; l < splitLevels; l++ {
+		r := len(e.cuts[l].sigma)
+		next := make([][]int, 0, len(prefixes)*r)
+		for _, p := range prefixes {
+			for t := 0; t < r; t++ {
+				np := make([]int, len(p)+1)
+				copy(np, p)
+				np[len(p)] = t
+				next = append(next, np)
+			}
+		}
+		prefixes = next
+	}
+
+	if workers > len(prefixes) {
+		workers = len(prefixes)
+	}
+
+	taskCh := make(chan []int)
+	accs := make([][]complex128, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		accs[w] = make([]complex128, e.m)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for prefix := range taskCh {
+				if errs[w] != nil {
+					continue // drain
+				}
+				errs[w] = e.runPrefix(prefix, accs[w])
+			}
+		}(w)
+	}
+	for _, p := range prefixes {
+		taskCh <- p
+	}
+	close(taskCh)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := accs[0]
+	for w := 1; w < workers; w++ {
+		for i, v := range accs[w] {
+			out[i] += v
+		}
+	}
+	return out, nil
+}
+
+// runPrefix simulates the fixed term choices of a prefix task, then descends
+// into the remaining subtree sequentially.
+func (e *engine) runPrefix(prefix []int, acc []complex128) error {
+	lo := statevec.NewState(e.nLower)
+	up := statevec.NewState(e.nUpper)
+	coeff := complex128(1)
+	for l, t := range prefix {
+		if e.timeout.Load() {
+			return ErrTimeout
+		}
+		lo.ApplyAll(e.segs[l].lower)
+		up.ApplyAll(e.segs[l].upper)
+		c := &e.cuts[l]
+		lo.ApplyGate(&c.lower[t])
+		up.ApplyGate(&c.upper[t])
+		coeff *= c.sigma[t]
+	}
+	return e.runBranch(len(prefix), lo, up, coeff, acc)
+}
+
+// runBranch owns lo and up and may mutate them.
+func (e *engine) runBranch(level int, lo, up statevec.State, coeff complex128, acc []complex128) error {
+	if e.timeout.Load() {
+		return ErrTimeout
+	}
+	lo.ApplyAll(e.segs[level].lower)
+	up.ApplyAll(e.segs[level].upper)
+	if level == len(e.cuts) {
+		e.accumulate(acc, coeff, up, lo)
+		e.paths.Add(1)
+		return nil
+	}
+	c := &e.cuts[level]
+	last := len(c.sigma) - 1
+	for t := 0; t <= last; t++ {
+		lo2, up2 := lo, up
+		if t != last {
+			lo2, up2 = lo.Clone(), up.Clone()
+		}
+		lo2.ApplyGate(&c.lower[t])
+		up2.ApplyGate(&c.upper[t])
+		if err := e.runBranch(level+1, lo2, up2, coeff*c.sigma[t], acc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// accumulate adds coeff · (up ⊗ lo) to the first m amplitudes of acc.
+func (e *engine) accumulate(acc []complex128, coeff complex128, up, lo statevec.State) {
+	dimLo := 1 << e.nLower
+	for x0 := 0; x0 < e.m; x0 += dimLo {
+		u := coeff * up[x0>>e.nLower]
+		if u == 0 {
+			continue
+		}
+		end := x0 + dimLo
+		if end > e.m {
+			end = e.m
+		}
+		block := acc[x0:end]
+		for i := range block {
+			block[i] += u * lo[i]
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package hsf
+
+import (
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cut"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/statevec"
+)
+
+func TestHSFMoreWorkersThanPaths(t *testing.T) {
+	// A single rank-2 cut with 64 requested workers: the pool must shrink
+	// to the available prefixes and still be correct.
+	c := circuit.New(4)
+	c.Append(gate.H(0), gate.RZZ(0.4, 1, 2))
+	want := schrodinger(c)
+	res := runHSF(t, c, 1, cut.StrategyNone, Options{Workers: 64})
+	if d := statevec.MaxAbsDiff(res.Amplitudes, want); d > 1e-9 {
+		t.Fatalf("max diff %g", d)
+	}
+	if res.PathsSimulated != 2 {
+		t.Fatalf("paths simulated = %d", res.PathsSimulated)
+	}
+}
+
+func TestHSFDeepCutChain(t *testing.T) {
+	// Many consecutive separate cuts stress the recursion depth and the
+	// clone-on-branch logic.
+	rng := rand.New(rand.NewSource(400))
+	c := circuit.New(6)
+	for i := 0; i < 10; i++ {
+		c.Append(gate.RZZ(rng.Float64(), 2, 3))
+		c.Append(gate.RX(rng.Float64(), 2), gate.RX(rng.Float64(), 3))
+	}
+	want := schrodinger(c)
+	res := runHSF(t, c, 2, cut.StrategyNone, Options{})
+	if res.NumPaths != 1<<10 {
+		t.Fatalf("paths = %d, want 1024", res.NumPaths)
+	}
+	if d := statevec.MaxAbsDiff(res.Amplitudes, want); d > 1e-8 {
+		t.Fatalf("max diff %g", d)
+	}
+}
+
+func TestHSFFusedSegmentsStayLocal(t *testing.T) {
+	// Fusion inside the engine must never fuse across a cut point; verified
+	// by agreement with no-fusion runs on a cut-heavy circuit with big
+	// fusion budgets.
+	rng := rand.New(rand.NewSource(401))
+	c := randomQAOAish(rng, 7, 12)
+	plan, err := cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: 3}, Strategy: cut.StrategyCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(plan, Options{FusionMaxQubits: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fq := range []int{1, 2, 3, 4} {
+		res, err := Run(plan, Options{FusionMaxQubits: fq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := statevec.MaxAbsDiff(base.Amplitudes, res.Amplitudes); d > 1e-9 {
+			t.Fatalf("fusion budget %d diverges by %g", fq, d)
+		}
+	}
+}

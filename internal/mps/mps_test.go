@@ -1,0 +1,222 @@
+package mps
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/statevec"
+)
+
+func randomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		a := rng.Intn(n)
+		b := (a + 1 + rng.Intn(n-1)) % n
+		switch rng.Intn(6) {
+		case 0:
+			c.Append(gate.H(a))
+		case 1:
+			c.Append(gate.RX(rng.Float64()*3, a))
+		case 2:
+			c.Append(gate.T(a))
+		case 3:
+			c.Append(gate.CNOT(a, b))
+		case 4:
+			c.Append(gate.RZZ(rng.Float64(), a, b))
+		default:
+			c.Append(gate.ISWAP(a, b))
+		}
+	}
+	return c
+}
+
+func TestInitialState(t *testing.T) {
+	m := New(3)
+	if cmplx.Abs(m.Amplitude(0)-1) > 1e-12 {
+		t.Fatal("initial amplitude |000> != 1")
+	}
+	for x := uint64(1); x < 8; x++ {
+		if cmplx.Abs(m.Amplitude(x)) > 1e-12 {
+			t.Fatalf("initial amplitude %d nonzero", x)
+		}
+	}
+	if math.Abs(m.Norm()-1) > 1e-12 {
+		t.Fatal("initial norm != 1")
+	}
+}
+
+func TestBellState(t *testing.T) {
+	m := New(2)
+	h := gate.H(0)
+	cx := gate.CNOT(0, 1)
+	if err := m.ApplyGate(&h); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ApplyGate(&cx); err != nil {
+		t.Fatal(err)
+	}
+	want := complex(math.Sqrt2/2, 0)
+	if cmplx.Abs(m.Amplitude(0)-want) > 1e-10 || cmplx.Abs(m.Amplitude(3)-want) > 1e-10 {
+		t.Fatalf("Bell amplitudes: %v %v", m.Amplitude(0), m.Amplitude(3))
+	}
+	if d := m.BondDims(); d[0] != 2 {
+		t.Fatalf("Bell bond dim = %d, want 2", d[0])
+	}
+}
+
+func TestGHZBondDimension(t *testing.T) {
+	n := 8
+	m := New(n)
+	h := gate.H(0)
+	if err := m.ApplyGate(&h); err != nil {
+		t.Fatal(err)
+	}
+	for q := 1; q < n; q++ {
+		cx := gate.CNOT(q-1, q)
+		if err := m.ApplyGate(&cx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// GHZ has Schmidt rank 2 across every bond.
+	for i, d := range m.BondDims() {
+		if d != 2 {
+			t.Fatalf("GHZ bond %d = %d, want 2", i, d)
+		}
+	}
+	want := complex(math.Sqrt2/2, 0)
+	if cmplx.Abs(m.Amplitude(0)-want) > 1e-10 || cmplx.Abs(m.Amplitude((1<<n)-1)-want) > 1e-10 {
+		t.Fatal("GHZ amplitudes wrong")
+	}
+}
+
+func TestMatchesStatevectorRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(5)
+		c := randomCircuit(rng, n, 6+rng.Intn(14))
+		ref := statevec.NewState(n)
+		ref.ApplyAll(c.Gates)
+		m := New(n)
+		if err := m.ApplyCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+		if d := statevec.MaxAbsDiff(m.ToStatevector(), ref); d > 1e-8 {
+			t.Fatalf("trial %d: MPS diverges by %g", trial, d)
+		}
+	}
+}
+
+func TestNonAdjacentGates(t *testing.T) {
+	// A CNOT between the ends of the chain exercises the SWAP routing.
+	n := 6
+	c := circuit.New(n)
+	c.Append(gate.H(0), gate.CNOT(0, 5), gate.RZZ(0.7, 5, 0), gate.ISWAP(1, 4))
+	ref := statevec.NewState(n)
+	ref.ApplyAll(c.Gates)
+	m := New(n)
+	if err := m.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	if d := statevec.MaxAbsDiff(m.ToStatevector(), ref); d > 1e-9 {
+		t.Fatalf("non-adjacent routing diverges by %g", d)
+	}
+}
+
+func TestNormPreservedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		c := randomCircuit(rng, n, 10)
+		m := New(n)
+		if err := m.ApplyCircuit(c); err != nil {
+			return false
+		}
+		return math.Abs(m.Norm()-1) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncationApproximates(t *testing.T) {
+	// A heavily entangling circuit truncated to bond 2 must stay normalized
+	// enough to be a sensible approximation, and unbounded must stay exact.
+	rng := rand.New(rand.NewSource(101))
+	n := 6
+	c := randomCircuit(rng, n, 30)
+	exact := New(n)
+	if err := exact.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	ref := statevec.NewState(n)
+	ref.ApplyAll(c.Gates)
+	if d := statevec.MaxAbsDiff(exact.ToStatevector(), ref); d > 1e-8 {
+		t.Fatalf("unbounded MPS not exact: %g", d)
+	}
+	trunc := New(n)
+	trunc.MaxBond = 2
+	if err := trunc.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	if trunc.MaxBondDim() > 2 {
+		t.Fatalf("truncation ignored: max bond %d", trunc.MaxBondDim())
+	}
+	// Fidelity with the exact state must be meaningfully nonzero (the state
+	// loses weight under truncation but should not collapse to garbage).
+	f := statevec.Fidelity(trunc.ToStatevector(), ref)
+	if f < 0.05 {
+		t.Fatalf("truncated fidelity %g unreasonably low", f)
+	}
+}
+
+func TestBondDimensionBoundedByCutRank(t *testing.T) {
+	// A single RZZ across the middle gives bond dimension 2 at that bond —
+	// the MPS analogue of the paper's rank-2 cut.
+	n := 4
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.Append(gate.H(q))
+	}
+	c.Append(gate.RZZ(0.7, 1, 2))
+	m := New(n)
+	if err := m.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.BondDims(); d[1] != 2 {
+		t.Fatalf("middle bond = %d, want 2", d[1])
+	}
+}
+
+func TestRejectsLargeGates(t *testing.T) {
+	m := New(3)
+	ccx := gate.CCX(0, 1, 2)
+	if err := m.ApplyGate(&ccx); err == nil {
+		t.Fatal("3-qubit gate accepted")
+	}
+}
+
+func TestApplyCircuitQubitMismatch(t *testing.T) {
+	m := New(3)
+	c := circuit.New(4)
+	if err := m.ApplyCircuit(c); err == nil {
+		t.Fatal("qubit mismatch accepted")
+	}
+}
+
+func BenchmarkMPSQAOALayer(b *testing.B) {
+	rng := rand.New(rand.NewSource(102))
+	c := randomCircuit(rng, 16, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(16)
+		if err := m.ApplyCircuit(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

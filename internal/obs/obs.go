@@ -1,0 +1,212 @@
+// Package obs evaluates observables on simulated states: Pauli strings,
+// their expectation values, and the MaxCut/Ising energies used to score
+// QAOA output. Diagonal observables (Z strings) work on probability
+// prefixes, matching the paper's partial-amplitude setting.
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"hsfsim/internal/graph"
+)
+
+// Pauli is a single-qubit Pauli operator.
+type Pauli byte
+
+// Pauli operators.
+const (
+	I Pauli = 'I'
+	X Pauli = 'X'
+	Y Pauli = 'Y'
+	Z Pauli = 'Z'
+)
+
+// String is a Pauli string: Ops[q] acts on qubit q (identity if beyond the
+// slice).
+type String struct {
+	Ops []Pauli
+}
+
+// ParseString reads a Pauli string like "IZZXI": character k acts on qubit
+// k (little-endian, consistent with the rest of the library).
+func ParseString(s string) (String, error) {
+	ops := make([]Pauli, len(s))
+	for i, r := range strings.ToUpper(s) {
+		switch r {
+		case 'I', 'X', 'Y', 'Z':
+			ops[i] = Pauli(r)
+		default:
+			return String{}, fmt.Errorf("obs: invalid Pauli %q", r)
+		}
+	}
+	return String{Ops: ops}, nil
+}
+
+// ZString builds a Z-only string with Z on the given qubits.
+func ZString(n int, qubits ...int) String {
+	ops := make([]Pauli, n)
+	for i := range ops {
+		ops[i] = I
+	}
+	for _, q := range qubits {
+		ops[q] = Z
+	}
+	return String{Ops: ops}
+}
+
+// IsDiagonal reports whether the string contains only I and Z.
+func (p String) IsDiagonal() bool {
+	for _, op := range p.Ops {
+		if op == X || op == Y {
+			return false
+		}
+	}
+	return true
+}
+
+func (p String) String() string {
+	b := make([]byte, len(p.Ops))
+	for i, op := range p.Ops {
+		b[i] = byte(op)
+	}
+	return string(b)
+}
+
+// Expectation computes <ψ|P|ψ> for a full statevector.
+func Expectation(amps []complex128, p String) (float64, error) {
+	n := 0
+	for 1<<n < len(amps) {
+		n++
+	}
+	if 1<<n != len(amps) {
+		return 0, fmt.Errorf("obs: amplitude count %d is not a power of two", len(amps))
+	}
+	if len(p.Ops) > n {
+		return 0, fmt.Errorf("obs: Pauli string on %d qubits, state has %d", len(p.Ops), n)
+	}
+	if p.IsDiagonal() {
+		probs := make([]float64, len(amps))
+		for i, a := range amps {
+			probs[i] = real(a)*real(a) + imag(a)*imag(a)
+		}
+		return DiagonalExpectation(probs, p)
+	}
+	// General case: <ψ|P|ψ> = Σ_x conj(ψ[x])·phase(x)·ψ[x ^ flipMask].
+	flip := 0
+	for q, op := range p.Ops {
+		if op == X || op == Y {
+			flip |= 1 << q
+		}
+	}
+	var e complex128
+	for x, a := range amps {
+		if a == 0 {
+			continue
+		}
+		y := x ^ flip
+		// P|y> = phase · |x>; compute the phase of mapping y to x.
+		phase := complex128(1)
+		for q, op := range p.Ops {
+			bitY := (y >> q) & 1
+			switch op {
+			case Z:
+				if bitY == 1 {
+					phase = -phase
+				}
+			case Y:
+				// Y|0> = i|1>, Y|1> = -i|0>.
+				if bitY == 0 {
+					phase *= 1i
+				} else {
+					phase *= -1i
+				}
+			}
+		}
+		cr, ci := real(a), imag(a)
+		e += complex(cr, -ci) * phase * amps[y]
+	}
+	return real(e), nil
+}
+
+// DiagonalExpectation computes <P> for an I/Z-only string from basis-state
+// probabilities. The probabilities may cover only a prefix of the basis
+// (partial amplitudes); the result is then the expectation over that
+// truncated, renormalized distribution.
+func DiagonalExpectation(probs []float64, p String) (float64, error) {
+	if !p.IsDiagonal() {
+		return 0, fmt.Errorf("obs: %s is not diagonal", p.String())
+	}
+	mask := 0
+	for q, op := range p.Ops {
+		if op == Z {
+			mask |= 1 << q
+		}
+	}
+	var e, total float64
+	for x, pr := range probs {
+		if pr == 0 {
+			continue
+		}
+		total += pr
+		if parity(x&mask) == 0 {
+			e += pr
+		} else {
+			e -= pr
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("obs: zero total probability")
+	}
+	return e / total, nil
+}
+
+func parity(x int) int {
+	p := 0
+	for x != 0 {
+		p ^= x & 1
+		x >>= 1
+	}
+	return p
+}
+
+// MaxCutEnergy computes the expected cut value of a graph from basis-state
+// probabilities via the ZZ correlators:
+//
+//	E[cut] = Σ_{(u,v)∈E} w_uv · (1 − <Z_u Z_v>)/2.
+func MaxCutEnergy(probs []float64, g *graph.Graph) (float64, error) {
+	var e float64
+	for _, edge := range g.Edges {
+		zz, err := DiagonalExpectation(probs, ZString(g.N, edge.U, edge.V))
+		if err != nil {
+			return 0, err
+		}
+		e += edge.W * (1 - zz) / 2
+	}
+	return e, nil
+}
+
+// IsingEnergy computes <H> for H = Σ_{(u,v)} J_uv Z_u Z_v + Σ_q h_q Z_q
+// from probabilities (couplings from the graph's edge weights, fields from
+// h; h may be nil).
+func IsingEnergy(probs []float64, g *graph.Graph, h []float64) (float64, error) {
+	var e float64
+	for _, edge := range g.Edges {
+		zz, err := DiagonalExpectation(probs, ZString(g.N, edge.U, edge.V))
+		if err != nil {
+			return 0, err
+		}
+		e += edge.W * zz
+	}
+	for q, hq := range h {
+		if hq == 0 {
+			continue
+		}
+		z, err := DiagonalExpectation(probs, ZString(g.N, q))
+		if err != nil {
+			return 0, err
+		}
+		e += hq * z
+	}
+	return e, nil
+}

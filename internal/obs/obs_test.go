@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/gate"
+	"hsfsim/internal/graph"
+	"hsfsim/internal/statevec"
+)
+
+func TestParseString(t *testing.T) {
+	p, err := ParseString("izZx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "IZZX" {
+		t.Fatalf("parsed %q", p.String())
+	}
+	if p.IsDiagonal() {
+		t.Fatal("X string reported diagonal")
+	}
+	if _, err := ParseString("IZQ"); err == nil {
+		t.Fatal("invalid Pauli accepted")
+	}
+	d, _ := ParseString("IZZI")
+	if !d.IsDiagonal() {
+		t.Fatal("Z string not diagonal")
+	}
+}
+
+func TestExpectationBasisStates(t *testing.T) {
+	// |0>: <Z> = +1; |1>: <Z> = -1; |+>: <X> = +1.
+	zero := []complex128{1, 0}
+	one := []complex128{0, 1}
+	plus := []complex128{complex(math.Sqrt2/2, 0), complex(math.Sqrt2/2, 0)}
+	z, _ := ParseString("Z")
+	x, _ := ParseString("X")
+	y, _ := ParseString("Y")
+	if e, _ := Expectation(zero, z); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("<0|Z|0> = %g", e)
+	}
+	if e, _ := Expectation(one, z); math.Abs(e+1) > 1e-12 {
+		t.Fatalf("<1|Z|1> = %g", e)
+	}
+	if e, _ := Expectation(plus, x); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("<+|X|+> = %g", e)
+	}
+	if e, _ := Expectation(plus, y); math.Abs(e) > 1e-12 {
+		t.Fatalf("<+|Y|+> = %g", e)
+	}
+	// |i> = (|0> + i|1>)/√2: <Y> = +1.
+	iState := []complex128{complex(math.Sqrt2/2, 0), complex(0, math.Sqrt2/2)}
+	if e, _ := Expectation(iState, y); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("<i|Y|i> = %g", e)
+	}
+}
+
+func TestExpectationBell(t *testing.T) {
+	s := statevec.NewState(2)
+	h := gate.H(0)
+	cx := gate.CNOT(0, 1)
+	s.ApplyGate(&h)
+	s.ApplyGate(&cx)
+	// Bell state: <ZZ> = <XX> = +1, <YY> = -1, <Z_0> = 0.
+	for _, c := range []struct {
+		p    string
+		want float64
+	}{{"ZZ", 1}, {"XX", 1}, {"YY", -1}, {"ZI", 0}, {"IZ", 0}} {
+		p, err := ParseString(c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Expectation(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e-c.want) > 1e-12 {
+			t.Errorf("<%s> = %g, want %g", c.p, e, c.want)
+		}
+	}
+}
+
+func TestExpectationErrors(t *testing.T) {
+	z, _ := ParseString("Z")
+	if _, err := Expectation([]complex128{1, 0, 0}, z); err == nil {
+		t.Fatal("non-power-of-two state accepted")
+	}
+	long, _ := ParseString("ZZZ")
+	if _, err := Expectation([]complex128{1, 0}, long); err == nil {
+		t.Fatal("oversized string accepted")
+	}
+	if _, err := DiagonalExpectation([]float64{1}, String{Ops: []Pauli{X}}); err == nil {
+		t.Fatal("non-diagonal string accepted")
+	}
+	if _, err := DiagonalExpectation([]float64{0, 0}, ZString(1, 0)); err == nil {
+		t.Fatal("zero distribution accepted")
+	}
+}
+
+func TestDiagonalMatchesGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := make([]complex128, 16)
+	var norm float64
+	for i := range s {
+		s[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		norm += real(s[i])*real(s[i]) + imag(s[i])*imag(s[i])
+	}
+	inv := complex(1/math.Sqrt(norm), 0)
+	for i := range s {
+		s[i] *= inv
+	}
+	probs := make([]float64, len(s))
+	for i, a := range s {
+		probs[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	for _, str := range []string{"ZIII", "ZZII", "IZZZ", "ZZZZ"} {
+		p, _ := ParseString(str)
+		gen, err := Expectation(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diag, err := DiagonalExpectation(probs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gen-diag) > 1e-10 {
+			t.Errorf("%s: general %g vs diagonal %g", str, gen, diag)
+		}
+	}
+}
+
+func TestMaxCutEnergyMatchesDirect(t *testing.T) {
+	// The ZZ-correlator energy must equal the direct Σ p(x)·cut(x).
+	rng := rand.New(rand.NewSource(4))
+	g, err := graph.ErdosRenyi(5, 0.6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, 32)
+	total := 0.0
+	for i := range probs {
+		probs[i] = rng.Float64()
+		total += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= total
+	}
+	viaZZ, err := MaxCutEnergy(probs, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := g.ExpectedCutFromProbabilities(probs)
+	if math.Abs(viaZZ-direct) > 1e-10 {
+		t.Fatalf("ZZ energy %g vs direct %g", viaZZ, direct)
+	}
+}
+
+func TestIsingEnergyGroundState(t *testing.T) {
+	// Ferromagnetic chain J=-1: |000> has energy -2 (two bonds) plus field.
+	g := graph.New(3)
+	_ = g.AddEdge(0, 1, -1)
+	_ = g.AddEdge(1, 2, -1)
+	probs := make([]float64, 8)
+	probs[0] = 1
+	e, err := IsingEnergy(probs, g, []float64{0.5, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// <Z_0 Z_1> = <Z_1 Z_2> = +1 on |000>, <Z_0> = +1.
+	want := -1.0 - 1.0 + 0.5
+	if math.Abs(e-want) > 1e-12 {
+		t.Fatalf("Ising energy = %g, want %g", e, want)
+	}
+}
+
+func TestZString(t *testing.T) {
+	p := ZString(4, 1, 3)
+	if p.String() != "IZIZ" {
+		t.Fatalf("ZString = %q", p.String())
+	}
+}
+
+func TestPartialProbabilitiesPrefix(t *testing.T) {
+	// A diagonal expectation over a prefix renormalizes: for a state
+	// concentrated in the prefix it matches the full expectation.
+	probs := []float64{0.5, 0.25, 0.25, 0} // qubit-0 distribution over 2 qubits
+	full, err := DiagonalExpectation(probs, ZString(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := DiagonalExpectation(probs[:3], ZString(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-prefix) > 1e-12 {
+		t.Fatalf("prefix %g vs full %g", prefix, full)
+	}
+}

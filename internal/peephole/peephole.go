@@ -1,0 +1,239 @@
+// Package peephole performs local circuit simplification: adjacent gate
+// pairs on identical qubit sets are cancelled when their product is the
+// identity, merged when they are same-family rotations, and fused through a
+// ZYZ re-synthesis when both are single-qubit gates. The pass preserves the
+// circuit unitary exactly (global phase included) and runs to a fixpoint.
+package peephole
+
+import (
+	"math"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/synth"
+)
+
+// identTol is the tolerance for identity detection.
+const identTol = 1e-10
+
+// Optimize simplifies the circuit until no rule fires. The result is a new
+// circuit; the input is untouched.
+func Optimize(c *circuit.Circuit) *circuit.Circuit {
+	gates := make([]gate.Gate, len(c.Gates))
+	copy(gates, c.Gates)
+	for {
+		next, changed := pass(gates)
+		gates = next
+		if !changed {
+			break
+		}
+	}
+	out := circuit.New(c.NumQubits)
+	out.Gates = gates
+	return out
+}
+
+// pass performs one left-to-right sweep.
+func pass(gates []gate.Gate) ([]gate.Gate, bool) {
+	var out []gate.Gate
+	changed := false
+	for i := 0; i < len(gates); i++ {
+		g := gates[i]
+		// Drop exact-identity gates outright.
+		if isIdentity(g.Matrix) {
+			changed = true
+			continue
+		}
+		// Try to combine with the previous emitted gate if it is the most
+		// recent gate on exactly the same qubit set and nothing in between
+		// touches those qubits (guaranteed: we look only at the direct
+		// predecessor in `out` whose qubits overlap g's).
+		j := lastTouching(out, &g)
+		if j >= 0 && sameQubits(&out[j], &g) && j == lastAnyTouching(out, &g) {
+			if merged, ok := combine(&out[j], &g); ok {
+				changed = true
+				if merged == nil {
+					out = append(out[:j], out[j+1:]...)
+				} else {
+					out[j] = *merged
+				}
+				continue
+			}
+		}
+		out = append(out, g)
+	}
+	return out, changed
+}
+
+// lastTouching returns the index of the last gate in out sharing a qubit
+// with g whose qubit set equals g's, or -1.
+func lastTouching(out []gate.Gate, g *gate.Gate) int {
+	for j := len(out) - 1; j >= 0; j-- {
+		if out[j].SharesQubit(g) {
+			if sameQubits(&out[j], g) {
+				return j
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// lastAnyTouching returns the index of the last gate in out touching any of
+// g's qubits (identical to lastTouching's scan but without the set check).
+func lastAnyTouching(out []gate.Gate, g *gate.Gate) int {
+	for j := len(out) - 1; j >= 0; j-- {
+		if out[j].SharesQubit(g) {
+			return j
+		}
+	}
+	return -1
+}
+
+func sameQubits(a, b *gate.Gate) bool {
+	if len(a.Qubits) != len(b.Qubits) {
+		return false
+	}
+	for _, q := range a.Qubits {
+		if !b.Touches(q) {
+			return false
+		}
+	}
+	return true
+}
+
+func isIdentity(m *cmat.Matrix) bool {
+	return cmat.EqualTol(m, cmat.Identity(m.Rows), identTol)
+}
+
+// rotationFamily maps mergeable rotation gates to their constructor.
+var rotationFamily = map[string]bool{
+	"rx": true, "ry": true, "rz": true, "p": true,
+	"rzz": true, "rxx": true, "ryy": true, "cp": true,
+}
+
+// combine merges b into a (a precedes b in circuit order). Returns
+// (nil, true) when the pair cancels, (merged, true) when replaced by one
+// gate, or (nil, false) when no rule applies.
+func combine(a, b *gate.Gate) (*gate.Gate, bool) {
+	// Matrix product b·a on the shared qubit set: align b's matrix to a's
+	// qubit order.
+	bAligned := alignMatrix(b, a.Qubits)
+	prod := cmat.Mul(bAligned, a.Matrix)
+	if isIdentity(prod) {
+		return nil, true
+	}
+	// Same-family rotations: add angles.
+	if a.Name == b.Name && rotationFamily[a.Name] && sameOrder(a, b) {
+		theta := a.Params[0] + b.Params[0]
+		merged := rebuildRotation(a.Name, theta, a.Qubits)
+		if merged != nil {
+			if isIdentity(merged.Matrix) {
+				return nil, true
+			}
+			return merged, true
+		}
+	}
+	// Two single-qubit gates: re-synthesize the product exactly via ZYZ.
+	if len(a.Qubits) == 1 {
+		z, err := synth.ZYZDecompose(prod)
+		if err == nil {
+			q := a.Qubits[0]
+			g := gate.New("u3p", prod, []float64{z.Gamma, z.Beta, z.Delta}, q)
+			return &g, true
+		}
+	}
+	return nil, false
+}
+
+// sameOrder reports whether the qubit lists match element-wise (rotations
+// like rzz are symmetric, but angle addition is only obviously valid when
+// the matrices are expressed identically; symmetric gates pass either way
+// because alignMatrix handles the general case elsewhere).
+func sameOrder(a, b *gate.Gate) bool {
+	for i := range a.Qubits {
+		if a.Qubits[i] != b.Qubits[i] {
+			// Symmetric two-qubit rotations commute with the swap of their
+			// qubits; rzz/rxx/ryy/cp are symmetric, rx/ry/rz/p are 1q.
+			switch a.Name {
+			case "rzz", "rxx", "ryy", "cp":
+				continue
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func rebuildRotation(name string, theta float64, qubits []int) *gate.Gate {
+	// Angles are 4π-periodic for the two-level rotations and 2π for phases.
+	switch name {
+	case "rx":
+		g := gate.RX(theta, qubits[0])
+		return &g
+	case "ry":
+		g := gate.RY(theta, qubits[0])
+		return &g
+	case "rz":
+		g := gate.RZ(theta, qubits[0])
+		return &g
+	case "p":
+		g := gate.P(math.Mod(theta, 2*math.Pi), qubits[0])
+		return &g
+	case "rzz":
+		g := gate.RZZ(theta, qubits[0], qubits[1])
+		return &g
+	case "rxx":
+		g := gate.RXX(theta, qubits[0], qubits[1])
+		return &g
+	case "ryy":
+		g := gate.RYY(theta, qubits[0], qubits[1])
+		return &g
+	case "cp":
+		g := gate.CPhase(math.Mod(theta, 2*math.Pi), qubits[0], qubits[1])
+		return &g
+	}
+	return nil
+}
+
+// alignMatrix re-expresses g's matrix with its qubits listed in the order
+// given by target (a permutation of g.Qubits).
+func alignMatrix(g *gate.Gate, target []int) *cmat.Matrix {
+	same := true
+	for i, q := range g.Qubits {
+		if target[i] != q {
+			same = false
+			break
+		}
+	}
+	if same {
+		return g.Matrix
+	}
+	// permutation: bit i of the target order corresponds to bit srcBit[i]
+	// of g's matrix index.
+	srcBit := make([]int, len(target))
+	for i, q := range target {
+		for j, gq := range g.Qubits {
+			if gq == q {
+				srcBit[i] = j
+			}
+		}
+	}
+	dim := g.Matrix.Rows
+	out := cmat.New(dim, dim)
+	remap := func(x int) int {
+		y := 0
+		for i, sb := range srcBit {
+			y |= ((x >> sb) & 1) << i
+		}
+		return y
+	}
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			out.Set(remap(r), remap(c), g.Matrix.At(r, c))
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package peephole
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/synth"
+)
+
+func TestCancelsInversePairs(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(
+		gate.H(0), gate.H(0),
+		gate.CNOT(0, 1), gate.CNOT(0, 1),
+		gate.S(2), gate.Sdg(2),
+		gate.SWAP(1, 2), gate.SWAP(1, 2),
+		gate.T(0), gate.Tdg(0),
+	)
+	out := Optimize(c)
+	if len(out.Gates) != 0 {
+		t.Fatalf("gates left: %v", out.Gates)
+	}
+}
+
+func TestMergesRotations(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(gate.RZ(0.3, 0), gate.RZ(0.4, 0), gate.RZZ(0.2, 0, 1), gate.RZZ(0.5, 1, 0))
+	out := Optimize(c)
+	if len(out.Gates) != 2 {
+		t.Fatalf("gates = %v", out.Gates)
+	}
+	if math.Abs(out.Gates[0].Params[0]-0.7) > 1e-12 {
+		t.Fatalf("rz angle = %g", out.Gates[0].Params[0])
+	}
+	if math.Abs(out.Gates[1].Params[0]-0.7) > 1e-12 {
+		t.Fatalf("rzz angle = %g", out.Gates[1].Params[0])
+	}
+	if !cmat.EqualTol(c.Unitary(), out.Unitary(), 1e-10) {
+		t.Fatal("merge changed the unitary")
+	}
+}
+
+func TestRotationsCancelToIdentity(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(gate.RX(0.9, 0), gate.RX(-0.9, 0))
+	out := Optimize(c)
+	if len(out.Gates) != 0 {
+		t.Fatalf("gates = %v", out.Gates)
+	}
+}
+
+func TestFusesSingleQubitRuns(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(gate.H(0), gate.T(0), gate.S(0), gate.H(0), gate.RZ(0.4, 0))
+	out := Optimize(c)
+	if len(out.Gates) != 1 {
+		t.Fatalf("gates = %d, want 1 fused", len(out.Gates))
+	}
+	if !cmat.EqualTol(c.Unitary(), out.Unitary(), 1e-9) {
+		t.Fatal("fusion changed the unitary")
+	}
+}
+
+func TestInterveningGateBlocksMerge(t *testing.T) {
+	// The H on qubit 0 sits between the two RZZ gates and does not commute:
+	// no merge may happen.
+	c := circuit.New(2)
+	c.Append(gate.RZZ(0.3, 0, 1), gate.H(0), gate.RZZ(0.4, 0, 1))
+	out := Optimize(c)
+	if len(out.Gates) != 3 {
+		t.Fatalf("gates = %d, want 3", len(out.Gates))
+	}
+}
+
+func TestDisjointGateDoesNotBlock(t *testing.T) {
+	// A gate on an unrelated qubit between two H(0) must not stop the
+	// cancellation.
+	c := circuit.New(3)
+	c.Append(gate.H(0), gate.X(2), gate.H(0))
+	out := Optimize(c)
+	if len(out.Gates) != 1 || out.Gates[0].Name != "x" {
+		t.Fatalf("gates = %v", out.Gates)
+	}
+}
+
+func TestOptimizePreservesUnitaryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		c := circuit.New(n)
+		for i := 0; i < 16; i++ {
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			switch rng.Intn(7) {
+			case 0:
+				c.Append(gate.H(a))
+			case 1:
+				c.Append(gate.T(a))
+			case 2:
+				c.Append(gate.RZ(rng.Float64()*3, a))
+			case 3:
+				c.Append(gate.CNOT(a, b))
+			case 4:
+				c.Append(gate.RZZ(rng.Float64(), a, b))
+			case 5:
+				c.Append(gate.S(a))
+			default:
+				c.Append(gate.SWAP(a, b))
+			}
+		}
+		out := Optimize(c)
+		if len(out.Gates) > len(c.Gates) {
+			return false
+		}
+		return cmat.EqualTol(c.Unitary(), out.Unitary(), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeAfterTranspileShrinks(t *testing.T) {
+	// Transpiled circuits contain mergeable rotation runs; the peephole
+	// pass must shrink them without changing the unitary.
+	src := circuit.New(3)
+	src.Append(
+		gate.ISWAP(0, 1), gate.FSim(0.4, 0.7, 1, 2), gate.SWAP(0, 2),
+		gate.RZZ(0.5, 0, 1), gate.CCZ(0, 1, 2),
+	)
+	tr, err := synth.Transpile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Optimize(tr)
+	if len(out.Gates) >= len(tr.Gates) {
+		t.Fatalf("no shrink: %d -> %d", len(tr.Gates), len(out.Gates))
+	}
+	if !cmat.EqualTol(src.Unitary(), out.Unitary(), 1e-8) {
+		t.Fatal("optimize-after-transpile changed the unitary")
+	}
+}
+
+func TestIdentityGatesDropped(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(gate.I(0), gate.RZ(0, 1), gate.H(0))
+	out := Optimize(c)
+	if len(out.Gates) != 1 || out.Gates[0].Name != "h" {
+		t.Fatalf("gates = %v", out.Gates)
+	}
+}

@@ -1,0 +1,106 @@
+package qaoa
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/graph"
+)
+
+// InstanceSpec describes one row of the paper's Table II: a two-block
+// stochastic block model QAOA instance with the cut between the blocks.
+type InstanceSpec struct {
+	// Name labels the instance (e.g. "q30-1").
+	Name string
+	// SizeA, SizeB are the block sizes; qubits = SizeA + SizeB.
+	SizeA, SizeB int
+	// PIntra, PInter are the intra-/inter-block edge probabilities.
+	PIntra, PInter float64
+	// Seed makes the instance reproducible.
+	Seed int64
+}
+
+// NumQubits returns the register size of the instance.
+func (s InstanceSpec) NumQubits() int { return s.SizeA + s.SizeB }
+
+// CutPos returns the qubit label after which the cut is placed: the last
+// qubit of block A, matching Table II's "cut pos." column.
+func (s InstanceSpec) CutPos() int { return s.SizeA - 1 }
+
+// Instance is a generated QAOA instance: the problem graph and its circuit.
+type Instance struct {
+	Spec    InstanceSpec
+	Graph   *graph.Graph
+	Circuit *circuit.Circuit
+}
+
+// Generate samples the instance's graph and builds its single-layer QAOA
+// circuit.
+func (s InstanceSpec) Generate(p Params) (*Instance, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	g, err := graph.TwoBlockModel(s.SizeA, s.SizeB, s.PIntra, s.PInter, rng)
+	if err != nil {
+		return nil, fmt.Errorf("qaoa: instance %s: %w", s.Name, err)
+	}
+	c, err := Build(g, p)
+	if err != nil {
+		return nil, fmt.Errorf("qaoa: instance %s: %w", s.Name, err)
+	}
+	return &Instance{Spec: s, Graph: g, Circuit: c}, nil
+}
+
+// PaperInstances returns the exact instance family of Table II (q30-1 …
+// q33-3). The published per-instance seeds are not part of the paper, so
+// fixed seeds are used here; the structural parameters (sizes, p_intra,
+// p_inter, cut position) are the paper's.
+func PaperInstances() []InstanceSpec {
+	return []InstanceSpec{
+		{Name: "q30-1", SizeA: 15, SizeB: 15, PIntra: 0.8, PInter: 0.10, Seed: 3001},
+		{Name: "q30-2", SizeA: 15, SizeB: 15, PIntra: 0.8, PInter: 0.15, Seed: 3002},
+		{Name: "q30-3", SizeA: 15, SizeB: 15, PIntra: 0.8, PInter: 0.17, Seed: 3003},
+		{Name: "q31-1", SizeA: 15, SizeB: 16, PIntra: 0.8, PInter: 0.10, Seed: 3101},
+		{Name: "q31-2", SizeA: 15, SizeB: 16, PIntra: 0.8, PInter: 0.15, Seed: 3102},
+		{Name: "q31-3", SizeA: 15, SizeB: 16, PIntra: 0.8, PInter: 0.17, Seed: 3103},
+		{Name: "q32-1", SizeA: 16, SizeB: 16, PIntra: 0.8, PInter: 0.10, Seed: 3201},
+		{Name: "q32-2", SizeA: 16, SizeB: 16, PIntra: 0.8, PInter: 0.11, Seed: 3202},
+		{Name: "q32-3", SizeA: 16, SizeB: 16, PIntra: 0.8, PInter: 0.12, Seed: 3203},
+		{Name: "q33-1", SizeA: 16, SizeB: 17, PIntra: 0.8, PInter: 0.10, Seed: 3301},
+		{Name: "q33-2", SizeA: 16, SizeB: 17, PIntra: 0.8, PInter: 0.11, Seed: 3302},
+		{Name: "q33-3", SizeA: 16, SizeB: 17, PIntra: 0.8, PInter: 0.12, Seed: 3303},
+	}
+}
+
+// MediumInstances sits between the laptop scale and the paper: q = 22–24
+// with the paper's density structure. Schrödinger baselines need up to
+// 2^24 amplitudes (~256 MB) and the standard-HSF rows mostly time out —
+// closer to the regime of Table I.
+func MediumInstances() []InstanceSpec {
+	return []InstanceSpec{
+		{Name: "q22-1", SizeA: 11, SizeB: 11, PIntra: 0.8, PInter: 0.10, Seed: 2201},
+		{Name: "q22-2", SizeA: 11, SizeB: 11, PIntra: 0.8, PInter: 0.15, Seed: 2202},
+		{Name: "q22-3", SizeA: 11, SizeB: 11, PIntra: 0.8, PInter: 0.20, Seed: 2203},
+		{Name: "q24-1", SizeA: 12, SizeB: 12, PIntra: 0.8, PInter: 0.10, Seed: 2401},
+		{Name: "q24-2", SizeA: 12, SizeB: 12, PIntra: 0.8, PInter: 0.12, Seed: 2402},
+		{Name: "q24-3", SizeA: 12, SizeB: 12, PIntra: 0.8, PInter: 0.15, Seed: 2403},
+	}
+}
+
+// ScaledInstances mirrors the paper's family at laptop scale: the same
+// p_intra/p_inter structure and block balance on q = 16 … 20 qubits, three
+// inter-partition densities per size. The crossing-gate counts shrink with
+// the block sizes, keeping standard-vs-joint path ratios qualitatively
+// intact while runtimes stay in seconds.
+func ScaledInstances() []InstanceSpec {
+	return []InstanceSpec{
+		{Name: "q16-1", SizeA: 8, SizeB: 8, PIntra: 0.8, PInter: 0.10, Seed: 1601},
+		{Name: "q16-2", SizeA: 8, SizeB: 8, PIntra: 0.8, PInter: 0.20, Seed: 1602},
+		{Name: "q16-3", SizeA: 8, SizeB: 8, PIntra: 0.8, PInter: 0.30, Seed: 1603},
+		{Name: "q18-1", SizeA: 9, SizeB: 9, PIntra: 0.8, PInter: 0.10, Seed: 1801},
+		{Name: "q18-2", SizeA: 9, SizeB: 9, PIntra: 0.8, PInter: 0.20, Seed: 1802},
+		{Name: "q18-3", SizeA: 9, SizeB: 9, PIntra: 0.8, PInter: 0.30, Seed: 1803},
+		{Name: "q20-1", SizeA: 10, SizeB: 10, PIntra: 0.8, PInter: 0.10, Seed: 2001},
+		{Name: "q20-2", SizeA: 10, SizeB: 10, PIntra: 0.8, PInter: 0.15, Seed: 2002},
+		{Name: "q20-3", SizeA: 10, SizeB: 10, PIntra: 0.8, PInter: 0.20, Seed: 2003},
+	}
+}

@@ -1,0 +1,144 @@
+package qaoa
+
+import (
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/graph"
+)
+
+func TestOptimizeAnglesBeatsDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g, err := graph.ErdosRenyi(8, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeAngles(g, OptimizeOptions{Layers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must beat (a) the random-guess baseline of half the edges and (b) the
+	// untuned default angles.
+	var total float64
+	for _, e := range g.Edges {
+		total += e.W
+	}
+	if res.ExpectedCut <= total/2 {
+		t.Fatalf("optimized cut %g does not beat random %g", res.ExpectedCut, total/2)
+	}
+	defEval, err := defaultScore(g, SingleLayer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpectedCut < defEval-1e-9 {
+		t.Fatalf("optimized %g worse than default %g", res.ExpectedCut, defEval)
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+func defaultScore(g *graph.Graph, p Params) (float64, error) {
+	res, err := OptimizeAngles(g, OptimizeOptions{
+		Layers:         len(p.Gammas),
+		MaxEvaluations: 1, // score the start point only
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.ExpectedCut, nil
+}
+
+func TestOptimizeTwoLayersAtLeastOneLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	g, err := graph.ErdosRenyi(6, 0.6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := OptimizeAngles(g, OptimizeOptions{Layers: 1, MaxEvaluations: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := OptimizeAngles(g, OptimizeOptions{Layers: 2, MaxEvaluations: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth-2 QAOA contains depth-1 as a special case; allow a small search
+	// slack but p=2 should not be meaningfully worse.
+	if p2.ExpectedCut < p1.ExpectedCut-0.15 {
+		t.Fatalf("p=2 cut %g much worse than p=1 %g", p2.ExpectedCut, p1.ExpectedCut)
+	}
+}
+
+func TestOptimizeCustomEvaluator(t *testing.T) {
+	g := graph.New(2)
+	_ = g.AddEdge(0, 1, 1)
+	calls := 0
+	res, err := OptimizeAngles(g, OptimizeOptions{
+		MaxEvaluations: 10,
+		Evaluate: func(p Params) (float64, error) {
+			calls++
+			// A synthetic objective peaked at γ=1: the optimizer must walk
+			// toward it.
+			d := p.Gammas[0] - 1
+			return -d * d, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Evaluations || calls == 0 {
+		t.Fatalf("calls %d vs evaluations %d", calls, res.Evaluations)
+	}
+	if res.Params.Gammas[0] <= 0.4 {
+		t.Fatalf("optimizer did not move toward the optimum: γ=%g", res.Params.Gammas[0])
+	}
+}
+
+func TestOptimizeRejectsHugeGraphWithoutEvaluator(t *testing.T) {
+	g := graph.New(30)
+	if _, err := OptimizeAngles(g, OptimizeOptions{}); err == nil {
+		t.Fatal("30-qubit built-in evaluation accepted")
+	}
+}
+
+func TestInterpolateAngles(t *testing.T) {
+	p := Params{Gammas: []float64{0.8}, Betas: []float64{0.4}}
+	q := InterpolateAngles(p)
+	if len(q.Gammas) != 2 || len(q.Betas) != 2 {
+		t.Fatalf("interp lengths: %d/%d", len(q.Gammas), len(q.Betas))
+	}
+	// p=1: out = [x_0, x_0] by the boundary rule.
+	if q.Gammas[0] != 0.8 || q.Gammas[1] != 0.8 {
+		t.Fatalf("interp gammas = %v", q.Gammas)
+	}
+}
+
+func TestOptimizeDeepImprovesOverColdStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g, err := graph.ErdosRenyi(6, 0.6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := OptimizeDeep(g, 2, 240, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := OptimizeAngles(g, OptimizeOptions{Layers: 1, MaxEvaluations: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iterative deepening must not be meaningfully worse than depth 1.
+	if deep.ExpectedCut < p1.ExpectedCut-0.1 {
+		t.Fatalf("deep %g much worse than p1 %g", deep.ExpectedCut, p1.ExpectedCut)
+	}
+}
+
+func TestOptimizeWarmStartValidation(t *testing.T) {
+	g := graph.New(2)
+	_ = g.AddEdge(0, 1, 1)
+	bad := Params{Gammas: []float64{1, 2}, Betas: []float64{1, 2}}
+	if _, err := OptimizeAngles(g, OptimizeOptions{Layers: 1, WarmStart: &bad}); err == nil {
+		t.Fatal("mismatched warm start accepted")
+	}
+}

@@ -1,0 +1,56 @@
+// Package qaoa builds Quantum Approximate Optimization Algorithm circuits
+// for (weighted) MaxCut, the paper's evaluation workload: alternating
+// problem layers of mutually commuting RZZ gates (one per graph edge) and
+// mixer layers of RX rotations, after an initial Hadamard wall.
+package qaoa
+
+import (
+	"fmt"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/graph"
+)
+
+// Params holds the QAOA angles; Gammas[l] scales problem layer l, Betas[l]
+// the mixer layer l. len(Gammas) == len(Betas) == number of layers.
+type Params struct {
+	Gammas []float64
+	Betas  []float64
+}
+
+// SingleLayer returns the paper's configuration: one problem and one mixer
+// layer with representative angles.
+func SingleLayer() Params {
+	return Params{Gammas: []float64{0.7}, Betas: []float64{0.4}}
+}
+
+// Build constructs the QAOA MaxCut circuit for g: H on every qubit, then per
+// layer RZZ(2·γ·w) on every edge followed by RX(2·β) on every qubit. Edges
+// are emitted in sorted order; since RZZ gates commute, the cut planner is
+// free to regroup them into cascades (paper Fig. 6).
+func Build(g *graph.Graph, p Params) (*circuit.Circuit, error) {
+	if g.N == 0 {
+		return nil, fmt.Errorf("qaoa: empty graph")
+	}
+	if len(p.Gammas) != len(p.Betas) {
+		return nil, fmt.Errorf("qaoa: %d gammas but %d betas", len(p.Gammas), len(p.Betas))
+	}
+	if len(p.Gammas) == 0 {
+		return nil, fmt.Errorf("qaoa: no layers")
+	}
+	c := circuit.New(g.N)
+	for q := 0; q < g.N; q++ {
+		c.Append(gate.H(q))
+	}
+	for l := range p.Gammas {
+		gamma, beta := p.Gammas[l], p.Betas[l]
+		for _, e := range g.Edges {
+			c.Append(gate.RZZ(2*gamma*e.W, e.U, e.V))
+		}
+		for q := 0; q < g.N; q++ {
+			c.Append(gate.RX(2*beta, q))
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,47 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics on arbitrary input — it must
+// either produce a circuit or a clean error. Run with `go test -fuzz=Parse`
+// for continuous fuzzing; the seed corpus doubles as a regression suite.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"OPENQASM 2.0;\nqreg q[2];\nh q[0];",
+		"qreg q[3]; cx q[0],q[2]; rzz(0.5) q[1],q[2];",
+		"qreg q[1]; rx(pi/2) q[0];",
+		"qreg q[1]; rx(-2*pi) q[0];",
+		"qreg q[0];",
+		"qreg q[2]\nh q[0]",
+		"h q[0];",
+		"qreg q[2]; mystery q[0];",
+		"qreg q[2]; cx q[0];",
+		"qreg q[2]; rx() q[0];",
+		"qreg q[2]; rx(0.3 q[0];",
+		"qreg q[999999]; h q[0];",
+		"qreg q[2]; h q[-1];",
+		"qreg q[2]; h q[99];",
+		"// only a comment",
+		"qreg q[2]; u3(1,2,3) q[1]; barrier q; creg c[2];",
+		"qreg\tq[2];\tccx\tq[0],q[1],q[1];",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src))
+		if err == nil && c == nil {
+			t.Fatal("nil circuit without error")
+		}
+		if c != nil && err == nil {
+			// Whatever parses must be a structurally valid circuit.
+			if vErr := c.Validate(); vErr != nil {
+				t.Fatalf("parser accepted invalid circuit: %v", vErr)
+			}
+		}
+	})
+}

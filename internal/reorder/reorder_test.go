@@ -1,0 +1,178 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cut"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/statevec"
+)
+
+func TestApplyPermutationValidation(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(gate.CNOT(0, 1))
+	if _, err := ApplyPermutation(c, []int{0, 1}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := ApplyPermutation(c, []int{0, 0, 1}); err == nil {
+		t.Fatal("duplicate permutation accepted")
+	}
+	if _, err := ApplyPermutation(c, []int{0, 1, 5}); err == nil {
+		t.Fatal("out-of-range permutation accepted")
+	}
+}
+
+func TestApplyPermutationRelabels(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(gate.CNOT(0, 2), gate.H(1))
+	out, err := ApplyPermutation(c, []int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Gates[0].Qubits[0] != 2 || out.Gates[0].Qubits[1] != 1 {
+		t.Fatalf("CNOT relabeled to %v", out.Gates[0].Qubits)
+	}
+	if out.Gates[1].Qubits[0] != 0 {
+		t.Fatalf("H relabeled to %v", out.Gates[1].Qubits)
+	}
+}
+
+func TestPermuteIndexRoundTrip(t *testing.T) {
+	perm := []int{2, 0, 3, 1}
+	inv := make([]int, len(perm))
+	for q, p := range perm {
+		inv[p] = q
+	}
+	for x := uint64(0); x < 16; x++ {
+		y := PermuteIndex(x, perm)
+		if PermuteIndex(y, inv) != x {
+			t.Fatalf("round trip failed for %d", x)
+		}
+	}
+	// Bit q of x must land at bit perm[q].
+	if PermuteIndex(1, perm) != 1<<2 {
+		t.Fatal("bit 0 should move to bit 2")
+	}
+}
+
+func TestPermuteStateMatchesSimulation(t *testing.T) {
+	// Simulating a permuted circuit and permuting the state back must equal
+	// simulating the original circuit.
+	rng := rand.New(rand.NewSource(5))
+	c := circuit.New(4)
+	for i := 0; i < 10; i++ {
+		a := rng.Intn(4)
+		b := (a + 1 + rng.Intn(3)) % 4
+		c.Append(gate.H(a), gate.RZZ(rng.Float64(), a, b))
+	}
+	perm := []int{3, 1, 0, 2}
+	pc, err := ApplyPermutation(c, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := statevec.NewState(4)
+	orig.ApplyAll(c.Gates)
+	permuted := statevec.NewState(4)
+	permuted.ApplyAll(pc.Gates)
+	back := PermuteState(permuted, perm)
+	if d := statevec.MaxAbsDiff(orig, statevec.State(back)); d > 1e-12 {
+		t.Fatalf("permuted simulation differs by %g", d)
+	}
+}
+
+// shuffledCascade builds a circuit whose natural qubit order hides an
+// obvious cascade: an anchor couples to partners that the initial labeling
+// scatters across both partitions.
+func shuffledCascade() *circuit.Circuit {
+	c := circuit.New(8)
+	// Anchor 0 couples to 4,5,6,7 — with cut at 3 every gate crosses, but
+	// they already form a cascade. Scatter instead: anchor 2 couples to
+	// 0,1,3 (same side mostly) while pairs (4,5),(6,7) stay local. Then
+	// couple 3<->4 heavily so the initial cut at 3 separates them.
+	c.Append(
+		gate.RZZ(0.1, 3, 4), gate.RZZ(0.2, 3, 5), gate.RZZ(0.3, 3, 6),
+		gate.RZZ(0.4, 2, 4), gate.RZZ(0.5, 2, 5),
+		gate.RZZ(0.6, 0, 1), gate.RZZ(0.7, 6, 7),
+	)
+	return c
+}
+
+func TestOptimizeNeverWorse(t *testing.T) {
+	c := shuffledCascade()
+	res, err := Optimize(c, 3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Log2PathsAfter > res.Log2PathsBefore {
+		t.Fatalf("optimization made paths worse: %.1f -> %.1f",
+			res.Log2PathsBefore, res.Log2PathsAfter)
+	}
+	// The returned circuit must score exactly Log2PathsAfter.
+	plan, err := cut.BuildPlan(res.Circuit, cut.Options{
+		Partition: cut.Partition{CutPos: 3}, Strategy: cut.StrategyCascade,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Log2Paths() != res.Log2PathsAfter {
+		t.Fatalf("reported %.2f, recomputed %.2f", res.Log2PathsAfter, plan.Log2Paths())
+	}
+}
+
+func TestOptimizeFindsBetterOrder(t *testing.T) {
+	// Two clusters {0,2,4,6} and {1,3,5,7} densely coupled internally and
+	// weakly across; the interleaved labeling makes the naive cut terrible.
+	c := circuit.New(8)
+	even := []int{0, 2, 4, 6}
+	odd := []int{1, 3, 5, 7}
+	for i := 0; i < len(even); i++ {
+		for j := i + 1; j < len(even); j++ {
+			c.Append(gate.RZZ(0.3, even[i], even[j]))
+			c.Append(gate.RZZ(0.4, odd[i], odd[j]))
+		}
+	}
+	c.Append(gate.RZZ(0.5, 0, 1)) // single weak cross link
+	res, err := Optimize(c, 3, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrossingAfter >= res.CrossingBefore {
+		t.Fatalf("crossing gates not reduced: %d -> %d", res.CrossingBefore, res.CrossingAfter)
+	}
+	if res.Log2PathsAfter >= res.Log2PathsBefore {
+		t.Fatalf("paths not reduced: %.1f -> %.1f", res.Log2PathsBefore, res.Log2PathsAfter)
+	}
+	// The ideal order cuts exactly the one weak link.
+	if res.CrossingAfter != 1 {
+		t.Fatalf("crossing after = %d, want 1", res.CrossingAfter)
+	}
+}
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	c := shuffledCascade()
+	for q := 0; q < 8; q++ {
+		c.Gates = append([]gate.Gate{gate.H(q)}, c.Gates...)
+	}
+	res, err := Optimize(c, 3, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := statevec.NewState(8)
+	orig.ApplyAll(c.Gates)
+	permuted := statevec.NewState(8)
+	permuted.ApplyAll(res.Circuit.Gates)
+	back := PermuteState(permuted, res.Perm)
+	if d := statevec.MaxAbsDiff(orig, statevec.State(back)); d > 1e-12 {
+		t.Fatalf("optimized circuit is not equivalent: %g", d)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	c := circuit.New(4)
+	c.Append(gate.H(0))
+	if _, err := Optimize(c, 3, Options{}); err == nil {
+		t.Fatal("degenerate cut accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package route
+
+import (
+	"fmt"
+
+	"hsfsim/internal/circuit"
+)
+
+// GridSpec describes a rows×cols qubit grid; wire w sits at row w/cols,
+// column w%cols, and couples to its four nearest neighbours — the topology
+// of the supremacy-style processors behind the grcs workload.
+type GridSpec struct {
+	Rows, Cols int
+}
+
+// NumWires returns the wire count.
+func (g GridSpec) NumWires() int { return g.Rows * g.Cols }
+
+// Adjacent reports whether physical wires a and b are grid neighbours.
+func (g GridSpec) Adjacent(a, b int) bool {
+	ra, ca := a/g.Cols, a%g.Cols
+	rb, cb := b/g.Cols, b%g.Cols
+	dr, dc := ra-rb, ca-cb
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr+dc == 1
+}
+
+// Grid routes the circuit onto the grid topology: two-qubit gates bubble
+// their first operand along a Manhattan path (row first, then column) until
+// the operands are neighbours. Gates on three or more qubits are rejected.
+func Grid(c *circuit.Circuit, spec GridSpec) (*Result, error) {
+	if spec.Rows <= 0 || spec.Cols <= 0 {
+		return nil, fmt.Errorf("route: invalid grid %dx%d", spec.Rows, spec.Cols)
+	}
+	n := c.NumQubits
+	if n > spec.NumWires() {
+		return nil, fmt.Errorf("route: %d qubits exceed the %dx%d grid", n, spec.Rows, spec.Cols)
+	}
+	st := newState(c, spec.NumWires())
+
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		switch g.NumQubits() {
+		case 1:
+			st.emit(g)
+		case 2:
+			pa := st.pos[g.Qubits[0]]
+			pb := st.pos[g.Qubits[1]]
+			for !spec.Adjacent(pa, pb) && pa != pb {
+				next := stepToward(spec, pa, pb)
+				st.swapPhys(pa, next)
+				pa = next
+			}
+			st.emit(g)
+		default:
+			return nil, fmt.Errorf("route: %d-qubit gate %q unsupported (transpile first)", g.NumQubits(), g.Name)
+		}
+	}
+	return st.result(n), nil
+}
+
+// stepToward returns the grid neighbour of a one Manhattan step closer to b
+// (row direction first).
+func stepToward(spec GridSpec, a, b int) int {
+	ra, ca := a/spec.Cols, a%spec.Cols
+	rb, cb := b/spec.Cols, b%spec.Cols
+	switch {
+	case ra < rb:
+		return a + spec.Cols
+	case ra > rb:
+		return a - spec.Cols
+	case ca < cb:
+		return a + 1
+	default:
+		return a - 1
+	}
+}
+
+// IsGrid reports whether every two-qubit gate of c is grid-adjacent.
+func IsGrid(c *circuit.Circuit, spec GridSpec) bool {
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.NumQubits() == 2 && !spec.Adjacent(g.Qubits[0], g.Qubits[1]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/reorder"
+	"hsfsim/internal/statevec"
+)
+
+func TestGridSpecAdjacency(t *testing.T) {
+	g := GridSpec{Rows: 3, Cols: 4}
+	if !g.Adjacent(0, 1) || !g.Adjacent(0, 4) {
+		t.Fatal("neighbours not detected")
+	}
+	if g.Adjacent(3, 4) { // row wrap
+		t.Fatal("row wrap treated as adjacent")
+	}
+	if g.Adjacent(0, 5) { // diagonal
+		t.Fatal("diagonal treated as adjacent")
+	}
+	if g.NumWires() != 12 {
+		t.Fatal("wire count wrong")
+	}
+}
+
+func TestGridRoutesDiagonalGate(t *testing.T) {
+	c := circuit.New(9)
+	c.Append(gate.CNOT(0, 8)) // opposite corners of a 3x3 grid
+	res, err := Grid(c, GridSpec{Rows: 3, Cols: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted != 3 { // Manhattan distance 4 → 3 swaps
+		t.Fatalf("swaps = %d, want 3", res.SwapsInserted)
+	}
+	if !IsGrid(res.Circuit, GridSpec{Rows: 3, Cols: 3}) {
+		t.Fatal("output not grid-adjacent")
+	}
+}
+
+func TestGridSemanticsPreserved(t *testing.T) {
+	spec := GridSpec{Rows: 2, Cols: 3}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 6, 10)
+		res, err := Grid(c, spec)
+		if err != nil {
+			return false
+		}
+		if !IsGrid(res.Circuit, spec) {
+			return false
+		}
+		want := statevec.NewState(6)
+		want.ApplyAll(c.Gates)
+		got := statevec.NewState(6)
+		got.ApplyAll(res.Circuit.Gates)
+		back := reorder.PermuteState(got, res.Final)
+		return statevec.MaxAbsDiff(want, statevec.State(back)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	c := circuit.New(10)
+	c.Append(gate.H(0))
+	if _, err := Grid(c, GridSpec{Rows: 3, Cols: 3}); err == nil {
+		t.Fatal("oversubscribed grid accepted")
+	}
+	if _, err := Grid(c, GridSpec{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	c3 := circuit.New(3)
+	c3.Append(gate.CCX(0, 1, 2))
+	if _, err := Grid(c3, GridSpec{Rows: 2, Cols: 2}); err == nil {
+		t.Fatal("3-qubit gate accepted")
+	}
+}
+
+func TestGridFewerQubitsThanWires(t *testing.T) {
+	// 2 logical qubits on a 2x2 grid: routing works and the result wire
+	// count is the grid size.
+	c := circuit.New(2)
+	c.Append(gate.H(0), gate.CNOT(0, 1))
+	res, err := Grid(c, GridSpec{Rows: 2, Cols: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuit.NumQubits != 4 {
+		t.Fatalf("routed circuit on %d wires, want 4", res.Circuit.NumQubits)
+	}
+	if len(res.Final) != 2 {
+		t.Fatalf("Final length %d, want 2", len(res.Final))
+	}
+}

@@ -1,0 +1,121 @@
+// Package route maps circuits onto restricted qubit connectivity by
+// inserting SWAP gates. Two topologies are provided: the linear chain (the
+// constraint under which MPS backends and many hardware platforms operate)
+// and the 2D grid of supremacy-style processors. After routing, every
+// multi-qubit gate acts on coupled wires.
+package route
+
+import (
+	"fmt"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+)
+
+// Result is a routed circuit plus the final logical→physical wire mapping.
+type Result struct {
+	// Circuit acts on physical wires; all multi-qubit gates are adjacent in
+	// the chosen topology.
+	Circuit *circuit.Circuit
+	// Final maps each logical qubit to the physical wire holding it after
+	// the last gate (Final[logical] = physical). States simulated from the
+	// routed circuit are un-permuted with reorder.PermuteState when the
+	// wire count equals the qubit count.
+	Final []int
+	// SwapsInserted counts the routing overhead.
+	SwapsInserted int
+}
+
+// routerState tracks the logical↔physical mapping while gates are emitted.
+type routerState struct {
+	pos   []int // logical -> physical
+	owner []int // physical -> logical (-1: unused wire)
+	out   *circuit.Circuit
+	swaps int
+}
+
+func newState(c *circuit.Circuit, wires int) *routerState {
+	st := &routerState{
+		pos:   make([]int, c.NumQubits),
+		owner: make([]int, wires),
+		out:   circuit.New(wires),
+	}
+	for w := range st.owner {
+		st.owner[w] = -1
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		st.pos[q] = q
+		st.owner[q] = q
+	}
+	return st
+}
+
+// emit appends g remapped to physical wires.
+func (st *routerState) emit(g *gate.Gate) {
+	st.out.Append(g.Remap(func(q int) int { return st.pos[q] }))
+}
+
+// swapPhys exchanges the contents of two physical wires.
+func (st *routerState) swapPhys(a, b int) {
+	st.out.Append(gate.SWAP(a, b))
+	la, lb := st.owner[a], st.owner[b]
+	st.owner[a], st.owner[b] = lb, la
+	if la >= 0 {
+		st.pos[la] = b
+	}
+	if lb >= 0 {
+		st.pos[lb] = a
+	}
+	st.swaps++
+}
+
+func (st *routerState) result(nLogical int) *Result {
+	final := make([]int, nLogical)
+	copy(final, st.pos[:nLogical])
+	return &Result{Circuit: st.out, Final: final, SwapsInserted: st.swaps}
+}
+
+// Linear routes the circuit onto a chain: physical wire w couples only to
+// w±1. Single-qubit gates relocate with their logical qubit; two-qubit
+// gates bubble their first operand next to the second with SWAP chains.
+// Gates on three or more qubits are rejected — transpile them first.
+func Linear(c *circuit.Circuit) (*Result, error) {
+	st := newState(c, c.NumQubits)
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		switch g.NumQubits() {
+		case 1:
+			st.emit(g)
+		case 2:
+			pa, pb := st.pos[g.Qubits[0]], st.pos[g.Qubits[1]]
+			for pa < pb-1 {
+				st.swapPhys(pa, pa+1)
+				pa++
+			}
+			for pa > pb+1 {
+				st.swapPhys(pa, pa-1)
+				pa--
+			}
+			st.emit(g)
+		default:
+			return nil, fmt.Errorf("route: %d-qubit gate %q unsupported (transpile first)", g.NumQubits(), g.Name)
+		}
+	}
+	return st.result(c.NumQubits), nil
+}
+
+// IsLinear reports whether every multi-qubit gate of c acts on adjacent
+// wires — the postcondition of Linear.
+func IsLinear(c *circuit.Circuit) bool {
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.NumQubits() != 2 {
+			continue
+		}
+		d := g.Qubits[0] - g.Qubits[1]
+		if d != 1 && d != -1 {
+			return false
+		}
+	}
+	return true
+}

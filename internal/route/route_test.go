@@ -1,0 +1,111 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/reorder"
+	"hsfsim/internal/statevec"
+)
+
+func randomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		a := rng.Intn(n)
+		b := (a + 1 + rng.Intn(n-1)) % n
+		switch rng.Intn(4) {
+		case 0:
+			c.Append(gate.H(a))
+		case 1:
+			c.Append(gate.RX(rng.Float64(), a))
+		case 2:
+			c.Append(gate.CNOT(a, b))
+		default:
+			c.Append(gate.RZZ(rng.Float64(), a, b))
+		}
+	}
+	return c
+}
+
+func TestLinearAlreadyAdjacent(t *testing.T) {
+	c := circuit.New(4)
+	c.Append(gate.H(0), gate.CNOT(0, 1), gate.CNOT(1, 2), gate.CNOT(2, 3))
+	res, err := Linear(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted != 0 {
+		t.Fatalf("swaps = %d, want 0", res.SwapsInserted)
+	}
+	if !IsLinear(res.Circuit) {
+		t.Fatal("output not linear")
+	}
+	for q, p := range res.Final {
+		if q != p {
+			t.Fatal("identity mapping expected")
+		}
+	}
+}
+
+func TestLinearInsertsSwaps(t *testing.T) {
+	c := circuit.New(5)
+	c.Append(gate.CNOT(0, 4))
+	res, err := Linear(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsInserted != 3 {
+		t.Fatalf("swaps = %d, want 3", res.SwapsInserted)
+	}
+	if !IsLinear(res.Circuit) {
+		t.Fatal("output not linear")
+	}
+}
+
+func TestLinearSemanticsPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		c := randomCircuit(rng, n, 10)
+		res, err := Linear(c)
+		if err != nil {
+			return false
+		}
+		if !IsLinear(res.Circuit) {
+			return false
+		}
+		want := statevec.NewState(n)
+		want.ApplyAll(c.Gates)
+		got := statevec.NewState(n)
+		got.ApplyAll(res.Circuit.Gates)
+		back := reorder.PermuteState(got, res.Final)
+		return statevec.MaxAbsDiff(want, statevec.State(back)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearRejectsWideGates(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(gate.CCX(0, 1, 2))
+	if _, err := Linear(c); err == nil {
+		t.Fatal("3-qubit gate accepted")
+	}
+}
+
+func TestIsLinear(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(gate.CNOT(0, 2))
+	if IsLinear(c) {
+		t.Fatal("non-adjacent gate not detected")
+	}
+	c = circuit.New(3)
+	c.Append(gate.CNOT(2, 1), gate.H(0))
+	if !IsLinear(c) {
+		t.Fatal("adjacent circuit misreported")
+	}
+}

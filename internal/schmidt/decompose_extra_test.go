@@ -1,0 +1,93 @@
+package schmidt
+
+import (
+	"math"
+	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+)
+
+func TestSingularValuesOfCommonGates(t *testing.T) {
+	// The Schmidt spectrum is a gate fingerprint: verify the known values.
+	cases := []struct {
+		name string
+		g    gate.Gate
+		want []float64
+	}{
+		// CNOT/CZ: σ = (√2, √2) — the two projector terms carry equal weight.
+		{"cx", gate.CNOT(0, 1), []float64{math.Sqrt2, math.Sqrt2}},
+		{"cz", gate.CZ(0, 1), []float64{math.Sqrt2, math.Sqrt2}},
+		// SWAP: four equal singular values of 1.
+		{"swap", gate.SWAP(0, 1), []float64{1, 1, 1, 1}},
+	}
+	for _, c := range cases {
+		op := opOnQubits(2, c.g)
+		d, err := Decompose(op, 1, 1, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if d.Rank() != len(c.want) {
+			t.Fatalf("%s: rank %d, want %d", c.name, d.Rank(), len(c.want))
+		}
+		for i, w := range c.want {
+			if math.Abs(d.Terms[i].Sigma-w) > 1e-9 {
+				t.Errorf("%s: σ[%d] = %g, want %g", c.name, i, d.Terms[i].Sigma, w)
+			}
+		}
+	}
+}
+
+func TestRZZSigmaAngleDependence(t *testing.T) {
+	// RZZ(θ): σ = (2|cos θ/2|, 2|sin θ/2|) — the joint-cut branch weights.
+	for _, theta := range []float64{0.2, 1.0, math.Pi / 2, 2.5} {
+		op := opOnQubits(2, gate.RZZ(theta, 0, 1))
+		d, err := Decompose(op, 1, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := 2 * math.Abs(math.Cos(theta/2))
+		s := 2 * math.Abs(math.Sin(theta/2))
+		hi, lo := c, s
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+		if math.Abs(d.Terms[0].Sigma-hi) > 1e-9 || math.Abs(d.Terms[1].Sigma-lo) > 1e-9 {
+			t.Fatalf("θ=%g: σ = (%g, %g), want (%g, %g)",
+				theta, d.Terms[0].Sigma, d.Terms[1].Sigma, hi, lo)
+		}
+	}
+}
+
+func TestUnbalancedBipartitions(t *testing.T) {
+	// A 4-qubit operator cut 1|3 and 3|1: ranks bounded by 4 either way.
+	gs := []gate.Gate{gate.CNOT(0, 1), gate.CNOT(1, 2), gate.CNOT(2, 3)}
+	op := opOnQubits(4, gs...)
+	for _, split := range [][2]int{{1, 3}, {3, 1}, {2, 2}} {
+		d, err := Decompose(op, split[0], split[1], 0)
+		if err != nil {
+			t.Fatalf("split %v: %v", split, err)
+		}
+		if d.Rank() > MaxRank(split[0], split[1]) {
+			t.Fatalf("split %v: rank %d exceeds bound %d", split, d.Rank(), MaxRank(split[0], split[1]))
+		}
+		if e := d.ReconstructionError(op); e > 1e-9 {
+			t.Fatalf("split %v: reconstruction error %g", split, e)
+		}
+	}
+}
+
+func TestTermsKroneckerDimensions(t *testing.T) {
+	gs := []gate.Gate{gate.RZZ(0.5, 0, 2), gate.RZZ(0.7, 1, 2)}
+	block := circuit.New(3)
+	block.Append(gs...)
+	d, err := Decompose(block.Unitary(), 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range d.Terms {
+		if term.Lower.Rows != 4 || term.Upper.Rows != 2 {
+			t.Fatalf("term shapes: lower %d, upper %d", term.Lower.Rows, term.Upper.Rows)
+		}
+	}
+}

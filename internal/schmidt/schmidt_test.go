@@ -1,0 +1,246 @@
+package schmidt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+)
+
+// opOnQubits builds the matrix of a sequence of gates on a k-qubit register.
+func opOnQubits(k int, gs ...gate.Gate) *cmat.Matrix {
+	c := circuit.New(k)
+	c.Append(gs...)
+	return c.Unitary()
+}
+
+func TestCNOTSchmidtRank2(t *testing.T) {
+	// CNOT across the 1|1 bipartition has Schmidt rank 2 (paper Ex. 2).
+	op := opOnQubits(2, gate.CNOT(0, 1))
+	d, err := Decompose(op, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rank() != 2 {
+		t.Fatalf("CNOT rank = %d, want 2 (S=%v)", d.Rank(), d.SingularValues)
+	}
+	if e := d.ReconstructionError(op); e > 1e-9 {
+		t.Fatalf("reconstruction error %g", e)
+	}
+}
+
+func TestGateRanks(t *testing.T) {
+	cases := []struct {
+		name string
+		g    gate.Gate
+		rank int
+	}{
+		{"cz", gate.CZ(0, 1), 2},
+		{"cx", gate.CNOT(0, 1), 2},
+		{"cp", gate.CPhase(0.7, 0, 1), 2},
+		{"rzz", gate.RZZ(0.5, 0, 1), 2},
+		{"rzz-pi-multiple", gate.RZZ(0, 0, 1), 1}, // identity up to phase
+		{"swap", gate.SWAP(0, 1), 4},              // paper Fig. 3 caption
+		{"iswap", gate.ISWAP(0, 1), 4},
+		{"fsim", gate.FSim(0.5, 0.4, 0, 1), 4},
+		{"rxx", gate.RXX(0.9, 0, 1), 2},
+	}
+	for _, c := range cases {
+		op := opOnQubits(2, c.g)
+		d, err := Decompose(op, 1, 1, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if d.Rank() != c.rank {
+			t.Errorf("%s rank = %d, want %d (S=%v)", c.name, d.Rank(), c.rank, d.SingularValues)
+		}
+		if e := d.ReconstructionError(op); e > 1e-9 {
+			t.Errorf("%s reconstruction error %g", c.name, e)
+		}
+	}
+}
+
+func TestLocalProductHasRank1(t *testing.T) {
+	// H ⊗ T acts locally on each side: rank 1.
+	op := opOnQubits(2, gate.H(1), gate.T(0))
+	d, err := Decompose(op, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rank() != 1 {
+		t.Fatalf("local product rank = %d, want 1", d.Rank())
+	}
+}
+
+func TestCNOTCascadeNumericRank2(t *testing.T) {
+	// A cascade of k CNOTs sharing the control keeps rank 2 (paper Ex. 4).
+	for k := 1; k <= 4; k++ {
+		gs := make([]gate.Gate, k)
+		for i := 0; i < k; i++ {
+			// Control = top qubit (index k), targets below.
+			gs[i] = gate.CNOT(k, i)
+		}
+		op := opOnQubits(k+1, gs...)
+		d, err := Decompose(op, k, 1, 0) // lower: k targets, upper: control
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Rank() != 2 {
+			t.Fatalf("k=%d cascade rank = %d, want 2", k, d.Rank())
+		}
+		if e := d.ReconstructionError(op); e > 1e-9 {
+			t.Fatalf("k=%d reconstruction error %g", k, e)
+		}
+	}
+}
+
+func TestAnalyticCascadesMatchOperators(t *testing.T) {
+	// CNOT cascade with anchor as the single upper qubit.
+	for k := 1; k <= 4; k++ {
+		gs := make([]gate.Gate, k)
+		for i := 0; i < k; i++ {
+			gs[i] = gate.CNOT(k, i)
+		}
+		op := opOnQubits(k+1, gs...)
+		d := CNOTCascade(k, true)
+		if e := d.ReconstructionError(op); e > 1e-9 {
+			t.Fatalf("CNOT cascade k=%d analytic error %g", k, e)
+		}
+	}
+	// CZ cascade.
+	for k := 1; k <= 3; k++ {
+		gs := make([]gate.Gate, k)
+		for i := 0; i < k; i++ {
+			gs[i] = gate.CZ(k, i)
+		}
+		op := opOnQubits(k+1, gs...)
+		d := CZCascade(k, true)
+		if e := d.ReconstructionError(op); e > 1e-9 {
+			t.Fatalf("CZ cascade k=%d analytic error %g", k, e)
+		}
+	}
+	// RZZ cascade with distinct angles.
+	thetas := []float64{0.3, -0.8, 1.7}
+	gs := make([]gate.Gate, len(thetas))
+	for i, th := range thetas {
+		gs[i] = gate.RZZ(th, 3, i)
+	}
+	op := opOnQubits(4, gs...)
+	d := RZZCascade(thetas, true)
+	if e := d.ReconstructionError(op); e > 1e-9 {
+		t.Fatalf("RZZ cascade analytic error %g", e)
+	}
+}
+
+func TestAnalyticCascadeAnchorLower(t *testing.T) {
+	// Anchor on the lower side: control is qubit 0, targets above.
+	thetas := []float64{0.4, 0.9}
+	gs := []gate.Gate{gate.RZZ(0.4, 0, 1), gate.RZZ(0.9, 0, 2)}
+	op := opOnQubits(3, gs...)
+	d := RZZCascade(thetas, false)
+	if e := d.ReconstructionError(op); e > 1e-9 {
+		t.Fatalf("anchor-lower RZZ cascade error %g", e)
+	}
+}
+
+func TestRankBound(t *testing.T) {
+	// Random unitaries never exceed the min(4^na, 4^nb) bound (Sec. IV-B).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nLo := 1 + rng.Intn(2)
+		nUp := 1 + rng.Intn(2)
+		n := nLo + nUp
+		c := circuit.New(n)
+		for i := 0; i < 10; i++ {
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.Append(gate.CNOT(a, b), gate.RX(rng.Float64()*3, rng.Intn(n)), gate.T(rng.Intn(n)))
+		}
+		op := c.Unitary()
+		d, err := Decompose(op, nLo, nUp, 0)
+		if err != nil {
+			return false
+		}
+		return d.Rank() <= MaxRank(nLo, nUp) && d.ReconstructionError(op) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedNormEqualsFrobenius(t *testing.T) {
+	op := opOnQubits(2, gate.CNOT(0, 1))
+	d, err := Decompose(op, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.WeightedNorm()-op.FrobeniusNorm()) > 1e-9 {
+		t.Fatalf("Σσ² = %g, ||A||_F = %g", d.WeightedNorm(), op.FrobeniusNorm())
+	}
+}
+
+func TestMaxRank(t *testing.T) {
+	if MaxRank(1, 1) != 4 || MaxRank(2, 1) != 4 || MaxRank(2, 2) != 16 || MaxRank(3, 1) != 4 {
+		t.Fatal("MaxRank wrong")
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose(cmat.Identity(4), 2, 1, 0); err == nil {
+		t.Fatal("dimension mismatch not rejected")
+	}
+	if _, err := Decompose(cmat.Identity(4), 2, 0, 0); err == nil {
+		t.Fatal("trivial bipartition not rejected")
+	}
+}
+
+func TestOperatorSchmidtRank(t *testing.T) {
+	op := opOnQubits(2, gate.SWAP(0, 1))
+	r, err := OperatorSchmidtRank(op, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 4 {
+		t.Fatalf("SWAP rank = %d, want 4", r)
+	}
+}
+
+func TestSchmidtOfTwoRZZBlockSharedAnchor(t *testing.T) {
+	// Two RZZ gates sharing the anchor across the cut: joint rank 2, while
+	// separate cutting would give 2·2 = 4 paths. This is the core joint-cut
+	// win on QAOA circuits.
+	gs := []gate.Gate{gate.RZZ(0.7, 2, 0), gate.RZZ(1.1, 2, 1)}
+	op := opOnQubits(3, gs...)
+	d, err := Decompose(op, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rank() != 2 {
+		t.Fatalf("joint rank = %d, want 2", d.Rank())
+	}
+}
+
+func BenchmarkDecompose2Qubit(b *testing.B) {
+	op := opOnQubits(2, gate.RZZ(0.5, 0, 1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(op, 1, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompose4QubitBlock(b *testing.B) {
+	gs := []gate.Gate{gate.RZZ(0.5, 3, 0), gate.RZZ(0.6, 3, 1), gate.RZZ(0.7, 3, 2)}
+	op := opOnQubits(4, gs...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(op, 3, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package server exposes the simulator over HTTP with a JSON API:
+//
+//	POST /analyze   — cut-plan summary for a QASM circuit
+//	POST /simulate  — run one of the three methods on a QASM circuit
+//	GET  /healthz   — liveness
+//
+// The handlers are plain net/http so the service embeds anywhere; cmd/hsfsimd
+// wraps them in a binary.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"hsfsim"
+	"hsfsim/internal/qasm"
+)
+
+// MaxRequestBytes bounds the accepted QASM payload.
+const MaxRequestBytes = 4 << 20
+
+// MaxReturnedAmplitudes bounds the amplitudes echoed back per request.
+const MaxReturnedAmplitudes = 4096
+
+// AnalyzeRequest is the /analyze payload.
+type AnalyzeRequest struct {
+	QASM           string `json:"qasm"`
+	CutPos         *int   `json:"cut_pos,omitempty"` // default n/2-1
+	Strategy       string `json:"strategy,omitempty"`
+	MaxBlockQubits int    `json:"max_block_qubits,omitempty"`
+}
+
+// SimulateRequest is the /simulate payload.
+type SimulateRequest struct {
+	QASM           string `json:"qasm"`
+	Method         string `json:"method"` // schrodinger | standard | joint
+	CutPos         *int   `json:"cut_pos,omitempty"`
+	MaxAmplitudes  int    `json:"max_amplitudes,omitempty"`
+	Strategy       string `json:"strategy,omitempty"`
+	MaxBlockQubits int    `json:"max_block_qubits,omitempty"`
+	TimeoutMillis  int    `json:"timeout_ms,omitempty"`
+}
+
+// Amplitude is one complex amplitude in the response.
+type Amplitude struct {
+	Re float64 `json:"re"`
+	Im float64 `json:"im"`
+}
+
+// SimulateResponse is the /simulate reply.
+type SimulateResponse struct {
+	Method          string      `json:"method"`
+	NumQubits       int         `json:"num_qubits"`
+	NumPaths        uint64      `json:"num_paths"`
+	Log2Paths       float64     `json:"log2_paths"`
+	NumCuts         int         `json:"num_cuts"`
+	NumBlocks       int         `json:"num_blocks"`
+	PreprocessMs    float64     `json:"preprocess_ms"`
+	SimMs           float64     `json:"sim_ms"`
+	Amplitudes      []Amplitude `json:"amplitudes"`
+	AmplitudesTotal int         `json:"amplitudes_total"`
+	Truncated       bool        `json:"truncated"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// New returns the HTTP handler tree.
+func New() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", handleHealth)
+	mux.HandleFunc("/analyze", handleAnalyze)
+	mux.HandleFunc("/simulate", handleSimulate)
+	return mux
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return false
+	}
+	return true
+}
+
+func parseCircuit(qasmSrc string) (*hsfsim.Circuit, error) {
+	if strings.TrimSpace(qasmSrc) == "" {
+		return nil, fmt.Errorf("empty qasm")
+	}
+	return qasm.Parse(strings.NewReader(qasmSrc))
+}
+
+func strategyOf(s string) (hsfsim.BlockStrategy, error) {
+	switch s {
+	case "", "cascade":
+		return hsfsim.BlockCascade, nil
+	case "window":
+		return hsfsim.BlockWindow, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func cutPosOf(req *int, numQubits int) int {
+	if req != nil {
+		return *req
+	}
+	return numQubits/2 - 1
+}
+
+func handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c, err := parseCircuit(req.QASM)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	strategy, err := strategyOf(req.Strategy)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s, err := hsfsim.Analyze(c, cutPosOf(req.CutPos, c.NumQubits), strategy, req.MaxBlockQubits)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, s)
+}
+
+func handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c, err := parseCircuit(req.QASM)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := hsfsim.Options{
+		MaxAmplitudes:  req.MaxAmplitudes,
+		MaxBlockQubits: req.MaxBlockQubits,
+	}
+	switch req.Method {
+	case "schrodinger":
+		opts.Method = hsfsim.Schrodinger
+	case "standard":
+		opts.Method = hsfsim.StandardHSF
+	case "joint", "":
+		opts.Method = hsfsim.JointHSF
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown method %q", req.Method))
+		return
+	}
+	if opts.BlockStrategy, err = strategyOf(req.Strategy); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if opts.Method != hsfsim.Schrodinger {
+		opts.CutPos = cutPosOf(req.CutPos, c.NumQubits)
+	}
+	if req.TimeoutMillis > 0 {
+		opts.Timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+
+	res, err := hsfsim.Simulate(c, opts)
+	if err == hsfsim.ErrTimeout {
+		writeErr(w, http.StatusRequestTimeout, err)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+
+	resp := SimulateResponse{
+		Method:          res.Method.String(),
+		NumQubits:       c.NumQubits,
+		NumPaths:        res.NumPaths,
+		Log2Paths:       res.Log2Paths,
+		NumCuts:         res.NumCuts,
+		NumBlocks:       res.NumBlocks,
+		PreprocessMs:    float64(res.PreprocessTime.Microseconds()) / 1000,
+		SimMs:           float64(res.SimTime.Microseconds()) / 1000,
+		AmplitudesTotal: len(res.Amplitudes),
+	}
+	n := len(res.Amplitudes)
+	if n > MaxReturnedAmplitudes {
+		n = MaxReturnedAmplitudes
+		resp.Truncated = true
+	}
+	resp.Amplitudes = make([]Amplitude, n)
+	for i := 0; i < n; i++ {
+		resp.Amplitudes[i] = Amplitude{Re: real(res.Amplitudes[i]), Im: imag(res.Amplitudes[i])}
+	}
+	writeJSON(w, resp)
+}

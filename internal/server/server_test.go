@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hsfsim/internal/cut"
+)
+
+const bellQASM = `OPENQASM 2.0;
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+`
+
+const cascadeQASM = `OPENQASM 2.0;
+qreg q[6];
+rzz(0.3) q[2],q[3];
+rzz(0.5) q[2],q[4];
+rzz(0.7) q[2],q[5];
+`
+
+func post(t *testing.T, srv *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestAnalyzeCascade(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	cutPos := 2
+	resp := post(t, srv, "/analyze", AnalyzeRequest{QASM: cascadeQASM, CutPos: &cutPos})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var s cut.Summary
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPaths != 2 || s.NumBlocks != 1 {
+		t.Fatalf("summary: %+v", s)
+	}
+}
+
+func TestSimulateBellAllMethods(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	for _, method := range []string{"schrodinger", "standard", "joint"} {
+		cutPos := 0
+		resp := post(t, srv, "/simulate", SimulateRequest{QASM: bellQASM, Method: method, CutPos: &cutPos})
+		var out SimulateResponse
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", method, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if out.NumQubits != 2 || len(out.Amplitudes) != 4 {
+			t.Fatalf("%s: response %+v", method, out)
+		}
+		want := math.Sqrt2 / 2
+		if math.Abs(out.Amplitudes[0].Re-want) > 1e-9 || math.Abs(out.Amplitudes[3].Re-want) > 1e-9 {
+			t.Fatalf("%s: Bell amplitudes wrong: %+v", method, out.Amplitudes)
+		}
+	}
+}
+
+func TestSimulateAmplitudeCap(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	// 14 qubits = 16384 amplitudes > MaxReturnedAmplitudes.
+	qasm := "qreg q[14]; h q[0];"
+	resp := post(t, srv, "/simulate", SimulateRequest{QASM: qasm, Method: "schrodinger"})
+	defer resp.Body.Close()
+	var out SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Truncated || len(out.Amplitudes) != MaxReturnedAmplitudes {
+		t.Fatalf("cap not applied: %d amplitudes, truncated=%v", len(out.Amplitudes), out.Truncated)
+	}
+	if out.AmplitudesTotal != 1<<14 {
+		t.Fatalf("total = %d", out.AmplitudesTotal)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+
+	cases := []struct {
+		path string
+		body any
+		want int
+	}{
+		{"/simulate", SimulateRequest{QASM: "", Method: "joint"}, http.StatusBadRequest},
+		{"/simulate", SimulateRequest{QASM: "garbage", Method: "joint"}, http.StatusBadRequest},
+		{"/simulate", SimulateRequest{QASM: bellQASM, Method: "nope"}, http.StatusBadRequest},
+		{"/simulate", SimulateRequest{QASM: bellQASM, Method: "joint", Strategy: "bogus"}, http.StatusBadRequest},
+		{"/analyze", AnalyzeRequest{QASM: ""}, http.StatusBadRequest},
+		{"/analyze", AnalyzeRequest{QASM: bellQASM, CutPos: intp(7)}, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		resp := post(t, srv, c.path, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %+v: status %d, want %d", c.path, c.body, resp.StatusCode, c.want)
+		}
+		var e errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			t.Errorf("%s: missing error body", c.path)
+		}
+		resp.Body.Close()
+	}
+
+	// GET on a POST endpoint.
+	resp, err := http.Get(srv.URL + "/simulate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /simulate: status %d", resp.StatusCode)
+	}
+
+	// Unknown fields are rejected.
+	raw, _ := json.Marshal(map[string]any{"qasm": bellQASM, "bogus_field": 1})
+	resp2, err := http.Post(srv.URL+"/analyze", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", resp2.StatusCode)
+	}
+}
+
+func TestSimulateTimeout(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	// Dense crossing structure + 1ms timeout.
+	qasm := "qreg q[12];\n"
+	for i := 0; i < 12; i++ {
+		qasm += "h q[" + string(rune('0'+i%6)) + "];\n"
+	}
+	qasm = "qreg q[12];\n"
+	for a := 0; a < 6; a++ {
+		for b := 6; b < 12; b++ {
+			qasm += qasmf("rzz(0.3) q[%d],q[%d];\n", a, b)
+			qasm += qasmf("rx(0.2) q[%d];\n", a)
+		}
+	}
+	resp := post(t, srv, "/simulate", SimulateRequest{QASM: qasm, Method: "standard", TimeoutMillis: 1})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status %d, want 408", resp.StatusCode)
+	}
+}
+
+func intp(v int) *int { return &v }
+
+func qasmf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,157 @@
+// Package shots turns exact simulator output into measurement statistics —
+// the form in which any real experiment (and the QCC field the paper
+// relates to) consumes quantum states. It samples bitstring counts,
+// estimates diagonal observables with standard errors, and bootstraps
+// confidence intervals.
+package shots
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hsfsim/internal/graph"
+	"hsfsim/internal/xeb"
+)
+
+// Counts maps basis-state index to the number of times it was measured.
+type Counts map[int]int
+
+// Total returns the shot count.
+func (c Counts) Total() int {
+	n := 0
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// Sample draws n measurement shots from the (possibly truncated)
+// probability vector.
+func Sample(probs []float64, n int, rng *rand.Rand) (Counts, error) {
+	s, err := xeb.NewSampler(probs)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(Counts)
+	for _, x := range s.Sample(n, rng) {
+		counts[x]++
+	}
+	return counts, nil
+}
+
+// FromAmplitudes samples counts directly from amplitudes.
+func FromAmplitudes(amps []complex128, n int, rng *rand.Rand) (Counts, error) {
+	return Sample(xeb.Probabilities(amps), n, rng)
+}
+
+// Estimate is a sample estimate with its standard error.
+type Estimate struct {
+	Mean   float64
+	StdErr float64
+	Shots  int
+}
+
+// String renders "mean ± stderr".
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", e.Mean, e.StdErr, e.Shots)
+}
+
+// EstimateParity estimates <Π_{q∈mask} Z_q> from counts: each shot
+// contributes ±1 by the parity of the masked bits.
+func EstimateParity(counts Counts, mask int) (Estimate, error) {
+	n := counts.Total()
+	if n == 0 {
+		return Estimate{}, fmt.Errorf("shots: no shots")
+	}
+	sum := 0
+	for x, c := range counts {
+		if parity(x&mask) == 0 {
+			sum += c
+		} else {
+			sum -= c
+		}
+	}
+	mean := float64(sum) / float64(n)
+	// Var of a ±1 variable: 1 - mean².
+	variance := 1 - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Estimate{Mean: mean, StdErr: math.Sqrt(variance / float64(n)), Shots: n}, nil
+}
+
+// EstimateCut estimates the expected cut value of g from shots: each shot's
+// bitstring is scored with the exact cut function, so the estimate is
+// unbiased with variance from the cut-value spread.
+func EstimateCut(counts Counts, g *graph.Graph) (Estimate, error) {
+	n := counts.Total()
+	if n == 0 {
+		return Estimate{}, fmt.Errorf("shots: no shots")
+	}
+	var sum, sumSq float64
+	for x, c := range counts {
+		v := g.CutValue(uint64(x))
+		sum += v * float64(c)
+		sumSq += v * v * float64(c)
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	se := 0.0
+	if n > 1 {
+		se = math.Sqrt(variance / float64(n-1))
+	}
+	return Estimate{Mean: mean, StdErr: se, Shots: n}, nil
+}
+
+// BootstrapCut computes a percentile bootstrap confidence interval for the
+// expected cut at the given level (e.g. 0.95) using resamples resampled
+// count tables.
+func BootstrapCut(counts Counts, g *graph.Graph, resamples int, level float64, rng *rand.Rand) (lo, hi float64, err error) {
+	n := counts.Total()
+	if n == 0 {
+		return 0, 0, fmt.Errorf("shots: no shots")
+	}
+	if resamples <= 0 {
+		resamples = 200
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	// Flatten to a shot list for resampling.
+	flat := make([]int, 0, n)
+	for x, c := range counts {
+		for i := 0; i < c; i++ {
+			flat = append(flat, x)
+		}
+	}
+	means := make([]float64, resamples)
+	for r := 0; r < resamples; r++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += g.CutValue(uint64(flat[rng.Intn(n)]))
+		}
+		means[r] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	loIdx := int(alpha * float64(resamples))
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return means[loIdx], means[hiIdx], nil
+}
+
+func parity(x int) int {
+	p := 0
+	for x != 0 {
+		p ^= x & 1
+		x >>= 1
+	}
+	return p
+}

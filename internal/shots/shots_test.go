@@ -1,0 +1,127 @@
+package shots
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/gate"
+	"hsfsim/internal/graph"
+	"hsfsim/internal/statevec"
+)
+
+func TestSampleCountsTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts, err := Sample([]float64{0.25, 0.75}, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Total() != 1000 {
+		t.Fatalf("total = %d", counts.Total())
+	}
+	if counts[1] < 650 || counts[1] > 850 {
+		t.Fatalf("counts[1] = %d, want ~750", counts[1])
+	}
+}
+
+func TestEstimateParityBellState(t *testing.T) {
+	s := statevec.NewState(2)
+	h := gate.H(0)
+	cx := gate.CNOT(0, 1)
+	s.ApplyGate(&h)
+	s.ApplyGate(&cx)
+	rng := rand.New(rand.NewSource(2))
+	counts, err := FromAmplitudes(s, 20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// <ZZ> = +1 exactly on a Bell state: every shot has even parity.
+	zz, err := EstimateParity(counts, 0b11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zz.Mean-1) > 1e-12 || zz.StdErr > 1e-12 {
+		t.Fatalf("ZZ estimate %v, want exactly 1", zz)
+	}
+	// <Z_0> = 0: estimate within 5 standard errors.
+	z0, err := EstimateParity(counts, 0b01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z0.Mean) > 5*z0.StdErr+1e-9 {
+		t.Fatalf("Z0 estimate %v inconsistent with 0", z0)
+	}
+}
+
+func TestEstimateCutConvergesToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := graph.ErdosRenyi(6, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform superposition: E[cut] = |E|/2 exactly.
+	probs := make([]float64, 64)
+	for i := range probs {
+		probs[i] = 1.0 / 64
+	}
+	counts, err := Sample(probs, 40000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateCut(counts, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := float64(g.NumEdges()) / 2
+	if math.Abs(est.Mean-exact) > 5*est.StdErr+1e-9 {
+		t.Fatalf("estimate %v vs exact %g", est, exact)
+	}
+	if est.StdErr <= 0 {
+		t.Fatal("missing standard error")
+	}
+}
+
+func TestBootstrapCutCoversEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := graph.ErdosRenyi(5, 0.6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, 32)
+	for i := range probs {
+		probs[i] = 1.0 / 32
+	}
+	counts, err := Sample(probs, 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateCut(counts, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := BootstrapCut(counts, g, 200, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > est.Mean || hi < est.Mean {
+		t.Fatalf("CI [%g, %g] does not cover the point estimate %g", lo, hi, est.Mean)
+	}
+	if hi-lo <= 0 {
+		t.Fatal("degenerate interval")
+	}
+}
+
+func TestErrorsOnEmpty(t *testing.T) {
+	if _, err := Sample(nil, 10, rand.New(rand.NewSource(5))); err == nil {
+		t.Fatal("empty distribution accepted")
+	}
+	if _, err := EstimateParity(Counts{}, 1); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+	if _, err := EstimateCut(Counts{}, graph.New(2)); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+	if _, _, err := BootstrapCut(Counts{}, graph.New(2), 10, 0.95, rand.New(rand.NewSource(6))); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+}

@@ -1,0 +1,216 @@
+package statevec
+
+import (
+	"runtime"
+	"sync"
+
+	"hsfsim/internal/gate"
+)
+
+// parallelThreshold is the state size above which gate application is split
+// across goroutines. Below it, goroutine overhead dominates.
+const parallelThreshold = 1 << 14
+
+// ApplyGate applies g to the state in place. Gates with one or two qubits use
+// specialized kernels; larger gates fall back to a general gather/scatter
+// implementation. Application is parallelized across goroutines for large
+// states.
+func (s State) ApplyGate(g *gate.Gate) {
+	switch g.NumQubits() {
+	case 1:
+		s.apply1(g)
+	case 2:
+		s.apply2(g)
+	default:
+		s.applyK(g)
+	}
+}
+
+// ApplyAll applies a sequence of gates in order.
+func (s State) ApplyAll(gs []gate.Gate) {
+	for i := range gs {
+		s.ApplyGate(&gs[i])
+	}
+}
+
+// parallelRange runs fn over [0,n) split into contiguous chunks across
+// NumCPU goroutines when n is large enough.
+func parallelRange(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelThreshold || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// apply1 applies a single-qubit gate with a tight two-amplitude kernel.
+func (s State) apply1(g *gate.Gate) {
+	q := g.Qubits[0]
+	m := g.Matrix.Data
+	a, b, c, d := m[0], m[1], m[2], m[3]
+	mask := 1 << q
+	if g.Diagonal {
+		parallelRange(len(s), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i&mask == 0 {
+					s[i] *= a
+				} else {
+					s[i] *= d
+				}
+			}
+		})
+		return
+	}
+	half := len(s) >> 1
+	parallelRange(half, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			// Insert a zero bit at position q.
+			i0 := (o>>q)<<(q+1) | (o & (mask - 1))
+			i1 := i0 | mask
+			x, y := s[i0], s[i1]
+			s[i0] = a*x + b*y
+			s[i1] = c*x + d*y
+		}
+	})
+}
+
+// apply2 applies a two-qubit gate with an unrolled four-amplitude kernel.
+func (s State) apply2(g *gate.Gate) {
+	q0, q1 := g.Qubits[0], g.Qubits[1]
+	m := g.Matrix.Data
+	m0, m1 := 1<<q0, 1<<q1
+	if g.Diagonal {
+		d0, d1, d2, d3 := m[0], m[5], m[10], m[15]
+		parallelRange(len(s), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				t := 0
+				if i&m0 != 0 {
+					t |= 1
+				}
+				if i&m1 != 0 {
+					t |= 2
+				}
+				switch t {
+				case 0:
+					s[i] *= d0
+				case 1:
+					s[i] *= d1
+				case 2:
+					s[i] *= d2
+				default:
+					s[i] *= d3
+				}
+			}
+		})
+		return
+	}
+	// Sort positions for bit insertion.
+	pLo, pHi := q0, q1
+	if pLo > pHi {
+		pLo, pHi = pHi, pLo
+	}
+	quarter := len(s) >> 2
+	parallelRange(quarter, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			// Insert zero bits at pLo then pHi (ascending).
+			i := (o>>pLo)<<(pLo+1) | (o & (1<<pLo - 1))
+			i = (i>>pHi)<<(pHi+1) | (i & (1<<pHi - 1))
+			i0 := i
+			i1 := i | m0
+			i2 := i | m1
+			i3 := i | m0 | m1
+			x0, x1, x2, x3 := s[i0], s[i1], s[i2], s[i3]
+			s[i0] = m[0]*x0 + m[1]*x1 + m[2]*x2 + m[3]*x3
+			s[i1] = m[4]*x0 + m[5]*x1 + m[6]*x2 + m[7]*x3
+			s[i2] = m[8]*x0 + m[9]*x1 + m[10]*x2 + m[11]*x3
+			s[i3] = m[12]*x0 + m[13]*x1 + m[14]*x2 + m[15]*x3
+		}
+	})
+}
+
+// applyK is the general k-qubit kernel.
+func (s State) applyK(g *gate.Gate) {
+	k := g.NumQubits()
+	kdim := 1 << k
+	m := g.Matrix.Data
+
+	if g.Diagonal {
+		// Diagonal gates (e.g. analytic RZZ-cascade terms, CCZ) multiply
+		// each amplitude by the diagonal entry selected by the gate bits.
+		diag := make([]complex128, kdim)
+		for t := 0; t < kdim; t++ {
+			diag[t] = m[t*kdim+t]
+		}
+		qubits := g.Qubits
+		parallelRange(len(s), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				t := 0
+				for j, q := range qubits {
+					t |= ((i >> q) & 1) << j
+				}
+				s[i] *= diag[t]
+			}
+		})
+		return
+	}
+
+	// Sorted qubit positions for bit insertion; strides for bit spreading.
+	sorted := append([]int(nil), g.Qubits...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	// offsets[t] = Σ_j ((t>>j)&1) << Qubits[j]
+	offsets := make([]int, kdim)
+	for t := 0; t < kdim; t++ {
+		o := 0
+		for j, q := range g.Qubits {
+			o |= ((t >> j) & 1) << q
+		}
+		offsets[t] = o
+	}
+
+	outer := len(s) >> k
+	parallelRange(outer, func(lo, hi int) {
+		in := make([]complex128, kdim)
+		for o := lo; o < hi; o++ {
+			base := o
+			for _, p := range sorted {
+				base = (base>>p)<<(p+1) | (base & (1<<p - 1))
+			}
+			for t := 0; t < kdim; t++ {
+				in[t] = s[base|offsets[t]]
+			}
+			for t := 0; t < kdim; t++ {
+				row := m[t*kdim : (t+1)*kdim]
+				var acc complex128
+				for u := 0; u < kdim; u++ {
+					acc += row[u] * in[u]
+				}
+				s[base|offsets[t]] = acc
+			}
+		}
+	})
+}

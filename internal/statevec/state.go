@@ -1,0 +1,132 @@
+// Package statevec implements Schrödinger-style statevector simulation: the
+// full 2^n amplitude array with in-place k-qubit gate application. It is the
+// kernel shared by the Schrödinger baseline and the per-path subcircuit
+// simulations of the HSF engine, mirroring the role qsim plays in the paper.
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// State is a quantum statevector with 2^n amplitudes for an n-qubit register.
+// Amplitude index bit k is the value of qubit k (qubit 0 least significant).
+type State []complex128
+
+// NewState returns the all-zeros computational basis state |0...0> on n
+// qubits.
+func NewState(n int) State {
+	if n < 0 || n > 62 {
+		panic(fmt.Sprintf("statevec: invalid qubit count %d", n))
+	}
+	s := make(State, 1<<n)
+	s[0] = 1
+	return s
+}
+
+// NumQubits returns n for a state of length 2^n.
+func (s State) NumQubits() int {
+	n := 0
+	for 1<<n < len(s) {
+		n++
+	}
+	return n
+}
+
+// Clone returns a copy of the state.
+func (s State) Clone() State {
+	c := make(State, len(s))
+	copy(c, s)
+	return c
+}
+
+// Norm returns the 2-norm of the state (1 for a normalized state).
+func (s State) Norm() float64 {
+	var sum float64
+	for _, a := range s {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(sum)
+}
+
+// Probability returns |s[i]|².
+func (s State) Probability(i int) float64 {
+	a := s[i]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Fidelity returns |<s|t>|² for two states of equal dimension.
+func Fidelity(s, t State) float64 {
+	if len(s) != len(t) {
+		panic("statevec: Fidelity dimension mismatch")
+	}
+	var dot complex128
+	for i := range s {
+		dot += cmplx.Conj(s[i]) * t[i]
+	}
+	return real(dot)*real(dot) + imag(dot)*imag(dot)
+}
+
+// MaxAbsDiff returns max_i |s[i]-t[i]|.
+func MaxAbsDiff(s, t State) float64 {
+	if len(s) != len(t) {
+		panic("statevec: MaxAbsDiff dimension mismatch")
+	}
+	var d float64
+	for i := range s {
+		if e := cmplx.Abs(s[i] - t[i]); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// Kron returns the tensor product upper ⊗ lower: the resulting amplitude at
+// index (a<<nLower | b) is upper[a]*lower[b]. This is the HSF reconstruction
+// primitive (paper Sec. II-B).
+func Kron(upper, lower State) State {
+	out := make(State, len(upper)*len(lower))
+	i := 0
+	for _, ua := range upper {
+		if ua == 0 {
+			i += len(lower)
+			continue
+		}
+		for _, lb := range lower {
+			out[i] = ua * lb
+			i++
+		}
+	}
+	return out
+}
+
+// EqualUpToGlobalPhase reports whether s = e^{iφ}·t for some φ, within tol.
+func EqualUpToGlobalPhase(s, t State, tol float64) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	// Find the largest amplitude of s to fix the phase.
+	best := 0
+	bestAbs := 0.0
+	for i := range s {
+		if a := cmplx.Abs(s[i]); a > bestAbs {
+			bestAbs = a
+			best = i
+		}
+	}
+	if bestAbs < tol {
+		return MaxAbsDiff(s, t) < tol
+	}
+	if cmplx.Abs(t[best]) < tol {
+		return false
+	}
+	phase := s[best] / t[best]
+	phase /= complex(cmplx.Abs(phase), 0)
+	for i := range s {
+		if cmplx.Abs(s[i]-phase*t[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,373 @@
+package statevec
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+)
+
+const tol = 1e-10
+
+// randomState returns a normalized random state on n qubits.
+func randomState(rng *rand.Rand, n int) State {
+	s := make(State, 1<<n)
+	for i := range s {
+		s[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	norm := complex(1/s.Norm(), 0)
+	for i := range s {
+		s[i] *= norm
+	}
+	return s
+}
+
+// randomGate builds a random unitary gate on k random distinct qubits of an
+// n-qubit register.
+func randomGate(rng *rand.Rand, n, k int) gate.Gate {
+	perm := rng.Perm(n)
+	qs := perm[:k]
+	dim := 1 << k
+	// Random unitary via Gram-Schmidt.
+	m := cmat.New(dim, dim)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	for j := 0; j < dim; j++ {
+		for c := 0; c < j; c++ {
+			var dot complex128
+			for i := 0; i < dim; i++ {
+				dot += cmplx.Conj(m.At(i, c)) * m.At(i, j)
+			}
+			for i := 0; i < dim; i++ {
+				m.Set(i, j, m.At(i, j)-dot*m.At(i, c))
+			}
+		}
+		var norm float64
+		for i := 0; i < dim; i++ {
+			v := m.At(i, j)
+			norm += real(v)*real(v) + imag(v)*imag(v)
+		}
+		inv := complex(1/math.Sqrt(norm), 0)
+		for i := 0; i < dim; i++ {
+			m.Set(i, j, m.At(i, j)*inv)
+		}
+	}
+	return gate.New("rand", m, nil, qs...)
+}
+
+// applyReference is a brute-force reference: build the embedded 2^n matrix
+// and multiply.
+func applyReference(g *gate.Gate, s State) State {
+	n := s.NumQubits()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	// Embed the gate on the full register using circuit's embedding logic
+	// replicated here to avoid an import cycle: spread gate bits.
+	dim := len(s)
+	kdim := g.Matrix.Rows
+	out := make(State, dim)
+	k := g.NumQubits()
+	rest := make([]int, 0, n-k)
+	inGate := make(map[int]bool)
+	for _, q := range g.Qubits {
+		inGate[q] = true
+	}
+	for q := 0; q < n; q++ {
+		if !inGate[q] {
+			rest = append(rest, q)
+		}
+	}
+	for o := 0; o < 1<<len(rest); o++ {
+		base := 0
+		for j, q := range rest {
+			base |= ((o >> j) & 1) << q
+		}
+		for ti := 0; ti < kdim; ti++ {
+			oi := base
+			for j, q := range g.Qubits {
+				oi |= ((ti >> j) & 1) << q
+			}
+			var acc complex128
+			for tj := 0; tj < kdim; tj++ {
+				ij := base
+				for j, q := range g.Qubits {
+					ij |= ((tj >> j) & 1) << q
+				}
+				acc += g.Matrix.At(ti, tj) * s[ij]
+			}
+			out[oi] = acc
+		}
+	}
+	return out
+}
+
+func TestNewState(t *testing.T) {
+	s := NewState(3)
+	if len(s) != 8 || s[0] != 1 {
+		t.Fatalf("bad initial state %v", s)
+	}
+	if s.NumQubits() != 3 {
+		t.Fatal("NumQubits wrong")
+	}
+	if math.Abs(s.Norm()-1) > tol {
+		t.Fatal("initial norm != 1")
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s := NewState(2)
+	h := gate.H(0)
+	cx := gate.CNOT(0, 1)
+	s.ApplyGate(&h)
+	s.ApplyGate(&cx)
+	want := complex(math.Sqrt2/2, 0)
+	if cmplx.Abs(s[0]-want) > tol || cmplx.Abs(s[3]-want) > tol ||
+		cmplx.Abs(s[1]) > tol || cmplx.Abs(s[2]) > tol {
+		t.Fatalf("Bell state wrong: %v", s)
+	}
+}
+
+func TestGHZState(t *testing.T) {
+	n := 5
+	s := NewState(n)
+	h := gate.H(0)
+	s.ApplyGate(&h)
+	for q := 1; q < n; q++ {
+		cx := gate.CNOT(q-1, q)
+		s.ApplyGate(&cx)
+	}
+	want := complex(math.Sqrt2/2, 0)
+	if cmplx.Abs(s[0]-want) > tol || cmplx.Abs(s[(1<<n)-1]-want) > tol {
+		t.Fatalf("GHZ state wrong: s[0]=%v s[max]=%v", s[0], s[(1<<n)-1])
+	}
+}
+
+func TestApply1MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		s := randomState(rng, n)
+		g := randomGate(rng, n, 1)
+		want := applyReference(&g, s)
+		s.ApplyGate(&g)
+		if MaxAbsDiff(s, want) > 1e-9 {
+			t.Fatalf("trial %d: 1-qubit apply mismatch", trial)
+		}
+	}
+}
+
+func TestApply2MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		s := randomState(rng, n)
+		g := randomGate(rng, n, 2)
+		want := applyReference(&g, s)
+		s.ApplyGate(&g)
+		if MaxAbsDiff(s, want) > 1e-9 {
+			t.Fatalf("trial %d: 2-qubit apply mismatch (qubits %v)", trial, g.Qubits)
+		}
+	}
+}
+
+func TestApplyKMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(4)
+		k := 3
+		if n > 3 && rng.Intn(2) == 0 {
+			k = 4
+		}
+		if k > n {
+			k = n
+		}
+		s := randomState(rng, n)
+		g := randomGate(rng, n, k)
+		want := applyReference(&g, s)
+		s.ApplyGate(&g)
+		if MaxAbsDiff(s, want) > 1e-9 {
+			t.Fatalf("trial %d: %d-qubit apply mismatch (qubits %v)", trial, k, g.Qubits)
+		}
+	}
+}
+
+func TestDiagonalKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 5
+	s := randomState(rng, n)
+	for _, g := range []gate.Gate{gate.RZ(0.7, 2), gate.RZZ(0.9, 1, 4), gate.CZ(0, 3), gate.CPhase(0.4, 2, 4), gate.CCZ(0, 2, 4), gate.CCZ(4, 1, 3)} {
+		want := applyReference(&g, s.Clone())
+		got := s.Clone()
+		got.ApplyGate(&g)
+		if MaxAbsDiff(got, want) > 1e-9 {
+			t.Fatalf("%s: diagonal kernel mismatch", g.Name)
+		}
+	}
+}
+
+func TestUnitaryPreservesNorm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		s := randomState(rng, n)
+		for i := 0; i < 5; i++ {
+			g := randomGate(rng, n, 1+rng.Intn(min(n, 3)))
+			s.ApplyGate(&g)
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateOrderNonCommuting(t *testing.T) {
+	// HX|0> != XH|0>
+	s1 := NewState(1)
+	s2 := NewState(1)
+	h, x := gate.H(0), gate.X(0)
+	s1.ApplyGate(&h)
+	s1.ApplyGate(&x)
+	s2.ApplyGate(&x)
+	s2.ApplyGate(&h)
+	if MaxAbsDiff(s1, s2) < 0.1 {
+		t.Fatal("HX and XH should differ on |0>")
+	}
+}
+
+func TestKron(t *testing.T) {
+	upper := State{1, 2}      // 1 qubit
+	lower := State{3, 4}      // 1 qubit
+	out := Kron(upper, lower) // index a<<1 | b
+	want := State{3, 4, 6, 8}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Kron = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestKronOfStatesMatchesCircuit(t *testing.T) {
+	// (H|0>) ⊗ (X|0>) over a 2-qubit register equals applying H(1), X(0).
+	up := NewState(1)
+	lo := NewState(1)
+	h0 := gate.H(0)
+	x0 := gate.X(0)
+	up.ApplyGate(&h0)
+	lo.ApplyGate(&x0)
+	combined := Kron(up, lo)
+
+	full := NewState(2)
+	h1 := gate.H(1)
+	full.ApplyGate(&h1)
+	full.ApplyGate(&x0)
+	if MaxAbsDiff(combined, full) > tol {
+		t.Fatalf("Kron mismatch: %v vs %v", combined, full)
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	s := randomState(rng, 4)
+	if math.Abs(Fidelity(s, s)-1) > tol {
+		t.Fatal("self-fidelity != 1")
+	}
+	o := s.Clone()
+	// Orthogonalize o against s.
+	var dot complex128
+	for i := range s {
+		dot += cmplx.Conj(s[i]) * o[i]
+	}
+	// o == s, so build an orthogonal state manually.
+	o = make(State, len(s))
+	o[0] = cmplx.Conj(s[1])
+	o[1] = -cmplx.Conj(s[0])
+	norm := complex(1/o.Norm(), 0)
+	for i := range o {
+		o[i] *= norm
+	}
+	var d2 complex128
+	for i := range s {
+		d2 += cmplx.Conj(s[i]) * o[i]
+	}
+	if f := Fidelity(s, o); math.Abs(f-real(d2)*real(d2)-imag(d2)*imag(d2)) > tol {
+		t.Fatal("fidelity formula inconsistent")
+	}
+}
+
+func TestEqualUpToGlobalPhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	s := randomState(rng, 3)
+	phase := cmplx.Exp(1i * 0.8)
+	p := s.Clone()
+	for i := range p {
+		p[i] *= phase
+	}
+	if !EqualUpToGlobalPhase(s, p, 1e-9) {
+		t.Fatal("global phase copy not recognized")
+	}
+	q := randomState(rng, 3)
+	if EqualUpToGlobalPhase(s, q, 1e-9) {
+		t.Fatal("different states reported phase-equal")
+	}
+}
+
+func TestLargeStateParallelPath(t *testing.T) {
+	// Exercise the parallel branch (size above parallelThreshold).
+	n := 16
+	s := NewState(n)
+	h := gate.H(0)
+	s.ApplyGate(&h)
+	for q := 1; q < n; q++ {
+		cx := gate.CNOT(q-1, q)
+		s.ApplyGate(&cx)
+	}
+	want := complex(math.Sqrt2/2, 0)
+	if cmplx.Abs(s[0]-want) > tol || cmplx.Abs(s[len(s)-1]-want) > tol {
+		t.Fatal("large GHZ state wrong")
+	}
+	if math.Abs(s.Norm()-1) > tol {
+		t.Fatal("norm drifted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkApply1Q20(b *testing.B) {
+	s := NewState(20)
+	g := gate.H(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ApplyGate(&g)
+	}
+}
+
+func BenchmarkApply2Q20(b *testing.B) {
+	s := NewState(20)
+	g := gate.CNOT(3, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ApplyGate(&g)
+	}
+}
+
+func BenchmarkApplyDiagonalQ20(b *testing.B) {
+	s := NewState(20)
+	g := gate.RZZ(0.4, 3, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ApplyGate(&g)
+	}
+}

@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+)
+
+// SynthesizeControlled expands a controlled single-qubit gate C-U (control
+// c, target t) into single-qubit rotations and CNOTs using the standard ABC
+// construction:
+//
+//	C-U = P(α)_c · A_t · CX(c,t) · B_t · CX(c,t) · C_t
+//
+// with A·B·C = I and A·X·B·X·C = e^{-iα}·U for the ZYZ angles of U.
+func SynthesizeControlled(u *cmat.Matrix, c, t int) ([]gate.Gate, error) {
+	z, err := ZYZDecompose(u)
+	if err != nil {
+		return nil, fmt.Errorf("synth: controlled: %w", err)
+	}
+	var out []gate.Gate
+	// Circuit order: C, CX, B, CX, A, then the control phase.
+	// C = Rz((δ-β)/2)
+	if d := (z.Delta - z.Beta) / 2; d != 0 {
+		out = append(out, gate.RZ(d, t))
+	}
+	out = append(out, gate.CNOT(c, t))
+	// B = Ry(-γ/2) · Rz(-(δ+β)/2)  → circuit order: Rz then Ry.
+	if d := -(z.Delta + z.Beta) / 2; d != 0 {
+		out = append(out, gate.RZ(d, t))
+	}
+	if z.Gamma != 0 {
+		out = append(out, gate.RY(-z.Gamma/2, t))
+	}
+	out = append(out, gate.CNOT(c, t))
+	// A = Rz(β) · Ry(γ/2) → circuit order: Ry then Rz.
+	if z.Gamma != 0 {
+		out = append(out, gate.RY(z.Gamma/2, t))
+	}
+	if z.Beta != 0 {
+		out = append(out, gate.RZ(z.Beta, t))
+	}
+	if z.Alpha != 0 {
+		out = append(out, gate.P(z.Alpha, c))
+	}
+	return out, nil
+}
+
+// ControlledMatrixOf extracts U from a 4×4 matrix of the form
+// |0><0|⊗I + |1><1|⊗U (control = bit 0, target = bit 1) and reports whether
+// the matrix has that structure within tol.
+func ControlledMatrixOf(m *cmat.Matrix, tol float64) (*cmat.Matrix, bool) {
+	if m.Rows != 4 || m.Cols != 4 {
+		return nil, false
+	}
+	// Basis index = control | target<<1. Control-0 block: indices {0, 2}
+	// must act as identity; control-1 block: indices {1, 3} hold U.
+	id := [][2]int{{0, 0}, {2, 2}}
+	for _, ij := range id {
+		if d := m.At(ij[0], ij[1]) - 1; math.Abs(real(d)) > tol || math.Abs(imag(d)) > tol {
+			return nil, false
+		}
+	}
+	// All couplings between the blocks and off-identity terms must vanish.
+	zero := [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {1, 0}, {1, 2}, {2, 0}, {2, 1}, {2, 3}, {3, 0}, {3, 2},
+	}
+	for _, ij := range zero {
+		v := m.At(ij[0], ij[1])
+		if math.Abs(real(v)) > tol || math.Abs(imag(v)) > tol {
+			return nil, false
+		}
+	}
+	u := cmat.FromSlice(2, 2, []complex128{
+		m.At(1, 1), m.At(1, 3),
+		m.At(3, 1), m.At(3, 3),
+	})
+	if !u.IsUnitary(1e-8) {
+		return nil, false
+	}
+	return u, true
+}
+
+// SynthesizeToffoli expands CCX(c1, c2, t) into the textbook 6-CNOT network
+// of H, T, and T† gates.
+func SynthesizeToffoli(c1, c2, t int) []gate.Gate {
+	return []gate.Gate{
+		gate.H(t),
+		gate.CNOT(c2, t), gate.Tdg(t),
+		gate.CNOT(c1, t), gate.T(t),
+		gate.CNOT(c2, t), gate.Tdg(t),
+		gate.CNOT(c1, t), gate.T(c2), gate.T(t),
+		gate.H(t),
+		gate.CNOT(c1, c2), gate.T(c1), gate.Tdg(c2),
+		gate.CNOT(c1, c2),
+	}
+}

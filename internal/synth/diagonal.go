@@ -1,0 +1,85 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+)
+
+// SynthesizeDiagonal expands a diagonal k-qubit operator
+// diag(e^{iθ_0}, …, e^{iθ_{2^k-1}}) on the given qubits into a CNOT + RZ
+// phase network via the Walsh-Hadamard transform of the phase vector: the
+// coefficient of every Z-parity term P_S = Π_{q∈S} Z_q becomes one RZ
+// rotation on a CNOT parity chain. The residual global phase is returned
+// separately (it is unobservable but callers tracking exact matrices apply
+// it via a P/RZ pair, cf. ZYZ.GatesWithPhase).
+func SynthesizeDiagonal(m *cmat.Matrix, qubits []int, tol float64) ([]gate.Gate, float64, error) {
+	k := len(qubits)
+	dim := 1 << k
+	if m.Rows != dim || m.Cols != dim {
+		return nil, 0, fmt.Errorf("synth: diagonal matrix is %dx%d, want %dx%d", m.Rows, m.Cols, dim, dim)
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if !m.IsDiagonal(tol) {
+		return nil, 0, fmt.Errorf("synth: matrix is not diagonal")
+	}
+	thetas := make([]float64, dim)
+	for x := 0; x < dim; x++ {
+		v := m.At(x, x)
+		if d := cmplx.Abs(v) - 1; d > 1e-8 || d < -1e-8 {
+			return nil, 0, fmt.Errorf("synth: diagonal entry %d has modulus %g (not unitary)", x, cmplx.Abs(v))
+		}
+		thetas[x] = cmplx.Phase(v)
+	}
+	// Walsh coefficients a_S = (1/2^k) Σ_x (-1)^{popcount(S&x)} θ_x, so that
+	// θ_x = Σ_S a_S (-1)^{S·x}; the S-term is exp(i a_S P_S).
+	coeff := make([]float64, dim)
+	for s := 0; s < dim; s++ {
+		var sum float64
+		for x := 0; x < dim; x++ {
+			if parityBits(s&x) == 0 {
+				sum += thetas[x]
+			} else {
+				sum -= thetas[x]
+			}
+		}
+		coeff[s] = sum / float64(dim)
+	}
+
+	var out []gate.Gate
+	for s := 1; s < dim; s++ {
+		if math.Abs(coeff[s]) < tol {
+			continue
+		}
+		// exp(i a P_S) = parity-chain · RZ(-2a) on the chain head · unchain.
+		var members []int
+		for b := 0; b < k; b++ {
+			if s>>b&1 == 1 {
+				members = append(members, qubits[b])
+			}
+		}
+		head := members[len(members)-1]
+		for i := 0; i+1 < len(members); i++ {
+			out = append(out, gate.CNOT(members[i], head))
+		}
+		out = append(out, gate.RZ(-2*coeff[s], head))
+		for i := len(members) - 2; i >= 0; i-- {
+			out = append(out, gate.CNOT(members[i], head))
+		}
+	}
+	return out, coeff[0], nil
+}
+
+func parityBits(x int) int {
+	p := 0
+	for x != 0 {
+		p ^= x & 1
+		x >>= 1
+	}
+	return p
+}

@@ -1,0 +1,332 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+)
+
+// KAKResult is the Cartan decomposition of a two-qubit unitary:
+//
+//	U = e^{iPhase} · (A1 ⊗ A0) · exp(i(Tx·XX + Ty·YY + Tz·ZZ)) · (B1 ⊗ B0)
+//
+// with A1/B1 acting on the high matrix bit and A0/B0 on the low one. The
+// canonical interaction exponent is realized exactly by the commuting
+// rotations RXX(-2Tx)·RYY(-2Ty)·RZZ(-2Tz).
+type KAKResult struct {
+	Phase          float64
+	A1, A0, B1, B0 *cmat.Matrix
+	Tx, Ty, Tz     float64
+}
+
+// magicBasis is the transformation into the Bell-like "magic" basis, in
+// which SU(2)⊗SU(2) becomes SO(4) and XX/YY/ZZ are simultaneously diagonal.
+var magicBasis = func() *cmat.Matrix {
+	s := complex(1/math.Sqrt2, 0)
+	i := complex(0, 1/math.Sqrt2)
+	return cmat.FromSlice(4, 4, []complex128{
+		s, 0, 0, i,
+		0, i, s, 0,
+		0, i, -s, 0,
+		s, 0, 0, -i,
+	})
+}()
+
+// KAK computes the Cartan decomposition of a 4×4 unitary.
+func KAK(u *cmat.Matrix) (*KAKResult, error) {
+	if u.Rows != 4 || u.Cols != 4 {
+		return nil, fmt.Errorf("synth: KAK needs a 4x4 matrix")
+	}
+	if !u.IsUnitary(1e-8) {
+		return nil, fmt.Errorf("synth: KAK input is not unitary")
+	}
+	m := magicBasis
+	mh := m.Dagger()
+	v := cmat.Mul(mh, cmat.Mul(u, m))
+
+	// P = Vᵀ·V is unitary symmetric: P = O·D·Oᵀ with O ∈ SO(4) and D a
+	// diagonal of phases, found by simultaneously diagonalizing Re(P) and
+	// Im(P) (they commute).
+	p := cmat.Mul(v.Transpose(), v)
+	x := make([][]float64, 4)
+	y := make([][]float64, 4)
+	for i := 0; i < 4; i++ {
+		x[i] = make([]float64, 4)
+		y[i] = make([]float64, 4)
+		for j := 0; j < 4; j++ {
+			x[i][j] = real(p.At(i, j))
+			y[i][j] = imag(p.At(i, j))
+		}
+	}
+	// Symmetrize against round-off.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			x[i][j] = (x[i][j] + x[j][i]) / 2
+			x[j][i] = x[i][j]
+			y[i][j] = (y[i][j] + y[j][i]) / 2
+			y[j][i] = y[i][j]
+		}
+	}
+	oCols, err := cmat.SimDiagSymReal(x, y)
+	if err != nil {
+		return nil, fmt.Errorf("synth: KAK: %w", err)
+	}
+	o := cmat.New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			o.Set(i, j, complex(oCols[i][j], 0))
+		}
+	}
+	// Ensure det(O) = +1 (flip one column if needed) so K2 = Oᵀ ∈ SO(4).
+	if real(det4(o)) < 0 {
+		for i := 0; i < 4; i++ {
+			o.Set(i, 0, -o.At(i, 0))
+		}
+	}
+
+	// D = Oᵀ·P·O (diagonal of unit-modulus entries); Δ = D^{1/2}.
+	d := cmat.Mul(o.Transpose(), cmat.Mul(p, o))
+	thetas := make([]float64, 4)
+	for k := 0; k < 4; k++ {
+		thetas[k] = cmplx.Phase(d.At(k, k)) / 2
+	}
+	// K1 = V·O·Δ⁻¹ must land in SO(4); if det(K1) = -1, shift one θ by π.
+	k1 := cmat.Mul(v, cmat.Mul(o, deltaInv(thetas)))
+	if real(det4(k1)) < 0 {
+		thetas[0] += math.Pi
+		k1 = cmat.Mul(v, cmat.Mul(o, deltaInv(thetas)))
+	}
+	k2 := o.Transpose()
+
+	// Back to the computational basis.
+	g1 := cmat.Mul(m, cmat.Mul(k1, mh))
+	g2 := cmat.Mul(m, cmat.Mul(k2, mh))
+
+	a1, a0, err := kronFactor(g1)
+	if err != nil {
+		return nil, fmt.Errorf("synth: KAK left factor: %w", err)
+	}
+	b1, b0, err := kronFactor(g2)
+	if err != nil {
+		return nil, fmt.Errorf("synth: KAK right factor: %w", err)
+	}
+
+	// The canonical part M·Δ·M† equals exp(i(φI + Tx·XX + Ty·YY + Tz·ZZ)):
+	// all four generators are diagonal in the magic basis, so solve the 4×4
+	// linear system mapping (φ, Tx, Ty, Tz) to the magic-basis phases θ_k.
+	phase, tx, ty, tz, err := canonicalAngles(thetas)
+	if err != nil {
+		return nil, err
+	}
+	return &KAKResult{Phase: phase, A1: a1, A0: a0, B1: b1, B0: b0, Tx: tx, Ty: ty, Tz: tz}, nil
+}
+
+func deltaInv(thetas []float64) *cmat.Matrix {
+	dm := cmat.New(4, 4)
+	for k := 0; k < 4; k++ {
+		dm.Set(k, k, cmplx.Exp(complex(0, -thetas[k])))
+	}
+	return dm
+}
+
+// det4 computes the determinant of a 4×4 complex matrix by cofactor
+// expansion on Gaussian elimination.
+func det4(m *cmat.Matrix) complex128 {
+	a := m.Clone()
+	det := complex128(1)
+	for col := 0; col < 4; col++ {
+		// Pivot.
+		pivot := col
+		for r := col; r < 4; r++ {
+			if cmplx.Abs(a.At(r, col)) > cmplx.Abs(a.At(pivot, col)) {
+				pivot = r
+			}
+		}
+		if cmplx.Abs(a.At(pivot, col)) < 1e-14 {
+			return 0
+		}
+		if pivot != col {
+			for c := 0; c < 4; c++ {
+				tmp := a.At(col, c)
+				a.Set(col, c, a.At(pivot, c))
+				a.Set(pivot, c, tmp)
+			}
+			det = -det
+		}
+		det *= a.At(col, col)
+		for r := col + 1; r < 4; r++ {
+			f := a.At(r, col) / a.At(col, col)
+			for c := col; c < 4; c++ {
+				a.Set(r, c, a.At(r, c)-f*a.At(col, c))
+			}
+		}
+	}
+	return det
+}
+
+// kronFactor splits an exact tensor product G = A⊗B (A on the high bit)
+// into its unitary factors via the rank-1 SVD of the reshaped matrix.
+func kronFactor(g *cmat.Matrix) (*cmat.Matrix, *cmat.Matrix, error) {
+	// R[(ia,ja), (ib,jb)] = G[ia*2+ib, ja*2+jb].
+	r := cmat.New(4, 4)
+	for ia := 0; ia < 2; ia++ {
+		for ja := 0; ja < 2; ja++ {
+			for ib := 0; ib < 2; ib++ {
+				for jb := 0; jb < 2; jb++ {
+					r.Set(ia*2+ja, ib*2+jb, g.At(ia*2+ib, ja*2+jb))
+				}
+			}
+		}
+	}
+	svd, err := cmat.SVD(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if svd.S[0] < 1e-9 {
+		return nil, nil, fmt.Errorf("zero tensor factor")
+	}
+	if len(svd.S) > 1 && svd.S[1] > 1e-7*svd.S[0] {
+		return nil, nil, fmt.Errorf("matrix is not a tensor product (second singular value %g)", svd.S[1])
+	}
+	s := math.Sqrt(svd.S[0])
+	a := cmat.New(2, 2)
+	b := cmat.New(2, 2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			a.Set(i, j, svd.U.At(i*2+j, 0)*complex(s, 0))
+			b.Set(i, j, cmplx.Conj(svd.V.At(i*2+j, 0))*complex(s, 0))
+		}
+	}
+	if !a.IsUnitary(1e-7) || !b.IsUnitary(1e-7) {
+		return nil, nil, fmt.Errorf("tensor factors are not unitary")
+	}
+	return a, b, nil
+}
+
+// canonicalAngles solves θ_k = φ·1 + Tx·dx_k + Ty·dy_k + Tz·dz_k where the
+// d-vectors are the magic-basis diagonals of XX, YY, ZZ. Because θ_k are
+// only defined modulo 2π, the residual of the solve is folded back into the
+// nearest multiple of π; an inconsistent system is reported.
+func canonicalAngles(thetas []float64) (phase, tx, ty, tz float64, err error) {
+	xx, yy, zz := magicDiagonals()
+	// Build and solve the 4×4 real system with Gaussian elimination.
+	a := [4][5]float64{}
+	for k := 0; k < 4; k++ {
+		a[k][0] = 1
+		a[k][1] = xx[k]
+		a[k][2] = yy[k]
+		a[k][3] = zz[k]
+		a[k][4] = thetas[k]
+	}
+	for col := 0; col < 4; col++ {
+		pivot := col
+		for r := col; r < 4; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return 0, 0, 0, 0, fmt.Errorf("synth: singular canonical system")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		for r := 0; r < 4; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c < 5; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	phase = a[0][4] / a[0][0]
+	tx = a[1][4] / a[1][1]
+	ty = a[2][4] / a[2][2]
+	tz = a[3][4] / a[3][3]
+	return phase, tx, ty, tz, nil
+}
+
+// magicDiagonals returns the diagonals of M†·(XX|YY|ZZ)·M.
+func magicDiagonals() (xx, yy, zz [4]float64) {
+	paulis := func(p *cmat.Matrix) [4]float64 {
+		full := cmat.Kron(p, p)
+		d := cmat.Mul(magicBasis.Dagger(), cmat.Mul(full, magicBasis))
+		var out [4]float64
+		for k := 0; k < 4; k++ {
+			out[k] = real(d.At(k, k))
+		}
+		return out
+	}
+	x := cmat.FromSlice(2, 2, []complex128{0, 1, 1, 0})
+	y := cmat.FromSlice(2, 2, []complex128{0, -1i, 1i, 0})
+	z := cmat.FromSlice(2, 2, []complex128{1, 0, 0, -1})
+	return paulis(x), paulis(y), paulis(z)
+}
+
+// Matrix reconstructs the unitary from the decomposition.
+func (r *KAKResult) Matrix() *cmat.Matrix {
+	canon := canonicalMatrix(r.Tx, r.Ty, r.Tz)
+	out := cmat.Mul(cmat.Kron(r.A1, r.A0), cmat.Mul(canon, cmat.Kron(r.B1, r.B0)))
+	return cmat.Scale(cmplx.Exp(complex(0, r.Phase)), out)
+}
+
+// canonicalMatrix computes exp(i(Tx·XX + Ty·YY + Tz·ZZ)) as the product of
+// the commuting rotations RXX(-2Tx)·RYY(-2Ty)·RZZ(-2Tz).
+func canonicalMatrix(tx, ty, tz float64) *cmat.Matrix {
+	rxx := gate.RXX(-2*tx, 0, 1).Matrix
+	ryy := gate.RYY(-2*ty, 0, 1).Matrix
+	rzz := gate.RZZ(-2*tz, 0, 1).Matrix
+	return cmat.Mul(rxx, cmat.Mul(ryy, rzz))
+}
+
+// SynthesizeKAK expands an arbitrary two-qubit unitary on qubits (a, b)
+// — a the low matrix bit — into single-qubit gates and CNOTs through the
+// Cartan decomposition. The construction uses up to 6 CNOTs (two per
+// commuting interaction rotation); it favors exactness over CNOT-count
+// optimality.
+func SynthesizeKAK(u *cmat.Matrix, a, b int) ([]gate.Gate, error) {
+	r, err := KAK(u)
+	if err != nil {
+		return nil, err
+	}
+	var out []gate.Gate
+	appendLocal := func(m *cmat.Matrix, q int) error {
+		z, err := ZYZDecompose(m)
+		if err != nil {
+			return err
+		}
+		out = append(out, z.GatesWithPhase(q)...)
+		return nil
+	}
+	// Circuit order: B (right factor) first.
+	if err := appendLocal(r.B0, a); err != nil {
+		return nil, err
+	}
+	if err := appendLocal(r.B1, b); err != nil {
+		return nil, err
+	}
+	for _, rot := range []gate.Gate{
+		gate.RZZ(-2*r.Tz, a, b),
+		gate.RYY(-2*r.Ty, a, b),
+		gate.RXX(-2*r.Tx, a, b),
+	} {
+		gs, err := transpileTwoQubit(&rot)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, gs...)
+	}
+	if err := appendLocal(r.A0, a); err != nil {
+		return nil, err
+	}
+	if err := appendLocal(r.A1, b); err != nil {
+		return nil, err
+	}
+	if r.Phase != 0 {
+		out = append(out, gate.P(2*r.Phase, a), gate.RZ(-2*r.Phase, a))
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+)
+
+// Transpile rewrites a circuit over the {single-qubit, CNOT} basis. The
+// output reproduces the input unitary exactly (global phase included:
+// residual phases are realized with P/RZ pairs). Gates handled:
+//
+//   - all single-qubit gates (via ZYZ);
+//   - cx passes through; any diagonal multi-qubit gate (cz, cp, rzz, ccz,
+//     fused diagonal blocks, …) via the Walsh phase network;
+//   - swap (3 CNOTs) and any two-qubit gate with controlled structure in
+//     either orientation (ABC);
+//   - iswap/fsim/rxx/ryy via basis-change conjugation onto diagonals;
+//   - ccx via the 6-CNOT Toffoli network;
+//   - any remaining dense two-qubit unitary (e.g. a fusion cluster) via the
+//     Cartan (KAK) decomposition.
+//
+// Dense non-diagonal unitaries on three or more qubits are not supported
+// and return an error.
+func Transpile(c *circuit.Circuit) (*circuit.Circuit, error) {
+	out := circuit.New(c.NumQubits)
+	for i := range c.Gates {
+		gs, err := transpileGate(&c.Gates[i])
+		if err != nil {
+			return nil, fmt.Errorf("synth: gate %d (%s): %w", i, c.Gates[i].Name, err)
+		}
+		out.Append(gs...)
+	}
+	return out, nil
+}
+
+func transpileGate(g *gate.Gate) ([]gate.Gate, error) {
+	switch g.NumQubits() {
+	case 1:
+		z, err := ZYZDecompose(g.Matrix)
+		if err != nil {
+			return nil, err
+		}
+		return z.GatesWithPhase(g.Qubits[0]), nil
+	case 2:
+		return transpileTwoQubit(g)
+	default:
+		if g.Name == "ccx" {
+			return SynthesizeToffoli(g.Qubits[0], g.Qubits[1], g.Qubits[2]), nil
+		}
+		if g.Diagonal {
+			return diagonalWithPhase(g.Matrix, g.Qubits)
+		}
+		return nil, fmt.Errorf("unsupported %d-qubit gate", g.NumQubits())
+	}
+}
+
+func transpileTwoQubit(g *gate.Gate) ([]gate.Gate, error) {
+	a, b := g.Qubits[0], g.Qubits[1]
+	if g.Name == "cx" {
+		return []gate.Gate{*g}, nil
+	}
+	if g.Diagonal {
+		return diagonalWithPhase(g.Matrix, g.Qubits)
+	}
+	switch g.Name {
+	case "swap":
+		return []gate.Gate{gate.CNOT(a, b), gate.CNOT(b, a), gate.CNOT(a, b)}, nil
+	case "rxx":
+		// RXX(θ) = (H⊗H)·RZZ(θ)·(H⊗H).
+		inner, err := diagonalWithPhase(gate.RZZ(g.Params[0], 0, 1).Matrix, g.Qubits)
+		if err != nil {
+			return nil, err
+		}
+		out := []gate.Gate{gate.H(a), gate.H(b)}
+		out = append(out, inner...)
+		out = append(out, gate.H(a), gate.H(b))
+		return out, nil
+	case "ryy":
+		// RYY(θ) = (SH ⊗ SH)·RZZ(θ)·(SH ⊗ SH)† with the Y-basis change
+		// V = S·H mapping Z ↦ Y (V Z V† = Y).
+		inner, err := diagonalWithPhase(gate.RZZ(g.Params[0], 0, 1).Matrix, g.Qubits)
+		if err != nil {
+			return nil, err
+		}
+		// Circuit order: V† first, then RZZ, then V: V† = H·Sdg.
+		out := []gate.Gate{gate.Sdg(a), gate.H(a), gate.Sdg(b), gate.H(b)}
+		out = append(out, inner...)
+		out = append(out, gate.H(a), gate.S(a), gate.H(b), gate.S(b))
+		return out, nil
+	case "iswap":
+		// iSWAP = SWAP · CZ · (S⊗S) (circuit order: S⊗S, CZ, SWAP).
+		out := []gate.Gate{gate.S(a), gate.S(b)}
+		cz, err := diagonalWithPhase(gate.CZ(0, 1).Matrix, g.Qubits)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cz...)
+		out = append(out, gate.CNOT(a, b), gate.CNOT(b, a), gate.CNOT(a, b))
+		return out, nil
+	case "fsim":
+		// fSim(θ, φ) = CPhase(-φ) · R_{XX+YY}(θ) with
+		// R_{XX+YY}(θ) = RXX(θ)·RYY(θ) restricted to the single-excitation
+		// block — verified exactly in tests. Circuit order: RXX, RYY, CP.
+		theta, phi := g.Params[0], g.Params[1]
+		rxx := gate.RXX(theta, a, b)
+		ryy := gate.RYY(theta, a, b)
+		xs, err := transpileTwoQubit(&rxx)
+		if err != nil {
+			return nil, err
+		}
+		ys, err := transpileTwoQubit(&ryy)
+		if err != nil {
+			return nil, err
+		}
+		out := append(xs, ys...)
+		cp, err := diagonalWithPhase(gate.CPhase(-phi, 0, 1).Matrix, g.Qubits)
+		if err != nil {
+			return nil, err
+		}
+		return append(out, cp...), nil
+	}
+	// Controlled structure in either orientation (cheaper than KAK).
+	if u, ok := ControlledMatrixOf(g.Matrix, 1e-10); ok {
+		return SynthesizeControlled(u, a, b)
+	}
+	swapped := conjugateBySwap(g.Matrix)
+	if u, ok := ControlledMatrixOf(swapped, 1e-10); ok {
+		return SynthesizeControlled(u, b, a)
+	}
+	// Generic dense two-qubit unitary: Cartan decomposition.
+	return SynthesizeKAK(g.Matrix, a, b)
+}
+
+// diagonalWithPhase synthesizes a diagonal operator including its global
+// phase (folded into a P/RZ pair on the first qubit).
+func diagonalWithPhase(m *cmat.Matrix, qubits []int) ([]gate.Gate, error) {
+	gs, phase, err := SynthesizeDiagonal(m, qubits, 0)
+	if err != nil {
+		return nil, err
+	}
+	if math.Abs(phase) > 1e-12 {
+		q := qubits[0]
+		gs = append(gs, gate.P(2*phase, q), gate.RZ(-2*phase, q))
+	}
+	return gs, nil
+}
+
+// conjugateBySwap returns SWAP·m·SWAP, exchanging the two qubit roles.
+func conjugateBySwap(m *cmat.Matrix) *cmat.Matrix {
+	sw := gate.SWAP(0, 1).Matrix
+	return cmat.Mul(sw, cmat.Mul(m, sw))
+}
+
+// CXCount counts the CNOT gates of a circuit — the standard cost metric for
+// synthesized networks.
+func CXCount(c *circuit.Circuit) int {
+	n := 0
+	for i := range c.Gates {
+		if c.Gates[i].Name == "cx" {
+			n++
+		}
+	}
+	return n
+}

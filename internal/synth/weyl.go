@@ -1,0 +1,74 @@
+package synth
+
+import (
+	"math"
+
+	"hsfsim/internal/cmat"
+)
+
+// WeylInvariant characterizes a two-qubit gate up to single-qubit (local)
+// operations: the sorted absolute interaction coefficients folded into the
+// fundamental region. Two gates with equal invariants are locally
+// equivalent (interconvertible with single-qubit gates alone).
+type WeylInvariant [3]float64
+
+// weylFold maps an interaction coefficient into [0, π/4] using the
+// symmetries t ↦ t + π/2 and t ↦ -t of the canonical class.
+func weylFold(t float64) float64 {
+	t = math.Mod(t, math.Pi/2)
+	if t < 0 {
+		t += math.Pi / 2
+	}
+	if t > math.Pi/4 {
+		t = math.Pi/2 - t
+	}
+	return t
+}
+
+// Weyl returns the local-equivalence invariant of the decomposition: the
+// folded coefficients sorted descending.
+func (r *KAKResult) Weyl() WeylInvariant {
+	w := WeylInvariant{weylFold(r.Tx), weylFold(r.Ty), weylFold(r.Tz)}
+	// Sort descending (3 elements).
+	if w[0] < w[1] {
+		w[0], w[1] = w[1], w[0]
+	}
+	if w[1] < w[2] {
+		w[1], w[2] = w[2], w[1]
+	}
+	if w[0] < w[1] {
+		w[0], w[1] = w[1], w[0]
+	}
+	return w
+}
+
+// LocallyEquivalent reports whether two two-qubit unitaries differ only by
+// single-qubit gates (and global phase), by comparing Weyl invariants.
+func LocallyEquivalent(u, v *cmat.Matrix, tol float64) (bool, error) {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	ru, err := KAK(u)
+	if err != nil {
+		return false, err
+	}
+	rv, err := KAK(v)
+	if err != nil {
+		return false, err
+	}
+	wu, wv := ru.Weyl(), rv.Weyl()
+	for i := 0; i < 3; i++ {
+		if math.Abs(wu[i]-wv[i]) > tol {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EntanglingPower reports whether the gate can create entanglement from
+// some product state: true unless the Weyl invariant vanishes (the gate is
+// a product of single-qubit gates).
+func (r *KAKResult) EntanglingPower() bool {
+	w := r.Weyl()
+	return w[0] > 1e-9
+}

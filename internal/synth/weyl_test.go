@@ -1,0 +1,89 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+)
+
+func TestWeylInvariantKnownClasses(t *testing.T) {
+	// CNOT and CZ are locally equivalent (invariant (π/4, 0, 0)); SWAP and
+	// iSWAP are in different classes; a product of locals has zero invariant.
+	kak := func(m *cmat.Matrix) *KAKResult {
+		r, err := KAK(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cnot := kak(gate.CNOT(0, 1).Matrix).Weyl()
+	cz := kak(gate.CZ(0, 1).Matrix).Weyl()
+	for i := 0; i < 3; i++ {
+		if math.Abs(cnot[i]-cz[i]) > 1e-7 {
+			t.Fatalf("CNOT %v vs CZ %v invariants differ", cnot, cz)
+		}
+	}
+	if math.Abs(cnot[0]-math.Pi/4) > 1e-7 || cnot[1] > 1e-7 {
+		t.Fatalf("CNOT invariant %v, want (π/4, 0, 0)", cnot)
+	}
+	swap := kak(gate.SWAP(0, 1).Matrix).Weyl()
+	if math.Abs(swap[0]-math.Pi/4) > 1e-7 || math.Abs(swap[2]-math.Pi/4) > 1e-7 {
+		t.Fatalf("SWAP invariant %v, want (π/4, π/4, π/4)", swap)
+	}
+	local := kak(cmat.Kron(gate.H(0).Matrix, gate.T(0).Matrix))
+	if local.EntanglingPower() {
+		t.Fatal("local product reported entangling")
+	}
+	if !kak(gate.CNOT(0, 1).Matrix).EntanglingPower() {
+		t.Fatal("CNOT reported non-entangling")
+	}
+}
+
+func TestLocallyEquivalent(t *testing.T) {
+	eq, err := LocallyEquivalent(gate.CNOT(0, 1).Matrix, gate.CZ(0, 1).Matrix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("CNOT and CZ must be locally equivalent")
+	}
+	eq, err = LocallyEquivalent(gate.CNOT(0, 1).Matrix, gate.SWAP(0, 1).Matrix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("CNOT and SWAP must not be locally equivalent")
+	}
+}
+
+func TestLocalConjugationPreservesInvariant(t *testing.T) {
+	// (A⊗B)·U·(C⊗D) has the same invariant as U, for random locals.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 8; trial++ {
+		u := gate.FSim(0.6, 0.9, 0, 1).Matrix
+		c := circuit.New(2)
+		c.Append(
+			gate.U3(rng.Float64()*3, rng.Float64(), rng.Float64(), 0),
+			gate.U3(rng.Float64()*3, rng.Float64(), rng.Float64(), 1),
+		)
+		pre := c.Unitary()
+		c2 := circuit.New(2)
+		c2.Append(
+			gate.U3(rng.Float64()*3, rng.Float64(), rng.Float64(), 0),
+			gate.U3(rng.Float64()*3, rng.Float64(), rng.Float64(), 1),
+		)
+		post := c2.Unitary()
+		conj := cmat.Mul(post, cmat.Mul(u, pre))
+		eq, err := LocallyEquivalent(u, conj, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("trial %d: local conjugation changed the invariant", trial)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package trotter
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/statevec"
+)
+
+// exactEvolution computes e^{-iHt}|ψ0> with the shared matrix exponential.
+func exactEvolution(h *cmat.Matrix, t float64, psi0 []complex128) []complex128 {
+	return cmat.MulVec(cmat.ExpmHermitian(h, -t), psi0)
+}
+
+// isingHamiltonian builds the dense Ising H for testing.
+func isingHamiltonian(m Ising) *cmat.Matrix {
+	dim := 1 << m.N
+	h := cmat.New(dim, dim)
+	zzAdd := func(a, b int, w float64) {
+		for x := 0; x < dim; x++ {
+			sa := 1.0 - 2*float64((x>>a)&1)
+			sb := 1.0 - 2*float64((x>>b)&1)
+			h.Set(x, x, h.At(x, x)+complex(w*sa*sb, 0))
+		}
+	}
+	for _, b := range bonds(m.N, m.Periodic) {
+		zzAdd(b[0], b[1], m.J)
+	}
+	// X terms.
+	for q := 0; q < m.N; q++ {
+		for x := 0; x < dim; x++ {
+			y := x ^ (1 << q)
+			h.Set(x, y, h.At(x, y)+complex(m.H, 0))
+		}
+	}
+	return h
+}
+
+func TestIsingFirstOrderConverges(t *testing.T) {
+	m := Ising{N: 4, J: 1, H: 0.7}
+	ham := isingHamiltonian(m)
+	const tTotal = 0.5
+	psi0 := make([]complex128, 1<<m.N)
+	psi0[0] = 1
+	want := exactEvolution(ham, tTotal, psi0)
+
+	errFor := func(steps int, order Order) float64 {
+		c, err := BuildIsing(m, Options{Steps: steps, Dt: tTotal / float64(steps), Order: order})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := statevec.NewState(m.N)
+		s.ApplyAll(c.Gates)
+		var worst float64
+		for i := range s {
+			if d := cmplx.Abs(s[i] - want[i]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+
+	e8 := errFor(8, FirstOrder)
+	e32 := errFor(32, FirstOrder)
+	if e32 > e8/2 {
+		t.Fatalf("first order not converging: err(8)=%g err(32)=%g", e8, e32)
+	}
+	// Second order must beat first order at equal step count.
+	s8 := errFor(8, SecondOrder)
+	if s8 > e8 {
+		t.Fatalf("second order (%g) worse than first (%g)", s8, e8)
+	}
+}
+
+func TestSecondOrderScaling(t *testing.T) {
+	// Second-order error ~ O(δ²·T): quadrupling steps should cut the error
+	// by roughly 16; accept ≥ 8 to stay robust.
+	m := Ising{N: 3, J: 0.8, H: 0.5}
+	ham := isingHamiltonian(m)
+	const tTotal = 0.6
+	psi0 := make([]complex128, 1<<m.N)
+	psi0[0] = 1
+	want := exactEvolution(ham, tTotal, psi0)
+	errFor := func(steps int) float64 {
+		c, err := BuildIsing(m, Options{Steps: steps, Dt: tTotal / float64(steps), Order: SecondOrder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := statevec.NewState(m.N)
+		s.ApplyAll(c.Gates)
+		var worst float64
+		for i := range s {
+			if d := cmplx.Abs(s[i] - want[i]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	e4 := errFor(4)
+	e16 := errFor(16)
+	if e16 > e4/8 {
+		t.Fatalf("second order scaling off: err(4)=%g err(16)=%g", e4, e16)
+	}
+}
+
+func TestHeisenbergConservesMagnetization(t *testing.T) {
+	// XXZ conserves total Z magnetization: starting from |0011> the
+	// expectation of Σ Z_q stays 0 under evolution.
+	m := Heisenberg{N: 4, Jx: 0.9, Jz: 0.4}
+	c, err := BuildHeisenberg(m, Options{Steps: 12, Dt: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := statevec.NewState(4)
+	// Prepare |0011>: flip qubits 0,1.
+	x0, x1 := gate.X(0), gate.X(1)
+	s.ApplyGate(&x0)
+	s.ApplyGate(&x1)
+	s.ApplyAll(c.Gates)
+	var mz float64
+	for x := range s {
+		p := s.Probability(x)
+		if p == 0 {
+			continue
+		}
+		zsum := 0.0
+		for q := 0; q < 4; q++ {
+			zsum += 1 - 2*float64((x>>q)&1)
+		}
+		mz += p * zsum
+	}
+	if math.Abs(mz) > 1e-9 {
+		t.Fatalf("total magnetization drifted: %g", mz)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := BuildIsing(Ising{N: 1, J: 1, H: 1}, Options{Steps: 1, Dt: 0.1}); err == nil {
+		t.Fatal("single-site chain accepted")
+	}
+	if _, err := BuildIsing(Ising{N: 4, J: 1, H: 1}, Options{Steps: -1, Dt: 0.1}); err == nil {
+		t.Fatal("negative steps accepted")
+	}
+	if _, err := BuildHeisenberg(Heisenberg{N: 1, Jx: 1, Jz: 1}, Options{Steps: 1, Dt: 0.1}); err == nil {
+		t.Fatal("single-site Heisenberg accepted")
+	}
+}
+
+func TestPeriodicAddsWrapBond(t *testing.T) {
+	open, err := BuildIsing(Ising{N: 5, J: 1, H: 0}, Options{Steps: 1, Dt: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := BuildIsing(Ising{N: 5, J: 1, H: 0, Periodic: true}, Options{Steps: 1, Dt: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per.NumTwoQubitGates() != open.NumTwoQubitGates()+1 {
+		t.Fatalf("wrap bond missing: %d vs %d", per.NumTwoQubitGates(), open.NumTwoQubitGates())
+	}
+}
+
+func TestPlusStartPrependsHadamards(t *testing.T) {
+	c, err := BuildIsing(Ising{N: 3, J: 1, H: 0.5}, Options{Steps: 1, Dt: 0.1, PlusStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GateCountByName()["h"] != 3 {
+		t.Fatal("Hadamard wall missing")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = circuit.New // keep the import meaningful if the test shrinks
+}

@@ -1,0 +1,164 @@
+package xeb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/grcs"
+	"hsfsim/internal/statevec"
+)
+
+func TestProbabilitiesNormalized(t *testing.T) {
+	amps := []complex128{complex(math.Sqrt2/2, 0), 0, 0, complex(0, math.Sqrt2/2)}
+	p := Probabilities(amps)
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[3]-0.5) > 1e-12 {
+		t.Fatalf("probs = %v", p)
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	if _, err := NewSampler(nil); err == nil {
+		t.Fatal("empty distribution accepted")
+	}
+	if _, err := NewSampler([]float64{0, 0}); err == nil {
+		t.Fatal("zero distribution accepted")
+	}
+	if _, err := NewSampler([]float64{0.5, -0.1}); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}
+
+func TestSamplerFrequencies(t *testing.T) {
+	s, err := NewSampler([]float64{0.7, 0.2, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 100000
+	counts := make([]int, 3)
+	for _, x := range s.Sample(n, rng) {
+		counts[x]++
+	}
+	for i, want := range []float64{0.7, 0.2, 0.1} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("freq[%d] = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestLinearXEBIdealVsUniform(t *testing.T) {
+	// A chaotic random-circuit distribution: ideal samples score F ≈ 1,
+	// uniform samples F ≈ 0.
+	c, err := grcs.Generate(grcs.Options{Rows: 3, Cols: 4, Depth: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := statevec.NewState(c.NumQubits)
+	s.ApplyAll(c.Gates)
+	probs := Probabilities(s)
+
+	rng := rand.New(rand.NewSource(2))
+	sampler, err := NewSampler(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	ideal := sampler.Sample(n, rng)
+	fIdeal, err := LinearXEB(probs, ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fIdeal < 0.8 || fIdeal > 1.3 {
+		t.Fatalf("ideal XEB = %g, want ~1", fIdeal)
+	}
+	uniform := make([]int, n)
+	for i := range uniform {
+		uniform[i] = rng.Intn(len(probs))
+	}
+	fUniform, err := LinearXEB(probs, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fUniform) > 0.15 {
+		t.Fatalf("uniform XEB = %g, want ~0", fUniform)
+	}
+	if fIdeal < fUniform+0.5 {
+		t.Fatal("XEB cannot distinguish ideal from uniform sampling")
+	}
+}
+
+func TestLinearXEBErrors(t *testing.T) {
+	if _, err := LinearXEB([]float64{1}, nil); err == nil {
+		t.Fatal("no samples accepted")
+	}
+	if _, err := LinearXEB([]float64{1}, []int{4}); err == nil {
+		t.Fatal("out-of-range sample accepted")
+	}
+}
+
+func TestPorterThomasOnRandomCircuit(t *testing.T) {
+	// A deep random circuit's output follows Porter-Thomas closely; a
+	// computational basis state does not.
+	c, err := grcs.Generate(grcs.Options{Rows: 3, Cols: 4, Depth: 12, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := statevec.NewState(c.NumQubits)
+	s.ApplyAll(c.Gates)
+	klChaotic := PorterThomasKL(Probabilities(s), 20)
+
+	basis := make([]float64, 1<<12)
+	basis[0] = 1
+	klBasis := PorterThomasKL(basis, 20)
+
+	if klChaotic > 0.05 {
+		t.Fatalf("chaotic circuit KL = %g, want < 0.05", klChaotic)
+	}
+	if klBasis < 10*klChaotic {
+		t.Fatalf("basis state KL = %g not clearly worse than chaotic %g", klBasis, klChaotic)
+	}
+}
+
+func TestLinearXEBWithDimTruncatedWindow(t *testing.T) {
+	// Sampling from a renormalized window of an exact Porter-Thomas
+	// distribution must score F ≈ 1 when the true dimension is supplied —
+	// and be badly biased when it is not (the HSF partial-amplitude
+	// pitfall). A synthetic PT distribution isolates the estimator math
+	// from circuit-depth effects.
+	rng := rand.New(rand.NewSource(15))
+	const dim = 1 << 14
+	full := make([]float64, dim)
+	var total float64
+	for i := range full {
+		full[i] = rng.ExpFloat64()
+		total += full[i]
+	}
+	for i := range full {
+		full[i] /= total // exact PT: p ~ Exp(1)/D in distribution
+	}
+	window := full[:2048]
+	sampler, err := NewSampler(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := sampler.Sample(40000, rng)
+	f, err := LinearXEBWithDim(window, samples, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.8 || f > 1.2 {
+		t.Fatalf("windowed XEB = %g, want ~1", f)
+	}
+	wrong, err := LinearXEB(window, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrong > 0 {
+		t.Fatalf("naive windowed XEB should be negatively biased, got %g", wrong)
+	}
+	if _, err := LinearXEBWithDim(window, samples, 10); err == nil {
+		t.Fatal("dimension smaller than window accepted")
+	}
+}
