@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench bench-tables examples fmt clean
+.PHONY: all build test race fuzz vet cover bench bench-tables examples fmt clean
 
 all: build vet test
 
@@ -15,6 +15,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector run (CI gate): the HSF worker pool, the server's concurrency
+# limiter, and checkpoint merging must stay race-clean.
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the daemon's untrusted input surface.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/qasm/
 
 cover:
 	$(GO) test -cover ./...

@@ -4,13 +4,21 @@
 //	hsfsim -method joint -cut 7 -amplitudes 16 circuit.qasm
 //	hsfsim -method schrodinger circuit.qasm
 //	hsfsim -method standard -cut 7 -timeout 1h circuit.qasm
+//
+// Interrupting a run (Ctrl-C / SIGTERM) cancels it cooperatively; with
+// -checkpoint set, an interrupted or failed HSF run snapshots its completed
+// prefix tasks so a later -resume run picks up where it left off.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/cmplx"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hsfsim"
@@ -21,18 +29,22 @@ import (
 
 func main() {
 	var (
-		method   = flag.String("method", "joint", "schrodinger | standard | joint")
-		cutPos   = flag.Int("cut", -1, "cut position (last lower-partition qubit); default n/2-1")
-		amps     = flag.Int("amplitudes", 16, "number of amplitudes to print (0: all)")
-		maxAmps  = flag.Int("max-amplitudes", 0, "number of amplitudes to compute (0: all)")
-		workers  = flag.Int("workers", 0, "worker goroutines (0: all CPUs)")
-		timeout  = flag.Duration("timeout", 0, "abort after this duration (0: none)")
-		strategy = flag.String("blocks", "cascade", "joint grouping: cascade | window")
-		maxBlock = flag.Int("max-block-qubits", 0, "joint block qubit budget (0: default)")
-		analytic = flag.Bool("analytic", false, "use analytic cascade decompositions")
-		quiet    = flag.Bool("quiet", false, "print statistics only, no amplitudes")
-		backend  = flag.String("backend", "array", "schrodinger backend: array | dd | mps")
-		engine   = flag.String("engine", "array", "HSF path engine: array | dd (ref [10])")
+		method    = flag.String("method", "joint", "schrodinger | standard | joint")
+		cutPos    = flag.Int("cut", -1, "cut position (last lower-partition qubit); default n/2-1")
+		amps      = flag.Int("amplitudes", 16, "number of amplitudes to print (0: all)")
+		maxAmps   = flag.Int("max-amplitudes", 0, "number of amplitudes to compute (0: all)")
+		workers   = flag.Int("workers", 0, "worker goroutines (0: all CPUs)")
+		timeout   = flag.Duration("timeout", 0, "abort after this duration (0: none)")
+		strategy  = flag.String("blocks", "cascade", "joint grouping: cascade | window")
+		maxBlock  = flag.Int("max-block-qubits", 0, "joint block qubit budget (0: default)")
+		analytic  = flag.Bool("analytic", false, "use analytic cascade decompositions")
+		quiet     = flag.Bool("quiet", false, "print statistics only, no amplitudes")
+		backend   = flag.String("backend", "array", "schrodinger backend: array | dd | mps")
+		engine    = flag.String("engine", "array", "HSF path engine: array | dd (ref [10])")
+		memBudget = flag.Int64("memory-budget", 0, "admission memory budget in bytes (0: 16 GiB default, <0: unlimited)")
+		maxPaths  = flag.Uint64("max-paths", 0, "reject plans with more Feynman paths than this (0: unlimited)")
+		ckptPath  = flag.String("checkpoint", "", "write a resume checkpoint here if the run is interrupted")
+		resume    = flag.String("resume", "", "resume an HSF run from this checkpoint file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -53,6 +65,8 @@ func main() {
 		Timeout:             *timeout,
 		MaxBlockQubits:      *maxBlock,
 		UseAnalyticCascades: *analytic,
+		MemoryBudget:        *memBudget,
+		MaxPaths:            *maxPaths,
 	}
 	switch *method {
 	case "schrodinger":
@@ -73,9 +87,15 @@ func main() {
 		fail(fmt.Errorf("unknown block strategy %q", *strategy))
 	}
 	if opts.Method != hsfsim.Schrodinger {
+		if c.NumQubits < 2 {
+			fail(fmt.Errorf("HSF methods need at least 2 qubits to bipartition (circuit has %d); use -method schrodinger", c.NumQubits))
+		}
 		opts.CutPos = *cutPos
 		if opts.CutPos < 0 {
 			opts.CutPos = c.NumQubits/2 - 1
+		}
+		if opts.CutPos > c.NumQubits-2 {
+			fail(fmt.Errorf("cut position %d out of range [0, %d] for %d qubits", opts.CutPos, c.NumQubits-2, c.NumQubits))
 		}
 		switch *engine {
 		case "array":
@@ -86,11 +106,40 @@ func main() {
 		}
 	}
 
+	// An interrupted HSF run can snapshot its completed prefix tasks.
+	var ckptFile *os.File
+	if *ckptPath != "" {
+		ckptFile, err = os.Create(*ckptPath)
+		fail(err)
+		opts.CheckpointWriter = ckptFile
+	}
+	if *resume != "" {
+		rf, err := os.Open(*resume)
+		fail(err)
+		defer rf.Close()
+		opts.ResumeFrom = rf
+	}
+
+	// Ctrl-C / SIGTERM cancel the simulation cooperatively.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var res *hsfsim.Result
 	if opts.Method == hsfsim.Schrodinger && *backend != "array" {
 		res, err = simulateAlternateBackend(c, *backend, *maxAmps)
 	} else {
-		res, err = hsfsim.Simulate(c, opts)
+		res, err = hsfsim.SimulateContext(ctx, c, opts)
+	}
+	if ckptFile != nil {
+		if cerr := ckptFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err == nil {
+			// The run completed; the empty checkpoint file is useless.
+			os.Remove(*ckptPath)
+		} else if errors.Is(err, context.Canceled) || errors.Is(err, hsfsim.ErrTimeout) {
+			fmt.Fprintf(os.Stderr, "hsfsim: interrupted; checkpoint written to %s (resume with -resume)\n", *ckptPath)
+		}
 	}
 	fail(err)
 	if *backend != "array" && opts.Method == hsfsim.Schrodinger {

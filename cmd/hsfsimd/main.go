@@ -1,31 +1,106 @@
 // Command hsfsimd serves the simulator over HTTP (see internal/server for
 // the API):
 //
-//	hsfsimd -addr :8080
+//	hsfsimd -addr :8080 -max-concurrent 8 -memory-budget 8589934592
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/readyz
 //	curl -s -X POST localhost:8080/analyze -d '{"qasm":"qreg q[2]; h q[0]; cx q[0],q[1];"}'
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-flight
+// simulations drain for up to -drain-timeout (their request contexts are
+// canceled past that), and the process exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hsfsim/internal/server"
 )
 
+// onListen, when non-nil, receives the bound address once the listener is
+// up. Tests use it with "-addr 127.0.0.1:0" to discover the port.
+var onListen func(net.Addr)
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("hsfsimd", flag.ExitOnError)
+	var (
+		addr          = fs.String("addr", "127.0.0.1:8080", "listen address")
+		maxConcurrent = fs.Int("max-concurrent", 0, "max simultaneous simulations (0: 2×GOMAXPROCS, <0: unlimited)")
+		memoryBudget  = fs.Int64("memory-budget", 0, "admission memory budget in bytes (0: 16 GiB default, <0: unlimited)")
+		maxPaths      = fs.Uint64("max-paths", 0, "reject plans with more Feynman paths than this (0: unlimited)")
+		workers       = fs.Int("workers", 0, "worker goroutines per simulation (0: all CPUs)")
+		maxTimeout    = fs.Duration("max-timeout", 10*time.Minute, "cap on per-request timeout_ms")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	)
+	_ = fs.Parse(args)
+
+	logger := log.New(os.Stderr, "hsfsimd ", log.LstdFlags)
+	handler := server.NewWithConfig(server.Config{
+		MaxConcurrent: *maxConcurrent,
+		MemoryBudget:  *memoryBudget,
+		MaxPaths:      *maxPaths,
+		Workers:       *workers,
+		MaxTimeout:    *maxTimeout,
+		Logger:        logger,
+	})
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		WriteTimeout:      10 * time.Minute,
 	}
-	log.Printf("hsfsimd listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("listen: %v", err)
+		return 1
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	logger.Printf("listening on %s", ln.Addr())
+
+	select {
+	case err := <-errCh:
+		// The listener failed before any shutdown was requested.
+		logger.Printf("serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	logger.Printf("shutting down, draining in-flight requests (up to %v)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// The drain window expired: force-close, canceling request contexts.
+		logger.Printf("drain incomplete: %v; closing", err)
+		_ = srv.Close()
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve: %v", err)
+		return 1
+	}
+	logger.Printf("shutdown complete")
+	return 0
 }

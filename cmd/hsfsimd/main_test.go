@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownDrainsInFlight is the daemon's core acceptance test:
+// SIGTERM during an in-flight /simulate must let the request finish (no
+// dropped connection) and run() must return 0, not crash on
+// http.ErrServerClosed.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	defer func() { onListen = nil }()
+
+	exitCh := make(chan int, 1)
+	go func() {
+		exitCh <- run([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "10s"})
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not start listening")
+	}
+
+	// A moderately heavy standard-HSF job to keep in flight: 2^12 paths.
+	qasm := "qreg q[10];\n"
+	for i := 0; i < 12; i++ {
+		qasm += fmt.Sprintf("rzz(0.3) q[%d],q[%d];\nrx(0.2) q[%d];\n", i%5, 5+i%5, i%5)
+	}
+	body, _ := json.Marshal(map[string]any{"qasm": qasm, "method": "standard", "cut_pos": 4})
+
+	respCh := make(chan *http.Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/simulate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- resp
+	}()
+
+	// Give the request a moment to be in flight, then deliver SIGTERM to
+	// ourselves — signal.NotifyContext inside run() catches it.
+	time.Sleep(50 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-errCh:
+		t.Fatalf("in-flight request dropped during shutdown: %v", err)
+	case resp := <-respCh:
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("in-flight request status %d, want 200", resp.StatusCode)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+
+	select {
+	case code := <-exitCh:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	// The listener is gone: new connections must fail.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still accepting connections after shutdown")
+	}
+}

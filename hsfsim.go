@@ -29,8 +29,11 @@
 package hsfsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"time"
 
 	"hsfsim/internal/circuit"
@@ -81,8 +84,38 @@ const (
 	BlockWindow = cut.StrategyWindow
 )
 
-// ErrTimeout is returned when a simulation exceeds Options.Timeout.
+// ErrTimeout is returned when a simulation exceeds Options.Timeout. It is
+// distinct from the caller's context being canceled (context.Canceled) or
+// hitting its own deadline (context.DeadlineExceeded); match all three with
+// errors.Is.
 var ErrTimeout = hsf.ErrTimeout
+
+// ErrBudget is the sentinel matched by errors.Is when admission control
+// rejects a job whose estimated cost exceeds Options.MemoryBudget or
+// Options.MaxPaths. The concrete error is a *hsf.BudgetError carrying the
+// cost estimate; the rejection happens before any statevector is allocated.
+var ErrBudget = hsf.ErrBudget
+
+// ErrCheckpointMismatch is returned when Options.ResumeFrom holds a
+// checkpoint produced by a different circuit, cut plan, or MaxAmplitudes.
+var ErrCheckpointMismatch = hsf.ErrCheckpointMismatch
+
+// BudgetError is the concrete admission-control rejection; it wraps
+// ErrBudget and carries the cost estimate that triggered it.
+type BudgetError = hsf.BudgetError
+
+// PanicError wraps a panic recovered from an HSF path worker: the simulation
+// reports it as an ordinary error instead of crashing the process.
+type PanicError = hsf.PanicError
+
+// CostEstimate is the up-front resource projection used by admission
+// control; see EstimateCost.
+type CostEstimate = hsf.CostEstimate
+
+// DefaultMemoryBudget is the admission ceiling applied when
+// Options.MemoryBudget is zero: 16 GiB, the footprint of a 30-qubit dense
+// statevector.
+const DefaultMemoryBudget = hsf.DefaultMemoryBudget
 
 // Options configures Simulate.
 type Options struct {
@@ -117,6 +150,28 @@ type Options struct {
 	// states instead of dense arrays (the authors' ref-[10] approach):
 	// single-threaded, memory-compressing, structurally identical results.
 	UseDDEngine bool
+	// MemoryBudget caps the estimated memory footprint in bytes before any
+	// statevector is allocated: 0 selects DefaultMemoryBudget (16 GiB),
+	// negative disables the check. Over-budget jobs fail with ErrBudget.
+	MemoryBudget int64
+	// MaxPaths rejects HSF plans whose Feynman path count exceeds it
+	// (0: no limit). Over-budget jobs fail with ErrBudget.
+	MaxPaths uint64
+	// CheckpointWriter, when non-nil, receives a binary checkpoint snapshot
+	// if an HSF array-engine run stops prematurely (cancellation, timeout,
+	// injected fault, worker panic): the completed prefix tasks plus their
+	// merged partial accumulator. Ignored by Schrodinger and the DD engine.
+	CheckpointWriter io.Writer
+	// ResumeFrom, when non-nil, seeds an HSF array-engine run from a
+	// checkpoint previously written through CheckpointWriter: completed
+	// prefix tasks are skipped and the accumulator continues from the
+	// snapshot. The checkpoint must match the circuit, cut plan, and
+	// MaxAmplitudes (ErrCheckpointMismatch otherwise).
+	ResumeFrom io.Reader
+	// FailAfterPaths injects a deterministic fault after roughly that many
+	// HSF path leaves (0: disabled) — a testing hook that makes
+	// checkpoint/resume recovery reproducible without real crashes.
+	FailAfterPaths int64
 }
 
 // Result reports the simulated amplitudes and run statistics.
@@ -146,6 +201,16 @@ func (r *Result) TotalTime() time.Duration { return r.PreprocessTime + r.SimTime
 
 // Simulate runs the circuit with the selected method.
 func Simulate(c *Circuit, opts Options) (*Result, error) {
+	return SimulateContext(context.Background(), c, opts)
+}
+
+// SimulateContext runs the circuit under ctx. Cancellation is cooperative:
+// the Schrödinger loop observes it between gates and the HSF engines between
+// path-tree segments, so a canceled run stops within one segment of work per
+// worker. The error distinguishes the caller going away (context.Canceled /
+// context.DeadlineExceeded) from the job exceeding its own Options.Timeout
+// (ErrTimeout).
+func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 	if c == nil {
 		return nil, errors.New("hsfsim: nil circuit")
 	}
@@ -154,17 +219,45 @@ func Simulate(c *Circuit, opts Options) (*Result, error) {
 	}
 	switch opts.Method {
 	case Schrodinger:
-		return runSchrodinger(c, opts)
+		return runSchrodinger(ctx, c, opts)
 	case StandardHSF, JointHSF:
-		return runHSF(c, opts)
+		return runHSF(ctx, c, opts)
 	default:
 		return nil, fmt.Errorf("hsfsim: unknown method %d", opts.Method)
 	}
 }
 
-func runSchrodinger(c *Circuit, opts Options) (*Result, error) {
-	if c.NumQubits > 30 {
-		return nil, fmt.Errorf("hsfsim: %d qubits exceed the Schrödinger memory budget (2^%d amplitudes)", c.NumQubits, c.NumQubits)
+// schrodingerCost estimates the dense statevector footprint of a full 2^n
+// simulation: the state itself plus a same-sized scratch bound for fused
+// gate application.
+func schrodingerCost(numQubits int) CostEstimate {
+	bytes := int64(math.MaxInt64)
+	if numQubits < 60 {
+		bytes = int64(16) << uint(numQubits)
+	}
+	return CostEstimate{
+		Paths:            1,
+		PathsExact:       true,
+		Workers:          1,
+		StatePairBytes:   bytes,
+		PerWorkerBytes:   bytes,
+		AccumulatorBytes: bytes,
+		TotalBytes:       bytes,
+	}
+}
+
+func runSchrodinger(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
+	est := schrodingerCost(c.NumQubits)
+	budget := opts.MemoryBudget
+	if budget == 0 {
+		budget = DefaultMemoryBudget
+	}
+	if budget > 0 && est.TotalBytes > budget {
+		return nil, &BudgetError{
+			Estimate:     est,
+			MemoryBudget: budget,
+			Reason:       fmt.Sprintf("2^%d-amplitude statevector exceeds the memory budget of %d bytes", c.NumQubits, budget),
+		}
 	}
 	pre := time.Now()
 	gates := c.Gates
@@ -177,15 +270,18 @@ func runSchrodinger(c *Circuit, opts Options) (*Result, error) {
 	}
 	preprocess := time.Since(pre)
 
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, opts.Timeout, ErrTimeout)
+		defer cancel()
+	}
 	simStart := time.Now()
 	s := statevec.NewState(c.NumQubits)
-	deadline := time.Time{}
-	if opts.Timeout > 0 {
-		deadline = simStart.Add(opts.Timeout)
-	}
 	for i := range gates {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return nil, ErrTimeout
+		select {
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		default:
 		}
 		s.ApplyGate(&gates[i])
 	}
@@ -202,7 +298,7 @@ func runSchrodinger(c *Circuit, opts Options) (*Result, error) {
 	}, nil
 }
 
-func runHSF(c *Circuit, opts Options) (*Result, error) {
+func runHSF(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 	strategy := cut.StrategyNone
 	if opts.Method == JointHSF {
 		strategy = opts.BlockStrategy
@@ -224,16 +320,30 @@ func runHSF(c *Circuit, opts Options) (*Result, error) {
 	preprocess := time.Since(pre)
 
 	engineOpts := hsf.Options{
-		MaxAmplitudes:   opts.MaxAmplitudes,
-		Workers:         opts.Workers,
-		FusionMaxQubits: opts.FusionMaxQubits,
-		Timeout:         opts.Timeout,
+		MaxAmplitudes:    opts.MaxAmplitudes,
+		Workers:          opts.Workers,
+		FusionMaxQubits:  opts.FusionMaxQubits,
+		Timeout:          opts.Timeout,
+		MemoryBudget:     opts.MemoryBudget,
+		MaxPaths:         opts.MaxPaths,
+		CheckpointWriter: opts.CheckpointWriter,
+		FailAfterPaths:   opts.FailAfterPaths,
+	}
+	if opts.UseDDEngine && (opts.ResumeFrom != nil || opts.CheckpointWriter != nil) {
+		return nil, errors.New("hsfsim: the DD engine does not support checkpoint/resume")
+	}
+	if opts.ResumeFrom != nil {
+		ck, err := hsf.ReadCheckpoint(opts.ResumeFrom)
+		if err != nil {
+			return nil, err
+		}
+		engineOpts.Resume = ck
 	}
 	var res *hsf.Result
 	if opts.UseDDEngine {
-		res, err = hsf.RunDD(plan, engineOpts)
+		res, err = hsf.RunDDContext(ctx, plan, engineOpts)
 	} else {
-		res, err = hsf.Run(plan, engineOpts)
+		res, err = hsf.RunContext(ctx, plan, engineOpts)
 	}
 	if err != nil {
 		return nil, err
@@ -292,6 +402,45 @@ func PathCounts(c *Circuit, cutPos int, strategy BlockStrategy, maxBlockQubits i
 	standard, _ = std.NumPaths()
 	joint, _ = jnt.NumPaths()
 	return standard, joint, nil
+}
+
+// EstimateCost projects, without allocating or simulating, the resources a
+// Simulate call would need: Feynman path count and an upper bound on the
+// memory footprint (partition statevectors × workers, clone chain, and
+// accumulators). It is the estimator behind the Options.MemoryBudget /
+// Options.MaxPaths admission gate; services can call it to reject or price
+// jobs before committing to a run.
+func EstimateCost(c *Circuit, opts Options) (*CostEstimate, error) {
+	if c == nil {
+		return nil, errors.New("hsfsim: nil circuit")
+	}
+	if opts.Method == Schrodinger {
+		est := schrodingerCost(c.NumQubits)
+		return &est, nil
+	}
+	strategy := cut.StrategyNone
+	if opts.Method == JointHSF {
+		strategy = opts.BlockStrategy
+		if strategy == cut.StrategyNone {
+			strategy = cut.StrategyCascade
+		}
+	}
+	plan, err := cut.BuildPlan(c, cut.Options{
+		Partition:      cut.Partition{CutPos: opts.CutPos},
+		Strategy:       strategy,
+		MaxBlockQubits: opts.MaxBlockQubits,
+		Tol:            opts.Tol,
+		UseAnalytic:    opts.UseAnalyticCascades,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hsfsim: %w", err)
+	}
+	workers := opts.Workers
+	if opts.UseDDEngine {
+		workers = 1
+	}
+	est := hsf.Cost(plan, hsf.Options{MaxAmplitudes: opts.MaxAmplitudes, Workers: workers})
+	return &est, nil
 }
 
 // Circuit re-exports the circuit IR so users never import internal packages.

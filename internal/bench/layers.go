@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -48,10 +49,10 @@ func LayerSeries(spec qaoa.InstanceSpec, maxLayers int, maxAmplitudes int, timeo
 			Method: hsfsim.JointHSF, CutPos: spec.CutPos(),
 			MaxAmplitudes: maxAmplitudes, Timeout: timeout,
 		})
-		switch err {
-		case nil:
+		switch {
+		case err == nil:
 			pt.JointTime = res.TotalTime()
-		case hsfsim.ErrTimeout:
+		case errors.Is(err, hsfsim.ErrTimeout):
 			pt.JointTimed = true
 		default:
 			return nil, fmt.Errorf("bench: layers=%d: %w", l, err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -55,10 +56,10 @@ func ManybodySeries(n, maxSteps int, maxAmplitudes int, timeout time.Duration) (
 			Method: hsfsim.StandardHSF, CutPos: cutPos,
 			MaxAmplitudes: maxAmplitudes, Timeout: timeout,
 		})
-		switch err {
-		case nil:
+		switch {
+		case err == nil:
 			pt.HSFTime = hres.TotalTime()
-		case hsfsim.ErrTimeout:
+		case errors.Is(err, hsfsim.ErrTimeout):
 			pt.HSFTimed = true
 		default:
 			return nil, fmt.Errorf("bench: manybody steps=%d: %w", s, err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -76,10 +77,10 @@ func RunSupremacy(cases []SupremacyCase, maxAmplitudes int, timeout time.Duratio
 			Method: hsfsim.StandardHSF, CutPos: cs.CutPos,
 			MaxAmplitudes: maxAmplitudes, Timeout: timeout,
 		})
-		switch err {
-		case nil:
+		switch {
+		case err == nil:
 			row.StandardTime = stdRes.TotalTime()
-		case hsfsim.ErrTimeout:
+		case errors.Is(err, hsfsim.ErrTimeout):
 			row.StandardTimed = true
 		default:
 			return nil, fmt.Errorf("bench: %s standard: %w", cs.Name, err)
@@ -88,10 +89,10 @@ func RunSupremacy(cases []SupremacyCase, maxAmplitudes int, timeout time.Duratio
 			Method: hsfsim.JointHSF, CutPos: cs.CutPos, BlockStrategy: hsfsim.BlockWindow,
 			MaxBlockQubits: cs.MaxBlockQ, MaxAmplitudes: maxAmplitudes, Timeout: timeout,
 		})
-		switch err {
-		case nil:
+		switch {
+		case err == nil:
 			row.JointTime = jntRes.TotalTime()
-		case hsfsim.ErrTimeout:
+		case errors.Is(err, hsfsim.ErrTimeout):
 			row.JointTimed = true
 		default:
 			return nil, fmt.Errorf("bench: %s joint: %w", cs.Name, err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -111,7 +112,7 @@ func RunTable1Instance(spec qaoa.InstanceSpec, cfg RunConfig) (*Table1Row, error
 				Workers:       cfg.Workers,
 				Timeout:       cfg.Timeout,
 			})
-			if err == hsfsim.ErrTimeout {
+			if errors.Is(err, hsfsim.ErrTimeout) {
 				mr.TimedOut = true
 				break
 			}

@@ -1,0 +1,282 @@
+// Checkpoint/resume for the array engine. The engine fans the leading cut
+// levels out into independent prefix tasks; a checkpoint records which
+// prefixes finished plus the partial accumulator merged from exactly those
+// prefixes, so a resumed run only re-simulates the unfinished subtrees and
+// produces the same amplitudes as an uninterrupted run.
+//
+// The on-disk format is a little-endian binary stream (encoding/gob cannot
+// represent complex128):
+//
+//	magic "HSFCKP1\n" | planHash u64 | numQubits u32 | m u64 |
+//	splitLevels u32 | numPrefixes u64 | prefixes (splitLevels × u32 each) |
+//	pathsSimulated u64 | acc (m × 2 float64)
+package hsf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"hsfsim/internal/cut"
+)
+
+var checkpointMagic = [8]byte{'H', 'S', 'F', 'C', 'K', 'P', '1', '\n'}
+
+// ErrCheckpointMismatch is returned when a checkpoint was produced by a
+// different plan (or different MaxAmplitudes) than the one being resumed.
+var ErrCheckpointMismatch = errors.New("hsf: checkpoint does not match plan")
+
+// maxCheckpointPrefixes bounds the prefix table accepted from an untrusted
+// checkpoint stream (the engine itself never exceeds ~4×workers tasks).
+const maxCheckpointPrefixes = 1 << 24
+
+// Checkpoint is a resumable snapshot of a partially executed plan.
+type Checkpoint struct {
+	// PlanHash fingerprints the plan (structure, cut ranks, Schmidt terms);
+	// resuming against a different plan is rejected.
+	PlanHash uint64
+	// NumQubits and M pin the register size and accumulator length.
+	NumQubits int
+	M         int
+	// SplitLevels is the number of leading cut levels expanded into prefix
+	// tasks; a resumed run reuses it regardless of its own worker count.
+	SplitLevels int
+	// Prefixes lists the completed prefix choice vectors (each of length
+	// SplitLevels).
+	Prefixes [][]int
+	// PathsSimulated counts the leaves contained in Acc.
+	PathsSimulated int64
+	// Acc is the partial accumulator summed over the completed prefixes.
+	Acc []complex128
+}
+
+// PlanHash fingerprints the structural identity of a plan: register size,
+// partition, step sequence, and every cut's Schmidt spectrum. Two plans with
+// equal hashes execute the same path tree.
+func PlanHash(plan *cut.Plan) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+	wu(uint64(plan.NumQubits))
+	wu(uint64(int64(plan.Partition.CutPos)))
+	for _, st := range plan.Steps {
+		wu(uint64(st.Kind))
+		switch {
+		case st.Cut != nil:
+			wu(uint64(st.Cut.Rank()))
+			for _, t := range st.Cut.Terms {
+				wf(t.Sigma)
+			}
+			for _, q := range st.Cut.LowerQubits {
+				wu(uint64(q))
+			}
+			for _, q := range st.Cut.UpperQubits {
+				wu(uint64(q))
+			}
+		default:
+			wu(uint64(st.Side))
+			h.Write([]byte(st.Gate.Name))
+			for _, q := range st.Gate.Qubits {
+				wu(uint64(q))
+			}
+			for _, p := range st.Gate.Params {
+				wf(p)
+			}
+			if mat := st.Gate.Matrix; mat != nil {
+				for _, v := range mat.Data {
+					wf(real(v))
+					wf(imag(v))
+				}
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// WriteCheckpoint serializes ck to w.
+func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	wu := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	w32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	if err := wu(ck.PlanHash); err != nil {
+		return err
+	}
+	if err := w32(uint32(ck.NumQubits)); err != nil {
+		return err
+	}
+	if err := wu(uint64(ck.M)); err != nil {
+		return err
+	}
+	if err := w32(uint32(ck.SplitLevels)); err != nil {
+		return err
+	}
+	if err := wu(uint64(len(ck.Prefixes))); err != nil {
+		return err
+	}
+	for _, p := range ck.Prefixes {
+		if len(p) != ck.SplitLevels {
+			return fmt.Errorf("hsf: checkpoint prefix length %d != split levels %d", len(p), ck.SplitLevels)
+		}
+		for _, t := range p {
+			if err := w32(uint32(t)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := wu(uint64(ck.PathsSimulated)); err != nil {
+		return err
+	}
+	for _, a := range ck.Acc {
+		if err := wu(math.Float64bits(real(a))); err != nil {
+			return err
+		}
+		if err := wu(math.Float64bits(imag(a))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint deserializes a checkpoint written by WriteCheckpoint.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("hsf: reading checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return nil, errors.New("hsf: not a checkpoint file")
+	}
+	var buf [8]byte
+	ru := func() (uint64, error) {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	r32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:4]), nil
+	}
+	ck := &Checkpoint{}
+	var err error
+	if ck.PlanHash, err = ru(); err != nil {
+		return nil, fmt.Errorf("hsf: reading checkpoint: %w", err)
+	}
+	nq, err := r32()
+	if err != nil {
+		return nil, fmt.Errorf("hsf: reading checkpoint: %w", err)
+	}
+	ck.NumQubits = int(nq)
+	m, err := ru()
+	if err != nil {
+		return nil, fmt.Errorf("hsf: reading checkpoint: %w", err)
+	}
+	if m > uint64(math.MaxInt/bytesPerAmp) {
+		return nil, fmt.Errorf("hsf: checkpoint accumulator length %d too large", m)
+	}
+	ck.M = int(m)
+	sl, err := r32()
+	if err != nil {
+		return nil, fmt.Errorf("hsf: reading checkpoint: %w", err)
+	}
+	ck.SplitLevels = int(sl)
+	np, err := ru()
+	if err != nil {
+		return nil, fmt.Errorf("hsf: reading checkpoint: %w", err)
+	}
+	if np > maxCheckpointPrefixes {
+		return nil, fmt.Errorf("hsf: checkpoint prefix count %d too large", np)
+	}
+	ck.Prefixes = make([][]int, np)
+	for i := range ck.Prefixes {
+		p := make([]int, ck.SplitLevels)
+		for j := range p {
+			t, err := r32()
+			if err != nil {
+				return nil, fmt.Errorf("hsf: reading checkpoint prefixes: %w", err)
+			}
+			p[j] = int(t)
+		}
+		ck.Prefixes[i] = p
+	}
+	ps, err := ru()
+	if err != nil {
+		return nil, fmt.Errorf("hsf: reading checkpoint: %w", err)
+	}
+	ck.PathsSimulated = int64(ps)
+	ck.Acc = make([]complex128, ck.M)
+	for i := range ck.Acc {
+		re, err := ru()
+		if err != nil {
+			return nil, fmt.Errorf("hsf: reading checkpoint accumulator: %w", err)
+		}
+		im, err := ru()
+		if err != nil {
+			return nil, fmt.Errorf("hsf: reading checkpoint accumulator: %w", err)
+		}
+		ck.Acc[i] = complex(math.Float64frombits(re), math.Float64frombits(im))
+	}
+	return ck, nil
+}
+
+// validateFor checks that the checkpoint belongs to plan with accumulator
+// length m and a compatible split depth.
+func (ck *Checkpoint) validateFor(plan *cut.Plan, m int) error {
+	if ck.PlanHash != PlanHash(plan) {
+		return fmt.Errorf("%w: plan hash %016x != checkpoint %016x",
+			ErrCheckpointMismatch, PlanHash(plan), ck.PlanHash)
+	}
+	if ck.NumQubits != plan.NumQubits {
+		return fmt.Errorf("%w: %d qubits != checkpoint %d",
+			ErrCheckpointMismatch, plan.NumQubits, ck.NumQubits)
+	}
+	if ck.M != m {
+		return fmt.Errorf("%w: accumulator length %d != checkpoint %d (set MaxAmplitudes to match)",
+			ErrCheckpointMismatch, m, ck.M)
+	}
+	if len(ck.Acc) != ck.M {
+		return fmt.Errorf("%w: accumulator payload %d != header %d",
+			ErrCheckpointMismatch, len(ck.Acc), ck.M)
+	}
+	if ck.SplitLevels < 0 || ck.SplitLevels > len(plan.Cuts) {
+		return fmt.Errorf("%w: split levels %d out of range [0, %d]",
+			ErrCheckpointMismatch, ck.SplitLevels, len(plan.Cuts))
+	}
+	for _, p := range ck.Prefixes {
+		if len(p) != ck.SplitLevels {
+			return fmt.Errorf("%w: prefix length %d != split levels %d",
+				ErrCheckpointMismatch, len(p), ck.SplitLevels)
+		}
+		for l, t := range p {
+			if t < 0 || t >= plan.Cuts[l].Rank() {
+				return fmt.Errorf("%w: prefix term %d out of range for cut %d (rank %d)",
+					ErrCheckpointMismatch, t, l, plan.Cuts[l].Rank())
+			}
+		}
+	}
+	return nil
+}

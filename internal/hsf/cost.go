@@ -1,0 +1,174 @@
+package hsf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+
+	"hsfsim/internal/cut"
+)
+
+// DefaultMemoryBudget is the admission-control ceiling applied when
+// Options.MemoryBudget is zero: 16 GiB, the footprint of a 30-qubit dense
+// statevector — matching the simulator's historical hard qubit cap.
+const DefaultMemoryBudget int64 = 16 << 30
+
+// ErrBudget is the sentinel matched by errors.Is for admission-control
+// rejections. The concrete error is always a *BudgetError carrying the
+// estimate that triggered the rejection.
+var ErrBudget = errors.New("hsf: job exceeds resource budget")
+
+// BudgetError reports an admission-control rejection: the job's estimated
+// cost exceeded Options.MemoryBudget or Options.MaxPaths. It is returned
+// before any statevector is allocated.
+type BudgetError struct {
+	// Estimate is the cost model's projection for the rejected job.
+	Estimate CostEstimate
+	// MemoryBudget and MaxPaths echo the limits that were enforced
+	// (zero for the one that did not trigger).
+	MemoryBudget int64
+	MaxPaths     uint64
+	// Reason is a human-readable one-liner ("memory" or "paths" driven).
+	Reason string
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("hsf: job exceeds resource budget: %s", e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrBudget) hold for every BudgetError.
+func (e *BudgetError) Unwrap() error { return ErrBudget }
+
+// CostEstimate is the up-front resource projection for executing a plan.
+// All byte figures are upper bounds: the engine clones partition states
+// lazily (only when more than one Schmidt term remains), so the live
+// footprint is usually smaller.
+type CostEstimate struct {
+	// Paths is the total Feynman path count (saturates at MaxUint64 when
+	// PathsExact is false); Log2Paths is exact in log space.
+	Paths      uint64
+	PathsExact bool
+	Log2Paths  float64
+	// Workers is the resolved worker count used for the projection.
+	Workers int
+	// StatePairBytes is one (lower, upper) partition statevector pair.
+	StatePairBytes int64
+	// PerWorkerBytes bounds one worker's footprint: the clone chain of
+	// partition state pairs down the remaining path tree plus the private
+	// accumulator scratch.
+	PerWorkerBytes int64
+	// AccumulatorBytes is the shared output accumulator.
+	AccumulatorBytes int64
+	// TotalBytes = Workers*PerWorkerBytes + AccumulatorBytes.
+	TotalBytes int64
+}
+
+const bytesPerAmp = 16 // complex128
+
+// resolveAmplitudes returns the effective accumulator length for a plan.
+func resolveAmplitudes(plan *cut.Plan, maxAmplitudes int) int {
+	dim := 1 << plan.NumQubits
+	if maxAmplitudes <= 0 || maxAmplitudes > dim {
+		return dim
+	}
+	return maxAmplitudes
+}
+
+// resolveWorkers returns the effective worker count.
+func resolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// mulSat multiplies non-negative int64s, saturating at MaxInt64.
+func mulSat(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+func addSat(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// Cost projects the resources required to execute plan under opts, without
+// allocating anything. The memory model mirrors the engine: each worker
+// holds at most one partition state pair per remaining cut level (the clone
+// chain of runBranch) plus an m-amplitude scratch accumulator, and a single
+// m-amplitude global accumulator is shared.
+func Cost(plan *cut.Plan, opts Options) CostEstimate {
+	nLower := plan.Partition.NumLower()
+	nUpper := plan.Partition.NumUpper(plan.NumQubits)
+	m := resolveAmplitudes(plan, opts.MaxAmplitudes)
+	workers := resolveWorkers(opts.Workers)
+
+	pair := mulSat(bytesPerAmp, int64(1)<<uint(max(nLower, 0)))
+	pair = addSat(pair, mulSat(bytesPerAmp, int64(1)<<uint(max(nUpper, 0))))
+	accBytes := mulSat(bytesPerAmp, int64(m))
+	// Clone chain: the branch recursion may hold one extra pair per cut
+	// level, plus the pair owned by the prefix task itself.
+	chain := mulSat(pair, int64(len(plan.Cuts)+1))
+	perWorker := addSat(chain, accBytes) // scratch accumulator per worker
+
+	paths, exact := plan.NumPaths()
+	return CostEstimate{
+		Paths:            paths,
+		PathsExact:       exact,
+		Log2Paths:        plan.Log2Paths(),
+		Workers:          workers,
+		StatePairBytes:   pair,
+		PerWorkerBytes:   perWorker,
+		AccumulatorBytes: accBytes,
+		TotalBytes:       addSat(mulSat(perWorker, int64(workers)), accBytes),
+	}
+}
+
+// admit applies the admission-control gate: a zero MemoryBudget selects
+// DefaultMemoryBudget, a negative one disables the memory check, and a zero
+// MaxPaths disables the path check. It returns a *BudgetError on rejection.
+func admit(est CostEstimate, opts Options) error {
+	budget := opts.MemoryBudget
+	if budget == 0 {
+		budget = DefaultMemoryBudget
+	}
+	if budget > 0 && est.TotalBytes > budget {
+		return &BudgetError{
+			Estimate:     est,
+			MemoryBudget: budget,
+			Reason: fmt.Sprintf("estimated %s exceeds memory budget %s",
+				fmtBytes(est.TotalBytes), fmtBytes(budget)),
+		}
+	}
+	if opts.MaxPaths > 0 && (!est.PathsExact || est.Paths > opts.MaxPaths) {
+		return &BudgetError{
+			Estimate: est,
+			MaxPaths: opts.MaxPaths,
+			Reason: fmt.Sprintf("2^%.1f paths exceed the path budget %d",
+				est.Log2Paths, opts.MaxPaths),
+		}
+	}
+	return nil
+}
+
+func fmtBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}

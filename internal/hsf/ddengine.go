@@ -1,6 +1,7 @@
 package hsf
 
 import (
+	"context"
 	"time"
 
 	"hsfsim/internal/cut"
@@ -21,22 +22,34 @@ import (
 // so its value is memory compression and the structural comparison with the
 // array engine, not raw speed.
 func RunDD(plan *cut.Plan, opts Options) (*Result, error) {
+	return RunDDContext(context.Background(), plan, opts)
+}
+
+// RunDDContext executes the plan on the DD engine under ctx. Cancellation is
+// cooperative (checked at every path-tree node) and Options.Timeout maps to
+// ErrTimeout exactly as in RunContext. The DD engine does not support
+// checkpoint/resume: its path tree shares sub-diagrams across branches, so
+// there is no independent prefix-task state to snapshot.
+func RunDDContext(ctx context.Context, plan *cut.Plan, opts Options) (*Result, error) {
 	nLower := plan.Partition.NumLower()
 	nUpper := plan.Partition.NumUpper(plan.NumQubits)
-	dim := 1 << plan.NumQubits
-	m := opts.MaxAmplitudes
-	if m <= 0 || m > dim {
-		m = dim
+	// The DD engine expands each leaf into dense half-statevectors, so the
+	// dense cost model's single-worker footprint is the relevant bound.
+	ddOpts := opts
+	ddOpts.Workers = 1
+	if err := admit(Cost(plan, ddOpts), ddOpts); err != nil {
+		return nil, err
 	}
+	m := resolveAmplitudes(plan, opts.MaxAmplitudes)
 
 	// Reuse the array engine's compilation (segments + cut terms).
-	e := &engine{nLower: nLower, nUpper: nUpper, m: m}
+	e := &engine{nLower: nLower, nUpper: nUpper, m: m, failAfter: opts.FailAfterPaths}
 	e.compile(plan, opts.FusionMaxQubits)
 
-	var timer *time.Timer
 	if opts.Timeout > 0 {
-		timer = time.AfterFunc(opts.Timeout, func() { e.timeout.Store(true) })
-		defer timer.Stop()
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, opts.Timeout, ErrTimeout)
+		defer cancel()
 	}
 
 	start := time.Now()
@@ -58,8 +71,8 @@ func RunDD(plan *cut.Plan, opts Options) (*Result, error) {
 		return root, nil
 	}
 	run = func(level int, lo, up dd.Edge, coeff complex128) error {
-		if e.timeout.Load() {
-			return ErrTimeout
+		if err := stopped(ctx); err != nil {
+			return err
 		}
 		var err error
 		if lo, err = applyAll(loDD, lo, e.segs[level].lower); err != nil {
@@ -69,10 +82,13 @@ func RunDD(plan *cut.Plan, opts Options) (*Result, error) {
 			return err
 		}
 		if level == len(e.cuts) {
+			n := e.leaves.Add(1)
+			if e.failAfter > 0 && n > e.failAfter {
+				return ErrInjectedFault
+			}
 			loDD.FillStatevector(lo, loBuf)
 			upDD.FillStatevector(up, upBuf)
 			e.accumulate(acc, coeff, statevec.State(upBuf), statevec.State(loBuf))
-			e.paths.Add(1)
 			return nil
 		}
 		c := &e.cuts[level]
@@ -100,7 +116,7 @@ func RunDD(plan *cut.Plan, opts Options) (*Result, error) {
 		Amplitudes:     acc,
 		NumPaths:       np,
 		Log2Paths:      plan.Log2Paths(),
-		PathsSimulated: e.paths.Load(),
+		PathsSimulated: e.leaves.Load(),
 		NumQubits:      plan.NumQubits,
 		Elapsed:        time.Since(start),
 	}, nil

@@ -8,12 +8,21 @@
 // branch clones the partition states only when more than one term remains,
 // so the exponential path tree re-simulates only suffixes. Independent
 // subtrees run on a worker pool.
+//
+// Resilience: execution is cooperatively cancellable through a
+// context.Context checked at every segment boundary, jobs are admitted
+// against a cost model before any statevector is allocated (Cost, ErrBudget),
+// completed prefix tasks are checkpointable for crash/cancel recovery
+// (Checkpoint), and a panic in a path worker surfaces as a *PanicError
+// instead of crashing the process.
 package hsf
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"runtime"
+	"io"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,8 +33,27 @@ import (
 	"hsfsim/internal/statevec"
 )
 
-// ErrTimeout is returned when the simulation exceeds Options.Timeout.
+// ErrTimeout is returned when the simulation exceeds Options.Timeout. A
+// cancellation or deadline on the caller's context is reported as
+// context.Canceled / context.DeadlineExceeded instead, so callers can tell
+// "the job hit its own time budget" apart from "the caller went away".
 var ErrTimeout = errors.New("hsf: simulation timed out")
+
+// ErrInjectedFault is returned when Options.FailAfterPaths triggers. It
+// exists so checkpoint/resume recovery is testable deterministically,
+// without real crashes or timing races.
+var ErrInjectedFault = errors.New("hsf: injected fault")
+
+// PanicError wraps a panic recovered from a path worker; the simulation
+// reports it as an ordinary error instead of crashing the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("hsf: panic in path worker: %v", e.Value)
+}
 
 // Options configures plan execution.
 type Options struct {
@@ -41,6 +69,28 @@ type Options struct {
 	// Timeout aborts the simulation after the given duration (0: none),
 	// mirroring the paper's 1 h limit for standard HSF runs.
 	Timeout time.Duration
+	// MemoryBudget caps the estimated footprint (Cost) in bytes before
+	// anything is allocated: 0 selects DefaultMemoryBudget, negative
+	// disables the check. Over-budget jobs fail with a *BudgetError.
+	MemoryBudget int64
+	// MaxPaths rejects plans whose path count exceeds it (0: no limit).
+	MaxPaths uint64
+	// CheckpointWriter, when non-nil, receives a Checkpoint snapshot if the
+	// run stops prematurely (cancellation, timeout, fault, panic): the
+	// completed prefix tasks plus their merged partial accumulator.
+	CheckpointWriter io.Writer
+	// Resume, when non-nil, seeds the run from a prior checkpoint: completed
+	// prefixes are skipped and the accumulator continues from the snapshot.
+	Resume *Checkpoint
+	// FailAfterPaths injects a deterministic fault after roughly that many
+	// path leaves have been simulated (0: disabled). Testing hook for
+	// checkpoint/resume recovery.
+	FailAfterPaths int64
+
+	// testHookLeaf, when non-nil, runs after every simulated path leaf with
+	// the global leaf count. Tests use it to cancel or panic mid-run at a
+	// deterministic point.
+	testHookLeaf func(leaves int64)
 }
 
 // Result holds the simulated amplitudes and execution statistics.
@@ -51,7 +101,8 @@ type Result struct {
 	NumPaths uint64
 	// Log2Paths is log2 of the path count.
 	Log2Paths float64
-	// PathsSimulated counts the leaves actually reached.
+	// PathsSimulated counts the leaves actually reached (including leaves
+	// replayed from a resumed checkpoint).
 	PathsSimulated int64
 	// NumQubits is the register size.
 	NumQubits int
@@ -74,46 +125,63 @@ type compiledCut struct {
 }
 
 type engine struct {
-	segs    []segment
-	cuts    []compiledCut
-	nLower  int
-	nUpper  int
-	m       int // output amplitudes
-	timeout atomic.Bool
-	paths   atomic.Int64
+	segs   []segment
+	cuts   []compiledCut
+	nLower int
+	nUpper int
+	m      int // output amplitudes
+	leaves atomic.Int64
+
+	failAfter int64
+	hook      func(int64)
 }
 
-// Run executes the plan.
+// Run executes the plan without external cancellation.
 func Run(plan *cut.Plan, opts Options) (*Result, error) {
+	return RunContext(context.Background(), plan, opts)
+}
+
+// RunContext executes the plan under ctx. Cancellation is cooperative: the
+// path workers observe it at segment boundaries, so a canceled run stops
+// within one segment of work per worker. The returned error is
+// context.Canceled or context.DeadlineExceeded for external cancellation and
+// ErrTimeout when Options.Timeout fires.
+func RunContext(ctx context.Context, plan *cut.Plan, opts Options) (*Result, error) {
 	nLower := plan.Partition.NumLower()
 	nUpper := plan.Partition.NumUpper(plan.NumQubits)
 	if nLower <= 0 || nUpper <= 0 {
 		return nil, fmt.Errorf("hsf: degenerate partition %d|%d", nLower, nUpper)
 	}
-	dim := 1 << plan.NumQubits
-	m := opts.MaxAmplitudes
-	if m <= 0 || m > dim {
-		m = dim
+	if err := admit(Cost(plan, opts), opts); err != nil {
+		return nil, err
 	}
+	m := resolveAmplitudes(plan, opts.MaxAmplitudes)
 
-	e := &engine{nLower: nLower, nUpper: nUpper, m: m}
+	e := &engine{nLower: nLower, nUpper: nUpper, m: m,
+		failAfter: opts.FailAfterPaths, hook: opts.testHookLeaf}
 	e.compile(plan, opts.FusionMaxQubits)
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if opts.Resume != nil {
+		if err := opts.Resume.validateFor(plan, m); err != nil {
+			return nil, err
+		}
 	}
 
-	var timer *time.Timer
 	if opts.Timeout > 0 {
-		timer = time.AfterFunc(opts.Timeout, func() { e.timeout.Store(true) })
-		defer timer.Stop()
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, opts.Timeout, ErrTimeout)
+		defer cancel()
 	}
 
 	start := time.Now()
-	amps, err := e.run(workers)
+	amps, ck, err := e.run(ctx, resolveWorkers(opts.Workers), opts.Resume, plan)
 	elapsed := time.Since(start)
 	if err != nil {
+		if ck != nil && opts.CheckpointWriter != nil {
+			if werr := WriteCheckpoint(opts.CheckpointWriter, ck); werr != nil {
+				return nil, errors.Join(err, fmt.Errorf("hsf: writing checkpoint: %w", werr))
+			}
+		}
 		return nil, err
 	}
 
@@ -122,7 +190,7 @@ func Run(plan *cut.Plan, opts Options) (*Result, error) {
 		Amplitudes:     amps,
 		NumPaths:       np,
 		Log2Paths:      plan.Log2Paths(),
-		PathsSimulated: e.paths.Load(),
+		PathsSimulated: ck.PathsSimulated,
 		NumQubits:      plan.NumQubits,
 		Elapsed:        elapsed,
 	}, nil
@@ -174,20 +242,9 @@ func (e *engine) compile(plan *cut.Plan, fusionMaxQubits int) {
 	}
 }
 
-// run executes the path tree. The first splitLevels cuts are expanded
-// breadth-first into independent prefix tasks distributed over the worker
-// pool; each worker owns a private accumulator that is merged at the end.
-func (e *engine) run(workers int) ([]complex128, error) {
-	// Determine how many leading cut levels to expand so that the task count
-	// comfortably exceeds the worker count.
-	splitLevels := 0
-	tasks := 1
-	for splitLevels < len(e.cuts) && tasks < 4*workers {
-		tasks *= len(e.cuts[splitLevels].sigma)
-		splitLevels++
-	}
-
-	// Enumerate prefix choice vectors.
+// splitPrefixes expands the first splitLevels cut levels breadth-first into
+// prefix choice vectors.
+func (e *engine) splitPrefixes(splitLevels int) [][]int {
 	prefixes := [][]int{{}}
 	for l := 0; l < splitLevels; l++ {
 		r := len(e.cuts[l].sigma)
@@ -202,57 +259,164 @@ func (e *engine) run(workers int) ([]complex128, error) {
 		}
 		prefixes = next
 	}
+	return prefixes
+}
 
-	if workers > len(prefixes) {
-		workers = len(prefixes)
+func prefixKey(p []int) string {
+	b := make([]byte, len(p))
+	for i, t := range p {
+		b[i] = byte(t) // cut ranks are tiny (Schmidt rank ≤ 2^block qubits)
+	}
+	return string(b)
+}
+
+// stopped returns the cancellation cause if ctx is done.
+func stopped(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	default:
+		return nil
+	}
+}
+
+// run executes the path tree. The first splitLevels cuts are expanded
+// breadth-first into independent prefix tasks distributed over the worker
+// pool; each worker simulates one prefix subtree into a private scratch
+// accumulator and merges it into the shared global accumulator on
+// completion, so the set of merged prefixes is always a consistent,
+// checkpointable state. On error the partial checkpoint is returned
+// alongside the error.
+func (e *engine) run(ctx context.Context, workers int, resume *Checkpoint, plan *cut.Plan) ([]complex128, *Checkpoint, error) {
+	// Determine how many leading cut levels to expand so that the task count
+	// comfortably exceeds the worker count. A resumed run reuses the
+	// checkpoint's split depth so prefix vectors stay comparable.
+	splitLevels := 0
+	if resume != nil {
+		splitLevels = resume.SplitLevels
+	} else {
+		tasks := 1
+		for splitLevels < len(e.cuts) && tasks < 4*workers {
+			tasks *= len(e.cuts[splitLevels].sigma)
+			splitLevels++
+		}
+	}
+	prefixes := e.splitPrefixes(splitLevels)
+
+	ck := &Checkpoint{
+		PlanHash:    PlanHash(plan),
+		NumQubits:   plan.NumQubits,
+		M:           e.m,
+		SplitLevels: splitLevels,
+		Acc:         make([]complex128, e.m),
+	}
+	pending := prefixes
+	if resume != nil {
+		copy(ck.Acc, resume.Acc)
+		ck.PathsSimulated = resume.PathsSimulated
+		ck.Prefixes = append(ck.Prefixes, resume.Prefixes...)
+		done := make(map[string]bool, len(resume.Prefixes))
+		for _, p := range resume.Prefixes {
+			done[prefixKey(p)] = true
+		}
+		pending = pending[:0:0]
+		for _, p := range prefixes {
+			if !done[prefixKey(p)] {
+				pending = append(pending, p)
+			}
+		}
+	}
+
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers == 0 { // everything already checkpointed
+		return ck.Acc, ck, stopped(ctx)
+	}
+
+	// The first failing worker cancels runCtx so its peers stop at the next
+	// segment boundary instead of burning through their whole subtree.
+	runCtx, cancelRun := context.WithCancelCause(ctx)
+	defer cancelRun(nil)
+
+	var (
+		mu       sync.Mutex // guards ck and firstErr
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancelRun(err)
 	}
 
 	taskCh := make(chan []int)
-	accs := make([][]complex128, workers)
-	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		accs[w] = make([]complex128, e.m)
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
+			scratch := make([]complex128, e.m)
 			for prefix := range taskCh {
-				if errs[w] != nil {
+				if stopped(runCtx) != nil {
 					continue // drain
 				}
-				errs[w] = e.runPrefix(prefix, accs[w])
+				clear(scratch)
+				nLeaves, err := e.runPrefixRecover(runCtx, prefix, scratch)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				mu.Lock()
+				for i, v := range scratch {
+					ck.Acc[i] += v
+				}
+				ck.Prefixes = append(ck.Prefixes, prefix)
+				ck.PathsSimulated += nLeaves
+				mu.Unlock()
 			}
-		}(w)
+		}()
 	}
-	for _, p := range prefixes {
+	for _, p := range pending {
 		taskCh <- p
 	}
 	close(taskCh)
 	wg.Wait()
 
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if firstErr == nil {
+		// Workers that drained without running anything report the external
+		// cancellation cause.
+		firstErr = stopped(ctx)
 	}
-	out := accs[0]
-	for w := 1; w < workers; w++ {
-		for i, v := range accs[w] {
-			out[i] += v
-		}
+	if firstErr != nil {
+		return nil, ck, firstErr
 	}
-	return out, nil
+	return ck.Acc, ck, nil
+}
+
+// runPrefixRecover wraps runPrefix with panic recovery: a panicking path
+// worker yields a *PanicError instead of tearing the process down.
+func (e *engine) runPrefixRecover(ctx context.Context, prefix []int, acc []complex128) (nLeaves int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return e.runPrefix(ctx, prefix, acc)
 }
 
 // runPrefix simulates the fixed term choices of a prefix task, then descends
-// into the remaining subtree sequentially.
-func (e *engine) runPrefix(prefix []int, acc []complex128) error {
+// into the remaining subtree sequentially. It returns the number of path
+// leaves accumulated into acc.
+func (e *engine) runPrefix(ctx context.Context, prefix []int, acc []complex128) (int64, error) {
 	lo := statevec.NewState(e.nLower)
 	up := statevec.NewState(e.nUpper)
 	coeff := complex128(1)
 	for l, t := range prefix {
-		if e.timeout.Load() {
-			return ErrTimeout
+		if err := stopped(ctx); err != nil {
+			return 0, err
 		}
 		lo.ApplyAll(e.segs[l].lower)
 		up.ApplyAll(e.segs[l].upper)
@@ -261,19 +425,30 @@ func (e *engine) runPrefix(prefix []int, acc []complex128) error {
 		up.ApplyGate(&c.upper[t])
 		coeff *= c.sigma[t]
 	}
-	return e.runBranch(len(prefix), lo, up, coeff, acc)
+	var nLeaves int64
+	if err := e.runBranch(ctx, len(prefix), lo, up, coeff, acc, &nLeaves); err != nil {
+		return nLeaves, err
+	}
+	return nLeaves, nil
 }
 
 // runBranch owns lo and up and may mutate them.
-func (e *engine) runBranch(level int, lo, up statevec.State, coeff complex128, acc []complex128) error {
-	if e.timeout.Load() {
-		return ErrTimeout
+func (e *engine) runBranch(ctx context.Context, level int, lo, up statevec.State, coeff complex128, acc []complex128, nLeaves *int64) error {
+	if err := stopped(ctx); err != nil {
+		return err
 	}
 	lo.ApplyAll(e.segs[level].lower)
 	up.ApplyAll(e.segs[level].upper)
 	if level == len(e.cuts) {
+		n := e.leaves.Add(1)
+		if e.failAfter > 0 && n > e.failAfter {
+			return ErrInjectedFault
+		}
 		e.accumulate(acc, coeff, up, lo)
-		e.paths.Add(1)
+		*nLeaves++
+		if e.hook != nil {
+			e.hook(n)
+		}
 		return nil
 	}
 	c := &e.cuts[level]
@@ -285,7 +460,7 @@ func (e *engine) runBranch(level int, lo, up statevec.State, coeff complex128, a
 		}
 		lo2.ApplyGate(&c.lower[t])
 		up2.ApplyGate(&c.upper[t])
-		if err := e.runBranch(level+1, lo2, up2, coeff*c.sigma[t], acc); err != nil {
+		if err := e.runBranch(ctx, level+1, lo2, up2, coeff*c.sigma[t], acc, nLeaves); err != nil {
 			return err
 		}
 	}

@@ -3,7 +3,60 @@ package qasm
 import (
 	"strings"
 	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
 )
+
+// exampleSeeds renders the circuit families the examples exercise
+// (quickstart Bell+cascade, QAOA-MaxCut rings, supremacy-style mixed
+// layers) through Write, so the corpus always contains well-formed programs
+// in the dialect the daemon actually receives.
+func exampleSeeds(f *testing.F) []string {
+	var seeds []string
+	add := func(c *circuit.Circuit) {
+		var sb strings.Builder
+		if err := Write(&sb, c); err != nil {
+			f.Fatalf("writing seed circuit: %v", err)
+		}
+		seeds = append(seeds, sb.String())
+	}
+
+	// quickstart: Bell pair feeding an RZZ cascade.
+	quick := circuit.New(4)
+	quick.Append(gate.H(0), gate.CNOT(0, 1), gate.RZZ(0.8, 1, 2), gate.RZZ(0.3, 1, 3))
+	add(quick)
+
+	// qaoa_maxcut: one QAOA layer on a 5-cycle.
+	ring := circuit.New(5)
+	for q := 0; q < 5; q++ {
+		ring.Append(gate.H(q))
+	}
+	for q := 0; q < 5; q++ {
+		ring.Append(gate.RZZ(0.4, q, (q+1)%5))
+	}
+	for q := 0; q < 5; q++ {
+		ring.Append(gate.RX(1.1, q))
+	}
+	add(ring)
+
+	// supremacy-style: alternating single-qubit layers and entanglers.
+	sup := circuit.New(6)
+	for layer := 0; layer < 3; layer++ {
+		for q := 0; q < 6; q++ {
+			if (q+layer)%2 == 0 {
+				sup.Append(gate.RX(0.3*float64(layer+1), q))
+			} else {
+				sup.Append(gate.RZ(0.7*float64(q+1), q))
+			}
+		}
+		for q := layer % 2; q+1 < 6; q += 2 {
+			sup.Append(gate.CZ(q, q+1))
+		}
+	}
+	add(sup)
+	return seeds
+}
 
 // FuzzParse asserts the parser never panics on arbitrary input — it must
 // either produce a circuit or a clean error. Run with `go test -fuzz=Parse`
@@ -28,7 +81,18 @@ func FuzzParse(f *testing.F) {
 		"// only a comment",
 		"qreg q[2]; u3(1,2,3) q[1]; barrier q; creg c[2];",
 		"qreg\tq[2];\tccx\tq[0],q[1],q[1];",
+		// Parser stress: malformed indices, duplicate registers, huge
+		// angles, nested parens, truncated statements.
+		"qreg q[2]; qreg q[3]; h q[0];",
+		"qreg q[2]; rzz(((0.5))) q[0],q[1];",
+		"qreg q[2]; rx(1e308*10) q[0];",
+		"qreg q[2]; cx q[0] , q[1] ;;",
+		"qreg q[2]; h q[",
+		"qreg q[2]; rx(pi/0) q[0];",
+		"qreg q[9223372036854775807]; h q[0];",
+		"include \"qelib1.inc\"; qreg q[2]; h q[0];",
 	}
+	seeds = append(seeds, exampleSeeds(f)...)
 	for _, s := range seeds {
 		f.Add(s)
 	}

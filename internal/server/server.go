@@ -3,16 +3,29 @@
 //	POST /analyze   — cut-plan summary for a QASM circuit
 //	POST /simulate  — run one of the three methods on a QASM circuit
 //	GET  /healthz   — liveness
+//	GET  /readyz    — readiness / saturation of the simulation limiter
 //
 // The handlers are plain net/http so the service embeds anywhere; cmd/hsfsimd
 // wraps them in a binary.
+//
+// Resilience: every request gets an ID (echoed in the X-Request-Id header,
+// error envelopes, and logs), panics become 500 JSON envelopes, simulation
+// endpoints run under a semaphore that sheds load with 429 + Retry-After
+// when saturated, per-request deadlines derive from timeout_ms through the
+// request context, and admission control rejects over-budget jobs with 422
+// before allocating.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"hsfsim"
@@ -24,6 +37,41 @@ const MaxRequestBytes = 4 << 20
 
 // MaxReturnedAmplitudes bounds the amplitudes echoed back per request.
 const MaxReturnedAmplitudes = 4096
+
+// StatusClientClosedRequest is the nonstandard (nginx-convention) status
+// logged when the client goes away mid-simulation.
+const StatusClientClosedRequest = 499
+
+// Config tunes the service; the zero value selects production defaults.
+type Config struct {
+	// MaxConcurrent bounds simultaneous /simulate + /analyze requests;
+	// excess requests are shed with 429 + Retry-After. 0 selects
+	// 2×GOMAXPROCS; negative disables the limiter.
+	MaxConcurrent int
+	// MemoryBudget and MaxPaths are passed through to the simulator's
+	// admission gate (see hsfsim.Options); over-budget jobs get 422.
+	MemoryBudget int64
+	MaxPaths     uint64
+	// MaxTimeout caps the per-request timeout_ms (0: 10 minutes).
+	MaxTimeout time.Duration
+	// Workers bounds simulation parallelism per request (0: all CPUs).
+	Workers int
+	// Logger receives request logs (nil: log.Default()).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return c
+}
 
 // AnalyzeRequest is the /analyze payload.
 type AnalyzeRequest struct {
@@ -67,16 +115,91 @@ type SimulateResponse struct {
 
 // errorBody is the JSON error envelope.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-// New returns the HTTP handler tree.
-func New() http.Handler {
+// readyBody is the /readyz reply.
+type readyBody struct {
+	Status   string `json:"status"` // "ready" | "saturated"
+	InFlight int64  `json:"in_flight"`
+	Capacity int    `json:"capacity"`
+}
+
+type service struct {
+	cfg      Config
+	sem      chan struct{} // nil when the limiter is disabled
+	inFlight atomic.Int64
+	reqSeq   atomic.Uint64
+}
+
+// New returns the HTTP handler tree with default configuration.
+func New() http.Handler { return NewWithConfig(Config{}) }
+
+// NewWithConfig returns the HTTP handler tree.
+func NewWithConfig(cfg Config) http.Handler {
+	s := &service{cfg: cfg.withDefaults()}
+	if s.cfg.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", handleHealth)
-	mux.HandleFunc("/analyze", handleAnalyze)
-	mux.HandleFunc("/simulate", handleSimulate)
-	return mux
+	mux.HandleFunc("/readyz", s.handleReady)
+	mux.Handle("/analyze", s.limited(s.handleAnalyze))
+	mux.Handle("/simulate", s.limited(s.handleSimulate))
+	return s.instrument(mux)
+}
+
+// instrument assigns a request ID and converts handler panics into 500 JSON
+// envelopes instead of letting net/http kill the connection.
+func (s *service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%08x", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(withRequestID(r.Context(), id))
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.cfg.Logger.Printf("%s %s %s: panic: %v", id, r.Method, r.URL.Path, rec)
+				writeErr(w, http.StatusInternalServerError,
+					fmt.Errorf("internal error (request %s)", id), id)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limited wraps a simulation handler in the concurrency semaphore: requests
+// beyond capacity are shed immediately with 429 + Retry-After so callers can
+// back off instead of queueing into memory exhaustion.
+func (s *service) limited(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusTooManyRequests,
+					fmt.Errorf("server saturated: %d simulations in flight", s.inFlight.Load()),
+					requestID(r.Context()))
+				return
+			}
+		}
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		h(w, r)
+	})
+}
+
+type requestIDKey struct{}
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
 }
 
 func handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -84,10 +207,24 @@ func handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
+// handleReady reports limiter saturation: 200 while capacity remains, 503
+// when every slot is taken (load balancers should stop routing here).
+func (s *service) handleReady(w http.ResponseWriter, r *http.Request) {
+	body := readyBody{Status: "ready", InFlight: s.inFlight.Load(), Capacity: s.cfg.MaxConcurrent}
+	code := http.StatusOK
+	if s.sem != nil && len(s.sem) >= cap(s.sem) {
+		body.Status = "saturated"
+		code = http.StatusServiceUnavailable
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error, reqID string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), RequestID: reqID})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -95,15 +232,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *service) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"), requestID(r.Context()))
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err), requestID(r.Context()))
 		return false
 	}
 	return true
@@ -127,49 +264,69 @@ func strategyOf(s string) (hsfsim.BlockStrategy, error) {
 	}
 }
 
-func cutPosOf(req *int, numQubits int) int {
-	if req != nil {
-		return *req
+// cutPosOf resolves the partition cut for an HSF request. The default is
+// n/2-1; explicit positions must leave at least one qubit on each side. An
+// error here is a client error (422): the circuit cannot be bipartitioned as
+// requested.
+func cutPosOf(req *int, numQubits int) (int, error) {
+	if numQubits < 2 {
+		return 0, fmt.Errorf("HSF methods need at least 2 qubits to bipartition (circuit has %d); use method \"schrodinger\"", numQubits)
 	}
-	return numQubits/2 - 1
+	if req == nil {
+		return numQubits/2 - 1, nil
+	}
+	if *req < 0 || *req > numQubits-2 {
+		return 0, fmt.Errorf("cut_pos %d out of range [0, %d] for %d qubits", *req, numQubits-2, numQubits)
+	}
+	return *req, nil
 }
 
-func handleAnalyze(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r.Context())
 	var req AnalyzeRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	c, err := parseCircuit(req.QASM)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, err, reqID)
 		return
 	}
 	strategy, err := strategyOf(req.Strategy)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, err, reqID)
 		return
 	}
-	s, err := hsfsim.Analyze(c, cutPosOf(req.CutPos, c.NumQubits), strategy, req.MaxBlockQubits)
+	cutPos, err := cutPosOf(req.CutPos, c.NumQubits)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, http.StatusUnprocessableEntity, err, reqID)
 		return
 	}
-	writeJSON(w, s)
+	sum, err := hsfsim.Analyze(c, cutPos, strategy, req.MaxBlockQubits)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err, reqID)
+		return
+	}
+	writeJSON(w, sum)
 }
 
-func handleSimulate(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r.Context())
 	var req SimulateRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	c, err := parseCircuit(req.QASM)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, err, reqID)
 		return
 	}
 	opts := hsfsim.Options{
 		MaxAmplitudes:  req.MaxAmplitudes,
 		MaxBlockQubits: req.MaxBlockQubits,
+		Workers:        s.cfg.Workers,
+		MemoryBudget:   s.cfg.MemoryBudget,
+		MaxPaths:       s.cfg.MaxPaths,
 	}
 	switch req.Method {
 	case "schrodinger":
@@ -179,27 +336,37 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 	case "joint", "":
 		opts.Method = hsfsim.JointHSF
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown method %q", req.Method))
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown method %q", req.Method), reqID)
 		return
 	}
 	if opts.BlockStrategy, err = strategyOf(req.Strategy); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, err, reqID)
 		return
 	}
 	if opts.Method != hsfsim.Schrodinger {
-		opts.CutPos = cutPosOf(req.CutPos, c.NumQubits)
-	}
-	if req.TimeoutMillis > 0 {
-		opts.Timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+		if opts.CutPos, err = cutPosOf(req.CutPos, c.NumQubits); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err, reqID)
+			return
+		}
 	}
 
-	res, err := hsfsim.Simulate(c, opts)
-	if err == hsfsim.ErrTimeout {
-		writeErr(w, http.StatusRequestTimeout, err)
-		return
+	// The request deadline rides on the request context: client disconnects
+	// and timeout_ms both cancel the simulation cooperatively.
+	ctx := r.Context()
+	if req.TimeoutMillis > 0 {
+		d := time.Duration(req.TimeoutMillis) * time.Millisecond
+		if s.cfg.MaxTimeout > 0 && d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, d, hsfsim.ErrTimeout)
+		defer cancel()
 	}
+
+	start := time.Now()
+	res, err := hsfsim.SimulateContext(ctx, c, opts)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		s.writeSimulateErr(w, r, err, time.Since(start))
 		return
 	}
 
@@ -224,4 +391,28 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		resp.Amplitudes[i] = Amplitude{Re: real(res.Amplitudes[i]), Im: imag(res.Amplitudes[i])}
 	}
 	writeJSON(w, resp)
+}
+
+// writeSimulateErr classifies simulation failures into the documented status
+// codes: 408 timeout/deadline, 422 budget or planning, 499 client gone, 500
+// worker panic.
+func (s *service) writeSimulateErr(w http.ResponseWriter, r *http.Request, err error, elapsed time.Duration) {
+	reqID := requestID(r.Context())
+	var pe *hsfsim.PanicError
+	switch {
+	case errors.As(err, &pe):
+		s.cfg.Logger.Printf("%s %s: worker panic after %v: %v", reqID, r.URL.Path, elapsed, pe.Value)
+		writeErr(w, http.StatusInternalServerError,
+			fmt.Errorf("internal error: simulation worker panicked (request %s)", reqID), reqID)
+	case errors.Is(err, hsfsim.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusRequestTimeout, err, reqID)
+	case errors.Is(err, context.Canceled):
+		// The client went away; nobody reads this response, but log it.
+		s.cfg.Logger.Printf("%s %s: client closed request after %v", reqID, r.URL.Path, elapsed)
+		writeErr(w, StatusClientClosedRequest, err, reqID)
+	case errors.Is(err, hsfsim.ErrBudget):
+		writeErr(w, http.StatusUnprocessableEntity, err, reqID)
+	default:
+		writeErr(w, http.StatusUnprocessableEntity, err, reqID)
+	}
 }

@@ -2,12 +2,17 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"hsfsim/internal/cut"
 )
@@ -188,4 +193,208 @@ func intp(v int) *int { return &v }
 
 func qasmf(format string, args ...any) string {
 	return fmt.Sprintf(format, args...)
+}
+
+// heavyQASM has 36 separate rank-2 cuts (2^36 paths): effectively unbounded
+// runtime, so tests can hold a request in flight deterministically.
+func heavyQASM() string {
+	q := "qreg q[12];\n"
+	for a := 0; a < 6; a++ {
+		for b := 6; b < 12; b++ {
+			q += qasmf("rzz(0.3) q[%d],q[%d];\n", a, b)
+			q += qasmf("rx(0.2) q[%d];\n", a)
+		}
+	}
+	return q
+}
+
+func TestCutPosValidation(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+
+	// A 1-qubit circuit cannot be bipartitioned: the default cut must be
+	// rejected with a clear 422, not a confusing "degenerate partition".
+	resp := post(t, srv, "/simulate", SimulateRequest{QASM: "qreg q[1]; h q[0];", Method: "joint"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("1-qubit joint: status %d, want 422", resp.StatusCode)
+	}
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "at least 2 qubits") {
+		t.Fatalf("unhelpful error: %q", e.Error)
+	}
+
+	// The 2-qubit default (n/2-1 = 0) is valid and must simulate fine.
+	resp2 := post(t, srv, "/simulate", SimulateRequest{QASM: bellQASM, Method: "joint"})
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("2-qubit default cut: status %d, want 200", resp2.StatusCode)
+	}
+
+	// Explicit out-of-range cut positions are 422 with the range echoed.
+	for _, pos := range []int{-1, 1, 7} {
+		resp := post(t, srv, "/simulate", SimulateRequest{QASM: bellQASM, Method: "joint", CutPos: intp(pos)})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("cut_pos %d: status %d, want 422", pos, resp.StatusCode)
+		}
+	}
+	// /analyze shares the validation.
+	resp3 := post(t, srv, "/analyze", AnalyzeRequest{QASM: "qreg q[1]; h q[0];"})
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("1-qubit analyze: status %d, want 422", resp3.StatusCode)
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	resp := post(t, srv, "/simulate", SimulateRequest{QASM: "garbage", Method: "joint"})
+	defer resp.Body.Close()
+	id := resp.Header.Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("missing X-Request-Id header")
+	}
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.RequestID != id {
+		t.Fatalf("envelope request_id %q != header %q", e.RequestID, id)
+	}
+}
+
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s := &service{cfg: Config{}.withDefaults()}
+	s.cfg.Logger = log.New(io.Discard, "", 0)
+	h := s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/simulate", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	var e errorBody
+	if err := json.NewDecoder(rec.Body).Decode(&e); err != nil {
+		t.Fatalf("panic response is not a JSON envelope: %v", err)
+	}
+	if e.Error == "" || e.RequestID == "" {
+		t.Fatalf("envelope incomplete: %+v", e)
+	}
+}
+
+func TestBudgetRejection(t *testing.T) {
+	srv := httptest.NewServer(NewWithConfig(Config{MaxPaths: 4}))
+	defer srv.Close()
+	resp := post(t, srv, "/simulate", SimulateRequest{QASM: heavyQASM(), Method: "standard", CutPos: intp(5)})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "budget") {
+		t.Fatalf("budget error not surfaced: %q (%v)", e.Error, err)
+	}
+}
+
+// TestLimiterShedsLoad holds one request in flight on a capacity-1 server
+// and checks that the second is shed with 429 + Retry-After while /readyz
+// reports saturation; canceling the first request frees the slot.
+func TestLimiterShedsLoad(t *testing.T) {
+	srv := httptest.NewServer(NewWithConfig(Config{
+		MaxConcurrent: 1,
+		Logger:        log.New(io.Discard, "", 0),
+	}))
+	defer srv.Close()
+
+	body, _ := json.Marshal(SimulateRequest{QASM: heavyQASM(), Method: "standard", CutPos: intp(5), TimeoutMillis: 60000})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/simulate", bytes.NewReader(body))
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	// Wait for the first request to occupy the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rb readyBody
+		if err := json.NewDecoder(resp.Body).Decode(&rb); err != nil {
+			t.Fatal(err)
+		}
+		saturated := resp.StatusCode == http.StatusServiceUnavailable && rb.Status == "saturated"
+		resp.Body.Close()
+		if saturated {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("limiter never saturated")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The second simulation is shed immediately.
+	resp := post(t, srv, "/simulate", SimulateRequest{QASM: bellQASM, Method: "joint", CutPos: intp(0)})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("missing Retry-After")
+	}
+
+	// Canceling the in-flight request releases the slot: the engine observes
+	// the dropped connection and /readyz recovers.
+	cancel()
+	<-firstDone
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ready := resp.StatusCode == http.StatusOK
+		resp.Body.Close()
+		if ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never released after client cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestReadyzIdle(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var rb readyBody
+	if err := json.NewDecoder(resp.Body).Decode(&rb); err != nil {
+		t.Fatal(err)
+	}
+	if rb.Status != "ready" || rb.InFlight != 0 || rb.Capacity <= 0 {
+		t.Fatalf("readyz: %+v", rb)
+	}
 }
