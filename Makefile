@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz vet cover bench bench-tables examples fmt clean
+.PHONY: all build test race fuzz dist-test vet cover bench bench-tables examples fmt clean
 
 all: build vet test
 
@@ -24,6 +24,13 @@ race:
 # Short fuzz pass over the daemon's untrusted input surface.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/qasm/
+	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=30s ./internal/hsf/
+
+# Distributed-execution integration tests under the race detector: loopback
+# and real-HTTP fleets, including a worker killed mid-run whose leases must
+# be reassigned (the amplitudes still match single-process to 1e-12).
+dist-test:
+	$(GO) test -race -run 'Dist|Worker|Lease|HTTP' -v ./internal/dist/ ./internal/server/ ./cmd/hsfsimd/
 
 cover:
 	$(GO) test -cover ./...

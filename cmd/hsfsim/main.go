@@ -8,6 +8,15 @@
 // Interrupting a run (Ctrl-C / SIGTERM) cancels it cooperatively; with
 // -checkpoint set, an interrupted or failed HSF run snapshots its completed
 // prefix tasks so a later -resume run picks up where it left off.
+//
+// With -distribute, the HSF prefix-task space is sharded across hsfsimd
+// worker daemons instead of local goroutines:
+//
+//	hsfsim -method joint -cut 7 -distribute host1:8081,host2:8081 circuit.qasm
+//
+// The same -checkpoint/-resume flags apply: a run that fails mid-way (all
+// workers lost, Ctrl-C) snapshots the merged partial state for a later
+// -distribute or local -resume.
 package main
 
 import (
@@ -15,14 +24,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"math/cmplx"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"hsfsim"
 	"hsfsim/internal/dd"
+	"hsfsim/internal/dist"
+	"hsfsim/internal/hsf"
 	"hsfsim/internal/mps"
 	"hsfsim/internal/qasm"
 )
@@ -45,6 +58,7 @@ func main() {
 		maxPaths  = flag.Uint64("max-paths", 0, "reject plans with more Feynman paths than this (0: unlimited)")
 		ckptPath  = flag.String("checkpoint", "", "write a resume checkpoint here if the run is interrupted")
 		resume    = flag.String("resume", "", "resume an HSF run from this checkpoint file")
+		distrib   = flag.String("distribute", "", "comma-separated hsfsimd worker addresses; shard the HSF run across them")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -53,10 +67,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	src, err := os.ReadFile(flag.Arg(0))
 	fail(err)
-	c, err := qasm.Parse(f)
-	f.Close()
+	c, err := qasm.Parse(strings.NewReader(string(src)))
 	fail(err)
 
 	opts := hsfsim.Options{
@@ -104,6 +117,14 @@ func main() {
 		default:
 			fail(fmt.Errorf("unknown engine %q", *engine))
 		}
+	}
+
+	if *distrib != "" {
+		if opts.Method == hsfsim.Schrodinger {
+			fail(fmt.Errorf("-distribute needs an HSF method (standard | joint)"))
+		}
+		runDistributed(string(src), c, &opts, *method, *strategy, *distrib, *ckptPath, *resume, *amps, *quiet)
+		return
 	}
 
 	// An interrupted HSF run can snapshot its completed prefix tasks.
@@ -160,6 +181,93 @@ func main() {
 		return
 	}
 	n := *amps
+	if n <= 0 || n > len(res.Amplitudes) {
+		n = len(res.Amplitudes)
+	}
+	fmt.Println("amplitudes:")
+	for i := 0; i < n; i++ {
+		a := res.Amplitudes[i]
+		fmt.Printf("  |%0*b>  % .6f%+.6fi   p=%.6f\n", c.NumQubits, i, real(a), imag(a), cmplx.Abs(a)*cmplx.Abs(a))
+	}
+}
+
+// runDistributed drives the job as a coordinator over hsfsimd workers: the
+// prefix-task space is sharded into leased batches, failed workers have
+// their leases reassigned, and the merged amplitudes print exactly like a
+// local run.
+func runDistributed(src string, c *hsfsim.Circuit, opts *hsfsim.Options, method, strategy, workersCSV, ckptPath, resumePath string, ampsN int, quiet bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, opts.Timeout, hsfsim.ErrTimeout)
+		defer cancel()
+	}
+
+	job := &dist.Job{
+		QASM:           src,
+		Method:         method,
+		CutPos:         opts.CutPos,
+		Strategy:       strategy,
+		MaxBlockQubits: opts.MaxBlockQubits,
+		UseAnalytic:    opts.UseAnalyticCascades,
+		MaxAmplitudes:  opts.MaxAmplitudes,
+	}
+	co := dist.New(dist.Config{
+		Transport: &dist.HTTPTransport{},
+		Logger:    log.New(os.Stderr, "hsfsim dist ", log.LstdFlags),
+	})
+	for _, a := range strings.Split(workersCSV, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			co.AddWorker(a)
+		}
+	}
+
+	var ropts dist.RunOptions
+	if resumePath != "" {
+		rf, err := os.Open(resumePath)
+		fail(err)
+		ck, err := hsf.ReadCheckpoint(rf)
+		rf.Close()
+		fail(err)
+		ropts.Resume = ck
+	}
+	var ckptFile *os.File
+	if ckptPath != "" {
+		f, err := os.Create(ckptPath)
+		fail(err)
+		ckptFile = f
+		ropts.CheckpointWriter = ckptFile
+	}
+
+	start := time.Now()
+	res, err := co.Run(ctx, job, ropts)
+	elapsed := time.Since(start)
+	if ckptFile != nil {
+		if cerr := ckptFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err == nil {
+			os.Remove(ckptPath)
+		} else {
+			fmt.Fprintf(os.Stderr, "hsfsim: distributed run failed; checkpoint written to %s (resume with -resume)\n", ckptPath)
+		}
+	}
+	fail(err)
+
+	fmt.Printf("method:          %s-hsf (distributed)\n", method)
+	fmt.Printf("qubits:          %d\n", c.NumQubits)
+	fmt.Printf("gates:           %d (%d two-qubit)\n", len(c.Gates), c.NumTwoQubitGates())
+	fmt.Printf("cut position:    %d\n", opts.CutPos)
+	fmt.Printf("cuts:            %d (%d blocks + %d separate)\n", res.NumCuts, res.NumBlocks, res.NumSeparateCuts)
+	fmt.Printf("paths:           2^%.1f (%d)\n", res.Log2Paths, res.NumPaths)
+	fmt.Printf("workers:         %d (%d batches over %d split levels, %d reassignments)\n",
+		res.Workers, res.Batches, res.SplitLevels, res.Reassignments)
+	fmt.Printf("simulation:      %v\n", elapsed)
+	if quiet {
+		return
+	}
+	n := ampsN
 	if n <= 0 || n > len(res.Amplitudes) {
 		n = len(res.Amplitudes)
 	}

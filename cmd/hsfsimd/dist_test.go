@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestWorkerJoinsCoordinator runs two daemons in-process: one coordinator
+// and one -worker -join instance. The worker must appear in the
+// coordinator's fleet via its heartbeat, and a distribute:true /simulate on
+// the coordinator must complete through it.
+func TestWorkerJoinsCoordinator(t *testing.T) {
+	addrCh := make(chan net.Addr, 2)
+	onListen = func(a net.Addr) { addrCh <- a }
+	defer func() { onListen = nil }()
+
+	waitAddr := func(what string) string {
+		t.Helper()
+		select {
+		case a := <-addrCh:
+			return a.String()
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s did not start listening", what)
+			return ""
+		}
+	}
+
+	exitCh := make(chan int, 2)
+	go func() { exitCh <- run([]string{"-addr", "127.0.0.1:0"}) }()
+	coAddr := waitAddr("coordinator")
+	go func() { exitCh <- run([]string{"-addr", "127.0.0.1:0", "-worker", "-join", coAddr}) }()
+	workerAddr := waitAddr("worker")
+
+	// The heartbeat loop registers the worker; poll the fleet.
+	base := "http://" + coAddr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/dist/workers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var list struct {
+			Workers []string `json:"workers"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(list.Workers) == 1 && list.Workers[0] == workerAddr {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker %s never registered; fleet %v", workerAddr, list.Workers)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// A distributed simulation through the registered worker.
+	body, _ := json.Marshal(map[string]any{
+		"qasm":       "qreg q[4];\nh q[0];\nh q[2];\nrzz(0.4) q[1],q[2];\nrzz(0.7) q[0],q[3];\n",
+		"method":     "joint",
+		"cut_pos":    1,
+		"distribute": true,
+	})
+	resp, err := http.Post(base+"/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sim struct {
+		Distributed bool   `json:"distributed"`
+		DistWorkers int    `json:"dist_workers"`
+		Error       string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sim)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("distributed simulate: status %d: %s", resp.StatusCode, sim.Error)
+	}
+	if !sim.Distributed || sim.DistWorkers != 1 {
+		t.Fatalf("distributed simulate reply: %+v", sim)
+	}
+
+	// One SIGTERM shuts both daemons down cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case code := <-exitCh:
+			if code != 0 {
+				t.Fatalf("daemon exit code %d, want 0", code)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not exit after SIGTERM")
+		}
+	}
+}
+
+// TestWorkerFlagRequiresJoin pins the usage error.
+func TestWorkerFlagRequiresJoin(t *testing.T) {
+	if code := run([]string{"-addr", "127.0.0.1:0", "-worker"}); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+// TestDistWorkersFlagPinsFleet checks that -dist-workers seeds the registry.
+func TestDistWorkersFlagPinsFleet(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	defer func() { onListen = nil }()
+
+	exitCh := make(chan int, 1)
+	go func() {
+		exitCh <- run([]string{"-addr", "127.0.0.1:0", "-dist-workers", "hostA:1, hostB:2"})
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not start listening")
+	}
+
+	resp, err := http.Get(base + "/dist/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Workers []string `json:"workers"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(list.Workers, ",") != "hostA:1,hostB:2" {
+		t.Fatalf("fleet %v, want [hostA:1 hostB:2]", list.Workers)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exitCh:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit")
+	}
+}

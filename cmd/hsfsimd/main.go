@@ -6,6 +6,17 @@
 //	curl -s localhost:8080/readyz
 //	curl -s -X POST localhost:8080/analyze -d '{"qasm":"qreg q[2]; h q[0]; cx q[0],q[1];"}'
 //
+// Distributed roles (see internal/dist):
+//
+//	hsfsimd -addr :8081 -worker -join localhost:8080   # join a coordinator's fleet
+//	hsfsimd -addr :8080 -dist-workers host1:8081,host2:8081
+//	curl -s -X POST localhost:8080/simulate -d '{"qasm":"...","method":"joint","distribute":true}'
+//
+// A worker heartbeats its registration, so a silently dead worker drops out
+// of the fleet after the registry TTL. Every daemon serves /dist/run, so any
+// instance can act as a worker; -worker/-join only adds the registration
+// loop.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-flight
 // simulations drain for up to -drain-timeout (their request contexts are
 // canceled past that), and the process exits 0.
@@ -20,9 +31,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"hsfsim/internal/dist"
 	"hsfsim/internal/server"
 )
 
@@ -44,22 +57,41 @@ func run(args []string) int {
 		workers       = fs.Int("workers", 0, "worker goroutines per simulation (0: all CPUs)")
 		maxTimeout    = fs.Duration("max-timeout", 10*time.Minute, "cap on per-request timeout_ms")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+		worker        = fs.Bool("worker", false, "register with a coordinator as a distributed worker (needs -join)")
+		join          = fs.String("join", "", "coordinator address to register with (implies -worker)")
+		advertise     = fs.String("advertise", "", "address advertised to the coordinator (default: the bound listen address)")
+		distWorkers   = fs.String("dist-workers", "", "comma-separated worker addresses pinned for distributed /simulate")
+		leaseTimeout  = fs.Duration("lease-timeout", 0, "distributed lease deadline as coordinator (0: 2m)")
+		workerTTL     = fs.Duration("worker-ttl", 0, "registered-worker heartbeat TTL as coordinator (0: 1m)")
 	)
 	_ = fs.Parse(args)
+	if *worker && *join == "" {
+		logger := log.New(os.Stderr, "hsfsimd ", log.LstdFlags)
+		logger.Printf("-worker needs -join <coordinator>")
+		return 2
+	}
 
 	logger := log.New(os.Stderr, "hsfsimd ", log.LstdFlags)
-	handler := server.NewWithConfig(server.Config{
-		MaxConcurrent: *maxConcurrent,
-		MemoryBudget:  *memoryBudget,
-		MaxPaths:      *maxPaths,
-		Workers:       *workers,
-		MaxTimeout:    *maxTimeout,
-		Logger:        logger,
+	svc := server.NewService(server.Config{
+		MaxConcurrent:    *maxConcurrent,
+		MemoryBudget:     *memoryBudget,
+		MaxPaths:         *maxPaths,
+		Workers:          *workers,
+		MaxTimeout:       *maxTimeout,
+		Logger:           logger,
+		DistLeaseTimeout: *leaseTimeout,
+		WorkerTTL:        *workerTTL,
 	})
+	for _, a := range strings.Split(*distWorkers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			svc.AddWorker(a)
+			logger.Printf("pinned distributed worker %s", a)
+		}
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		WriteTimeout:      10 * time.Minute,
@@ -79,6 +111,14 @@ func run(args []string) int {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	logger.Printf("listening on %s", ln.Addr())
+
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		go dist.Heartbeat(ctx, nil, *join, self, logger)
+	}
 
 	select {
 	case err := <-errCh:

@@ -185,6 +185,10 @@ type Result struct {
 	NumPaths uint64
 	// Log2Paths is log2(NumPaths) without saturation.
 	Log2Paths float64
+	// PathsSimulated counts the path leaves actually executed (1 for
+	// Schrodinger; for a resumed HSF run it includes leaves inherited from
+	// the checkpoint).
+	PathsSimulated int64
 	// NumCuts, NumBlocks, NumSeparateCuts describe the plan (HSF only).
 	NumCuts         int
 	NumBlocks       int
@@ -293,6 +297,7 @@ func runSchrodinger(ctx context.Context, c *Circuit, opts Options) (*Result, err
 		Amplitudes:     amps,
 		Method:         Schrodinger,
 		NumPaths:       1,
+		PathsSimulated: 1,
 		PreprocessTime: preprocess,
 		SimTime:        time.Since(simStart),
 	}, nil
@@ -353,6 +358,7 @@ func runHSF(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 		Method:          opts.Method,
 		NumPaths:        res.NumPaths,
 		Log2Paths:       res.Log2Paths,
+		PathsSimulated:  res.PathsSimulated,
 		NumCuts:         len(plan.Cuts),
 		NumBlocks:       plan.NumBlocks(),
 		NumSeparateCuts: plan.NumSeparateCuts(),

@@ -1,0 +1,403 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hsfsim/internal/hsf"
+)
+
+// Stats are process-wide counters a coordinator updates; a daemon exposes
+// them through expvar. All fields are monotonic except InFlightLeases.
+type Stats struct {
+	Runs              atomic.Int64
+	LeasesGranted     atomic.Int64
+	LeasesReassigned  atomic.Int64
+	WorkersRetired    atomic.Int64
+	PrefixesMerged    atomic.Int64
+	PathsSimulated    atomic.Int64
+	InFlightLeases    atomic.Int64
+	PartialsDuplicate atomic.Int64
+}
+
+// Config tunes a Coordinator; the zero value (plus a Transport) is usable.
+type Config struct {
+	// Transport executes leases (required).
+	Transport Transport
+	// LeaseTimeout bounds one lease; a worker that has not answered by then
+	// is considered stalled and its batch is reassigned. 0: 2 minutes.
+	LeaseTimeout time.Duration
+	// MaxStrikes is the number of consecutive failed leases after which a
+	// worker is retired from the run. 0: 3.
+	MaxStrikes int
+	// TasksPerWorker sizes the split: the prefix space is expanded until it
+	// has at least TasksPerWorker×workers tasks, then grouped into about
+	// 4×workers batches so reassignment quanta stay small. 0: 16.
+	TasksPerWorker int
+	// BatchSize overrides the automatic batch sizing (0: automatic).
+	BatchSize int
+	// WorkerTTL is the dynamic-registration heartbeat TTL. 0: 1 minute.
+	WorkerTTL time.Duration
+	// Logger receives lease-level events (nil: log.Default()).
+	Logger *log.Logger
+	// Stats, when non-nil, receives counter updates.
+	Stats *Stats
+
+	// onLease, when non-nil, runs just before each lease is dispatched
+	// (worker address, batch id). Tests use it to kill workers mid-run.
+	onLease func(worker string, batch int)
+}
+
+// Coordinator shards prefix-task batches across a worker fleet.
+type Coordinator struct {
+	cfg Config
+	reg *registry
+}
+
+// New returns a Coordinator over the given configuration.
+func New(cfg Config) *Coordinator {
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 2 * time.Minute
+	}
+	if cfg.MaxStrikes <= 0 {
+		cfg.MaxStrikes = 3
+	}
+	if cfg.TasksPerWorker <= 0 {
+		cfg.TasksPerWorker = 16
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.Default()
+	}
+	if cfg.Stats == nil {
+		cfg.Stats = &Stats{}
+	}
+	return &Coordinator{cfg: cfg, reg: newRegistry(cfg.WorkerTTL)}
+}
+
+// AddWorker pins a static worker (never expires).
+func (c *Coordinator) AddWorker(addr string) { c.reg.addStatic(addr) }
+
+// Register records a dynamic worker heartbeat and returns the fleet size.
+func (c *Coordinator) Register(addr string) int {
+	c.reg.register(addr)
+	return len(c.reg.workers())
+}
+
+// RemoveWorker drops a worker from the fleet.
+func (c *Coordinator) RemoveWorker(addr string) { c.reg.remove(addr) }
+
+// Workers returns the live fleet.
+func (c *Coordinator) Workers() []string { return c.reg.workers() }
+
+// TTL returns the dynamic-registration heartbeat TTL.
+func (c *Coordinator) TTL() time.Duration { return c.reg.ttl }
+
+// batch is the lease unit: a contiguous slice of the prefix enumeration.
+// A batch is pending, leased to exactly one worker, or merged — never two of
+// those at once; requeueing happens only after its lease has returned.
+type batch struct {
+	id       int
+	prefixes [][]int
+	done     bool // guarded by session.mu; set once when merged
+}
+
+// RunOptions carries per-run I/O: crash recovery in and out.
+type RunOptions struct {
+	// Resume seeds the merged state from a prior checkpoint: already-merged
+	// prefixes are never leased again.
+	Resume *hsf.Checkpoint
+	// CheckpointWriter receives the merged state if the run stops
+	// prematurely, in the exact format single-process runs write.
+	CheckpointWriter io.Writer
+}
+
+// Run executes the job across the current fleet and returns the merged
+// result. It is the coordinator side of the protocol: enumerate once, lease
+// batches, merge partials, reassign on failure.
+func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Result, error) {
+	plan, err := job.BuildPlan()
+	if err != nil {
+		return nil, err
+	}
+	workers := c.reg.workers()
+	if len(workers) == 0 {
+		return nil, ErrNoWorkers
+	}
+	c.cfg.Stats.Runs.Add(1)
+
+	planHash := hsf.PlanHash(plan)
+	m := hsf.AccumulatorLen(plan, job.MaxAmplitudes)
+
+	splitLevels := 0
+	if opts.Resume != nil {
+		splitLevels = opts.Resume.SplitLevels
+	} else {
+		splitLevels = hsf.ChooseSplitLevels(plan, c.cfg.TasksPerWorker*len(workers))
+	}
+	prefixes := hsf.EnumeratePrefixes(plan, splitLevels)
+
+	ck := &hsf.Checkpoint{
+		PlanHash:    planHash,
+		NumQubits:   plan.NumQubits,
+		M:           m,
+		SplitLevels: splitLevels,
+		Acc:         make([]complex128, m),
+	}
+	merged := make(map[string]bool, len(prefixes))
+	if opts.Resume != nil {
+		if err := ck.Merge(opts.Resume); err != nil {
+			return nil, fmt.Errorf("dist: resume checkpoint rejected: %w", err)
+		}
+		for _, p := range opts.Resume.Prefixes {
+			merged[hsf.PrefixKey(p)] = true
+		}
+	}
+	var pending [][]int
+	for _, p := range prefixes {
+		if !merged[hsf.PrefixKey(p)] {
+			pending = append(pending, p)
+		}
+	}
+
+	batches := c.makeBatches(pending, len(workers))
+	np, _ := plan.NumPaths()
+	result := func(reassigned int64) *Result {
+		return &Result{
+			Amplitudes:      ck.Acc,
+			NumPaths:        np,
+			Log2Paths:       plan.Log2Paths(),
+			PathsSimulated:  ck.PathsSimulated,
+			NumCuts:         len(plan.Cuts),
+			NumBlocks:       plan.NumBlocks(),
+			NumSeparateCuts: plan.NumSeparateCuts(),
+			SplitLevels:     splitLevels,
+			Batches:         len(batches),
+			Workers:         len(workers),
+			Reassignments:   reassigned,
+		}
+	}
+	if len(batches) == 0 { // everything already checkpointed
+		return result(0), nil
+	}
+
+	s := &session{
+		co:        c,
+		job:       job,
+		planHash:  planHash,
+		split:     splitLevels,
+		ck:        ck,
+		queue:     make(chan *batch, len(batches)),
+		remaining: len(batches),
+	}
+	s.runCtx, s.cancel = context.WithCancelCause(ctx)
+	defer s.cancel(nil)
+	for _, b := range batches {
+		s.queue <- b
+	}
+
+	var wg sync.WaitGroup
+	s.active.Store(int64(len(workers)))
+	for _, w := range workers {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			s.runWorker(addr)
+		}(w)
+	}
+	wg.Wait()
+
+	err = s.err()
+	if err != nil {
+		if opts.CheckpointWriter != nil {
+			if werr := hsf.WriteCheckpoint(opts.CheckpointWriter, ck); werr != nil {
+				return nil, errors.Join(err, fmt.Errorf("dist: writing checkpoint: %w", werr))
+			}
+		}
+		return nil, err
+	}
+	return result(s.reassigned.Load()), nil
+}
+
+// makeBatches chunks the pending prefixes into about 4×workers batches (or
+// fixed BatchSize chunks) so a lost lease forfeits little work.
+func (c *Coordinator) makeBatches(pending [][]int, workers int) []*batch {
+	if len(pending) == 0 {
+		return nil
+	}
+	size := c.cfg.BatchSize
+	if size <= 0 {
+		size = (len(pending) + 4*workers - 1) / (4 * workers)
+		if size < 1 {
+			size = 1
+		}
+	}
+	var out []*batch
+	for start := 0; start < len(pending); start += size {
+		end := start + size
+		if end > len(pending) {
+			end = len(pending)
+		}
+		out = append(out, &batch{id: len(out), prefixes: pending[start:end]})
+	}
+	return out
+}
+
+// session is the mutable state of one Run: the lease queue, the merged
+// checkpoint, and failure bookkeeping shared by the per-worker loops.
+type session struct {
+	co       *Coordinator
+	job      *Job
+	planHash uint64
+	split    int
+
+	mu        sync.Mutex // guards ck, batch.done, remaining, firstErr
+	ck        *hsf.Checkpoint
+	remaining int
+	firstErr  error
+
+	queue      chan *batch
+	runCtx     context.Context
+	cancel     context.CancelCauseFunc
+	active     atomic.Int64 // workers still in rotation
+	reassigned atomic.Int64
+}
+
+// errAllDone is the private cancellation cause distinguishing "every batch
+// merged" from a real failure.
+var errAllDone = errors.New("dist: all batches merged")
+
+func (s *session) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.firstErr != nil {
+		return s.firstErr
+	}
+	if s.remaining > 0 {
+		// The run context must have been canceled externally.
+		if cause := context.Cause(s.runCtx); cause != nil && !errors.Is(cause, errAllDone) {
+			return cause
+		}
+		return fmt.Errorf("dist: run ended with %d batches unmerged", s.remaining)
+	}
+	return nil
+}
+
+func (s *session) fail(err error) {
+	s.mu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.mu.Unlock()
+	s.cancel(err)
+}
+
+// runWorker is one worker's lease loop: take a batch, execute it under the
+// lease deadline, merge or requeue. It exits when the run is over or the
+// worker is retired.
+func (s *session) runWorker(addr string) {
+	cfg := &s.co.cfg
+	strikes := 0
+	defer func() {
+		if n := s.active.Add(-1); n == 0 {
+			// Last worker leaving with work outstanding fails the run.
+			s.mu.Lock()
+			left := s.remaining
+			s.mu.Unlock()
+			if left > 0 && context.Cause(s.runCtx) == nil {
+				s.fail(fmt.Errorf("%w: all workers retired with %d batches unmerged", ErrNoWorkers, left))
+			}
+		}
+	}()
+	for {
+		var b *batch
+		select {
+		case <-s.runCtx.Done():
+			return
+		case b = <-s.queue:
+		}
+
+		if cfg.onLease != nil {
+			cfg.onLease(addr, b.id)
+		}
+		cfg.Stats.LeasesGranted.Add(1)
+		cfg.Stats.InFlightLeases.Add(1)
+		lctx, lcancel := context.WithTimeout(s.runCtx, cfg.LeaseTimeout)
+		part, err := cfg.Transport.Run(lctx, addr, &RunRequest{
+			Job:         *s.job,
+			PlanHash:    s.planHash,
+			SplitLevels: s.split,
+			Prefixes:    b.prefixes,
+			LeaseMillis: int(cfg.LeaseTimeout / time.Millisecond),
+		})
+		lcancel()
+		cfg.Stats.InFlightLeases.Add(-1)
+
+		if err != nil {
+			// The whole run is over or canceled: put the batch back for the
+			// checkpoint's sake and leave quietly.
+			if context.Cause(s.runCtx) != nil {
+				s.queue <- b
+				return
+			}
+			if IsPermanent(err) {
+				s.fail(err)
+				return
+			}
+			strikes++
+			s.reassigned.Add(1)
+			cfg.Stats.LeasesReassigned.Add(1)
+			cfg.Logger.Printf("dist: lease batch %d on %s failed (strike %d/%d): %v",
+				b.id, addr, strikes, cfg.MaxStrikes, err)
+			s.queue <- b
+			if strikes >= cfg.MaxStrikes {
+				cfg.Stats.WorkersRetired.Add(1)
+				cfg.Logger.Printf("dist: retiring worker %s after %d consecutive failures", addr, strikes)
+				return
+			}
+			continue
+		}
+		strikes = 0
+
+		if err := s.merge(b, part); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+}
+
+// merge folds one partial into the session state. At-most-once is enforced
+// at two levels: a batch already marked done is dropped whole (duplicate
+// delivery of the same lease), and hsf.Checkpoint.Merge's prefix-key guard
+// rejects any cross-batch overlap as corruption instead of double-counting.
+func (s *session) merge(b *batch, part *hsf.Checkpoint) error {
+	cfg := &s.co.cfg
+	// A well-behaved worker returns exactly the leased prefixes.
+	if len(part.Prefixes) != len(b.prefixes) {
+		return fmt.Errorf("dist: batch %d: worker returned %d prefixes, leased %d",
+			b.id, len(part.Prefixes), len(b.prefixes))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b.done {
+		cfg.Stats.PartialsDuplicate.Add(1)
+		cfg.Logger.Printf("dist: dropping duplicate partial for batch %d", b.id)
+		return nil
+	}
+	if err := s.ck.Merge(part); err != nil {
+		return fmt.Errorf("dist: batch %d: %w", b.id, err)
+	}
+	b.done = true
+	cfg.Stats.PrefixesMerged.Add(int64(len(part.Prefixes)))
+	cfg.Stats.PathsSimulated.Add(part.PathsSimulated)
+	s.remaining--
+	if s.remaining == 0 {
+		s.cancel(errAllDone)
+	}
+	return nil
+}

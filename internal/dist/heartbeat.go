@@ -1,0 +1,88 @@
+// Worker-side registration: a worker announces itself to a coordinator and
+// keeps re-registering so its registry entry never expires.
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// RegisterWorker announces addr to the coordinator and returns its reply.
+// client may be nil (http.DefaultClient).
+func RegisterWorker(ctx context.Context, client *http.Client, coordinator, addr string) (*RegisterResponse, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, err := json.Marshal(RegisterRequest{Addr: addr})
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding registration: %w", err)
+	}
+	url := coordinator
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/dist/register"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("dist: building registration: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: coordinator %s: %w", coordinator, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("dist: coordinator %s: status %d: %s",
+			coordinator, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var reg RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		return nil, fmt.Errorf("dist: decoding registration reply: %w", err)
+	}
+	return &reg, nil
+}
+
+// Heartbeat registers addr with the coordinator and re-registers at a third
+// of the advertised TTL until ctx is canceled. Registration failures are
+// logged and retried: a coordinator restart only drops the worker until the
+// next beat.
+func Heartbeat(ctx context.Context, client *http.Client, coordinator, addr string, logger *log.Logger) {
+	if logger == nil {
+		logger = log.Default()
+	}
+	interval := 5 * time.Second // retry cadence until the coordinator answers
+	registered := false
+	for {
+		reg, err := RegisterWorker(ctx, client, coordinator, addr)
+		switch {
+		case err == nil:
+			if !registered {
+				logger.Printf("dist: registered with %s as %s (%d workers, ttl %dms)",
+					coordinator, addr, reg.Workers, reg.TTLMillis)
+			}
+			registered = true
+			if ttl := time.Duration(reg.TTLMillis) * time.Millisecond; ttl > 0 {
+				interval = ttl / 3
+			}
+		case ctx.Err() != nil:
+			return
+		default:
+			registered = false
+			logger.Printf("dist: registering with %s: %v (retrying in %v)", coordinator, err, interval)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hsfsim/internal/hsf"
+)
+
+// Loopback is an in-process Transport: leases execute directly through
+// ExecuteRun in the coordinator's process. It exists so the full protocol —
+// lease state machine, reassignment, merge dedup — is testable without
+// sockets, and doubles as a degenerate single-machine backend.
+//
+// Worker failure modes are scriptable per worker: Kill makes every future
+// lease fail like a dead TCP peer, Stall makes leases hang until their
+// deadline. Both are transient errors from the coordinator's point of view,
+// exactly as over HTTP.
+type Loopback struct {
+	mu      sync.Mutex
+	workers map[string]*loopWorker
+}
+
+type loopWorker struct {
+	opts    ExecOptions
+	killed  bool
+	stalled bool
+	runs    int
+}
+
+// NewLoopback returns an empty in-process transport.
+func NewLoopback() *Loopback {
+	return &Loopback{workers: make(map[string]*loopWorker)}
+}
+
+// AddWorker registers an in-process worker under the given name.
+func (l *Loopback) AddWorker(name string, opts ExecOptions) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.workers[name] = &loopWorker{opts: opts}
+}
+
+// Kill marks the worker dead: every subsequent lease fails immediately with
+// a transient error, like a connection refused after a process crash.
+func (l *Loopback) Kill(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if w := l.workers[name]; w != nil {
+		w.killed = true
+	}
+}
+
+// Stall marks the worker stalled: leases block until their deadline expires.
+func (l *Loopback) Stall(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if w := l.workers[name]; w != nil {
+		w.stalled = true
+	}
+}
+
+// Runs reports how many leases the worker completed or attempted.
+func (l *Loopback) Runs(name string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if w := l.workers[name]; w != nil {
+		return w.runs
+	}
+	return 0
+}
+
+// Run implements Transport.
+func (l *Loopback) Run(ctx context.Context, addr string, req *RunRequest) (*hsf.Checkpoint, error) {
+	l.mu.Lock()
+	w := l.workers[addr]
+	if w == nil {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("dist: loopback worker %s: connection refused", addr)
+	}
+	w.runs++
+	killed, stalled := w.killed, w.stalled
+	opts := w.opts
+	l.mu.Unlock()
+
+	if killed {
+		return nil, fmt.Errorf("dist: loopback worker %s: connection refused", addr)
+	}
+	if stalled {
+		<-ctx.Done()
+		return nil, fmt.Errorf("dist: loopback worker %s: %w", addr, context.Cause(ctx))
+	}
+	ck, err := ExecuteRun(ctx, req, opts)
+	if err != nil {
+		if IsPermanent(err) {
+			return nil, err // ExecuteRun already classified it
+		}
+		return nil, fmt.Errorf("dist: loopback worker %s: %w", addr, err)
+	}
+	return ck, nil
+}

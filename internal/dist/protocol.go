@@ -1,0 +1,87 @@
+// Wire types of the dist protocol. Requests are JSON (they are small: a job
+// spec plus a batch of prefix vectors); successful /dist/run responses are
+// the binary checkpoint stream (hsf.WriteCheckpoint), which carries the
+// multi-megabyte partial accumulator far more compactly than JSON could.
+package dist
+
+import "fmt"
+
+// RunRequest is one lease: a disjoint batch of prefix tasks to execute.
+type RunRequest struct {
+	Job Job `json:"job"`
+	// PlanHash is the coordinator's plan fingerprint, string-encoded because
+	// JSON numbers cannot carry 64 bits faithfully. The worker must reproduce
+	// it from Job or refuse the lease (ErrPlanMismatch).
+	PlanHash uint64 `json:"plan_hash,string"`
+	// SplitLevels is the prefix length every batch in this run uses.
+	SplitLevels int `json:"split_levels"`
+	// Prefixes is the batch: term-choice vectors, each of length SplitLevels.
+	Prefixes [][]int `json:"prefixes"`
+	// LeaseMillis is the coordinator's lease deadline hint; the worker aborts
+	// the run after this long so a stalled simulation frees its slot even if
+	// the coordinator's connection lingers. 0 means no worker-side deadline.
+	LeaseMillis int `json:"lease_ms,omitempty"`
+}
+
+// Validate performs cheap structural checks before any planning work.
+func (r *RunRequest) Validate() error {
+	if r.Job.QASM == "" {
+		return fmt.Errorf("dist: empty job circuit")
+	}
+	if r.SplitLevels < 0 {
+		return fmt.Errorf("dist: negative split levels")
+	}
+	if len(r.Prefixes) == 0 {
+		return fmt.Errorf("dist: empty prefix batch")
+	}
+	for _, p := range r.Prefixes {
+		if len(p) != r.SplitLevels {
+			return fmt.Errorf("dist: prefix length %d != split levels %d", len(p), r.SplitLevels)
+		}
+	}
+	return nil
+}
+
+// RegisterRequest announces a worker to a coordinator. Workers re-register
+// periodically as a heartbeat; entries expire after the registry TTL.
+type RegisterRequest struct {
+	// Addr is the worker's reachable host:port.
+	Addr string `json:"addr"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	// Workers is the number of currently registered live workers.
+	Workers int `json:"workers"`
+	// TTLMillis tells the worker how often to re-register (at most this).
+	TTLMillis int `json:"ttl_ms"`
+}
+
+// WorkerList reports the registry (GET /dist/workers).
+type WorkerList struct {
+	Workers []string `json:"workers"`
+}
+
+// Result reports a completed distributed run.
+type Result struct {
+	// Amplitudes is the merged accumulator: the first M amplitudes of the
+	// full statevector.
+	Amplitudes []complex128
+	// NumPaths / Log2Paths describe the plan's path space.
+	NumPaths  uint64
+	Log2Paths float64
+	// PathsSimulated counts leaves actually executed across all workers
+	// (includes leaves replayed from a resumed checkpoint).
+	PathsSimulated int64
+	// NumCuts, NumBlocks, NumSeparateCuts describe the plan.
+	NumCuts         int
+	NumBlocks       int
+	NumSeparateCuts int
+	// SplitLevels and Batches describe the sharding that was used.
+	SplitLevels int
+	Batches     int
+	// Workers is the number of workers the run started with; Reassignments
+	// counts leases that failed and were handed to another worker.
+	Workers       int
+	Reassignments int64
+}

@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// registry tracks the worker fleet. Static workers (given on the command
+// line) never expire; dynamic workers (registered over /dist/register) are
+// heartbeat-based and expire after the TTL, so a worker that dies silently
+// drops out of the rotation for future runs.
+type registry struct {
+	mu     sync.Mutex
+	ttl    time.Duration
+	static map[string]bool
+	// dynamic maps worker address to its last heartbeat.
+	dynamic map[string]time.Time
+	now     func() time.Time // test hook
+}
+
+func newRegistry(ttl time.Duration) *registry {
+	if ttl <= 0 {
+		ttl = time.Minute
+	}
+	return &registry{
+		ttl:     ttl,
+		static:  make(map[string]bool),
+		dynamic: make(map[string]time.Time),
+		now:     time.Now,
+	}
+}
+
+// addStatic pins a worker that never expires.
+func (r *registry) addStatic(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.static[addr] = true
+}
+
+// register records a heartbeat from a dynamic worker.
+func (r *registry) register(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dynamic[addr] = r.now()
+}
+
+// remove drops a worker from both sets.
+func (r *registry) remove(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.static, addr)
+	delete(r.dynamic, addr)
+}
+
+// workers returns the live fleet, sorted for determinism: all static workers
+// plus dynamic ones whose heartbeat is fresher than the TTL (expired entries
+// are pruned as a side effect).
+func (r *registry) workers() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cutoff := r.now().Add(-r.ttl)
+	out := make([]string, 0, len(r.static)+len(r.dynamic))
+	for a := range r.static {
+		out = append(out, a)
+	}
+	for a, seen := range r.dynamic {
+		if seen.Before(cutoff) {
+			delete(r.dynamic, a)
+			continue
+		}
+		if !r.static[a] {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"hsfsim/internal/hsf"
+)
+
+// Transport executes one lease on a worker. Implementations must be safe for
+// concurrent use: the coordinator runs one in-flight lease per worker, across
+// many workers.
+type Transport interface {
+	// Run executes req on the worker at addr and returns its partial. A
+	// *PermanentError return aborts the whole run; any other error counts as
+	// a transient worker failure and triggers reassignment.
+	Run(ctx context.Context, addr string, req *RunRequest) (*hsf.Checkpoint, error)
+}
+
+// PermanentError marks a lease failure that reassignment cannot fix — a
+// malformed job, a plan-fingerprint mismatch, or an admission rejection that
+// every worker would repeat. The coordinator fails the run instead of
+// retrying forever.
+type PermanentError struct{ Err error }
+
+func (e *PermanentError) Error() string { return e.Err.Error() }
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Permanent wraps err as a PermanentError (nil stays nil).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Err: err}
+}
+
+// IsPermanent reports whether err is marked permanent.
+func IsPermanent(err error) bool {
+	var pe *PermanentError
+	return errors.As(err, &pe)
+}
+
+// HTTPTransport drives hsfsimd workers over POST /dist/run. The zero value
+// is usable; Client defaults to http.DefaultClient (lease deadlines ride on
+// the request context, so no client timeout is needed).
+type HTTPTransport struct {
+	Client *http.Client
+}
+
+// httpPermanentStatus reports whether an HTTP status indicates a failure
+// that every worker would repeat (client errors: bad job, plan mismatch,
+// over-budget lease) rather than a worker-local fault.
+func httpPermanentStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusRequestTimeout:
+		return false // saturation and deadline: another worker (or retry) may succeed
+	}
+	return code >= 400 && code < 500
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+// Run POSTs the lease as JSON and decodes the binary checkpoint reply.
+func (t *HTTPTransport) Run(ctx context.Context, addr string, req *RunRequest) (*hsf.Checkpoint, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, Permanent(fmt.Errorf("dist: encoding lease: %w", err))
+	}
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/dist/run"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, Permanent(fmt.Errorf("dist: building lease request: %w", err))
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s: %w", addr, err) // transient: connection refused, reset, deadline
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		err := fmt.Errorf("dist: worker %s: status %d: %s", addr, resp.StatusCode, bytes.TrimSpace(msg))
+		if httpPermanentStatus(resp.StatusCode) {
+			return nil, Permanent(err)
+		}
+		return nil, err
+	}
+	ck, err := hsf.ReadCheckpoint(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s: decoding partial: %w", addr, err)
+	}
+	return ck, nil
+}

@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"hsfsim/internal/hsf"
+)
+
+// ExecOptions bounds a worker's local execution; they come from the worker's
+// own configuration (its admission budget), not from the coordinator.
+type ExecOptions struct {
+	// Workers is the per-lease simulation parallelism (0: all CPUs).
+	Workers int
+	// MemoryBudget and MaxPaths feed the engine's admission gate; a lease
+	// whose cost exceeds them is refused with hsf.ErrBudget before any
+	// statevector is allocated.
+	MemoryBudget int64
+	MaxPaths     uint64
+}
+
+// ExecuteRun is the worker half of the protocol: compile the job's plan,
+// verify it fingerprints to the coordinator's, and execute exactly the leased
+// prefix batch. The returned checkpoint is the partial accumulator the
+// coordinator merges.
+//
+// Job-shaped failures — a malformed request, an unplannable circuit, a plan
+// fingerprint mismatch, an admission rejection — are returned as
+// *PermanentError because every worker would repeat them; execution failures
+// (cancellation, deadline, a panicking path worker) stay transient so the
+// coordinator reassigns the lease.
+func ExecuteRun(ctx context.Context, req *RunRequest, opts ExecOptions) (*hsf.Checkpoint, error) {
+	if err := req.Validate(); err != nil {
+		return nil, Permanent(err)
+	}
+	plan, err := req.Job.BuildPlan()
+	if err != nil {
+		return nil, Permanent(err)
+	}
+	if h := hsf.PlanHash(plan); h != req.PlanHash {
+		return nil, Permanent(fmt.Errorf("%w: local %016x != lease %016x", ErrPlanMismatch, h, req.PlanHash))
+	}
+	if req.LeaseMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.LeaseMillis)*time.Millisecond)
+		defer cancel()
+	}
+	ck, err := hsf.RunPrefixesContext(ctx, plan, hsf.Options{
+		MaxAmplitudes:   req.Job.MaxAmplitudes,
+		Workers:         opts.Workers,
+		FusionMaxQubits: req.Job.FusionMaxQubits,
+		MemoryBudget:    opts.MemoryBudget,
+		MaxPaths:        opts.MaxPaths,
+	}, req.SplitLevels, req.Prefixes)
+	if err != nil {
+		if errors.Is(err, hsf.ErrBudget) {
+			return nil, Permanent(err)
+		}
+		return nil, err
+	}
+	return ck, nil
+}

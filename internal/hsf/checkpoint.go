@@ -30,9 +30,18 @@ var checkpointMagic = [8]byte{'H', 'S', 'F', 'C', 'K', 'P', '1', '\n'}
 // different plan (or different MaxAmplitudes) than the one being resumed.
 var ErrCheckpointMismatch = errors.New("hsf: checkpoint does not match plan")
 
+// ErrPrefixOverlap is returned by Checkpoint.Merge when the partial being
+// merged contains a prefix that was already merged: folding it in would
+// double-count its subtree's amplitudes.
+var ErrPrefixOverlap = errors.New("hsf: partial overlaps already-merged prefixes")
+
 // maxCheckpointPrefixes bounds the prefix table accepted from an untrusted
 // checkpoint stream (the engine itself never exceeds ~4×workers tasks).
 const maxCheckpointPrefixes = 1 << 24
+
+// maxCheckpointSplitLevels bounds the per-prefix vector length accepted from
+// an untrusted stream; real split depths are at most the plan's cut count.
+const maxCheckpointSplitLevels = 1 << 16
 
 // Checkpoint is a resumable snapshot of a partially executed plan.
 type Checkpoint struct {
@@ -203,6 +212,9 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hsf: reading checkpoint: %w", err)
 	}
+	if sl > maxCheckpointSplitLevels {
+		return nil, fmt.Errorf("hsf: checkpoint split levels %d too large", sl)
+	}
 	ck.SplitLevels = int(sl)
 	np, err := ru()
 	if err != nil {
@@ -211,8 +223,10 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if np > maxCheckpointPrefixes {
 		return nil, fmt.Errorf("hsf: checkpoint prefix count %d too large", np)
 	}
-	ck.Prefixes = make([][]int, np)
-	for i := range ck.Prefixes {
+	// The prefix table and accumulator are appended to incrementally: the
+	// hostile-length headers above only ever cost allocation proportional to
+	// the bytes actually present in the stream, never the declared count.
+	for i := uint64(0); i < np; i++ {
 		p := make([]int, ck.SplitLevels)
 		for j := range p {
 			t, err := r32()
@@ -221,15 +235,14 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 			}
 			p[j] = int(t)
 		}
-		ck.Prefixes[i] = p
+		ck.Prefixes = append(ck.Prefixes, p)
 	}
 	ps, err := ru()
 	if err != nil {
 		return nil, fmt.Errorf("hsf: reading checkpoint: %w", err)
 	}
 	ck.PathsSimulated = int64(ps)
-	ck.Acc = make([]complex128, ck.M)
-	for i := range ck.Acc {
+	for i := 0; i < ck.M; i++ {
 		re, err := ru()
 		if err != nil {
 			return nil, fmt.Errorf("hsf: reading checkpoint accumulator: %w", err)
@@ -238,9 +251,48 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		if err != nil {
 			return nil, fmt.Errorf("hsf: reading checkpoint accumulator: %w", err)
 		}
-		ck.Acc[i] = complex(math.Float64frombits(re), math.Float64frombits(im))
+		ck.Acc = append(ck.Acc, complex(math.Float64frombits(re), math.Float64frombits(im)))
 	}
 	return ck, nil
+}
+
+// Merge folds a partial accumulation over a disjoint prefix set into ck:
+// the accumulators are summed, the prefix table and leaf counts extended.
+// Both snapshots must come from the same plan, accumulator length, and split
+// depth (ErrCheckpointMismatch otherwise), and no prefix may appear on both
+// sides (ErrPrefixOverlap) — the guard that makes distributed merging
+// at-most-once per prefix even when a lease is delivered twice. On error ck
+// is unchanged.
+func (ck *Checkpoint) Merge(p *Checkpoint) error {
+	switch {
+	case p.PlanHash != ck.PlanHash:
+		return fmt.Errorf("%w: plan hash %016x != partial %016x",
+			ErrCheckpointMismatch, ck.PlanHash, p.PlanHash)
+	case p.NumQubits != ck.NumQubits:
+		return fmt.Errorf("%w: %d qubits != partial %d",
+			ErrCheckpointMismatch, ck.NumQubits, p.NumQubits)
+	case p.M != ck.M || len(p.Acc) != len(ck.Acc):
+		return fmt.Errorf("%w: accumulator length %d != partial %d",
+			ErrCheckpointMismatch, ck.M, p.M)
+	case p.SplitLevels != ck.SplitLevels:
+		return fmt.Errorf("%w: split levels %d != partial %d",
+			ErrCheckpointMismatch, ck.SplitLevels, p.SplitLevels)
+	}
+	seen := make(map[string]bool, len(ck.Prefixes))
+	for _, q := range ck.Prefixes {
+		seen[PrefixKey(q)] = true
+	}
+	for _, q := range p.Prefixes {
+		if seen[PrefixKey(q)] {
+			return fmt.Errorf("%w: prefix %v", ErrPrefixOverlap, q)
+		}
+	}
+	for i, v := range p.Acc {
+		ck.Acc[i] += v
+	}
+	ck.Prefixes = append(ck.Prefixes, p.Prefixes...)
+	ck.PathsSimulated += p.PathsSimulated
+	return nil
 }
 
 // validateFor checks that the checkpoint belongs to plan with accumulator

@@ -1,0 +1,116 @@
+package hsf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// fuzzSeedCheckpoint builds a small valid checkpoint to seed the corpus.
+func fuzzSeedCheckpoint() []byte {
+	ck := &Checkpoint{
+		PlanHash:       0xdeadbeefcafe,
+		NumQubits:      4,
+		M:              4,
+		SplitLevels:    2,
+		Prefixes:       [][]int{{0, 1}, {1, 0}, {300, 2}},
+		PathsSimulated: 7,
+		Acc:            []complex128{1, 2i, complex(3, 4), -1},
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadCheckpoint drives the untrusted checkpoint decoder with hostile
+// input: truncated streams, corrupt headers, and absurd length fields must
+// produce an error — never a panic, and never an allocation proportional to a
+// declared length instead of the bytes actually present.
+func FuzzReadCheckpoint(f *testing.F) {
+	valid := fuzzSeedCheckpoint()
+	f.Add(valid)
+	// Truncations at interesting boundaries.
+	for _, n := range []int{0, 4, 8, 16, 28, 36, len(valid) / 2, len(valid) - 1} {
+		if n <= len(valid) {
+			f.Add(valid[:n])
+		}
+	}
+	// Hostile prefix count: claim 2^24 prefixes with no payload behind it.
+	hostile := append([]byte(nil), valid[:32]...)
+	hostile = binary.LittleEndian.AppendUint64(hostile, 1<<24)
+	f.Add(hostile)
+	// Hostile accumulator length.
+	bigM := append([]byte(nil), valid[:20]...)
+	bigM = binary.LittleEndian.AppendUint64(bigM, 1<<40)
+	f.Add(bigM)
+	// Corrupt magic.
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xff
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded checkpoint must be internally consistent and
+		// must round-trip through the writer.
+		if len(ck.Acc) != ck.M {
+			t.Fatalf("decoded accumulator length %d != header %d", len(ck.Acc), ck.M)
+		}
+		for _, p := range ck.Prefixes {
+			if len(p) != ck.SplitLevels {
+				t.Fatalf("decoded prefix length %d != split levels %d", len(p), ck.SplitLevels)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCheckpoint(&buf, ck); err != nil {
+			t.Fatalf("re-encoding decoded checkpoint: %v", err)
+		}
+		ck2, err := ReadCheckpoint(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding: %v", err)
+		}
+		if ck2.PlanHash != ck.PlanHash || ck2.M != ck.M ||
+			ck2.SplitLevels != ck.SplitLevels || len(ck2.Prefixes) != len(ck.Prefixes) ||
+			ck2.PathsSimulated != ck.PathsSimulated {
+			t.Fatal("checkpoint does not round-trip")
+		}
+	})
+}
+
+// TestReadCheckpointHostileLengths pins the over-allocation guarantees the
+// fuzzer relies on, deterministically.
+func TestReadCheckpointHostileLengths(t *testing.T) {
+	valid := fuzzSeedCheckpoint()
+
+	// Declared prefix count of 2^24 with an empty stream behind it must error
+	// on the missing payload (incremental allocation keeps this cheap).
+	hostile := append([]byte(nil), valid[:32]...)
+	hostile = binary.LittleEndian.AppendUint64(hostile, 1<<24)
+	if _, err := ReadCheckpoint(bytes.NewReader(hostile)); err == nil {
+		t.Fatal("accepted truncated prefix table")
+	}
+	// Prefix count beyond the cap is rejected outright.
+	overCap := append([]byte(nil), valid[:32]...)
+	overCap = binary.LittleEndian.AppendUint64(overCap, (1<<24)+1)
+	if _, err := ReadCheckpoint(bytes.NewReader(overCap)); err == nil {
+		t.Fatal("accepted prefix count over the cap")
+	}
+	// Split levels beyond the cap are rejected.
+	overSplit := append([]byte(nil), valid[:28]...)
+	overSplit = binary.LittleEndian.AppendUint32(overSplit, (1<<16)+1)
+	if _, err := ReadCheckpoint(bytes.NewReader(overSplit)); err == nil {
+		t.Fatal("accepted split levels over the cap")
+	}
+	// Truncated accumulator errors instead of returning short data.
+	if _, err := ReadCheckpoint(bytes.NewReader(valid[:len(valid)-8])); err == nil {
+		t.Fatal("accepted truncated accumulator")
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(nil)); err != io.ErrUnexpectedEOF && err == nil {
+		t.Fatal("accepted empty stream")
+	}
+}

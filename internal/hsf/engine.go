@@ -242,34 +242,6 @@ func (e *engine) compile(plan *cut.Plan, fusionMaxQubits int) {
 	}
 }
 
-// splitPrefixes expands the first splitLevels cut levels breadth-first into
-// prefix choice vectors.
-func (e *engine) splitPrefixes(splitLevels int) [][]int {
-	prefixes := [][]int{{}}
-	for l := 0; l < splitLevels; l++ {
-		r := len(e.cuts[l].sigma)
-		next := make([][]int, 0, len(prefixes)*r)
-		for _, p := range prefixes {
-			for t := 0; t < r; t++ {
-				np := make([]int, len(p)+1)
-				copy(np, p)
-				np[len(p)] = t
-				next = append(next, np)
-			}
-		}
-		prefixes = next
-	}
-	return prefixes
-}
-
-func prefixKey(p []int) string {
-	b := make([]byte, len(p))
-	for i, t := range p {
-		b[i] = byte(t) // cut ranks are tiny (Schmidt rank ≤ 2^block qubits)
-	}
-	return string(b)
-}
-
 // stopped returns the cancellation cause if ctx is done.
 func stopped(ctx context.Context) error {
 	select {
@@ -295,13 +267,9 @@ func (e *engine) run(ctx context.Context, workers int, resume *Checkpoint, plan 
 	if resume != nil {
 		splitLevels = resume.SplitLevels
 	} else {
-		tasks := 1
-		for splitLevels < len(e.cuts) && tasks < 4*workers {
-			tasks *= len(e.cuts[splitLevels].sigma)
-			splitLevels++
-		}
+		splitLevels = ChooseSplitLevels(plan, 4*workers)
 	}
-	prefixes := e.splitPrefixes(splitLevels)
+	prefixes := EnumeratePrefixes(plan, splitLevels)
 
 	ck := &Checkpoint{
 		PlanHash:    PlanHash(plan),
@@ -317,21 +285,32 @@ func (e *engine) run(ctx context.Context, workers int, resume *Checkpoint, plan 
 		ck.Prefixes = append(ck.Prefixes, resume.Prefixes...)
 		done := make(map[string]bool, len(resume.Prefixes))
 		for _, p := range resume.Prefixes {
-			done[prefixKey(p)] = true
+			done[PrefixKey(p)] = true
 		}
 		pending = pending[:0:0]
 		for _, p := range prefixes {
-			if !done[prefixKey(p)] {
+			if !done[PrefixKey(p)] {
 				pending = append(pending, p)
 			}
 		}
 	}
 
+	if err := e.runTasks(ctx, workers, pending, ck); err != nil {
+		return nil, ck, err
+	}
+	return ck.Acc, ck, nil
+}
+
+// runTasks executes the pending prefix tasks on a worker pool, merging each
+// completed subtree into ck under the mutex so ck is always a consistent,
+// checkpointable state. It returns the first error encountered (workers that
+// drained without running anything report the external cancellation cause).
+func (e *engine) runTasks(ctx context.Context, workers int, pending [][]int, ck *Checkpoint) error {
 	if workers > len(pending) {
 		workers = len(pending)
 	}
-	if workers == 0 { // everything already checkpointed
-		return ck.Acc, ck, stopped(ctx)
+	if workers == 0 { // nothing left to simulate
+		return stopped(ctx)
 	}
 
 	// The first failing worker cancels runCtx so its peers stop at the next
@@ -386,14 +365,9 @@ func (e *engine) run(ctx context.Context, workers int, resume *Checkpoint, plan 
 	wg.Wait()
 
 	if firstErr == nil {
-		// Workers that drained without running anything report the external
-		// cancellation cause.
 		firstErr = stopped(ctx)
 	}
-	if firstErr != nil {
-		return nil, ck, firstErr
-	}
-	return ck.Acc, ck, nil
+	return firstErr
 }
 
 // runPrefixRecover wraps runPrefix with panic recovery: a panicking path

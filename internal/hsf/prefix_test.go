@@ -1,0 +1,188 @@
+package hsf
+
+import (
+	"context"
+	"errors"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/cut"
+)
+
+// TestPrefixKeyHighRankNoCollision is the regression test for the byte
+// truncation bug: term indices used to be cast to a single byte, so any two
+// terms equal mod 256 (possible once a joint block's Schmidt rank exceeds
+// 255) produced colliding keys and corrupted checkpoint resume and
+// distributed merge dedup.
+func TestPrefixKeyHighRankNoCollision(t *testing.T) {
+	if PrefixKey([]int{0}) == PrefixKey([]int{256}) {
+		t.Fatal("terms 0 and 256 collide: byte truncation regression")
+	}
+	if PrefixKey([]int{1, 2}) == PrefixKey([]int{257, 2}) {
+		t.Fatal("terms 1 and 257 collide in a vector: byte truncation regression")
+	}
+	// Exhaustive distinctness over a mixed-radix space with a rank-300 level.
+	seen := make(map[string][]int)
+	for a := 0; a < 300; a += 7 {
+		for b := 0; b < 9; b++ {
+			p := []int{a, b}
+			k := PrefixKey(p)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("prefixes %v and %v share key %q", prev, p, k)
+			}
+			seen[k] = p
+		}
+	}
+}
+
+func TestPrefixKeyRoundTripOrder(t *testing.T) {
+	// Same-length vectors with swapped entries must differ.
+	if PrefixKey([]int{0, 1}) == PrefixKey([]int{1, 0}) {
+		t.Fatal("key ignores term order")
+	}
+	if PrefixKey(nil) != "" {
+		t.Fatal("empty prefix should have empty key")
+	}
+}
+
+func TestEnumeratePrefixesCoversPathSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randomQAOAish(rng, 8, 10)
+	// Standard cutting: every crossing gate is its own cut, so the plan has
+	// several levels to enumerate over.
+	plan, err := cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: 3}, Strategy: cut.StrategyNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Cuts) < 2 {
+		t.Fatalf("want ≥ 2 cuts, got %d", len(plan.Cuts))
+	}
+	for sl := 0; sl <= 2; sl++ {
+		want := 1
+		for l := 0; l < sl; l++ {
+			want *= plan.Cuts[l].Rank()
+		}
+		ps := EnumeratePrefixes(plan, sl)
+		if len(ps) != want {
+			t.Fatalf("splitLevels=%d: %d prefixes, want %d", sl, len(ps), want)
+		}
+		keys := make(map[string]bool)
+		for _, p := range ps {
+			if len(p) != sl {
+				t.Fatalf("prefix %v has length %d, want %d", p, len(p), sl)
+			}
+			keys[PrefixKey(p)] = true
+		}
+		if len(keys) != want {
+			t.Fatalf("splitLevels=%d: %d distinct keys, want %d", sl, len(keys), want)
+		}
+	}
+	if got := ChooseSplitLevels(plan, 1); got != 0 {
+		t.Fatalf("ChooseSplitLevels(minTasks=1) = %d, want 0", got)
+	}
+	if got := ChooseSplitLevels(plan, 1<<40); got != len(plan.Cuts) {
+		t.Fatalf("ChooseSplitLevels(huge) = %d, want all %d levels", got, len(plan.Cuts))
+	}
+}
+
+// TestRunPrefixesShardsMergeToFullRun is the core correctness property the
+// distributed coordinator relies on: executing the prefix space in disjoint
+// shards and merging the partials reproduces the single-process amplitudes.
+func TestRunPrefixesShardsMergeToFullRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randomQAOAish(rng, 9, 12)
+	plan, err := cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: 4}, Strategy: cut.StrategyCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	splitLevels := ChooseSplitLevels(plan, 8)
+	prefixes := EnumeratePrefixes(plan, splitLevels)
+	if len(prefixes) < 4 {
+		t.Fatalf("want ≥ 4 prefix tasks, got %d", len(prefixes))
+	}
+	merged := &Checkpoint{
+		PlanHash:    PlanHash(plan),
+		NumQubits:   plan.NumQubits,
+		M:           AccumulatorLen(plan, 0),
+		SplitLevels: splitLevels,
+		Acc:         make([]complex128, AccumulatorLen(plan, 0)),
+	}
+	// Three uneven shards, executed independently.
+	bounds := []int{0, 1, len(prefixes) / 2, len(prefixes)}
+	for i := 0; i+1 < len(bounds); i++ {
+		part, err := RunPrefixesContext(context.Background(), plan, Options{}, splitLevels, prefixes[bounds[i]:bounds[i+1]])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(part.Prefixes) != bounds[i+1]-bounds[i] {
+			t.Fatalf("shard %d completed %d prefixes, want %d", i, len(part.Prefixes), bounds[i+1]-bounds[i])
+		}
+		if err := merged.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.PathsSimulated != full.PathsSimulated {
+		t.Fatalf("merged %d paths, full run %d", merged.PathsSimulated, full.PathsSimulated)
+	}
+	for i := range full.Amplitudes {
+		if d := cmplx.Abs(merged.Acc[i] - full.Amplitudes[i]); d > 1e-12 {
+			t.Fatalf("amplitude %d differs by %g", i, d)
+		}
+	}
+}
+
+func TestMergeRejectsOverlapAndMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomQAOAish(rng, 6, 6)
+	plan, err := cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: 2}, Strategy: cut.StrategyCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitLevels := ChooseSplitLevels(plan, 4)
+	prefixes := EnumeratePrefixes(plan, splitLevels)
+	part, err := RunPrefixesContext(context.Background(), plan, Options{}, splitLevels, prefixes[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &Checkpoint{PlanHash: part.PlanHash, NumQubits: part.NumQubits, M: part.M,
+		SplitLevels: part.SplitLevels, Acc: make([]complex128, part.M)}
+	if err := base.Merge(part); err != nil {
+		t.Fatal(err)
+	}
+	paths := base.PathsSimulated
+	if err := base.Merge(part); !errors.Is(err, ErrPrefixOverlap) {
+		t.Fatalf("duplicate merge: got %v, want ErrPrefixOverlap", err)
+	}
+	if base.PathsSimulated != paths || len(base.Prefixes) != len(part.Prefixes) {
+		t.Fatal("rejected merge mutated the checkpoint")
+	}
+	bad := *part
+	bad.PlanHash++
+	if err := base.Merge(&bad); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("plan-hash mismatch: got %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestRunPrefixesValidatesInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := randomQAOAish(rng, 6, 6)
+	plan, err := cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: 2}, Strategy: cut.StrategyCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPrefixesContext(context.Background(), plan, Options{}, 1, [][]int{{0, 0}}); err == nil {
+		t.Fatal("accepted prefix longer than split levels")
+	}
+	if _, err := RunPrefixesContext(context.Background(), plan, Options{}, 1, [][]int{{plan.Cuts[0].Rank()}}); err == nil {
+		t.Fatal("accepted out-of-range term")
+	}
+	if _, err := RunPrefixesContext(context.Background(), plan, Options{}, len(plan.Cuts)+1, nil); err == nil {
+		t.Fatal("accepted split levels beyond the cut depth")
+	}
+}

@@ -1,0 +1,42 @@
+// Runtime metrics. Counters are process-global expvar values published once
+// under the "hsfsimd" map and served at GET /debug/vars through the standard
+// expvar handler; /readyz echoes the load-relevant subset so probes see them
+// without parsing the full dump. Multiple service instances in one process
+// (tests) share the counters — they describe the process, not one handler
+// tree.
+package server
+
+import (
+	"expvar"
+
+	"hsfsim/internal/dist"
+)
+
+// distStats is shared by every coordinator in the process so lease metrics
+// aggregate across services.
+var distStats dist.Stats
+
+var (
+	metricRequests       = new(expvar.Int) // HTTP requests received (all endpoints)
+	metricSimulations    = new(expvar.Int) // /simulate runs completed successfully
+	metricPathsSimulated = new(expvar.Int) // Feynman path leaves across local simulations
+	metricShed429        = new(expvar.Int) // requests shed by the concurrency limiter
+	metricInFlight       = new(expvar.Int) // simulation requests currently executing
+	metricWorkerRuns     = new(expvar.Int) // /dist/run leases served as a worker
+)
+
+func init() {
+	m := expvar.NewMap("hsfsimd")
+	m.Set("requests_total", metricRequests)
+	m.Set("simulations_total", metricSimulations)
+	m.Set("paths_simulated_total", metricPathsSimulated)
+	m.Set("shed_429_total", metricShed429)
+	m.Set("in_flight", metricInFlight)
+	m.Set("worker_runs_total", metricWorkerRuns)
+	m.Set("dist_leases_granted_total", expvar.Func(func() any { return distStats.LeasesGranted.Load() }))
+	m.Set("dist_lease_reassignments_total", expvar.Func(func() any { return distStats.LeasesReassigned.Load() }))
+	m.Set("dist_workers_retired_total", expvar.Func(func() any { return distStats.WorkersRetired.Load() }))
+	m.Set("dist_prefixes_merged_total", expvar.Func(func() any { return distStats.PrefixesMerged.Load() }))
+	m.Set("dist_paths_simulated_total", expvar.Func(func() any { return distStats.PathsSimulated.Load() }))
+	m.Set("dist_leases_in_flight", expvar.Func(func() any { return distStats.InFlightLeases.Load() }))
+}

@@ -1,9 +1,14 @@
 // Package server exposes the simulator over HTTP with a JSON API:
 //
-//	POST /analyze   — cut-plan summary for a QASM circuit
-//	POST /simulate  — run one of the three methods on a QASM circuit
-//	GET  /healthz   — liveness
-//	GET  /readyz    — readiness / saturation of the simulation limiter
+//	POST /analyze       — cut-plan summary for a QASM circuit
+//	POST /simulate      — run one of the three methods on a QASM circuit
+//	                      ("distribute": true fans out over registered workers)
+//	POST /dist/run      — worker endpoint: execute one prefix-batch lease
+//	POST /dist/register — worker heartbeat: join this coordinator's fleet
+//	GET  /dist/workers  — list the live worker fleet
+//	GET  /healthz       — liveness
+//	GET  /readyz        — readiness / saturation of the simulation limiter
+//	GET  /debug/vars    — expvar runtime metrics
 //
 // The handlers are plain net/http so the service embeds anywhere; cmd/hsfsimd
 // wraps them in a binary.
@@ -13,13 +18,15 @@
 // endpoints run under a semaphore that sheds load with 429 + Retry-After
 // when saturated, per-request deadlines derive from timeout_ms through the
 // request context, and admission control rejects over-budget jobs with 422
-// before allocating.
+// before allocating. /dist/run runs under the same limiter, deadlines, and
+// panic middleware, so a daemon in worker mode keeps its protections.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"log"
 	"net/http"
@@ -29,6 +36,8 @@ import (
 	"time"
 
 	"hsfsim"
+	"hsfsim/internal/dist"
+	"hsfsim/internal/hsf"
 	"hsfsim/internal/qasm"
 )
 
@@ -58,6 +67,12 @@ type Config struct {
 	Workers int
 	// Logger receives request logs (nil: log.Default()).
 	Logger *log.Logger
+	// DistLeaseTimeout bounds one distributed lease when this service acts
+	// as a coordinator (0: the dist default, 2 minutes).
+	DistLeaseTimeout time.Duration
+	// WorkerTTL is how long a /dist/register heartbeat keeps a worker in the
+	// fleet (0: 1 minute).
+	WorkerTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +105,10 @@ type SimulateRequest struct {
 	Strategy       string `json:"strategy,omitempty"`
 	MaxBlockQubits int    `json:"max_block_qubits,omitempty"`
 	TimeoutMillis  int    `json:"timeout_ms,omitempty"`
+	// Distribute fans the run out over the registered worker fleet instead of
+	// simulating locally. Requires an HSF method and at least one worker
+	// (503 otherwise).
+	Distribute bool `json:"distribute,omitempty"`
 }
 
 // Amplitude is one complex amplitude in the response.
@@ -108,9 +127,15 @@ type SimulateResponse struct {
 	NumBlocks       int         `json:"num_blocks"`
 	PreprocessMs    float64     `json:"preprocess_ms"`
 	SimMs           float64     `json:"sim_ms"`
+	PathsSimulated  int64       `json:"paths_simulated"`
 	Amplitudes      []Amplitude `json:"amplitudes"`
 	AmplitudesTotal int         `json:"amplitudes_total"`
 	Truncated       bool        `json:"truncated"`
+	// Distributed-run statistics (distribute: true only).
+	Distributed   bool  `json:"distributed,omitempty"`
+	DistWorkers   int   `json:"dist_workers,omitempty"`
+	DistBatches   int   `json:"dist_batches,omitempty"`
+	Reassignments int64 `json:"dist_reassignments,omitempty"`
 }
 
 // errorBody is the JSON error envelope.
@@ -119,11 +144,21 @@ type errorBody struct {
 	RequestID string `json:"request_id,omitempty"`
 }
 
-// readyBody is the /readyz reply.
+// readyBody is the /readyz reply. Beyond the readiness verdict it echoes the
+// load-relevant expvar counters so probes see them without parsing
+// /debug/vars.
 type readyBody struct {
 	Status   string `json:"status"` // "ready" | "saturated"
 	InFlight int64  `json:"in_flight"`
 	Capacity int    `json:"capacity"`
+	Workers  int    `json:"dist_workers"`
+
+	RequestsTotal       int64 `json:"requests_total"`
+	SimulationsTotal    int64 `json:"simulations_total"`
+	PathsSimulatedTotal int64 `json:"paths_simulated_total"`
+	Shed429Total        int64 `json:"shed_429_total"`
+	WorkerRunsTotal     int64 `json:"worker_runs_total"`
+	LeaseReassignments  int64 `json:"dist_lease_reassignments_total"`
 }
 
 type service struct {
@@ -131,29 +166,72 @@ type service struct {
 	sem      chan struct{} // nil when the limiter is disabled
 	inFlight atomic.Int64
 	reqSeq   atomic.Uint64
+	coord    *dist.Coordinator
 }
+
+// Service couples the HTTP handler tree with the fleet management the
+// embedding binary needs (pinning static workers from the command line).
+type Service struct {
+	svc     *service
+	handler http.Handler
+}
+
+// NewService builds the service and its handler tree.
+func NewService(cfg Config) *Service {
+	s := newService(cfg)
+	return &Service{svc: s, handler: s.routes()}
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Service) Handler() http.Handler { return s.handler }
+
+// AddWorker pins a static distributed worker that never expires.
+func (s *Service) AddWorker(addr string) { s.svc.coord.AddWorker(addr) }
+
+// Workers returns the live distributed-worker fleet.
+func (s *Service) Workers() []string { return s.svc.coord.Workers() }
 
 // New returns the HTTP handler tree with default configuration.
 func New() http.Handler { return NewWithConfig(Config{}) }
 
 // NewWithConfig returns the HTTP handler tree.
 func NewWithConfig(cfg Config) http.Handler {
-	s := &service{cfg: cfg.withDefaults()}
-	if s.cfg.MaxConcurrent > 0 {
-		s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
-	}
+	return NewService(cfg).Handler()
+}
+
+func (s *service) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
 	mux.Handle("/analyze", s.limited(s.handleAnalyze))
 	mux.Handle("/simulate", s.limited(s.handleSimulate))
+	mux.Handle("/dist/run", s.limited(s.handleDistRun))
+	mux.HandleFunc("/dist/register", s.handleDistRegister)
+	mux.HandleFunc("/dist/workers", s.handleDistWorkers)
+	mux.Handle("/debug/vars", expvar.Handler())
 	return s.instrument(mux)
+}
+
+func newService(cfg Config) *service {
+	s := &service{cfg: cfg.withDefaults()}
+	if s.cfg.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
+	}
+	s.coord = dist.New(dist.Config{
+		Transport:    &dist.HTTPTransport{},
+		LeaseTimeout: s.cfg.DistLeaseTimeout,
+		WorkerTTL:    s.cfg.WorkerTTL,
+		Logger:       s.cfg.Logger,
+		Stats:        &distStats,
+	})
+	return s
 }
 
 // instrument assigns a request ID and converts handler panics into 500 JSON
 // envelopes instead of letting net/http kill the connection.
 func (s *service) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		metricRequests.Add(1)
 		id := fmt.Sprintf("req-%08x", s.reqSeq.Add(1))
 		w.Header().Set("X-Request-Id", id)
 		r = r.WithContext(withRequestID(r.Context(), id))
@@ -178,6 +256,7 @@ func (s *service) limited(h http.HandlerFunc) http.Handler {
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
 			default:
+				metricShed429.Add(1)
 				w.Header().Set("Retry-After", "1")
 				writeErr(w, http.StatusTooManyRequests,
 					fmt.Errorf("server saturated: %d simulations in flight", s.inFlight.Load()),
@@ -186,7 +265,11 @@ func (s *service) limited(h http.HandlerFunc) http.Handler {
 			}
 		}
 		s.inFlight.Add(1)
-		defer s.inFlight.Add(-1)
+		metricInFlight.Add(1)
+		defer func() {
+			s.inFlight.Add(-1)
+			metricInFlight.Add(-1)
+		}()
 		h(w, r)
 	})
 }
@@ -210,7 +293,19 @@ func handleHealth(w http.ResponseWriter, r *http.Request) {
 // handleReady reports limiter saturation: 200 while capacity remains, 503
 // when every slot is taken (load balancers should stop routing here).
 func (s *service) handleReady(w http.ResponseWriter, r *http.Request) {
-	body := readyBody{Status: "ready", InFlight: s.inFlight.Load(), Capacity: s.cfg.MaxConcurrent}
+	body := readyBody{
+		Status:   "ready",
+		InFlight: s.inFlight.Load(),
+		Capacity: s.cfg.MaxConcurrent,
+		Workers:  len(s.coord.Workers()),
+
+		RequestsTotal:       metricRequests.Value(),
+		SimulationsTotal:    metricSimulations.Value(),
+		PathsSimulatedTotal: metricPathsSimulated.Value(),
+		Shed429Total:        metricShed429.Value(),
+		WorkerRunsTotal:     metricWorkerRuns.Value(),
+		LeaseReassignments:  distStats.LeasesReassigned.Load(),
+	}
 	code := http.StatusOK
 	if s.sem != nil && len(s.sem) >= cap(s.sem) {
 		body.Status = "saturated"
@@ -321,6 +416,10 @@ func (s *service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err, reqID)
 		return
 	}
+	if req.Distribute {
+		s.handleDistributedSimulate(w, r, &req, c.NumQubits)
+		return
+	}
 	opts := hsfsim.Options{
 		MaxAmplitudes:  req.MaxAmplitudes,
 		MaxBlockQubits: req.MaxBlockQubits,
@@ -370,27 +469,184 @@ func (s *service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	metricSimulations.Add(1)
+	metricPathsSimulated.Add(res.PathsSimulated)
 	resp := SimulateResponse{
-		Method:          res.Method.String(),
-		NumQubits:       c.NumQubits,
-		NumPaths:        res.NumPaths,
-		Log2Paths:       res.Log2Paths,
-		NumCuts:         res.NumCuts,
-		NumBlocks:       res.NumBlocks,
-		PreprocessMs:    float64(res.PreprocessTime.Microseconds()) / 1000,
-		SimMs:           float64(res.SimTime.Microseconds()) / 1000,
-		AmplitudesTotal: len(res.Amplitudes),
+		Method:         res.Method.String(),
+		NumQubits:      c.NumQubits,
+		NumPaths:       res.NumPaths,
+		Log2Paths:      res.Log2Paths,
+		NumCuts:        res.NumCuts,
+		NumBlocks:      res.NumBlocks,
+		PreprocessMs:   float64(res.PreprocessTime.Microseconds()) / 1000,
+		SimMs:          float64(res.SimTime.Microseconds()) / 1000,
+		PathsSimulated: res.PathsSimulated,
 	}
-	n := len(res.Amplitudes)
+	resp.fillAmplitudes(res.Amplitudes)
+	writeJSON(w, resp)
+}
+
+// fillAmplitudes copies amps into the response, truncating to the echo cap.
+func (resp *SimulateResponse) fillAmplitudes(amps []complex128) {
+	resp.AmplitudesTotal = len(amps)
+	n := len(amps)
 	if n > MaxReturnedAmplitudes {
 		n = MaxReturnedAmplitudes
 		resp.Truncated = true
 	}
 	resp.Amplitudes = make([]Amplitude, n)
 	for i := 0; i < n; i++ {
-		resp.Amplitudes[i] = Amplitude{Re: real(res.Amplitudes[i]), Im: imag(res.Amplitudes[i])}
+		resp.Amplitudes[i] = Amplitude{Re: real(amps[i]), Im: imag(amps[i])}
 	}
+}
+
+// handleDistributedSimulate fans the request out over the registered worker
+// fleet through the coordinator. The wall-clock of the whole distributed run
+// lands in sim_ms; preprocessing happens independently on every participant.
+func (s *service) handleDistributedSimulate(w http.ResponseWriter, r *http.Request, req *SimulateRequest, numQubits int) {
+	reqID := requestID(r.Context())
+	method := req.Method
+	if method == "" {
+		method = "joint"
+	}
+	if method != "standard" && method != "joint" {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("method %q cannot be distributed; use \"standard\" or \"joint\"", method), reqID)
+		return
+	}
+	cutPos, err := cutPosOf(req.CutPos, numQubits)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err, reqID)
+		return
+	}
+	if len(s.coord.Workers()) == 0 {
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("%w: register workers or start hsfsimd with -dist-worker addresses", dist.ErrNoWorkers), reqID)
+		return
+	}
+	job := &dist.Job{
+		QASM:           req.QASM,
+		Method:         method,
+		CutPos:         cutPos,
+		Strategy:       req.Strategy,
+		MaxBlockQubits: req.MaxBlockQubits,
+		MaxAmplitudes:  req.MaxAmplitudes,
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMillis > 0 {
+		d := time.Duration(req.TimeoutMillis) * time.Millisecond
+		if s.cfg.MaxTimeout > 0 && d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, d, hsfsim.ErrTimeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res, err := s.coord.Run(ctx, job, dist.RunOptions{})
+	if err != nil {
+		if errors.Is(err, dist.ErrNoWorkers) {
+			writeErr(w, http.StatusServiceUnavailable, err, reqID)
+			return
+		}
+		s.writeSimulateErr(w, r, err, time.Since(start))
+		return
+	}
+	metricSimulations.Add(1)
+	resp := SimulateResponse{
+		Method:         method + "-hsf",
+		NumQubits:      numQubits,
+		NumPaths:       res.NumPaths,
+		Log2Paths:      res.Log2Paths,
+		NumCuts:        res.NumCuts,
+		NumBlocks:      res.NumBlocks,
+		SimMs:          float64(time.Since(start).Microseconds()) / 1000,
+		PathsSimulated: res.PathsSimulated,
+		Distributed:    true,
+		DistWorkers:    res.Workers,
+		DistBatches:    res.Batches,
+		Reassignments:  res.Reassignments,
+	}
+	resp.fillAmplitudes(res.Amplitudes)
 	writeJSON(w, resp)
+}
+
+// handleDistRun is the worker endpoint: execute one leased prefix batch and
+// stream the partial accumulator back in the checkpoint wire format. It runs
+// under the same limiter and panic middleware as /simulate, so a worker sheds
+// leases with 429 when saturated — the coordinator treats that as transient
+// and reassigns.
+func (s *service) handleDistRun(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r.Context())
+	var req dist.RunRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.MaxTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.MaxTimeout)
+		defer cancel()
+	}
+	ck, err := dist.ExecuteRun(ctx, &req, dist.ExecOptions{
+		Workers:      s.cfg.Workers,
+		MemoryBudget: s.cfg.MemoryBudget,
+		MaxPaths:     s.cfg.MaxPaths,
+	})
+	if err != nil {
+		s.writeDistRunErr(w, r, err)
+		return
+	}
+	metricWorkerRuns.Add(1)
+	metricPathsSimulated.Add(ck.PathsSimulated)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if werr := hsf.WriteCheckpoint(w, ck); werr != nil {
+		// The coordinator is gone mid-stream; it will reassign the lease.
+		s.cfg.Logger.Printf("%s /dist/run: writing partial: %v", reqID, werr)
+	}
+}
+
+// writeDistRunErr maps worker failures onto the statuses the HTTP transport
+// classifies: 4xx (except 408/429) means permanent — every worker would
+// repeat it — while 408/429/5xx trigger reassignment.
+func (s *service) writeDistRunErr(w http.ResponseWriter, r *http.Request, err error) {
+	reqID := requestID(r.Context())
+	switch {
+	case errors.Is(err, dist.ErrPlanMismatch):
+		writeErr(w, http.StatusConflict, err, reqID)
+	case errors.Is(err, hsfsim.ErrBudget):
+		writeErr(w, http.StatusUnprocessableEntity, err, reqID)
+	case dist.IsPermanent(err):
+		writeErr(w, http.StatusBadRequest, err, reqID)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, hsfsim.ErrTimeout):
+		writeErr(w, http.StatusRequestTimeout, err, reqID)
+	case errors.Is(err, context.Canceled):
+		s.cfg.Logger.Printf("%s /dist/run: lease abandoned by coordinator", reqID)
+		writeErr(w, StatusClientClosedRequest, err, reqID)
+	default:
+		writeErr(w, http.StatusInternalServerError, err, reqID)
+	}
+}
+
+// handleDistRegister records a worker heartbeat in the fleet registry.
+func (s *service) handleDistRegister(w http.ResponseWriter, r *http.Request) {
+	var req dist.RegisterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Addr) == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("register: empty worker addr"), requestID(r.Context()))
+		return
+	}
+	n := s.coord.Register(req.Addr)
+	writeJSON(w, dist.RegisterResponse{Workers: n, TTLMillis: int(s.coord.TTL() / time.Millisecond)})
+}
+
+// handleDistWorkers lists the live fleet.
+func (s *service) handleDistWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, dist.WorkerList{Workers: s.coord.Workers()})
 }
 
 // writeSimulateErr classifies simulation failures into the documented status
