@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz dist-test vet cover bench bench-tables examples fmt clean
+.PHONY: all build test race race-core fuzz dist-test vet cover bench bench-core bench-tables examples fmt clean
 
 all: build vet test
 
@@ -20,6 +20,13 @@ test:
 # limiter, and checkpoint merging must stay race-clean.
 race:
 	$(GO) test -race ./...
+
+# Execution-core race pass plus the allocation guard. The guard runs without
+# -race (the detector's instrumentation allocates, so the zero-alloc test
+# skips itself under it).
+race-core:
+	$(GO) test -race ./internal/hsf/... ./internal/statevec/... ./internal/par/...
+	$(GO) test -run 'TestZeroAllocsPerLeaf|TestPoisonedPoolRunStaysFinite' -count=1 ./internal/hsf/
 
 # Short fuzz pass over the daemon's untrusted input surface.
 fuzz:
@@ -38,6 +45,11 @@ cover:
 # Full benchmark sweep (one iteration each; see bench_test.go for targets).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Execution-core microbenchmarks (walker backends + gate kernels) as a
+# machine-readable artifact.
+bench-core:
+	$(GO) run ./cmd/benchcore -o BENCH_core.json
 
 # Regenerate every table and figure at laptop scale.
 bench-tables:

@@ -1,0 +1,163 @@
+// Command benchcore measures the execution core — the shared path-tree
+// walker on both backends plus the statevector gate kernels — and emits the
+// results as machine-readable JSON for regression tracking:
+//
+//	benchcore -o BENCH_core.json
+//	make bench-core
+//
+// The allocs_per_op column is the headline number: steady-state walking must
+// stay at zero allocations per replay (see internal/hsf TestZeroAllocsPerLeaf
+// for the enforcing test; this tool records the same property alongside
+// timing so a regression shows up in the artifact history).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hsfsim/internal/bench"
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cut"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/hsf"
+	"hsfsim/internal/statevec"
+)
+
+type coreResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Timestamp  time.Time          `json:"timestamp"`
+	Walker     []*bench.WalkerRow `json:"walker"`
+	Core       []coreResult       `json:"core"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_core.json", "output file (- for stdout)")
+	flag.Parse()
+
+	walkerRows, err := walkerStudy()
+	fail(err)
+	rep := &report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC(),
+		Walker:     walkerRows,
+		Core:       coreBenchmarks(),
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	fail(err)
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+		fmt.Fprintf(os.Stderr, "benchcore: wrote %s\n", *out)
+	}
+	fail(err)
+}
+
+func walkerStudy() ([]*bench.WalkerRow, error) {
+	cases, err := bench.DefaultWalkerCases()
+	if err != nil {
+		return nil, err
+	}
+	return bench.RunWalker(cases)
+}
+
+// pathTreePlan builds a standard plan with 2^cuts paths for the end-to-end
+// run benchmarks.
+func pathTreePlan(n, cuts int) (*cut.Plan, error) {
+	rng := rand.New(rand.NewSource(99))
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.Append(gate.H(q))
+	}
+	for i := 0; i < cuts; i++ {
+		a := rng.Intn(n / 2)
+		b := n/2 + rng.Intn(n-n/2)
+		c.Append(gate.RZZ(rng.Float64(), a, b))
+		c.Append(gate.RX(rng.Float64(), a))
+	}
+	return cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: n/2 - 1}})
+}
+
+func coreBenchmarks() []coreResult {
+	var results []coreResult
+	measure := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		})
+		results = append(results, coreResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	plan, err := pathTreePlan(10, 6)
+	fail(err)
+	measure("hsf/run-dense-64paths", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hsf.Run(plan, hsf.Options{Backend: hsf.BackendDense}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("hsf/run-dd-64paths", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hsf.Run(plan, hsf.Options{Backend: hsf.BackendDD}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	const n = 16
+	s := statevec.NewState(n)
+	h := gate.H(3)
+	measure("statevec/apply1-16q", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.ApplyGate(&h)
+		}
+	})
+	cx := gate.CNOT(2, 9)
+	measure("statevec/apply2-16q", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.ApplyGate(&cx)
+		}
+	})
+	ccz := gate.CCZ(1, 6, 11)
+	statevec.PrepareGate(&ccz)
+	measure("statevec/applyK-diag3-16q", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.ApplyGate(&ccz)
+		}
+	})
+	return results
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcore:", err)
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,7 @@
 //	hsfsim -method joint -cut 7 -amplitudes 16 circuit.qasm
 //	hsfsim -method schrodinger circuit.qasm
 //	hsfsim -method standard -cut 7 -timeout 1h circuit.qasm
+//	hsfsim -method joint -cut 7 -backend dd circuit.qasm
 //
 // Interrupting a run (Ctrl-C / SIGTERM) cancels it cooperatively; with
 // -checkpoint set, an interrupted or failed HSF run snapshots its completed
@@ -52,8 +53,8 @@ func main() {
 		maxBlock  = flag.Int("max-block-qubits", 0, "joint block qubit budget (0: default)")
 		analytic  = flag.Bool("analytic", false, "use analytic cascade decompositions")
 		quiet     = flag.Bool("quiet", false, "print statistics only, no amplitudes")
-		backend   = flag.String("backend", "array", "schrodinger backend: array | dd | mps")
-		engine    = flag.String("engine", "array", "HSF path engine: array | dd (ref [10])")
+		backend   = flag.String("backend", "dense", "state backend: dense (alias array) | dd; schrodinger also accepts mps")
+		engine    = flag.String("engine", "", "deprecated alias of -backend for HSF runs: array | dd")
 		memBudget = flag.Int64("memory-budget", 0, "admission memory budget in bytes (0: 16 GiB default, <0: unlimited)")
 		maxPaths  = flag.Uint64("max-paths", 0, "reject plans with more Feynman paths than this (0: unlimited)")
 		ckptPath  = flag.String("checkpoint", "", "write a resume checkpoint here if the run is interrupted")
@@ -110,13 +111,15 @@ func main() {
 		if opts.CutPos > c.NumQubits-2 {
 			fail(fmt.Errorf("cut position %d out of range [0, %d] for %d qubits", opts.CutPos, c.NumQubits-2, c.NumQubits))
 		}
-		switch *engine {
-		case "array":
-		case "dd":
-			opts.UseDDEngine = true
-		default:
-			fail(fmt.Errorf("unknown engine %q", *engine))
+		name := *backend
+		if *engine != "" {
+			name = *engine // deprecated spelling wins when set
 		}
+		b, err := hsfsim.ParseBackend(name)
+		if err != nil {
+			fail(fmt.Errorf("HSF methods run on the dense or dd backend, got %q", name))
+		}
+		opts.Backend = b
 	}
 
 	if *distrib != "" {
@@ -146,7 +149,7 @@ func main() {
 	defer stop()
 
 	var res *hsfsim.Result
-	if opts.Method == hsfsim.Schrodinger && *backend != "array" {
+	if opts.Method == hsfsim.Schrodinger && *backend != "array" && *backend != "dense" {
 		res, err = simulateAlternateBackend(c, *backend, *maxAmps)
 	} else {
 		res, err = hsfsim.SimulateContext(ctx, c, opts)
@@ -163,8 +166,10 @@ func main() {
 		}
 	}
 	fail(err)
-	if *backend != "array" && opts.Method == hsfsim.Schrodinger {
+	if opts.Method == hsfsim.Schrodinger && *backend != "array" && *backend != "dense" {
 		fmt.Printf("backend:         %s\n", *backend)
+	} else if opts.Method != hsfsim.Schrodinger && opts.Backend != hsfsim.BackendDense {
+		fmt.Printf("backend:         %v\n", opts.Backend)
 	}
 
 	fmt.Printf("method:          %v\n", res.Method)
@@ -212,6 +217,11 @@ func runDistributed(src string, c *hsfsim.Circuit, opts *hsfsim.Options, method,
 		MaxBlockQubits: opts.MaxBlockQubits,
 		UseAnalytic:    opts.UseAnalyticCascades,
 		MaxAmplitudes:  opts.MaxAmplitudes,
+	}
+	if opts.Backend != hsfsim.BackendDense {
+		// Dense stays the absent field, so dense jobs interoperate with
+		// workers predating the backend field.
+		job.Backend = opts.Backend.String()
 	}
 	co := dist.New(dist.Config{
 		Transport: &dist.HTTPTransport{},

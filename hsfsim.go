@@ -108,6 +108,33 @@ type BudgetError = hsf.BudgetError
 // reports it as an ordinary error instead of crashing the process.
 type PanicError = hsf.PanicError
 
+// ErrUnsupported is returned (match with errors.Is) when an option
+// combination is not supported by the selected HSF backend — e.g. Workers > 1
+// on the decision-diagram backend — instead of being silently ignored.
+var ErrUnsupported = hsf.ErrUnsupported
+
+// ErrInjectedFault is returned when Options.FailAfterPaths triggers; it
+// makes checkpoint/resume recovery testable deterministically.
+var ErrInjectedFault = hsf.ErrInjectedFault
+
+// Backend selects the HSF path-engine state representation; see the
+// Options.Backend field. Schrödinger runs ignore it.
+type Backend = hsf.Backend
+
+const (
+	// BackendDense evolves partition states as dense statevector arrays (the
+	// default).
+	BackendDense = hsf.BackendDense
+	// BackendDD evolves partition states as decision diagrams (the authors'
+	// ref-[10] approach): memory-compressing and single-worker, with results
+	// structurally identical to the dense backend.
+	BackendDD = hsf.BackendDD
+)
+
+// ParseBackend maps a CLI/wire backend name to a Backend: "dense" (aliases:
+// "", "array") or "dd". Unknown names wrap ErrUnsupported.
+func ParseBackend(s string) (Backend, error) { return hsf.ParseBackend(s) }
+
 // CostEstimate is the up-front resource projection used by admission
 // control; see EstimateCost.
 type CostEstimate = hsf.CostEstimate
@@ -146,9 +173,14 @@ type Options struct {
 	// Timeout aborts HSF runs after this duration (0: none), as in the
 	// paper's 1 h limit for standard HSF.
 	Timeout time.Duration
-	// UseDDEngine executes the HSF path tree on decision-diagram subcircuit
-	// states instead of dense arrays (the authors' ref-[10] approach):
-	// single-threaded, memory-compressing, structurally identical results.
+	// Backend selects the HSF path-engine state representation: BackendDense
+	// (the zero value) or BackendDD. Both run through the same path-tree
+	// walker, so checkpoint/resume, timeouts, and fault injection behave
+	// identically; the DD backend runs a single path worker and rejects
+	// Workers > 1 with ErrUnsupported.
+	Backend Backend
+	// UseDDEngine is the deprecated boolean form of Backend: when set it
+	// forces BackendDD. New code should set Backend instead.
 	UseDDEngine bool
 	// MemoryBudget caps the estimated memory footprint in bytes before any
 	// statevector is allocated: 0 selects DefaultMemoryBudget (16 GiB),
@@ -158,15 +190,16 @@ type Options struct {
 	// (0: no limit). Over-budget jobs fail with ErrBudget.
 	MaxPaths uint64
 	// CheckpointWriter, when non-nil, receives a binary checkpoint snapshot
-	// if an HSF array-engine run stops prematurely (cancellation, timeout,
-	// injected fault, worker panic): the completed prefix tasks plus their
-	// merged partial accumulator. Ignored by Schrodinger and the DD engine.
+	// if an HSF run (either backend) stops prematurely (cancellation,
+	// timeout, injected fault, worker panic): the completed prefix tasks
+	// plus their merged partial accumulator. Ignored by Schrodinger.
 	CheckpointWriter io.Writer
-	// ResumeFrom, when non-nil, seeds an HSF array-engine run from a
-	// checkpoint previously written through CheckpointWriter: completed
-	// prefix tasks are skipped and the accumulator continues from the
-	// snapshot. The checkpoint must match the circuit, cut plan, and
-	// MaxAmplitudes (ErrCheckpointMismatch otherwise).
+	// ResumeFrom, when non-nil, seeds an HSF run from a checkpoint
+	// previously written through CheckpointWriter: completed prefix tasks
+	// are skipped and the accumulator continues from the snapshot. The
+	// checkpoint must match the circuit, cut plan, and MaxAmplitudes
+	// (ErrCheckpointMismatch otherwise); the backend may differ, since both
+	// walk the same prefix-task space.
 	ResumeFrom io.Reader
 	// FailAfterPaths injects a deterministic fault after roughly that many
 	// HSF path leaves (0: disabled) — a testing hook that makes
@@ -326,6 +359,7 @@ func runHSF(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 
 	engineOpts := hsf.Options{
 		MaxAmplitudes:    opts.MaxAmplitudes,
+		Backend:          opts.engineBackend(),
 		Workers:          opts.Workers,
 		FusionMaxQubits:  opts.FusionMaxQubits,
 		Timeout:          opts.Timeout,
@@ -334,9 +368,6 @@ func runHSF(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 		CheckpointWriter: opts.CheckpointWriter,
 		FailAfterPaths:   opts.FailAfterPaths,
 	}
-	if opts.UseDDEngine && (opts.ResumeFrom != nil || opts.CheckpointWriter != nil) {
-		return nil, errors.New("hsfsim: the DD engine does not support checkpoint/resume")
-	}
 	if opts.ResumeFrom != nil {
 		ck, err := hsf.ReadCheckpoint(opts.ResumeFrom)
 		if err != nil {
@@ -344,12 +375,7 @@ func runHSF(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 		}
 		engineOpts.Resume = ck
 	}
-	var res *hsf.Result
-	if opts.UseDDEngine {
-		res, err = hsf.RunDDContext(ctx, plan, engineOpts)
-	} else {
-		res, err = hsf.RunContext(ctx, plan, engineOpts)
-	}
+	res, err := hsf.RunContext(ctx, plan, engineOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -442,11 +468,20 @@ func EstimateCost(c *Circuit, opts Options) (*CostEstimate, error) {
 		return nil, fmt.Errorf("hsfsim: %w", err)
 	}
 	workers := opts.Workers
-	if opts.UseDDEngine {
+	if !opts.engineBackend().ParallelWorkers() {
 		workers = 1
 	}
 	est := hsf.Cost(plan, hsf.Options{MaxAmplitudes: opts.MaxAmplitudes, Workers: workers})
 	return &est, nil
+}
+
+// engineBackend resolves the effective HSF backend: the deprecated
+// UseDDEngine flag forces BackendDD over the Backend field's zero value.
+func (o Options) engineBackend() Backend {
+	if o.UseDDEngine {
+		return BackendDD
+	}
+	return o.Backend
 }
 
 // Circuit re-exports the circuit IR so users never import internal packages.

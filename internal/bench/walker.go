@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cut"
+	"hsfsim/internal/hsf"
+	"hsfsim/internal/qaoa"
+	"hsfsim/internal/statevec"
+)
+
+// WalkerRow compares the HSF execution backends on one cut plan. Unlike the
+// backends study (which evolves whole circuits on standalone representations),
+// both columns here run the identical path-tree walker — the only variable is
+// the pair-state representation behind it, so the ratio isolates
+// representation cost from tree-walk cost.
+type WalkerRow struct {
+	Name      string        `json:"name"`
+	Qubits    int           `json:"qubits"`
+	Gates     int           `json:"gates"`
+	Paths     uint64        `json:"paths"`
+	DenseTime time.Duration `json:"dense_ns"`
+	DDTime    time.Duration `json:"dd_ns"`
+	MaxDiff   float64       `json:"max_diff"`
+}
+
+// WalkerCase is one benchmark plan.
+type WalkerCase struct {
+	Name     string
+	Circuit  *circuit.Circuit
+	CutPos   int
+	Strategy cut.Strategy
+}
+
+// DefaultWalkerCases builds the comparison workloads: a QAOA layer under a
+// joint cascade cut (the paper's headline case) and a sparse-cut circuit
+// where the DD pair states stay compact.
+func DefaultWalkerCases() ([]WalkerCase, error) {
+	var cases []WalkerCase
+
+	inst, err := qaoa.InstanceSpec{Name: "qaoa", SizeA: 6, SizeB: 6, PIntra: 0.8, PInter: 0.2, Seed: 9}.Generate(qaoa.SingleLayer())
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, WalkerCase{Name: "qaoa-12-cascade", Circuit: inst.Circuit, CutPos: 5, Strategy: cut.StrategyCascade})
+	cases = append(cases, WalkerCase{Name: "qaoa-12-standard", Circuit: inst.Circuit, CutPos: 5, Strategy: cut.StrategyNone})
+
+	return cases, nil
+}
+
+// RunWalker measures every case through both execution backends and
+// cross-checks the amplitudes; any disagreement beyond 1e-12 indicates a
+// backend bug, so it is returned as an error rather than a table entry.
+func RunWalker(cases []WalkerCase) ([]*WalkerRow, error) {
+	var rows []*WalkerRow
+	for _, cs := range cases {
+		plan, err := cut.BuildPlan(cs.Circuit, cut.Options{
+			Partition: cut.Partition{CutPos: cs.CutPos},
+			Strategy:  cs.Strategy,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s plan: %w", cs.Name, err)
+		}
+		row := &WalkerRow{Name: cs.Name, Qubits: cs.Circuit.NumQubits, Gates: len(cs.Circuit.Gates)}
+
+		start := time.Now()
+		dense, err := hsf.Run(plan, hsf.Options{Backend: hsf.BackendDense})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s dense: %w", cs.Name, err)
+		}
+		row.DenseTime = time.Since(start)
+		row.Paths = dense.NumPaths
+
+		start = time.Now()
+		dd, err := hsf.Run(plan, hsf.Options{Backend: hsf.BackendDD})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s dd: %w", cs.Name, err)
+		}
+		row.DDTime = time.Since(start)
+
+		row.MaxDiff = statevec.MaxAbsDiff(dense.Amplitudes, dd.Amplitudes)
+		if row.MaxDiff > 1e-12 {
+			return nil, fmt.Errorf("bench: %s backends diverge: max diff %g", cs.Name, row.MaxDiff)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderWalker formats the comparison.
+func RenderWalker(rows []*WalkerRow) string {
+	t := &table{header: []string{
+		"plan", "qubits", "gates", "paths", "dense walk", "DD walk", "max diff",
+	}}
+	for _, r := range rows {
+		t.add(r.Name,
+			fmt.Sprintf("%d", r.Qubits),
+			fmt.Sprintf("%d", r.Gates),
+			fmt.Sprintf("%d", r.Paths),
+			r.DenseTime.Round(time.Microsecond).String(),
+			r.DDTime.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1e", r.MaxDiff))
+	}
+	return "Walker study: dense vs. DD pair states through the shared path-tree walker\n" + t.String()
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWalkerBackendsAgree(t *testing.T) {
+	cases, err := DefaultWalkerCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunWalker(cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cases) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(cases))
+	}
+	for _, r := range rows {
+		// RunWalker already errors above 1e-12; pin the invariant here too so
+		// a loosened threshold cannot slip through silently.
+		if r.MaxDiff > 1e-12 {
+			t.Errorf("%s: walker backends disagree by %g", r.Name, r.MaxDiff)
+		}
+		if r.Paths == 0 {
+			t.Errorf("%s: no paths recorded", r.Name)
+		}
+	}
+	out := RenderWalker(rows)
+	if !strings.Contains(out, "qaoa-12-cascade") || !strings.Contains(out, "DD walk") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := WriteWalkerCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dense_s") {
+		t.Fatalf("csv missing header:\n%s", buf.String())
+	}
+}

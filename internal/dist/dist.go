@@ -65,6 +65,12 @@ type Job struct {
 	MaxAmplitudes int `json:"max_amplitudes,omitempty"`
 	// FusionMaxQubits configures gate fusion (0: default, <0: disabled).
 	FusionMaxQubits int `json:"fusion_max_qubits,omitempty"`
+	// Backend selects the walker backend every worker must run: "" / "dense"
+	// or "dd". The field is omitted for dense, so dense fleets interoperate
+	// with workers predating it; workers that do not know the field reject
+	// the lease outright (the wire decoder disallows unknown fields), which
+	// keeps a mixed fleet from silently splitting a run across backends.
+	Backend string `json:"backend,omitempty"`
 }
 
 // BuildPlan compiles the job's circuit into the cut plan every participant

@@ -57,12 +57,14 @@ func newWorkerServer() *httptest.Server {
 	return httptest.NewServer(server.NewWithConfig(server.Config{Logger: discard()}))
 }
 
-// killableWorker is an hsfsimd handler tree behind a switch: once killed,
-// every /dist/run connection is dropped without a response — exactly what a
-// worker process dying under the coordinator looks like on the wire.
+// killableWorker is an hsfsimd handler tree that dies after completing
+// exactly one lease: every later /dist/run connection is dropped without a
+// response — exactly what a worker process dying under the coordinator looks
+// like on the wire. Tying the death to the lease count (instead of a timer
+// or a polling goroutine) keeps the kill deterministic however fast the
+// engine drains the queue.
 type killableWorker struct {
 	srv    *httptest.Server
-	dead   atomic.Bool
 	served atomic.Int64
 }
 
@@ -71,7 +73,7 @@ func newKillableWorker() *killableWorker {
 	inner := server.NewWithConfig(server.Config{Logger: discard()})
 	kw.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/dist/run" {
-			if kw.dead.Load() {
+			if kw.served.Add(1) > 1 {
 				hj, ok := w.(http.Hijacker)
 				if !ok {
 					panic("httptest response is not hijackable")
@@ -82,7 +84,6 @@ func newKillableWorker() *killableWorker {
 				}
 				return
 			}
-			kw.served.Add(1)
 		}
 		inner.ServeHTTP(w, r)
 	}))
@@ -137,18 +138,9 @@ func TestHTTPWorkerKilledMidRun(t *testing.T) {
 	co.AddWorker(workerAddr(healthy))
 	co.AddWorker(workerAddr(doomed.srv))
 
-	// Kill the doomed worker as soon as it has completed one lease.
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for doomed.served.Load() < 1 {
-			time.Sleep(time.Millisecond)
-		}
-		doomed.dead.Store(true)
-	}()
-
+	// The doomed worker kills itself when offered its second lease, so that
+	// lease fails while assigned and must be reassigned to the survivor.
 	res, err := co.Run(context.Background(), job, dist.RunOptions{})
-	<-done
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,18 +196,10 @@ func TestHTTPAllWorkersDeadResumes(t *testing.T) {
 	})
 	co.AddWorker(workerAddr(doomed.srv))
 
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for doomed.served.Load() < 1 {
-			time.Sleep(time.Millisecond)
-		}
-		doomed.dead.Store(true)
-	}()
-
+	// The only worker dies after its first completed lease, so the run fails
+	// with that lease's results already merged.
 	var ckBuf bytes.Buffer
 	_, err := co.Run(context.Background(), job, dist.RunOptions{CheckpointWriter: &ckBuf})
-	<-done
 	if !errors.Is(err, dist.ErrNoWorkers) {
 		t.Fatalf("got %v, want ErrNoWorkers", err)
 	}

@@ -42,6 +42,14 @@ func ExecuteRun(ctx context.Context, req *RunRequest, opts ExecOptions) (*hsf.Ch
 	if h := hsf.PlanHash(plan); h != req.PlanHash {
 		return nil, Permanent(fmt.Errorf("%w: local %016x != lease %016x", ErrPlanMismatch, h, req.PlanHash))
 	}
+	backend, err := hsf.ParseBackend(req.Job.Backend)
+	if err != nil {
+		return nil, Permanent(err) // retrying elsewhere cannot fix a bad name
+	}
+	workers := opts.Workers
+	if !backend.ParallelWorkers() {
+		workers = 1
+	}
 	if req.LeaseMillis > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.LeaseMillis)*time.Millisecond)
@@ -49,7 +57,8 @@ func ExecuteRun(ctx context.Context, req *RunRequest, opts ExecOptions) (*hsf.Ch
 	}
 	ck, err := hsf.RunPrefixesContext(ctx, plan, hsf.Options{
 		MaxAmplitudes:   req.Job.MaxAmplitudes,
-		Workers:         opts.Workers,
+		Backend:         backend,
+		Workers:         workers,
 		FusionMaxQubits: req.Job.FusionMaxQubits,
 		MemoryBudget:    opts.MemoryBudget,
 		MaxPaths:        opts.MaxPaths,

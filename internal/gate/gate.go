@@ -32,7 +32,20 @@ type Gate struct {
 	// Diagonal records that Matrix is diagonal, enabling cheap commutation
 	// checks and faster application.
 	Diagonal bool
+
+	// kernel caches a simulator-kernel precomputation for this gate (see
+	// statevec.PrepareGate). It must be attached before the gate is shared
+	// across goroutines — attachment is not synchronized — and is dropped by
+	// Clone/Remap because it may depend on the qubit labels.
+	kernel any
 }
+
+// KernelCache returns the precomputation attached with SetKernelCache, or nil.
+func (g *Gate) KernelCache() any { return g.kernel }
+
+// SetKernelCache attaches a simulator-kernel precomputation to the gate. Call
+// it only while the gate is still owned by a single goroutine.
+func (g *Gate) SetKernelCache(v any) { g.kernel = v }
 
 // NumQubits returns the number of qubits the gate acts on.
 func (g *Gate) NumQubits() int { return len(g.Qubits) }

@@ -1,0 +1,123 @@
+package hsf
+
+import (
+	"context"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"hsfsim/internal/cut"
+	"hsfsim/internal/statevec"
+)
+
+// allocHarness compiles a many-cut plan and returns a dense-backend walker
+// with its scratch accumulator, warmed so the workspace pool, the pair free
+// list, and the frame stack have reached steady state.
+func allocHarness(tb testing.TB) (*walker, []complex128) {
+	tb.Helper()
+	c := manyCutCircuit(8, 6) // 2^6 = 64 leaves per replay
+	plan, err := cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: 3}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e := &engine{
+		backend: BackendDense,
+		nLower:  plan.Partition.NumLower(),
+		nUpper:  plan.Partition.NumUpper(plan.NumQubits),
+		m:       resolveAmplitudes(plan, 0),
+	}
+	e.compile(plan, 0)
+	ws, err := e.newWorkspace()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	walk := &walker{e: e, ws: ws}
+	scratch := make([]complex128, e.m)
+	for i := 0; i < 2; i++ { // warm the pools
+		clear(scratch)
+		if _, err := walk.runPrefix(context.Background(), nil, scratch); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return walk, scratch
+}
+
+// BenchmarkRunBranchSteadyState measures one full path-tree replay (64
+// leaves) on a warm walker. The interesting number is allocs/op: the pooled
+// workspace keeps it at zero.
+func BenchmarkRunBranchSteadyState(b *testing.B) {
+	walk, scratch := allocHarness(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(scratch)
+		if _, err := walk.runPrefix(ctx, nil, scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestZeroAllocsPerLeaf is the allocation regression guard: once the
+// workspace is warm, simulating a path subtree must not allocate at all —
+// forked states come from the pool, pair structs from the free list, frames
+// from the retained stack, and the sequential gate kernels build no closures.
+func TestZeroAllocsPerLeaf(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	walk, scratch := allocHarness(t)
+	ctx := context.Background()
+	var leaves int64
+	allocs := testing.AllocsPerRun(10, func() {
+		clear(scratch)
+		n, err := walk.runPrefix(ctx, nil, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves += n
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state walk allocated %.1f times per replay (%d leaves), want 0", allocs, leaves)
+	}
+}
+
+// TestPoisonedPoolRunStaysFinite turns on the pool's NaN poisoning and
+// replays the tree: if any code path read a released buffer before
+// reinitializing it, the canary would propagate into the amplitudes.
+func TestPoisonedPoolRunStaysFinite(t *testing.T) {
+	walk, scratch := allocHarness(t)
+	dws, ok := walk.ws.(*denseWorkspace)
+	if !ok {
+		t.Fatalf("workspace is %T, want *denseWorkspace", walk.ws)
+	}
+	dws.pool.Poison = true
+
+	clear(scratch)
+	want := make([]complex128, len(scratch))
+	if _, err := walk.runPrefix(context.Background(), nil, scratch); err != nil {
+		t.Fatal(err)
+	}
+	copy(want, scratch)
+
+	clear(scratch)
+	if _, err := walk.runPrefix(context.Background(), nil, scratch); err != nil {
+		t.Fatal(err)
+	}
+	var norm float64
+	for i, v := range scratch {
+		if cmplx.IsNaN(v) || cmplx.IsInf(v) {
+			t.Fatalf("amplitude %d = %v: a poisoned buffer leaked into the result", i, v)
+		}
+		norm += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("norm = %g, want 1", norm)
+	}
+	if d := statevec.MaxAbsDiff(scratch, want); d > 1e-12 {
+		t.Fatalf("poisoned replays disagree: max diff %g", d)
+	}
+	if gets, reuses := dws.pool.Stats(); reuses == 0 {
+		t.Fatalf("pool never reused a buffer (gets=%d): the poisoning test exercised nothing", gets)
+	}
+}

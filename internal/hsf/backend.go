@@ -1,0 +1,121 @@
+package hsf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnsupported is the sentinel matched by errors.Is when an option
+// combination is not supported by the selected backend (e.g. Workers > 1 on
+// the DD backend, whose node store is single-threaded) or the backend itself
+// is unknown. Unsupported combinations are rejected up front instead of
+// silently ignored.
+var ErrUnsupported = errors.New("hsf: unsupported option")
+
+// Backend selects the pair-state representation the path-tree walker runs
+// on. Both backends execute through the same walker, so prefix tasks,
+// checkpoint/resume, fault injection, and cancellation behave identically.
+type Backend int
+
+const (
+	// BackendDense evolves the partition states as dense statevector arrays
+	// (the default). Forking copies the arrays, so path workers parallelize
+	// freely.
+	BackendDense Backend = iota
+	// BackendDD evolves the partition states as decision diagrams
+	// (Burgholzer/Bauer/Wille, QCE 2021 — the paper's ref [10]). Forking is
+	// free (sub-diagrams are shared), but the DD node store is
+	// single-threaded, so this backend runs exactly one path worker.
+	BackendDD
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendDense:
+		return "dense"
+	case BackendDD:
+		return "dd"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// ParseBackend maps a CLI/wire name to a Backend. The empty string and
+// "array" (the historical name of the dense engine) alias to BackendDense,
+// so requests from older clients keep working. Unknown names wrap
+// ErrUnsupported.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "dense", "array":
+		return BackendDense, nil
+	case "dd":
+		return BackendDD, nil
+	}
+	return 0, fmt.Errorf("hsf: unknown backend %q (want dense or dd): %w", s, ErrUnsupported)
+}
+
+// ParallelWorkers reports whether the backend's pair states may be simulated
+// by concurrent path workers. The DD backend's shared node store is
+// single-threaded, so it runs exactly one worker.
+func (b Backend) ParallelWorkers() bool { return b == BackendDense }
+
+// valid reports whether b names a known backend.
+func (b Backend) valid() bool { return b == BackendDense || b == BackendDD }
+
+// backendWorkers resolves the effective path-worker count for the selected
+// backend. Backends without parallel-worker support run exactly one worker
+// and reject an explicit Workers > 1 with ErrUnsupported rather than
+// silently dropping the request.
+func (o Options) backendWorkers() (int, error) {
+	if !o.Backend.valid() {
+		return 0, fmt.Errorf("hsf: %v: %w", o.Backend, ErrUnsupported)
+	}
+	if o.Backend.ParallelWorkers() {
+		return resolveWorkers(o.Workers), nil
+	}
+	if o.Workers > 1 {
+		return 0, fmt.Errorf("hsf: Workers=%d on the %v backend (single-threaded node store): %w",
+			o.Workers, o.Backend, ErrUnsupported)
+	}
+	return 1, nil
+}
+
+// pairState is one (lower, upper) partition state pair at a node of the path
+// tree — the unit the walker forks at cuts, advances through segments, and
+// folds into the dense accumulator at leaves. Implementations are owned by a
+// single worker goroutine.
+//
+// Ownership discipline: fork produces an independent sibling; release returns
+// the state to its workspace, after which it must not be used. The walker
+// releases every state exactly once, so live states never exceed the tree
+// depth.
+type pairState interface {
+	// applySegment advances both partitions through a segment's local gates.
+	applySegment(seg *segment) error
+	// applyCutTerm applies term t of a compiled cut to both partitions.
+	applyCutTerm(c *compiledCut, t int) error
+	// fork returns an independent copy for a sibling branch.
+	fork() (pairState, error)
+	// release returns the state to its workspace free list.
+	release()
+	// accumulate adds coeff · (upper ⊗ lower) into the first len(acc)
+	// amplitudes of acc.
+	accumulate(acc []complex128, coeff complex128)
+}
+
+// workspace is one worker goroutine's private pair-state factory: it owns
+// the free lists (and, for dense, the buffer pool) its states recycle
+// through. Workspaces are not safe for concurrent use.
+type workspace interface {
+	newRoot() (pairState, error)
+}
+
+// newWorkspace builds the per-worker workspace for the engine's backend.
+func (e *engine) newWorkspace() (workspace, error) {
+	switch e.backend {
+	case BackendDense:
+		return newDenseWorkspace(e), nil
+	case BackendDD:
+		return newDDWorkspace(e), nil
+	}
+	return nil, fmt.Errorf("hsf: %v: %w", e.backend, ErrUnsupported)
+}

@@ -1,0 +1,120 @@
+package hsf
+
+import (
+	"context"
+
+	"hsfsim/internal/cut"
+	"hsfsim/internal/dd"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/statevec"
+)
+
+// ddWorkspace is the decision-diagram backend (Burgholzer/Bauer/Wille, QCE
+// 2021 — the paper's ref [10]): partition states are edges into two shared
+// DD node stores, so forking a pair copies two edge handles instead of two
+// amplitude arrays and the path tree shares whole sub-diagrams. Leaves are
+// expanded into dense half-statevector scratch buffers for accumulation.
+//
+// The node stores are single-threaded, which is why BackendDD caps the run
+// at one path worker (backendWorkers). Its value is memory compression and
+// the structural comparison with the dense backend, not raw speed.
+type ddWorkspace struct {
+	e            *engine
+	loDD, upDD   *dd.DD
+	loBuf, upBuf []complex128
+	free         []*ddPair
+}
+
+func newDDWorkspace(e *engine) *ddWorkspace {
+	return &ddWorkspace{
+		e:     e,
+		loDD:  dd.New(e.nLower, 0),
+		upDD:  dd.New(e.nUpper, 0),
+		loBuf: make([]complex128, 1<<e.nLower),
+		upBuf: make([]complex128, 1<<e.nUpper),
+	}
+}
+
+func (ws *ddWorkspace) take() *ddPair {
+	if n := len(ws.free); n > 0 {
+		p := ws.free[n-1]
+		ws.free = ws.free[:n-1]
+		return p
+	}
+	return &ddPair{ws: ws}
+}
+
+func (ws *ddWorkspace) newRoot() (pairState, error) {
+	p := ws.take()
+	p.lo, p.up = ws.loDD.Root(), ws.upDD.Root()
+	return p, nil
+}
+
+type ddPair struct {
+	ws     *ddWorkspace
+	lo, up dd.Edge
+}
+
+func (p *ddPair) applySegment(seg *segment) error {
+	if err := p.applyAll(p.ws.loDD, &p.lo, seg.lower); err != nil {
+		return err
+	}
+	return p.applyAll(p.ws.upDD, &p.up, seg.upper)
+}
+
+func (p *ddPair) applyAll(d *dd.DD, root *dd.Edge, gs []gate.Gate) error {
+	for i := range gs {
+		next, err := d.ApplyGateTo(*root, &gs[i])
+		if err != nil {
+			return err
+		}
+		*root = next
+	}
+	return nil
+}
+
+func (p *ddPair) applyCutTerm(c *compiledCut, t int) error {
+	lo, err := p.ws.loDD.ApplyGateTo(p.lo, &c.lower[t])
+	if err != nil {
+		return err
+	}
+	up, err := p.ws.upDD.ApplyGateTo(p.up, &c.upper[t])
+	if err != nil {
+		return err
+	}
+	p.lo, p.up = lo, up
+	return nil
+}
+
+func (p *ddPair) fork() (pairState, error) {
+	f := p.ws.take()
+	f.lo, f.up = p.lo, p.up // edges share sub-diagrams; copying is free
+	return f, nil
+}
+
+func (p *ddPair) release() {
+	p.ws.free = append(p.ws.free, p)
+}
+
+func (p *ddPair) accumulate(acc []complex128, coeff complex128) {
+	p.ws.loDD.FillStatevector(p.lo, p.ws.loBuf)
+	p.ws.upDD.FillStatevector(p.up, p.ws.upBuf)
+	accumulate(acc, coeff, statevec.State(p.ws.upBuf), statevec.State(p.ws.loBuf), p.ws.e.nLower)
+}
+
+// RunDD executes the plan on the decision-diagram backend. It is shorthand
+// for Run with Options.Backend = BackendDD: the DD backend shares the path
+// walker with the dense engine, so prefix tasks, checkpoint/resume,
+// FailAfterPaths, and cancellation all behave identically. Only Workers > 1
+// is rejected (ErrUnsupported) — the DD node store is single-threaded.
+func RunDD(plan *cut.Plan, opts Options) (*Result, error) {
+	opts.Backend = BackendDD
+	return Run(plan, opts)
+}
+
+// RunDDContext is RunDD under a caller context; see RunContext for the
+// cancellation contract.
+func RunDDContext(ctx context.Context, plan *cut.Plan, opts Options) (*Result, error) {
+	opts.Backend = BackendDD
+	return RunContext(ctx, plan, opts)
+}

@@ -1,0 +1,96 @@
+package hsf
+
+import "hsfsim/internal/statevec"
+
+// denseWorkspace is the dense-array backend: partition states are
+// statevec.State buffers recycled through a size-keyed per-worker pool, and
+// the pair structs themselves recycle through a free list, so steady-state
+// walking allocates nothing.
+type denseWorkspace struct {
+	e    *engine
+	pool *statevec.Pool
+	free []*densePair
+}
+
+func newDenseWorkspace(e *engine) *denseWorkspace {
+	return &denseWorkspace{e: e, pool: statevec.NewPool()}
+}
+
+// take returns a pair with fresh buffers of the partition sizes attached
+// (contents unspecified).
+func (ws *denseWorkspace) take() *densePair {
+	var p *densePair
+	if n := len(ws.free); n > 0 {
+		p = ws.free[n-1]
+		ws.free = ws.free[:n-1]
+	} else {
+		p = &densePair{ws: ws}
+	}
+	p.lo = ws.pool.Get(1 << ws.e.nLower)
+	p.up = ws.pool.Get(1 << ws.e.nUpper)
+	return p
+}
+
+func (ws *denseWorkspace) newRoot() (pairState, error) {
+	p := ws.take()
+	clear(p.lo)
+	p.lo[0] = 1
+	clear(p.up)
+	p.up[0] = 1
+	return p, nil
+}
+
+type densePair struct {
+	ws     *denseWorkspace
+	lo, up statevec.State
+}
+
+func (p *densePair) applySegment(seg *segment) error {
+	p.lo.ApplyAll(seg.lower)
+	p.up.ApplyAll(seg.upper)
+	return nil
+}
+
+func (p *densePair) applyCutTerm(c *compiledCut, t int) error {
+	p.lo.ApplyGate(&c.lower[t])
+	p.up.ApplyGate(&c.upper[t])
+	return nil
+}
+
+func (p *densePair) fork() (pairState, error) {
+	f := p.ws.take()
+	copy(f.lo, p.lo)
+	copy(f.up, p.up)
+	return f, nil
+}
+
+func (p *densePair) release() {
+	p.ws.pool.Put(p.lo)
+	p.ws.pool.Put(p.up)
+	p.lo, p.up = nil, nil
+	p.ws.free = append(p.ws.free, p)
+}
+
+func (p *densePair) accumulate(acc []complex128, coeff complex128) {
+	accumulate(acc, coeff, p.up, p.lo, p.ws.e.nLower)
+}
+
+// accumulate adds coeff · (up ⊗ lo) to the first len(acc) amplitudes of acc.
+func accumulate(acc []complex128, coeff complex128, up, lo statevec.State, nLower int) {
+	m := len(acc)
+	dimLo := 1 << nLower
+	for x0 := 0; x0 < m; x0 += dimLo {
+		u := coeff * up[x0>>nLower]
+		if u == 0 {
+			continue
+		}
+		end := x0 + dimLo
+		if end > m {
+			end = m
+		}
+		block := acc[x0:end]
+		for i := range block {
+			block[i] += u * lo[i]
+		}
+	}
+}

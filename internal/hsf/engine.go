@@ -22,7 +22,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +29,7 @@ import (
 	"hsfsim/internal/cut"
 	"hsfsim/internal/fuse"
 	"hsfsim/internal/gate"
+	"hsfsim/internal/par"
 	"hsfsim/internal/statevec"
 )
 
@@ -61,7 +61,13 @@ type Options struct {
 	// statevector (the paper computes the first 10^6). 0 means the full
 	// 2^n state.
 	MaxAmplitudes int
+	// Backend selects the pair-state representation (dense statevector
+	// arrays by default, or decision diagrams). Both run through the same
+	// path-tree walker.
+	Backend Backend
 	// Workers is the number of parallel path workers; 0 uses GOMAXPROCS.
+	// Backends without parallel-worker support (BackendDD) reject Workers >
+	// 1 with ErrUnsupported.
 	Workers int
 	// FusionMaxQubits configures per-segment gate fusion: 0 selects
 	// fuse.DefaultMaxQubits, negative disables fusion.
@@ -125,12 +131,13 @@ type compiledCut struct {
 }
 
 type engine struct {
-	segs   []segment
-	cuts   []compiledCut
-	nLower int
-	nUpper int
-	m      int // output amplitudes
-	leaves atomic.Int64
+	backend Backend
+	segs    []segment
+	cuts    []compiledCut
+	nLower  int
+	nUpper  int
+	m       int // output amplitudes
+	leaves  atomic.Int64
 
 	failAfter int64
 	hook      func(int64)
@@ -152,12 +159,18 @@ func RunContext(ctx context.Context, plan *cut.Plan, opts Options) (*Result, err
 	if nLower <= 0 || nUpper <= 0 {
 		return nil, fmt.Errorf("hsf: degenerate partition %d|%d", nLower, nUpper)
 	}
-	if err := admit(Cost(plan, opts), opts); err != nil {
+	workers, err := opts.backendWorkers()
+	if err != nil {
+		return nil, err
+	}
+	costOpts := opts
+	costOpts.Workers = workers
+	if err := admit(Cost(plan, costOpts), costOpts); err != nil {
 		return nil, err
 	}
 	m := resolveAmplitudes(plan, opts.MaxAmplitudes)
 
-	e := &engine{nLower: nLower, nUpper: nUpper, m: m,
+	e := &engine{backend: opts.Backend, nLower: nLower, nUpper: nUpper, m: m,
 		failAfter: opts.FailAfterPaths, hook: opts.testHookLeaf}
 	e.compile(plan, opts.FusionMaxQubits)
 
@@ -174,7 +187,7 @@ func RunContext(ctx context.Context, plan *cut.Plan, opts Options) (*Result, err
 	}
 
 	start := time.Now()
-	amps, ck, err := e.run(ctx, resolveWorkers(opts.Workers), opts.Resume, plan)
+	amps, ck, err := e.run(ctx, workers, opts.Resume, plan)
 	elapsed := time.Since(start)
 	if err != nil {
 		if ck != nil && opts.CheckpointWriter != nil {
@@ -239,6 +252,18 @@ func (e *engine) compile(plan *cut.Plan, fusionMaxQubits int) {
 			e.segs[i].lower = fuse.Fuse(e.segs[i].lower, fusionMaxQubits)
 			e.segs[i].upper = fuse.Fuse(e.segs[i].upper, fusionMaxQubits)
 		}
+	}
+
+	// Attach the general-kernel plans now, while the gates are still owned
+	// by this goroutine: the walker replays these gates once per path, and a
+	// prepared gate applies without per-call index precomputation.
+	for i := range e.segs {
+		statevec.PrepareGates(e.segs[i].lower)
+		statevec.PrepareGates(e.segs[i].upper)
+	}
+	for i := range e.cuts {
+		statevec.PrepareGates(e.cuts[i].lower)
+		statevec.PrepareGates(e.cuts[i].upper)
 	}
 }
 
@@ -305,6 +330,11 @@ func (e *engine) run(ctx context.Context, workers int, resume *Checkpoint, plan 
 // completed subtree into ck under the mutex so ck is always a consistent,
 // checkpointable state. It returns the first error encountered (workers that
 // drained without running anything report the external cancellation cause).
+//
+// Each worker owns a private workspace (backend state pools) and a reusable
+// walker, and the pool's worker count is reserved against the process-wide
+// parallelism budget so gate kernels inside the workers do not oversubscribe
+// the cores the pool already occupies.
 func (e *engine) runTasks(ctx context.Context, workers int, pending [][]int, ck *Checkpoint) error {
 	if workers > len(pending) {
 		workers = len(pending)
@@ -312,6 +342,8 @@ func (e *engine) runTasks(ctx context.Context, workers int, pending [][]int, ck 
 	if workers == 0 { // nothing left to simulate
 		return stopped(ctx)
 	}
+	releaseBudget := par.Reserve(workers)
+	defer releaseBudget()
 
 	// The first failing worker cancels runCtx so its peers stop at the next
 	// segment boundary instead of burning through their whole subtree.
@@ -337,13 +369,19 @@ func (e *engine) runTasks(ctx context.Context, workers int, pending [][]int, ck 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws, err := e.newWorkspace()
+			if err != nil {
+				fail(err)
+				return
+			}
+			walk := &walker{e: e, ws: ws}
 			scratch := make([]complex128, e.m)
 			for prefix := range taskCh {
 				if stopped(runCtx) != nil {
 					continue // drain
 				}
 				clear(scratch)
-				nLeaves, err := e.runPrefixRecover(runCtx, prefix, scratch)
+				nLeaves, err := walk.runPrefixRecover(runCtx, prefix, scratch)
 				if err != nil {
 					fail(err)
 					continue
@@ -368,94 +406,4 @@ func (e *engine) runTasks(ctx context.Context, workers int, pending [][]int, ck 
 		firstErr = stopped(ctx)
 	}
 	return firstErr
-}
-
-// runPrefixRecover wraps runPrefix with panic recovery: a panicking path
-// worker yields a *PanicError instead of tearing the process down.
-func (e *engine) runPrefixRecover(ctx context.Context, prefix []int, acc []complex128) (nLeaves int64, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = &PanicError{Value: r, Stack: debug.Stack()}
-		}
-	}()
-	return e.runPrefix(ctx, prefix, acc)
-}
-
-// runPrefix simulates the fixed term choices of a prefix task, then descends
-// into the remaining subtree sequentially. It returns the number of path
-// leaves accumulated into acc.
-func (e *engine) runPrefix(ctx context.Context, prefix []int, acc []complex128) (int64, error) {
-	lo := statevec.NewState(e.nLower)
-	up := statevec.NewState(e.nUpper)
-	coeff := complex128(1)
-	for l, t := range prefix {
-		if err := stopped(ctx); err != nil {
-			return 0, err
-		}
-		lo.ApplyAll(e.segs[l].lower)
-		up.ApplyAll(e.segs[l].upper)
-		c := &e.cuts[l]
-		lo.ApplyGate(&c.lower[t])
-		up.ApplyGate(&c.upper[t])
-		coeff *= c.sigma[t]
-	}
-	var nLeaves int64
-	if err := e.runBranch(ctx, len(prefix), lo, up, coeff, acc, &nLeaves); err != nil {
-		return nLeaves, err
-	}
-	return nLeaves, nil
-}
-
-// runBranch owns lo and up and may mutate them.
-func (e *engine) runBranch(ctx context.Context, level int, lo, up statevec.State, coeff complex128, acc []complex128, nLeaves *int64) error {
-	if err := stopped(ctx); err != nil {
-		return err
-	}
-	lo.ApplyAll(e.segs[level].lower)
-	up.ApplyAll(e.segs[level].upper)
-	if level == len(e.cuts) {
-		n := e.leaves.Add(1)
-		if e.failAfter > 0 && n > e.failAfter {
-			return ErrInjectedFault
-		}
-		e.accumulate(acc, coeff, up, lo)
-		*nLeaves++
-		if e.hook != nil {
-			e.hook(n)
-		}
-		return nil
-	}
-	c := &e.cuts[level]
-	last := len(c.sigma) - 1
-	for t := 0; t <= last; t++ {
-		lo2, up2 := lo, up
-		if t != last {
-			lo2, up2 = lo.Clone(), up.Clone()
-		}
-		lo2.ApplyGate(&c.lower[t])
-		up2.ApplyGate(&c.upper[t])
-		if err := e.runBranch(ctx, level+1, lo2, up2, coeff*c.sigma[t], acc, nLeaves); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// accumulate adds coeff · (up ⊗ lo) to the first m amplitudes of acc.
-func (e *engine) accumulate(acc []complex128, coeff complex128, up, lo statevec.State) {
-	dimLo := 1 << e.nLower
-	for x0 := 0; x0 < e.m; x0 += dimLo {
-		u := coeff * up[x0>>e.nLower]
-		if u == 0 {
-			continue
-		}
-		end := x0 + dimLo
-		if end > e.m {
-			end = e.m
-		}
-		block := acc[x0:end]
-		for i := range block {
-			block[i] += u * lo[i]
-		}
-	}
 }

@@ -1,0 +1,140 @@
+package hsf
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/cut"
+	"hsfsim/internal/statevec"
+)
+
+// The parity suite pins the central refactoring invariant: the dense and DD
+// backends run through the identical walker, so for any plan they must agree
+// with each other (and with plain Schrödinger simulation) to 1e-12 — through
+// plain runs, injected faults, and checkpoint resume alike.
+
+func runBackend(t *testing.T, plan *cut.Plan, b Backend, opts Options) *Result {
+	t.Helper()
+	opts.Backend = b
+	res, err := Run(plan, opts)
+	if err != nil {
+		t.Fatalf("%v backend: %v", b, err)
+	}
+	return res
+}
+
+func TestParityRandomPlans(t *testing.T) {
+	type tc struct {
+		name     string
+		build    func(rng *rand.Rand) *circuit.Circuit
+		cutPos   int
+		strategy cut.Strategy
+	}
+	cases := []tc{
+		{"qaoa-cascade", func(rng *rand.Rand) *circuit.Circuit { return randomQAOAish(rng, 8, 16) }, 3, cut.StrategyCascade},
+		{"qaoa-window", func(rng *rand.Rand) *circuit.Circuit { return randomQAOAish(rng, 7, 12) }, 3, cut.StrategyWindow},
+		{"mixed-standard", func(rng *rand.Rand) *circuit.Circuit { return randomMixed(rng, 7, 14) }, 2, cut.StrategyNone},
+		{"mixed-cascade", func(rng *rand.Rand) *circuit.Circuit { return randomMixed(rng, 8, 14) }, 4, cut.StrategyCascade},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				circ := c.build(rng)
+				plan, err := cut.BuildPlan(circ, cut.Options{
+					Partition: cut.Partition{CutPos: c.cutPos},
+					Strategy:  c.strategy,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := schrodinger(circ)
+				dense := runBackend(t, plan, BackendDense, Options{Workers: 2})
+				dd := runBackend(t, plan, BackendDD, Options{})
+				if d := statevec.MaxAbsDiff(dense.Amplitudes, dd.Amplitudes); d > 1e-12 {
+					t.Fatalf("seed %d: dense and dd diverge: max diff %g", seed, d)
+				}
+				if d := statevec.MaxAbsDiff(statevec.State(dense.Amplitudes), want); d > 1e-10 {
+					t.Fatalf("seed %d: dense diverges from Schrödinger: max diff %g", seed, d)
+				}
+				if dense.PathsSimulated != dd.PathsSimulated {
+					t.Fatalf("seed %d: paths %d (dense) != %d (dd)", seed, dense.PathsSimulated, dd.PathsSimulated)
+				}
+			}
+		})
+	}
+}
+
+// TestParityFaultAndResume interrupts a run on each backend with the
+// deterministic fault hook, then resumes the checkpoint on the *other*
+// backend. Both recoveries must land on the identical amplitudes: the
+// checkpoint format, the prefix bookkeeping, and the walker are shared, so
+// backends are interchangeable mid-run.
+func TestParityFaultAndResume(t *testing.T) {
+	c := manyCutCircuit(8, 8) // 2^8 = 256 paths
+	plan := buildPlan(t, c, 3, cut.StrategyNone)
+	want, err := Run(plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, failOn := range []Backend{BackendDense, BackendDD} {
+		resumeOn := BackendDD
+		if failOn == BackendDD {
+			resumeOn = BackendDense
+		}
+		t.Run("fail-"+failOn.String(), func(t *testing.T) {
+			var buf bytes.Buffer
+			_, err := Run(plan, Options{
+				Backend:          failOn,
+				CheckpointWriter: &buf,
+				FailAfterPaths:   128,
+			})
+			if !errors.Is(err, ErrInjectedFault) {
+				t.Fatalf("err = %v, want ErrInjectedFault", err)
+			}
+			ck, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ck.Prefixes) == 0 || ck.PathsSimulated == 0 {
+				t.Fatalf("checkpoint empty: %d prefixes, %d paths", len(ck.Prefixes), ck.PathsSimulated)
+			}
+			res, err := Run(plan, Options{Backend: resumeOn, Resume: ck})
+			if err != nil {
+				t.Fatalf("resume on %v: %v", resumeOn, err)
+			}
+			if d := statevec.MaxAbsDiff(res.Amplitudes, want.Amplitudes); d > 1e-12 {
+				t.Fatalf("resume on %v diverges: max diff %g", resumeOn, d)
+			}
+			if res.PathsSimulated != want.PathsSimulated {
+				t.Fatalf("paths = %d, want %d", res.PathsSimulated, want.PathsSimulated)
+			}
+		})
+	}
+}
+
+// TestParityPartialAmplitudes checks the bounded-accumulator mode through
+// both backends.
+func TestParityPartialAmplitudes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	circ := randomQAOAish(rng, 8, 14)
+	plan, err := cut.BuildPlan(circ, cut.Options{
+		Partition: cut.Partition{CutPos: 3},
+		Strategy:  cut.StrategyCascade,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := runBackend(t, plan, BackendDense, Options{MaxAmplitudes: 16})
+	dd := runBackend(t, plan, BackendDD, Options{MaxAmplitudes: 16})
+	if len(dense.Amplitudes) != 16 || len(dd.Amplitudes) != 16 {
+		t.Fatalf("lengths %d, %d, want 16", len(dense.Amplitudes), len(dd.Amplitudes))
+	}
+	if d := statevec.MaxAbsDiff(dense.Amplitudes, dd.Amplitudes); d > 1e-12 {
+		t.Fatalf("partial amplitudes diverge: max diff %g", d)
+	}
+}

@@ -104,7 +104,13 @@ func RunPrefixesContext(ctx context.Context, plan *cut.Plan, opts Options, split
 	if nLower <= 0 || nUpper <= 0 {
 		return nil, fmt.Errorf("hsf: degenerate partition %d|%d", nLower, nUpper)
 	}
-	if err := admit(Cost(plan, opts), opts); err != nil {
+	workers, err := opts.backendWorkers()
+	if err != nil {
+		return nil, err
+	}
+	costOpts := opts
+	costOpts.Workers = workers
+	if err := admit(Cost(plan, costOpts), costOpts); err != nil {
 		return nil, err
 	}
 	if err := validatePrefixes(plan, splitLevels, prefixes); err != nil {
@@ -112,7 +118,7 @@ func RunPrefixesContext(ctx context.Context, plan *cut.Plan, opts Options, split
 	}
 	m := resolveAmplitudes(plan, opts.MaxAmplitudes)
 
-	e := &engine{nLower: nLower, nUpper: nUpper, m: m,
+	e := &engine{backend: opts.Backend, nLower: nLower, nUpper: nUpper, m: m,
 		failAfter: opts.FailAfterPaths, hook: opts.testHookLeaf}
 	e.compile(plan, opts.FusionMaxQubits)
 
@@ -132,7 +138,7 @@ func RunPrefixesContext(ctx context.Context, plan *cut.Plan, opts Options, split
 	if len(prefixes) == 0 {
 		return ck, stopped(ctx)
 	}
-	if err := e.runTasks(ctx, resolveWorkers(opts.Workers), prefixes, ck); err != nil {
+	if err := e.runTasks(ctx, workers, prefixes, ck); err != nil {
 		return nil, err
 	}
 	return ck, nil

@@ -1,0 +1,8 @@
+//go:build !race
+
+package hsf
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-allocation guard skips under -race: the detector instruments
+// allocations of its own.
+const raceEnabled = false

@@ -1,0 +1,135 @@
+package hsf
+
+import (
+	"context"
+	"runtime/debug"
+)
+
+// walkFrame is one node of the explicit-stack depth-first path-tree walk.
+// term is the next cut term to descend into; entered records that the
+// node's segment has been applied (a frame is re-visited once per term).
+type walkFrame struct {
+	st      pairState
+	level   int
+	coeff   complex128
+	term    int
+	entered bool
+}
+
+// walker executes path subtrees for one worker goroutine against a private
+// workspace. The frame stack is reused across prefix tasks and forked states
+// recycle through the workspace, so steady-state execution allocates
+// nothing: live pair states never exceed the remaining tree depth (one per
+// frame), exactly the clone-chain bound of the Cost model.
+type walker struct {
+	e     *engine
+	ws    workspace
+	stack []walkFrame
+}
+
+// runPrefixRecover wraps runPrefix with panic recovery: a panicking path
+// worker yields a *PanicError instead of tearing the process down.
+func (w *walker) runPrefixRecover(ctx context.Context, prefix []int, acc []complex128) (nLeaves int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return w.runPrefix(ctx, prefix, acc)
+}
+
+// runPrefix simulates the fixed term choices of a prefix task, then descends
+// into the remaining subtree. It returns the number of path leaves
+// accumulated into acc.
+func (w *walker) runPrefix(ctx context.Context, prefix []int, acc []complex128) (int64, error) {
+	st, err := w.ws.newRoot()
+	if err != nil {
+		return 0, err
+	}
+	coeff := complex128(1)
+	for l, t := range prefix {
+		if err := stopped(ctx); err != nil {
+			st.release()
+			return 0, err
+		}
+		if err := st.applySegment(&w.e.segs[l]); err != nil {
+			st.release()
+			return 0, err
+		}
+		c := &w.e.cuts[l]
+		if err := st.applyCutTerm(c, t); err != nil {
+			st.release()
+			return 0, err
+		}
+		coeff *= c.sigma[t]
+	}
+	return w.walk(ctx, st, len(prefix), coeff, acc)
+}
+
+// walk runs the subtree rooted at (root, level) depth-first with an explicit
+// stack, taking ownership of root. Cut terms are expanded in ascending
+// order, matching the engine's historical recursive order; the last term of
+// a cut takes over the parent's state in place of a fork, so a rank-r cut
+// forks r-1 times.
+func (w *walker) walk(ctx context.Context, root pairState, level int, coeff complex128, acc []complex128) (int64, error) {
+	w.stack = append(w.stack[:0], walkFrame{st: root, level: level, coeff: coeff})
+	var nLeaves int64
+	// fail releases every state still on the stack before propagating err,
+	// keeping the release-exactly-once discipline on error paths.
+	fail := func(err error) (int64, error) {
+		for i := len(w.stack) - 1; i >= 0; i-- {
+			w.stack[i].st.release()
+		}
+		w.stack = w.stack[:0]
+		return nLeaves, err
+	}
+	for len(w.stack) > 0 {
+		f := &w.stack[len(w.stack)-1]
+		if !f.entered {
+			if err := stopped(ctx); err != nil {
+				return fail(err)
+			}
+			if err := f.st.applySegment(&w.e.segs[f.level]); err != nil {
+				return fail(err)
+			}
+			f.entered = true
+			if f.level == len(w.e.cuts) {
+				n := w.e.leaves.Add(1)
+				if w.e.failAfter > 0 && n > w.e.failAfter {
+					return fail(ErrInjectedFault)
+				}
+				f.st.accumulate(acc, f.coeff)
+				nLeaves++
+				f.st.release()
+				w.stack = w.stack[:len(w.stack)-1]
+				if w.e.hook != nil {
+					w.e.hook(n)
+				}
+				continue
+			}
+		}
+		c := &w.e.cuts[f.level]
+		level, coeff := f.level, f.coeff
+		t := f.term
+		f.term++
+		var child pairState
+		if t == len(c.sigma)-1 {
+			// Last term: the parent state is never needed again, so the
+			// child takes it over instead of forking.
+			child = f.st
+			w.stack = w.stack[:len(w.stack)-1]
+		} else {
+			var err error
+			child, err = f.st.fork()
+			if err != nil {
+				return fail(err)
+			}
+		}
+		if err := child.applyCutTerm(c, t); err != nil {
+			child.release() // child is not on the stack yet
+			return fail(err)
+		}
+		w.stack = append(w.stack, walkFrame{st: child, level: level + 1, coeff: coeff * c.sigma[t]})
+	}
+	return nLeaves, nil
+}

@@ -1,0 +1,55 @@
+// Package par is the process-wide parallelism budget shared between the HSF
+// path workers and the gate-level data parallelism inside statevec kernels.
+//
+// Without a shared budget the two layers oversubscribe each other: an HSF run
+// with GOMAXPROCS path workers applying gates to ≥2^14-amplitude states would
+// spawn GOMAXPROCS goroutines per worker per gate, multiplying runnable
+// goroutines by the core count for no throughput gain. Instead, coarse-grained
+// consumers (path worker pools, anything that holds cores for a whole run)
+// Reserve their worker count up front, and fine-grained consumers ask Inner
+// for the cores left over. When reservations reach GOMAXPROCS, Inner returns
+// 1 and the gate kernels degrade to sequential loops instead of spawning
+// goroutines.
+//
+// The budget is advisory and cooperative — nothing blocks on it — so a
+// mistaken double-reservation degrades to sequential kernels, never to
+// deadlock.
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// reserved counts cores currently claimed by coarse-grained worker pools.
+var reserved atomic.Int64
+
+// Reserve claims n cores of the budget for a coarse-grained consumer (an HSF
+// path-worker pool) and returns a release function. The release function is
+// idempotent. n < 0 is treated as 0.
+func Reserve(n int) (release func()) {
+	if n < 0 {
+		n = 0
+	}
+	reserved.Add(int64(n))
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			reserved.Add(int64(-n))
+		}
+	}
+}
+
+// Reserved returns the cores currently claimed via Reserve.
+func Reserved() int { return int(reserved.Load()) }
+
+// Inner returns how many goroutines a fine-grained data-parallel section may
+// use right now: GOMAXPROCS minus the outstanding reservations, floored at 1
+// (the caller's own goroutine always proceeds sequentially).
+func Inner() int {
+	n := runtime.GOMAXPROCS(0) - int(reserved.Load())
+	if n < 1 {
+		return 1
+	}
+	return n
+}

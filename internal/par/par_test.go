@@ -1,0 +1,45 @@
+package par
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestReserveRelease(t *testing.T) {
+	if got := Reserved(); got != 0 {
+		t.Fatalf("initial Reserved() = %d, want 0", got)
+	}
+	p := runtime.GOMAXPROCS(0)
+	release := Reserve(3)
+	if got := Reserved(); got != 3 {
+		t.Fatalf("Reserved() = %d after Reserve(3), want 3", got)
+	}
+	want := p - 3
+	if want < 1 {
+		want = 1
+	}
+	if got := Inner(); got != want {
+		t.Fatalf("Inner() = %d with 3 reserved and GOMAXPROCS=%d, want %d", got, p, want)
+	}
+	release()
+	release() // idempotent
+	if got := Reserved(); got != 0 {
+		t.Fatalf("Reserved() = %d after release, want 0", got)
+	}
+}
+
+func TestInnerFloorsAtOne(t *testing.T) {
+	release := Reserve(runtime.GOMAXPROCS(0) + 8)
+	defer release()
+	if got := Inner(); got != 1 {
+		t.Fatalf("Inner() = %d with over-reserved budget, want 1", got)
+	}
+}
+
+func TestReserveNegative(t *testing.T) {
+	release := Reserve(-5)
+	defer release()
+	if got := Reserved(); got != 0 {
+		t.Fatalf("Reserved() = %d after Reserve(-5), want 0", got)
+	}
+}

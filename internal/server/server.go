@@ -65,6 +65,10 @@ type Config struct {
 	MaxTimeout time.Duration
 	// Workers bounds simulation parallelism per request (0: all CPUs).
 	Workers int
+	// Backend is the default HSF walker backend ("", "dense", or "dd") for
+	// requests that do not name one. A request's explicit "backend" field
+	// wins. Every member of a distributed fleet must run the same backend.
+	Backend string
 	// Logger receives request logs (nil: log.Default()).
 	Logger *log.Logger
 	// DistLeaseTimeout bounds one distributed lease when this service acts
@@ -105,6 +109,11 @@ type SimulateRequest struct {
 	Strategy       string `json:"strategy,omitempty"`
 	MaxBlockQubits int    `json:"max_block_qubits,omitempty"`
 	TimeoutMillis  int    `json:"timeout_ms,omitempty"`
+	// Backend selects the HSF walker backend: "dense" (default) or "dd".
+	// Ignored by the schrodinger method. Distributed runs forward it to
+	// every worker; workers predating the field reject such leases, so a
+	// mixed-version fleet cannot silently split a run across backends.
+	Backend string `json:"backend,omitempty"`
 	// Distribute fans the run out over the registered worker fleet instead of
 	// simulating locally. Requires an HSF method and at least one worker
 	// (503 otherwise).
@@ -348,6 +357,15 @@ func parseCircuit(qasmSrc string) (*hsfsim.Circuit, error) {
 	return qasm.Parse(strings.NewReader(qasmSrc))
 }
 
+// resolveBackend maps the request's backend name — falling back to the
+// daemon's configured default — onto an HSF walker backend.
+func (s *service) resolveBackend(name string) (hsfsim.Backend, error) {
+	if name == "" {
+		name = s.cfg.Backend
+	}
+	return hsfsim.ParseBackend(name)
+}
+
 func strategyOf(s string) (hsfsim.BlockStrategy, error) {
 	switch s {
 	case "", "cascade":
@@ -420,10 +438,22 @@ func (s *service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.handleDistributedSimulate(w, r, &req, c.NumQubits)
 		return
 	}
+	backend, err := s.resolveBackend(req.Backend)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err, reqID)
+		return
+	}
+	workers := s.cfg.Workers
+	if !backend.ParallelWorkers() {
+		// Config.Workers is daemon capacity, not a per-job demand: clamp it
+		// for single-worker backends instead of rejecting the request.
+		workers = 1
+	}
 	opts := hsfsim.Options{
 		MaxAmplitudes:  req.MaxAmplitudes,
+		Backend:        backend,
 		MaxBlockQubits: req.MaxBlockQubits,
-		Workers:        s.cfg.Workers,
+		Workers:        workers,
 		MemoryBudget:   s.cfg.MemoryBudget,
 		MaxPaths:       s.cfg.MaxPaths,
 	}
@@ -524,6 +554,11 @@ func (s *service) handleDistributedSimulate(w http.ResponseWriter, r *http.Reque
 			fmt.Errorf("%w: register workers or start hsfsimd with -dist-worker addresses", dist.ErrNoWorkers), reqID)
 		return
 	}
+	backend, err := s.resolveBackend(req.Backend)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err, reqID)
+		return
+	}
 	job := &dist.Job{
 		QASM:           req.QASM,
 		Method:         method,
@@ -531,6 +566,11 @@ func (s *service) handleDistributedSimulate(w http.ResponseWriter, r *http.Reque
 		Strategy:       req.Strategy,
 		MaxBlockQubits: req.MaxBlockQubits,
 		MaxAmplitudes:  req.MaxAmplitudes,
+	}
+	if backend != hsfsim.BackendDense {
+		// Dense stays the absent field so leases interoperate with workers
+		// predating the backend field.
+		job.Backend = backend.String()
 	}
 
 	ctx := r.Context()

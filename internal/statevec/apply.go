@@ -1,10 +1,10 @@
 package statevec
 
 import (
-	"runtime"
 	"sync"
 
 	"hsfsim/internal/gate"
+	"hsfsim/internal/par"
 )
 
 // parallelThreshold is the state size above which gate application is split
@@ -13,8 +13,8 @@ const parallelThreshold = 1 << 14
 
 // ApplyGate applies g to the state in place. Gates with one or two qubits use
 // specialized kernels; larger gates fall back to a general gather/scatter
-// implementation. Application is parallelized across goroutines for large
-// states.
+// implementation. Application is parallelized across the persistent executor
+// for large states, within the process-wide parallelism budget (par.Inner).
 func (s State) ApplyGate(g *gate.Gate) {
 	switch g.NumQubits() {
 	case 1:
@@ -33,10 +33,24 @@ func (s State) ApplyAll(gs []gate.Gate) {
 	}
 }
 
-// parallelRange runs fn over [0,n) split into contiguous chunks across
-// NumCPU goroutines when n is large enough.
+// sequential reports whether a kernel over n items should run inline on the
+// caller's goroutine: the work is too small to amortize handoff, or the
+// parallelism budget is already spent on coarser-grained workers. The size
+// check comes first so small states never touch the budget.
+//
+// The kernels branch on this before building their chunk closures, keeping
+// the sequential hot path (every per-path gate in an HSF run) free of
+// closure allocations.
+func sequential(n int) bool {
+	return n < parallelThreshold || par.Inner() <= 1
+}
+
+// parallelRange runs fn over [0,n) split into contiguous chunks sized by the
+// current parallelism budget. Chunks are handed to the persistent executor
+// with a non-blocking submit — the caller always runs the first chunk itself
+// and absorbs any chunk no executor worker is free to take.
 func parallelRange(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := par.Inner()
 	if n < parallelThreshold || workers <= 1 {
 		fn(0, n)
 		return
@@ -44,23 +58,23 @@ func parallelRange(n int, fn func(lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
-	var wg sync.WaitGroup
+	ch := executor()
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		select {
+		case ch <- span{fn: fn, lo: lo, hi: hi, wg: &wg}:
+		default:
 			fn(lo, hi)
-		}(lo, hi)
+			wg.Done()
+		}
 	}
+	fn(0, chunk)
 	wg.Wait()
 }
 
@@ -68,149 +82,239 @@ func parallelRange(n int, fn func(lo, hi int)) {
 func (s State) apply1(g *gate.Gate) {
 	q := g.Qubits[0]
 	m := g.Matrix.Data
-	a, b, c, d := m[0], m[1], m[2], m[3]
 	mask := 1 << q
 	if g.Diagonal {
-		parallelRange(len(s), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				if i&mask == 0 {
-					s[i] *= a
-				} else {
-					s[i] *= d
-				}
-			}
-		})
+		if sequential(len(s)) {
+			s.mulDiag1(m[0], m[3], mask, 0, len(s))
+			return
+		}
+		parallelRange(len(s), func(lo, hi int) { s.mulDiag1(m[0], m[3], mask, lo, hi) })
 		return
 	}
 	half := len(s) >> 1
-	parallelRange(half, func(lo, hi int) {
-		for o := lo; o < hi; o++ {
-			// Insert a zero bit at position q.
-			i0 := (o>>q)<<(q+1) | (o & (mask - 1))
-			i1 := i0 | mask
-			x, y := s[i0], s[i1]
-			s[i0] = a*x + b*y
-			s[i1] = c*x + d*y
+	if sequential(half) {
+		s.rot1(m[0], m[1], m[2], m[3], q, 0, half)
+		return
+	}
+	parallelRange(half, func(lo, hi int) { s.rot1(m[0], m[1], m[2], m[3], q, lo, hi) })
+}
+
+func (s State) mulDiag1(a, d complex128, mask, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if i&mask == 0 {
+			s[i] *= a
+		} else {
+			s[i] *= d
 		}
-	})
+	}
+}
+
+func (s State) rot1(a, b, c, d complex128, q, lo, hi int) {
+	mask := 1 << q
+	for o := lo; o < hi; o++ {
+		// Insert a zero bit at position q.
+		i0 := (o>>q)<<(q+1) | (o & (mask - 1))
+		i1 := i0 | mask
+		x, y := s[i0], s[i1]
+		s[i0] = a*x + b*y
+		s[i1] = c*x + d*y
+	}
 }
 
 // apply2 applies a two-qubit gate with an unrolled four-amplitude kernel.
 func (s State) apply2(g *gate.Gate) {
 	q0, q1 := g.Qubits[0], g.Qubits[1]
 	m := g.Matrix.Data
-	m0, m1 := 1<<q0, 1<<q1
 	if g.Diagonal {
-		d0, d1, d2, d3 := m[0], m[5], m[10], m[15]
-		parallelRange(len(s), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				t := 0
-				if i&m0 != 0 {
-					t |= 1
-				}
-				if i&m1 != 0 {
-					t |= 2
-				}
-				switch t {
-				case 0:
-					s[i] *= d0
-				case 1:
-					s[i] *= d1
-				case 2:
-					s[i] *= d2
-				default:
-					s[i] *= d3
-				}
-			}
-		})
+		if sequential(len(s)) {
+			s.mulDiag2(m, 1<<q0, 1<<q1, 0, len(s))
+			return
+		}
+		parallelRange(len(s), func(lo, hi int) { s.mulDiag2(m, 1<<q0, 1<<q1, lo, hi) })
 		return
 	}
+	quarter := len(s) >> 2
+	if sequential(quarter) {
+		s.rot2(m, q0, q1, 0, quarter)
+		return
+	}
+	parallelRange(quarter, func(lo, hi int) { s.rot2(m, q0, q1, lo, hi) })
+}
+
+func (s State) mulDiag2(m []complex128, m0, m1, lo, hi int) {
+	d0, d1, d2, d3 := m[0], m[5], m[10], m[15]
+	for i := lo; i < hi; i++ {
+		t := 0
+		if i&m0 != 0 {
+			t |= 1
+		}
+		if i&m1 != 0 {
+			t |= 2
+		}
+		switch t {
+		case 0:
+			s[i] *= d0
+		case 1:
+			s[i] *= d1
+		case 2:
+			s[i] *= d2
+		default:
+			s[i] *= d3
+		}
+	}
+}
+
+func (s State) rot2(m []complex128, q0, q1, lo, hi int) {
+	m0, m1 := 1<<q0, 1<<q1
 	// Sort positions for bit insertion.
 	pLo, pHi := q0, q1
 	if pLo > pHi {
 		pLo, pHi = pHi, pLo
 	}
-	quarter := len(s) >> 2
-	parallelRange(quarter, func(lo, hi int) {
-		for o := lo; o < hi; o++ {
-			// Insert zero bits at pLo then pHi (ascending).
-			i := (o>>pLo)<<(pLo+1) | (o & (1<<pLo - 1))
-			i = (i>>pHi)<<(pHi+1) | (i & (1<<pHi - 1))
-			i0 := i
-			i1 := i | m0
-			i2 := i | m1
-			i3 := i | m0 | m1
-			x0, x1, x2, x3 := s[i0], s[i1], s[i2], s[i3]
-			s[i0] = m[0]*x0 + m[1]*x1 + m[2]*x2 + m[3]*x3
-			s[i1] = m[4]*x0 + m[5]*x1 + m[6]*x2 + m[7]*x3
-			s[i2] = m[8]*x0 + m[9]*x1 + m[10]*x2 + m[11]*x3
-			s[i3] = m[12]*x0 + m[13]*x1 + m[14]*x2 + m[15]*x3
-		}
-	})
+	for o := lo; o < hi; o++ {
+		// Insert zero bits at pLo then pHi (ascending).
+		i := (o>>pLo)<<(pLo+1) | (o & (1<<pLo - 1))
+		i = (i>>pHi)<<(pHi+1) | (i & (1<<pHi - 1))
+		i0 := i
+		i1 := i | m0
+		i2 := i | m1
+		i3 := i | m0 | m1
+		x0, x1, x2, x3 := s[i0], s[i1], s[i2], s[i3]
+		s[i0] = m[0]*x0 + m[1]*x1 + m[2]*x2 + m[3]*x3
+		s[i1] = m[4]*x0 + m[5]*x1 + m[6]*x2 + m[7]*x3
+		s[i2] = m[8]*x0 + m[9]*x1 + m[10]*x2 + m[11]*x3
+		s[i3] = m[12]*x0 + m[13]*x1 + m[14]*x2 + m[15]*x3
+	}
 }
 
-// applyK is the general k-qubit kernel.
-func (s State) applyK(g *gate.Gate) {
+// kernelPlan is the precomputed index machinery of the general k-qubit
+// kernel: sorted qubit positions for bit insertion, per-term bit-spread
+// offsets, and (for diagonal gates) the extracted diagonal. Building it per
+// call made every segment replay of a fused gate allocate; PrepareGate hoists
+// it onto the gate so the path tree replays allocation-free.
+type kernelPlan struct {
+	sorted  []int
+	offsets []int
+	diag    []complex128 // non-nil iff the gate is diagonal
+}
+
+func buildKernelPlan(g *gate.Gate) *kernelPlan {
 	k := g.NumQubits()
 	kdim := 1 << k
-	m := g.Matrix.Data
-
+	p := &kernelPlan{}
 	if g.Diagonal {
-		// Diagonal gates (e.g. analytic RZZ-cascade terms, CCZ) multiply
-		// each amplitude by the diagonal entry selected by the gate bits.
-		diag := make([]complex128, kdim)
+		m := g.Matrix.Data
+		p.diag = make([]complex128, kdim)
 		for t := 0; t < kdim; t++ {
-			diag[t] = m[t*kdim+t]
+			p.diag[t] = m[t*kdim+t]
 		}
-		qubits := g.Qubits
-		parallelRange(len(s), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				t := 0
-				for j, q := range qubits {
-					t |= ((i >> q) & 1) << j
-				}
-				s[i] *= diag[t]
-			}
-		})
-		return
+		return p
 	}
-
-	// Sorted qubit positions for bit insertion; strides for bit spreading.
-	sorted := append([]int(nil), g.Qubits...)
-	for i := 1; i < len(sorted); i++ {
-		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
-			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+	p.sorted = append([]int(nil), g.Qubits...)
+	for i := 1; i < len(p.sorted); i++ {
+		for j := i; j > 0 && p.sorted[j] < p.sorted[j-1]; j-- {
+			p.sorted[j], p.sorted[j-1] = p.sorted[j-1], p.sorted[j]
 		}
 	}
 	// offsets[t] = Σ_j ((t>>j)&1) << Qubits[j]
-	offsets := make([]int, kdim)
+	p.offsets = make([]int, kdim)
 	for t := 0; t < kdim; t++ {
 		o := 0
 		for j, q := range g.Qubits {
 			o |= ((t >> j) & 1) << q
 		}
-		offsets[t] = o
+		p.offsets[t] = o
+	}
+	return p
+}
+
+// PrepareGate precomputes and attaches the general-kernel plan for a gate
+// with three or more qubits (one- and two-qubit kernels need none). It must
+// run while the gate is still owned by one goroutine — the HSF engine calls
+// it at compile time, before segments are shared across path workers.
+func PrepareGate(g *gate.Gate) {
+	if g.NumQubits() < 3 {
+		return
+	}
+	if _, ok := g.KernelCache().(*kernelPlan); ok {
+		return
+	}
+	g.SetKernelCache(buildKernelPlan(g))
+}
+
+// PrepareGates runs PrepareGate over a slice.
+func PrepareGates(gs []gate.Gate) {
+	for i := range gs {
+		PrepareGate(&gs[i])
+	}
+}
+
+// scratchPool recycles the gather buffer of the dense k-qubit kernel. It is
+// shared process-wide (a per-plan buffer would race: many path workers replay
+// the same compiled gate concurrently) and holds pointers so Get/Put do not
+// allocate.
+var scratchPool = sync.Pool{New: func() any { return new([]complex128) }}
+
+// applyK is the general k-qubit kernel.
+func (s State) applyK(g *gate.Gate) {
+	plan, ok := g.KernelCache().(*kernelPlan)
+	if !ok {
+		plan = buildKernelPlan(g) // unprepared gate: plan built per call
+	}
+	k := g.NumQubits()
+
+	if g.Diagonal {
+		// Diagonal gates (e.g. analytic RZZ-cascade terms, CCZ) multiply
+		// each amplitude by the diagonal entry selected by the gate bits.
+		if sequential(len(s)) {
+			s.mulDiagK(g.Qubits, plan.diag, 0, len(s))
+			return
+		}
+		parallelRange(len(s), func(lo, hi int) { s.mulDiagK(g.Qubits, plan.diag, lo, hi) })
+		return
 	}
 
 	outer := len(s) >> k
-	parallelRange(outer, func(lo, hi int) {
-		in := make([]complex128, kdim)
-		for o := lo; o < hi; o++ {
-			base := o
-			for _, p := range sorted {
-				base = (base>>p)<<(p+1) | (base & (1<<p - 1))
-			}
-			for t := 0; t < kdim; t++ {
-				in[t] = s[base|offsets[t]]
-			}
-			for t := 0; t < kdim; t++ {
-				row := m[t*kdim : (t+1)*kdim]
-				var acc complex128
-				for u := 0; u < kdim; u++ {
-					acc += row[u] * in[u]
-				}
-				s[base|offsets[t]] = acc
-			}
+	if sequential(outer) {
+		s.rotK(g.Matrix.Data, plan, k, 0, outer)
+		return
+	}
+	parallelRange(outer, func(lo, hi int) { s.rotK(g.Matrix.Data, plan, k, lo, hi) })
+}
+
+func (s State) mulDiagK(qubits []int, diag []complex128, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		t := 0
+		for j, q := range qubits {
+			t |= ((i >> q) & 1) << j
 		}
-	})
+		s[i] *= diag[t]
+	}
+}
+
+func (s State) rotK(m []complex128, plan *kernelPlan, k, lo, hi int) {
+	kdim := 1 << k
+	sp := scratchPool.Get().(*[]complex128)
+	if cap(*sp) < kdim {
+		*sp = make([]complex128, kdim)
+	}
+	in := (*sp)[:kdim]
+	for o := lo; o < hi; o++ {
+		base := o
+		for _, p := range plan.sorted {
+			base = (base>>p)<<(p+1) | (base & (1<<p - 1))
+		}
+		for t := 0; t < kdim; t++ {
+			in[t] = s[base|plan.offsets[t]]
+		}
+		for t := 0; t < kdim; t++ {
+			row := m[t*kdim : (t+1)*kdim]
+			var acc complex128
+			for u := 0; u < kdim; u++ {
+				acc += row[u] * in[u]
+			}
+			s[base|plan.offsets[t]] = acc
+		}
+	}
+	scratchPool.Put(sp)
 }

@@ -1,0 +1,108 @@
+package statevec
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"hsfsim/internal/par"
+)
+
+// withProcs runs fn with GOMAXPROCS pinned to n. The process runs with
+// whatever core count CI gives it, so budget behavior is tested against an
+// explicit value rather than the machine's.
+func withProcs(t *testing.T, n int, fn func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+// TestParallelRangeSequentialWhenBudgetSaturated is the degradation
+// guarantee: once coarse-grained workers have reserved every core,
+// parallelRange makes exactly one inline call — no chunking, no executor
+// handoff, no goroutines.
+func TestParallelRangeSequentialWhenBudgetSaturated(t *testing.T) {
+	withProcs(t, 4, func() {
+		release := par.Reserve(4)
+		defer release()
+		n := 4 * parallelThreshold
+		var mu sync.Mutex
+		var calls [][2]int
+		parallelRange(n, func(lo, hi int) {
+			mu.Lock()
+			calls = append(calls, [2]int{lo, hi})
+			mu.Unlock()
+		})
+		if len(calls) != 1 || calls[0] != [2]int{0, n} {
+			t.Fatalf("calls = %v, want exactly [[0 %d]]", calls, n)
+		}
+		if !sequential(n) {
+			t.Fatal("sequential(n) = false with a saturated budget")
+		}
+	})
+}
+
+// TestParallelRangeChunksWithinBudget checks the complementary case: with
+// budget available, a large range is split into par.Inner() contiguous
+// chunks that exactly tile [0, n).
+func TestParallelRangeChunksWithinBudget(t *testing.T) {
+	withProcs(t, 4, func() {
+		if got := par.Inner(); got != 4 {
+			t.Fatalf("Inner() = %d with nothing reserved, want 4", got)
+		}
+		n := 4 * parallelThreshold
+		var mu sync.Mutex
+		var calls [][2]int
+		parallelRange(n, func(lo, hi int) {
+			mu.Lock()
+			calls = append(calls, [2]int{lo, hi})
+			mu.Unlock()
+		})
+		if len(calls) != 4 {
+			t.Fatalf("got %d chunks, want 4: %v", len(calls), calls)
+		}
+		sort.Slice(calls, func(i, j int) bool { return calls[i][0] < calls[j][0] })
+		next := 0
+		for _, c := range calls {
+			if c[0] != next {
+				t.Fatalf("chunks do not tile [0,%d): %v", n, calls)
+			}
+			next = c[1]
+		}
+		if next != n {
+			t.Fatalf("chunks cover [0,%d), want [0,%d)", next, n)
+		}
+	})
+}
+
+// TestParallelRangeSmallStaysInline pins the size cutoff: states below
+// parallelThreshold never pay handoff overhead regardless of budget.
+func TestParallelRangeSmallStaysInline(t *testing.T) {
+	withProcs(t, 4, func() {
+		var calls int
+		parallelRange(parallelThreshold-1, func(lo, hi int) { calls++ })
+		if calls != 1 {
+			t.Fatalf("calls = %d, want 1 inline call", calls)
+		}
+	})
+}
+
+// TestPartialReservationShrinksChunks checks proportional degradation:
+// reserving 3 of 4 cores leaves Inner() = 1, which also forces the inline
+// path.
+func TestPartialReservationShrinksChunks(t *testing.T) {
+	withProcs(t, 4, func() {
+		release := par.Reserve(3)
+		defer release()
+		if got := par.Inner(); got != 1 {
+			t.Fatalf("Inner() = %d with 3 of 4 reserved, want 1", got)
+		}
+		var calls int
+		parallelRange(4*parallelThreshold, func(lo, hi int) { calls++ })
+		if calls != 1 {
+			t.Fatalf("calls = %d, want 1 inline call", calls)
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package statevec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The persistent executor replaces per-gate goroutine spawning: GOMAXPROCS
+// worker goroutines are started once (on the first large parallel kernel)
+// and fed chunk spans over an unbuffered channel. Submission is non-blocking
+// — if no executor worker is free the caller runs the chunk inline — so a
+// saturated process degrades to sequential execution instead of queueing or
+// oversubscribing, and the executor can never deadlock its callers.
+
+// span is one contiguous chunk of a parallel kernel invocation.
+type span struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	execOnce sync.Once
+	execCh   chan span
+)
+
+// executor returns the shared chunk channel, starting the worker goroutines
+// on first use.
+func executor() chan span {
+	execOnce.Do(func() {
+		execCh = make(chan span)
+		for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+			go func() {
+				for t := range execCh {
+					t.fn(t.lo, t.hi)
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+	return execCh
+}

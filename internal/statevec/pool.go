@@ -1,0 +1,67 @@
+package statevec
+
+import "math"
+
+// Pool is a size-keyed free list of statevector buffers. The HSF path walker
+// forks and releases one (lower, upper) state pair per path-tree node, so a
+// per-worker Pool turns the O(paths) large allocations of naive cloning into
+// a handful of buffers reused for the whole run (live count = tree depth).
+//
+// A Pool is not safe for concurrent use; each worker goroutine owns its own.
+type Pool struct {
+	// Poison, when set, fills every released buffer with NaN. A stale-read
+	// bug (using a state after release, or trusting pool contents before
+	// initialization) then corrupts results loudly instead of silently;
+	// tests enable it as a canary.
+	Poison bool
+
+	free map[int][]State
+
+	gets, reuses int
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[int][]State)}
+}
+
+// Get returns a buffer of exactly n amplitudes with unspecified contents,
+// reusing a released buffer of the same size when one is available.
+func (p *Pool) Get(n int) State {
+	p.gets++
+	if list := p.free[n]; len(list) > 0 {
+		s := list[len(list)-1]
+		p.free[n] = list[:len(list)-1]
+		p.reuses++
+		return s
+	}
+	return make(State, n)
+}
+
+// GetZero returns the basis state |0...0> in an n-amplitude buffer.
+func (p *Pool) GetZero(n int) State {
+	s := p.Get(n)
+	clear(s)
+	s[0] = 1
+	return s
+}
+
+// Put releases a buffer back to the pool. The caller must not use s
+// afterwards. Releasing nil is a no-op.
+func (p *Pool) Put(s State) {
+	if s == nil {
+		return
+	}
+	if p.Poison {
+		canary := complex(math.NaN(), math.NaN())
+		for i := range s {
+			s[i] = canary
+		}
+	}
+	p.free[len(s)] = append(p.free[len(s)], s)
+}
+
+// Stats reports how many Get calls the pool served and how many of those
+// reused a released buffer. Steady-state walker execution has
+// reuses == gets - (live-state high-water mark).
+func (p *Pool) Stats() (gets, reuses int) { return p.gets, p.reuses }

@@ -1,0 +1,67 @@
+package statevec
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+func TestPoolReusesSameSize(t *testing.T) {
+	p := NewPool()
+	a := p.Get(8)
+	b := p.Get(8)
+	if &a[0] == &b[0] {
+		t.Fatal("two live buffers share backing storage")
+	}
+	p.Put(a)
+	c := p.Get(8)
+	if &c[0] != &a[0] {
+		t.Fatal("released buffer was not reused for a same-size Get")
+	}
+	d := p.Get(16) // no 16-amplitude buffer released yet
+	if len(d) != 16 {
+		t.Fatalf("len = %d, want 16", len(d))
+	}
+	gets, reuses := p.Stats()
+	if gets != 4 || reuses != 1 {
+		t.Fatalf("stats = (%d gets, %d reuses), want (4, 1)", gets, reuses)
+	}
+}
+
+func TestPoolPutNil(t *testing.T) {
+	p := NewPool()
+	p.Put(nil) // must not panic or pollute the free lists
+	if s := p.Get(4); len(s) != 4 {
+		t.Fatalf("len = %d, want 4", len(s))
+	}
+}
+
+// TestPoolPoisonCanary pins the canary mechanics: a poisoned release fills
+// the buffer with NaN, and GetZero hands the same storage back fully
+// reinitialized.
+func TestPoolPoisonCanary(t *testing.T) {
+	p := NewPool()
+	p.Poison = true
+	s := p.Get(8)
+	for i := range s {
+		s[i] = complex(float64(i), 0)
+	}
+	p.Put(s)
+	for i, v := range s {
+		if !cmplx.IsNaN(v) {
+			t.Fatalf("released s[%d] = %v, want NaN canary", i, v)
+		}
+	}
+	z := p.GetZero(8)
+	if &z[0] != &s[0] {
+		t.Fatal("GetZero did not reuse the poisoned buffer")
+	}
+	for i, v := range z {
+		want := complex128(0)
+		if i == 0 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("z[%d] = %v, want %v (canary leaked through GetZero)", i, v, want)
+		}
+	}
+}

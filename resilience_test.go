@@ -168,13 +168,52 @@ func TestCheckpointResumePublicAPI(t *testing.T) {
 
 func abs2(z complex128) float64 { return real(z)*real(z) + imag(z)*imag(z) }
 
-func TestDDEngineRejectsCheckpointOptions(t *testing.T) {
+// TestDDBackendCheckpointResume verifies the DD backend inherits
+// checkpoint/resume from the shared walker: a fault-injected DD run writes a
+// checkpoint, and resuming it (still on DD) reproduces the uninterrupted
+// dense result to 1e-12.
+func TestDDBackendCheckpointResume(t *testing.T) {
 	c := interruptible(6, 4)
+	base := hsfsim.Options{Method: hsfsim.JointHSF, CutPos: 2, Backend: hsfsim.BackendDD}
+
+	want, err := hsfsim.Simulate(c, hsfsim.Options{Method: hsfsim.JointHSF, CutPos: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	var buf bytes.Buffer
+	failing := base
+	failing.CheckpointWriter = &buf
+	failing.FailAfterPaths = 3
+	if _, err := hsfsim.Simulate(c, failing); !errors.Is(err, hsfsim.ErrInjectedFault) {
+		t.Fatalf("fault-injected DD run: err = %v, want ErrInjectedFault", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("DD backend wrote no checkpoint on fault")
+	}
+
+	resumed := base
+	resumed.ResumeFrom = &buf
+	got, err := hsfsim.Simulate(c, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Amplitudes {
+		if d := got.Amplitudes[i] - want.Amplitudes[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-24 {
+			t.Fatalf("amplitude %d differs after DD resume: %v vs %v", i, got.Amplitudes[i], want.Amplitudes[i])
+		}
+	}
+}
+
+// TestDDBackendRejectsWorkers pins the typed rejection: the DD backend's
+// node store is single-threaded, so Workers > 1 is ErrUnsupported instead of
+// a silent downgrade.
+func TestDDBackendRejectsWorkers(t *testing.T) {
+	c := interruptible(6, 4)
 	_, err := hsfsim.Simulate(c, hsfsim.Options{
-		Method: hsfsim.JointHSF, CutPos: 2, UseDDEngine: true, CheckpointWriter: &buf,
+		Method: hsfsim.JointHSF, CutPos: 2, Backend: hsfsim.BackendDD, Workers: 2,
 	})
-	if err == nil {
-		t.Fatal("DD engine accepted checkpoint options")
+	if !errors.Is(err, hsfsim.ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
 	}
 }
