@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core fuzz dist-test vet cover bench bench-core bench-tables examples fmt clean
+.PHONY: all build test race race-core race-sweep fuzz dist-test vet cover bench bench-core bench-kernels bench-tables examples fmt clean
 
 all: build vet test
 
@@ -28,6 +28,12 @@ race-core:
 	$(GO) test -race ./internal/hsf/... ./internal/statevec/... ./internal/par/...
 	$(GO) test -run 'TestZeroAllocsPerLeaf|TestPoisonedPoolRunStaysFinite' -count=1 ./internal/hsf/
 
+# Sweep-executor race pass: the tiled segment sweeps fan gate applications out
+# across the worker pool with a shared scratch discipline; run the kernel and
+# segment parity suites under the detector to catch any aliasing regression.
+race-sweep:
+	$(GO) test -race -run 'Segment|Kernel|Parity' -count=1 ./internal/statevec/ ./internal/hsf/
+
 # Short fuzz pass over the daemon's untrusted input surface.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/qasm/
@@ -50,6 +56,11 @@ bench:
 # machine-readable artifact.
 bench-core:
 	$(GO) run ./cmd/benchcore -o BENCH_core.json
+
+# Structure-specialized kernel study: every specialized kernel vs. the forced
+# dense-matvec path on identical gates, plus end-to-end sweeps.
+bench-kernels:
+	$(GO) run ./cmd/benchcore -study kernels -o BENCH_kernels.json
 
 # Regenerate every table and figure at laptop scale.
 bench-tables:

@@ -3,26 +3,34 @@
 // results as machine-readable JSON for regression tracking:
 //
 //	benchcore -o BENCH_core.json
-//	make bench-core
+//	benchcore -study kernels -o BENCH_kernels.json
+//	make bench-core bench-kernels
 //
-// The allocs_per_op column is the headline number: steady-state walking must
-// stay at zero allocations per replay (see internal/hsf TestZeroAllocsPerLeaf
-// for the enforcing test; this tool records the same property alongside
-// timing so a regression shows up in the artifact history).
+// The core study's allocs_per_op column is the headline number: steady-state
+// walking must stay at zero allocations per replay (see internal/hsf
+// TestZeroAllocsPerLeaf for the enforcing test; this tool records the same
+// property alongside timing so a regression shows up in the artifact
+// history). The kernel study pits every structure-specialized gate kernel
+// against the dense-matvec fallback on identical gates (classification flags
+// stripped, dense plan forced) and records end-to-end sweeps with and without
+// the specialized kernels.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"hsfsim"
 	"hsfsim/internal/bench"
 	"hsfsim/internal/circuit"
+	"hsfsim/internal/cmat"
 	"hsfsim/internal/cut"
 	"hsfsim/internal/gate"
 	"hsfsim/internal/hsf"
@@ -47,19 +55,31 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_core.json", "output file (- for stdout)")
+	out := flag.String("o", "", "output file (- for stdout; default BENCH_<study>.json)")
+	study := flag.String("study", "core", "study to run: core | kernels")
 	flag.Parse()
 
-	walkerRows, err := walkerStudy()
-	fail(err)
-	rep := &report{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Timestamp:  time.Now().UTC(),
-		Walker:     walkerRows,
-		Core:       coreBenchmarks(),
+	var rep any
+	switch *study {
+	case "core":
+		walkerRows, err := walkerStudy()
+		fail(err)
+		rep = &report{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Timestamp:  time.Now().UTC(),
+			Walker:     walkerRows,
+			Core:       coreBenchmarks(),
+		}
+	case "kernels":
+		rep = kernelStudy()
+	default:
+		fail(fmt.Errorf("unknown study %q (want core or kernels)", *study))
+	}
+	if *out == "" {
+		*out = "BENCH_" + *study + ".json"
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -150,6 +170,223 @@ func coreBenchmarks() []coreResult {
 	measure("statevec/applyK-diag3-16q", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s.ApplyGate(&ccz)
+		}
+	})
+	return results
+}
+
+// kernelRow compares one structure-specialized kernel against the dense
+// fallback on the same gate and state size.
+type kernelRow struct {
+	Name            string  `json:"name"`
+	Qubits          int     `json:"qubits"`
+	Class           string  `json:"class"`
+	SpecNsPerOp     float64 `json:"spec_ns_per_op"`
+	DenseNsPerOp    float64 `json:"dense_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	SpecAllocsPerOp int64   `json:"spec_allocs_per_op"`
+}
+
+type kernelReport struct {
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Timestamp  time.Time    `json:"timestamp"`
+	TileQubits int          `json:"tile_qubits"`
+	Kernels    []kernelRow  `json:"kernels"`
+	EndToEnd   []coreResult `json:"end_to_end"`
+}
+
+// strippedDense clones g, erases its structure classification, and forces the
+// dense plan, reproducing the pre-classifier code path on the same matrix.
+func strippedDense(g *gate.Gate) gate.Gate {
+	d := g.Clone()
+	d.Diagonal = false
+	d.Perm, d.PermPhase = nil, nil
+	d.Controls = 0
+	statevec.PrepareDense(&d)
+	return d
+}
+
+// ccrx builds a doubly-controlled RX: identity except the 2×2 rotation on the
+// both-controls-set block — a k=3 gate whose kernel is planCtrl.
+func ccrx(theta float64, c0, c1, t int) gate.Gate {
+	m := cmat.Identity(8)
+	cos := complex(math.Cos(theta/2), 0)
+	nisin := complex(0, -math.Sin(theta/2))
+	m.Set(3, 3, cos)
+	m.Set(3, 7, nisin)
+	m.Set(7, 3, nisin)
+	m.Set(7, 7, cos)
+	return gate.New("ccrx", m, []float64{theta}, c0, c1, t)
+}
+
+// sparse3 builds a multiplexed single-qubit rotation: a different 2×2 block
+// per setting of the upper bits — 16 of 64 entries nonzero, no diagonal,
+// permutation, or control structure, so its kernel is the CSR matvec.
+func sparse3(q0, q1, q2 int) gate.Gate {
+	rng := rand.New(rand.NewSource(7))
+	m := cmat.New(8, 8)
+	for base := 0; base < 8; base += 2 {
+		th := rng.Float64() * math.Pi
+		cos, sin := complex(math.Cos(th), 0), complex(math.Sin(th), 0)
+		m.Set(base, base, cos)
+		m.Set(base, base+1, -sin)
+		m.Set(base+1, base, sin)
+		m.Set(base+1, base+1, cos)
+	}
+	return gate.New("muxrot", m, nil, q0, q1, q2)
+}
+
+func benchApply(s statevec.State, g *gate.Gate) (nsPerOp float64, allocs int64) {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.ApplyGate(g)
+		}
+	})
+	return float64(r.T.Nanoseconds()) / float64(r.N), r.AllocsPerOp()
+}
+
+// kernelStudy measures every specialized kernel against the forced-dense path
+// on identical gates at q=16 and q=20, plus end-to-end sweeps.
+func kernelStudy() *kernelReport {
+	rep := &kernelReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC(),
+		TileQubits: statevec.DefaultTileQubits,
+	}
+	for _, n := range []int{16, 20} {
+		s := statevec.NewState(n)
+		s[0] = 0
+		for i := range s {
+			s[i] = complex(1/math.Sqrt(float64(len(s))), 0)
+		}
+		a, b, c := 2, n/2, n-3
+		gates := []struct {
+			name string
+			g    gate.Gate
+		}{
+			{"p-1q", gate.P(0.7, b)},
+			{"rz-1q", gate.RZ(0.7, b)},
+			{"x-1q", gate.X(b)},
+			{"y-1q", gate.Y(b)},
+			{"cz-2q", gate.CZ(a, c)},
+			{"crz-2q", gate.CRZ(0.7, a, c)},
+			{"rzz-2q", gate.RZZ(0.7, a, c)},
+			{"cnot-2q", gate.CNOT(a, c)},
+			{"swap-2q", gate.SWAP(a, c)},
+			{"iswap-2q", gate.ISWAP(a, c)},
+			{"crx-2q", gate.CRX(0.7, a, c)},
+			{"ccz-3q", gate.CCZ(a, b, c)},
+			{"ccx-3q", gate.CCX(a, b, c)},
+			{"ccrx-3q", ccrx(0.7, a, b, c)},
+			{"muxrot-3q", sparse3(a, b, c)},
+		}
+		for i := range gates {
+			spec := gates[i].g
+			statevec.PrepareGate(&spec)
+			den := strippedDense(&spec)
+			specNs, specAllocs := benchApply(s, &spec)
+			denseNs, _ := benchApply(s, &den)
+			rep.Kernels = append(rep.Kernels, kernelRow{
+				Name:            gates[i].name,
+				Qubits:          n,
+				Class:           spec.Class().String(),
+				SpecNsPerOp:     specNs,
+				DenseNsPerOp:    denseNs,
+				Speedup:         denseNs / specNs,
+				SpecAllocsPerOp: specAllocs,
+			})
+		}
+	}
+	rep.Kernels = append(rep.Kernels, e2eSchrodinger())
+	rep.EndToEnd = e2eRuns()
+	return rep
+}
+
+// e2eCircuit mixes every kernel class over n qubits: the workload of the
+// end-to-end sweeps.
+func e2eCircuit(n int) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(21))
+	c := circuit.New(n)
+	for layer := 0; layer < 4; layer++ {
+		for q := 0; q < n; q++ {
+			c.Append(gate.H(q), gate.RZ(rng.Float64(), q))
+		}
+		for q := 0; q+1 < n; q += 2 {
+			c.Append(gate.CNOT(q, q+1), gate.CZ(q, (q+n/2)%n))
+		}
+		for q := 0; q+2 < n; q += 3 {
+			c.Append(gate.CCX(q, q+1, q+2), gate.RZZ(rng.Float64(), q, q+2))
+		}
+	}
+	return c
+}
+
+// e2eSchrodinger runs the full Schrödinger baseline (fusion disabled to
+// isolate the kernels) with classification on versus stripped-dense gates.
+func e2eSchrodinger() kernelRow {
+	const n = 20
+	c := e2eCircuit(n)
+	stripped := circuit.New(n)
+	for i := range c.Gates {
+		stripped.Append(strippedDense(&c.Gates[i]))
+	}
+	run := func(cc *circuit.Circuit) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hsfsim.Simulate(cc, hsfsim.Options{Method: hsfsim.Schrodinger, FusionMaxQubits: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	specNs := run(c)
+	denseNs := run(stripped)
+	return kernelRow{
+		Name:         "e2e-schrodinger-20q",
+		Qubits:       n,
+		Class:        "end-to-end",
+		SpecNsPerOp:  specNs,
+		DenseNsPerOp: denseNs,
+		Speedup:      denseNs / specNs,
+	}
+}
+
+// e2eRuns records the shipped configurations for the artifact trajectory: the
+// fused Schrödinger sweep and the HSF path-tree run, specialized kernels on.
+func e2eRuns() []coreResult {
+	var results []coreResult
+	measure := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		results = append(results, coreResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	c := e2eCircuit(20)
+	measure("e2e/schrodinger-fused-20q", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hsfsim.Simulate(c, hsfsim.Options{Method: hsfsim.Schrodinger}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	plan, err := pathTreePlan(20, 6)
+	fail(err)
+	measure("e2e/hsf-dense-64paths-20q", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hsf.Run(plan, hsf.Options{Backend: hsf.BackendDense}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	return results

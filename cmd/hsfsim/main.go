@@ -60,6 +60,7 @@ func main() {
 		ckptPath  = flag.String("checkpoint", "", "write a resume checkpoint here if the run is interrupted")
 		resume    = flag.String("resume", "", "resume an HSF run from this checkpoint file")
 		distrib   = flag.String("distribute", "", "comma-separated hsfsimd worker addresses; shard the HSF run across them")
+		fusion    = flag.Int("fusion", 0, "max fused gate qubits (0: default, <0: disable fusion and run per-gate structure kernels)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -81,6 +82,7 @@ func main() {
 		UseAnalyticCascades: *analytic,
 		MemoryBudget:        *memBudget,
 		MaxPaths:            *maxPaths,
+		FusionMaxQubits:     *fusion,
 	}
 	switch *method {
 	case "schrodinger":

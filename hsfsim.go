@@ -242,9 +242,9 @@ func Simulate(c *Circuit, opts Options) (*Result, error) {
 }
 
 // SimulateContext runs the circuit under ctx. Cancellation is cooperative:
-// the Schrödinger loop observes it between gates and the HSF engines between
-// path-tree segments, so a canceled run stops within one segment of work per
-// worker. The error distinguishes the caller going away (context.Canceled /
+// the Schrödinger loop observes it between compiled sweep steps and the HSF
+// engines between path-tree segments, so a canceled run stops within one
+// bounded unit of work per worker. The error distinguishes the caller going away (context.Canceled /
 // context.DeadlineExceeded) from the job exceeding its own Options.Timeout
 // (ErrTimeout).
 func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
@@ -304,7 +304,15 @@ func runSchrodinger(ctx context.Context, c *Circuit, opts Options) (*Result, err
 			maxQ = fuse.DefaultMaxQubits
 		}
 		gates = fuse.Fuse(gates, maxQ)
+	} else {
+		// Compilation attaches kernel plans to the gate structs; copy so the
+		// caller's circuit is left untouched.
+		gates = append([]gate.Gate(nil), gates...)
 	}
+	// Compile once: every fused k-qubit gate gets its kernel plan here instead
+	// of rebuilding (and allocating) it on each application, and runs of
+	// low-qubit gates become cache-blocked sweeps over the 2^n state.
+	seg := statevec.CompileSegment(gates, c.NumQubits)
 	preprocess := time.Since(pre)
 
 	if opts.Timeout > 0 {
@@ -314,13 +322,13 @@ func runSchrodinger(ctx context.Context, c *Circuit, opts Options) (*Result, err
 	}
 	simStart := time.Now()
 	s := statevec.NewState(c.NumQubits)
-	for i := range gates {
+	for i := 0; i < seg.NumSteps(); i++ {
 		select {
 		case <-ctx.Done():
 			return nil, context.Cause(ctx)
 		default:
 		}
-		s.ApplyGate(&gates[i])
+		seg.ApplyStep(s, i)
 	}
 	amps := []complex128(s)
 	if opts.MaxAmplitudes > 0 && opts.MaxAmplitudes < len(amps) {

@@ -190,8 +190,7 @@ func (c *Circuit) Inverse() *Circuit {
 	out := New(c.NumQubits)
 	out.Gates = make([]gate.Gate, len(c.Gates))
 	for i := range c.Gates {
-		g := c.Gates[len(c.Gates)-1-i].Clone()
-		g.Matrix = g.Matrix.Dagger()
+		g := c.Gates[len(c.Gates)-1-i].Dagger()
 		if g.Name != "" {
 			g.Name = g.Name + "†"
 		}

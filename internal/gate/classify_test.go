@@ -1,0 +1,193 @@
+package gate
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"hsfsim/internal/cmat"
+)
+
+// TestClassificationAudit walks every library constructor and asserts the
+// kernel classification lattice: the dispatch class (Class) plus the raw
+// flags it derives from. A gate may satisfy several structures at once — CZ
+// is simultaneously diagonal, controlled on both bits, and a
+// phase-permutation — so the table pins the flags, not just the winner.
+func TestClassificationAudit(t *testing.T) {
+	type want struct {
+		class    Kind
+		controls int  // expected Controls bitmask
+		perm     bool // Perm != nil
+		pure     bool // Perm != nil && PermPhase == nil
+	}
+	cases := []struct {
+		g Gate
+		w want
+	}{
+		// Single-qubit.
+		{I(0), want{class: KindDiagonal, controls: 1, perm: true, pure: true}},
+		{X(0), want{class: KindPermutation, perm: true, pure: true}},
+		{Y(0), want{class: KindPhasePermutation, perm: true}},
+		{Z(0), want{class: KindDiagonal, controls: 1, perm: true}},
+		{H(0), want{class: KindDense}},
+		{S(0), want{class: KindDiagonal, controls: 1, perm: true}},
+		{Sdg(0), want{class: KindDiagonal, controls: 1, perm: true}},
+		{T(0), want{class: KindDiagonal, controls: 1, perm: true}},
+		{Tdg(0), want{class: KindDiagonal, controls: 1, perm: true}},
+		{SX(0), want{class: KindDense}},
+		{SY(0), want{class: KindDense}},
+		{SW(0), want{class: KindDense}},
+		{RX(0.7, 0), want{class: KindDense}},
+		{RY(0.7, 0), want{class: KindDense}},
+		{RZ(0.7, 0), want{class: KindDiagonal, perm: true}}, // no identity entry: not a control
+		{P(0.7, 0), want{class: KindDiagonal, controls: 1, perm: true}},
+		{U3(0.3, 0.4, 0.5, 0), want{class: KindDense}},
+		// Two-qubit.
+		{CNOT(0, 1), want{class: KindPermutation, controls: 1, perm: true, pure: true}},
+		{CZ(0, 1), want{class: KindDiagonal, controls: 3, perm: true}},
+		{CPhase(0.4, 0, 1), want{class: KindDiagonal, controls: 3, perm: true}},
+		{SWAP(0, 1), want{class: KindPermutation, perm: true, pure: true}},
+		{ISWAP(0, 1), want{class: KindPhasePermutation, perm: true}},
+		{RZZ(0.4, 0, 1), want{class: KindDiagonal, perm: true}},
+		{RXX(0.4, 0, 1), want{class: KindDense}},
+		{RYY(0.4, 0, 1), want{class: KindDense}},
+		{FSim(0.4, 0.2, 0, 1), want{class: KindDense}},
+		{CRX(0.4, 0, 1), want{class: KindControlled, controls: 1}},
+		{CRY(0.4, 0, 1), want{class: KindControlled, controls: 1}},
+		{CRZ(0.4, 0, 1), want{class: KindDiagonal, controls: 1, perm: true}},
+		// Three-qubit.
+		{CCX(0, 1, 2), want{class: KindPermutation, controls: 3, perm: true, pure: true}},
+		{CCZ(0, 1, 2), want{class: KindDiagonal, controls: 7, perm: true}},
+	}
+	for _, c := range cases {
+		g := c.g
+		if got := g.Class(); got != c.w.class {
+			t.Errorf("%s: class %v, want %v", g.Name, got, c.w.class)
+		}
+		if g.Controls != c.w.controls {
+			t.Errorf("%s: controls %04b, want %04b", g.Name, g.Controls, c.w.controls)
+		}
+		if (g.Perm != nil) != c.w.perm {
+			t.Errorf("%s: perm presence %v, want %v", g.Name, g.Perm != nil, c.w.perm)
+		}
+		if c.w.perm && (g.PermPhase == nil) != c.w.pure {
+			t.Errorf("%s: pure-permutation %v, want %v", g.Name, g.PermPhase == nil, c.w.pure)
+		}
+	}
+}
+
+// TestPermConsistency checks that the recorded permutation reproduces the
+// matrix exactly: column c has its single nonzero at row Perm[c] with value
+// PermPhase[c] (1 when PermPhase is nil).
+func TestPermConsistency(t *testing.T) {
+	for _, g := range []Gate{X(0), Y(0), Z(0), CNOT(0, 1), SWAP(0, 1), ISWAP(0, 1), CCX(0, 1, 2), CZ(0, 1)} {
+		if g.Perm == nil {
+			t.Fatalf("%s: expected permutation structure", g.Name)
+		}
+		dim := g.Matrix.Rows
+		for c := 0; c < dim; c++ {
+			ph := complex128(1)
+			if g.PermPhase != nil {
+				ph = g.PermPhase[c]
+			}
+			for r := 0; r < dim; r++ {
+				want := complex128(0)
+				if r == g.Perm[c] {
+					want = ph
+				}
+				if cmplx.Abs(g.Matrix.At(r, c)-want) > 1e-14 {
+					t.Fatalf("%s: entry (%d,%d) = %v, want %v", g.Name, r, c, g.Matrix.At(r, c), want)
+				}
+			}
+		}
+	}
+}
+
+// TestRemapPreservesClassification: the flags live in matrix-index space, so
+// relabeling qubits must carry them over verbatim.
+func TestRemapPreservesClassification(t *testing.T) {
+	for _, g := range []Gate{CNOT(2, 5), CRX(0.3, 1, 4), CCZ(0, 3, 6), ISWAP(2, 7)} {
+		r := g.Remap(func(q int) int { return q + 10 })
+		if r.Class() != g.Class() || r.Controls != g.Controls || (r.Perm == nil) != (g.Perm == nil) {
+			t.Errorf("%s: remap changed classification (%v→%v)", g.Name, g.Class(), r.Class())
+		}
+	}
+}
+
+// TestDaggerRecomputesClassification: the adjoint of a permutation is the
+// inverse permutation with conjugated phases; diagonality and controls are
+// preserved; and a dense gate stays dense.
+func TestDaggerRecomputesClassification(t *testing.T) {
+	g := ISWAP(0, 1)
+	d := g.Dagger()
+	if d.Class() != KindPhasePermutation {
+		t.Fatalf("iswap†: class %v", d.Class())
+	}
+	for c := 0; c < 4; c++ {
+		if d.Perm[g.Perm[c]] != c {
+			t.Fatalf("iswap†: permutation not inverted")
+		}
+	}
+	if d.PermPhase[g.Perm[0]] != cmplx.Conj(g.PermPhase[0]) {
+		t.Fatalf("iswap†: phases not conjugated")
+	}
+	crx := CRX(0.9, 0, 1)
+	dcrx := crx.Dagger()
+	if dcrx.Class() != KindControlled || dcrx.Controls != 1 {
+		t.Fatalf("crx†: class %v controls %b", dcrx.Class(), dcrx.Controls)
+	}
+	hg := H(0)
+	if h := hg.Dagger(); h.Class() != KindDense {
+		t.Fatalf("h†: class %v", h.Class())
+	}
+	sg := S(0)
+	if s := sg.Dagger(); s.Class() != KindDiagonal || s.Controls != 1 {
+		t.Fatalf("s†: class %v", s.Class())
+	}
+}
+
+// TestReclassifyAfterMatrixMutation: mutating the matrix in place and
+// reclassifying must refresh every flag and drop the kernel cache.
+func TestReclassifyAfterMatrixMutation(t *testing.T) {
+	g := Z(0) // diagonal
+	g.SetKernelCache("stale")
+	g.Matrix = cmat.FromSlice(2, 2, []complex128{0, 1, 1, 0}) // now X
+	g.Reclassify()
+	if g.Class() != KindPermutation || g.Diagonal || g.PermPhase != nil {
+		t.Fatalf("reclassify: class %v diagonal %v", g.Class(), g.Diagonal)
+	}
+	if g.KernelCache() != nil {
+		t.Fatal("reclassify kept a stale kernel cache")
+	}
+}
+
+// TestClassificationRejectsNearMisses: matrices one entry away from a
+// structure must fall back to the safe class.
+func TestClassificationRejectsNearMisses(t *testing.T) {
+	// A "controlled" matrix whose control-0 row couples into the control-1
+	// block: columns look like identity but rows do not.
+	m := cmat.Identity(4)
+	m.Set(0, 3, 0.5)
+	g := New("bad-ctrl", m, nil, 0, 1)
+	if g.Controls&1 != 0 {
+		t.Fatal("bit 0 flagged as control despite row coupling")
+	}
+	// Two nonzeros in one column: not a permutation.
+	m2 := cmat.New(2, 2)
+	m2.Set(0, 0, 1)
+	m2.Set(1, 0, 1e-3)
+	m2.Set(1, 1, 1)
+	g2 := New("bad-perm", m2, nil, 0)
+	if g2.Perm != nil {
+		t.Fatal("near-diagonal matrix classified as permutation")
+	}
+	// A zero column: not a permutation either (projector).
+	m3 := cmat.New(2, 2)
+	m3.Set(0, 0, 1)
+	g3 := New("proj", m3, nil, 0)
+	if g3.Perm != nil {
+		t.Fatal("projector classified as permutation")
+	}
+	if !g3.Diagonal {
+		t.Fatal("projector should still be diagonal")
+	}
+}

@@ -33,6 +33,23 @@ type Gate struct {
 	// checks and faster application.
 	Diagonal bool
 
+	// Perm, when non-nil, records that Matrix is a (phase-)permutation:
+	// exactly one nonzero entry per row and column, so column c maps basis
+	// state |c> to PermPhase[c]·|Perm[c]> and the simulator can move
+	// amplitudes instead of running a matvec. Like Diagonal it lives in
+	// matrix-index space, so it is independent of qubit labels and survives
+	// Clone/Remap unchanged.
+	Perm []int
+	// PermPhase holds the nonzero entry of each column when Perm is non-nil
+	// and at least one entry differs from 1. A pure permutation (X, CNOT,
+	// CCX, SWAP) has PermPhase == nil, letting kernels skip the multiply.
+	PermPhase []complex128
+	// Controls is a bitmask of matrix bit positions b on which the gate acts
+	// as a control: the operator is the identity on the subspace where bit b
+	// is 0 (both the columns and the rows of that subspace match the
+	// identity). Kernels iterate only the control-satisfied amplitudes.
+	Controls int
+
 	// kernel caches a simulator-kernel precomputation for this gate (see
 	// statevec.PrepareGate). It must be attached before the gate is shared
 	// across goroutines — attachment is not synchronized — and is dropped by
@@ -111,10 +128,17 @@ func (g *Gate) Clone() Gate {
 		Name:     g.Name,
 		Qubits:   append([]int(nil), g.Qubits...),
 		Diagonal: g.Diagonal,
+		Controls: g.Controls,
 		Matrix:   g.Matrix.Clone(),
 	}
 	if g.Params != nil {
 		c.Params = append([]float64(nil), g.Params...)
+	}
+	if g.Perm != nil {
+		c.Perm = append([]int(nil), g.Perm...)
+	}
+	if g.PermPhase != nil {
+		c.PermPhase = append([]complex128(nil), g.PermPhase...)
 	}
 	return c
 }
@@ -129,8 +153,84 @@ func (g *Gate) Remap(f func(int) int) Gate {
 	return c
 }
 
+// Dagger returns the adjoint gate: the conjugate-transposed matrix with the
+// kernel classification recomputed (a permutation inverts and its phases
+// conjugate; diagonality and the control mask are preserved, but recomputing
+// from the new matrix keeps the flags trustworthy by construction).
+func (g *Gate) Dagger() Gate {
+	c := g.Clone()
+	c.Matrix = c.Matrix.Dagger()
+	c.Reclassify()
+	return c
+}
+
+// Reclassify recomputes Diagonal, Perm, PermPhase, and Controls from the
+// current matrix and drops any attached kernel cache. Call it after mutating
+// Matrix in place; constructors going through New never need it.
+func (g *Gate) Reclassify() {
+	g.Diagonal = checkDiagonal(g.Matrix)
+	g.Perm, g.PermPhase = checkPermutation(g.Matrix)
+	g.Controls = checkControls(g.Matrix)
+	g.kernel = nil
+}
+
 // IsUnitary reports whether the gate matrix is unitary within tol.
 func (g *Gate) IsUnitary(tol float64) bool { return g.Matrix.IsUnitary(tol) }
+
+// Kind names the most specific simulator kernel class the gate's matrix
+// structure admits; see Class.
+type Kind int
+
+const (
+	// KindDense is the fallback: a full k-qubit matvec.
+	KindDense Kind = iota
+	// KindDiagonal multiplies each amplitude by a diagonal entry (CZ, RZZ,
+	// CCZ, CRZ). Gates that are also controlled (nontrivial Controls mask)
+	// touch only the control-satisfied amplitudes.
+	KindDiagonal
+	// KindPermutation moves amplitudes without arithmetic (X, CNOT, CCX,
+	// SWAP).
+	KindPermutation
+	// KindPhasePermutation moves amplitudes with one multiply per move
+	// (ISWAP, Y).
+	KindPhasePermutation
+	// KindControlled applies a dense sub-matrix on the non-control qubits,
+	// iterating only the control-satisfied subspace (CRX, CRY, controlled-U).
+	KindControlled
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDiagonal:
+		return "diagonal"
+	case KindPermutation:
+		return "permutation"
+	case KindPhasePermutation:
+		return "phase-permutation"
+	case KindControlled:
+		return "controlled"
+	}
+	return "dense"
+}
+
+// Class reports the kernel class the classification flags select, in
+// dispatch priority order: diagonal beats permutation beats controlled beats
+// dense. A gate may satisfy several structures at once (CZ is diagonal,
+// controlled, and a phase-permutation); Class names the one the simulator's
+// cheapest kernel uses.
+func (g *Gate) Class() Kind {
+	switch {
+	case g.Diagonal:
+		return KindDiagonal
+	case g.Perm != nil && g.PermPhase == nil:
+		return KindPermutation
+	case g.Perm != nil:
+		return KindPhasePermutation
+	case g.Controls != 0:
+		return KindControlled
+	}
+	return KindDense
+}
 
 // String renders a compact description like "rzz(0.500)[2 5]".
 func (g Gate) String() string {
@@ -150,11 +250,17 @@ func (g Gate) String() string {
 	return sb.String()
 }
 
+// classifyTol is the entry threshold below which classification treats a
+// matrix element as zero (and within which it treats an element as 1). It
+// matches the tolerance the diagonal flag has always used, so specialized
+// kernels drop exactly the entries the diagonal kernel already dropped.
+const classifyTol = 1e-14
+
 // checkDiagonal computes the Diagonal flag from the matrix.
 func checkDiagonal(m *cmat.Matrix) bool {
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
-			if i != j && cmplx.Abs(m.At(i, j)) > 1e-14 {
+			if i != j && cmplx.Abs(m.At(i, j)) > classifyTol {
 				return false
 			}
 		}
@@ -162,13 +268,88 @@ func checkDiagonal(m *cmat.Matrix) bool {
 	return true
 }
 
-// New builds a gate from an explicit matrix, computing the diagonal flag.
-func New(name string, matrix *cmat.Matrix, params []float64, qubits ...int) Gate {
-	return Gate{
-		Name:     name,
-		Qubits:   qubits,
-		Params:   params,
-		Matrix:   matrix,
-		Diagonal: checkDiagonal(matrix),
+// checkPermutation detects a (phase-)permutation matrix: exactly one nonzero
+// per column landing on pairwise-distinct rows. It returns the column→row map
+// and, when any nonzero differs from exactly 1, the per-column values.
+func checkPermutation(m *cmat.Matrix) ([]int, []complex128) {
+	n := m.Rows
+	perm := make([]int, n)
+	phase := make([]complex128, n)
+	rowUsed := make([]bool, n)
+	pure := true
+	for c := 0; c < n; c++ {
+		found := -1
+		for r := 0; r < n; r++ {
+			if cmplx.Abs(m.At(r, c)) > classifyTol {
+				if found >= 0 {
+					return nil, nil
+				}
+				found = r
+			}
+		}
+		if found < 0 || rowUsed[found] {
+			return nil, nil
+		}
+		rowUsed[found] = true
+		perm[c] = found
+		v := m.At(found, c)
+		phase[c] = v
+		if v != 1 {
+			pure = false
+		}
 	}
+	if pure {
+		phase = nil
+	}
+	return perm, phase
+}
+
+// checkControls returns the bitmask of matrix bit positions b on which the
+// gate is a control: every row and column whose bit b is 0 must match the
+// identity, so the operator leaves the bit-b=0 subspace untouched and never
+// couples into it.
+func checkControls(m *cmat.Matrix) int {
+	n := m.Rows
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	mask := 0
+	for b := 0; b < k; b++ {
+		bit := 1 << b
+		ok := true
+	scan:
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if r&bit != 0 && c&bit != 0 {
+					continue // both in the control-on block: unconstrained
+				}
+				want := complex128(0)
+				if r == c {
+					want = 1
+				}
+				if cmplx.Abs(m.At(r, c)-want) > classifyTol {
+					ok = false
+					break scan
+				}
+			}
+		}
+		if ok {
+			mask |= bit
+		}
+	}
+	return mask
+}
+
+// New builds a gate from an explicit matrix, computing the kernel
+// classification (diagonal flag, permutation structure, control mask).
+func New(name string, matrix *cmat.Matrix, params []float64, qubits ...int) Gate {
+	g := Gate{
+		Name:   name,
+		Qubits: qubits,
+		Params: params,
+		Matrix: matrix,
+	}
+	g.Reclassify()
+	return g
 }

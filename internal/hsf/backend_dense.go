@@ -46,8 +46,8 @@ type densePair struct {
 }
 
 func (p *densePair) applySegment(seg *segment) error {
-	p.lo.ApplyAll(seg.lower)
-	p.up.ApplyAll(seg.upper)
+	seg.loSeg.Apply(p.lo)
+	seg.upSeg.Apply(p.up)
 	return nil
 }
 

@@ -117,10 +117,14 @@ type Result struct {
 }
 
 // segment is the run of local gates between two consecutive cuts, remapped
-// to partition-local qubit labels and optionally fused.
+// to partition-local qubit labels and optionally fused. The dense backend
+// replays the compiled forms (kernel plans attached, cache-blocked sweep
+// grouping); the DD backend walks the gate slices directly.
 type segment struct {
 	lower []gate.Gate
 	upper []gate.Gate
+	loSeg *statevec.CompiledSegment
+	upSeg *statevec.CompiledSegment
 }
 
 // compiledCut is a cut with its terms lowered to partition-local gates.
@@ -254,12 +258,13 @@ func (e *engine) compile(plan *cut.Plan, fusionMaxQubits int) {
 		}
 	}
 
-	// Attach the general-kernel plans now, while the gates are still owned
-	// by this goroutine: the walker replays these gates once per path, and a
-	// prepared gate applies without per-call index precomputation.
+	// Compile the segments now, while the gates are still owned by this
+	// goroutine: the walker replays these gates once per path, and the
+	// compiled form attaches every kernel plan (no per-call index
+	// precomputation) and groups low gates into cache-blocked sweeps.
 	for i := range e.segs {
-		statevec.PrepareGates(e.segs[i].lower)
-		statevec.PrepareGates(e.segs[i].upper)
+		e.segs[i].loSeg = statevec.CompileSegment(e.segs[i].lower, e.nLower)
+		e.segs[i].upSeg = statevec.CompileSegment(e.segs[i].upper, e.nUpper)
 	}
 	for i := range e.cuts {
 		statevec.PrepareGates(e.cuts[i].lower)

@@ -8,6 +8,7 @@ import (
 
 	"hsfsim/internal/circuit"
 	"hsfsim/internal/cut"
+	"hsfsim/internal/gate"
 	"hsfsim/internal/statevec"
 )
 
@@ -65,6 +66,69 @@ func TestParityRandomPlans(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// kernelZoo builds a circuit exercising every specialized kernel class —
+// permutation (X/CNOT/SWAP/CCX), phase-permutation (ISWAP), diagonal with and
+// without controls (P/CZ/RZZ/CCZ/CRZ), controlled-dense (CRX), and plain
+// dense (H/RX) — with several of them crossing the cut, so the classified
+// fast paths in both backends are pitted against each other and against the
+// unclassified Schrödinger reference.
+func kernelZoo(rng *rand.Rand, n, cutPos int) *circuit.Circuit {
+	lo := rng.Intn(cutPos + 1)              // lower-partition qubit
+	hi := cutPos + 1 + rng.Intn(n-cutPos-1) // upper-partition qubit
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.Append(gate.H(q))
+	}
+	c.Append(
+		gate.CNOT(lo, hi), // crossing permutation
+		gate.SWAP(lo, hi), // crossing permutation (3-cycle free)
+		gate.ISWAP(lo, hi),
+		gate.CRX(rng.Float64(), lo, hi), // crossing controlled-dense
+		gate.CZ(lo, hi),                 // crossing diagonal
+		gate.P(rng.Float64(), lo),
+		gate.X(hi),
+		gate.CRZ(rng.Float64(), lo, (lo+1)%(cutPos+1)),
+		gate.RZZ(rng.Float64(), lo, hi), // crossing diagonal
+	)
+	if cutPos >= 2 {
+		c.Append(gate.CCX(0, 1, 2), gate.CCZ(0, 1, 2)) // local 3-qubit kernels
+	}
+	for q := 0; q < n; q++ {
+		c.Append(gate.RX(rng.Float64(), q))
+	}
+	return c
+}
+
+// TestParityKernelZoo runs the kernel-zoo circuit through both backends and
+// the Schrödinger reference: the specialized kernels (permutation rotations,
+// control-subspace updates, compacted diagonals) must be bit-for-bit
+// interchangeable with the dense matvec everywhere in the walker.
+func TestParityKernelZoo(t *testing.T) {
+	const n, cutPos = 8, 3
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		circ := kernelZoo(rng, n, cutPos)
+		for _, strategy := range []cut.Strategy{cut.StrategyNone, cut.StrategyCascade} {
+			plan, err := cut.BuildPlan(circ, cut.Options{
+				Partition: cut.Partition{CutPos: cutPos},
+				Strategy:  strategy,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := schrodinger(circ)
+			dense := runBackend(t, plan, BackendDense, Options{Workers: 2})
+			dd := runBackend(t, plan, BackendDD, Options{})
+			if d := statevec.MaxAbsDiff(dense.Amplitudes, dd.Amplitudes); d > 1e-12 {
+				t.Fatalf("seed %d strategy %v: dense and dd diverge: max diff %g", seed, strategy, d)
+			}
+			if d := statevec.MaxAbsDiff(statevec.State(dense.Amplitudes), want); d > 1e-10 {
+				t.Fatalf("seed %d strategy %v: dense diverges from Schrödinger: max diff %g", seed, strategy, d)
+			}
+		}
 	}
 }
 

@@ -77,14 +77,17 @@ func TestParallelRangeChunksWithinBudget(t *testing.T) {
 	})
 }
 
-// TestParallelRangeSmallStaysInline pins the size cutoff: states below
-// parallelThreshold never pay handoff overhead regardless of budget.
-func TestParallelRangeSmallStaysInline(t *testing.T) {
+// TestSequentialCutoff pins the size cutoff at the dispatch gate: every
+// kernel branches on sequential(n) before reaching parallelRange (which no
+// longer re-checks), so domains below parallelThreshold never pay handoff
+// overhead regardless of budget.
+func TestSequentialCutoff(t *testing.T) {
 	withProcs(t, 4, func() {
-		var calls int
-		parallelRange(parallelThreshold-1, func(lo, hi int) { calls++ })
-		if calls != 1 {
-			t.Fatalf("calls = %d, want 1 inline call", calls)
+		if !sequential(parallelThreshold - 1) {
+			t.Fatal("sequential(parallelThreshold-1) = false; small kernels would enter parallelRange")
+		}
+		if sequential(parallelThreshold) {
+			t.Fatal("sequential(parallelThreshold) = true with an unreserved budget")
 		}
 	})
 }

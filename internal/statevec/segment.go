@@ -1,0 +1,141 @@
+package statevec
+
+import (
+	"hsfsim/internal/gate"
+	"hsfsim/internal/par"
+)
+
+// DefaultTileQubits sets the cache-blocked sweep tile: 2^13 amplitudes of
+// complex128 = 128 KiB, sized to stay resident in a per-core L2 cache while a
+// run of gates replays over it.
+const DefaultTileQubits = 13
+
+// segStep is one unit of a compiled segment: either a run of low gates swept
+// tile by tile, or a single high gate applied as a full-state pass.
+type segStep struct {
+	gates []gate.Gate // aliases the compiled gate slice
+	tiled bool
+}
+
+// CompiledSegment is a gate sequence preprocessed for repeated application:
+// every k≥3 gate carries its kernel plan, the shared gather-scratch
+// requirement is precomputed, and consecutive gates acting only on qubits
+// below the tile boundary are grouped into cache-blocked sweeps — one pass
+// over the statevector in 2^TileQubits-amplitude tiles applying the whole run
+// per tile, instead of one full memory sweep per gate. For states at or below
+// one tile (every HSF partition state small enough to be cache-resident
+// anyway) compilation degrades to prepared inline application with a single
+// shared scratch.
+type CompiledSegment struct {
+	steps   []segStep
+	tileQ   int
+	scratch int // max kernel gather-buffer length across all gates
+	n       int // qubit count the segment was compiled for
+}
+
+// CompileSegment prepares gs (attaching kernel plans) and groups it into
+// sweep steps for an n-qubit register. The compiled segment aliases gs, so
+// the caller must not mutate the gates afterwards.
+func CompileSegment(gs []gate.Gate, n int) *CompiledSegment {
+	PrepareGates(gs)
+	cs := &CompiledSegment{tileQ: DefaultTileQubits, n: n}
+	if cs.tileQ > n {
+		cs.tileQ = n
+	}
+	runStart := -1
+	flush := func(end int) {
+		if runStart >= 0 {
+			cs.steps = append(cs.steps, segStep{gates: gs[runStart:end], tiled: true})
+			runStart = -1
+		}
+	}
+	for i := range gs {
+		g := &gs[i]
+		if plan, ok := g.KernelCache().(*kernelPlan); ok && plan.scratch > cs.scratch {
+			cs.scratch = plan.scratch
+		}
+		if g.MaxQubit() < cs.tileQ {
+			if runStart < 0 {
+				runStart = i
+			}
+			continue
+		}
+		flush(i)
+		cs.steps = append(cs.steps, segStep{gates: gs[i : i+1]})
+	}
+	flush(len(gs))
+	return cs
+}
+
+// NumSteps returns the number of sweep steps; drive ApplyStep over
+// [0,NumSteps) to interleave cancellation checks with bounded-size units of
+// work.
+func (cs *CompiledSegment) NumSteps() int { return len(cs.steps) }
+
+// NumQubits returns the register size the segment was compiled for.
+func (cs *CompiledSegment) NumQubits() int { return cs.n }
+
+// Apply runs the whole compiled segment over s.
+func (cs *CompiledSegment) Apply(s State) {
+	for i := range cs.steps {
+		cs.ApplyStep(s, i)
+	}
+}
+
+// borrow fetches the segment's shared gather scratch from the pool, or nil
+// when no gate in the segment needs one.
+func (cs *CompiledSegment) borrow() (*[]complex128, []complex128) {
+	if cs.scratch == 0 {
+		return nil, nil
+	}
+	return getScratch(cs.scratch)
+}
+
+// ApplyStep runs sweep step i over s. Tiled steps iterate aligned
+// 2^tileQ-amplitude tiles — each tile is a self-contained sub-register for
+// gates below the boundary — applying every gate of the run while the tile is
+// cache-hot; tiles are distributed across the parallelism budget. High gates
+// run as ordinary full-state passes.
+func (cs *CompiledSegment) ApplyStep(s State, i int) {
+	st := &cs.steps[i]
+	if !st.tiled {
+		s.ApplyGate(&st.gates[0])
+		return
+	}
+	tiles := len(s) >> cs.tileQ
+	if tiles <= 1 {
+		sp, buf := cs.borrow()
+		for g := range st.gates {
+			s.applyInline(&st.gates[g], buf)
+		}
+		if sp != nil {
+			scratchPool.Put(sp)
+		}
+		return
+	}
+	if par.Inner() <= 1 {
+		sp, buf := cs.borrow()
+		for t := 0; t < tiles; t++ {
+			sub := s[t<<cs.tileQ : (t+1)<<cs.tileQ]
+			for g := range st.gates {
+				sub.applyInline(&st.gates[g], buf)
+			}
+		}
+		if sp != nil {
+			scratchPool.Put(sp)
+		}
+		return
+	}
+	parallelRange(tiles, func(lo, hi int) {
+		sp, buf := cs.borrow()
+		for t := lo; t < hi; t++ {
+			sub := s[t<<cs.tileQ : (t+1)<<cs.tileQ]
+			for g := range st.gates {
+				sub.applyInline(&st.gates[g], buf)
+			}
+		}
+		if sp != nil {
+			scratchPool.Put(sp)
+		}
+	})
+}

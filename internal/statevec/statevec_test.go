@@ -31,8 +31,11 @@ func randomState(rng *rand.Rand, n int) State {
 func randomGate(rng *rand.Rand, n, k int) gate.Gate {
 	perm := rng.Perm(n)
 	qs := perm[:k]
-	dim := 1 << k
-	// Random unitary via Gram-Schmidt.
+	return gate.New("rand", randUnitary(rng, 1<<k), nil, qs...)
+}
+
+// randUnitary builds a Haar-ish random dim×dim unitary via Gram-Schmidt.
+func randUnitary(rng *rand.Rand, dim int) *cmat.Matrix {
 	m := cmat.New(dim, dim)
 	for i := range m.Data {
 		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
@@ -57,7 +60,7 @@ func randomGate(rng *rand.Rand, n, k int) gate.Gate {
 			m.Set(i, j, m.At(i, j)*inv)
 		}
 	}
-	return gate.New("rand", m, nil, qs...)
+	return m
 }
 
 // applyReference is a brute-force reference: build the embedded 2^n matrix

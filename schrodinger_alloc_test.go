@@ -1,0 +1,46 @@
+package hsfsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/fuse"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/statevec"
+)
+
+// TestSchrodingerSegmentZeroAllocs mirrors the walker's TestZeroAllocsPerLeaf
+// for the Schrödinger baseline: after compilation, replaying the fused gate
+// sequence over the statevector must not allocate. This guards the regression
+// where the baseline fused gates but never prepared them, so every k-qubit
+// application rebuilt its kernel plan on the heap.
+func TestSchrodingerSegmentZeroAllocs(t *testing.T) {
+	const n = 12
+	rng := rand.New(rand.NewSource(42))
+	c := NewCircuit(n)
+	for layer := 0; layer < 3; layer++ {
+		for q := 0; q < n; q++ {
+			c.Append(gate.H(q), gate.RZ(rng.Float64(), q))
+		}
+		for q := 0; q+2 < n; q += 3 {
+			c.Append(gate.CNOT(q, q+1), gate.CCX(q, q+1, q+2), gate.RZZ(rng.Float64(), q+1, q+2))
+		}
+	}
+	gates := fuse.Fuse(c.Gates, 3)
+	has3q := false
+	for i := range gates {
+		if gates[i].NumQubits() >= 3 {
+			has3q = true
+		}
+	}
+	if !has3q {
+		t.Fatal("fusion produced no k≥3 gates; the guard would not exercise kernel plans")
+	}
+	seg := statevec.CompileSegment(gates, n)
+	s := statevec.NewState(n)
+	seg.Apply(s) // warm the scratch pool
+	allocs := testing.AllocsPerRun(10, func() { seg.Apply(s) })
+	if allocs != 0 {
+		t.Errorf("compiled segment replay allocates %v allocs/op, want 0", allocs)
+	}
+}
