@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core race-sweep fuzz dist-test vet cover bench bench-core bench-kernels bench-tables examples fmt clean
+.PHONY: all build test race race-core race-sweep race-telemetry fuzz dist-test vet cover bench bench-core bench-kernels bench-telemetry bench-tables examples fmt clean
 
 all: build vet test
 
@@ -34,6 +34,15 @@ race-core:
 race-sweep:
 	$(GO) test -race -run 'Segment|Kernel|Parity' -count=1 ./internal/statevec/ ./internal/hsf/
 
+# Telemetry race pass: per-worker counters flush into the shared recorder and
+# the atomic histograms are hammered from every walker goroutine; the guard
+# that telemetry keeps the leaf loop at zero allocations runs without -race
+# (the detector's instrumentation allocates).
+race-telemetry:
+	$(GO) test -race ./internal/telemetry/
+	$(GO) test -race -run 'Telemetry|Prometheus|DistStats' -count=1 ./internal/hsf/ ./internal/dist/ ./internal/server/ .
+	$(GO) test -run 'TestZeroAllocsPerLeafWithTelemetry' -count=1 ./internal/hsf/
+
 # Short fuzz pass over the daemon's untrusted input surface.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/qasm/
@@ -61,6 +70,12 @@ bench-core:
 # dense-matvec path on identical gates, plus end-to-end sweeps.
 bench-kernels:
 	$(GO) run ./cmd/benchcore -study kernels -o BENCH_kernels.json
+
+# Telemetry overhead study: path-tree runs with the recorder off vs. on,
+# paired-sample median comparison. The overhead_pct column must stay within
+# the ±2% budget DESIGN.md documents.
+bench-telemetry:
+	$(GO) run ./cmd/benchcore -study telemetry -o BENCH_telemetry.json
 
 # Regenerate every table and figure at laptop scale.
 bench-tables:

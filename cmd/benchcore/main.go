@@ -4,7 +4,8 @@
 //
 //	benchcore -o BENCH_core.json
 //	benchcore -study kernels -o BENCH_kernels.json
-//	make bench-core bench-kernels
+//	benchcore -study telemetry -o BENCH_telemetry.json
+//	make bench-core bench-kernels bench-telemetry
 //
 // The core study's allocs_per_op column is the headline number: steady-state
 // walking must stay at zero allocations per replay (see internal/hsf
@@ -24,6 +25,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -35,6 +37,7 @@ import (
 	"hsfsim/internal/gate"
 	"hsfsim/internal/hsf"
 	"hsfsim/internal/statevec"
+	"hsfsim/internal/telemetry"
 )
 
 type coreResult struct {
@@ -56,7 +59,7 @@ type report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (- for stdout; default BENCH_<study>.json)")
-	study := flag.String("study", "core", "study to run: core | kernels")
+	study := flag.String("study", "core", "study to run: core | kernels | telemetry")
 	flag.Parse()
 
 	var rep any
@@ -75,8 +78,10 @@ func main() {
 		}
 	case "kernels":
 		rep = kernelStudy()
+	case "telemetry":
+		rep = telemetryStudy()
 	default:
-		fail(fmt.Errorf("unknown study %q (want core or kernels)", *study))
+		fail(fmt.Errorf("unknown study %q (want core, kernels, or telemetry)", *study))
 	}
 	if *out == "" {
 		*out = "BENCH_" + *study + ".json"
@@ -390,6 +395,128 @@ func e2eRuns() []coreResult {
 		}
 	})
 	return results
+}
+
+// telemetryRow measures one run configuration with the recorder off versus
+// on. overhead_pct is the headline number: the telemetry design budgets ≤ 2%
+// on the leaf loop (per-worker plain counters, 1-in-64 sampled timings).
+type telemetryRow struct {
+	Name               string  `json:"name"`
+	Paths              uint64  `json:"paths"`
+	DisabledNsPerPath  float64 `json:"disabled_ns_per_path"`
+	EnabledNsPerPath   float64 `json:"enabled_ns_per_path"`
+	OverheadPct        float64 `json:"overhead_pct"`
+	EnabledAllocsPerOp int64   `json:"enabled_allocs_per_op"`
+	EnabledBytesPerOp  int64   `json:"enabled_bytes_per_op"`
+}
+
+type telemetryReport struct {
+	GoVersion         string         `json:"go_version"`
+	GOOS              string         `json:"goos"`
+	GOARCH            string         `json:"goarch"`
+	GoMaxProcs        int            `json:"gomaxprocs"`
+	Timestamp         time.Time      `json:"timestamp"`
+	OverheadBudgetPct float64        `json:"overhead_budget_pct"`
+	Runs              []telemetryRow `json:"runs"`
+}
+
+// measureTelemetry benchmarks plan under opts with and without a recorder.
+// The two variants are interleaved sample by sample and compared by median,
+// so scheduler and thermal drift cancel instead of landing on one side of
+// the comparison — single best-of-N runs swing several percent on a busy
+// box, far more than the effect being measured.
+func measureTelemetry(name string, plan *cut.Plan, opts hsf.Options) telemetryRow {
+	enabled := opts
+	enabled.Telemetry = telemetry.New()
+	run := func(o hsf.Options, n int) time.Duration {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := hsf.Run(plan, o); err != nil {
+				fail(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	// Warm pools and caches, then size each sample to ~80 ms of work.
+	run(opts, 2)
+	run(enabled, 2)
+	per := run(opts, 3) / 3
+	runsPerSample := int(80*time.Millisecond/per) + 1
+	if runsPerSample > 200 {
+		runsPerSample = 200
+	}
+
+	// Each sample is a back-to-back disabled/enabled pair; the per-pair ratio
+	// cancels whatever drift both halves share, and the median of ratios is
+	// the overhead estimate.
+	const samples = 21
+	dis := make([]float64, 0, samples)
+	ratios := make([]float64, 0, samples)
+	for k := 0; k < samples; k++ {
+		d := float64(run(opts, runsPerSample))
+		e := float64(run(enabled, runsPerSample))
+		dis = append(dis, d)
+		ratios = append(ratios, e/d)
+	}
+	disMed := median(dis)
+	enMed := disMed * median(ratios)
+
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := hsf.Run(plan, enabled); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	np, _ := plan.NumPaths()
+	perPath := float64(np) * float64(runsPerSample)
+	return telemetryRow{
+		Name:               name,
+		Paths:              np,
+		DisabledNsPerPath:  disMed / perPath,
+		EnabledNsPerPath:   enMed / perPath,
+		OverheadPct:        (enMed - disMed) / disMed * 100,
+		EnabledAllocsPerOp: r.AllocsPerOp(),
+		EnabledBytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// telemetryStudy quantifies the recorder's cost on many-leaf path-tree runs:
+// small per-leaf segments are the worst case, because the fixed per-leaf
+// counter updates amortize over the least kernel work.
+func telemetryStudy() *telemetryReport {
+	rep := &telemetryReport{
+		GoVersion:         runtime.Version(),
+		GOOS:              runtime.GOOS,
+		GOARCH:            runtime.GOARCH,
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		Timestamp:         time.Now().UTC(),
+		OverheadBudgetPct: 2,
+	}
+	small, err := pathTreePlan(10, 10) // 1024 paths over 5-qubit halves
+	fail(err)
+	large, err := pathTreePlan(14, 8) // 256 paths over 7-qubit halves
+	fail(err)
+	rep.Runs = append(rep.Runs,
+		measureTelemetry("hsf/dense-1024paths-10q-1w", small, hsf.Options{Backend: hsf.BackendDense, Workers: 1}),
+		measureTelemetry("hsf/dense-1024paths-10q", small, hsf.Options{Backend: hsf.BackendDense}),
+		measureTelemetry("hsf/dense-256paths-14q-1w", large, hsf.Options{Backend: hsf.BackendDense, Workers: 1}),
+		measureTelemetry("hsf/dd-1024paths-10q-1w", small, hsf.Options{Backend: hsf.BackendDD, Workers: 1}),
+	)
+	return rep
 }
 
 func fail(err error) {

@@ -5,6 +5,7 @@
 //	hsfsim -method schrodinger circuit.qasm
 //	hsfsim -method standard -cut 7 -timeout 1h circuit.qasm
 //	hsfsim -method joint -cut 7 -backend dd circuit.qasm
+//	hsfsim -method joint -cut 7 -progress 1s -report run.json circuit.qasm
 //
 // Interrupting a run (Ctrl-C / SIGTERM) cancels it cooperatively; with
 // -checkpoint set, an interrupted or failed HSF run snapshots its completed
@@ -22,6 +23,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -61,6 +63,8 @@ func main() {
 		resume    = flag.String("resume", "", "resume an HSF run from this checkpoint file")
 		distrib   = flag.String("distribute", "", "comma-separated hsfsimd worker addresses; shard the HSF run across them")
 		fusion    = flag.Int("fusion", 0, "max fused gate qubits (0: default, <0: disable fusion and run per-gate structure kernels)")
+		report    = flag.String("report", "", "write a JSON telemetry report (spans, counters, histograms) here after the run")
+		progress  = flag.Duration("progress", 0, "print a live progress line to stderr at this interval (0: off)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -124,11 +128,27 @@ func main() {
 		opts.Backend = b
 	}
 
+	// Telemetry is opt-in: -report attaches a recorder, -progress a live
+	// ticker. Both ride hsfsim.Options, so local and distributed runs share
+	// the wiring.
+	var rec *hsfsim.TelemetryRecorder
+	if *report != "" {
+		rec = hsfsim.NewTelemetryRecorder()
+		opts.Telemetry = rec
+	}
+	stopProgress := func() {}
+	if *progress > 0 {
+		opts.Progress = new(hsfsim.ProgressTracker)
+		stopProgress = opts.Progress.Go(os.Stderr, *progress) // idempotent
+		defer stopProgress()
+	}
+
 	if *distrib != "" {
 		if opts.Method == hsfsim.Schrodinger {
 			fail(fmt.Errorf("-distribute needs an HSF method (standard | joint)"))
 		}
 		runDistributed(string(src), c, &opts, *method, *strategy, *distrib, *ckptPath, *resume, *amps, *quiet)
+		writeReport(*report, rec)
 		return
 	}
 
@@ -168,6 +188,8 @@ func main() {
 		}
 	}
 	fail(err)
+	stopProgress()
+	writeReport(*report, rec)
 	if opts.Method == hsfsim.Schrodinger && *backend != "array" && *backend != "dense" {
 		fmt.Printf("backend:         %s\n", *backend)
 	} else if opts.Method != hsfsim.Schrodinger && opts.Backend != hsfsim.BackendDense {
@@ -196,6 +218,18 @@ func main() {
 		a := res.Amplitudes[i]
 		fmt.Printf("  |%0*b>  % .6f%+.6fi   p=%.6f\n", c.NumQubits, i, real(a), imag(a), cmplx.Abs(a)*cmplx.Abs(a))
 	}
+}
+
+// writeReport serializes the recorder's telemetry report to path as indented
+// JSON; the report reconciles with the printed run statistics (paths, spans,
+// kernel classes, latency histograms).
+func writeReport(path string, rec *hsfsim.TelemetryRecorder) {
+	if path == "" || rec == nil {
+		return
+	}
+	data, err := json.MarshalIndent(rec.Report(), "", "  ")
+	fail(err)
+	fail(os.WriteFile(path, append(data, '\n'), 0o644))
 }
 
 // runDistributed drives the job as a coordinator over hsfsimd workers: the
@@ -236,6 +270,10 @@ func runDistributed(src string, c *hsfsim.Circuit, opts *hsfsim.Options, method,
 	}
 
 	var ropts dist.RunOptions
+	// Same recorder/tracker as a local run: the coordinator fills the lease
+	// timeline and advances progress as batches merge.
+	ropts.Telemetry = opts.Telemetry
+	ropts.Progress = opts.Progress
 	if resumePath != "" {
 		rf, err := os.Open(resumePath)
 		fail(err)

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDebugListener boots the daemon with -debug-addr and checks the private
+// diagnostics listener: pprof index, expvar JSON, and the runtime snapshot
+// must all serve, and none of them may leak onto the public API address.
+func TestDebugListener(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	debugCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	onDebugListen = func(a net.Addr) { debugCh <- a }
+	defer func() { onListen, onDebugListen = nil, nil }()
+
+	exitCh := make(chan int, 1)
+	go func() {
+		exitCh <- run([]string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0"})
+	}()
+	var api, debug string
+	select {
+	case a := <-addrCh:
+		api = "http://" + a.String()
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not start listening")
+	}
+	select {
+	case a := <-debugCh:
+		debug = "http://" + a.String()
+	case <-time.After(5 * time.Second):
+		t.Fatal("debug listener did not start")
+	}
+
+	get := func(url string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	if resp, body := get(debug + "/debug/pprof/"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d, body %.80q", resp.StatusCode, body)
+	}
+	if resp, _ := get(debug + "/debug/pprof/heap?debug=1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof heap: status %d", resp.StatusCode)
+	}
+	if resp, body := get(debug + "/debug/vars"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "hsfsimd") {
+		t.Fatalf("debug expvar: status %d, body %.80q", resp.StatusCode, body)
+	}
+
+	resp, body := get(debug + "/debug/runtime")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug runtime: status %d", resp.StatusCode)
+	}
+	var rt map[string]any
+	if err := json.Unmarshal([]byte(body), &rt); err != nil {
+		t.Fatalf("debug runtime not JSON: %v", err)
+	}
+	for _, key := range []string{"heap_alloc_bytes", "gc_cycles", "goroutines", "gomaxprocs"} {
+		if _, ok := rt[key]; !ok {
+			t.Fatalf("debug runtime missing %q: %v", key, rt)
+		}
+	}
+
+	// The public API listener must not serve the profiler.
+	if resp, _ := get(api + "/debug/pprof/"); resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable on the public API address")
+	}
+	// And both surfaces stay alive simultaneously.
+	if resp, _ := get(api + "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exitCh:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

@@ -17,6 +17,14 @@
 // instance can act as a worker; -worker/-join only adds the registration
 // loop.
 //
+// Observability: GET /metrics (on the API address) serves Prometheus text
+// exposition; -progress logs a periodic counter summary; -debug-addr opens a
+// second, private listener with pprof, expvar, and a runtime snapshot:
+//
+//	hsfsimd -addr :8080 -debug-addr 127.0.0.1:6060 -progress 30s
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/heap
+//	curl -s 127.0.0.1:6060/debug/runtime
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-flight
 // simulations drain for up to -drain-timeout (their request contexts are
 // canceled past that), and the process exits 0.
@@ -24,13 +32,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -43,6 +56,9 @@ import (
 // onListen, when non-nil, receives the bound address once the listener is
 // up. Tests use it with "-addr 127.0.0.1:0" to discover the port.
 var onListen func(net.Addr)
+
+// onDebugListen mirrors onListen for the -debug-addr listener.
+var onDebugListen func(net.Addr)
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -65,6 +81,8 @@ func run(args []string) int {
 		distWorkers   = fs.String("dist-workers", "", "comma-separated worker addresses pinned for distributed /simulate")
 		leaseTimeout  = fs.Duration("lease-timeout", 0, "distributed lease deadline as coordinator (0: 2m)")
 		workerTTL     = fs.Duration("worker-ttl", 0, "registered-worker heartbeat TTL as coordinator (0: 1m)")
+		debugAddr     = fs.String("debug-addr", "", "serve pprof + expvar + runtime stats on this separate listener (keep it private)")
+		progressEvery = fs.Duration("progress", 0, "log a periodic counter summary at this interval (0: off)")
 	)
 	_ = fs.Parse(args)
 	if *worker && *join == "" {
@@ -106,6 +124,28 @@ func run(args []string) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The diagnostics listener is separate from the API listener so pprof and
+	// expvar never ride the public address; bind it to localhost or a
+	// firewalled interface only — profiles leak code and heap contents.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Printf("debug listen: %v", err)
+			return 1
+		}
+		dsrv := &http.Server{Handler: debugMux(), ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = dsrv.Serve(dln) }()
+		defer dsrv.Close()
+		if onDebugListen != nil {
+			onDebugListen(dln.Addr())
+		}
+		logger.Printf("debug listener on %s (pprof, expvar, runtime; do not expose publicly)", dln.Addr())
+	}
+
+	if *progressEvery > 0 {
+		go logProgress(ctx, logger, *progressEvery)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -150,4 +190,82 @@ func run(args []string) int {
 	}
 	logger.Printf("shutdown complete")
 	return 0
+}
+
+// debugMux builds the -debug-addr handler tree: pprof profiles, the expvar
+// counters, and a JSON runtime snapshot. The handlers are registered
+// explicitly so nothing here touches http.DefaultServeMux.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/runtime", handleDebugRuntime)
+	return mux
+}
+
+// handleDebugRuntime reports heap and GC health as JSON: the numbers an
+// operator checks before reaching for a full pprof heap profile.
+func handleDebugRuntime(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"heap_alloc_bytes":    ms.HeapAlloc,
+		"heap_sys_bytes":      ms.HeapSys,
+		"heap_inuse_bytes":    ms.HeapInuse,
+		"total_alloc_bytes":   ms.TotalAlloc,
+		"mallocs":             ms.Mallocs,
+		"frees":               ms.Frees,
+		"gc_cycles":           ms.NumGC,
+		"gc_pause_total_ns":   ms.PauseTotalNs,
+		"gc_cpu_fraction":     ms.GCCPUFraction,
+		"next_gc_bytes":       ms.NextGC,
+		"goroutines":          runtime.NumGoroutine(),
+		"gomaxprocs":          runtime.GOMAXPROCS(0),
+		"last_gc_unix_nanos":  ms.LastGC,
+		"stack_inuse_bytes":   ms.StackInuse,
+		"heap_released_bytes": ms.HeapReleased,
+		"heap_objects":        ms.HeapObjects,
+	})
+}
+
+// logProgress periodically logs the load-relevant expvar counters, giving a
+// headless daemon a liveness trace without any scraper attached.
+func logProgress(ctx context.Context, logger *log.Logger, every time.Duration) {
+	read := func(m *expvar.Map, key string) string {
+		if v := m.Get(key); v != nil {
+			return v.String()
+		}
+		return "0"
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	// Suppress repeats while the daemon is idle: a quiet process should not
+	// fill its log with identical progress lines.
+	var last string
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			m, ok := expvar.Get("hsfsimd").(*expvar.Map)
+			if !ok {
+				return
+			}
+			line := fmt.Sprintf("progress: requests=%s simulations=%s paths=%s in_flight=%s shed=%s worker_runs=%s leases=%s",
+				read(m, "requests_total"), read(m, "simulations_total"),
+				read(m, "paths_simulated_total"), read(m, "in_flight"),
+				read(m, "shed_429_total"), read(m, "worker_runs_total"),
+				read(m, "dist_leases_granted_total"))
+			if line == last {
+				continue
+			}
+			last = line
+			logger.Print(line)
+		}
+	}
 }

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"time"
 
 	"hsfsim/internal/circuit"
@@ -42,6 +43,7 @@ import (
 	"hsfsim/internal/gate"
 	"hsfsim/internal/hsf"
 	"hsfsim/internal/statevec"
+	"hsfsim/internal/telemetry"
 )
 
 // Method selects the simulation algorithm.
@@ -205,7 +207,32 @@ type Options struct {
 	// HSF path leaves (0: disabled) — a testing hook that makes
 	// checkpoint/resume recovery reproducible without real crashes.
 	FailAfterPaths int64
+	// Telemetry, when non-nil, records run-level measurements — plan and
+	// compile spans, per-segment sweep timings, kernel-class attribution,
+	// leaf-latency histograms, pool and parallelism statistics — and
+	// Result.Report is populated from it. Create one with
+	// NewTelemetryRecorder. Telemetry is sampled and aggregated per worker,
+	// so enabling it does not perturb the zero-alloc simulation hot path.
+	Telemetry *TelemetryRecorder
+	// Progress, when non-nil, is wired to the run's live path counter so a
+	// caller can render a paths-done/total ticker (see ProgressTracker.Go).
+	Progress *ProgressTracker
 }
+
+// TelemetryRecorder collects run-level measurements; see Options.Telemetry.
+// The same recorder may be shared across runs to aggregate them.
+type TelemetryRecorder = telemetry.Recorder
+
+// TelemetryReport is the JSON-serializable summary a recorder assembles;
+// see Result.Report.
+type TelemetryReport = telemetry.Report
+
+// ProgressTracker publishes live paths-done/total progress; see
+// Options.Progress.
+type ProgressTracker = telemetry.Tracker
+
+// NewTelemetryRecorder returns a fresh recorder for Options.Telemetry.
+func NewTelemetryRecorder() *TelemetryRecorder { return telemetry.New() }
 
 // Result reports the simulated amplitudes and run statistics.
 type Result struct {
@@ -231,6 +258,9 @@ type Result struct {
 	// rows of the paper's Table I.
 	PreprocessTime time.Duration
 	SimTime        time.Duration
+	// Report is the telemetry summary of the run; populated only when
+	// Options.Telemetry was set.
+	Report *TelemetryReport
 }
 
 // TotalTime returns preprocessing plus simulation time.
@@ -297,6 +327,7 @@ func runSchrodinger(ctx context.Context, c *Circuit, opts Options) (*Result, err
 		}
 	}
 	pre := time.Now()
+	endCompile := opts.Telemetry.Span("compile")
 	gates := c.Gates
 	if opts.FusionMaxQubits >= 0 {
 		maxQ := opts.FusionMaxQubits
@@ -313,6 +344,10 @@ func runSchrodinger(ctx context.Context, c *Circuit, opts Options) (*Result, err
 	// of rebuilding (and allocating) it on each application, and runs of
 	// low-qubit gates become cache-blocked sweeps over the 2^n state.
 	seg := statevec.CompileSegment(gates, c.NumQubits)
+	endCompile()
+	if opts.Telemetry != nil {
+		opts.Telemetry.AddKernelClasses(kernelClassCensus(gates))
+	}
 	preprocess := time.Since(pre)
 
 	if opts.Timeout > 0 {
@@ -320,6 +355,7 @@ func runSchrodinger(ctx context.Context, c *Circuit, opts Options) (*Result, err
 		ctx, cancel = context.WithTimeoutCause(ctx, opts.Timeout, ErrTimeout)
 		defer cancel()
 	}
+	opts.Progress.Start(1, 0, nil)
 	simStart := time.Now()
 	s := statevec.NewState(c.NumQubits)
 	for i := 0; i < seg.NumSteps(); i++ {
@@ -328,8 +364,22 @@ func runSchrodinger(ctx context.Context, c *Circuit, opts Options) (*Result, err
 			return nil, context.Cause(ctx)
 		default:
 		}
-		seg.ApplyStep(s, i)
+		if opts.Telemetry != nil {
+			// The Schrödinger loop runs tens of steps per run, so every
+			// step is timed (no sampling needed at this rate).
+			t0 := time.Now()
+			seg.ApplyStep(s, i)
+			opts.Telemetry.ObserveSegment(i, time.Since(t0))
+		} else {
+			seg.ApplyStep(s, i)
+		}
 	}
+	simTime := time.Since(simStart)
+	opts.Progress.Add(1)
+	opts.Telemetry.FinishRun(telemetry.RunTotals{
+		TotalPaths: 1, Simulated: 1, Workers: 1,
+		Gomaxprocs: runtime.GOMAXPROCS(0), Elapsed: simTime,
+	})
 	amps := []complex128(s)
 	if opts.MaxAmplitudes > 0 && opts.MaxAmplitudes < len(amps) {
 		amps = amps[:opts.MaxAmplitudes]
@@ -340,8 +390,24 @@ func runSchrodinger(ctx context.Context, c *Circuit, opts Options) (*Result, err
 		NumPaths:       1,
 		PathsSimulated: 1,
 		PreprocessTime: preprocess,
-		SimTime:        time.Since(simStart),
+		SimTime:        simTime,
+		Report:         opts.Telemetry.Report(),
 	}, nil
+}
+
+// kernelClassCensus tallies the kernel classes of a gate list for direct
+// telemetry attribution (the Schrödinger path applies each gate once).
+func kernelClassCensus(gates []gate.Gate) (names []string, counts []int64) {
+	numKinds := int(gate.KindControlled) + 1
+	names = make([]string, numKinds)
+	counts = make([]int64, numKinds)
+	for k := range names {
+		names[k] = gate.Kind(k).String()
+	}
+	for i := range gates {
+		counts[gates[i].Class()]++
+	}
+	return names, counts
 }
 
 func runHSF(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
@@ -353,6 +419,9 @@ func runHSF(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 		}
 	}
 	pre := time.Now()
+	// The "plan" span covers partitioning, block grouping, and every Schmidt
+	// decomposition — the preprocessing line of the paper's Table I.
+	endPlan := opts.Telemetry.Span("plan")
 	plan, err := cut.BuildPlan(c, cut.Options{
 		Partition:      cut.Partition{CutPos: opts.CutPos},
 		Strategy:       strategy,
@@ -360,6 +429,7 @@ func runHSF(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 		Tol:            opts.Tol,
 		UseAnalytic:    opts.UseAnalyticCascades,
 	})
+	endPlan()
 	if err != nil {
 		return nil, fmt.Errorf("hsfsim: %w", err)
 	}
@@ -375,6 +445,8 @@ func runHSF(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 		MaxPaths:         opts.MaxPaths,
 		CheckpointWriter: opts.CheckpointWriter,
 		FailAfterPaths:   opts.FailAfterPaths,
+		Telemetry:        opts.Telemetry,
+		Progress:         opts.Progress,
 	}
 	if opts.ResumeFrom != nil {
 		ck, err := hsf.ReadCheckpoint(opts.ResumeFrom)
@@ -398,6 +470,7 @@ func runHSF(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 		NumSeparateCuts: plan.NumSeparateCuts(),
 		PreprocessTime:  preprocess,
 		SimTime:         res.Elapsed,
+		Report:          opts.Telemetry.Report(),
 	}, nil
 }
 

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hsfsim/internal/hsf"
+	"hsfsim/internal/telemetry"
 )
 
 // Stats are process-wide counters a coordinator updates; a daemon exposes
@@ -46,8 +48,15 @@ type Config struct {
 	WorkerTTL time.Duration
 	// Logger receives lease-level events (nil: log.Default()).
 	Logger *log.Logger
-	// Stats, when non-nil, receives counter updates.
+	// Stats, when non-nil, receives counter updates. Every coordinator
+	// should get its own Stats instance (a daemon scopes one per service and
+	// aggregates for export); New allocates a private one when nil, so
+	// coordinators never share counters by accident.
 	Stats *Stats
+	// OnLease, when non-nil, receives one event per completed (or failed)
+	// lease: worker, batch, duration, merged path count. It is called from
+	// worker lease loops, so it must be safe for concurrent use.
+	OnLease func(telemetry.LeaseEvent)
 
 	// onLease, when non-nil, runs just before each lease is dispatched
 	// (worker address, batch id). Tests use it to kill workers mid-run.
@@ -107,7 +116,8 @@ type batch struct {
 	done     bool // guarded by session.mu; set once when merged
 }
 
-// RunOptions carries per-run I/O: crash recovery in and out.
+// RunOptions carries per-run I/O: crash recovery in and out, plus optional
+// observability sinks.
 type RunOptions struct {
 	// Resume seeds the merged state from a prior checkpoint: already-merged
 	// prefixes are never leased again.
@@ -115,6 +125,12 @@ type RunOptions struct {
 	// CheckpointWriter receives the merged state if the run stops
 	// prematurely, in the exact format single-process runs write.
 	CheckpointWriter io.Writer
+	// Telemetry, when non-nil, records the run's lease timeline (one
+	// LeaseEvent per lease, lease-duration histogram) and final totals.
+	Telemetry *telemetry.Recorder
+	// Progress, when non-nil, is advanced as batches merge, so callers can
+	// render a live paths-done/total ticker for distributed runs too.
+	Progress *telemetry.Tracker
 }
 
 // Run executes the job across the current fleet and returns the merged
@@ -167,6 +183,24 @@ func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Resu
 
 	batches := c.makeBatches(pending, len(workers))
 	np, _ := plan.NumPaths()
+	npClamped := int64(np)
+	if np > 1<<63-1 {
+		npClamped = 1<<63 - 1
+	}
+	resumedPaths := ck.PathsSimulated
+	opts.Progress.Start(npClamped, resumedPaths, nil)
+	start := time.Now()
+	finish := func() {
+		opts.Telemetry.FinishRun(telemetry.RunTotals{
+			TotalPaths: npClamped,
+			Log2Paths:  plan.Log2Paths(),
+			Simulated:  ck.PathsSimulated,
+			Resumed:    resumedPaths,
+			Workers:    len(workers),
+			Gomaxprocs: runtime.GOMAXPROCS(0),
+			Elapsed:    time.Since(start),
+		})
+	}
 	result := func(reassigned int64) *Result {
 		return &Result{
 			Amplitudes:      ck.Acc,
@@ -183,6 +217,7 @@ func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Resu
 		}
 	}
 	if len(batches) == 0 { // everything already checkpointed
+		finish()
 		return result(0), nil
 	}
 
@@ -194,6 +229,9 @@ func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Resu
 		ck:        ck,
 		queue:     make(chan *batch, len(batches)),
 		remaining: len(batches),
+		tel:       opts.Telemetry,
+		progress:  opts.Progress,
+		start:     start,
 	}
 	s.runCtx, s.cancel = context.WithCancelCause(ctx)
 	defer s.cancel(nil)
@@ -212,6 +250,7 @@ func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Resu
 	}
 	wg.Wait()
 
+	finish()
 	err = s.err()
 	if err != nil {
 		if opts.CheckpointWriter != nil {
@@ -266,6 +305,33 @@ type session struct {
 	cancel     context.CancelCauseFunc
 	active     atomic.Int64 // workers still in rotation
 	reassigned atomic.Int64
+
+	tel      *telemetry.Recorder
+	progress *telemetry.Tracker
+	start    time.Time
+}
+
+// lease reports one completed (or failed) lease to the configured sinks:
+// the run recorder's lease timeline and the coordinator's OnLease callback.
+func (s *session) lease(addr string, b *batch, t0 time.Time, paths int64, err error) {
+	if s.tel == nil && s.co.cfg.OnLease == nil {
+		return
+	}
+	ev := telemetry.LeaseEvent{
+		Worker:   addr,
+		Batch:    b.id,
+		Prefixes: len(b.prefixes),
+		StartMs:  float64(t0.Sub(s.start)) / 1e6,
+		DurMs:    float64(time.Since(t0)) / 1e6,
+		Paths:    paths,
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	s.tel.Lease(ev)
+	if cb := s.co.cfg.OnLease; cb != nil {
+		cb(ev)
+	}
 }
 
 // errAllDone is the private cancellation cause distinguishing "every batch
@@ -327,6 +393,7 @@ func (s *session) runWorker(addr string) {
 		}
 		cfg.Stats.LeasesGranted.Add(1)
 		cfg.Stats.InFlightLeases.Add(1)
+		t0 := time.Now()
 		lctx, lcancel := context.WithTimeout(s.runCtx, cfg.LeaseTimeout)
 		part, err := cfg.Transport.Run(lctx, addr, &RunRequest{
 			Job:         *s.job,
@@ -337,6 +404,11 @@ func (s *session) runWorker(addr string) {
 		})
 		lcancel()
 		cfg.Stats.InFlightLeases.Add(-1)
+		var partPaths int64
+		if part != nil {
+			partPaths = part.PathsSimulated
+		}
+		s.lease(addr, b, t0, partPaths, err)
 
 		if err != nil {
 			// The whole run is over or canceled: put the batch back for the
@@ -395,6 +467,7 @@ func (s *session) merge(b *batch, part *hsf.Checkpoint) error {
 	b.done = true
 	cfg.Stats.PrefixesMerged.Add(int64(len(part.Prefixes)))
 	cfg.Stats.PathsSimulated.Add(part.PathsSimulated)
+	s.progress.Add(part.PathsSimulated)
 	s.remaining--
 	if s.remaining == 0 {
 		s.cancel(errAllDone)

@@ -1,0 +1,160 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"hsfsim/internal/hsf"
+	"hsfsim/internal/telemetry"
+)
+
+// TestDistTelemetryLeaseTimeline runs a healthy loopback fleet with a
+// recorder and progress tracker attached: every batch must show up in the
+// lease timeline and the merged path counts must reconcile.
+func TestDistTelemetryLeaseTimeline(t *testing.T) {
+	job := testJob(7)
+	lb := NewLoopback()
+	lb.AddWorker("w0", ExecOptions{})
+	lb.AddWorker("w1", ExecOptions{})
+
+	var cbLeases atomic.Int64
+	co := New(Config{
+		Transport: lb,
+		Logger:    quietLogger(),
+		OnLease:   func(ev telemetry.LeaseEvent) { cbLeases.Add(1) },
+	})
+	co.AddWorker("w0")
+	co.AddWorker("w1")
+
+	rec := telemetry.New()
+	var tr telemetry.Tracker
+	res, err := co.Run(context.Background(), job, RunOptions{Telemetry: rec, Progress: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := rec.Report()
+	if len(rep.Leases) != res.Batches {
+		t.Fatalf("lease timeline has %d events, want one per batch (%d)", len(rep.Leases), res.Batches)
+	}
+	if got := cbLeases.Load(); got != int64(res.Batches) {
+		t.Fatalf("OnLease fired %d times, want %d", got, res.Batches)
+	}
+	if rep.LeaseDurations.Count != int64(res.Batches) {
+		t.Fatalf("lease histogram count = %d, want %d", rep.LeaseDurations.Count, res.Batches)
+	}
+	var leasePaths int64
+	for _, ev := range rep.Leases {
+		if ev.Err != "" {
+			t.Fatalf("unexpected lease error: %+v", ev)
+		}
+		if ev.DurMs < 0 || ev.StartMs < 0 {
+			t.Fatalf("bad lease timing: %+v", ev)
+		}
+		leasePaths += ev.Paths
+	}
+	if leasePaths != res.PathsSimulated {
+		t.Fatalf("lease paths sum = %d, Result.PathsSimulated = %d", leasePaths, res.PathsSimulated)
+	}
+	if rep.Paths.Simulated != res.PathsSimulated {
+		t.Fatalf("report simulated = %d, want %d", rep.Paths.Simulated, res.PathsSimulated)
+	}
+	if tr.Done() != res.PathsSimulated || tr.Total() != int64(res.NumPaths) {
+		t.Fatalf("tracker %d/%d, want %d/%d", tr.Done(), tr.Total(), res.PathsSimulated, res.NumPaths)
+	}
+}
+
+// TestDistTelemetryKillMidRunResume is the distributed half of the
+// counter-accuracy criterion: a worker dies mid-run, the run checkpoints,
+// and the resumed run's telemetry must account for every path exactly once
+// (resumed + freshly simulated == the plan's total).
+func TestDistTelemetryKillMidRunResume(t *testing.T) {
+	job := testJob(8)
+	lb := NewLoopback()
+	lb.AddWorker("w0", ExecOptions{})
+	var killOnce atomic.Bool
+	rec1 := telemetry.New()
+	co := New(Config{
+		Transport: lb,
+		Logger:    quietLogger(),
+		BatchSize: 1,
+		onLease: func(worker string, batch int) {
+			if killOnce.Swap(true) {
+				lb.Kill("w0")
+			}
+		},
+	})
+	co.AddWorker("w0")
+	var ckBuf bytes.Buffer
+	_, err := co.Run(context.Background(), job, RunOptions{CheckpointWriter: &ckBuf, Telemetry: rec1})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("got %v, want ErrNoWorkers", err)
+	}
+	rep1 := rec1.Report()
+	var failed int
+	for _, ev := range rep1.Leases {
+		if ev.Err != "" {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("killed worker's failed leases missing from the timeline")
+	}
+	ck, err := hsf.ReadCheckpoint(&ckBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Paths.Simulated != ck.PathsSimulated {
+		t.Fatalf("faulted report simulated = %d, checkpoint = %d", rep1.Paths.Simulated, ck.PathsSimulated)
+	}
+
+	lb2 := NewLoopback()
+	lb2.AddWorker("w1", ExecOptions{})
+	co2 := New(Config{Transport: lb2, Logger: quietLogger()})
+	co2.AddWorker("w1")
+	rec2 := telemetry.New()
+	var tr telemetry.Tracker
+	res, err := co2.Run(context.Background(), job, RunOptions{Resume: ck, Telemetry: rec2, Progress: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := rec2.Report()
+	if rep2.Paths.Simulated != res.PathsSimulated {
+		t.Fatalf("resumed report simulated = %d, Result = %d", rep2.Paths.Simulated, res.PathsSimulated)
+	}
+	if rep2.Paths.Resumed != ck.PathsSimulated {
+		t.Fatalf("resumed = %d, checkpoint had %d", rep2.Paths.Resumed, ck.PathsSimulated)
+	}
+	if res.PathsSimulated != int64(res.NumPaths) {
+		t.Fatalf("resumed run incomplete: %d of %d paths", res.PathsSimulated, res.NumPaths)
+	}
+	if tr.Done() != int64(res.NumPaths) {
+		t.Fatalf("tracker done = %d, want %d", tr.Done(), res.NumPaths)
+	}
+	assertAmplitudesMatch(t, res.Amplitudes, singleProcess(t, job), 1e-12)
+}
+
+// TestDistWorkerTelemetry checks ExecOptions.Telemetry feeds a worker-side
+// recorder during lease execution.
+func TestDistWorkerTelemetry(t *testing.T) {
+	job := testJob(9)
+	wrec := telemetry.New()
+	lb := NewLoopback()
+	lb.AddWorker("w0", ExecOptions{Telemetry: wrec})
+	co := New(Config{Transport: lb, Logger: quietLogger()})
+	co.AddWorker("w0")
+	res, err := co.Run(context.Background(), job, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := wrec.Report()
+	if rep.Counters.Leaves != res.PathsSimulated {
+		t.Fatalf("worker recorder saw %d leaves, coordinator merged %d paths",
+			rep.Counters.Leaves, res.PathsSimulated)
+	}
+	if rep.Counters.SegmentApplications == 0 || len(rep.Segments) == 0 {
+		t.Fatalf("worker recorder has no segment stats: %+v", rep.Counters)
+	}
+}

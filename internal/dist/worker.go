@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hsfsim/internal/hsf"
+	"hsfsim/internal/telemetry"
 )
 
 // ExecOptions bounds a worker's local execution; they come from the worker's
@@ -19,6 +20,11 @@ type ExecOptions struct {
 	// statevector is allocated.
 	MemoryBudget int64
 	MaxPaths     uint64
+	// Telemetry, when non-nil, records the lease's engine-level
+	// measurements (segment timings, leaf latencies, kernel classes). A
+	// daemon passes its service-scoped recorder so /metrics histograms
+	// cover worker executions too.
+	Telemetry *telemetry.Recorder
 }
 
 // ExecuteRun is the worker half of the protocol: compile the job's plan,
@@ -62,6 +68,7 @@ func ExecuteRun(ctx context.Context, req *RunRequest, opts ExecOptions) (*hsf.Ch
 		FusionMaxQubits: req.Job.FusionMaxQubits,
 		MemoryBudget:    opts.MemoryBudget,
 		MaxPaths:        opts.MaxPaths,
+		Telemetry:       opts.Telemetry,
 	}, req.SplitLevels, req.Prefixes)
 	if err != nil {
 		if errors.Is(err, hsf.ErrBudget) {

@@ -16,6 +16,10 @@ func newDenseWorkspace(e *engine) *denseWorkspace {
 	return &denseWorkspace{e: e, pool: statevec.NewPool()}
 }
 
+// poolStats exposes the buffer pool's get/reuse counters for telemetry
+// (queried once, at worker exit).
+func (ws *denseWorkspace) poolStats() (gets, reuses int) { return ws.pool.Stats() }
+
 // take returns a pair with fresh buffers of the partition sizes attached
 // (contents unspecified).
 func (ws *denseWorkspace) take() *densePair {

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"hsfsim/internal/gate"
 	"hsfsim/internal/par"
 	"hsfsim/internal/statevec"
+	"hsfsim/internal/telemetry"
 )
 
 // ErrTimeout is returned when the simulation exceeds Options.Timeout. A
@@ -92,6 +94,15 @@ type Options struct {
 	// path leaves have been simulated (0: disabled). Testing hook for
 	// checkpoint/resume recovery.
 	FailAfterPaths int64
+	// Telemetry, when non-nil, records run-level measurements: compile
+	// spans, per-segment application counts and sampled sweep timings,
+	// leaf-latency histograms, kernel-class attribution, and pool/par
+	// statistics. Counters accumulate per worker and merge once at worker
+	// exit, so enabling telemetry does not perturb the zero-alloc hot path.
+	Telemetry *telemetry.Recorder
+	// Progress, when non-nil, is wired to the engine's live leaf counter at
+	// run start so callers can render paths-done/total tickers for free.
+	Progress *telemetry.Tracker
 
 	// testHookLeaf, when non-nil, runs after every simulated path leaf with
 	// the global leaf count. Tests use it to cancel or panic mid-run at a
@@ -138,6 +149,7 @@ type engine struct {
 	backend Backend
 	segs    []segment
 	cuts    []compiledCut
+	ranks   []int // per-cut Schmidt ranks (len(cuts[l].sigma))
 	nLower  int
 	nUpper  int
 	m       int // output amplitudes
@@ -145,6 +157,13 @@ type engine struct {
 
 	failAfter int64
 	hook      func(int64)
+
+	tel *telemetry.Recorder
+	// parReserved/parInner snapshot the process parallelism budget while the
+	// worker pool holds its reservation (written in runTasks before the
+	// workers start, read for the telemetry run totals afterwards).
+	parReserved int
+	parInner    int
 }
 
 // Run executes the plan without external cancellation.
@@ -175,8 +194,10 @@ func RunContext(ctx context.Context, plan *cut.Plan, opts Options) (*Result, err
 	m := resolveAmplitudes(plan, opts.MaxAmplitudes)
 
 	e := &engine{backend: opts.Backend, nLower: nLower, nUpper: nUpper, m: m,
-		failAfter: opts.FailAfterPaths, hook: opts.testHookLeaf}
+		failAfter: opts.FailAfterPaths, hook: opts.testHookLeaf, tel: opts.Telemetry}
+	endCompile := opts.Telemetry.Span("compile")
 	e.compile(plan, opts.FusionMaxQubits)
+	endCompile()
 
 	if opts.Resume != nil {
 		if err := opts.Resume.validateFor(plan, m); err != nil {
@@ -190,9 +211,19 @@ func RunContext(ctx context.Context, plan *cut.Plan, opts Options) (*Result, err
 		defer cancel()
 	}
 
+	np, _ := plan.NumPaths()
+	var resumedPaths int64
+	if opts.Resume != nil {
+		resumedPaths = opts.Resume.PathsSimulated
+	}
+	opts.Progress.Start(saturateInt64(np), resumedPaths, &e.leaves)
+
 	start := time.Now()
 	amps, ck, err := e.run(ctx, workers, opts.Resume, plan)
 	elapsed := time.Since(start)
+	if ck != nil {
+		e.finishTelemetry(opts.Telemetry, np, plan.Log2Paths(), ck.PathsSimulated, resumedPaths, workers, elapsed)
+	}
 	if err != nil {
 		if ck != nil && opts.CheckpointWriter != nil {
 			if werr := WriteCheckpoint(opts.CheckpointWriter, ck); werr != nil {
@@ -201,8 +232,6 @@ func RunContext(ctx context.Context, plan *cut.Plan, opts Options) (*Result, err
 		}
 		return nil, err
 	}
-
-	np, _ := plan.NumPaths()
 	return &Result{
 		Amplitudes:     amps,
 		NumPaths:       np,
@@ -270,6 +299,87 @@ func (e *engine) compile(plan *cut.Plan, fusionMaxQubits int) {
 		statevec.PrepareGates(e.cuts[i].lower)
 		statevec.PrepareGates(e.cuts[i].upper)
 	}
+
+	e.ranks = make([]int, len(e.cuts))
+	for i := range e.cuts {
+		e.ranks[i] = len(e.cuts[i].sigma)
+	}
+	if e.tel != nil {
+		e.tel.SetStructure(kernelClassNames(), e.segClassTable(), e.cutClassTable())
+	}
+}
+
+// numKinds is the number of kernel classes the gate package distinguishes.
+const numKinds = int(gate.KindControlled) + 1
+
+// kernelClassNames returns the class names indexed by gate.Kind, so the
+// telemetry package needs no gate dependency.
+func kernelClassNames() []string {
+	names := make([]string, numKinds)
+	for k := range names {
+		names[k] = gate.Kind(k).String()
+	}
+	return names
+}
+
+// countClasses tallies gate kernel classes into a fresh per-kind vector.
+func countClasses(gss ...[]gate.Gate) []int64 {
+	counts := make([]int64, numKinds)
+	for _, gs := range gss {
+		for i := range gs {
+			counts[gs[i].Class()]++
+		}
+	}
+	return counts
+}
+
+// segClassTable returns, per segment, the kernel-class census of the gates
+// one application of that segment executes (both partitions, post-fusion).
+// The walker then only counts segment applications; per-class totals are a
+// dot product taken at report time, costing the hot path nothing.
+func (e *engine) segClassTable() [][]int64 {
+	t := make([][]int64, len(e.segs))
+	for i := range e.segs {
+		t[i] = countClasses(e.segs[i].lower, e.segs[i].upper)
+	}
+	return t
+}
+
+// cutClassTable returns, per cut level and term, the kernel-class census of
+// one cut-term application (the lower and upper term gates).
+func (e *engine) cutClassTable() [][][]int64 {
+	t := make([][][]int64, len(e.cuts))
+	for l := range e.cuts {
+		t[l] = make([][]int64, len(e.cuts[l].sigma))
+		for term := range t[l] {
+			t[l][term] = countClasses(
+				e.cuts[l].lower[term:term+1], e.cuts[l].upper[term:term+1])
+		}
+	}
+	return t
+}
+
+// saturateInt64 clamps a uint64 path count into int64 range.
+func saturateInt64(v uint64) int64 {
+	if v > 1<<63-1 {
+		return 1<<63 - 1
+	}
+	return int64(v)
+}
+
+// finishTelemetry records the run's final totals (nil-safe via Recorder).
+func (e *engine) finishTelemetry(rec *telemetry.Recorder, np uint64, log2 float64, simulated, resumed int64, workers int, elapsed time.Duration) {
+	rec.FinishRun(telemetry.RunTotals{
+		TotalPaths: saturateInt64(np),
+		Log2Paths:  log2,
+		Simulated:  simulated,
+		Resumed:    resumed,
+		Workers:    workers,
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Reserved:   e.parReserved,
+		Inner:      e.parInner,
+		Elapsed:    elapsed,
+	})
 }
 
 // stopped returns the cancellation cause if ctx is done.
@@ -349,6 +459,7 @@ func (e *engine) runTasks(ctx context.Context, workers int, pending [][]int, ck 
 	}
 	releaseBudget := par.Reserve(workers)
 	defer releaseBudget()
+	e.parReserved, e.parInner = par.Reserved(), par.Inner()
 
 	// The first failing worker cancels runCtx so its peers stop at the next
 	// segment boundary instead of burning through their whole subtree.
@@ -379,7 +490,7 @@ func (e *engine) runTasks(ctx context.Context, workers int, pending [][]int, ck 
 				fail(err)
 				return
 			}
-			walk := &walker{e: e, ws: ws}
+			walk := &walker{e: e, ws: ws, wc: e.tel.Worker(len(e.segs), e.ranks)}
 			scratch := make([]complex128, e.m)
 			for prefix := range taskCh {
 				if stopped(runCtx) != nil {
@@ -398,6 +509,12 @@ func (e *engine) runTasks(ctx context.Context, workers int, pending [][]int, ck 
 				ck.Prefixes = append(ck.Prefixes, prefix)
 				ck.PathsSimulated += nLeaves
 				mu.Unlock()
+			}
+			if walk.wc != nil {
+				if ps, ok := ws.(interface{ poolStats() (int, int) }); ok {
+					walk.wc.AddPool(ps.poolStats())
+				}
+				e.tel.Flush(walk.wc)
 			}
 		}()
 	}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"hsfsim/internal/cut"
 )
@@ -119,8 +120,10 @@ func RunPrefixesContext(ctx context.Context, plan *cut.Plan, opts Options, split
 	m := resolveAmplitudes(plan, opts.MaxAmplitudes)
 
 	e := &engine{backend: opts.Backend, nLower: nLower, nUpper: nUpper, m: m,
-		failAfter: opts.FailAfterPaths, hook: opts.testHookLeaf}
+		failAfter: opts.FailAfterPaths, hook: opts.testHookLeaf, tel: opts.Telemetry}
+	endCompile := opts.Telemetry.Span("compile")
 	e.compile(plan, opts.FusionMaxQubits)
+	endCompile()
 
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -138,7 +141,11 @@ func RunPrefixesContext(ctx context.Context, plan *cut.Plan, opts Options, split
 	if len(prefixes) == 0 {
 		return ck, stopped(ctx)
 	}
-	if err := e.runTasks(ctx, workers, prefixes, ck); err != nil {
+	start := time.Now()
+	err = e.runTasks(ctx, workers, prefixes, ck)
+	np, _ := plan.NumPaths()
+	e.finishTelemetry(opts.Telemetry, np, plan.Log2Paths(), ck.PathsSimulated, 0, workers, time.Since(start))
+	if err != nil {
 		return nil, err
 	}
 	return ck, nil

@@ -1,0 +1,212 @@
+package hsf
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"hsfsim/internal/cut"
+	"hsfsim/internal/telemetry"
+)
+
+// telemetryAllocHarness mirrors allocHarness with telemetry enabled: the
+// walker carries a live WorkerCounters block feeding a shared Recorder.
+func telemetryAllocHarness(tb testing.TB) (*walker, []complex128, *telemetry.Recorder) {
+	tb.Helper()
+	c := manyCutCircuit(8, 6)
+	plan, err := cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: 3}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rec := telemetry.New()
+	e := &engine{
+		backend: BackendDense,
+		nLower:  plan.Partition.NumLower(),
+		nUpper:  plan.Partition.NumUpper(plan.NumQubits),
+		m:       resolveAmplitudes(plan, 0),
+		tel:     rec,
+	}
+	e.compile(plan, 0)
+	ws, err := e.newWorkspace()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	walk := &walker{e: e, ws: ws, wc: rec.Worker(len(e.segs), e.ranks)}
+	scratch := make([]complex128, e.m)
+	for i := 0; i < 2; i++ { // warm the pools
+		clear(scratch)
+		if _, err := walk.runPrefix(context.Background(), nil, scratch); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return walk, scratch, rec
+}
+
+// TestZeroAllocsPerLeafWithTelemetry is the telemetry half of the allocation
+// guard: the counter block and sampled histogram observations must not cost
+// a single heap allocation on the steady-state walk.
+func TestZeroAllocsPerLeafWithTelemetry(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	walk, scratch, rec := telemetryAllocHarness(t)
+	ctx := context.Background()
+	var leaves int64
+	allocs := testing.AllocsPerRun(10, func() {
+		clear(scratch)
+		n, err := walk.runPrefix(ctx, nil, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves += n
+	})
+	if allocs != 0 {
+		t.Fatalf("telemetry-enabled walk allocated %.1f times per replay (%d leaves), want 0", allocs, leaves)
+	}
+	// The walk must actually have been measured: flush and check counters.
+	rec.Flush(walk.wc)
+	rep := rec.Report()
+	if rep.Counters.Leaves == 0 || rep.Counters.SegmentApplications == 0 {
+		t.Fatalf("telemetry saw nothing: %+v", rep.Counters)
+	}
+}
+
+// BenchmarkRunBranchSteadyStateTelemetry is BenchmarkRunBranchSteadyState
+// with telemetry enabled; comparing the two quantifies the recorder's
+// overhead (budget: ≤2%, tracked in BENCH_telemetry.json).
+func BenchmarkRunBranchSteadyStateTelemetry(b *testing.B) {
+	walk, scratch, _ := telemetryAllocHarness(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(scratch)
+		if _, err := walk.runPrefix(ctx, nil, scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// checkReportMatchesResult asserts the reconciliation invariants between a
+// run's Report and its Result.
+func checkReportMatchesResult(t *testing.T, rep *telemetry.Report, res *Result) {
+	t.Helper()
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	if rep.Paths.Simulated != res.PathsSimulated {
+		t.Fatalf("report paths simulated = %d, Result.PathsSimulated = %d",
+			rep.Paths.Simulated, res.PathsSimulated)
+	}
+	if rep.Paths.Total != int64(res.NumPaths) {
+		t.Fatalf("report paths total = %d, Result.NumPaths = %d", rep.Paths.Total, res.NumPaths)
+	}
+	if rep.Counters.Leaves != res.PathsSimulated-rep.Paths.Resumed {
+		t.Fatalf("leaves counted = %d, want simulated-resumed = %d",
+			rep.Counters.Leaves, res.PathsSimulated-rep.Paths.Resumed)
+	}
+	if rep.Counters.SegmentApplications < rep.Counters.Leaves {
+		t.Fatalf("segment applications %d < leaves %d", rep.Counters.SegmentApplications, rep.Counters.Leaves)
+	}
+	var classTotal int64
+	for _, c := range rep.KernelClasses {
+		classTotal += c
+	}
+	if classTotal == 0 {
+		t.Fatalf("no kernel classes attributed: %+v", rep.KernelClasses)
+	}
+	if len(rep.Segments) == 0 {
+		t.Fatalf("no per-segment stats")
+	}
+}
+
+// TestTelemetryCountsMatchResult runs the same plan on both backends with a
+// recorder attached and checks the report reconciles with the Result.
+func TestTelemetryCountsMatchResult(t *testing.T) {
+	plan := buildPlan(t, manyCutCircuit(8, 5), 3, cut.StrategyNone)
+	for _, backend := range []Backend{BackendDense, BackendDD} {
+		rec := telemetry.New()
+		res, err := Run(plan, Options{Backend: backend, Telemetry: rec})
+		if err != nil {
+			t.Fatalf("%v: %v", backend, err)
+		}
+		rep := rec.Report()
+		checkReportMatchesResult(t, rep, res)
+		if res.PathsSimulated != int64(res.NumPaths) {
+			t.Fatalf("%v: incomplete run: %d of %d paths", backend, res.PathsSimulated, res.NumPaths)
+		}
+		if backend == BackendDense && rep.Counters.PoolGets == 0 {
+			t.Fatalf("dense backend reported no pool activity")
+		}
+		if rep.Par.Gomaxprocs == 0 || rep.Par.Workers == 0 {
+			t.Fatalf("%v: par stats missing: %+v", backend, rep.Par)
+		}
+	}
+}
+
+// TestTelemetryAcrossFaultAndResume interrupts a run with an injected fault
+// and resumes it from the checkpoint: the resumed run's report must account
+// for every path as resumed + freshly walked.
+func TestTelemetryAcrossFaultAndResume(t *testing.T) {
+	plan := buildPlan(t, manyCutCircuit(8, 8), 3, cut.StrategyNone)
+
+	var buf bytes.Buffer
+	rec1 := telemetry.New()
+	_, err := Run(plan, Options{Workers: 2, FailAfterPaths: 40,
+		CheckpointWriter: &buf, Telemetry: rec1})
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("err = %v, want ErrInjectedFault", err)
+	}
+	rep1 := rec1.Report()
+	if rep1.Paths.Simulated == 0 {
+		t.Fatalf("faulted run recorded no progress")
+	}
+
+	ck, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2 := telemetry.New()
+	var tr telemetry.Tracker
+	res, err := Run(plan, Options{Workers: 2, Resume: ck, Telemetry: rec2, Progress: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := rec2.Report()
+	checkReportMatchesResult(t, rep2, res)
+	if rep2.Paths.Resumed != ck.PathsSimulated {
+		t.Fatalf("resumed = %d, checkpoint had %d", rep2.Paths.Resumed, ck.PathsSimulated)
+	}
+	if res.PathsSimulated != int64(res.NumPaths) {
+		t.Fatalf("resumed run incomplete: %d of %d", res.PathsSimulated, res.NumPaths)
+	}
+	if got := tr.Done(); got != int64(res.NumPaths) {
+		t.Fatalf("tracker done = %d, want %d", got, res.NumPaths)
+	}
+	if tr.Total() != int64(res.NumPaths) {
+		t.Fatalf("tracker total = %d, want %d", tr.Total(), res.NumPaths)
+	}
+}
+
+// TestTelemetryPrefixRun checks RunPrefixesContext (the distributed worker
+// entry point) feeds the same recorder machinery.
+func TestTelemetryPrefixRun(t *testing.T) {
+	plan := buildPlan(t, manyCutCircuit(8, 5), 3, cut.StrategyNone)
+	splitLevels := ChooseSplitLevels(plan, 4)
+	prefixes := EnumeratePrefixes(plan, splitLevels)
+
+	rec := telemetry.New()
+	ck, err := RunPrefixesContext(context.Background(), plan, Options{Telemetry: rec},
+		splitLevels, prefixes[:len(prefixes)/2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := rec.Report()
+	if rep.Paths.Simulated != ck.PathsSimulated {
+		t.Fatalf("report simulated = %d, checkpoint = %d", rep.Paths.Simulated, ck.PathsSimulated)
+	}
+	if rep.Counters.Leaves != ck.PathsSimulated {
+		t.Fatalf("leaves = %d, want %d", rep.Counters.Leaves, ck.PathsSimulated)
+	}
+}

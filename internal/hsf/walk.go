@@ -3,6 +3,9 @@ package hsf
 import (
 	"context"
 	"runtime/debug"
+	"time"
+
+	"hsfsim/internal/telemetry"
 )
 
 // walkFrame is one node of the explicit-stack depth-first path-tree walk.
@@ -21,9 +24,16 @@ type walkFrame struct {
 // recycle through the workspace, so steady-state execution allocates
 // nothing: live pair states never exceed the remaining tree depth (one per
 // frame), exactly the clone-chain bound of the Cost model.
+//
+// wc is the worker's private telemetry counter block (nil when telemetry is
+// disabled). Its methods neither allocate nor lock — counters are plain
+// fields flushed once at worker exit, and sampled timings (1 in 64) feed
+// atomic histograms — so the zero-allocs-per-leaf guarantee holds with
+// telemetry enabled.
 type walker struct {
 	e     *engine
 	ws    workspace
+	wc    *telemetry.WorkerCounters
 	stack []walkFrame
 }
 
@@ -52,6 +62,13 @@ func (w *walker) runPrefix(ctx context.Context, prefix []int, acc []complex128) 
 			st.release()
 			return 0, err
 		}
+		var t0 time.Time
+		sampled := false
+		if w.wc != nil {
+			if sampled = w.wc.Sample(); sampled {
+				t0 = time.Now()
+			}
+		}
 		if err := st.applySegment(&w.e.segs[l]); err != nil {
 			st.release()
 			return 0, err
@@ -60,6 +77,10 @@ func (w *walker) runPrefix(ctx context.Context, prefix []int, acc []complex128) 
 		if err := st.applyCutTerm(c, t); err != nil {
 			st.release()
 			return 0, err
+		}
+		if w.wc != nil {
+			w.wc.Seg(l, sampled, t0)
+			w.wc.CutTerm(l, t)
 		}
 		coeff *= c.sigma[t]
 	}
@@ -89,8 +110,18 @@ func (w *walker) walk(ctx context.Context, root pairState, level int, coeff comp
 			if err := stopped(ctx); err != nil {
 				return fail(err)
 			}
+			var t0 time.Time
+			sampled := false
+			if w.wc != nil {
+				if sampled = w.wc.Sample(); sampled {
+					t0 = time.Now()
+				}
+			}
 			if err := f.st.applySegment(&w.e.segs[f.level]); err != nil {
 				return fail(err)
+			}
+			if w.wc != nil {
+				w.wc.Seg(f.level, sampled, t0)
 			}
 			f.entered = true
 			if f.level == len(w.e.cuts) {
@@ -102,6 +133,11 @@ func (w *walker) walk(ctx context.Context, root pairState, level int, coeff comp
 				nLeaves++
 				f.st.release()
 				w.stack = w.stack[:len(w.stack)-1]
+				if w.wc != nil {
+					// Leaf latency spans the leaf's final segment sweep
+					// through accumulation, sharing the segment's sample.
+					w.wc.Leaf(sampled, t0)
+				}
 				if w.e.hook != nil {
 					w.e.hook(n)
 				}
@@ -124,10 +160,16 @@ func (w *walker) walk(ctx context.Context, root pairState, level int, coeff comp
 			if err != nil {
 				return fail(err)
 			}
+			if w.wc != nil {
+				w.wc.Fork()
+			}
 		}
 		if err := child.applyCutTerm(c, t); err != nil {
 			child.release() // child is not on the stack yet
 			return fail(err)
+		}
+		if w.wc != nil {
+			w.wc.CutTerm(level, t)
 		}
 		w.stack = append(w.stack, walkFrame{st: child, level: level + 1, coeff: coeff * c.sigma[t]})
 	}

@@ -1,20 +1,28 @@
-// Runtime metrics. Counters are process-global expvar values published once
-// under the "hsfsimd" map and served at GET /debug/vars through the standard
-// expvar handler; /readyz echoes the load-relevant subset so probes see them
-// without parsing the full dump. Multiple service instances in one process
-// (tests) share the counters — they describe the process, not one handler
-// tree.
+// Runtime metrics, two surfaces:
+//
+//   - GET /debug/vars — the process-global expvar map "hsfsimd", served by
+//     the standard expvar handler. Counters describe the whole process:
+//     multiple service instances (tests, embedded daemons) aggregate here.
+//   - GET /metrics — Prometheus text exposition of the same counters plus
+//     the per-service latency histograms (leaf latency, segment sweep time,
+//     dist lease durations) and runtime gauges (heap, GC, goroutines).
+//
+// Dist lease stats are scoped per coordinator: every service owns a private
+// *dist.Stats (so concurrent services — e.g. a coordinator and its workers
+// in one test process — never cross-talk), and the process-global expvar
+// values are computed by summing a registry of all live instances.
 package server
 
 import (
 	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
 
 	"hsfsim/internal/dist"
+	"hsfsim/internal/telemetry"
 )
-
-// distStats is shared by every coordinator in the process so lease metrics
-// aggregate across services.
-var distStats dist.Stats
 
 var (
 	metricRequests       = new(expvar.Int) // HTTP requests received (all endpoints)
@@ -25,6 +33,34 @@ var (
 	metricWorkerRuns     = new(expvar.Int) // /dist/run leases served as a worker
 )
 
+// distStatsRegistry tracks every service's private *dist.Stats so the
+// process-global expvar aggregation can sum over them.
+var distStatsRegistry struct {
+	mu  sync.Mutex
+	all []*dist.Stats
+}
+
+// newDistStats allocates a coordinator-scoped stats block and registers it
+// for process-global aggregation.
+func newDistStats() *dist.Stats {
+	s := &dist.Stats{}
+	distStatsRegistry.mu.Lock()
+	distStatsRegistry.all = append(distStatsRegistry.all, s)
+	distStatsRegistry.mu.Unlock()
+	return s
+}
+
+// sumDistStats folds one counter across every registered coordinator.
+func sumDistStats(read func(*dist.Stats) int64) int64 {
+	distStatsRegistry.mu.Lock()
+	defer distStatsRegistry.mu.Unlock()
+	var total int64
+	for _, s := range distStatsRegistry.all {
+		total += read(s)
+	}
+	return total
+}
+
 func init() {
 	m := expvar.NewMap("hsfsimd")
 	m.Set("requests_total", metricRequests)
@@ -33,10 +69,92 @@ func init() {
 	m.Set("shed_429_total", metricShed429)
 	m.Set("in_flight", metricInFlight)
 	m.Set("worker_runs_total", metricWorkerRuns)
-	m.Set("dist_leases_granted_total", expvar.Func(func() any { return distStats.LeasesGranted.Load() }))
-	m.Set("dist_lease_reassignments_total", expvar.Func(func() any { return distStats.LeasesReassigned.Load() }))
-	m.Set("dist_workers_retired_total", expvar.Func(func() any { return distStats.WorkersRetired.Load() }))
-	m.Set("dist_prefixes_merged_total", expvar.Func(func() any { return distStats.PrefixesMerged.Load() }))
-	m.Set("dist_paths_simulated_total", expvar.Func(func() any { return distStats.PathsSimulated.Load() }))
-	m.Set("dist_leases_in_flight", expvar.Func(func() any { return distStats.InFlightLeases.Load() }))
+	m.Set("dist_leases_granted_total", expvar.Func(func() any {
+		return sumDistStats(func(s *dist.Stats) int64 { return s.LeasesGranted.Load() })
+	}))
+	m.Set("dist_lease_reassignments_total", expvar.Func(func() any {
+		return sumDistStats(func(s *dist.Stats) int64 { return s.LeasesReassigned.Load() })
+	}))
+	m.Set("dist_workers_retired_total", expvar.Func(func() any {
+		return sumDistStats(func(s *dist.Stats) int64 { return s.WorkersRetired.Load() })
+	}))
+	m.Set("dist_prefixes_merged_total", expvar.Func(func() any {
+		return sumDistStats(func(s *dist.Stats) int64 { return s.PrefixesMerged.Load() })
+	}))
+	m.Set("dist_paths_simulated_total", expvar.Func(func() any {
+		return sumDistStats(func(s *dist.Stats) int64 { return s.PathsSimulated.Load() })
+	}))
+	m.Set("dist_leases_in_flight", expvar.Func(func() any {
+		return sumDistStats(func(s *dist.Stats) int64 { return s.InFlightLeases.Load() })
+	}))
+}
+
+// handleMetrics serves the Prometheus text exposition format: every expvar
+// counter of the "hsfsimd" map, the service's latency histograms, and
+// runtime gauges. Counter metrics are process-global (matching /debug/vars);
+// histograms are scoped to this service instance.
+func (s *service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+
+	telemetry.WriteCounter(w, "hsfsimd_requests_total",
+		"HTTP requests received across all endpoints.", metricRequests.Value())
+	telemetry.WriteCounter(w, "hsfsimd_simulations_total",
+		"Simulations completed successfully.", metricSimulations.Value())
+	telemetry.WriteCounter(w, "hsfsimd_paths_simulated_total",
+		"Feynman path leaves simulated locally.", metricPathsSimulated.Value())
+	telemetry.WriteCounter(w, "hsfsimd_shed_429_total",
+		"Requests shed by the concurrency limiter.", metricShed429.Value())
+	telemetry.WriteGauge(w, "hsfsimd_in_flight",
+		"Simulation requests currently executing.", float64(metricInFlight.Value()))
+	telemetry.WriteCounter(w, "hsfsimd_worker_runs_total",
+		"Distributed leases served as a worker.", metricWorkerRuns.Value())
+
+	telemetry.WriteCounter(w, "hsfsimd_dist_leases_granted_total",
+		"Distributed leases granted by coordinators.",
+		sumDistStats(func(st *dist.Stats) int64 { return st.LeasesGranted.Load() }))
+	telemetry.WriteCounter(w, "hsfsimd_dist_lease_reassignments_total",
+		"Leases reassigned after worker failure or stall.",
+		sumDistStats(func(st *dist.Stats) int64 { return st.LeasesReassigned.Load() }))
+	telemetry.WriteCounter(w, "hsfsimd_dist_workers_retired_total",
+		"Workers retired after repeated lease failures.",
+		sumDistStats(func(st *dist.Stats) int64 { return st.WorkersRetired.Load() }))
+	telemetry.WriteCounter(w, "hsfsimd_dist_prefixes_merged_total",
+		"Prefix tasks merged into coordinator state.",
+		sumDistStats(func(st *dist.Stats) int64 { return st.PrefixesMerged.Load() }))
+	telemetry.WriteCounter(w, "hsfsimd_dist_paths_simulated_total",
+		"Feynman path leaves merged from distributed workers.",
+		sumDistStats(func(st *dist.Stats) int64 { return st.PathsSimulated.Load() }))
+	telemetry.WriteGauge(w, "hsfsimd_dist_leases_in_flight",
+		"Distributed leases currently executing.",
+		float64(sumDistStats(func(st *dist.Stats) int64 { return st.InFlightLeases.Load() })))
+
+	telemetry.WriteHistogram(w, "hsfsimd_leaf_latency_seconds",
+		"Sampled per-leaf latency (segment sweep + accumulate) of local runs.",
+		&s.leafLatency)
+	telemetry.WriteHistogram(w, "hsfsimd_segment_sweep_seconds",
+		"Sampled segment sweep durations of local runs.", &s.segmentSweep)
+	telemetry.WriteHistogram(w, "hsfsimd_dist_lease_duration_seconds",
+		"Durations of distributed leases dispatched by this coordinator.",
+		&s.leaseDurations)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	telemetry.WriteGauge(w, "hsfsimd_heap_alloc_bytes",
+		"Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	telemetry.WriteGauge(w, "hsfsimd_heap_sys_bytes",
+		"Heap memory obtained from the OS.", float64(ms.HeapSys))
+	telemetry.WriteGauge(w, "hsfsimd_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.", float64(ms.PauseTotalNs)/1e9)
+	telemetry.WriteCounter(w, "hsfsimd_gc_cycles_total",
+		"Completed GC cycles.", int64(ms.NumGC))
+	telemetry.WriteGauge(w, "hsfsimd_goroutines",
+		"Current number of goroutines.", float64(runtime.NumGoroutine()))
+	_, _ = fmt.Fprintf(w, "")
+}
+
+// mergeRunTelemetry folds one request-scoped recorder's histograms into the
+// service-level histograms /metrics exposes.
+func (s *service) mergeRunTelemetry(rec *telemetry.Recorder) {
+	s.leafLatency.Merge(rec.LeafLatency.Snapshot())
+	s.segmentSweep.Merge(rec.SegmentSweep.Snapshot())
 }

@@ -9,6 +9,7 @@
 //	GET  /healthz       — liveness
 //	GET  /readyz        — readiness / saturation of the simulation limiter
 //	GET  /debug/vars    — expvar runtime metrics
+//	GET  /metrics       — Prometheus text exposition (counters + histograms)
 //
 // The handlers are plain net/http so the service embeds anywhere; cmd/hsfsimd
 // wraps them in a binary.
@@ -39,6 +40,7 @@ import (
 	"hsfsim/internal/dist"
 	"hsfsim/internal/hsf"
 	"hsfsim/internal/qasm"
+	"hsfsim/internal/telemetry"
 )
 
 // MaxRequestBytes bounds the accepted QASM payload.
@@ -176,6 +178,16 @@ type service struct {
 	inFlight atomic.Int64
 	reqSeq   atomic.Uint64
 	coord    *dist.Coordinator
+
+	// distStats is this coordinator's private lease-stats block; /debug/vars
+	// aggregates across all services in the process, /readyz reads only ours.
+	distStats *dist.Stats
+
+	// Service-lifetime histograms served by /metrics; request-scoped recorders
+	// merge into the first two, the coordinator's OnLease feeds the third.
+	leafLatency    telemetry.Histogram
+	segmentSweep   telemetry.Histogram
+	leaseDurations telemetry.Histogram
 }
 
 // Service couples the HTTP handler tree with the fleet management the
@@ -218,11 +230,12 @@ func (s *service) routes() http.Handler {
 	mux.HandleFunc("/dist/register", s.handleDistRegister)
 	mux.HandleFunc("/dist/workers", s.handleDistWorkers)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return s.instrument(mux)
 }
 
 func newService(cfg Config) *service {
-	s := &service{cfg: cfg.withDefaults()}
+	s := &service{cfg: cfg.withDefaults(), distStats: newDistStats()}
 	if s.cfg.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
 	}
@@ -231,7 +244,10 @@ func newService(cfg Config) *service {
 		LeaseTimeout: s.cfg.DistLeaseTimeout,
 		WorkerTTL:    s.cfg.WorkerTTL,
 		Logger:       s.cfg.Logger,
-		Stats:        &distStats,
+		Stats:        s.distStats,
+		OnLease: func(ev telemetry.LeaseEvent) {
+			s.leaseDurations.Observe(time.Duration(ev.DurMs * float64(time.Millisecond)))
+		},
 	})
 	return s
 }
@@ -313,7 +329,7 @@ func (s *service) handleReady(w http.ResponseWriter, r *http.Request) {
 		PathsSimulatedTotal: metricPathsSimulated.Value(),
 		Shed429Total:        metricShed429.Value(),
 		WorkerRunsTotal:     metricWorkerRuns.Value(),
-		LeaseReassignments:  distStats.LeasesReassigned.Load(),
+		LeaseReassignments:  s.distStats.LeasesReassigned.Load(),
 	}
 	code := http.StatusOK
 	if s.sem != nil && len(s.sem) >= cap(s.sem) {
@@ -492,6 +508,12 @@ func (s *service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Request-scoped recorder: its sampled latency histograms merge into the
+	// service-level /metrics histograms whether the run succeeds or not.
+	rec := telemetry.New()
+	opts.Telemetry = rec
+	defer s.mergeRunTelemetry(rec)
+
 	start := time.Now()
 	res, err := hsfsim.SimulateContext(ctx, c, opts)
 	if err != nil {
@@ -630,10 +652,13 @@ func (s *service) handleDistRun(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.MaxTimeout)
 		defer cancel()
 	}
+	rec := telemetry.New()
+	defer s.mergeRunTelemetry(rec)
 	ck, err := dist.ExecuteRun(ctx, &req, dist.ExecOptions{
 		Workers:      s.cfg.Workers,
 		MemoryBudget: s.cfg.MemoryBudget,
 		MaxPaths:     s.cfg.MaxPaths,
+		Telemetry:    rec,
 	})
 	if err != nil {
 		s.writeDistRunErr(w, r, err)

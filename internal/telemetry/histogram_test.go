@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Nanosecond) // bucket 0 (≤250ns)
+	h.Observe(250 * time.Nanosecond) // bucket 0 (inclusive bound)
+	h.Observe(300 * time.Nanosecond) // bucket 1 (≤1µs)
+	h.Observe(time.Hour)             // +Inf
+	h.Observe(-time.Second)          // clamped to 0 → bucket 0
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Counts[0] != 3 {
+		t.Fatalf("bucket 0 = %d, want 3", s.Counts[0])
+	}
+	if s.Counts[1] != 1 {
+		t.Fatalf("bucket 1 = %d, want 1", s.Counts[1])
+	}
+	if inf := s.Counts[len(s.Counts)-1]; inf != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", inf)
+	}
+	wantSum := (100 + 250 + 300 + int64(time.Hour)) // negative clamped to 0
+	if got := int64(s.SumSeconds * 1e9); got < wantSum-1000 || got > wantSum+1000 {
+		t.Fatalf("sum = %d ns, want ≈%d", got, wantSum)
+	}
+	if len(s.BoundsSeconds) != numBuckets || len(s.Counts) != numBuckets+1 {
+		t.Fatalf("geometry: %d bounds, %d counts", len(s.BoundsSeconds), len(s.Counts))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	b.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	a.Merge(b.Snapshot())
+	if got := a.Count(); got != 3 {
+		t.Fatalf("merged count = %d, want 3", got)
+	}
+	s := a.Snapshot()
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("bucket total = %d, want 3", total)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+// TestPrometheusExposition writes every metric type and re-parses the text
+// format, checking the invariants a Prometheus scraper relies on: TYPE/HELP
+// lines precede samples, histogram buckets are cumulative and end at +Inf,
+// and _count matches the +Inf bucket.
+func TestPrometheusExposition(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(1+i) * time.Microsecond)
+	}
+	var buf bytes.Buffer
+	WriteCounter(&buf, "test_requests_total", "Requests.", 42)
+	WriteGauge(&buf, "test_in_flight", "In flight.", 3.5)
+	WriteHistogram(&buf, "test_latency_seconds", "Latency.", &h)
+
+	metrics, err := parseExposition(&buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := metrics["test_requests_total"]; got.typ != "counter" || got.samples["test_requests_total"] != 42 {
+		t.Fatalf("counter: %+v", got)
+	}
+	if got := metrics["test_in_flight"]; got.typ != "gauge" || got.samples["test_in_flight"] != 3.5 {
+		t.Fatalf("gauge: %+v", got)
+	}
+	hist, ok := metrics["test_latency_seconds"]
+	if !ok || hist.typ != "histogram" {
+		t.Fatalf("histogram missing or mistyped: %+v", hist)
+	}
+	if got := hist.samples["test_latency_seconds_count"]; got != 100 {
+		t.Fatalf("_count = %v, want 100", got)
+	}
+	inf, ok := hist.samples[`test_latency_seconds_bucket{le="+Inf"}`]
+	if !ok || inf != 100 {
+		t.Fatalf("+Inf bucket = %v, want 100", inf)
+	}
+	// Buckets must be cumulative (non-decreasing in bound order).
+	prev := -1.0
+	for _, kv := range hist.orderedBuckets {
+		if kv.value < prev {
+			t.Fatalf("bucket %q not cumulative: %v < %v", kv.key, kv.value, prev)
+		}
+		prev = kv.value
+	}
+	if hist.samples["test_latency_seconds_sum"] <= 0 {
+		t.Fatalf("_sum should be positive")
+	}
+}
+
+type parsedMetric struct {
+	typ            string
+	help           bool
+	samples        map[string]float64
+	orderedBuckets []bucketSample
+}
+
+type bucketSample struct {
+	key   string
+	value float64
+}
+
+// parseExposition is a minimal Prometheus text-format v0.0.4 parser: it
+// understands # HELP / # TYPE comments and name{labels} value samples, and
+// rejects samples whose metric family was never typed.
+func parseExposition(r *bytes.Buffer) (map[string]*parsedMetric, error) {
+	metrics := map[string]*parsedMetric{}
+	family := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name {
+				if m, ok := metrics[base]; ok && m.typ == "histogram" {
+					return base
+				}
+			}
+		}
+		return name
+	}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			m := metrics[parts[0]]
+			if m == nil {
+				m = &parsedMetric{samples: map[string]float64{}}
+				metrics[parts[0]] = m
+			}
+			m.help = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line[len("# TYPE "):])
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("bad TYPE line: %q", line)
+			}
+			m := metrics[parts[0]]
+			if m == nil {
+				m = &parsedMetric{samples: map[string]float64{}}
+				metrics[parts[0]] = m
+			}
+			m.typ = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sample line: name{labels} value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("bad sample line: %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %v", line, err)
+		}
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		fam := family(name)
+		m, ok := metrics[fam]
+		if !ok || m.typ == "" {
+			return nil, fmt.Errorf("sample %q has no TYPE", line)
+		}
+		m.samples[key] = val
+		if strings.Contains(key, "_bucket{") {
+			m.orderedBuckets = append(m.orderedBuckets, bucketSample{key, val})
+		}
+	}
+	return metrics, sc.Err()
+}

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Tracker publishes path-tree progress with zero hot-path cost. The engine
+// already maintains an atomic leaf counter for FailAfterPaths and result
+// accounting; Start hands the Tracker a pointer to that same counter, so
+// reading progress costs the walker nothing at all. Distributed runs, which
+// have no live local counter, advance the base count with Add as batches
+// merge.
+//
+// All methods are safe on a nil receiver and safe for concurrent use.
+type Tracker struct {
+	total     atomic.Int64
+	base      atomic.Int64
+	live      atomic.Pointer[atomic.Int64]
+	startNano atomic.Int64
+}
+
+// Start sets the run's total path count, seeds the base with paths already
+// done (resume), and optionally publishes the engine's live leaf counter.
+func (t *Tracker) Start(total, base int64, live *atomic.Int64) {
+	if t == nil {
+		return
+	}
+	t.total.Store(total)
+	t.base.Store(base)
+	t.live.Store(live)
+	t.startNano.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// Add advances the base count by n (e.g. one merged distributed batch).
+func (t *Tracker) Add(n int64) {
+	if t == nil {
+		return
+	}
+	t.base.Add(n)
+}
+
+// Done returns the number of paths completed so far.
+func (t *Tracker) Done() int64 {
+	if t == nil {
+		return 0
+	}
+	d := t.base.Load()
+	if live := t.live.Load(); live != nil {
+		d += live.Load()
+	}
+	return d
+}
+
+// Total returns the run's total path count (0 before Start).
+func (t *Tracker) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.total.Load()
+}
+
+// Go starts a goroutine printing a progress line to w every interval, and
+// returns the function that stops it (printing one final line). The line is
+// carriage-return rewritten, so it renders as a live ticker on a terminal
+// and as successive lines when piped through a line buffer.
+func (t *Tracker) Go(w io.Writer, every time.Duration) (stop func()) {
+	if t == nil || w == nil {
+		return func() {}
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fmt.Fprintf(w, "\r%s", t.Line())
+			case <-done:
+				fmt.Fprintf(w, "\r%s\n", t.Line())
+				return
+			}
+		}
+	}()
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			close(done)
+			<-finished
+		}
+	}
+}
+
+// Line formats the current progress as a single status line:
+// "paths 12345/65536 (18.8%)  1.2e+06 paths/s  eta 43ms".
+func (t *Tracker) Line() string {
+	if t == nil {
+		return ""
+	}
+	done, total := t.Done(), t.Total()
+	start := t.startNano.Load()
+	var rate float64
+	if start != 0 {
+		if el := time.Since(time.Unix(0, start)).Seconds(); el > 0 {
+			rate = float64(done) / el
+		}
+	}
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	eta := "?"
+	if rate > 0 && total > done {
+		d := time.Duration(float64(total-done) / rate * 1e9)
+		eta = d.Round(etaRound(d)).String()
+	} else if total > 0 && done >= total {
+		eta = "0s"
+	}
+	return fmt.Sprintf("paths %d/%d (%.1f%%)  %.3g paths/s  eta %s", done, total, pct, rate, eta)
+}
+
+// etaRound picks a display granularity proportional to the remaining time.
+func etaRound(d time.Duration) time.Duration {
+	switch {
+	case d > time.Hour:
+		return time.Minute
+	case d > time.Minute:
+		return time.Second
+	case d > time.Second:
+		return 100 * time.Millisecond
+	default:
+		return time.Millisecond
+	}
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4) writers. The daemon's
+// /metrics endpoint composes these; keeping the format logic here lets the
+// scrape-parsing test live next to it.
+
+// PrometheusContentType is the Content-Type for the text exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteCounter emits one counter-typed metric.
+func WriteCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// WriteGauge emits one gauge-typed metric.
+func WriteGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		name, help, name, name, formatFloat(v))
+}
+
+// WriteHistogramSnapshot emits one histogram-typed metric with cumulative
+// le-labelled buckets, _sum, and _count series.
+func WriteHistogramSnapshot(w io.Writer, name, help string, s HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, bound := range s.BoundsSeconds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(bound), cum)
+	}
+	if n := len(s.BoundsSeconds); n < len(s.Counts) {
+		for _, c := range s.Counts[n:] {
+			cum += c
+		}
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(s.SumSeconds))
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
+// WriteHistogram emits a live Histogram via a snapshot.
+func WriteHistogram(w io.Writer, name, help string, h *Histogram) {
+	WriteHistogramSnapshot(w, name, help, h.Snapshot())
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
