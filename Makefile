@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core race-sweep race-telemetry fuzz dist-test vet cover bench bench-core bench-kernels bench-telemetry bench-tables examples fmt clean
+.PHONY: all build test race race-core race-sweep race-telemetry fuzz dist-test chaos-test vet cover bench bench-core bench-kernels bench-telemetry bench-tables examples fmt clean
 
 all: build vet test
 
@@ -53,6 +53,13 @@ fuzz:
 # be reassigned (the amplitudes still match single-process to 1e-12).
 dist-test:
 	$(GO) test -race -run 'Dist|Worker|Lease|HTTP' -v ./internal/dist/ ./internal/server/ ./cmd/hsfsimd/
+
+# Chaos and elasticity suite under the race detector: seeded fault injection
+# (dropped/duplicated replies, worker kills, registry partitions), mid-run
+# joins, work stealing, durable takeover. Each test logs its chaos seed; set
+# CHAOS_SEED to reproduce a failure or explore new fault schedules.
+chaos-test:
+	$(GO) test -race -run 'Chaos|Steal|Takeover|Partition|Join|Drain|Truncated' -v -count=1 ./internal/dist/ ./internal/server/
 
 cover:
 	$(GO) test -cover ./...

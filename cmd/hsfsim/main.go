@@ -62,11 +62,28 @@ func main() {
 		ckptPath  = flag.String("checkpoint", "", "write a resume checkpoint here if the run is interrupted")
 		resume    = flag.String("resume", "", "resume an HSF run from this checkpoint file")
 		distrib   = flag.String("distribute", "", "comma-separated hsfsimd worker addresses; shard the HSF run across them")
+		storeDir  = flag.String("store", "", "durable checkpoint directory for distributed runs (enables takeover)")
+		runID     = flag.String("run-id", "", "run identifier inside -store (default: derived from the plan)")
+		takeover  = flag.Bool("takeover", false, "resume the -run-id run from -store on a fresh coordinator (no circuit file needed)")
 		fusion    = flag.Int("fusion", 0, "max fused gate qubits (0: default, <0: disable fusion and run per-gate structure kernels)")
 		report    = flag.String("report", "", "write a JSON telemetry report (spans, counters, histograms) here after the run")
 		progress  = flag.Duration("progress", 0, "print a live progress line to stderr at this interval (0: off)")
 	)
 	flag.Parse()
+	if *takeover {
+		// The job definition lives in the store's manifest; a circuit file on
+		// the command line would be ignored, so reject the ambiguity.
+		switch {
+		case *storeDir == "" || *runID == "":
+			fail(fmt.Errorf("-takeover needs -store and -run-id"))
+		case *distrib == "":
+			fail(fmt.Errorf("-takeover needs -distribute (the fresh worker fleet)"))
+		case flag.NArg() != 0:
+			fail(fmt.Errorf("-takeover reads the circuit from the store manifest; drop the circuit argument"))
+		}
+		runTakeover(*storeDir, *runID, *distrib, *timeout, *ckptPath, *amps, *quiet)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hsfsim [flags] circuit.qasm")
 		flag.PrintDefaults()
@@ -147,7 +164,7 @@ func main() {
 		if opts.Method == hsfsim.Schrodinger {
 			fail(fmt.Errorf("-distribute needs an HSF method (standard | joint)"))
 		}
-		runDistributed(string(src), c, &opts, *method, *strategy, *distrib, *ckptPath, *resume, *amps, *quiet)
+		runDistributed(string(src), c, &opts, *method, *strategy, *distrib, *ckptPath, *resume, *storeDir, *runID, *amps, *quiet)
 		writeReport(*report, rec)
 		return
 	}
@@ -236,7 +253,7 @@ func writeReport(path string, rec *hsfsim.TelemetryRecorder) {
 // prefix-task space is sharded into leased batches, failed workers have
 // their leases reassigned, and the merged amplitudes print exactly like a
 // local run.
-func runDistributed(src string, c *hsfsim.Circuit, opts *hsfsim.Options, method, strategy, workersCSV, ckptPath, resumePath string, ampsN int, quiet bool) {
+func runDistributed(src string, c *hsfsim.Circuit, opts *hsfsim.Options, method, strategy, workersCSV, ckptPath, resumePath, storeDir, runID string, ampsN int, quiet bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if opts.Timeout > 0 {
@@ -259,10 +276,11 @@ func runDistributed(src string, c *hsfsim.Circuit, opts *hsfsim.Options, method,
 		// workers predating the backend field.
 		job.Backend = opts.Backend.String()
 	}
-	co := dist.New(dist.Config{
+	co, err := dist.New(dist.Config{
 		Transport: &dist.HTTPTransport{},
 		Logger:    log.New(os.Stderr, "hsfsim dist ", log.LstdFlags),
 	})
+	fail(err)
 	for _, a := range strings.Split(workersCSV, ",") {
 		if a = strings.TrimSpace(a); a != "" {
 			co.AddWorker(a)
@@ -270,6 +288,14 @@ func runDistributed(src string, c *hsfsim.Circuit, opts *hsfsim.Options, method,
 	}
 
 	var ropts dist.RunOptions
+	if storeDir != "" {
+		// Durable checkpoints: a later hsfsim -takeover -store ... -run-id ...
+		// resumes this run even if this coordinator process dies.
+		st, err := dist.NewDirStore(storeDir)
+		fail(err)
+		ropts.Store = st
+		ropts.RunID = runID
+	}
 	// Same recorder/tracker as a local run: the coordinator fills the lease
 	// timeline and advances progress as batches merge.
 	ropts.Telemetry = opts.Telemetry
@@ -309,6 +335,78 @@ func runDistributed(src string, c *hsfsim.Circuit, opts *hsfsim.Options, method,
 	fmt.Printf("qubits:          %d\n", c.NumQubits)
 	fmt.Printf("gates:           %d (%d two-qubit)\n", len(c.Gates), c.NumTwoQubitGates())
 	fmt.Printf("cut position:    %d\n", opts.CutPos)
+	fmt.Printf("cuts:            %d (%d blocks + %d separate)\n", res.NumCuts, res.NumBlocks, res.NumSeparateCuts)
+	fmt.Printf("paths:           2^%.1f (%d)\n", res.Log2Paths, res.NumPaths)
+	fmt.Printf("workers:         %d (%d batches over %d split levels, %d reassignments)\n",
+		res.Workers, res.Batches, res.SplitLevels, res.Reassignments)
+	fmt.Printf("simulation:      %v\n", elapsed)
+	if quiet {
+		return
+	}
+	n := ampsN
+	if n <= 0 || n > len(res.Amplitudes) {
+		n = len(res.Amplitudes)
+	}
+	fmt.Println("amplitudes:")
+	for i := 0; i < n; i++ {
+		a := res.Amplitudes[i]
+		fmt.Printf("  |%0*b>  % .6f%+.6fi   p=%.6f\n", c.NumQubits, i, real(a), imag(a), cmplx.Abs(a)*cmplx.Abs(a))
+	}
+}
+
+// runTakeover resumes a durable distributed run on a fresh coordinator: the
+// job and latest checkpoint are loaded from the store, already-merged prefix
+// tasks are skipped, and the remainder is sharded across the given fleet.
+func runTakeover(storeDir, runID, workersCSV string, timeout time.Duration, ckptPath string, ampsN int, quiet bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, timeout, hsfsim.ErrTimeout)
+		defer cancel()
+	}
+
+	store, err := dist.NewDirStore(storeDir)
+	fail(err)
+	m, err := store.LoadManifest(runID)
+	fail(err)
+	c, err := qasm.Parse(strings.NewReader(m.Job.QASM))
+	fail(err)
+
+	co, err := dist.New(dist.Config{
+		Transport: &dist.HTTPTransport{},
+		Logger:    log.New(os.Stderr, "hsfsim dist ", log.LstdFlags),
+	})
+	fail(err)
+	for _, a := range strings.Split(workersCSV, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			co.AddWorker(a)
+		}
+	}
+
+	var ropts dist.RunOptions
+	var ckptFile *os.File
+	if ckptPath != "" {
+		ckptFile, err = os.Create(ckptPath)
+		fail(err)
+		ropts.CheckpointWriter = ckptFile
+	}
+
+	start := time.Now()
+	res, err := co.Takeover(ctx, store, runID, ropts)
+	elapsed := time.Since(start)
+	if ckptFile != nil {
+		if cerr := ckptFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err == nil {
+			os.Remove(ckptPath)
+		}
+	}
+	fail(err)
+
+	fmt.Printf("method:          %s-hsf (takeover of run %s)\n", m.Job.Method, runID)
+	fmt.Printf("qubits:          %d\n", c.NumQubits)
 	fmt.Printf("cuts:            %d (%d blocks + %d separate)\n", res.NumCuts, res.NumBlocks, res.NumSeparateCuts)
 	fmt.Printf("paths:           2^%.1f (%d)\n", res.Log2Paths, res.NumPaths)
 	fmt.Printf("workers:         %d (%d batches over %d split levels, %d reassignments)\n",

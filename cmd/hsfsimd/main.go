@@ -78,9 +78,12 @@ func run(args []string) int {
 		worker        = fs.Bool("worker", false, "register with a coordinator as a distributed worker (needs -join)")
 		join          = fs.String("join", "", "coordinator address to register with (implies -worker)")
 		advertise     = fs.String("advertise", "", "address advertised to the coordinator (default: the bound listen address)")
+		rejoin        = fs.Duration("rejoin", 0, "retry cadence while the coordinator is unreachable (0: 5s)")
 		distWorkers   = fs.String("dist-workers", "", "comma-separated worker addresses pinned for distributed /simulate")
 		leaseTimeout  = fs.Duration("lease-timeout", 0, "distributed lease deadline as coordinator (0: 2m)")
 		workerTTL     = fs.Duration("worker-ttl", 0, "registered-worker heartbeat TTL as coordinator (0: 1m)")
+		heartbeat     = fs.Duration("heartbeat", 0, "heartbeat cadence advertised to registered workers (0: worker-ttl/3)")
+		maxStrikes    = fs.Int("max-strikes", 0, "lease failures before a worker is retired as coordinator (0: 3)")
 		debugAddr     = fs.String("debug-addr", "", "serve pprof + expvar + runtime stats on this separate listener (keep it private)")
 		progressEvery = fs.Duration("progress", 0, "log a periodic counter summary at this interval (0: off)")
 	)
@@ -96,17 +99,24 @@ func run(args []string) int {
 		logger.Printf("-backend %q: want dense or dd", *backend)
 		return 2
 	}
-	svc := server.NewService(server.Config{
-		MaxConcurrent:    *maxConcurrent,
-		MemoryBudget:     *memoryBudget,
-		MaxPaths:         *maxPaths,
-		Workers:          *workers,
-		Backend:          *backend,
-		MaxTimeout:       *maxTimeout,
-		Logger:           logger,
-		DistLeaseTimeout: *leaseTimeout,
-		WorkerTTL:        *workerTTL,
-	})
+	cfg := server.Config{
+		MaxConcurrent:     *maxConcurrent,
+		MemoryBudget:      *memoryBudget,
+		MaxPaths:          *maxPaths,
+		Workers:           *workers,
+		Backend:           *backend,
+		MaxTimeout:        *maxTimeout,
+		Logger:            logger,
+		DistLeaseTimeout:  *leaseTimeout,
+		WorkerTTL:         *workerTTL,
+		HeartbeatInterval: *heartbeat,
+		DistMaxStrikes:    *maxStrikes,
+	}
+	if err := cfg.Validate(); err != nil {
+		logger.Printf("%v", err)
+		return 2
+	}
+	svc := server.NewService(cfg)
 	for _, a := range strings.Split(*distWorkers, ",") {
 		if a = strings.TrimSpace(a); a != "" {
 			svc.AddWorker(a)
@@ -159,12 +169,15 @@ func run(args []string) int {
 	go func() { errCh <- srv.Serve(ln) }()
 	logger.Printf("listening on %s", ln.Addr())
 
+	self := *advertise
+	if self == "" {
+		self = ln.Addr().String()
+	}
 	if *join != "" {
-		self := *advertise
-		if self == "" {
-			self = ln.Addr().String()
-		}
-		go dist.Heartbeat(ctx, nil, *join, self, logger)
+		go dist.Heartbeat(ctx, nil, *join, self, dist.HeartbeatOptions{
+			RejoinInterval: *rejoin,
+			Logger:         logger,
+		})
 	}
 
 	select {
@@ -175,6 +188,19 @@ func run(args []string) int {
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills the process the default way
+
+	if *join != "" {
+		// Drain the worker role first: new leases are refused, in-flight
+		// leases are canceled so their completed prefixes return as partials,
+		// and the coordinator is told not to wait for our heartbeats to lapse.
+		logger.Printf("draining worker role, returning unfinished lease prefixes")
+		svc.Drain()
+		dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := dist.DeregisterWorker(dctx, nil, *join, self); err != nil {
+			logger.Printf("deregister: %v", err)
+		}
+		dcancel()
+	}
 
 	logger.Printf("shutting down, draining in-flight requests (up to %v)", *drainTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,80 +25,76 @@ type Stats struct {
 	PathsSimulated    atomic.Int64
 	InFlightLeases    atomic.Int64
 	PartialsDuplicate atomic.Int64
+	// Elastic-runtime counters.
+	LeasesStolen   atomic.Int64 // leases created by stealing from an in-flight lease
+	LeasesResplit  atomic.Int64 // in-flight leases split so part could be re-leased
+	PartialReturns atomic.Int64 // successful replies covering fewer prefixes than leased
+	PartialsMixed  atomic.Int64 // replies dropped whole because they mixed merged and fresh prefixes
+	StoreFlushes   atomic.Int64 // checkpoints written to the durable store
+	WorkersJoined  atomic.Int64 // workers admitted into a run after it started
+	WorkersLeft    atomic.Int64 // workers that dropped out of a run's rotation
 }
 
-// Config tunes a Coordinator; the zero value (plus a Transport) is usable.
-type Config struct {
-	// Transport executes leases (required).
-	Transport Transport
-	// LeaseTimeout bounds one lease; a worker that has not answered by then
-	// is considered stalled and its batch is reassigned. 0: 2 minutes.
-	LeaseTimeout time.Duration
-	// MaxStrikes is the number of consecutive failed leases after which a
-	// worker is retired from the run. 0: 3.
-	MaxStrikes int
-	// TasksPerWorker sizes the split: the prefix space is expanded until it
-	// has at least TasksPerWorker×workers tasks, then grouped into about
-	// 4×workers batches so reassignment quanta stay small. 0: 16.
-	TasksPerWorker int
-	// BatchSize overrides the automatic batch sizing (0: automatic).
-	BatchSize int
-	// WorkerTTL is the dynamic-registration heartbeat TTL. 0: 1 minute.
-	WorkerTTL time.Duration
-	// Logger receives lease-level events (nil: log.Default()).
-	Logger *log.Logger
-	// Stats, when non-nil, receives counter updates. Every coordinator
-	// should get its own Stats instance (a daemon scopes one per service and
-	// aggregates for export); New allocates a private one when nil, so
-	// coordinators never share counters by accident.
-	Stats *Stats
-	// OnLease, when non-nil, receives one event per completed (or failed)
-	// lease: worker, batch, duration, merged path count. It is called from
-	// worker lease loops, so it must be safe for concurrent use.
-	OnLease func(telemetry.LeaseEvent)
-
-	// onLease, when non-nil, runs just before each lease is dispatched
-	// (worker address, batch id). Tests use it to kill workers mid-run.
-	onLease func(worker string, batch int)
-}
-
-// Coordinator shards prefix-task batches across a worker fleet.
+// Coordinator shards prefix-task leases across an elastic worker fleet.
 type Coordinator struct {
 	cfg Config
 	reg *registry
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
 }
 
-// New returns a Coordinator over the given configuration.
-func New(cfg Config) *Coordinator {
-	if cfg.LeaseTimeout <= 0 {
-		cfg.LeaseTimeout = 2 * time.Minute
+// New returns a Coordinator over the given configuration. The configuration
+// is validated first; a rejected field is reported as a *ConfigError.
+func New(cfg Config) (*Coordinator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.MaxStrikes <= 0 {
-		cfg.MaxStrikes = 3
-	}
-	if cfg.TasksPerWorker <= 0 {
-		cfg.TasksPerWorker = 16
-	}
-	if cfg.Logger == nil {
-		cfg.Logger = log.Default()
-	}
-	if cfg.Stats == nil {
-		cfg.Stats = &Stats{}
-	}
-	return &Coordinator{cfg: cfg, reg: newRegistry(cfg.WorkerTTL)}
+	cfg = cfg.withDefaults()
+	return &Coordinator{
+		cfg:      cfg,
+		reg:      newRegistry(cfg.WorkerTTL),
+		sessions: make(map[*session]struct{}),
+	}, nil
 }
 
-// AddWorker pins a static worker (never expires).
-func (c *Coordinator) AddWorker(addr string) { c.reg.addStatic(addr) }
+// AddWorker pins a static worker (never expires). Running sessions admit it
+// at their next membership poll.
+func (c *Coordinator) AddWorker(addr string) {
+	c.reg.addStatic(addr)
+	c.pokeSessions()
+}
 
 // Register records a dynamic worker heartbeat and returns the fleet size.
+// Running sessions admit a new worker at their next membership poll.
 func (c *Coordinator) Register(addr string) int {
 	c.reg.register(addr)
+	c.pokeSessions()
 	return len(c.reg.workers())
 }
 
+// Deregister removes a worker that announced it is draining. Its in-flight
+// leases become immediately stealable; its loop exits once idle.
+func (c *Coordinator) Deregister(addr string) {
+	c.reg.remove(addr)
+	c.pokeSessions()
+}
+
 // RemoveWorker drops a worker from the fleet.
-func (c *Coordinator) RemoveWorker(addr string) { c.reg.remove(addr) }
+func (c *Coordinator) RemoveWorker(addr string) {
+	c.reg.remove(addr)
+	c.pokeSessions()
+}
+
+// PartitionRegistry simulates a network partition between the registry and
+// addr: heartbeats from addr are ignored and it is excluded from the fleet,
+// while any lease it is already executing keeps running. Chaos tests use
+// this to pin the exactly-once guarantee for partials returned by workers
+// the coordinator has given up on.
+func (c *Coordinator) PartitionRegistry(addr string, cut bool) {
+	c.reg.partition(addr, cut)
+	c.pokeSessions()
+}
 
 // Workers returns the live fleet.
 func (c *Coordinator) Workers() []string { return c.reg.workers() }
@@ -107,17 +102,37 @@ func (c *Coordinator) Workers() []string { return c.reg.workers() }
 // TTL returns the dynamic-registration heartbeat TTL.
 func (c *Coordinator) TTL() time.Duration { return c.reg.ttl }
 
-// batch is the lease unit: a contiguous slice of the prefix enumeration.
-// A batch is pending, leased to exactly one worker, or merged — never two of
-// those at once; requeueing happens only after its lease has returned.
-type batch struct {
-	id       int
-	prefixes [][]int
-	done     bool // guarded by session.mu; set once when merged
+// HeartbeatInterval returns the re-registration cadence advertised to
+// workers.
+func (c *Coordinator) HeartbeatInterval() time.Duration { return c.cfg.HeartbeatInterval }
+
+func (c *Coordinator) addSession(s *session) {
+	c.mu.Lock()
+	c.sessions[s] = struct{}{}
+	c.mu.Unlock()
 }
 
-// RunOptions carries per-run I/O: crash recovery in and out, plus optional
-// observability sinks.
+func (c *Coordinator) removeSession(s *session) {
+	c.mu.Lock()
+	delete(c.sessions, s)
+	c.mu.Unlock()
+}
+
+// pokeSessions nudges every running session to re-read the registry now
+// instead of waiting for the next membership tick.
+func (c *Coordinator) pokeSessions() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for s := range c.sessions {
+		select {
+		case s.poke <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// RunOptions carries per-run I/O: crash recovery in and out, durable
+// checkpoint storage, plus optional observability sinks.
 type RunOptions struct {
 	// Resume seeds the merged state from a prior checkpoint: already-merged
 	// prefixes are never leased again.
@@ -125,17 +140,27 @@ type RunOptions struct {
 	// CheckpointWriter receives the merged state if the run stops
 	// prematurely, in the exact format single-process runs write.
 	CheckpointWriter io.Writer
+	// Store, when non-nil, receives the run manifest up front and merged
+	// checkpoints on a cadence (and once at exit), so any node can take the
+	// run over after a coordinator crash (see Coordinator.Takeover).
+	Store Store
+	// RunID names the run inside the Store. Empty: the plan hash in hex.
+	RunID string
+	// FlushInterval is the durable checkpoint cadence. 0: 5 seconds.
+	FlushInterval time.Duration
 	// Telemetry, when non-nil, records the run's lease timeline (one
 	// LeaseEvent per lease, lease-duration histogram) and final totals.
 	Telemetry *telemetry.Recorder
-	// Progress, when non-nil, is advanced as batches merge, so callers can
+	// Progress, when non-nil, is advanced as leases merge, so callers can
 	// render a live paths-done/total ticker for distributed runs too.
 	Progress *telemetry.Tracker
 }
 
 // Run executes the job across the current fleet and returns the merged
 // result. It is the coordinator side of the protocol: enumerate once, lease
-// batches, merge partials, reassign on failure.
+// prefix batches from a shared pool, merge partials exactly once, requeue or
+// re-split on failure, and keep the fleet elastic — workers joining the
+// registry mid-run are admitted, leavers are drained.
 func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Result, error) {
 	plan, err := job.BuildPlan()
 	if err != nil {
@@ -181,7 +206,16 @@ func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Resu
 		}
 	}
 
-	batches := c.makeBatches(pending, len(workers))
+	runID := opts.RunID
+	if runID == "" {
+		runID = fmt.Sprintf("%016x", planHash)
+	}
+	if opts.Store != nil {
+		if err := opts.Store.SaveManifest(runID, &Manifest{Job: job, PlanHash: planHash, SplitLevels: splitLevels}); err != nil {
+			return nil, fmt.Errorf("dist: saving run manifest: %w", err)
+		}
+	}
+
 	np, _ := plan.NumPaths()
 	npClamped := int64(np)
 	if np > 1<<63-1 {
@@ -190,6 +224,37 @@ func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Resu
 	resumedPaths := ck.PathsSimulated
 	opts.Progress.Start(npClamped, resumedPaths, nil)
 	start := time.Now()
+
+	s := &session{
+		co:       c,
+		job:      job,
+		planHash: planHash,
+		split:    splitLevels,
+		ck:       ck,
+		merged:   merged,
+		unmerged: len(pending),
+		inflight: make(map[string]int),
+		pooled:   make(map[string]bool, len(pending)),
+		leases:   make(map[int]*lease),
+		workers:  make(map[string]*sessWorker),
+		poke:     make(chan struct{}, 1),
+		tel:      opts.Telemetry,
+		progress: opts.Progress,
+		start:    start,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.pool = append(s.pool, pending...)
+	for _, p := range pending {
+		s.pooled[hsf.PrefixKey(p)] = true
+	}
+	s.baseLease = c.cfg.BatchSize
+	if s.baseLease <= 0 {
+		s.baseLease = (len(pending) + 4*len(workers) - 1) / (4 * len(workers))
+		if s.baseLease < 1 {
+			s.baseLease = 1
+		}
+	}
+
 	finish := func() {
 		opts.Telemetry.FinishRun(telemetry.RunTotals{
 			TotalPaths: npClamped,
@@ -201,7 +266,7 @@ func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Resu
 			Elapsed:    time.Since(start),
 		})
 	}
-	result := func(reassigned int64) *Result {
+	result := func() *Result {
 		return &Result{
 			Amplitudes:      ck.Acc,
 			NumPaths:        np,
@@ -211,48 +276,65 @@ func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Resu
 			NumBlocks:       plan.NumBlocks(),
 			NumSeparateCuts: plan.NumSeparateCuts(),
 			SplitLevels:     splitLevels,
-			Batches:         len(batches),
-			Workers:         len(workers),
-			Reassignments:   reassigned,
+			Batches:         int(s.granted.Load()),
+			Workers:         s.spawnedCount(),
+			Reassignments:   s.reassigned.Load(),
+			Steals:          s.steals.Load(),
+			Resplits:        s.resplits.Load(),
+			PartialReturns:  s.partials.Load(),
+			WorkersJoined:   s.joined.Load(),
+			WorkersLeft:     s.left.Load(),
 		}
 	}
-	if len(batches) == 0 { // everything already checkpointed
+	if len(pending) == 0 { // everything already checkpointed
+		if opts.Store != nil {
+			s.flushStore(opts.Store, runID)
+		}
 		finish()
-		return result(0), nil
+		return result(), nil
 	}
 
-	s := &session{
-		co:        c,
-		job:       job,
-		planHash:  planHash,
-		split:     splitLevels,
-		ck:        ck,
-		queue:     make(chan *batch, len(batches)),
-		remaining: len(batches),
-		tel:       opts.Telemetry,
-		progress:  opts.Progress,
-		start:     start,
-	}
 	s.runCtx, s.cancel = context.WithCancelCause(ctx)
 	defer s.cancel(nil)
-	for _, b := range batches {
-		s.queue <- b
-	}
+	// Any state transition that could unblock a waiting worker loop must
+	// broadcast; run-context cancellation is one of them.
+	stopWake := context.AfterFunc(s.runCtx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stopWake()
 
-	var wg sync.WaitGroup
-	s.active.Store(int64(len(workers)))
+	c.addSession(s)
+	defer c.removeSession(s)
+
+	s.mu.Lock()
 	for _, w := range workers {
-		wg.Add(1)
-		go func(addr string) {
-			defer wg.Done()
-			s.runWorker(addr)
-		}(w)
+		s.addWorkerLocked(w, true)
 	}
-	wg.Wait()
+	s.mu.Unlock()
 
+	s.wg.Add(1)
+	go s.membershipLoop()
+	if opts.Store != nil {
+		interval := opts.FlushInterval
+		if interval <= 0 {
+			interval = 5 * time.Second
+		}
+		s.wg.Add(1)
+		go s.flusher(opts.Store, runID, interval)
+	}
+
+	<-s.runCtx.Done()
+	s.wg.Wait()
+
+	if opts.Store != nil {
+		// Final durable flush: the handover point. Written on success and
+		// failure alike so a takeover never replays merged work.
+		s.flushStore(opts.Store, runID)
+	}
 	finish()
-	err = s.err()
-	if err != nil {
+	if err := s.err(); err != nil {
 		if opts.CheckpointWriter != nil {
 			if werr := hsf.WriteCheckpoint(opts.CheckpointWriter, ck); werr != nil {
 				return nil, errors.Join(err, fmt.Errorf("dist: writing checkpoint: %w", werr))
@@ -260,70 +342,220 @@ func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Resu
 		}
 		return nil, err
 	}
-	return result(s.reassigned.Load()), nil
+	return result(), nil
 }
 
-// makeBatches chunks the pending prefixes into about 4×workers batches (or
-// fixed BatchSize chunks) so a lost lease forfeits little work.
-func (c *Coordinator) makeBatches(pending [][]int, workers int) []*batch {
-	if len(pending) == 0 {
-		return nil
-	}
-	size := c.cfg.BatchSize
-	if size <= 0 {
-		size = (len(pending) + 4*workers - 1) / (4 * workers)
-		if size < 1 {
-			size = 1
-		}
-	}
-	var out []*batch
-	for start := 0; start < len(pending); start += size {
-		end := start + size
-		if end > len(pending) {
-			end = len(pending)
-		}
-		out = append(out, &batch{id: len(out), prefixes: pending[start:end]})
-	}
-	return out
-}
-
-// session is the mutable state of one Run: the lease queue, the merged
-// checkpoint, and failure bookkeeping shared by the per-worker loops.
+// session is the mutable state of one Run: the prefix pool, in-flight
+// leases, the merged checkpoint, and membership bookkeeping shared by the
+// per-worker loops.
 type session struct {
 	co       *Coordinator
 	job      *Job
 	planHash uint64
 	split    int
 
-	mu        sync.Mutex // guards ck, batch.done, remaining, firstErr
-	ck        *hsf.Checkpoint
-	remaining int
-	firstErr  error
+	mu   sync.Mutex
+	cond *sync.Cond // signaled whenever pool/lease/membership state changes
 
-	queue      chan *batch
-	runCtx     context.Context
-	cancel     context.CancelCauseFunc
-	active     atomic.Int64 // workers still in rotation
+	ck       *hsf.Checkpoint
+	merged   map[string]bool // prefix key → merged into ck
+	unmerged int             // prefixes not yet merged
+	pool     [][]int         // pending prefixes, not leased anywhere
+	pooled   map[string]bool // prefix key → present in pool
+	inflight map[string]int  // prefix key → live leases covering it
+	leases   map[int]*lease  // live leases by id
+	nextID   int
+
+	workers     map[string]*sessWorker
+	spawned     int // distinct workers ever admitted
+	activeLoops int // worker loops currently running
+	firstErr    error
+	done        bool // every prefix merged
+
+	poke   chan struct{} // nudges the membership loop
+	runCtx context.Context
+	cancel context.CancelCauseFunc
+	wg     sync.WaitGroup
+
+	granted    atomic.Int64
 	reassigned atomic.Int64
+	steals     atomic.Int64
+	resplits   atomic.Int64
+	partials   atomic.Int64
+	joined     atomic.Int64
+	left       atomic.Int64
 
-	tel      *telemetry.Recorder
-	progress *telemetry.Tracker
-	start    time.Time
+	baseLease int
+	tel       *telemetry.Recorder
+	progress  *telemetry.Tracker
+	start     time.Time
 }
 
-// lease reports one completed (or failed) lease to the configured sinks:
-// the run recorder's lease timeline and the coordinator's OnLease callback.
-func (s *session) lease(addr string, b *batch, t0 time.Time, paths int64, err error) {
+// lease is one in-flight grant: a set of prefixes executing on one worker.
+type lease struct {
+	id       int
+	prefixes [][]int
+	keys     []string
+	worker   string
+	started  time.Time
+	stolen   bool // a thief has already re-leased part of this work
+	isSteal  bool // this lease was created by stealing
+}
+
+// sessWorker is one worker's standing in the session.
+type sessWorker struct {
+	addr         string
+	running      bool // loop goroutine alive
+	leaving      bool // dropped out of the registry; drains, may rejoin
+	retired      bool // struck out; sticky for the run
+	strikes      int
+	prefixesDone int64
+	// hist observes successful lease durations; with prefixesDone it yields
+	// the per-prefix rate the adaptive sizer uses.
+	hist telemetry.Histogram
+}
+
+func (s *session) spawnedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spawned
+}
+
+// addWorkerLocked admits addr into the rotation, spawning its lease loop.
+// Safe to call for a worker that is already running (no-op) or one that left
+// and came back (respawn, unless retired).
+func (s *session) addWorkerLocked(addr string, initial bool) {
+	if s.runCtx != nil && s.runCtx.Err() != nil {
+		return
+	}
+	w := s.workers[addr]
+	if w == nil {
+		w = &sessWorker{addr: addr}
+		s.workers[addr] = w
+		s.spawned++
+		if !initial {
+			s.joined.Add(1)
+			s.co.cfg.Stats.WorkersJoined.Add(1)
+			s.co.cfg.Logger.Printf("dist: worker %s joined mid-run", addr)
+		}
+	}
+	if w.retired || w.running {
+		w.leaving = false
+		return
+	}
+	if w.leaving { // rejoin after leaving
+		w.leaving = false
+		s.joined.Add(1)
+		s.co.cfg.Stats.WorkersJoined.Add(1)
+		s.co.cfg.Logger.Printf("dist: worker %s rejoined", addr)
+	}
+	w.running = true
+	s.activeLoops++
+	s.wg.Add(1)
+	go s.runWorker(w)
+}
+
+// markLeavingLocked retires addr from new work: its in-flight leases become
+// immediately stealable and its loop exits once idle. In-flight transport
+// calls are NOT canceled — a leaver that still answers gets its partial
+// merged (or rejected as a duplicate if someone else got there first).
+func (s *session) markLeavingLocked(w *sessWorker) {
+	if w.leaving || !w.running {
+		return
+	}
+	w.leaving = true
+	s.left.Add(1)
+	s.co.cfg.Stats.WorkersLeft.Add(1)
+	s.co.cfg.Logger.Printf("dist: worker %s left the registry; draining", w.addr)
+	s.cond.Broadcast()
+}
+
+// membershipLoop reconciles the session's rotation with the registry: new
+// registrations spawn loops, missing workers are marked leaving. It doubles
+// as the periodic wake-up that makes time-based steal eligibility fire.
+func (s *session) membershipLoop() {
+	defer s.wg.Done()
+	interval := s.co.cfg.MembershipInterval
+	if sd := s.co.cfg.StealDelay / 2; sd < interval {
+		interval = sd
+	}
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.runCtx.Done():
+			return
+		case <-t.C:
+		case <-s.poke:
+		}
+		live := s.co.reg.workers()
+		liveSet := make(map[string]bool, len(live))
+		s.mu.Lock()
+		for _, addr := range live {
+			liveSet[addr] = true
+			s.addWorkerLocked(addr, false)
+		}
+		for addr, w := range s.workers {
+			if w.running && !w.leaving && !liveSet[addr] {
+				s.markLeavingLocked(w)
+			}
+		}
+		s.cond.Broadcast() // age-based steal eligibility advances with time
+		s.mu.Unlock()
+	}
+}
+
+// flusher streams the merged checkpoint to the durable store on a cadence.
+func (s *session) flusher(store Store, runID string, interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.runCtx.Done():
+			return
+		case <-t.C:
+		}
+		s.flushStore(store, runID)
+	}
+}
+
+// flushStore snapshots the merged checkpoint under the lock and writes it
+// outside it. Flush failures are logged, not fatal: the in-memory run is
+// still authoritative and the next flush retries.
+func (s *session) flushStore(store Store, runID string) {
+	s.mu.Lock()
+	snap := s.ck.Clone()
+	s.mu.Unlock()
+	end := s.tel.Span("store-flush")
+	err := store.SaveCheckpoint(runID, snap)
+	end()
+	if err != nil {
+		s.co.cfg.Logger.Printf("dist: flushing checkpoint for run %s: %v", runID, err)
+		return
+	}
+	s.co.cfg.Stats.StoreFlushes.Add(1)
+}
+
+// emit reports one completed (or failed) lease to the configured sinks.
+func (s *session) emit(addr string, l *lease, t0 time.Time, part *hsf.Checkpoint, err error) {
 	if s.tel == nil && s.co.cfg.OnLease == nil {
 		return
 	}
 	ev := telemetry.LeaseEvent{
 		Worker:   addr,
-		Batch:    b.id,
-		Prefixes: len(b.prefixes),
+		Batch:    l.id,
+		Prefixes: len(l.prefixes),
 		StartMs:  float64(t0.Sub(s.start)) / 1e6,
 		DurMs:    float64(time.Since(t0)) / 1e6,
-		Paths:    paths,
+		Stolen:   l.isSteal,
+	}
+	if part != nil {
+		ev.Paths = part.PathsSimulated
+		ev.Partial = err == nil && len(part.Prefixes) < len(l.prefixes)
 	}
 	if err != nil {
 		ev.Err = err.Error()
@@ -334,9 +566,9 @@ func (s *session) lease(addr string, b *batch, t0 time.Time, paths int64, err er
 	}
 }
 
-// errAllDone is the private cancellation cause distinguishing "every batch
+// errAllDone is the private cancellation cause distinguishing "every prefix
 // merged" from a real failure.
-var errAllDone = errors.New("dist: all batches merged")
+var errAllDone = errors.New("dist: all prefixes merged")
 
 func (s *session) err() error {
 	s.mu.Lock()
@@ -344,133 +576,88 @@ func (s *session) err() error {
 	if s.firstErr != nil {
 		return s.firstErr
 	}
-	if s.remaining > 0 {
+	if s.unmerged > 0 {
 		// The run context must have been canceled externally.
 		if cause := context.Cause(s.runCtx); cause != nil && !errors.Is(cause, errAllDone) {
 			return cause
 		}
-		return fmt.Errorf("dist: run ended with %d batches unmerged", s.remaining)
+		return fmt.Errorf("dist: run ended with %d prefixes unmerged", s.unmerged)
 	}
 	return nil
 }
 
-func (s *session) fail(err error) {
-	s.mu.Lock()
+func (s *session) failLocked(err error) {
 	if s.firstErr == nil {
 		s.firstErr = err
 	}
-	s.mu.Unlock()
-	s.cancel(err)
+	s.cancel(err) // AfterFunc broadcast runs in its own goroutine
 }
 
-// runWorker is one worker's lease loop: take a batch, execute it under the
-// lease deadline, merge or requeue. It exits when the run is over or the
-// worker is retired.
-func (s *session) runWorker(addr string) {
+// runWorker is one worker's lease loop: take (or steal) a lease, execute it
+// under the lease deadline, resolve the reply. It exits when the run is
+// over, the worker is retired, or the worker is leaving and the pool has no
+// work for it.
+func (s *session) runWorker(w *sessWorker) {
 	cfg := &s.co.cfg
-	strikes := 0
-	defer func() {
-		if n := s.active.Add(-1); n == 0 {
-			// Last worker leaving with work outstanding fails the run.
-			s.mu.Lock()
-			left := s.remaining
-			s.mu.Unlock()
-			if left > 0 && context.Cause(s.runCtx) == nil {
-				s.fail(fmt.Errorf("%w: all workers retired with %d batches unmerged", ErrNoWorkers, left))
-			}
-		}
-	}()
+	defer s.wg.Done()
+	defer s.workerExit(w)
 	for {
-		var b *batch
-		select {
-		case <-s.runCtx.Done():
+		l := s.nextLease(w)
+		if l == nil {
 			return
-		case b = <-s.queue:
 		}
-
 		if cfg.onLease != nil {
-			cfg.onLease(addr, b.id)
+			cfg.onLease(w.addr, l.id)
 		}
+		s.granted.Add(1)
 		cfg.Stats.LeasesGranted.Add(1)
 		cfg.Stats.InFlightLeases.Add(1)
 		t0 := time.Now()
-		lctx, lcancel := context.WithTimeout(s.runCtx, cfg.LeaseTimeout)
-		part, err := cfg.Transport.Run(lctx, addr, &RunRequest{
-			Job:         *s.job,
-			PlanHash:    s.planHash,
-			SplitLevels: s.split,
-			Prefixes:    b.prefixes,
-			LeaseMillis: int(cfg.LeaseTimeout / time.Millisecond),
+		lctx, lcancel := context.WithTimeout(s.runCtx, cfg.LeaseTimeout+leaseGrace(cfg.LeaseTimeout))
+		part, err := cfg.Transport.Run(lctx, w.addr, &RunRequest{
+			Job:          *s.job,
+			PlanHash:     s.planHash,
+			SplitLevels:  s.split,
+			Prefixes:     l.prefixes,
+			LeaseMillis:  int(cfg.LeaseTimeout / time.Millisecond),
+			AllowPartial: true,
 		})
 		lcancel()
 		cfg.Stats.InFlightLeases.Add(-1)
-		var partPaths int64
-		if part != nil {
-			partPaths = part.PathsSimulated
-		}
-		s.lease(addr, b, t0, partPaths, err)
-
-		if err != nil {
-			// The whole run is over or canceled: put the batch back for the
-			// checkpoint's sake and leave quietly.
-			if context.Cause(s.runCtx) != nil {
-				s.queue <- b
-				return
-			}
-			if IsPermanent(err) {
-				s.fail(err)
-				return
-			}
-			strikes++
-			s.reassigned.Add(1)
-			cfg.Stats.LeasesReassigned.Add(1)
-			cfg.Logger.Printf("dist: lease batch %d on %s failed (strike %d/%d): %v",
-				b.id, addr, strikes, cfg.MaxStrikes, err)
-			s.queue <- b
-			if strikes >= cfg.MaxStrikes {
-				cfg.Stats.WorkersRetired.Add(1)
-				cfg.Logger.Printf("dist: retiring worker %s after %d consecutive failures", addr, strikes)
-				return
-			}
-			continue
-		}
-		strikes = 0
-
-		if err := s.merge(b, part); err != nil {
-			s.fail(err)
-			return
-		}
+		s.emit(w.addr, l, t0, part, err)
+		s.resolve(w, l, part, err, time.Since(t0))
 	}
 }
 
-// merge folds one partial into the session state. At-most-once is enforced
-// at two levels: a batch already marked done is dropped whole (duplicate
-// delivery of the same lease), and hsf.Checkpoint.Merge's prefix-key guard
-// rejects any cross-batch overlap as corruption instead of double-counting.
-func (s *session) merge(b *batch, part *hsf.Checkpoint) error {
-	cfg := &s.co.cfg
-	// A well-behaved worker returns exactly the leased prefixes.
-	if len(part.Prefixes) != len(b.prefixes) {
-		return fmt.Errorf("dist: batch %d: worker returned %d prefixes, leased %d",
-			b.id, len(part.Prefixes), len(b.prefixes))
-	}
+// workerExit runs when a worker loop ends. If the whole fleet is gone with
+// work outstanding, the run fails now (JoinGrace 0) or after a grace window
+// in which a new worker may still join and pick the run back up.
+func (s *session) workerExit(w *sessWorker) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if b.done {
-		cfg.Stats.PartialsDuplicate.Add(1)
-		cfg.Logger.Printf("dist: dropping duplicate partial for batch %d", b.id)
-		return nil
+	w.running = false
+	s.activeLoops--
+	if s.activeLoops > 0 || s.unmerged == 0 || s.done || s.firstErr != nil {
+		return
 	}
-	if err := s.ck.Merge(part); err != nil {
-		return fmt.Errorf("dist: batch %d: %w", b.id, err)
+	if context.Cause(s.runCtx) != nil {
+		return
 	}
-	b.done = true
-	cfg.Stats.PrefixesMerged.Add(int64(len(part.Prefixes)))
-	cfg.Stats.PathsSimulated.Add(part.PathsSimulated)
-	s.progress.Add(part.PathsSimulated)
-	s.remaining--
-	if s.remaining == 0 {
-		s.cancel(errAllDone)
+	fail := func() {
+		s.failLocked(fmt.Errorf("%w: all workers retired or left with %d prefixes unmerged",
+			ErrNoWorkers, s.unmerged))
 	}
-	return nil
+	grace := s.co.cfg.JoinGrace
+	if grace <= 0 {
+		fail()
+		return
+	}
+	time.AfterFunc(grace, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.activeLoops == 0 && s.unmerged > 0 && !s.done && s.firstErr == nil &&
+			context.Cause(s.runCtx) == nil {
+			fail()
+		}
+	})
 }

@@ -55,6 +55,16 @@ func singleProcess(t *testing.T, job *Job) []complex128 {
 
 func quietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
 
+// mustNew builds a coordinator from cfg, failing the test on config errors.
+func mustNew(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return co
+}
+
 func testJob(seed int64) *Job {
 	return &Job{QASM: testQASM(8, 10, seed), Method: "joint", CutPos: 3}
 }
@@ -77,7 +87,7 @@ func TestLoopbackDistributedMatchesSingleProcess(t *testing.T) {
 	for _, w := range []string{"w0", "w1", "w2"} {
 		lb.AddWorker(w, ExecOptions{})
 	}
-	co := New(Config{Transport: lb, Logger: quietLogger()})
+	co := mustNew(t, Config{Transport: lb, Logger: quietLogger()})
 	co.AddWorker("w0")
 	co.AddWorker("w1")
 	co.AddWorker("w2")
@@ -102,6 +112,9 @@ func TestWorkerKilledMidRunReassigns(t *testing.T) {
 	lb := NewLoopback()
 	lb.AddWorker("alive", ExecOptions{})
 	lb.AddWorker("doomed", ExecOptions{})
+	// Pace the survivor: the pool is greedy, so an unthrottled in-process
+	// worker would drain it before "doomed" ever holds the lease we kill.
+	lb.Delay("alive", 2*time.Millisecond)
 
 	var stats Stats
 	var doomedLeases atomic.Int64
@@ -116,7 +129,7 @@ func TestWorkerKilledMidRunReassigns(t *testing.T) {
 			}
 		},
 	}
-	co := New(cfg)
+	co := mustNew(t, cfg)
 	co.AddWorker("alive")
 	co.AddWorker("doomed")
 	res, err := co.Run(context.Background(), job, RunOptions{})
@@ -140,8 +153,10 @@ func TestStalledWorkerLeaseExpires(t *testing.T) {
 	lb.AddWorker("alive", ExecOptions{})
 	lb.AddWorker("stuck", ExecOptions{})
 	lb.Stall("stuck")
+	// Pace the survivor so "stuck" takes a lease before the pool drains.
+	lb.Delay("alive", 2*time.Millisecond)
 
-	co := New(Config{
+	co := mustNew(t, Config{
 		Transport:    lb,
 		Logger:       quietLogger(),
 		LeaseTimeout: 100 * time.Millisecond,
@@ -164,7 +179,7 @@ func TestAllWorkersDeadFailsWithCheckpoint(t *testing.T) {
 	lb := NewLoopback()
 	lb.AddWorker("w0", ExecOptions{})
 	var killOnce atomic.Bool
-	co := New(Config{
+	co := mustNew(t, Config{
 		Transport: lb,
 		Logger:    quietLogger(),
 		BatchSize: 1,
@@ -193,7 +208,7 @@ func TestAllWorkersDeadFailsWithCheckpoint(t *testing.T) {
 	// Resume on a healthy fleet completes the job from the snapshot.
 	lb2 := NewLoopback()
 	lb2.AddWorker("w1", ExecOptions{})
-	co2 := New(Config{Transport: lb2, Logger: quietLogger()})
+	co2 := mustNew(t, Config{Transport: lb2, Logger: quietLogger()})
 	co2.AddWorker("w1")
 	res, err := co2.Run(context.Background(), job, RunOptions{Resume: ck})
 	if err != nil {
@@ -203,7 +218,7 @@ func TestAllWorkersDeadFailsWithCheckpoint(t *testing.T) {
 }
 
 func TestRunWithoutWorkers(t *testing.T) {
-	co := New(Config{Transport: NewLoopback(), Logger: quietLogger()})
+	co := mustNew(t, Config{Transport: NewLoopback(), Logger: quietLogger()})
 	if _, err := co.Run(context.Background(), testJob(1), RunOptions{}); !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("got %v, want ErrNoWorkers", err)
 	}
@@ -213,7 +228,7 @@ func TestPermanentErrorFailsFast(t *testing.T) {
 	job := testJob(7)
 	lb := NewLoopback()
 	lb.AddWorker("w0", ExecOptions{MaxPaths: 1}) // admission rejects every lease
-	co := New(Config{Transport: lb, Logger: quietLogger()})
+	co := mustNew(t, Config{Transport: lb, Logger: quietLogger()})
 	co.AddWorker("w0")
 	_, err := co.Run(context.Background(), job, RunOptions{})
 	if err == nil || !IsPermanent(err) {

@@ -51,15 +51,30 @@ func RegisterWorker(ctx context.Context, client *http.Client, coordinator, addr 
 	return &reg, nil
 }
 
-// Heartbeat registers addr with the coordinator and re-registers at a third
-// of the advertised TTL until ctx is canceled. Registration failures are
-// logged and retried: a coordinator restart only drops the worker until the
-// next beat.
-func Heartbeat(ctx context.Context, client *http.Client, coordinator, addr string, logger *log.Logger) {
+// HeartbeatOptions tunes the registration loop.
+type HeartbeatOptions struct {
+	// RejoinInterval is the retry cadence while the coordinator is
+	// unreachable (a restarting coordinator picks the worker back up this
+	// fast). 0: 5 seconds.
+	RejoinInterval time.Duration
+	Logger         *log.Logger
+}
+
+// Heartbeat registers addr with the coordinator and re-registers at the
+// coordinator's advertised cadence (its heartbeat interval, falling back to
+// a third of the TTL) until ctx is canceled. Registration failures are
+// logged and retried every RejoinInterval: a coordinator restart only drops
+// the worker until the next beat.
+func Heartbeat(ctx context.Context, client *http.Client, coordinator, addr string, opts HeartbeatOptions) {
+	logger := opts.Logger
 	if logger == nil {
 		logger = log.Default()
 	}
-	interval := 5 * time.Second // retry cadence until the coordinator answers
+	rejoin := opts.RejoinInterval
+	if rejoin <= 0 {
+		rejoin = 5 * time.Second
+	}
+	interval := rejoin
 	registered := false
 	for {
 		reg, err := RegisterWorker(ctx, client, coordinator, addr)
@@ -70,12 +85,18 @@ func Heartbeat(ctx context.Context, client *http.Client, coordinator, addr strin
 					coordinator, addr, reg.Workers, reg.TTLMillis)
 			}
 			registered = true
-			if ttl := time.Duration(reg.TTLMillis) * time.Millisecond; ttl > 0 {
-				interval = ttl / 3
+			switch {
+			case reg.HeartbeatMillis > 0:
+				interval = time.Duration(reg.HeartbeatMillis) * time.Millisecond
+			case reg.TTLMillis > 0:
+				interval = time.Duration(reg.TTLMillis) * time.Millisecond / 3
 			}
 		case ctx.Err() != nil:
 			return
 		default:
+			if registered {
+				interval = rejoin
+			}
 			registered = false
 			logger.Printf("dist: registering with %s: %v (retrying in %v)", coordinator, err, interval)
 		}
@@ -85,4 +106,38 @@ func Heartbeat(ctx context.Context, client *http.Client, coordinator, addr strin
 		case <-time.After(interval):
 		}
 	}
+}
+
+// DeregisterWorker announces that addr is draining, so the coordinator
+// stops granting it leases and re-splits whatever it still holds. Best
+// effort: a dead coordinator finds out via the missed heartbeats anyway.
+func DeregisterWorker(ctx context.Context, client *http.Client, coordinator, addr string) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, err := json.Marshal(DeregisterRequest{Addr: addr})
+	if err != nil {
+		return fmt.Errorf("dist: encoding deregistration: %w", err)
+	}
+	url := coordinator
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/dist/deregister"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("dist: building deregistration: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: coordinator %s: %w", coordinator, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("dist: coordinator %s: status %d: %s",
+			coordinator, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return nil
 }

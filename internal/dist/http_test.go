@@ -49,6 +49,16 @@ func integQASM(n, edges int, seed int64) string {
 
 func discard() *log.Logger { return log.New(io.Discard, "", 0) }
 
+// mustNew builds a coordinator from cfg, failing the test on config errors.
+func mustNew(t *testing.T, cfg dist.Config) *dist.Coordinator {
+	t.Helper()
+	co, err := dist.New(cfg)
+	if err != nil {
+		t.Fatalf("dist.New: %v", err)
+	}
+	return co
+}
+
 func workerAddr(srv *httptest.Server) string {
 	return strings.TrimPrefix(srv.URL, "http://")
 }
@@ -128,7 +138,7 @@ func TestHTTPWorkerKilledMidRun(t *testing.T) {
 	defer doomed.srv.Close()
 
 	var stats dist.Stats
-	co := dist.New(dist.Config{
+	co := mustNew(t, dist.Config{
 		Transport:    &dist.HTTPTransport{},
 		Logger:       discard(),
 		Stats:        &stats,
@@ -169,7 +179,7 @@ func TestHTTPDistributedMatchesSingleProcess(t *testing.T) {
 	for _, method := range []string{"standard", "joint"} {
 		t.Run(method, func(t *testing.T) {
 			job := &dist.Job{QASM: integQASM(8, 8, 22), Method: method, CutPos: 3}
-			co := dist.New(dist.Config{Transport: &dist.HTTPTransport{}, Logger: discard()})
+			co := mustNew(t, dist.Config{Transport: &dist.HTTPTransport{}, Logger: discard()})
 			co.AddWorker(workerAddr(w1))
 			co.AddWorker(workerAddr(w2))
 			res, err := co.Run(context.Background(), job, dist.RunOptions{})
@@ -188,7 +198,7 @@ func TestHTTPAllWorkersDeadResumes(t *testing.T) {
 
 	doomed := newKillableWorker()
 	defer doomed.srv.Close()
-	co := dist.New(dist.Config{
+	co := mustNew(t, dist.Config{
 		Transport:    &dist.HTTPTransport{},
 		Logger:       discard(),
 		BatchSize:    1,
@@ -213,7 +223,7 @@ func TestHTTPAllWorkersDeadResumes(t *testing.T) {
 
 	fresh := newWorkerServer()
 	defer fresh.Close()
-	co2 := dist.New(dist.Config{Transport: &dist.HTTPTransport{}, Logger: discard()})
+	co2 := mustNew(t, dist.Config{Transport: &dist.HTTPTransport{}, Logger: discard()})
 	co2.AddWorker(workerAddr(fresh))
 	res, err := co2.Run(context.Background(), job, dist.RunOptions{Resume: ck})
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"hsfsim/internal/hsf"
 )
@@ -23,10 +24,13 @@ type Loopback struct {
 }
 
 type loopWorker struct {
-	opts    ExecOptions
-	killed  bool
-	stalled bool
-	runs    int
+	opts     ExecOptions
+	killed   bool
+	stalled  bool
+	runs     int
+	delay    time.Duration
+	truncate int
+	hold     chan struct{}
 }
 
 // NewLoopback returns an empty in-process transport.
@@ -60,6 +64,41 @@ func (l *Loopback) Stall(name string) {
 	}
 }
 
+// Delay makes every lease on the worker take at least d after executing —
+// a slow worker whose replies arrive late but intact.
+func (l *Loopback) Delay(name string, d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if w := l.workers[name]; w != nil {
+		w.delay = d
+	}
+}
+
+// Truncate makes the worker execute only the first n prefixes of every
+// lease, yielding deterministic partial returns (a drained worker's shape).
+func (l *Loopback) Truncate(name string, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if w := l.workers[name]; w != nil {
+		w.truncate = n
+	}
+}
+
+// Hold parks the worker's next reply: the lease executes eagerly, then the
+// reply is withheld until the returned release function is called or the
+// lease context ends — and it is delivered intact either way, modeling a
+// reply that arrives after the coordinator moved on. One-shot.
+func (l *Loopback) Hold(name string) (release func()) {
+	ch := make(chan struct{})
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if w := l.workers[name]; w != nil {
+		w.hold = ch
+	}
+	var once sync.Once
+	return func() { once.Do(func() { close(ch) }) }
+}
+
 // Runs reports how many leases the worker completed or attempted.
 func (l *Loopback) Runs(name string) int {
 	l.mu.Lock()
@@ -80,6 +119,9 @@ func (l *Loopback) Run(ctx context.Context, addr string, req *RunRequest) (*hsf.
 	}
 	w.runs++
 	killed, stalled := w.killed, w.stalled
+	delay, truncate := w.delay, w.truncate
+	hold := w.hold
+	w.hold = nil // one-shot
 	opts := w.opts
 	l.mu.Unlock()
 
@@ -90,12 +132,28 @@ func (l *Loopback) Run(ctx context.Context, addr string, req *RunRequest) (*hsf.
 		<-ctx.Done()
 		return nil, fmt.Errorf("dist: loopback worker %s: %w", addr, context.Cause(ctx))
 	}
+	if truncate > 0 && truncate < len(req.Prefixes) {
+		trunc := *req
+		trunc.Prefixes = req.Prefixes[:truncate]
+		req = &trunc
+	}
 	ck, err := ExecuteRun(ctx, req, opts)
 	if err != nil {
 		if IsPermanent(err) {
 			return nil, err // ExecuteRun already classified it
 		}
 		return nil, fmt.Errorf("dist: loopback worker %s: %w", addr, err)
+	}
+	if delay > 0 {
+		// The reply is already computed; deliver it late but intact even if
+		// the lease context expires meanwhile.
+		time.Sleep(delay)
+	}
+	if hold != nil {
+		select {
+		case <-hold:
+		case <-ctx.Done():
+		}
 	}
 	return ck, nil
 }

@@ -21,6 +21,11 @@ type RunRequest struct {
 	// the run after this long so a stalled simulation frees its slot even if
 	// the coordinator's connection lingers. 0 means no worker-side deadline.
 	LeaseMillis int `json:"lease_ms,omitempty"`
+	// AllowPartial lets the worker answer a canceled or deadline-expired
+	// lease with the prefixes it did finish (a valid partial checkpoint)
+	// instead of an error — the drain path. Workers predating this field
+	// reject requests carrying it; keep fleets on one version.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // Validate performs cheap structural checks before any planning work.
@@ -55,6 +60,16 @@ type RegisterResponse struct {
 	Workers int `json:"workers"`
 	// TTLMillis tells the worker how often to re-register (at most this).
 	TTLMillis int `json:"ttl_ms"`
+	// HeartbeatMillis is the coordinator's preferred re-registration cadence
+	// (strictly below the TTL). 0: the worker derives one from the TTL.
+	HeartbeatMillis int `json:"heartbeat_ms,omitempty"`
+}
+
+// DeregisterRequest announces a draining worker (POST /dist/deregister): the
+// coordinator stops granting it leases and re-splits what it holds.
+type DeregisterRequest struct {
+	// Addr is the worker's registered host:port.
+	Addr string `json:"addr"`
 }
 
 // WorkerList reports the registry (GET /dist/workers).
@@ -77,11 +92,20 @@ type Result struct {
 	NumCuts         int
 	NumBlocks       int
 	NumSeparateCuts int
-	// SplitLevels and Batches describe the sharding that was used.
+	// SplitLevels and Batches describe the sharding that was used; Batches
+	// counts leases granted (adaptive sizing makes this a scheduling
+	// outcome, not a plan property).
 	SplitLevels int
 	Batches     int
-	// Workers is the number of workers the run started with; Reassignments
-	// counts leases that failed and were handed to another worker.
+	// Workers is the number of distinct workers ever admitted to the run;
+	// Reassignments counts leases that failed and were handed back.
 	Workers       int
 	Reassignments int64
+	// Elastic-runtime outcomes: leases created by stealing, in-flight leases
+	// re-split, successful partial (drain) returns, and membership churn.
+	Steals         int64
+	Resplits       int64
+	PartialReturns int64
+	WorkersJoined  int64
+	WorkersLeft    int64
 }

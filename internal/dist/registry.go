@@ -16,7 +16,11 @@ type registry struct {
 	static map[string]bool
 	// dynamic maps worker address to its last heartbeat.
 	dynamic map[string]time.Time
-	now     func() time.Time // test hook
+	// partitioned workers are cut off from the registry: their heartbeats
+	// are dropped and they are excluded from the fleet, as if the network
+	// between them and the coordinator failed (fault injection).
+	partitioned map[string]bool
+	now         func() time.Time // test hook
 }
 
 func newRegistry(ttl time.Duration) *registry {
@@ -24,10 +28,11 @@ func newRegistry(ttl time.Duration) *registry {
 		ttl = time.Minute
 	}
 	return &registry{
-		ttl:     ttl,
-		static:  make(map[string]bool),
-		dynamic: make(map[string]time.Time),
-		now:     time.Now,
+		ttl:         ttl,
+		static:      make(map[string]bool),
+		dynamic:     make(map[string]time.Time),
+		partitioned: make(map[string]bool),
+		now:         time.Now,
 	}
 }
 
@@ -38,11 +43,27 @@ func (r *registry) addStatic(addr string) {
 	r.static[addr] = true
 }
 
-// register records a heartbeat from a dynamic worker.
+// register records a heartbeat from a dynamic worker. Heartbeats from a
+// partitioned worker are dropped on the floor.
 func (r *registry) register(addr string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.partitioned[addr] {
+		return
+	}
 	r.dynamic[addr] = r.now()
+}
+
+// partition cuts addr off from (or reconnects it to) the registry.
+func (r *registry) partition(addr string, cut bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cut {
+		r.partitioned[addr] = true
+		delete(r.dynamic, addr)
+	} else {
+		delete(r.partitioned, addr)
+	}
 }
 
 // remove drops a worker from both sets.
@@ -62,14 +83,16 @@ func (r *registry) workers() []string {
 	cutoff := r.now().Add(-r.ttl)
 	out := make([]string, 0, len(r.static)+len(r.dynamic))
 	for a := range r.static {
-		out = append(out, a)
+		if !r.partitioned[a] {
+			out = append(out, a)
+		}
 	}
 	for a, seen := range r.dynamic {
 		if seen.Before(cutoff) {
 			delete(r.dynamic, a)
 			continue
 		}
-		if !r.static[a] {
+		if !r.static[a] && !r.partitioned[a] {
 			out = append(out, a)
 		}
 	}

@@ -1,0 +1,296 @@
+// Durable run storage: the coordinator streams its merged checkpoint through
+// a pluggable Store so a run survives the coordinator itself. The layout is
+// deliberately object-store shaped — a manifest blob plus numbered
+// checkpoint blobs per run — so an S3 implementation is a drop-in later;
+// DirStore is the local-filesystem implementation shipped now.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hsfsim/internal/hsf"
+)
+
+var (
+	// ErrNoRun reports a runID the store has never seen.
+	ErrNoRun = errors.New("dist: run not found in store")
+	// ErrNoCheckpoint reports a known run with no checkpoint flushed yet.
+	ErrNoCheckpoint = errors.New("dist: run has no checkpoint yet")
+	// ErrBadRunID reports a runID that cannot name a storage object.
+	ErrBadRunID = errors.New("dist: invalid run id")
+)
+
+// Manifest describes a run well enough for any node to take it over: the
+// job to re-plan and the sharding the original coordinator chose.
+type Manifest struct {
+	Job *Job `json:"job"`
+	// PlanHash fingerprints the plan the job compiled to, string-encoded for
+	// the same reason RunRequest's is.
+	PlanHash uint64 `json:"plan_hash,string"`
+	// SplitLevels is the prefix length of the run's task space; a takeover
+	// must reuse it so checkpointed prefixes line up.
+	SplitLevels int `json:"split_levels"`
+}
+
+// Store persists run manifests and checkpoints. Implementations must be
+// safe for concurrent use and must make SaveCheckpoint atomic: a reader
+// (or a crash) never observes a torn checkpoint.
+type Store interface {
+	// SaveManifest records the run's description; overwriting with equal
+	// content is fine (a takeover re-saves it).
+	SaveManifest(runID string, m *Manifest) error
+	// LoadManifest returns the run's manifest or ErrNoRun.
+	LoadManifest(runID string) (*Manifest, error)
+	// SaveCheckpoint durably replaces the run's latest checkpoint.
+	SaveCheckpoint(runID string, ck *hsf.Checkpoint) error
+	// LoadCheckpoint returns the run's latest checkpoint, ErrNoRun for an
+	// unknown run, or ErrNoCheckpoint when none has been flushed yet.
+	LoadCheckpoint(runID string) (*hsf.Checkpoint, error)
+	// Runs lists the run IDs present in the store.
+	Runs() ([]string, error)
+}
+
+// validRunID keeps run IDs safe as file and object names.
+func validRunID(runID string) error {
+	if runID == "" || len(runID) > 128 {
+		return fmt.Errorf("%w: %q", ErrBadRunID, runID)
+	}
+	for _, c := range runID {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return fmt.Errorf("%w: %q (allowed: letters, digits, '.', '_', '-')", ErrBadRunID, runID)
+		}
+	}
+	if strings.Trim(runID, ".") == "" { // "." / ".." and friends
+		return fmt.Errorf("%w: %q", ErrBadRunID, runID)
+	}
+	return nil
+}
+
+// DirStore is a Store over a local directory:
+//
+//	root/<runID>/manifest.json
+//	root/<runID>/ckpt-<seq>   (binary hsf checkpoint stream)
+//
+// Checkpoints are written to a temp file and renamed into place, so the
+// latest complete checkpoint survives a crash mid-write; the previous one is
+// kept as a fallback and older ones are pruned.
+type DirStore struct {
+	root string
+}
+
+// NewDirStore creates (if needed) and opens a directory-backed store.
+func NewDirStore(root string) (*DirStore, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: opening store root: %w", err)
+	}
+	return &DirStore{root: root}, nil
+}
+
+func (d *DirStore) runDir(runID string) (string, error) {
+	if err := validRunID(runID); err != nil {
+		return "", err
+	}
+	return filepath.Join(d.root, runID), nil
+}
+
+// writeAtomic writes data next to path and renames it into place.
+func writeAtomic(path string, write func(*os.File) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// SaveManifest implements Store.
+func (d *DirStore) SaveManifest(runID string, m *Manifest) error {
+	dir, err := d.runDir(runID)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dist: creating run dir: %w", err)
+	}
+	return writeAtomic(filepath.Join(dir, "manifest.json"), func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+// LoadManifest implements Store.
+func (d *DirStore) LoadManifest(runID string) (*Manifest, error) {
+	dir, err := d.runDir(runID)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoRun, runID)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dist: decoding manifest for run %s: %w", runID, err)
+	}
+	if m.Job == nil {
+		return nil, fmt.Errorf("dist: manifest for run %s has no job", runID)
+	}
+	return &m, nil
+}
+
+// checkpointSeqs lists the run's checkpoint sequence numbers, ascending.
+func checkpointSeqs(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "ckpt-%d", &n); err == nil && fmt.Sprintf("ckpt-%06d", n) == e.Name() {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// SaveCheckpoint implements Store: write ckpt-<next seq> atomically, then
+// prune everything older than the previous one.
+func (d *DirStore) SaveCheckpoint(runID string, ck *hsf.Checkpoint) error {
+	dir, err := d.runDir(runID)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dist: creating run dir: %w", err)
+	}
+	seqs, err := checkpointSeqs(dir)
+	if err != nil {
+		return fmt.Errorf("dist: listing checkpoints: %w", err)
+	}
+	next := 1
+	if len(seqs) > 0 {
+		next = seqs[len(seqs)-1] + 1
+	}
+	path := filepath.Join(dir, fmt.Sprintf("ckpt-%06d", next))
+	if err := writeAtomic(path, func(f *os.File) error {
+		return hsf.WriteCheckpoint(f, ck)
+	}); err != nil {
+		return fmt.Errorf("dist: writing checkpoint: %w", err)
+	}
+	// Keep the new one and its predecessor; prune the rest.
+	for _, n := range seqs {
+		if n < next-1 {
+			os.Remove(filepath.Join(dir, fmt.Sprintf("ckpt-%06d", n)))
+		}
+	}
+	return nil
+}
+
+// LoadCheckpoint implements Store: newest first, falling back to the
+// previous checkpoint if the newest is unreadable.
+func (d *DirStore) LoadCheckpoint(runID string) (*hsf.Checkpoint, error) {
+	dir, err := d.runDir(runID)
+	if err != nil {
+		return nil, err
+	}
+	seqs, err := checkpointSeqs(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoRun, runID)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: listing checkpoints: %w", err)
+	}
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, runID)
+	}
+	var firstErr error
+	for i := len(seqs) - 1; i >= 0; i-- {
+		f, err := os.Open(filepath.Join(dir, fmt.Sprintf("ckpt-%06d", seqs[i])))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ck, err := hsf.ReadCheckpoint(f)
+		f.Close()
+		if err == nil {
+			return ck, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("dist: no readable checkpoint for run %s: %w", runID, firstErr)
+}
+
+// Runs implements Store.
+func (d *DirStore) Runs() ([]string, error) {
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listing store root: %w", err)
+	}
+	var runs []string
+	for _, e := range entries {
+		if e.IsDir() && validRunID(e.Name()) == nil {
+			runs = append(runs, e.Name())
+		}
+	}
+	sort.Strings(runs)
+	return runs, nil
+}
+
+// Takeover resumes a durably stored run on this coordinator: it loads the
+// manifest and the latest checkpoint from the store and continues the run
+// with the current fleet, flushing back to the same store. A run with no
+// checkpoint yet restarts from scratch — nothing was lost, nothing had been
+// merged. This is the coordinator-handover procedure: the original
+// coordinator can be killed at any point and any node holding the store can
+// finish the run.
+func (c *Coordinator) Takeover(ctx context.Context, store Store, runID string, opts RunOptions) (*Result, error) {
+	m, err := store.LoadManifest(runID)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := store.LoadCheckpoint(runID)
+	if err != nil && !errors.Is(err, ErrNoCheckpoint) {
+		return nil, err
+	}
+	if ck != nil {
+		if ck.PlanHash != m.PlanHash {
+			return nil, fmt.Errorf("dist: run %s: checkpoint plan %016x != manifest plan %016x",
+				runID, ck.PlanHash, m.PlanHash)
+		}
+		opts.Resume = ck
+	}
+	opts.Store = store
+	opts.RunID = runID
+	return c.Run(ctx, m.Job, opts)
+}

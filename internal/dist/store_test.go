@@ -1,0 +1,208 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"hsfsim/internal/hsf"
+)
+
+func testCheckpoint(paths int64) *hsf.Checkpoint {
+	return &hsf.Checkpoint{
+		PlanHash:       0xabcd,
+		NumQubits:      3,
+		M:              4,
+		SplitLevels:    1,
+		Prefixes:       [][]int{{0}, {1}},
+		PathsSimulated: paths,
+		Acc:            []complex128{1, 2i, 3, 0},
+	}
+}
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Manifest{Job: testJob(1), PlanHash: 0xabcd, SplitLevels: 1}
+	if err := st.SaveManifest("run-a", m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadManifest("run-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PlanHash != m.PlanHash || got.SplitLevels != m.SplitLevels || got.Job.QASM != m.Job.QASM {
+		t.Fatalf("manifest round trip mismatch: %+v", got)
+	}
+
+	if _, err := st.LoadCheckpoint("run-a"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("LoadCheckpoint before any flush = %v, want ErrNoCheckpoint", err)
+	}
+	ck := testCheckpoint(7)
+	if err := st.SaveCheckpoint("run-a", ck); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.LoadCheckpoint("run-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PathsSimulated != 7 || !reflect.DeepEqual(back.Prefixes, ck.Prefixes) || !reflect.DeepEqual(back.Acc, ck.Acc) {
+		t.Fatalf("checkpoint round trip mismatch: %+v", back)
+	}
+
+	runs, err := st.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(runs, []string{"run-a"}) {
+		t.Fatalf("Runs() = %v", runs)
+	}
+	if _, err := st.LoadManifest("never-seen"); !errors.Is(err, ErrNoRun) {
+		t.Fatalf("LoadManifest(unknown) = %v, want ErrNoRun", err)
+	}
+}
+
+func TestDirStoreRejectsUnsafeRunIDs(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "..", "a/b", "../escape", "x\x00y", "."} {
+		if err := st.SaveManifest(id, &Manifest{Job: testJob(1)}); !errors.Is(err, ErrBadRunID) {
+			t.Fatalf("SaveManifest(%q) = %v, want ErrBadRunID", id, err)
+		}
+		if _, err := st.LoadCheckpoint(id); !errors.Is(err, ErrBadRunID) {
+			t.Fatalf("LoadCheckpoint(%q) = %v, want ErrBadRunID", id, err)
+		}
+	}
+}
+
+// TestDirStorePrunesAndFallsBack: repeated flushes keep only the newest
+// checkpoint and its predecessor, and a corrupted newest file falls back to
+// that predecessor instead of failing the takeover.
+func TestDirStorePrunesAndFallsBack(t *testing.T) {
+	root := t.TempDir()
+	st, err := NewDirStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		if err := st.SaveCheckpoint("r", testCheckpoint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if !reflect.DeepEqual(names, []string{"ckpt-000004", "ckpt-000005"}) {
+		t.Fatalf("after 5 flushes kept %v, want the newest two", names)
+	}
+
+	// Corrupt the newest; the previous flush must be served.
+	if err := os.WriteFile(filepath.Join(root, "r", "ckpt-000005"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.LoadCheckpoint("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PathsSimulated != 4 {
+		t.Fatalf("fallback served PathsSimulated=%d, want 4", back.PathsSimulated)
+	}
+}
+
+// TestTakeoverResumesFromStore runs a job with durable flushing, then has a
+// brand-new coordinator resume it purely from the store: the manifest
+// reconstructs the job, the checkpoint seeds the merged set, and the final
+// amplitudes match a single-process run.
+func TestTakeoverResumesFromStore(t *testing.T) {
+	job := testJob(21)
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: run partway, then get canceled. BatchSize 1 and a per-lease
+	// delay make the cancellation land mid-run; every completed lease has
+	// been flushed by then (tiny FlushInterval).
+	lb := NewLoopback()
+	lb.AddWorker("w", ExecOptions{})
+	lb.Delay("w", 2*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var leases int
+	co := mustNew(t, Config{
+		Transport: lb,
+		Logger:    quietLogger(),
+		BatchSize: 1,
+		onLease: func(worker string, batch int) {
+			leases++
+			if leases == 3 {
+				cancel()
+			}
+		},
+	})
+	co.AddWorker("w")
+	_, err = co.Run(ctx, job, RunOptions{Store: st, RunID: "handover", FlushInterval: time.Millisecond})
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+
+	ck, err := st.LoadCheckpoint("handover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Prefixes) == 0 {
+		t.Fatal("no prefixes were durably flushed before the cancellation")
+	}
+
+	// Phase 2: a fresh coordinator with a fresh fleet takes the run over.
+	lb2 := NewLoopback()
+	lb2.AddWorker("w2", ExecOptions{})
+	co2 := mustNew(t, Config{Transport: lb2, Logger: quietLogger()})
+	co2.AddWorker("w2")
+	res, err := co2.Takeover(context.Background(), st, "handover", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAmplitudesMatch(t, res.Amplitudes, singleProcess(t, job), 1e-12)
+
+	// The takeover only leased what the first run had not merged.
+	if int(res.PathsSimulated) == 0 {
+		t.Fatal("takeover simulated no paths")
+	}
+	if _, err := co2.Takeover(context.Background(), st, "no-such-run", RunOptions{}); !errors.Is(err, ErrNoRun) {
+		t.Fatalf("Takeover(unknown) = %v, want ErrNoRun", err)
+	}
+}
+
+// TestTakeoverRejectsMismatchedCheckpoint: a checkpoint whose plan hash does
+// not match the manifest must be refused, not silently merged.
+func TestTakeoverRejectsMismatchedCheckpoint(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveManifest("r", &Manifest{Job: testJob(1), PlanHash: 1, SplitLevels: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveCheckpoint("r", testCheckpoint(1)); err != nil { // PlanHash 0xabcd != 1
+		t.Fatal(err)
+	}
+	co := mustNew(t, Config{Transport: NewLoopback(), Logger: quietLogger()})
+	co.AddWorker("w")
+	if _, err := co.Takeover(context.Background(), st, "r", RunOptions{}); err == nil {
+		t.Fatal("mismatched checkpoint accepted")
+	}
+}

@@ -21,7 +21,7 @@ func TestDistTelemetryLeaseTimeline(t *testing.T) {
 	lb.AddWorker("w1", ExecOptions{})
 
 	var cbLeases atomic.Int64
-	co := New(Config{
+	co := mustNew(t, Config{
 		Transport: lb,
 		Logger:    quietLogger(),
 		OnLease:   func(ev telemetry.LeaseEvent) { cbLeases.Add(1) },
@@ -76,7 +76,7 @@ func TestDistTelemetryKillMidRunResume(t *testing.T) {
 	lb.AddWorker("w0", ExecOptions{})
 	var killOnce atomic.Bool
 	rec1 := telemetry.New()
-	co := New(Config{
+	co := mustNew(t, Config{
 		Transport: lb,
 		Logger:    quietLogger(),
 		BatchSize: 1,
@@ -112,7 +112,7 @@ func TestDistTelemetryKillMidRunResume(t *testing.T) {
 
 	lb2 := NewLoopback()
 	lb2.AddWorker("w1", ExecOptions{})
-	co2 := New(Config{Transport: lb2, Logger: quietLogger()})
+	co2 := mustNew(t, Config{Transport: lb2, Logger: quietLogger()})
 	co2.AddWorker("w1")
 	rec2 := telemetry.New()
 	var tr telemetry.Tracker
@@ -143,7 +143,7 @@ func TestDistWorkerTelemetry(t *testing.T) {
 	wrec := telemetry.New()
 	lb := NewLoopback()
 	lb.AddWorker("w0", ExecOptions{Telemetry: wrec})
-	co := New(Config{Transport: lb, Logger: quietLogger()})
+	co := mustNew(t, Config{Transport: lb, Logger: quietLogger()})
 	co.AddWorker("w0")
 	res, err := co.Run(context.Background(), job, RunOptions{})
 	if err != nil {

@@ -7,8 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"hsfsim/internal/hsf"
 )
@@ -49,8 +52,28 @@ func IsPermanent(err error) bool {
 // HTTPTransport drives hsfsimd workers over POST /dist/run. The zero value
 // is usable; Client defaults to http.DefaultClient (lease deadlines ride on
 // the request context, so no client timeout is needed).
+//
+// Transient failures — connection refused/reset, 5xx, 429, 408, a
+// per-attempt timeout — are retried in place with exponential backoff and
+// jitter before the lease is reported failed, so a worker restarting or a
+// brief network blip does not burn a coordinator strike. Permanent 4xx
+// replies and lease-deadline expiry are never retried.
 type HTTPTransport struct {
 	Client *http.Client
+	// MaxAttempts bounds tries per lease (first attempt included). 0: 3.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt with ±50% jitter. 0: 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the (pre-jitter) backoff. 0: 2s.
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds a single HTTP attempt, distinct from the lease
+	// deadline carried by ctx: an attempt that times out is retried while
+	// the lease is still live. 0: attempts are bounded by ctx alone.
+	AttemptTimeout time.Duration
+
+	// randFloat provides jitter; tests may pin it. nil: math/rand.Float64.
+	randFloat func() float64
 }
 
 // httpPermanentStatus reports whether an HTTP status indicates a failure
@@ -71,7 +94,54 @@ func (t *HTTPTransport) client() *http.Client {
 	return http.DefaultClient
 }
 
-// Run POSTs the lease as JSON and decodes the binary checkpoint reply.
+func (t *HTTPTransport) attempts() int {
+	if t.MaxAttempts > 0 {
+		return t.MaxAttempts
+	}
+	return 3
+}
+
+// backoff returns the jittered delay before retry i (1-based).
+func (t *HTTPTransport) backoff(i int) time.Duration {
+	base := t.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := t.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << (i - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	rf := t.randFloat
+	if rf == nil {
+		rf = rand.Float64
+	}
+	return d/2 + time.Duration(rf()*float64(d))
+}
+
+// retryAfter extracts a worker-suggested delay from a 429/503 reply, capped
+// so a confused worker cannot stall the lease.
+func retryAfter(resp *http.Response, limit time.Duration) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	d := time.Duration(secs) * time.Second
+	if d > limit {
+		d = limit
+	}
+	return d, true
+}
+
+// Run POSTs the lease as JSON and decodes the binary checkpoint reply,
+// retrying transient failures with backoff while the lease is live.
 func (t *HTTPTransport) Run(ctx context.Context, addr string, req *RunRequest) (*hsf.Checkpoint, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -82,27 +152,86 @@ func (t *HTTPTransport) Run(ctx context.Context, addr string, req *RunRequest) (
 		url = "http://" + url
 	}
 	url = strings.TrimSuffix(url, "/") + "/dist/run"
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+
+	attempts := t.attempts()
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			delay := t.backoff(i)
+			if d, ok := lastRetryAfter(lastErr); ok && d > delay {
+				delay = d
+			}
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("dist: worker %s: %w", addr, context.Cause(ctx))
+			case <-time.After(delay):
+			}
+		}
+		ck, err, retryable := t.attempt(ctx, addr, url, body)
+		if err == nil {
+			return ck, nil
+		}
+		if !retryable || ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dist: worker %s: giving up after %d attempts: %w", addr, attempts, lastErr)
+}
+
+// retryAfterError carries a worker-suggested retry delay with the failure.
+type retryAfterError struct {
+	err   error
+	delay time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+func lastRetryAfter(err error) (time.Duration, bool) {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.delay, true
+	}
+	return 0, false
+}
+
+// attempt performs one HTTP exchange. The third return reports whether the
+// failure is worth retrying on this same worker.
+func (t *HTTPTransport) attempt(ctx context.Context, addr, url string, body []byte) (*hsf.Checkpoint, error, bool) {
+	actx := ctx
+	if t.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, t.AttemptTimeout)
+		defer cancel()
+	}
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return nil, Permanent(fmt.Errorf("dist: building lease request: %w", err))
+		return nil, Permanent(fmt.Errorf("dist: building lease request: %w", err)), false
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := t.client().Do(hreq)
 	if err != nil {
-		return nil, fmt.Errorf("dist: worker %s: %w", addr, err) // transient: connection refused, reset, deadline
+		// Connection refused, reset, attempt timeout: retryable unless the
+		// lease itself is over.
+		return nil, fmt.Errorf("dist: worker %s: %w", addr, err), ctx.Err() == nil
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		err := fmt.Errorf("dist: worker %s: status %d: %s", addr, resp.StatusCode, bytes.TrimSpace(msg))
+		err := error(fmt.Errorf("dist: worker %s: status %d: %s", addr, resp.StatusCode, bytes.TrimSpace(msg)))
 		if httpPermanentStatus(resp.StatusCode) {
-			return nil, Permanent(err)
+			return nil, Permanent(err), false
 		}
-		return nil, err
+		if d, ok := retryAfter(resp, 5*time.Second); ok {
+			err = &retryAfterError{err: err, delay: d}
+		}
+		return nil, err, true
 	}
 	ck, err := hsf.ReadCheckpoint(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("dist: worker %s: decoding partial: %w", addr, err)
+		// A torn reply is network-shaped; the worker can be asked again.
+		return nil, fmt.Errorf("dist: worker %s: decoding partial: %w", addr, err), true
 	}
-	return ck, nil
+	return ck, nil, false
 }

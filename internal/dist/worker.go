@@ -61,7 +61,14 @@ func ExecuteRun(ctx context.Context, req *RunRequest, opts ExecOptions) (*hsf.Ch
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.LeaseMillis)*time.Millisecond)
 		defer cancel()
 	}
-	ck, err := hsf.RunPrefixesContext(ctx, plan, hsf.Options{
+	run := hsf.RunPrefixesContext
+	if req.AllowPartial {
+		// Drain semantics: cancellation or the lease deadline yields the
+		// finished subset as a valid partial instead of an error, so a
+		// SIGTERM'd worker hands its work back rather than abandoning it.
+		run = hsf.RunPrefixesPartialContext
+	}
+	ck, err := run(ctx, plan, hsf.Options{
 		MaxAmplitudes:   req.Job.MaxAmplitudes,
 		Backend:         backend,
 		Workers:         workers,

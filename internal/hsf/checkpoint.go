@@ -63,6 +63,17 @@ type Checkpoint struct {
 	Acc []complex128
 }
 
+// Clone returns an independent deep copy. The prefix vectors themselves are
+// shared: they are never mutated after creation. A distributed coordinator
+// snapshots its merged state this way before streaming it to durable
+// storage outside the merge lock.
+func (ck *Checkpoint) Clone() *Checkpoint {
+	cp := *ck
+	cp.Prefixes = append([][]int(nil), ck.Prefixes...)
+	cp.Acc = append([]complex128(nil), ck.Acc...)
+	return &cp
+}
+
 // PlanHash fingerprints the structural identity of a plan: register size,
 // partition, step sequence, and every cut's Schmidt spectrum. Two plans with
 // equal hashes execute the same path tree.

@@ -1,0 +1,107 @@
+// Tests for partial prefix runs: a canceled RunPrefixesPartialContext must
+// return the prefixes it completed (not an error), and the returned partial
+// must merge with the remainder into the exact full-run amplitudes. This is
+// the primitive behind drained distributed workers returning their unfinished
+// leases.
+package hsf
+
+import (
+	"context"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/cut"
+)
+
+func TestRunPrefixesPartialContextReturnsCompletedSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randomQAOAish(rng, 9, 12)
+	plan, err := cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: 4}, Strategy: cut.StrategyCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitLevels := ChooseSplitLevels(plan, 8)
+	prefixes := EnumeratePrefixes(plan, splitLevels)
+	if len(prefixes) < 4 {
+		t.Fatalf("want ≥ 4 prefix tasks, got %d", len(prefixes))
+	}
+
+	// Cancel after the first leaf: with one worker the run stops somewhere
+	// strictly inside the prefix list.
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := Options{Workers: 1, testHookLeaf: func(leaves int64) {
+		if leaves >= 1 {
+			cancel()
+		}
+	}}
+	part, err := RunPrefixesPartialContext(ctx, plan, opts, splitLevels, prefixes)
+	if err != nil {
+		t.Fatalf("partial run: %v (want nil error on cancellation)", err)
+	}
+	if len(part.Prefixes) >= len(prefixes) {
+		t.Fatalf("partial run completed all %d prefixes; cancellation had no effect", len(prefixes))
+	}
+
+	// The same cancellation through the strict entry point is an error.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	opts2 := Options{Workers: 1, testHookLeaf: func(leaves int64) {
+		if leaves >= 1 {
+			cancel2()
+		}
+	}}
+	if _, err := RunPrefixesContext(ctx2, plan, opts2, splitLevels, prefixes); err == nil {
+		t.Fatal("strict run returned nil error on cancellation")
+	}
+
+	// The partial plus the uncompleted remainder reproduces the full run:
+	// nothing was lost, nothing double-counted.
+	done := make(map[string]bool, len(part.Prefixes))
+	for _, p := range part.Prefixes {
+		done[PrefixKey(p)] = true
+	}
+	var rest [][]int
+	for _, p := range prefixes {
+		if !done[PrefixKey(p)] {
+			rest = append(rest, p)
+		}
+	}
+	if len(rest) == 0 {
+		t.Fatal("no prefixes left after partial run")
+	}
+	restCk, err := RunPrefixesContext(context.Background(), plan, Options{}, splitLevels, rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := part.Merge(restCk); err != nil {
+		t.Fatal(err)
+	}
+	if part.PathsSimulated != full.PathsSimulated {
+		t.Fatalf("partial+rest simulated %d paths, full run %d", part.PathsSimulated, full.PathsSimulated)
+	}
+	for i := range full.Amplitudes {
+		if d := cmplx.Abs(part.Acc[i] - full.Amplitudes[i]); d > 1e-12 {
+			t.Fatalf("amplitude %d differs by %g", i, d)
+		}
+	}
+}
+
+func TestRunPrefixesPartialContextPassesThroughRealErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c := randomQAOAish(rng, 8, 8)
+	plan, err := cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: 3}, Strategy: cut.StrategyCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitLevels := ChooseSplitLevels(plan, 4)
+	prefixes := EnumeratePrefixes(plan, splitLevels)
+	// An injected engine fault is not a cancellation and must surface.
+	if _, err := RunPrefixesPartialContext(context.Background(), plan,
+		Options{Workers: 1, FailAfterPaths: 1}, splitLevels, prefixes); err == nil {
+		t.Fatal("injected failure returned nil error from partial run")
+	}
+}

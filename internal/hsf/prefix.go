@@ -9,6 +9,7 @@ package hsf
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -100,6 +101,33 @@ func validatePrefixes(plan *cut.Plan, splitLevels int, prefixes [][]int) error {
 // the task space once and hands out disjoint prefix batches, each of which a
 // worker process runs through this function.
 func RunPrefixesContext(ctx context.Context, plan *cut.Plan, opts Options, splitLevels int, prefixes [][]int) (*Checkpoint, error) {
+	return runPrefixes(ctx, plan, opts, splitLevels, prefixes, false)
+}
+
+// RunPrefixesPartialContext is RunPrefixesContext with drain semantics:
+// when the context is canceled or its deadline expires mid-batch, the
+// prefixes completed so far are returned as a valid partial checkpoint with
+// a nil error instead of the cancellation error. The returned checkpoint's
+// Prefixes may therefore be any subset (including none) of the requested
+// batch; every listed prefix is fully accumulated. Non-cancellation failures
+// (admission rejection, a panicking path worker) still return an error.
+//
+// This is what lets a draining or deadline-bound distributed worker hand its
+// finished work back to the coordinator instead of abandoning the lease.
+func RunPrefixesPartialContext(ctx context.Context, plan *cut.Plan, opts Options, splitLevels int, prefixes [][]int) (*Checkpoint, error) {
+	return runPrefixes(ctx, plan, opts, splitLevels, prefixes, true)
+}
+
+// isCancellation reports whether err is a cooperative-stop cause (rather
+// than a real execution failure): context cancellation, a deadline, or the
+// engine's own timeout sentinel.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrTimeout)
+}
+
+func runPrefixes(ctx context.Context, plan *cut.Plan, opts Options, splitLevels int, prefixes [][]int, partialOnCancel bool) (*Checkpoint, error) {
 	nLower := plan.Partition.NumLower()
 	nUpper := plan.Partition.NumUpper(plan.NumQubits)
 	if nLower <= 0 || nUpper <= 0 {
@@ -139,13 +167,19 @@ func RunPrefixesContext(ctx context.Context, plan *cut.Plan, opts Options, split
 		Acc:         make([]complex128, m),
 	}
 	if len(prefixes) == 0 {
-		return ck, stopped(ctx)
+		if err := stopped(ctx); err != nil && !(partialOnCancel && isCancellation(err)) {
+			return ck, err
+		}
+		return ck, nil
 	}
 	start := time.Now()
 	err = e.runTasks(ctx, workers, prefixes, ck)
 	np, _ := plan.NumPaths()
 	e.finishTelemetry(opts.Telemetry, np, plan.Log2Paths(), ck.PathsSimulated, 0, workers, time.Since(start))
 	if err != nil {
+		if partialOnCancel && isCancellation(err) {
+			return ck, nil
+		}
 		return nil, err
 	}
 	return ck, nil

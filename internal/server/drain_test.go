@@ -1,0 +1,121 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"math/cmplx"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hsfsim/internal/dist"
+)
+
+// TestDrainLifecycle: Drain flips /readyz to a 503 "draining" verdict and
+// makes the worker refuse new /dist/run leases, and /dist/deregister removes
+// the drained worker from a coordinator's fleet.
+func TestDrainLifecycle(t *testing.T) {
+	svc := NewService(quietConfig())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	readyz := func() (int, readyBody) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body readyBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := readyz(); code != http.StatusOK || body.Status != "ready" || body.Draining {
+		t.Fatalf("before drain: code=%d body=%+v", code, body)
+	}
+
+	svc.Drain()
+
+	if code, body := readyz(); code != http.StatusServiceUnavailable || body.Status != "draining" || !body.Draining {
+		t.Fatalf("after drain: code=%d body=%+v", code, body)
+	}
+
+	// New leases are refused before the request body is even decoded.
+	resp := post(t, srv, "/dist/run", dist.RunRequest{})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/dist/run while draining: status %d, want 503", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), "worker draining") {
+		t.Fatalf("/dist/run while draining: body %q", raw)
+	}
+
+	// The drained daemon deregisters from its coordinator on the way out.
+	co := NewService(quietConfig())
+	cosrv := httptest.NewServer(co.Handler())
+	defer cosrv.Close()
+	reg := post(t, cosrv, "/dist/register", dist.RegisterRequest{Addr: "worker-a:9000"})
+	reg.Body.Close()
+	if len(co.Workers()) != 1 {
+		t.Fatalf("fleet after register: %v", co.Workers())
+	}
+	dereg := post(t, cosrv, "/dist/deregister", dist.DeregisterRequest{Addr: "worker-a:9000"})
+	defer dereg.Body.Close()
+	if dereg.StatusCode != http.StatusOK {
+		t.Fatalf("/dist/deregister: status %d", dereg.StatusCode)
+	}
+	if len(co.Workers()) != 0 {
+		t.Fatalf("fleet after deregister: %v", co.Workers())
+	}
+}
+
+// TestDistributeSurvivesDrainedWorker: a fleet member that is draining (every
+// lease to it comes back 503) costs retries and strikes but not correctness —
+// the coordinator retires it and the rest of the fleet finishes the job.
+func TestDistributeSurvivesDrainedWorker(t *testing.T) {
+	w1 := httptest.NewServer(New())
+	defer w1.Close()
+	w2svc := NewService(quietConfig())
+	w2 := httptest.NewServer(w2svc.Handler())
+	defer w2.Close()
+	w2svc.Drain() // w2 refuses every lease from here on
+
+	svc := NewService(quietConfig())
+	co := httptest.NewServer(svc.Handler())
+	defer co.Close()
+	svc.AddWorker(hostPort(w1))
+	svc.AddWorker(hostPort(w2))
+
+	cutPos := 3
+	req := SimulateRequest{QASM: distQASM(8, 10, 11), Method: "joint", CutPos: &cutPos}
+	resp := post(t, co, "/simulate", req)
+	defer resp.Body.Close()
+	var local SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&local); err != nil {
+		t.Fatal(err)
+	}
+
+	req.Distribute = true
+	resp2 := post(t, co, "/simulate", req)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("distributed simulate with a draining worker: status %d: %s", resp2.StatusCode, raw)
+	}
+	var got SimulateResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range local.Amplitudes {
+		d := cmplx.Abs(complex(got.Amplitudes[i].Re-local.Amplitudes[i].Re,
+			got.Amplitudes[i].Im-local.Amplitudes[i].Im))
+		if d > 1e-12 {
+			t.Fatalf("amplitude %d differs by %g", i, d)
+		}
+	}
+}

@@ -87,6 +87,27 @@ func init() {
 	m.Set("dist_leases_in_flight", expvar.Func(func() any {
 		return sumDistStats(func(s *dist.Stats) int64 { return s.InFlightLeases.Load() })
 	}))
+	m.Set("dist_leases_stolen_total", expvar.Func(func() any {
+		return sumDistStats(func(s *dist.Stats) int64 { return s.LeasesStolen.Load() })
+	}))
+	m.Set("dist_leases_resplit_total", expvar.Func(func() any {
+		return sumDistStats(func(s *dist.Stats) int64 { return s.LeasesResplit.Load() })
+	}))
+	m.Set("dist_partial_returns_total", expvar.Func(func() any {
+		return sumDistStats(func(s *dist.Stats) int64 { return s.PartialReturns.Load() })
+	}))
+	m.Set("dist_partials_duplicate_total", expvar.Func(func() any {
+		return sumDistStats(func(s *dist.Stats) int64 { return s.PartialsDuplicate.Load() })
+	}))
+	m.Set("dist_store_flushes_total", expvar.Func(func() any {
+		return sumDistStats(func(s *dist.Stats) int64 { return s.StoreFlushes.Load() })
+	}))
+	m.Set("dist_workers_joined_total", expvar.Func(func() any {
+		return sumDistStats(func(s *dist.Stats) int64 { return s.WorkersJoined.Load() })
+	}))
+	m.Set("dist_workers_left_total", expvar.Func(func() any {
+		return sumDistStats(func(s *dist.Stats) int64 { return s.WorkersLeft.Load() })
+	}))
 }
 
 // handleMetrics serves the Prometheus text exposition format: every expvar
@@ -127,6 +148,27 @@ func (s *service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	telemetry.WriteGauge(w, "hsfsimd_dist_leases_in_flight",
 		"Distributed leases currently executing.",
 		float64(sumDistStats(func(st *dist.Stats) int64 { return st.InFlightLeases.Load() })))
+	telemetry.WriteCounter(w, "hsfsimd_dist_leases_stolen_total",
+		"Leases created by stealing from slow or leaving workers.",
+		sumDistStats(func(st *dist.Stats) int64 { return st.LeasesStolen.Load() }))
+	telemetry.WriteCounter(w, "hsfsimd_dist_leases_resplit_total",
+		"In-flight leases split so part could be re-leased.",
+		sumDistStats(func(st *dist.Stats) int64 { return st.LeasesResplit.Load() }))
+	telemetry.WriteCounter(w, "hsfsimd_dist_partial_returns_total",
+		"Successful lease replies covering fewer prefixes than leased.",
+		sumDistStats(func(st *dist.Stats) int64 { return st.PartialReturns.Load() }))
+	telemetry.WriteCounter(w, "hsfsimd_dist_partials_duplicate_total",
+		"Returned partials dropped by exactly-once dedup.",
+		sumDistStats(func(st *dist.Stats) int64 { return st.PartialsDuplicate.Load() }))
+	telemetry.WriteCounter(w, "hsfsimd_dist_store_flushes_total",
+		"Merged checkpoints flushed to durable storage.",
+		sumDistStats(func(st *dist.Stats) int64 { return st.StoreFlushes.Load() }))
+	telemetry.WriteCounter(w, "hsfsimd_dist_workers_joined_total",
+		"Workers admitted into runs after they started.",
+		sumDistStats(func(st *dist.Stats) int64 { return st.WorkersJoined.Load() }))
+	telemetry.WriteCounter(w, "hsfsimd_dist_workers_left_total",
+		"Workers that dropped out of running rotations.",
+		sumDistStats(func(st *dist.Stats) int64 { return st.WorkersLeft.Load() }))
 
 	telemetry.WriteHistogram(w, "hsfsimd_leaf_latency_seconds",
 		"Sampled per-leaf latency (segment sweep + accumulate) of local runs.",

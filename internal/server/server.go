@@ -79,6 +79,39 @@ type Config struct {
 	// WorkerTTL is how long a /dist/register heartbeat keeps a worker in the
 	// fleet (0: 1 minute).
 	WorkerTTL time.Duration
+	// HeartbeatInterval is the re-registration cadence advertised to workers;
+	// it must stay below WorkerTTL (0: WorkerTTL/3).
+	HeartbeatInterval time.Duration
+	// DistMaxStrikes is the consecutive-failure count that retires a worker
+	// from a run (0: the dist default, 3).
+	DistMaxStrikes int
+	// DistJoinGrace keeps a run with unfinished work alive this long after
+	// the whole fleet died, waiting for replacements to join (0: fail
+	// immediately).
+	DistJoinGrace time.Duration
+}
+
+// Validate reports whether the configuration would be rejected by the
+// coordinator (e.g. a worker TTL at or below the heartbeat interval); the
+// returned error is dist's typed *ConfigError. NewService panics on an
+// invalid Config, so daemons validate first to fail their flags cleanly.
+func (c Config) Validate() error {
+	return c.withDefaults().distConfig(nil, nil).Validate()
+}
+
+// distConfig derives the coordinator configuration from the service's.
+func (c Config) distConfig(stats *dist.Stats, onLease func(telemetry.LeaseEvent)) dist.Config {
+	return dist.Config{
+		Transport:         &dist.HTTPTransport{},
+		LeaseTimeout:      c.DistLeaseTimeout,
+		WorkerTTL:         c.WorkerTTL,
+		HeartbeatInterval: c.HeartbeatInterval,
+		MaxStrikes:        c.DistMaxStrikes,
+		JoinGrace:         c.DistJoinGrace,
+		Logger:            c.Logger,
+		Stats:             stats,
+		OnLease:           onLease,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -159,10 +192,11 @@ type errorBody struct {
 // load-relevant expvar counters so probes see them without parsing
 // /debug/vars.
 type readyBody struct {
-	Status   string `json:"status"` // "ready" | "saturated"
+	Status   string `json:"status"` // "ready" | "saturated" | "draining"
 	InFlight int64  `json:"in_flight"`
 	Capacity int    `json:"capacity"`
 	Workers  int    `json:"dist_workers"`
+	Draining bool   `json:"draining,omitempty"`
 
 	RequestsTotal       int64 `json:"requests_total"`
 	SimulationsTotal    int64 `json:"simulations_total"`
@@ -170,6 +204,12 @@ type readyBody struct {
 	Shed429Total        int64 `json:"shed_429_total"`
 	WorkerRunsTotal     int64 `json:"worker_runs_total"`
 	LeaseReassignments  int64 `json:"dist_lease_reassignments_total"`
+	LeasesStolen        int64 `json:"dist_leases_stolen_total"`
+	LeasesResplit       int64 `json:"dist_leases_resplit_total"`
+	PartialReturns      int64 `json:"dist_partial_returns_total"`
+	StoreFlushes        int64 `json:"dist_store_flushes_total"`
+	WorkersJoined       int64 `json:"dist_workers_joined_total"`
+	WorkersLeft         int64 `json:"dist_workers_left_total"`
 }
 
 type service struct {
@@ -178,6 +218,12 @@ type service struct {
 	inFlight atomic.Int64
 	reqSeq   atomic.Uint64
 	coord    *dist.Coordinator
+
+	// drainCtx is canceled when the service starts draining: new leases are
+	// refused with 503 and in-flight /dist/run leases are canceled so they
+	// return their finished prefixes as partials.
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
 
 	// distStats is this coordinator's private lease-stats block; /debug/vars
 	// aggregates across all services in the process, /readyz reads only ours.
@@ -197,7 +243,9 @@ type Service struct {
 	handler http.Handler
 }
 
-// NewService builds the service and its handler tree.
+// NewService builds the service and its handler tree. It panics on a Config
+// the coordinator rejects; call Config.Validate first to get the typed error
+// instead.
 func NewService(cfg Config) *Service {
 	s := newService(cfg)
 	return &Service{svc: s, handler: s.routes()}
@@ -211,6 +259,16 @@ func (s *Service) AddWorker(addr string) { s.svc.coord.AddWorker(addr) }
 
 // Workers returns the live distributed-worker fleet.
 func (s *Service) Workers() []string { return s.svc.coord.Workers() }
+
+// Coordinator exposes the service's coordinator for embedding binaries
+// (durable takeover, chaos partitioning).
+func (s *Service) Coordinator() *dist.Coordinator { return s.svc.coord }
+
+// Drain puts the service into worker-drain mode: new /dist/run leases are
+// refused with 503 and in-flight leases are canceled, which makes them
+// return the prefixes they finished as valid partials instead of abandoning
+// the work. Call it on SIGTERM before shutting the listener down.
+func (s *Service) Drain() { s.svc.drainCancel() }
 
 // New returns the HTTP handler tree with default configuration.
 func New() http.Handler { return NewWithConfig(Config{}) }
@@ -228,6 +286,7 @@ func (s *service) routes() http.Handler {
 	mux.Handle("/simulate", s.limited(s.handleSimulate))
 	mux.Handle("/dist/run", s.limited(s.handleDistRun))
 	mux.HandleFunc("/dist/register", s.handleDistRegister)
+	mux.HandleFunc("/dist/deregister", s.handleDistDeregister)
 	mux.HandleFunc("/dist/workers", s.handleDistWorkers)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -239,16 +298,14 @@ func newService(cfg Config) *service {
 	if s.cfg.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
 	}
-	s.coord = dist.New(dist.Config{
-		Transport:    &dist.HTTPTransport{},
-		LeaseTimeout: s.cfg.DistLeaseTimeout,
-		WorkerTTL:    s.cfg.WorkerTTL,
-		Logger:       s.cfg.Logger,
-		Stats:        s.distStats,
-		OnLease: func(ev telemetry.LeaseEvent) {
-			s.leaseDurations.Observe(time.Duration(ev.DurMs * float64(time.Millisecond)))
-		},
-	})
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	coord, err := dist.New(s.cfg.distConfig(s.distStats, func(ev telemetry.LeaseEvent) {
+		s.leaseDurations.Observe(time.Duration(ev.DurMs * float64(time.Millisecond)))
+	}))
+	if err != nil {
+		panic(fmt.Sprintf("server: %v", err))
+	}
+	s.coord = coord
 	return s
 }
 
@@ -330,10 +387,21 @@ func (s *service) handleReady(w http.ResponseWriter, r *http.Request) {
 		Shed429Total:        metricShed429.Value(),
 		WorkerRunsTotal:     metricWorkerRuns.Value(),
 		LeaseReassignments:  s.distStats.LeasesReassigned.Load(),
+		LeasesStolen:        s.distStats.LeasesStolen.Load(),
+		LeasesResplit:       s.distStats.LeasesResplit.Load(),
+		PartialReturns:      s.distStats.PartialReturns.Load(),
+		StoreFlushes:        s.distStats.StoreFlushes.Load(),
+		WorkersJoined:       s.distStats.WorkersJoined.Load(),
+		WorkersLeft:         s.distStats.WorkersLeft.Load(),
 	}
 	code := http.StatusOK
 	if s.sem != nil && len(s.sem) >= cap(s.sem) {
 		body.Status = "saturated"
+		code = http.StatusServiceUnavailable
+	}
+	if s.drainCtx.Err() != nil {
+		body.Status = "draining"
+		body.Draining = true
 		code = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -642,6 +710,10 @@ func (s *service) handleDistributedSimulate(w http.ResponseWriter, r *http.Reque
 // and reassigns.
 func (s *service) handleDistRun(w http.ResponseWriter, r *http.Request) {
 	reqID := requestID(r.Context())
+	if s.drainCtx.Err() != nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("worker draining"), reqID)
+		return
+	}
 	var req dist.RunRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -652,6 +724,12 @@ func (s *service) handleDistRun(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.MaxTimeout)
 		defer cancel()
 	}
+	// Drain cancels the lease mid-run; with AllowPartial set the finished
+	// prefixes still go back to the coordinator as a valid partial.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopDrainWatch := context.AfterFunc(s.drainCtx, cancel)
+	defer stopDrainWatch()
 	rec := telemetry.New()
 	defer s.mergeRunTelemetry(rec)
 	ck, err := dist.ExecuteRun(ctx, &req, dist.ExecOptions{
@@ -706,7 +784,26 @@ func (s *service) handleDistRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := s.coord.Register(req.Addr)
-	writeJSON(w, dist.RegisterResponse{Workers: n, TTLMillis: int(s.coord.TTL() / time.Millisecond)})
+	writeJSON(w, dist.RegisterResponse{
+		Workers:         n,
+		TTLMillis:       int(s.coord.TTL() / time.Millisecond),
+		HeartbeatMillis: int(s.coord.HeartbeatInterval() / time.Millisecond),
+	})
+}
+
+// handleDistDeregister removes a draining worker from the fleet so running
+// sessions stop granting it leases and re-split what it still holds.
+func (s *service) handleDistDeregister(w http.ResponseWriter, r *http.Request) {
+	var req dist.DeregisterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Addr) == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("deregister: empty worker addr"), requestID(r.Context()))
+		return
+	}
+	s.coord.Deregister(req.Addr)
+	writeJSON(w, dist.WorkerList{Workers: s.coord.Workers()})
 }
 
 // handleDistWorkers lists the live fleet.

@@ -166,6 +166,11 @@ type LeaseEvent struct {
 	DurMs    float64 `json:"dur_ms"`
 	Paths    int64   `json:"paths,omitempty"`
 	Err      string  `json:"err,omitempty"`
+	// Stolen marks a lease created by re-splitting another worker's
+	// in-flight lease; Partial marks a reply covering fewer prefixes than
+	// leased (a draining or deadline-bound worker handing work back).
+	Stolen  bool `json:"stolen,omitempty"`
+	Partial bool `json:"partial,omitempty"`
 }
 
 // Lease records one lease event and its duration.
