@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core race-sweep race-telemetry fuzz dist-test chaos-test vet cover bench bench-core bench-kernels bench-telemetry bench-tables examples fmt clean
+.PHONY: all build test race race-core race-sweep race-telemetry fuzz dist-test chaos-test jobs-test vet cover bench bench-core bench-kernels bench-telemetry bench-serving bench-tables examples fmt clean
 
 all: build vet test
 
@@ -61,6 +61,13 @@ dist-test:
 chaos-test:
 	$(GO) test -race -run 'Chaos|Steal|Takeover|Partition|Join|Drain|Truncated' -v -count=1 ./internal/dist/ ./internal/server/
 
+# Job-service suite under the race detector: queues, quotas, plan-cache
+# batching, SSE streaming, fingerprint stability, and the
+# kill-the-daemon-mid-job resume test (SIGTERM during a walk, restart on the
+# same store, every job completes with correct amplitudes).
+jobs-test:
+	$(GO) test -race -run 'Job|Fingerprint|Manager|Queue|Quota|Batch|Plan|Store' -v -count=1 ./internal/jobs/ ./internal/hsf/ ./internal/server/ ./cmd/hsfsimd/
+
 cover:
 	$(GO) test -cover ./...
 
@@ -83,6 +90,12 @@ bench-kernels:
 # the ±2% budget DESIGN.md documents.
 bench-telemetry:
 	$(GO) run ./cmd/benchcore -study telemetry -o BENCH_telemetry.json
+
+# Job-service serving study: N concurrent same-circuit jobs through the
+# manager (plan cache + batching) vs. fingerprint-distinct submissions, with
+# throughput and p50/p99 latency per scenario.
+bench-serving:
+	$(GO) run ./cmd/benchcore -study serving -o BENCH_serving.json
 
 # Regenerate every table and figure at laptop scale.
 bench-tables:

@@ -5,7 +5,8 @@
 //	benchcore -o BENCH_core.json
 //	benchcore -study kernels -o BENCH_kernels.json
 //	benchcore -study telemetry -o BENCH_telemetry.json
-//	make bench-core bench-kernels bench-telemetry
+//	benchcore -study serving -o BENCH_serving.json
+//	make bench-core bench-kernels bench-telemetry bench-serving
 //
 // The core study's allocs_per_op column is the headline number: steady-state
 // walking must stay at zero allocations per replay (see internal/hsf
@@ -59,7 +60,7 @@ type report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (- for stdout; default BENCH_<study>.json)")
-	study := flag.String("study", "core", "study to run: core | kernels | telemetry")
+	study := flag.String("study", "core", "study to run: core | kernels | telemetry | serving")
 	flag.Parse()
 
 	var rep any
@@ -80,8 +81,10 @@ func main() {
 		rep = kernelStudy()
 	case "telemetry":
 		rep = telemetryStudy()
+	case "serving":
+		rep = servingStudy()
 	default:
-		fail(fmt.Errorf("unknown study %q (want core, kernels, or telemetry)", *study))
+		fail(fmt.Errorf("unknown study %q (want core, kernels, telemetry, or serving)", *study))
 	}
 	if *out == "" {
 		*out = "BENCH_" + *study + ".json"

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hsfsim"
+	"hsfsim/internal/circuit"
+	"hsfsim/internal/gate"
+	"hsfsim/internal/jobs"
+	"hsfsim/internal/telemetry"
+)
+
+// servingRow measures one job-service scenario: N concurrent submissions
+// driven to completion through a jobs.Manager. The same_circuit=true rows
+// exercise the plan cache and batching (one compile, few walks); the
+// same_circuit=false rows submit N fingerprint-distinct circuits, which is
+// the cache-off baseline — every job compiles its own plan and walks alone.
+type servingRow struct {
+	Name        string  `json:"name"`
+	Jobs        int     `json:"jobs"`
+	SameCircuit bool    `json:"same_circuit"`
+	WallMs      float64 `json:"wall_ms"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	// Manager counters after the scenario: compiles = plan-cache misses.
+	PlanCompiles int64 `json:"plan_compiles"`
+	PlanHits     int64 `json:"plan_hits"`
+	Batches      int64 `json:"batches"`
+	BatchedJobs  int64 `json:"batched_jobs"`
+}
+
+type servingReport struct {
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Timestamp  time.Time    `json:"timestamp"`
+	Runners    int          `json:"runners"`
+	Rows       []servingRow `json:"rows"`
+}
+
+// servingCircuit builds the per-job workload: a standard-HSF walk with
+// 2^cuts paths over (n/2)-qubit halves, plus a distinguishing rotation so
+// variant > 0 produces a distinct fingerprint.
+func servingCircuit(n, cuts, variant int) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.Append(gate.H(q))
+	}
+	c.Append(gate.RZ(0.1+float64(variant)/1000, 0))
+	for i := 0; i < cuts; i++ {
+		c.Append(gate.RZ(0.2+float64(i)/100, i%n))
+		c.Append(gate.CNOT(n/2-1, n/2))
+	}
+	return c
+}
+
+// servingScenario submits n jobs concurrently and waits for all of them,
+// recording wall clock, per-job latency quantiles, and the manager counters
+// that prove (or disprove) plan sharing.
+func servingScenario(name string, n int, same bool, runners int) servingRow {
+	var (
+		mu      sync.Mutex
+		started = map[string]time.Time{}
+		hist    telemetry.Histogram
+		done    sync.WaitGroup
+	)
+	mgr, err := jobs.New(jobs.Config{
+		Runners:  runners,
+		QueueCap: 2 * n,
+		Logf:     func(string, ...any) {},
+		OnResult: func(snap jobs.Snapshot, res *hsfsim.Result) {
+			mu.Lock()
+			hist.Observe(time.Since(started[snap.ID]))
+			mu.Unlock()
+			done.Done()
+		},
+	})
+	fail(err)
+
+	opts := hsfsim.Options{Method: hsfsim.StandardHSF, CutPos: 9}
+	wallStart := time.Now()
+	for i := 0; i < n; i++ {
+		variant := 0
+		if !same {
+			variant = i + 1
+		}
+		c := servingCircuit(20, 8, variant)
+		done.Add(1)
+		mu.Lock()
+		snap, err := mgr.Submit(jobs.Request{Circuit: c, Opts: opts})
+		if err != nil {
+			mu.Unlock()
+			fail(fmt.Errorf("serving %s: submit %d: %w", name, i, err))
+		}
+		started[snap.ID] = time.Now()
+		mu.Unlock()
+	}
+	// OnResult fires per completed job; a failed job would not, so bound the
+	// wait instead of hanging the bench tool.
+	waited := make(chan struct{})
+	go func() { done.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Minute):
+		fail(fmt.Errorf("serving %s: jobs did not complete within 5m", name))
+	}
+	wall := time.Since(wallStart)
+
+	st := mgr.Stats()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := mgr.Close(ctx); err != nil {
+		fail(fmt.Errorf("serving %s: close: %w", name, err))
+	}
+	if st.Failed > 0 {
+		fail(fmt.Errorf("serving %s: %d jobs failed", name, st.Failed))
+	}
+	snap := hist.Snapshot()
+	return servingRow{
+		Name:         name,
+		Jobs:         n,
+		SameCircuit:  same,
+		WallMs:       float64(wall.Microseconds()) / 1000,
+		JobsPerSec:   float64(n) / wall.Seconds(),
+		P50Ms:        snap.Quantile(0.50) * 1000,
+		P99Ms:        snap.Quantile(0.99) * 1000,
+		PlanCompiles: st.PlanMisses,
+		PlanHits:     st.PlanHits,
+		Batches:      st.Batches,
+		BatchedJobs:  st.BatchedJobs,
+	}
+}
+
+// servingStudy pits same-circuit submissions (plan cache + batching share
+// one compile and few walks) against fingerprint-distinct submissions (the
+// cache-off baseline) at two concurrency levels.
+func servingStudy() *servingReport {
+	runners := runtime.GOMAXPROCS(0)
+	if runners > 8 {
+		runners = 8
+	}
+	rep := &servingReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC(),
+		Runners:    runners,
+	}
+	// Warm pools and the compiler paths once so row 1 doesn't pay cold costs.
+	servingScenario("warmup", 4, true, runners)
+	for _, n := range []int{16, 64} {
+		rep.Rows = append(rep.Rows,
+			servingScenario(fmt.Sprintf("same-circuit-%djobs", n), n, true, runners),
+			servingScenario(fmt.Sprintf("distinct-circuit-%djobs", n), n, false, runners),
+		)
+	}
+	return rep
+}

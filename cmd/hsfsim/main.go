@@ -19,6 +19,10 @@
 // The same -checkpoint/-resume flags apply: a run that fails mid-way (all
 // workers lost, Ctrl-C) snapshots the merged partial state for a later
 // -distribute or local -resume.
+//
+// The submit/status/watch/result/cancel/jobs subcommands run circuits as
+// asynchronous jobs on a hsfsimd daemon instead of simulating locally; see
+// jobs.go.
 package main
 
 import (
@@ -44,6 +48,15 @@ import (
 )
 
 func main() {
+	// Job subcommands talk to a running hsfsimd instead of simulating
+	// locally; they parse their own flags (see jobs.go).
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "submit", "status", "watch", "result", "cancel", "jobs":
+			jobsCLI(os.Args[1], os.Args[2:])
+			return
+		}
+	}
 	var (
 		method    = flag.String("method", "joint", "schrodinger | standard | joint")
 		cutPos    = flag.Int("cut", -1, "cut position (last lower-partition qubit); default n/2-1")

@@ -86,6 +86,12 @@ func run(args []string) int {
 		maxStrikes    = fs.Int("max-strikes", 0, "lease failures before a worker is retired as coordinator (0: 3)")
 		debugAddr     = fs.String("debug-addr", "", "serve pprof + expvar + runtime stats on this separate listener (keep it private)")
 		progressEvery = fs.Duration("progress", 0, "log a periodic counter summary at this interval (0: off)")
+		jobStore      = fs.String("jobs-store", "", "directory for durable job state (manifests, checkpoints, results); empty keeps jobs in memory")
+		jobRunners    = fs.Int("job-runners", 0, "concurrent async job batches (0: 2)")
+		jobQueueCap   = fs.Int("job-queue-cap", 0, "max queued async jobs before 429 (0: 256)")
+		tenantQuota   = fs.Int("tenant-quota", 0, "max outstanding jobs per tenant (0: unlimited)")
+		tenantQuotas  = fs.String("tenant-quotas", "", "per-tenant overrides as name=N,name=N")
+		jobFlush      = fs.Duration("job-flush", 0, "mid-run job checkpoint flush cadence (0: 2s)")
 	)
 	_ = fs.Parse(args)
 	if *worker && *join == "" {
@@ -97,6 +103,11 @@ func run(args []string) int {
 	logger := log.New(os.Stderr, "hsfsimd ", log.LstdFlags)
 	if _, err := hsfsim.ParseBackend(*backend); err != nil {
 		logger.Printf("-backend %q: want dense or dd", *backend)
+		return 2
+	}
+	quotas, err := parseQuotas(*tenantQuotas)
+	if err != nil {
+		logger.Printf("-tenant-quotas: %v", err)
 		return 2
 	}
 	cfg := server.Config{
@@ -111,6 +122,12 @@ func run(args []string) int {
 		WorkerTTL:         *workerTTL,
 		HeartbeatInterval: *heartbeat,
 		DistMaxStrikes:    *maxStrikes,
+		JobStoreDir:       *jobStore,
+		JobRunners:        *jobRunners,
+		JobQueueCap:       *jobQueueCap,
+		TenantQuota:       *tenantQuota,
+		TenantQuotas:      quotas,
+		JobFlushInterval:  *jobFlush,
 	}
 	if err := cfg.Validate(); err != nil {
 		logger.Printf("%v", err)
@@ -202,6 +219,16 @@ func run(args []string) int {
 		dcancel()
 	}
 
+	// Park the async job service: running walks flush their checkpoints and
+	// stay "running" in the store, so the next start resumes them instead of
+	// redoing the work.
+	logger.Printf("closing job service, parking unfinished jobs for resume")
+	jctx, jcancel := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := svc.CloseJobs(jctx); err != nil {
+		logger.Printf("job drain incomplete: %v", err)
+	}
+	jcancel()
+
 	logger.Printf("shutting down, draining in-flight requests (up to %v)", *drainTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -216,6 +243,27 @@ func run(args []string) int {
 	}
 	logger.Printf("shutdown complete")
 	return 0
+}
+
+// parseQuotas parses the -tenant-quotas form "name=N,name=N".
+func parseQuotas(s string) (map[string]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		var n int
+		if _, err := fmt.Sscanf(val, "%d", &n); !ok || err != nil || name == "" || n < 0 {
+			return nil, fmt.Errorf("bad quota %q (want name=N)", part)
+		}
+		out[name] = n
+	}
+	return out, nil
 }
 
 // debugMux builds the -debug-addr handler tree: pprof profiles, the expvar

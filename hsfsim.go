@@ -102,6 +102,12 @@ var ErrBudget = hsf.ErrBudget
 // checkpoint produced by a different circuit, cut plan, or MaxAmplitudes.
 var ErrCheckpointMismatch = hsf.ErrCheckpointMismatch
 
+// Checkpoint is a resumable snapshot of a partially executed HSF run: the
+// completed prefix tasks plus their merged partial accumulator. See
+// Options.CheckpointWriter / Options.ResumeFrom for the serialized form and
+// Options.OnCheckpoint for live mid-run snapshots.
+type Checkpoint = hsf.Checkpoint
+
 // BudgetError is the concrete admission-control rejection; it wraps
 // ErrBudget and carries the cost estimate that triggered it.
 type BudgetError = hsf.BudgetError
@@ -207,6 +213,13 @@ type Options struct {
 	// HSF path leaves (0: disabled) — a testing hook that makes
 	// checkpoint/resume recovery reproducible without real crashes.
 	FailAfterPaths int64
+	// OnCheckpoint, when non-nil, runs after every completed HSF prefix task
+	// is merged, with the engine's live checkpoint snapshot. It is invoked
+	// under the engine's merge lock, so it must be fast: rate-limit, Clone,
+	// and hand the copy to another goroutine instead of writing to disk
+	// inline. Job services use it to flush durable mid-run checkpoints so a
+	// killed process resumes instead of restarting. Ignored by Schrodinger.
+	OnCheckpoint func(*Checkpoint)
 	// Telemetry, when non-nil, records run-level measurements — plan and
 	// compile spans, per-segment sweep timings, kernel-class attribution,
 	// leaf-latency histograms, pool and parallelism statistics — and
@@ -278,20 +291,204 @@ func Simulate(c *Circuit, opts Options) (*Result, error) {
 // context.DeadlineExceeded) from the job exceeding its own Options.Timeout
 // (ErrTimeout).
 func SimulateContext(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
+	cp, err := Compile(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return SimulateCompiledContext(ctx, cp, opts)
+}
+
+// CompiledPlan is the reusable, immutable result of Compile: the circuit's
+// cut plan (HSF methods) or fused, kernel-compiled gate segment
+// (Schrodinger), plus the fingerprint that keys it. A CompiledPlan is safe
+// for concurrent SimulateCompiledContext calls, so a service can compile a
+// hot circuit once and execute many requests — even simultaneously — against
+// the same plan, skipping the Schmidt decompositions that dominate
+// preprocessing.
+type CompiledPlan struct {
+	circuit *Circuit
+	method  Method
+	plan    *cut.Plan                 // HSF methods
+	seg     *statevec.CompiledSegment // Schrodinger
+	gates   []gate.Gate               // Schrodinger, post-fusion (telemetry census)
+	fp      uint64
+	compile time.Duration
+}
+
+// Fingerprint returns the plan's cache key: a hash of the circuit (gate
+// sequence, operands, parameters, matrices) and every plan-affecting option.
+// Equal fingerprints execute identically; see Fingerprint for computing the
+// key without compiling.
+func (p *CompiledPlan) Fingerprint() uint64 { return p.fp }
+
+// Method echoes the method the plan was compiled for.
+func (p *CompiledPlan) Method() Method { return p.method }
+
+// NumQubits returns the register size.
+func (p *CompiledPlan) NumQubits() int { return p.circuit.NumQubits }
+
+// NumPaths returns the plan's Feynman path count (1 for Schrodinger),
+// saturating at MaxUint64.
+func (p *CompiledPlan) NumPaths() uint64 {
+	if p.plan == nil {
+		return 1
+	}
+	n, _ := p.plan.NumPaths()
+	return n
+}
+
+// CompileTime reports the wall-clock cost of building this plan (the
+// preprocessing line of the paper's Table I); cached executions inherit it
+// in Result.PreprocessTime without paying it again.
+func (p *CompiledPlan) CompileTime() time.Duration { return p.compile }
+
+// EstimateCost projects the resources one SimulateCompiledContext call with
+// opts would need, without allocating. Services use it for admission
+// control against a cached plan without rebuilding it.
+func (p *CompiledPlan) EstimateCost(opts Options) *CostEstimate {
+	if p.plan == nil {
+		est := schrodingerCost(p.circuit.NumQubits)
+		return &est
+	}
+	workers := opts.Workers
+	if !opts.engineBackend().ParallelWorkers() {
+		workers = 1
+	}
+	est := hsf.Cost(p.plan, hsf.Options{MaxAmplitudes: opts.MaxAmplitudes, Workers: workers})
+	return &est
+}
+
+// fingerprintOf computes the plan cache key for (c, opts): the circuit hash
+// extended with every plan-affecting option, normalized the same way the
+// compilers normalize them. Execution-time options (workers, budgets,
+// MaxAmplitudes, backend, checkpointing, telemetry) are deliberately
+// excluded — runs that differ only there share a plan.
+func fingerprintOf(c *Circuit, opts Options) uint64 {
+	cfp := hsf.CircuitFingerprint(c)
+	switch opts.Method {
+	case Schrodinger:
+		return hsf.FingerprintOptions(cfp,
+			uint64(Schrodinger), uint64(int64(opts.FusionMaxQubits)))
+	default:
+		strategy := cut.StrategyNone
+		if opts.Method == JointHSF {
+			strategy = opts.BlockStrategy
+			if strategy == cut.StrategyNone {
+				strategy = cut.StrategyCascade
+			}
+		}
+		analytic := uint64(0)
+		if opts.UseAnalyticCascades {
+			analytic = 1
+		}
+		return hsf.FingerprintOptions(cfp,
+			uint64(opts.Method), uint64(int64(opts.CutPos)), uint64(strategy),
+			uint64(int64(opts.MaxBlockQubits)), math.Float64bits(opts.Tol), analytic)
+	}
+}
+
+// Fingerprint returns the plan cache key for (c, opts) without compiling
+// anything: two submissions with equal fingerprints compile to the same plan
+// and produce the same amplitudes, so a job service can batch them behind
+// one walk. The converse does not hold — equivalent circuits written
+// differently may hash apart, which only costs a cache miss.
+func Fingerprint(c *Circuit, opts Options) (uint64, error) {
+	if c == nil {
+		return 0, errors.New("hsfsim: nil circuit")
+	}
+	switch opts.Method {
+	case Schrodinger, StandardHSF, JointHSF:
+		return fingerprintOf(c, opts), nil
+	default:
+		return 0, fmt.Errorf("hsfsim: unknown method %d", opts.Method)
+	}
+}
+
+// Compile validates the circuit and builds the method's execution plan once:
+// the cut plan with its Schmidt decompositions for the HSF methods, or the
+// fused and kernel-compiled gate segment for Schrodinger. The plan-affecting
+// options (Method, CutPos, BlockStrategy, MaxBlockQubits, Tol,
+// UseAnalyticCascades; FusionMaxQubits for Schrodinger) are baked in;
+// execution options are chosen per SimulateCompiledContext call.
+func Compile(c *Circuit, opts Options) (*CompiledPlan, error) {
 	if c == nil {
 		return nil, errors.New("hsfsim: nil circuit")
 	}
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("hsfsim: %w", err)
 	}
+	cp := &CompiledPlan{circuit: c, method: opts.Method, fp: fingerprintOf(c, opts)}
+	start := time.Now()
 	switch opts.Method {
 	case Schrodinger:
-		return runSchrodinger(ctx, c, opts)
+		endCompile := opts.Telemetry.Span("compile")
+		gates := c.Gates
+		if opts.FusionMaxQubits >= 0 {
+			maxQ := opts.FusionMaxQubits
+			if maxQ == 0 {
+				maxQ = fuse.DefaultMaxQubits
+			}
+			gates = fuse.Fuse(gates, maxQ)
+		} else {
+			// Compilation attaches kernel plans to the gate structs; copy so
+			// the caller's circuit is left untouched.
+			gates = append([]gate.Gate(nil), gates...)
+		}
+		// Compile once: every fused k-qubit gate gets its kernel plan here
+		// instead of rebuilding (and allocating) it on each application, and
+		// runs of low-qubit gates become cache-blocked sweeps over the state.
+		cp.gates = gates
+		cp.seg = statevec.CompileSegment(gates, c.NumQubits)
+		endCompile()
 	case StandardHSF, JointHSF:
-		return runHSF(ctx, c, opts)
+		strategy := cut.StrategyNone
+		if opts.Method == JointHSF {
+			strategy = opts.BlockStrategy
+			if strategy == cut.StrategyNone {
+				strategy = cut.StrategyCascade
+			}
+		}
+		// The "plan" span covers partitioning, block grouping, and every
+		// Schmidt decomposition — the preprocessing line of Table I.
+		endPlan := opts.Telemetry.Span("plan")
+		plan, err := cut.BuildPlan(c, cut.Options{
+			Partition:      cut.Partition{CutPos: opts.CutPos},
+			Strategy:       strategy,
+			MaxBlockQubits: opts.MaxBlockQubits,
+			Tol:            opts.Tol,
+			UseAnalytic:    opts.UseAnalyticCascades,
+		})
+		endPlan()
+		if err != nil {
+			return nil, fmt.Errorf("hsfsim: %w", err)
+		}
+		cp.plan = plan
 	default:
 		return nil, fmt.Errorf("hsfsim: unknown method %d", opts.Method)
 	}
+	cp.compile = time.Since(start)
+	return cp, nil
+}
+
+// SimulateCompiled executes a compiled plan without external cancellation.
+func SimulateCompiled(cp *CompiledPlan, opts Options) (*Result, error) {
+	return SimulateCompiledContext(context.Background(), cp, opts)
+}
+
+// SimulateCompiledContext executes a compiled plan under ctx with the given
+// execution options (workers, budgets, MaxAmplitudes, backend, timeout,
+// checkpointing, telemetry); the plan-affecting options were fixed at
+// Compile time and are ignored here. The plan is not mutated, so concurrent
+// executions of the same CompiledPlan are safe — that is what lets a job
+// service batch many requests behind one compile.
+func SimulateCompiledContext(ctx context.Context, cp *CompiledPlan, opts Options) (*Result, error) {
+	if cp == nil {
+		return nil, errors.New("hsfsim: nil compiled plan")
+	}
+	if cp.method == Schrodinger {
+		return cp.runSchrodinger(ctx, opts)
+	}
+	return cp.runHSF(ctx, opts)
 }
 
 // schrodingerCost estimates the dense statevector footprint of a full 2^n
@@ -313,7 +510,8 @@ func schrodingerCost(numQubits int) CostEstimate {
 	}
 }
 
-func runSchrodinger(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
+func (cp *CompiledPlan) runSchrodinger(ctx context.Context, opts Options) (*Result, error) {
+	c, seg := cp.circuit, cp.seg
 	est := schrodingerCost(c.NumQubits)
 	budget := opts.MemoryBudget
 	if budget == 0 {
@@ -326,29 +524,9 @@ func runSchrodinger(ctx context.Context, c *Circuit, opts Options) (*Result, err
 			Reason:       fmt.Sprintf("2^%d-amplitude statevector exceeds the memory budget of %d bytes", c.NumQubits, budget),
 		}
 	}
-	pre := time.Now()
-	endCompile := opts.Telemetry.Span("compile")
-	gates := c.Gates
-	if opts.FusionMaxQubits >= 0 {
-		maxQ := opts.FusionMaxQubits
-		if maxQ == 0 {
-			maxQ = fuse.DefaultMaxQubits
-		}
-		gates = fuse.Fuse(gates, maxQ)
-	} else {
-		// Compilation attaches kernel plans to the gate structs; copy so the
-		// caller's circuit is left untouched.
-		gates = append([]gate.Gate(nil), gates...)
-	}
-	// Compile once: every fused k-qubit gate gets its kernel plan here instead
-	// of rebuilding (and allocating) it on each application, and runs of
-	// low-qubit gates become cache-blocked sweeps over the 2^n state.
-	seg := statevec.CompileSegment(gates, c.NumQubits)
-	endCompile()
 	if opts.Telemetry != nil {
-		opts.Telemetry.AddKernelClasses(kernelClassCensus(gates))
+		opts.Telemetry.AddKernelClasses(kernelClassCensus(cp.gates))
 	}
-	preprocess := time.Since(pre)
 
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -389,7 +567,7 @@ func runSchrodinger(ctx context.Context, c *Circuit, opts Options) (*Result, err
 		Method:         Schrodinger,
 		NumPaths:       1,
 		PathsSimulated: 1,
-		PreprocessTime: preprocess,
+		PreprocessTime: cp.compile,
 		SimTime:        simTime,
 		Report:         opts.Telemetry.Report(),
 	}, nil
@@ -410,31 +588,8 @@ func kernelClassCensus(gates []gate.Gate) (names []string, counts []int64) {
 	return names, counts
 }
 
-func runHSF(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
-	strategy := cut.StrategyNone
-	if opts.Method == JointHSF {
-		strategy = opts.BlockStrategy
-		if strategy == cut.StrategyNone {
-			strategy = cut.StrategyCascade
-		}
-	}
-	pre := time.Now()
-	// The "plan" span covers partitioning, block grouping, and every Schmidt
-	// decomposition — the preprocessing line of the paper's Table I.
-	endPlan := opts.Telemetry.Span("plan")
-	plan, err := cut.BuildPlan(c, cut.Options{
-		Partition:      cut.Partition{CutPos: opts.CutPos},
-		Strategy:       strategy,
-		MaxBlockQubits: opts.MaxBlockQubits,
-		Tol:            opts.Tol,
-		UseAnalytic:    opts.UseAnalyticCascades,
-	})
-	endPlan()
-	if err != nil {
-		return nil, fmt.Errorf("hsfsim: %w", err)
-	}
-	preprocess := time.Since(pre)
-
+func (cp *CompiledPlan) runHSF(ctx context.Context, opts Options) (*Result, error) {
+	plan := cp.plan
 	engineOpts := hsf.Options{
 		MaxAmplitudes:    opts.MaxAmplitudes,
 		Backend:          opts.engineBackend(),
@@ -445,6 +600,7 @@ func runHSF(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 		MaxPaths:         opts.MaxPaths,
 		CheckpointWriter: opts.CheckpointWriter,
 		FailAfterPaths:   opts.FailAfterPaths,
+		OnCheckpoint:     opts.OnCheckpoint,
 		Telemetry:        opts.Telemetry,
 		Progress:         opts.Progress,
 	}
@@ -461,14 +617,14 @@ func runHSF(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 	}
 	return &Result{
 		Amplitudes:      res.Amplitudes,
-		Method:          opts.Method,
+		Method:          cp.method,
 		NumPaths:        res.NumPaths,
 		Log2Paths:       res.Log2Paths,
 		PathsSimulated:  res.PathsSimulated,
 		NumCuts:         len(plan.Cuts),
 		NumBlocks:       plan.NumBlocks(),
 		NumSeparateCuts: plan.NumSeparateCuts(),
-		PreprocessTime:  preprocess,
+		PreprocessTime:  cp.compile,
 		SimTime:         res.Elapsed,
 		Report:          opts.Telemetry.Report(),
 	}, nil

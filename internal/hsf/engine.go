@@ -94,6 +94,14 @@ type Options struct {
 	// path leaves have been simulated (0: disabled). Testing hook for
 	// checkpoint/resume recovery.
 	FailAfterPaths int64
+	// OnCheckpoint, when non-nil, runs after every completed prefix task is
+	// merged, with the engine's live checkpoint. It is called under the merge
+	// lock — the checkpoint is a consistent snapshot, but the callback blocks
+	// every other worker's merge, so it must be fast: rate-limit, Clone, and
+	// hand off to another goroutine rather than writing to disk inline. Job
+	// services use it to flush durable mid-run checkpoints so a killed
+	// process resumes instead of restarting.
+	OnCheckpoint func(*Checkpoint)
 	// Telemetry, when non-nil, records run-level measurements: compile
 	// spans, per-segment application counts and sampled sweep timings,
 	// leaf-latency histograms, kernel-class attribution, and pool/par
@@ -157,6 +165,7 @@ type engine struct {
 
 	failAfter int64
 	hook      func(int64)
+	onCkpt    func(*Checkpoint)
 
 	tel *telemetry.Recorder
 	// parReserved/parInner snapshot the process parallelism budget while the
@@ -194,7 +203,8 @@ func RunContext(ctx context.Context, plan *cut.Plan, opts Options) (*Result, err
 	m := resolveAmplitudes(plan, opts.MaxAmplitudes)
 
 	e := &engine{backend: opts.Backend, nLower: nLower, nUpper: nUpper, m: m,
-		failAfter: opts.FailAfterPaths, hook: opts.testHookLeaf, tel: opts.Telemetry}
+		failAfter: opts.FailAfterPaths, hook: opts.testHookLeaf,
+		onCkpt: opts.OnCheckpoint, tel: opts.Telemetry}
 	endCompile := opts.Telemetry.Span("compile")
 	e.compile(plan, opts.FusionMaxQubits)
 	endCompile()
@@ -508,6 +518,9 @@ func (e *engine) runTasks(ctx context.Context, workers int, pending [][]int, ck 
 				}
 				ck.Prefixes = append(ck.Prefixes, prefix)
 				ck.PathsSimulated += nLeaves
+				if e.onCkpt != nil {
+					e.onCkpt(ck)
+				}
 				mu.Unlock()
 			}
 			if walk.wc != nil {

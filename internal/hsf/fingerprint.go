@@ -1,0 +1,75 @@
+// Circuit fingerprinting for plan caches and request batching. A fingerprint
+// keys "would these two submissions compile to the same plan and produce the
+// same amplitudes": the register size, the exact gate sequence (names,
+// qubits, parameters, matrices), and — through FingerprintOptions — every
+// plan-affecting knob. Unlike PlanHash it is computed without building the
+// plan, so a cache can decide "hit" before paying for any Schmidt
+// decomposition.
+//
+// The fingerprint is a cache key, not a canonical form: structurally
+// equivalent circuits written differently (reordered commuting gates, a
+// custom matrix equal to a library gate) may hash apart. That direction only
+// costs a cache miss; two circuits with equal fingerprints always execute
+// identically, because every byte that reaches the simulator is hashed.
+package hsf
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"hsfsim/internal/circuit"
+)
+
+// CircuitFingerprint hashes the circuit itself: register size and the
+// ordered gate list with names, qubit operands, parameters, and matrix
+// entries. Stable across Clone and across parse/re-parse of the same source.
+func CircuitFingerprint(c *circuit.Circuit) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+	wu(uint64(c.NumQubits))
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		h.Write([]byte(g.Name))
+		h.Write([]byte{0}) // name terminator: ("ab","c") != ("a","bc")
+		wu(uint64(len(g.Qubits)))
+		for _, q := range g.Qubits {
+			wu(uint64(q))
+		}
+		wu(uint64(len(g.Params)))
+		for _, p := range g.Params {
+			wf(p)
+		}
+		if g.Matrix != nil {
+			wu(uint64(g.Matrix.Rows))
+			for _, v := range g.Matrix.Data {
+				wf(real(v))
+				wf(imag(v))
+			}
+		} else {
+			wu(0)
+		}
+	}
+	return h.Sum64()
+}
+
+// FingerprintOptions extends a circuit fingerprint with the plan-affecting
+// execution options; the values are hashed in the order given. Callers pass
+// the normalized method, cut position, strategy, block budget, tolerance and
+// flags — anything that changes the compiled plan or the amplitudes.
+func FingerprintOptions(circuitFP uint64, fields ...uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], circuitFP)
+	h.Write(buf[:])
+	for _, f := range fields {
+		binary.LittleEndian.PutUint64(buf[:], f)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

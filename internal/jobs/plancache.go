@@ -1,0 +1,77 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+
+	"hsfsim"
+)
+
+// planCache is a single-flight LRU of compiled plans keyed by fingerprint.
+// The first submission for a fingerprint compiles (paying the Schmidt
+// decompositions once); concurrent submissions for the same fingerprint
+// block on the in-flight compile instead of duplicating it, and later ones
+// hit the finished entry. Compile errors are cached too — resubmitting a
+// circuit the planner rejects should not re-run the planner — but error
+// entries still count toward the LRU bound, so they age out.
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[uint64]*planEntry
+	lru     *list.List // front = most recently used; values are *planEntry
+
+	hits, misses, evictions int64
+}
+
+type planEntry struct {
+	fp    uint64
+	ready chan struct{} // closed once cp/err are set
+	cp    *hsfsim.CompiledPlan
+	err   error
+	elem  *list.Element
+}
+
+func newPlanCache(max int) *planCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &planCache{max: max, entries: map[uint64]*planEntry{}, lru: list.New()}
+}
+
+// get returns the compiled plan for (c, opts), compiling it if this is the
+// fingerprint's first appearance. shared reports whether the plan already
+// existed (or was being compiled by a concurrent caller) — the signal tests
+// use to prove same-circuit jobs share one plan.
+func (pc *planCache) get(fp uint64, c *hsfsim.Circuit, opts hsfsim.Options) (cp *hsfsim.CompiledPlan, shared bool, err error) {
+	pc.mu.Lock()
+	if e, ok := pc.entries[fp]; ok {
+		pc.hits++
+		pc.lru.MoveToFront(e.elem)
+		pc.mu.Unlock()
+		<-e.ready
+		return e.cp, true, e.err
+	}
+	pc.misses++
+	e := &planEntry{fp: fp, ready: make(chan struct{})}
+	e.elem = pc.lru.PushFront(e)
+	pc.entries[fp] = e
+	for pc.lru.Len() > pc.max {
+		back := pc.lru.Back()
+		old := back.Value.(*planEntry)
+		pc.lru.Remove(back)
+		delete(pc.entries, old.fp)
+		pc.evictions++
+	}
+	pc.mu.Unlock()
+
+	e.cp, e.err = hsfsim.Compile(c, opts)
+	close(e.ready)
+	return e.cp, false, e.err
+}
+
+// stats returns the cache counters (hits, misses, evictions).
+func (pc *planCache) stats() (hits, misses, evictions int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses, pc.evictions
+}

@@ -1,0 +1,163 @@
+package jobs
+
+import "sort"
+
+// tenantQueue is the scheduler's ready set: strict priority across levels,
+// round-robin across tenants within a level, FIFO within a tenant. Strict
+// priority gives the "higher priority is never starved" guarantee; the
+// round-robin keeps one chatty tenant from monopolizing a level.
+//
+// Not safe for concurrent use — the Manager serializes access under its own
+// lock (the queue is never touched from the walk hot path, so a single lock
+// is plenty).
+type tenantQueue struct {
+	levels map[int]*prioLevel
+	prios  []int // sorted descending
+	depth  int
+}
+
+type prioLevel struct {
+	order []string          // tenant round-robin rotation
+	fifos map[string][]*job // per-tenant FIFO
+}
+
+func newTenantQueue() *tenantQueue {
+	return &tenantQueue{levels: map[int]*prioLevel{}}
+}
+
+func (q *tenantQueue) len() int { return q.depth }
+
+func (q *tenantQueue) push(j *job) {
+	lvl := q.levels[j.priority]
+	if lvl == nil {
+		lvl = &prioLevel{fifos: map[string][]*job{}}
+		q.levels[j.priority] = lvl
+		i := sort.Search(len(q.prios), func(i int) bool { return q.prios[i] < j.priority })
+		q.prios = append(q.prios, 0)
+		copy(q.prios[i+1:], q.prios[i:])
+		q.prios[i] = j.priority
+	}
+	if _, ok := lvl.fifos[j.tenant]; !ok {
+		lvl.order = append(lvl.order, j.tenant)
+	}
+	lvl.fifos[j.tenant] = append(lvl.fifos[j.tenant], j)
+	q.depth++
+}
+
+// pop removes and returns the next job to run, or nil when empty.
+func (q *tenantQueue) pop() *job {
+	for len(q.prios) > 0 {
+		p := q.prios[0]
+		lvl := q.levels[p]
+		for len(lvl.order) > 0 {
+			t := lvl.order[0]
+			fifo := lvl.fifos[t]
+			if len(fifo) == 0 {
+				lvl.order = lvl.order[1:]
+				delete(lvl.fifos, t)
+				continue
+			}
+			j := fifo[0]
+			fifo[0] = nil
+			lvl.fifos[t] = fifo[1:]
+			// Rotate the tenant to the back of the level.
+			lvl.order = append(lvl.order[1:], t)
+			if len(lvl.fifos[t]) == 0 {
+				lvl.order = lvl.order[:len(lvl.order)-1]
+				delete(lvl.fifos, t)
+			}
+			q.depth--
+			return j
+		}
+		delete(q.levels, p)
+		q.prios = q.prios[1:]
+	}
+	return nil
+}
+
+// takeBatch removes and returns every queued job whose batch key matches.
+// Batch mates ride along regardless of tenant or priority:
+// the marginal cost of adding a member to an already-scheduled walk is one
+// amplitude-slice copy, so letting them jump the queue only frees capacity.
+func (q *tenantQueue) takeBatch(key batchKey) []*job {
+	var out []*job
+	for _, p := range append([]int(nil), q.prios...) {
+		lvl := q.levels[p]
+		if lvl == nil {
+			continue
+		}
+		for t, fifo := range lvl.fifos {
+			kept := fifo[:0]
+			for _, j := range fifo {
+				if !j.distribute && j.batchKeyOf() == key {
+					out = append(out, j)
+					q.depth--
+				} else {
+					kept = append(kept, j)
+				}
+			}
+			for i := len(kept); i < len(fifo); i++ {
+				fifo[i] = nil
+			}
+			if len(kept) == 0 {
+				delete(lvl.fifos, t)
+				for i, name := range lvl.order {
+					if name == t {
+						lvl.order = append(lvl.order[:i], lvl.order[i+1:]...)
+						break
+					}
+				}
+			} else {
+				lvl.fifos[t] = kept
+			}
+		}
+		if len(lvl.fifos) == 0 {
+			delete(q.levels, p)
+			for i, pp := range q.prios {
+				if pp == p {
+					q.prios = append(q.prios[:i], q.prios[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// remove deletes one queued job by ID (cancellation); reports whether it
+// was present.
+func (q *tenantQueue) remove(id string) bool {
+	for p, lvl := range q.levels {
+		for t, fifo := range lvl.fifos {
+			for i, j := range fifo {
+				if j.id != id {
+					continue
+				}
+				copy(fifo[i:], fifo[i+1:])
+				fifo[len(fifo)-1] = nil
+				lvl.fifos[t] = fifo[:len(fifo)-1]
+				if len(lvl.fifos[t]) == 0 {
+					delete(lvl.fifos, t)
+					for k, name := range lvl.order {
+						if name == t {
+							lvl.order = append(lvl.order[:k], lvl.order[k+1:]...)
+							break
+						}
+					}
+				}
+				if len(lvl.fifos) == 0 {
+					delete(q.levels, p)
+					for k, pp := range q.prios {
+						if pp == p {
+							q.prios = append(q.prios[:k], q.prios[k+1:]...)
+							break
+						}
+					}
+				}
+				q.depth--
+				return true
+			}
+		}
+	}
+	return false
+}

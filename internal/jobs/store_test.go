@@ -1,0 +1,51 @@
+package jobs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDirStorePutJobConcurrentSameID pins the atomic-write contract under
+// contention: the submitter persisting a job's queued state races the runner
+// persisting its running state for the same ID. With a shared tmp name one
+// rename steals the other's file and the loser fails with ENOENT; every
+// PutJob must succeed and the surviving manifest must be one of the written
+// states, whole.
+func TestDirStorePutJobConcurrentSameID(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*rounds)
+	for w := 0; w < writers; w++ {
+		state := State(w % int(StateCancelled+1))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				m := &Manifest{ID: "job-contended", Tenant: "t", QASM: "qreg q[1];", State: state}
+				if err := store.PutJob(m); err != nil {
+					errs <- fmt.Errorf("writer state=%v round=%d: %w", state, r, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	ms, err := store.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].ID != "job-contended" {
+		t.Fatalf("loaded %d manifests, want the single contended job", len(ms))
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"hsfsim/internal/dist"
+	"hsfsim/internal/jobs"
 	"hsfsim/internal/telemetry"
 )
 
@@ -108,6 +109,29 @@ func init() {
 	m.Set("dist_workers_left_total", expvar.Func(func() any {
 		return sumDistStats(func(s *dist.Stats) int64 { return s.WorkersLeft.Load() })
 	}))
+	for name, read := range map[string]func(jobs.StatsSnapshot) int64{
+		"jobs_queued":               int64Field(func(st jobs.StatsSnapshot) int { return st.Queued }),
+		"jobs_running":              func(st jobs.StatsSnapshot) int64 { return st.Running },
+		"jobs_submitted_total":      func(st jobs.StatsSnapshot) int64 { return st.Submitted },
+		"jobs_completed_total":      func(st jobs.StatsSnapshot) int64 { return st.Completed },
+		"jobs_failed_total":         func(st jobs.StatsSnapshot) int64 { return st.Failed },
+		"jobs_cancelled_total":      func(st jobs.StatsSnapshot) int64 { return st.Cancelled },
+		"jobs_resumed_total":        func(st jobs.StatsSnapshot) int64 { return st.Resumed },
+		"jobs_batches_total":        func(st jobs.StatsSnapshot) int64 { return st.Batches },
+		"jobs_batched_total":        func(st jobs.StatsSnapshot) int64 { return st.BatchedJobs },
+		"jobs_plan_hits_total":      func(st jobs.StatsSnapshot) int64 { return st.PlanHits },
+		"jobs_plan_misses_total":    func(st jobs.StatsSnapshot) int64 { return st.PlanMisses },
+		"jobs_plan_evictions_total": func(st jobs.StatsSnapshot) int64 { return st.PlanEvictions },
+	} {
+		read := read
+		m.Set(name, expvar.Func(func() any { return sumJobsStats(read) }))
+	}
+}
+
+// int64Field adapts an int-typed StatsSnapshot field to the int64 reader
+// shape sumJobsStats wants.
+func int64Field(read func(jobs.StatsSnapshot) int) func(jobs.StatsSnapshot) int64 {
+	return func(st jobs.StatsSnapshot) int64 { return int64(read(st)) }
 }
 
 // handleMetrics serves the Prometheus text exposition format: every expvar
@@ -169,6 +193,38 @@ func (s *service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	telemetry.WriteCounter(w, "hsfsimd_dist_workers_left_total",
 		"Workers that dropped out of running rotations.",
 		sumDistStats(func(st *dist.Stats) int64 { return st.WorkersLeft.Load() }))
+
+	jst := s.jobs.Stats()
+	telemetry.WriteGauge(w, "hsfsimd_jobs_queued",
+		"Jobs waiting in the async queue.", float64(jst.Queued))
+	telemetry.WriteGauge(w, "hsfsimd_jobs_queue_capacity",
+		"Capacity of the async job queue.", float64(jst.QueueCap))
+	telemetry.WriteGauge(w, "hsfsimd_jobs_running",
+		"Jobs currently executing.", float64(jst.Running))
+	telemetry.WriteCounter(w, "hsfsimd_jobs_submitted_total",
+		"Jobs admitted into the queue.", jst.Submitted)
+	telemetry.WriteCounter(w, "hsfsimd_jobs_completed_total",
+		"Jobs finished successfully.", jst.Completed)
+	telemetry.WriteCounter(w, "hsfsimd_jobs_failed_total",
+		"Jobs that ended in failure.", jst.Failed)
+	telemetry.WriteCounter(w, "hsfsimd_jobs_cancelled_total",
+		"Jobs cancelled by callers.", jst.Cancelled)
+	telemetry.WriteCounter(w, "hsfsimd_jobs_resumed_total",
+		"Jobs resumed from durable checkpoints after a restart.", jst.Resumed)
+	telemetry.WriteCounter(w, "hsfsimd_jobs_batches_total",
+		"Walks executed by the job runner pool.", jst.Batches)
+	telemetry.WriteCounter(w, "hsfsimd_jobs_batched_total",
+		"Jobs that shared a walk with at least one other job.", jst.BatchedJobs)
+	telemetry.WriteCounter(w, "hsfsimd_jobs_plan_cache_hits_total",
+		"Plan-cache hits (a compiled plan was reused).", jst.PlanHits)
+	telemetry.WriteCounter(w, "hsfsimd_jobs_plan_cache_misses_total",
+		"Plan-cache misses (a plan was compiled).", jst.PlanMisses)
+	telemetry.WriteCounter(w, "hsfsimd_jobs_plan_cache_evictions_total",
+		"Compiled plans evicted from the LRU.", jst.PlanEvictions)
+	telemetry.WriteHistogramSnapshot(w, "hsfsimd_jobs_queue_wait_seconds",
+		"Time jobs spent queued before their walk started.", jst.QueueWait)
+	telemetry.WriteHistogramSnapshot(w, "hsfsimd_jobs_batch_duration_seconds",
+		"Wall time of executed job batches.", jst.BatchDurations)
 
 	telemetry.WriteHistogram(w, "hsfsimd_leaf_latency_seconds",
 		"Sampled per-leaf latency (segment sweep + accumulate) of local runs.",

@@ -3,6 +3,8 @@
 //	POST /analyze       — cut-plan summary for a QASM circuit
 //	POST /simulate      — run one of the three methods on a QASM circuit
 //	                      ("distribute": true fans out over registered workers)
+//	POST /jobs          — enqueue an async multi-tenant job (see jobs.go)
+//	GET  /jobs/…        — job status, results, cancellation, SSE streaming
 //	POST /dist/run      — worker endpoint: execute one prefix-batch lease
 //	POST /dist/register — worker heartbeat: join this coordinator's fleet
 //	GET  /dist/workers  — list the live worker fleet
@@ -39,6 +41,7 @@ import (
 	"hsfsim"
 	"hsfsim/internal/dist"
 	"hsfsim/internal/hsf"
+	"hsfsim/internal/jobs"
 	"hsfsim/internal/qasm"
 	"hsfsim/internal/telemetry"
 )
@@ -89,6 +92,22 @@ type Config struct {
 	// the whole fleet died, waiting for replacements to join (0: fail
 	// immediately).
 	DistJoinGrace time.Duration
+
+	// JobStoreDir, when set, makes the async job service durable: manifests,
+	// mid-run checkpoints, and results persist there, and a restarted daemon
+	// re-offers unfinished jobs. Empty keeps jobs in memory only.
+	JobStoreDir string
+	// JobRunners bounds concurrent job batch executions (0: 2).
+	JobRunners int
+	// JobQueueCap bounds queued jobs; submissions beyond it are shed with
+	// 429 + Retry-After (0: 256).
+	JobQueueCap int
+	// TenantQuota caps one tenant's outstanding (queued + running) jobs;
+	// 0 means unlimited. TenantQuotas overrides it per tenant.
+	TenantQuota  int
+	TenantQuotas map[string]int
+	// JobFlushInterval rate-limits mid-run job checkpoint flushes (0: 2s).
+	JobFlushInterval time.Duration
 }
 
 // Validate reports whether the configuration would be rejected by the
@@ -198,6 +217,13 @@ type readyBody struct {
 	Workers  int    `json:"dist_workers"`
 	Draining bool   `json:"draining,omitempty"`
 
+	// Job-queue saturation: depth against capacity, plus the live run count.
+	// A full queue flips the verdict to "saturated" just like a full limiter
+	// — the next submission would be shed, so load balancers should back off.
+	JobsQueued   int   `json:"jobs_queued"`
+	JobsQueueCap int   `json:"jobs_queue_cap"`
+	JobsRunning  int64 `json:"jobs_running"`
+
 	RequestsTotal       int64 `json:"requests_total"`
 	SimulationsTotal    int64 `json:"simulations_total"`
 	PathsSimulatedTotal int64 `json:"paths_simulated_total"`
@@ -218,6 +244,7 @@ type service struct {
 	inFlight atomic.Int64
 	reqSeq   atomic.Uint64
 	coord    *dist.Coordinator
+	jobs     *jobs.Manager
 
 	// drainCtx is canceled when the service starts draining: new leases are
 	// refused with 503 and in-flight /dist/run leases are canceled so they
@@ -270,6 +297,16 @@ func (s *Service) Coordinator() *dist.Coordinator { return s.svc.coord }
 // the work. Call it on SIGTERM before shutting the listener down.
 func (s *Service) Drain() { s.svc.drainCancel() }
 
+// Jobs exposes the async job manager for embedding binaries and tests.
+func (s *Service) Jobs() *jobs.Manager { return s.svc.jobs }
+
+// CloseJobs stops the job service: running walks are cancelled with their
+// final checkpoints flushed to the store, and queued/running jobs stay in
+// the store for the next start to re-offer. Call it on SIGTERM (after
+// Drain) so a restarted daemon resumes instead of losing work; ctx bounds
+// the wait for the runner pool.
+func (s *Service) CloseJobs(ctx context.Context) error { return s.svc.jobs.Close(ctx) }
+
 // New returns the HTTP handler tree with default configuration.
 func New() http.Handler { return NewWithConfig(Config{}) }
 
@@ -284,6 +321,15 @@ func (s *service) routes() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReady)
 	mux.Handle("/analyze", s.limited(s.handleAnalyze))
 	mux.Handle("/simulate", s.limited(s.handleSimulate))
+	// POST /jobs runs under the limiter because a cache-miss submission
+	// compiles a plan synchronously; the read/stream endpoints stay outside
+	// it (an SSE stream must not pin a simulation slot for its lifetime).
+	mux.Handle("POST /jobs", s.limited(s.handleJobSubmit))
+	mux.HandleFunc("GET /jobs", s.handleJobList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 	mux.Handle("/dist/run", s.limited(s.handleDistRun))
 	mux.HandleFunc("/dist/register", s.handleDistRegister)
 	mux.HandleFunc("/dist/deregister", s.handleDistDeregister)
@@ -306,6 +352,12 @@ func newService(cfg Config) *service {
 		panic(fmt.Sprintf("server: %v", err))
 	}
 	s.coord = coord
+	mgr, err := s.newJobsManager()
+	if err != nil {
+		panic(fmt.Sprintf("server: job service: %v", err))
+	}
+	s.jobs = mgr
+	registerJobsManager(mgr)
 	return s
 }
 
@@ -339,7 +391,10 @@ func (s *service) limited(h http.HandlerFunc) http.Handler {
 				defer func() { <-s.sem }()
 			default:
 				metricShed429.Add(1)
-				w.Header().Set("Retry-After", "1")
+				// The backoff hint accounts for queued async work, not just
+				// the in-flight requests: a saturated daemon with a deep job
+				// queue will not have a free slot in one second.
+				w.Header().Set("Retry-After", retryAfterSeconds(s.jobs.RetryAfter()))
 				writeErr(w, http.StatusTooManyRequests,
 					fmt.Errorf("server saturated: %d simulations in flight", s.inFlight.Load()),
 					requestID(r.Context()))
@@ -375,11 +430,15 @@ func handleHealth(w http.ResponseWriter, r *http.Request) {
 // handleReady reports limiter saturation: 200 while capacity remains, 503
 // when every slot is taken (load balancers should stop routing here).
 func (s *service) handleReady(w http.ResponseWriter, r *http.Request) {
+	jdepth, jcap := s.jobs.QueueDepth()
 	body := readyBody{
-		Status:   "ready",
-		InFlight: s.inFlight.Load(),
-		Capacity: s.cfg.MaxConcurrent,
-		Workers:  len(s.coord.Workers()),
+		Status:       "ready",
+		InFlight:     s.inFlight.Load(),
+		Capacity:     s.cfg.MaxConcurrent,
+		Workers:      len(s.coord.Workers()),
+		JobsQueued:   jdepth,
+		JobsQueueCap: jcap,
+		JobsRunning:  s.jobs.Stats().Running,
 
 		RequestsTotal:       metricRequests.Value(),
 		SimulationsTotal:    metricSimulations.Value(),
@@ -398,6 +457,11 @@ func (s *service) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.sem != nil && len(s.sem) >= cap(s.sem) {
 		body.Status = "saturated"
 		code = http.StatusServiceUnavailable
+	}
+	if jdepth >= jcap {
+		body.Status = "saturated"
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds(s.jobs.RetryAfter()))
 	}
 	if s.drainCtx.Err() != nil {
 		body.Status = "draining"
@@ -507,25 +571,14 @@ func (s *service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, sum)
 }
 
-func (s *service) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	reqID := requestID(r.Context())
-	var req SimulateRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	c, err := parseCircuit(req.QASM)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err, reqID)
-		return
-	}
-	if req.Distribute {
-		s.handleDistributedSimulate(w, r, &req, c.NumQubits)
-		return
-	}
+// simulateOptions resolves a SimulateRequest into concrete run options; it
+// is shared by /simulate and job submission so both admit identically. The
+// returned status classifies a failure: 400 for a malformed request, 422
+// when the circuit cannot be run as asked (e.g. an impossible cut).
+func (s *service) simulateOptions(req *SimulateRequest, numQubits int) (hsfsim.Options, int, error) {
 	backend, err := s.resolveBackend(req.Backend)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err, reqID)
-		return
+		return hsfsim.Options{}, http.StatusBadRequest, err
 	}
 	workers := s.cfg.Workers
 	if !backend.ParallelWorkers() {
@@ -549,18 +602,38 @@ func (s *service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	case "joint", "":
 		opts.Method = hsfsim.JointHSF
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown method %q", req.Method), reqID)
-		return
+		return hsfsim.Options{}, http.StatusBadRequest, fmt.Errorf("unknown method %q", req.Method)
 	}
 	if opts.BlockStrategy, err = strategyOf(req.Strategy); err != nil {
+		return hsfsim.Options{}, http.StatusBadRequest, err
+	}
+	if opts.Method != hsfsim.Schrodinger {
+		if opts.CutPos, err = cutPosOf(req.CutPos, numQubits); err != nil {
+			return hsfsim.Options{}, http.StatusUnprocessableEntity, err
+		}
+	}
+	return opts, 0, nil
+}
+
+func (s *service) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r.Context())
+	var req SimulateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	c, err := parseCircuit(req.QASM)
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, err, reqID)
 		return
 	}
-	if opts.Method != hsfsim.Schrodinger {
-		if opts.CutPos, err = cutPosOf(req.CutPos, c.NumQubits); err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, err, reqID)
-			return
-		}
+	if req.Distribute {
+		s.handleDistributedSimulate(w, r, &req, c.NumQubits)
+		return
+	}
+	opts, status, err := s.simulateOptions(&req, c.NumQubits)
+	if err != nil {
+		writeErr(w, status, err, reqID)
+		return
 	}
 
 	// The request deadline rides on the request context: client disconnects
