@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core race-sweep race-telemetry fuzz dist-test chaos-test jobs-test vet cover bench bench-core bench-kernels bench-telemetry bench-serving bench-tables examples fmt clean
+.PHONY: all build test test-purego race race-core race-sweep race-telemetry fuzz dist-test chaos-test jobs-test vet cover bench bench-core bench-kernels bench-telemetry bench-serving bench-smoke bench-tables examples fmt clean
 
 all: build vet test
 
@@ -15,6 +15,13 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Portable-dispatch arm: build and test with the scalar SoA kernel bodies
+# selected (no unsafe alignment, spanMin disabled). CI runs this leg so the
+# fallback the span kernels shadow can never rot.
+test-purego:
+	$(GO) build -tags purego ./...
+	$(GO) test -tags purego ./...
 
 # Race-detector run (CI gate): the HSF worker pool, the server's concurrency
 # limiter, and checkpoint merging must stay race-clean.
@@ -90,6 +97,14 @@ bench-kernels:
 # the ±2% budget DESIGN.md documents.
 bench-telemetry:
 	$(GO) run ./cmd/benchcore -study telemetry -o BENCH_telemetry.json
+
+# Quick kernel-bench smoke under GOAMD64=v3 (FMA/AVX2-era instruction
+# selection): one benchtime iteration over the statevec kernels to confirm
+# the span dispatch arm builds and runs with the wider instruction set CI's
+# default GOAMD64=v1 never exercises. Harmless on non-amd64 (the variable is
+# ignored).
+bench-smoke:
+	GOAMD64=v3 $(GO) test -run=NONE -bench='Apply|Kernel|Segment' -benchtime=1x ./internal/statevec/
 
 # Job-service serving study: N concurrent same-circuit jobs through the
 # manager (plan cache + batching) vs. fingerprint-distinct submissions, with

@@ -184,15 +184,22 @@ func coreBenchmarks() []coreResult {
 }
 
 // kernelRow compares one structure-specialized kernel against the dense
-// fallback on the same gate and state size.
+// fallback on the same gate and state size, in both amplitude layouts:
+// spec_ns_per_op is the interleaved complex128 (AoS) kernel retained on
+// State, soa_ns_per_op the split real/imag (SoA) kernel on Vector — the
+// layout the engine actually runs — and aos_over_soa their ratio (> 1 means
+// the SoA layout is faster).
 type kernelRow struct {
 	Name            string  `json:"name"`
 	Qubits          int     `json:"qubits"`
 	Class           string  `json:"class"`
 	SpecNsPerOp     float64 `json:"spec_ns_per_op"`
+	SoANsPerOp      float64 `json:"soa_ns_per_op"`
 	DenseNsPerOp    float64 `json:"dense_ns_per_op"`
 	Speedup         float64 `json:"speedup"`
+	AoSOverSoA      float64 `json:"aos_over_soa"`
 	SpecAllocsPerOp int64   `json:"spec_allocs_per_op"`
+	SoAAllocsPerOp  int64   `json:"soa_allocs_per_op"`
 }
 
 type kernelReport struct {
@@ -202,6 +209,7 @@ type kernelReport struct {
 	GoMaxProcs int          `json:"gomaxprocs"`
 	Timestamp  time.Time    `json:"timestamp"`
 	TileQubits int          `json:"tile_qubits"`
+	KernelISA  string       `json:"kernel_isa"`
 	Kernels    []kernelRow  `json:"kernels"`
 	EndToEnd   []coreResult `json:"end_to_end"`
 }
@@ -257,6 +265,16 @@ func benchApply(s statevec.State, g *gate.Gate) (nsPerOp float64, allocs int64) 
 	return float64(r.T.Nanoseconds()) / float64(r.N), r.AllocsPerOp()
 }
 
+func benchApplyVec(v statevec.Vector, g *gate.Gate) (nsPerOp float64, allocs int64) {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v.ApplyGate(g)
+		}
+	})
+	return float64(r.T.Nanoseconds()) / float64(r.N), r.AllocsPerOp()
+}
+
 // kernelStudy measures every specialized kernel against the forced-dense path
 // on identical gates at q=16 and q=20, plus end-to-end sweeps.
 func kernelStudy() *kernelReport {
@@ -267,6 +285,7 @@ func kernelStudy() *kernelReport {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Timestamp:  time.Now().UTC(),
 		TileQubits: statevec.DefaultTileQubits,
+		KernelISA:  statevec.KernelISA(),
 	}
 	for _, n := range []int{16, 20} {
 		s := statevec.NewState(n)
@@ -274,6 +293,7 @@ func kernelStudy() *kernelReport {
 		for i := range s {
 			s[i] = complex(1/math.Sqrt(float64(len(s))), 0)
 		}
+		v := statevec.FromComplex(s)
 		a, b, c := 2, n/2, n-3
 		gates := []struct {
 			name string
@@ -300,21 +320,89 @@ func kernelStudy() *kernelReport {
 			statevec.PrepareGate(&spec)
 			den := strippedDense(&spec)
 			specNs, specAllocs := benchApply(s, &spec)
+			soaNs, soaAllocs := benchApplyVec(v, &spec)
 			denseNs, _ := benchApply(s, &den)
 			rep.Kernels = append(rep.Kernels, kernelRow{
 				Name:            gates[i].name,
 				Qubits:          n,
 				Class:           spec.Class().String(),
 				SpecNsPerOp:     specNs,
+				SoANsPerOp:      soaNs,
 				DenseNsPerOp:    denseNs,
 				Speedup:         denseNs / specNs,
+				AoSOverSoA:      specNs / soaNs,
 				SpecAllocsPerOp: specAllocs,
+				SoAAllocsPerOp:  soaAllocs,
 			})
 		}
 	}
-	rep.Kernels = append(rep.Kernels, e2eSchrodinger())
+	rep.Kernels = append(rep.Kernels, leafAccumulate(), e2eSchrodinger())
 	rep.EndToEnd = e2eRuns()
 	return rep
+}
+
+// aosAccumulateKron is the interleaved-complex leaf accumulation the dense
+// backend used before the SoA refactor, kept here as the AoS side of the
+// leaf-sweep comparison row.
+func aosAccumulateKron(acc []complex128, coeff complex128, up, lo []complex128, nLower int) {
+	dimLo := 1 << nLower
+	for x0 := 0; x0 < len(acc); x0 += dimLo {
+		u := coeff * up[x0>>nLower]
+		if u == 0 {
+			continue
+		}
+		end := x0 + dimLo
+		if end > len(acc) {
+			end = len(acc)
+		}
+		blk := acc[x0:end]
+		for j := range blk {
+			blk[j] += u * lo[j]
+		}
+	}
+}
+
+// leafAccumulate measures the dense-backend leaf sweep — accumulating a
+// Schmidt term's Kronecker product into the amplitude accumulator — in both
+// layouts at the 20-qubit (10+10 split) size the e2e runs use.
+func leafAccumulate() kernelRow {
+	const nLower, nUpper = 10, 10
+	rng := rand.New(rand.NewSource(13))
+	randVec := func(n int) []complex128 {
+		s := make([]complex128, 1<<n)
+		for i := range s {
+			s[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		return s
+	}
+	lo, up := randVec(nLower), randVec(nUpper)
+	accC := make([]complex128, 1<<(nLower+nUpper))
+	coeff := complex(0.6, -0.3)
+	aos := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			aosAccumulateKron(accC, coeff, up, lo, nLower)
+		}
+	})
+	accV := statevec.MakeVector(len(accC))
+	loV, upV := statevec.FromComplex(lo), statevec.FromComplex(up)
+	soa := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			statevec.AccumulateKron(accV, coeff, upV, loV, nLower)
+		}
+	})
+	aosNs := float64(aos.T.Nanoseconds()) / float64(aos.N)
+	soaNs := float64(soa.T.Nanoseconds()) / float64(soa.N)
+	return kernelRow{
+		Name:           "leaf-accumulate-kron-20q",
+		Qubits:         nLower + nUpper,
+		Class:          "leaf-sweep",
+		SpecNsPerOp:    aosNs,
+		SoANsPerOp:     soaNs,
+		AoSOverSoA:     aosNs / soaNs,
+		SoAAllocsPerOp: soa.AllocsPerOp(),
+	}
 }
 
 // e2eCircuit mixes every kernel class over n qubits: the workload of the
@@ -337,7 +425,11 @@ func e2eCircuit(n int) *circuit.Circuit {
 }
 
 // e2eSchrodinger runs the full Schrödinger baseline (fusion disabled to
-// isolate the kernels) with classification on versus stripped-dense gates.
+// isolate the kernels) three ways: the shipped SoA sweep (Simulate, which
+// drives the Vector kernels), the same classified gates through the retained
+// AoS State kernels, and the stripped-dense fallback. Speedup keeps its
+// historical meaning (dense over specialized, now on the SoA path);
+// aos_over_soa is the layout payoff on the full sweep.
 func e2eSchrodinger() kernelRow {
 	const n = 20
 	c := e2eCircuit(n)
@@ -355,15 +447,26 @@ func e2eSchrodinger() kernelRow {
 		})
 		return float64(r.T.Nanoseconds()) / float64(r.N)
 	}
-	specNs := run(c)
+	aosGates := append([]gate.Gate(nil), c.Gates...)
+	statevec.PrepareGates(aosGates)
+	aosRun := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := statevec.NewState(n)
+			s.ApplyAll(aosGates)
+		}
+	})
+	aosNs := float64(aosRun.T.Nanoseconds()) / float64(aosRun.N)
+	soaNs := run(c)
 	denseNs := run(stripped)
 	return kernelRow{
 		Name:         "e2e-schrodinger-20q",
 		Qubits:       n,
 		Class:        "end-to-end",
-		SpecNsPerOp:  specNs,
+		SpecNsPerOp:  aosNs,
+		SoANsPerOp:   soaNs,
 		DenseNsPerOp: denseNs,
-		Speedup:      denseNs / specNs,
+		Speedup:      denseNs / soaNs,
+		AoSOverSoA:   aosNs / soaNs,
 	}
 }
 

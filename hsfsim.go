@@ -535,7 +535,9 @@ func (cp *CompiledPlan) runSchrodinger(ctx context.Context, opts Options) (*Resu
 	}
 	opts.Progress.Start(1, 0, nil)
 	simStart := time.Now()
-	s := statevec.NewState(c.NumQubits)
+	// The sweep runs on the SoA planes; amplitudes are interleaved exactly
+	// once, at the Result edge below.
+	s := statevec.NewVector(c.NumQubits)
 	for i := 0; i < seg.NumSteps(); i++ {
 		select {
 		case <-ctx.Done():
@@ -558,7 +560,7 @@ func (cp *CompiledPlan) runSchrodinger(ctx context.Context, opts Options) (*Resu
 		TotalPaths: 1, Simulated: 1, Workers: 1,
 		Gomaxprocs: runtime.GOMAXPROCS(0), Elapsed: simTime,
 	})
-	amps := []complex128(s)
+	amps := []complex128(s.ToComplex())
 	if opts.MaxAmplitudes > 0 && opts.MaxAmplitudes < len(amps) {
 		amps = amps[:opts.MaxAmplitudes]
 	}

@@ -13,7 +13,7 @@ import (
 // allocHarness compiles a many-cut plan and returns a dense-backend walker
 // with its scratch accumulator, warmed so the workspace pool, the pair free
 // list, and the frame stack have reached steady state.
-func allocHarness(tb testing.TB) (*walker, []complex128) {
+func allocHarness(tb testing.TB) (*walker, statevec.Vector) {
 	tb.Helper()
 	c := manyCutCircuit(8, 6) // 2^6 = 64 leaves per replay
 	plan, err := cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: 3}})
@@ -32,9 +32,9 @@ func allocHarness(tb testing.TB) (*walker, []complex128) {
 		tb.Fatal(err)
 	}
 	walk := &walker{e: e, ws: ws}
-	scratch := make([]complex128, e.m)
+	scratch := statevec.MakeVector(e.m)
 	for i := 0; i < 2; i++ { // warm the pools
-		clear(scratch)
+		scratch.Clear()
 		if _, err := walk.runPrefix(context.Background(), nil, scratch); err != nil {
 			tb.Fatal(err)
 		}
@@ -51,7 +51,7 @@ func BenchmarkRunBranchSteadyState(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		clear(scratch)
+		scratch.Clear()
 		if _, err := walk.runPrefix(ctx, nil, scratch); err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +70,7 @@ func TestZeroAllocsPerLeaf(t *testing.T) {
 	ctx := context.Background()
 	var leaves int64
 	allocs := testing.AllocsPerRun(10, func() {
-		clear(scratch)
+		scratch.Clear()
 		n, err := walk.runPrefix(ctx, nil, scratch)
 		if err != nil {
 			t.Fatal(err)
@@ -93,19 +93,19 @@ func TestPoisonedPoolRunStaysFinite(t *testing.T) {
 	}
 	dws.pool.Poison = true
 
-	clear(scratch)
-	want := make([]complex128, len(scratch))
+	scratch.Clear()
 	if _, err := walk.runPrefix(context.Background(), nil, scratch); err != nil {
 		t.Fatal(err)
 	}
-	copy(want, scratch)
+	want := scratch.ToComplex()
 
-	clear(scratch)
+	scratch.Clear()
 	if _, err := walk.runPrefix(context.Background(), nil, scratch); err != nil {
 		t.Fatal(err)
 	}
 	var norm float64
-	for i, v := range scratch {
+	for i := 0; i < scratch.Len(); i++ {
+		v := scratch.Amplitude(i)
 		if cmplx.IsNaN(v) || cmplx.IsInf(v) {
 			t.Fatalf("amplitude %d = %v: a poisoned buffer leaked into the result", i, v)
 		}
@@ -114,7 +114,7 @@ func TestPoisonedPoolRunStaysFinite(t *testing.T) {
 	if math.Abs(norm-1) > 1e-9 {
 		t.Fatalf("norm = %g, want 1", norm)
 	}
-	if d := statevec.MaxAbsDiff(scratch, want); d > 1e-12 {
+	if d := statevec.MaxAbsDiff(scratch.ToComplex(), want); d > 1e-12 {
 		t.Fatalf("poisoned replays disagree: max diff %g", d)
 	}
 	if gets, reuses := dws.pool.Stats(); reuses == 0 {

@@ -3,6 +3,8 @@ package hsf
 import (
 	"errors"
 	"fmt"
+
+	"hsfsim/internal/statevec"
 )
 
 // ErrUnsupported is the sentinel matched by errors.Is when an option
@@ -97,9 +99,9 @@ type pairState interface {
 	fork() (pairState, error)
 	// release returns the state to its workspace free list.
 	release()
-	// accumulate adds coeff · (upper ⊗ lower) into the first len(acc)
-	// amplitudes of acc.
-	accumulate(acc []complex128, coeff complex128)
+	// accumulate adds coeff · (upper ⊗ lower) into the first acc.Len()
+	// amplitudes of the SoA accumulator acc.
+	accumulate(acc statevec.Vector, coeff complex128)
 }
 
 // workspace is one worker goroutine's private pair-state factory: it owns

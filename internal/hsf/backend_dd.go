@@ -96,10 +96,12 @@ func (p *ddPair) release() {
 	p.ws.free = append(p.ws.free, p)
 }
 
-func (p *ddPair) accumulate(acc []complex128, coeff complex128) {
+func (p *ddPair) accumulate(acc statevec.Vector, coeff complex128) {
 	p.ws.loDD.FillStatevector(p.lo, p.ws.loBuf)
 	p.ws.upDD.FillStatevector(p.up, p.ws.upBuf)
-	accumulate(acc, coeff, statevec.State(p.ws.upBuf), statevec.State(p.ws.loBuf), p.ws.e.nLower)
+	// The DD expands leaves into interleaved scratch (its natural output);
+	// the edge-converting accumulate folds them into the SoA accumulator.
+	statevec.AccumulateKronComplex(acc, coeff, p.ws.upBuf, p.ws.loBuf, p.ws.e.nLower)
 }
 
 // RunDD executes the plan on the decision-diagram backend. It is shorthand

@@ -3,9 +3,11 @@ package hsf
 import "hsfsim/internal/statevec"
 
 // denseWorkspace is the dense-array backend: partition states are
-// statevec.State buffers recycled through a size-keyed per-worker pool, and
-// the pair structs themselves recycle through a free list, so steady-state
-// walking allocates nothing.
+// statevec.Vector buffers (split real/imag planes) recycled through a
+// size-keyed per-worker pool, and the pair structs themselves recycle through
+// a free list, so steady-state walking allocates nothing. Segments, cut
+// terms, and the leaf accumulate all run on the SoA planes — a path never
+// round-trips through an interleaved []complex128.
 type denseWorkspace struct {
 	e    *engine
 	pool *statevec.Pool
@@ -37,16 +39,14 @@ func (ws *denseWorkspace) take() *densePair {
 
 func (ws *denseWorkspace) newRoot() (pairState, error) {
 	p := ws.take()
-	clear(p.lo)
-	p.lo[0] = 1
-	clear(p.up)
-	p.up[0] = 1
+	p.lo.SetBasis()
+	p.up.SetBasis()
 	return p, nil
 }
 
 type densePair struct {
 	ws     *denseWorkspace
-	lo, up statevec.State
+	lo, up statevec.Vector
 }
 
 func (p *densePair) applySegment(seg *segment) error {
@@ -63,38 +63,18 @@ func (p *densePair) applyCutTerm(c *compiledCut, t int) error {
 
 func (p *densePair) fork() (pairState, error) {
 	f := p.ws.take()
-	copy(f.lo, p.lo)
-	copy(f.up, p.up)
+	f.lo.CopyFrom(p.lo)
+	f.up.CopyFrom(p.up)
 	return f, nil
 }
 
 func (p *densePair) release() {
 	p.ws.pool.Put(p.lo)
 	p.ws.pool.Put(p.up)
-	p.lo, p.up = nil, nil
+	p.lo, p.up = statevec.Vector{}, statevec.Vector{}
 	p.ws.free = append(p.ws.free, p)
 }
 
-func (p *densePair) accumulate(acc []complex128, coeff complex128) {
-	accumulate(acc, coeff, p.up, p.lo, p.ws.e.nLower)
-}
-
-// accumulate adds coeff · (up ⊗ lo) to the first len(acc) amplitudes of acc.
-func accumulate(acc []complex128, coeff complex128, up, lo statevec.State, nLower int) {
-	m := len(acc)
-	dimLo := 1 << nLower
-	for x0 := 0; x0 < m; x0 += dimLo {
-		u := coeff * up[x0>>nLower]
-		if u == 0 {
-			continue
-		}
-		end := x0 + dimLo
-		if end > m {
-			end = m
-		}
-		block := acc[x0:end]
-		for i := range block {
-			block[i] += u * lo[i]
-		}
-	}
+func (p *densePair) accumulate(acc statevec.Vector, coeff complex128) {
+	statevec.AccumulateKron(acc, coeff, p.up, p.lo, p.ws.e.nLower)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"io"
+	"math"
 	"testing"
 )
 
@@ -50,6 +51,30 @@ func FuzzReadCheckpoint(f *testing.F) {
 	bad := append([]byte(nil), valid...)
 	bad[0] ^= 0xff
 	f.Add(bad)
+	// Degenerate but valid shapes the engine can produce: an empty snapshot
+	// (no prefixes finished yet, zero split depth) and a truncated-accumulator
+	// run (MaxAmplitudes) with non-finite payload values, which the decoder
+	// must pass through bit-exactly rather than rejecting or normalizing.
+	for _, ck := range []*Checkpoint{
+		{PlanHash: 1, NumQubits: 2, M: 0, SplitLevels: 0, Prefixes: [][]int{{}, {}}},
+		{PlanHash: 2, NumQubits: 30, M: 3, SplitLevels: 1, Prefixes: [][]int{{5}},
+			PathsSimulated: 1,
+			Acc: []complex128{
+				complex(math.NaN(), math.Inf(1)),
+				complex(math.Inf(-1), 0),
+				complex(math.Copysign(0, -1), math.SmallestNonzeroFloat64),
+			}},
+	} {
+		var buf bytes.Buffer
+		if err := WriteCheckpoint(&buf, ck); err != nil {
+			panic(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// A stream whose prefix table is cut mid-vector (not at a record
+	// boundary).
+	midPrefix := append([]byte(nil), valid[:40+2]...)
+	f.Add(midPrefix)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ck, err := ReadCheckpoint(bytes.NewReader(data))

@@ -501,21 +501,22 @@ func (e *engine) runTasks(ctx context.Context, workers int, pending [][]int, ck 
 				return
 			}
 			walk := &walker{e: e, ws: ws, wc: e.tel.Worker(len(e.segs), e.ranks)}
-			scratch := make([]complex128, e.m)
+			// The worker accumulates its subtrees into private SoA scratch;
+			// the interleaved checkpoint accumulator is only touched at the
+			// merge below (the layout's edge-conversion boundary).
+			scratch := statevec.MakeVector(e.m)
 			for prefix := range taskCh {
 				if stopped(runCtx) != nil {
 					continue // drain
 				}
-				clear(scratch)
+				scratch.Clear()
 				nLeaves, err := walk.runPrefixRecover(runCtx, prefix, scratch)
 				if err != nil {
 					fail(err)
 					continue
 				}
 				mu.Lock()
-				for i, v := range scratch {
-					ck.Acc[i] += v
-				}
+				scratch.AddToComplex(ck.Acc)
 				ck.Prefixes = append(ck.Prefixes, prefix)
 				ck.PathsSimulated += nLeaves
 				if e.onCkpt != nil {

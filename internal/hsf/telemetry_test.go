@@ -7,12 +7,13 @@ import (
 	"testing"
 
 	"hsfsim/internal/cut"
+	"hsfsim/internal/statevec"
 	"hsfsim/internal/telemetry"
 )
 
 // telemetryAllocHarness mirrors allocHarness with telemetry enabled: the
 // walker carries a live WorkerCounters block feeding a shared Recorder.
-func telemetryAllocHarness(tb testing.TB) (*walker, []complex128, *telemetry.Recorder) {
+func telemetryAllocHarness(tb testing.TB) (*walker, statevec.Vector, *telemetry.Recorder) {
 	tb.Helper()
 	c := manyCutCircuit(8, 6)
 	plan, err := cut.BuildPlan(c, cut.Options{Partition: cut.Partition{CutPos: 3}})
@@ -33,9 +34,9 @@ func telemetryAllocHarness(tb testing.TB) (*walker, []complex128, *telemetry.Rec
 		tb.Fatal(err)
 	}
 	walk := &walker{e: e, ws: ws, wc: rec.Worker(len(e.segs), e.ranks)}
-	scratch := make([]complex128, e.m)
+	scratch := statevec.MakeVector(e.m)
 	for i := 0; i < 2; i++ { // warm the pools
-		clear(scratch)
+		scratch.Clear()
 		if _, err := walk.runPrefix(context.Background(), nil, scratch); err != nil {
 			tb.Fatal(err)
 		}
@@ -54,7 +55,7 @@ func TestZeroAllocsPerLeafWithTelemetry(t *testing.T) {
 	ctx := context.Background()
 	var leaves int64
 	allocs := testing.AllocsPerRun(10, func() {
-		clear(scratch)
+		scratch.Clear()
 		n, err := walk.runPrefix(ctx, nil, scratch)
 		if err != nil {
 			t.Fatal(err)
@@ -81,7 +82,7 @@ func BenchmarkRunBranchSteadyStateTelemetry(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		clear(scratch)
+		scratch.Clear()
 		if _, err := walk.runPrefix(ctx, nil, scratch); err != nil {
 			b.Fatal(err)
 		}

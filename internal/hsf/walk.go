@@ -5,6 +5,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"hsfsim/internal/statevec"
 	"hsfsim/internal/telemetry"
 )
 
@@ -39,7 +40,7 @@ type walker struct {
 
 // runPrefixRecover wraps runPrefix with panic recovery: a panicking path
 // worker yields a *PanicError instead of tearing the process down.
-func (w *walker) runPrefixRecover(ctx context.Context, prefix []int, acc []complex128) (nLeaves int64, err error) {
+func (w *walker) runPrefixRecover(ctx context.Context, prefix []int, acc statevec.Vector) (nLeaves int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
@@ -51,7 +52,7 @@ func (w *walker) runPrefixRecover(ctx context.Context, prefix []int, acc []compl
 // runPrefix simulates the fixed term choices of a prefix task, then descends
 // into the remaining subtree. It returns the number of path leaves
 // accumulated into acc.
-func (w *walker) runPrefix(ctx context.Context, prefix []int, acc []complex128) (int64, error) {
+func (w *walker) runPrefix(ctx context.Context, prefix []int, acc statevec.Vector) (int64, error) {
 	st, err := w.ws.newRoot()
 	if err != nil {
 		return 0, err
@@ -92,7 +93,7 @@ func (w *walker) runPrefix(ctx context.Context, prefix []int, acc []complex128) 
 // order, matching the engine's historical recursive order; the last term of
 // a cut takes over the parent's state in place of a fork, so a rank-r cut
 // forks r-1 times.
-func (w *walker) walk(ctx context.Context, root pairState, level int, coeff complex128, acc []complex128) (int64, error) {
+func (w *walker) walk(ctx context.Context, root pairState, level int, coeff complex128, acc statevec.Vector) (int64, error) {
 	w.stack = append(w.stack[:0], walkFrame{st: root, level: level, coeff: coeff})
 	var nLeaves int64
 	// fail releases every state still on the stack before propagating err,

@@ -1,0 +1,718 @@
+package statevec
+
+import (
+	"hsfsim/internal/gate"
+)
+
+// Vector gate application. Dispatch mirrors State.ApplyGate — the same
+// classification arms, the same kernelPlan machinery for k≥3 gates, the same
+// sequential/parallelRange split — but every arm sweeps the split real/imag
+// planes. Each 1q/2q arm has two bodies: a span path that hands contiguous
+// runs of the planes to the startup-selected primitive table (taken when the
+// gate's run length 2^q reaches ops.spanMin), and an inline scalar loop for
+// low qubits and the purego arm. The scalar loops are the reference
+// semantics; soa_parity_test.go pins both against the complex128 kernels at
+// 1e-12.
+
+// ApplyGate applies g to the vector in place.
+func (v Vector) ApplyGate(g *gate.Gate) {
+	switch g.NumQubits() {
+	case 1:
+		half := v.Len() >> 1
+		if sequential(half) {
+			v.kernel1(g, 0, half)
+			return
+		}
+		parallelRange(half, func(lo, hi int) { v.kernel1(g, lo, hi) })
+	case 2:
+		quarter := v.Len() >> 2
+		if sequential(quarter) {
+			v.kernel2(g, 0, quarter)
+			return
+		}
+		parallelRange(quarter, func(lo, hi int) { v.kernel2(g, lo, hi) })
+	default:
+		v.applyK(g)
+	}
+}
+
+// ApplyAll applies a sequence of gates in order.
+func (v Vector) ApplyAll(gs []gate.Gate) {
+	for i := range gs {
+		v.ApplyGate(&gs[i])
+	}
+}
+
+// applyInline applies g on the caller's goroutine with no parallel split,
+// borrowing scratch for k≥3 kernels that gather (the k-qubit kernels gather
+// into complex scratch and scatter back to the planes, so the buffer type is
+// shared with the State path). A nil or undersized scratch falls back to the
+// pool.
+func (v Vector) applyInline(g *gate.Gate, scratch []complex128) {
+	switch g.NumQubits() {
+	case 1:
+		v.kernel1(g, 0, v.Len()>>1)
+	case 2:
+		v.kernel2(g, 0, v.Len()>>2)
+	default:
+		plan := planOf(g)
+		n := plan.domain(v.Len())
+		if plan.scratch > 0 && len(scratch) < plan.scratch {
+			sp, buf := getScratch(plan.scratch)
+			v.kernelK(g, plan, 0, n, buf)
+			scratchPool.Put(sp)
+			return
+		}
+		v.kernelK(g, plan, 0, n, scratch)
+	}
+}
+
+// kernel1 applies a single-qubit gate to the half-blocks [lo,hi), choosing
+// the same structure arms as State.kernel1.
+func (v Vector) kernel1(g *gate.Gate, lo, hi int) {
+	q := g.Qubits[0]
+	m := g.Matrix.Data
+	switch {
+	case g.Diagonal && g.Controls != 0:
+		v.phase1(m[3], q, lo, hi)
+	case g.Diagonal:
+		v.diag1(m[0], m[3], q, lo, hi)
+	case g.Perm != nil && g.PermPhase == nil:
+		v.perm1(q, lo, hi)
+	case g.Perm != nil:
+		v.permPhase1(m[1], m[2], q, lo, hi)
+	default:
+		v.rot1(m[0], m[1], m[2], m[3], q, lo, hi)
+	}
+}
+
+// span1 visits the contiguous runs covering half-blocks [lo,hi) for qubit q:
+// each run is n consecutive amplitudes starting at i0 (bit q clear) paired
+// with the run at i0|mask. Callers iterate it open-coded (no closures — the
+// sequential path must stay allocation-free):
+//
+//	for o := lo; o < hi; {
+//		g := o >> q
+//		end := min((g+1)<<q, hi)
+//		i0 := g<<(q+1) | (o & (mask - 1))
+//		n := end - o
+//		... spans [i0, i0+n) and [i0+mask, i0+mask+n) ...
+//		o = end
+//	}
+//
+// Adding j < n to i0 never carries into bit q, so both spans are contiguous.
+
+// phase1: diag(1, d) — scale only the bit-set run of each pair.
+func (v Vector) phase1(d complex128, q, lo, hi int) {
+	mask := 1 << q
+	dr, di := real(d), imag(d)
+	if sm := ops.spanMin; sm > 0 && mask >= sm {
+		re, im := v.Re, v.Im
+		for o := lo; o < hi; {
+			g := o >> q
+			end := (g + 1) << q
+			if end > hi {
+				end = hi
+			}
+			i1 := g<<(q+1) | (o & (mask - 1)) | mask
+			n := end - o
+			ops.scale(re[i1:i1+n], im[i1:i1+n], dr, di)
+			o = end
+		}
+		return
+	}
+	re, im := v.Re, v.Im
+	for o := lo; o < hi; o++ {
+		i := (o>>q)<<(q+1) | (o & (mask - 1)) | mask
+		r, m := re[i], im[i]
+		re[i] = dr*r - di*m
+		im[i] = dr*m + di*r
+	}
+}
+
+// diag1: diag(a, d) with no unit entry (RZ).
+func (v Vector) diag1(a, d complex128, q, lo, hi int) {
+	mask := 1 << q
+	ar, ai := real(a), imag(a)
+	dr, di := real(d), imag(d)
+	if sm := ops.spanMin; sm > 0 && mask >= sm {
+		re, im := v.Re, v.Im
+		for o := lo; o < hi; {
+			g := o >> q
+			end := (g + 1) << q
+			if end > hi {
+				end = hi
+			}
+			i0 := g<<(q+1) | (o & (mask - 1))
+			i1 := i0 + mask
+			n := end - o
+			ops.scale(re[i0:i0+n], im[i0:i0+n], ar, ai)
+			ops.scale(re[i1:i1+n], im[i1:i1+n], dr, di)
+			o = end
+		}
+		return
+	}
+	re, im := v.Re, v.Im
+	for o := lo; o < hi; o++ {
+		i0 := (o>>q)<<(q+1) | (o & (mask - 1))
+		i1 := i0 | mask
+		r0, m0 := re[i0], im[i0]
+		re[i0] = ar*r0 - ai*m0
+		im[i0] = ar*m0 + ai*r0
+		r1, m1 := re[i1], im[i1]
+		re[i1] = dr*r1 - di*m1
+		im[i1] = dr*m1 + di*r1
+	}
+}
+
+// perm1: the bit flip (X) — swap paired runs, no arithmetic.
+func (v Vector) perm1(q, lo, hi int) {
+	mask := 1 << q
+	if sm := ops.spanMin; sm > 0 && mask >= sm {
+		re, im := v.Re, v.Im
+		for o := lo; o < hi; {
+			g := o >> q
+			end := (g + 1) << q
+			if end > hi {
+				end = hi
+			}
+			i0 := g<<(q+1) | (o & (mask - 1))
+			i1 := i0 + mask
+			n := end - o
+			ops.swap(re[i0:i0+n], im[i0:i0+n], re[i1:i1+n], im[i1:i1+n])
+			o = end
+		}
+		return
+	}
+	re, im := v.Re, v.Im
+	for o := lo; o < hi; o++ {
+		i0 := (o>>q)<<(q+1) | (o & (mask - 1))
+		i1 := i0 | mask
+		re[i0], re[i1] = re[i1], re[i0]
+		im[i0], im[i1] = im[i1], im[i0]
+	}
+}
+
+// permPhase1: antidiagonal (b over c) — a flip with one multiply per move (Y).
+func (v Vector) permPhase1(b, c complex128, q, lo, hi int) {
+	mask := 1 << q
+	br, bi := real(b), imag(b)
+	cr, ci := real(c), imag(c)
+	if sm := ops.spanMin; sm > 0 && mask >= sm {
+		re, im := v.Re, v.Im
+		for o := lo; o < hi; {
+			g := o >> q
+			end := (g + 1) << q
+			if end > hi {
+				end = hi
+			}
+			i0 := g<<(q+1) | (o & (mask - 1))
+			i1 := i0 + mask
+			n := end - o
+			ops.cross(re[i0:i0+n], im[i0:i0+n], re[i1:i1+n], im[i1:i1+n], br, bi, cr, ci)
+			o = end
+		}
+		return
+	}
+	re, im := v.Re, v.Im
+	for o := lo; o < hi; o++ {
+		i0 := (o>>q)<<(q+1) | (o & (mask - 1))
+		i1 := i0 | mask
+		x, xm := re[i0], im[i0]
+		y, ym := re[i1], im[i1]
+		re[i0] = br*y - bi*ym
+		im[i0] = br*ym + bi*y
+		re[i1] = cr*x - ci*xm
+		im[i1] = cr*xm + ci*x
+	}
+}
+
+func (v Vector) rot1(a, b, c, d complex128, q, lo, hi int) {
+	mask := 1 << q
+	ar, ai := real(a), imag(a)
+	br, bi := real(b), imag(b)
+	cr, ci := real(c), imag(c)
+	dr, di := real(d), imag(d)
+	if sm := ops.spanMin; sm > 0 && mask >= sm {
+		re, im := v.Re, v.Im
+		for o := lo; o < hi; {
+			g := o >> q
+			end := (g + 1) << q
+			if end > hi {
+				end = hi
+			}
+			i0 := g<<(q+1) | (o & (mask - 1))
+			i1 := i0 + mask
+			n := end - o
+			ops.rot2x2(re[i0:i0+n], im[i0:i0+n], re[i1:i1+n], im[i1:i1+n],
+				ar, ai, br, bi, cr, ci, dr, di)
+			o = end
+		}
+		return
+	}
+	re, im := v.Re, v.Im
+	for o := lo; o < hi; o++ {
+		i0 := (o>>q)<<(q+1) | (o & (mask - 1))
+		i1 := i0 | mask
+		x, xm := re[i0], im[i0]
+		y, ym := re[i1], im[i1]
+		re[i0] = ar*x - ai*xm + br*y - bi*ym
+		im[i0] = ar*xm + ai*x + br*ym + bi*y
+		re[i1] = cr*x - ci*xm + dr*y - di*ym
+		im[i1] = cr*xm + ci*x + dr*ym + di*y
+	}
+}
+
+// kernel2 applies a two-qubit gate to the quarter-blocks [lo,hi), same arm
+// selection as State.kernel2.
+func (v Vector) kernel2(g *gate.Gate, lo, hi int) {
+	m := g.Matrix.Data
+	q0, q1 := g.Qubits[0], g.Qubits[1]
+	switch {
+	case g.Diagonal:
+		v.diag2(m, g.Controls, q0, q1, lo, hi)
+	case g.Perm != nil:
+		v.perm2(g, lo, hi)
+	case g.Controls == 1:
+		v.ctrl2(m[5], m[7], m[13], m[15], 1<<q0, 1<<q1, q0, q1, lo, hi)
+	case g.Controls == 2:
+		v.ctrl2(m[10], m[11], m[14], m[15], 1<<q1, 1<<q0, q0, q1, lo, hi)
+	default:
+		v.rot2(m, q0, q1, lo, hi)
+	}
+}
+
+// span2 analogue of span1: quarter-blocks [lo,hi) decompose into runs of
+// length up to 2^pLo; within one run the four offsets base, base|m0, base|m1,
+// base|m0|m1 each advance contiguously (the run index only occupies bits
+// below pLo, so ORing the gate-bit masks never collides with it).
+
+func (v Vector) diag2(m []complex128, ctrl, q0, q1, lo, hi int) {
+	m0, m1 := 1<<q0, 1<<q1
+	pLo, pHi := order2(q0, q1)
+	d0, d1, d2, d3 := m[0], m[5], m[10], m[15]
+	if sm := ops.spanMin; sm > 0 && 1<<pLo >= sm {
+		re, im := v.Re, v.Im
+		for o := lo; o < hi; {
+			g := o >> pLo
+			end := (g + 1) << pLo
+			if end > hi {
+				end = hi
+			}
+			base := insert2(o, pLo, pHi)
+			n := end - o
+			switch ctrl {
+			case 3:
+				i := base | m0 | m1
+				ops.scale(re[i:i+n], im[i:i+n], real(d3), imag(d3))
+			case 1:
+				i := base | m0
+				ops.scale(re[i:i+n], im[i:i+n], real(d1), imag(d1))
+				i |= m1
+				ops.scale(re[i:i+n], im[i:i+n], real(d3), imag(d3))
+			case 2:
+				i := base | m1
+				ops.scale(re[i:i+n], im[i:i+n], real(d2), imag(d2))
+				i |= m0
+				ops.scale(re[i:i+n], im[i:i+n], real(d3), imag(d3))
+			default:
+				ops.scale(re[base:base+n], im[base:base+n], real(d0), imag(d0))
+				i := base | m0
+				ops.scale(re[i:i+n], im[i:i+n], real(d1), imag(d1))
+				i = base | m1
+				ops.scale(re[i:i+n], im[i:i+n], real(d2), imag(d2))
+				i |= m0
+				ops.scale(re[i:i+n], im[i:i+n], real(d3), imag(d3))
+			}
+			o = end
+		}
+		return
+	}
+	re, im := v.Re, v.Im
+	mulAt := func(i int, c complex128) {
+		cr, ci := real(c), imag(c)
+		r, mm := re[i], im[i]
+		re[i] = cr*r - ci*mm
+		im[i] = cr*mm + ci*r
+	}
+	switch ctrl {
+	case 3:
+		for o := lo; o < hi; o++ {
+			mulAt(insert2(o, pLo, pHi)|m0|m1, d3)
+		}
+	case 1:
+		for o := lo; o < hi; o++ {
+			i := insert2(o, pLo, pHi) | m0
+			mulAt(i, d1)
+			mulAt(i|m1, d3)
+		}
+	case 2:
+		for o := lo; o < hi; o++ {
+			i := insert2(o, pLo, pHi) | m1
+			mulAt(i, d2)
+			mulAt(i|m0, d3)
+		}
+	default:
+		for o := lo; o < hi; o++ {
+			i := insert2(o, pLo, pHi)
+			mulAt(i, d0)
+			mulAt(i|m0, d1)
+			mulAt(i|m1, d2)
+			mulAt(i|m0|m1, d3)
+		}
+	}
+}
+
+// ctrl2 applies the 2×2 submatrix to the control-satisfied run pair.
+func (v Vector) ctrl2(u00, u01, u10, u11 complex128, ctrlMask, tgtMask, q0, q1, lo, hi int) {
+	pLo, pHi := order2(q0, q1)
+	ar, ai := real(u00), imag(u00)
+	br, bi := real(u01), imag(u01)
+	cr, ci := real(u10), imag(u10)
+	dr, di := real(u11), imag(u11)
+	if sm := ops.spanMin; sm > 0 && 1<<pLo >= sm {
+		re, im := v.Re, v.Im
+		for o := lo; o < hi; {
+			g := o >> pLo
+			end := (g + 1) << pLo
+			if end > hi {
+				end = hi
+			}
+			ia := insert2(o, pLo, pHi) | ctrlMask
+			ib := ia | tgtMask
+			n := end - o
+			ops.rot2x2(re[ia:ia+n], im[ia:ia+n], re[ib:ib+n], im[ib:ib+n],
+				ar, ai, br, bi, cr, ci, dr, di)
+			o = end
+		}
+		return
+	}
+	re, im := v.Re, v.Im
+	for o := lo; o < hi; o++ {
+		ia := insert2(o, pLo, pHi) | ctrlMask
+		ib := ia | tgtMask
+		x, xm := re[ia], im[ia]
+		y, ym := re[ib], im[ib]
+		re[ia] = ar*x - ai*xm + br*y - bi*ym
+		im[ia] = ar*xm + ai*x + br*ym + bi*y
+		re[ib] = cr*x - ci*xm + dr*y - di*ym
+		im[ib] = cr*xm + ci*x + dr*ym + di*y
+	}
+}
+
+// perm2 applies a two-qubit (phase-)permutation; the common single
+// transposition (CNOT, SWAP, ISWAP) runs as paired-span cross/swap calls.
+func (v Vector) perm2(g *gate.Gate, lo, hi int) {
+	perm := g.Perm
+	ph := g.PermPhase
+	q0, q1 := g.Qubits[0], g.Qubits[1]
+	pLo, pHi := order2(q0, q1)
+	off := [4]int{0, 1 << q0, 1 << q1, 1<<q0 | 1<<q1}
+	a, b := -1, -1
+	simple := true
+	for c := 0; c < 4; c++ {
+		if perm[c] == c {
+			if ph != nil && ph[c] != 1 {
+				simple = false
+			}
+			continue
+		}
+		if a < 0 {
+			a = c
+		} else if b < 0 {
+			b = c
+		} else {
+			simple = false
+		}
+	}
+	if simple && b >= 0 && perm[a] == b {
+		pa, pb := complex128(1), complex128(1)
+		if ph != nil {
+			pa, pb = ph[a], ph[b]
+		}
+		offA, offB := off[a], off[b]
+		re, im := v.Re, v.Im
+		if sm := ops.spanMin; sm > 0 && 1<<pLo >= sm {
+			pure := pa == 1 && pb == 1
+			for o := lo; o < hi; {
+				gg := o >> pLo
+				end := (gg + 1) << pLo
+				if end > hi {
+					end = hi
+				}
+				i := insert2(o, pLo, pHi)
+				ia, ib := i|offA, i|offB
+				n := end - o
+				if pure {
+					ops.swap(re[ia:ia+n], im[ia:ia+n], re[ib:ib+n], im[ib:ib+n])
+				} else {
+					// new[a] = pb·old[b], new[b] = pa·old[a] — cross with
+					// x = span a, y = span b.
+					ops.cross(re[ia:ia+n], im[ia:ia+n], re[ib:ib+n], im[ib:ib+n],
+						real(pb), imag(pb), real(pa), imag(pa))
+				}
+				o = end
+			}
+			return
+		}
+		paR, paI := real(pa), imag(pa)
+		pbR, pbI := real(pb), imag(pb)
+		for o := lo; o < hi; o++ {
+			i := insert2(o, pLo, pHi)
+			ia, ib := i|offA, i|offB
+			x, xm := re[ia], im[ia]
+			y, ym := re[ib], im[ib]
+			re[ia] = pbR*y - pbI*ym
+			im[ia] = pbR*ym + pbI*y
+			re[ib] = paR*x - paI*xm
+			im[ib] = paR*xm + paI*x
+		}
+		return
+	}
+	re, im := v.Re, v.Im
+	for o := lo; o < hi; o++ {
+		i := insert2(o, pLo, pHi)
+		var tr, ti [4]float64
+		for c := 0; c < 4; c++ {
+			idx := i | off[c]
+			r, m := re[idx], im[idx]
+			if ph != nil {
+				pr, pi := real(ph[c]), imag(ph[c])
+				r, m = pr*r-pi*m, pr*m+pi*r
+			}
+			tr[perm[c]], ti[perm[c]] = r, m
+		}
+		for c := 0; c < 4; c++ {
+			idx := i | off[c]
+			re[idx], im[idx] = tr[c], ti[c]
+		}
+	}
+}
+
+func (v Vector) rot2(m []complex128, q0, q1, lo, hi int) {
+	m0, m1 := 1<<q0, 1<<q1
+	pLo, pHi := order2(q0, q1)
+	re, im := v.Re, v.Im
+	if sm := ops.spanMin; sm > 0 && 1<<pLo >= sm {
+		for o := lo; o < hi; {
+			g := o >> pLo
+			end := (g + 1) << pLo
+			if end > hi {
+				end = hi
+			}
+			i := insert2(o, pLo, pHi)
+			i1, i2, i3 := i|m0, i|m1, i|m0|m1
+			n := end - o
+			ops.rot4x4(re[i:i+n], im[i:i+n], re[i1:i1+n], im[i1:i1+n],
+				re[i2:i2+n], im[i2:i2+n], re[i3:i3+n], im[i3:i3+n], m)
+			o = end
+		}
+		return
+	}
+	for o := lo; o < hi; o++ {
+		i := insert2(o, pLo, pHi)
+		i1, i2, i3 := i|m0, i|m1, i|m0|m1
+		x0 := complex(re[i], im[i])
+		x1 := complex(re[i1], im[i1])
+		x2 := complex(re[i2], im[i2])
+		x3 := complex(re[i3], im[i3])
+		b0 := m[0]*x0 + m[1]*x1 + m[2]*x2 + m[3]*x3
+		b1 := m[4]*x0 + m[5]*x1 + m[6]*x2 + m[7]*x3
+		b2 := m[8]*x0 + m[9]*x1 + m[10]*x2 + m[11]*x3
+		b3 := m[12]*x0 + m[13]*x1 + m[14]*x2 + m[15]*x3
+		re[i], im[i] = real(b0), imag(b0)
+		re[i1], im[i1] = real(b1), imag(b1)
+		re[i2], im[i2] = real(b2), imag(b2)
+		re[i3], im[i3] = real(b3), imag(b3)
+	}
+}
+
+// applyK is the general k-qubit dispatcher on the SoA planes. The k≥3
+// kernels gather blocks into complex scratch, run the plan's arithmetic in
+// complex form (these kernels are structure-dominated, not bandwidth-
+// dominated), and scatter back — so they share scratchPool with the State
+// path and stay allocation-free per call.
+func (v Vector) applyK(g *gate.Gate) {
+	plan := planOf(g)
+	n := plan.domain(v.Len())
+	if sequential(n) {
+		if plan.scratch == 0 {
+			v.kernelK(g, plan, 0, n, nil)
+			return
+		}
+		sp, buf := getScratch(plan.scratch)
+		v.kernelK(g, plan, 0, n, buf)
+		scratchPool.Put(sp)
+		return
+	}
+	parallelRange(n, func(lo, hi int) {
+		if plan.scratch == 0 {
+			v.kernelK(g, plan, lo, hi, nil)
+			return
+		}
+		sp, buf := getScratch(plan.scratch)
+		v.kernelK(g, plan, lo, hi, buf)
+		scratchPool.Put(sp)
+	})
+}
+
+// kernelK runs the plan's kernel over blocks [lo,hi) of the plan's domain.
+func (v Vector) kernelK(g *gate.Gate, p *kernelPlan, lo, hi int, in []complex128) {
+	switch p.kind {
+	case planDiag:
+		v.mulDiagK(g.Qubits, p.diag, lo, hi)
+	case planCtrlDiag:
+		v.ctrlDiagK(p, lo, hi)
+	case planPerm:
+		v.permK(p, lo, hi)
+	case planCtrl:
+		v.ctrlK(p, lo, hi, in)
+	case planSparse:
+		v.sparseK(p, lo, hi, in)
+	default:
+		v.rotK(g.Matrix.Data, p, p.k, lo, hi, in)
+	}
+}
+
+func (v Vector) mulDiagK(qubits []int, diag []complex128, lo, hi int) {
+	re, im := v.Re, v.Im
+	for i := lo; i < hi; i++ {
+		t := 0
+		for j, q := range qubits {
+			t |= ((i >> q) & 1) << j
+		}
+		dr, di := real(diag[t]), imag(diag[t])
+		r, m := re[i], im[i]
+		re[i] = dr*r - di*m
+		im[i] = dr*m + di*r
+	}
+}
+
+func (v Vector) ctrlDiagK(p *kernelPlan, lo, hi int) {
+	re, im := v.Re, v.Im
+	for o := lo; o < hi; o++ {
+		i := o
+		for _, q := range p.ctrlSorted {
+			i = (i>>q)<<(q+1) | (i & (1<<q - 1)) | 1<<q
+		}
+		u := 0
+		for j, q := range p.freeQubits {
+			u |= ((i >> q) & 1) << j
+		}
+		dr, di := real(p.diag[u]), imag(p.diag[u])
+		r, m := re[i], im[i]
+		re[i] = dr*r - di*m
+		im[i] = dr*m + di*r
+	}
+}
+
+func (v Vector) permK(p *kernelPlan, lo, hi int) {
+	re, im := v.Re, v.Im
+	for o := lo; o < hi; o++ {
+		base := o
+		for _, q := range p.sorted {
+			base = (base>>q)<<(q+1) | (base & (1<<q - 1))
+		}
+		for ci := 0; ci+1 < len(p.cycStart); ci++ {
+			st, en := p.cycStart[ci], p.cycStart[ci+1]
+			last := en - 1
+			li := base | p.cycNode[last]
+			carryR, carryI := re[li], im[li]
+			for i := last; i > st; i-- {
+				si := base | p.cycNode[i-1]
+				r, m := re[si], im[si]
+				if p.cycPhase != nil {
+					pr, pi := real(p.cycPhase[i-1]), imag(p.cycPhase[i-1])
+					r, m = pr*r-pi*m, pr*m+pi*r
+				}
+				di := base | p.cycNode[i]
+				re[di], im[di] = r, m
+			}
+			if p.cycPhase != nil {
+				pr, pi := real(p.cycPhase[last]), imag(p.cycPhase[last])
+				carryR, carryI = pr*carryR-pi*carryI, pr*carryI+pi*carryR
+			}
+			si := base | p.cycNode[st]
+			re[si], im[si] = carryR, carryI
+		}
+		for i, off := range p.fixOff {
+			idx := base | off
+			pr, pi := real(p.fixPhase[i]), imag(p.fixPhase[i])
+			r, m := re[idx], im[idx]
+			re[idx] = pr*r - pi*m
+			im[idx] = pr*m + pi*r
+		}
+	}
+}
+
+func (v Vector) ctrlK(p *kernelPlan, lo, hi int, in []complex128) {
+	fdim := len(p.freeOff)
+	re, im := v.Re, v.Im
+	for o := lo; o < hi; o++ {
+		base := o
+		for _, q := range p.sorted {
+			base = (base>>q)<<(q+1) | (base & (1<<q - 1))
+		}
+		base |= p.ctrlOff
+		for u := 0; u < fdim; u++ {
+			i := base | p.freeOff[u]
+			in[u] = complex(re[i], im[i])
+		}
+		for u := 0; u < fdim; u++ {
+			row := p.sub[u*fdim : (u+1)*fdim]
+			var acc complex128
+			for w := 0; w < fdim; w++ {
+				acc += row[w] * in[w]
+			}
+			i := base | p.freeOff[u]
+			re[i], im[i] = real(acc), imag(acc)
+		}
+	}
+}
+
+func (v Vector) sparseK(p *kernelPlan, lo, hi int, in []complex128) {
+	kdim := len(p.offsets)
+	re, im := v.Re, v.Im
+	for o := lo; o < hi; o++ {
+		base := o
+		for _, q := range p.sorted {
+			base = (base>>q)<<(q+1) | (base & (1<<q - 1))
+		}
+		for t := 0; t < kdim; t++ {
+			i := base | p.offsets[t]
+			in[t] = complex(re[i], im[i])
+		}
+		for ri, r := range p.rows {
+			var acc complex128
+			for e := p.rowStart[ri]; e < p.rowStart[ri+1]; e++ {
+				acc += p.vals[e] * in[p.cols[e]]
+			}
+			i := base | p.offsets[r]
+			re[i], im[i] = real(acc), imag(acc)
+		}
+	}
+}
+
+func (v Vector) rotK(m []complex128, plan *kernelPlan, k, lo, hi int, in []complex128) {
+	kdim := 1 << k
+	re, im := v.Re, v.Im
+	for o := lo; o < hi; o++ {
+		base := o
+		for _, p := range plan.sorted {
+			base = (base>>p)<<(p+1) | (base & (1<<p - 1))
+		}
+		for t := 0; t < kdim; t++ {
+			i := base | plan.offsets[t]
+			in[t] = complex(re[i], im[i])
+		}
+		for t := 0; t < kdim; t++ {
+			row := m[t*kdim : (t+1)*kdim]
+			var acc complex128
+			for u := 0; u < kdim; u++ {
+				acc += row[u] * in[u]
+			}
+			i := base | plan.offsets[t]
+			re[i], im[i] = real(acc), imag(acc)
+		}
+	}
+}

@@ -125,11 +125,15 @@ func (s State) SchmidtRank(nLower int, tol float64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	return rankOf(spec, tol), nil
+}
+
+func rankOf(spec []float64, tol float64) int {
 	if tol <= 0 {
 		tol = 1e-10
 	}
 	if len(spec) == 0 || spec[0] == 0 {
-		return 0, nil
+		return 0
 	}
 	r := 0
 	for _, sv := range spec {
@@ -137,5 +141,56 @@ func (s State) SchmidtRank(nLower int, tol float64) (int, error) {
 			r++
 		}
 	}
-	return r, nil
+	return r
+}
+
+// SchmidtSpectrum is the Vector (SoA) analogue of State.SchmidtSpectrum: the
+// reshape matrix is filled straight from the split planes, so no interleaved
+// copy of the state is materialized.
+func (v Vector) SchmidtSpectrum(nLower int) ([]float64, error) {
+	n := v.NumQubits()
+	if nLower <= 0 || nLower >= n {
+		return nil, fmt.Errorf("statevec: bipartition %d|%d invalid", nLower, n-nLower)
+	}
+	dimLo := 1 << nLower
+	dimUp := 1 << (n - nLower)
+	m := cmat.New(dimUp, dimLo)
+	re, im := v.Re, v.Im
+	for a := 0; a < dimUp; a++ {
+		row := a << nLower
+		for b := 0; b < dimLo; b++ {
+			m.Set(a, b, complex(re[row|b], im[row|b]))
+		}
+	}
+	svd, err := cmat.SVD(m)
+	if err != nil {
+		return nil, err
+	}
+	return svd.S, nil
+}
+
+// EntanglementEntropy returns the von Neumann entropy (in bits) of the
+// reduced state across the bipartition.
+func (v Vector) EntanglementEntropy(nLower int) (float64, error) {
+	spec, err := v.SchmidtSpectrum(nLower)
+	if err != nil {
+		return 0, err
+	}
+	var h float64
+	for _, sv := range spec {
+		p := sv * sv
+		if p > 1e-15 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h, nil
+}
+
+// SchmidtRank returns the number of Schmidt coefficients above tol.
+func (v Vector) SchmidtRank(nLower int, tol float64) (int, error) {
+	spec, err := v.SchmidtSpectrum(nLower)
+	if err != nil {
+		return 0, err
+	}
+	return rankOf(spec, tol), nil
 }

@@ -2,63 +2,64 @@ package statevec
 
 import "math"
 
-// Pool is a size-keyed free list of statevector buffers. The HSF path walker
-// forks and releases one (lower, upper) state pair per path-tree node, so a
-// per-worker Pool turns the O(paths) large allocations of naive cloning into
-// a handful of buffers reused for the whole run (live count = tree depth).
+// Pool is a size-keyed free list of statevector buffers in SoA layout. The
+// HSF path walker forks and releases one (lower, upper) vector pair per
+// path-tree node, so a per-worker Pool turns the O(paths) large allocations
+// of naive cloning into a handful of buffers reused for the whole run (live
+// count = tree depth).
 //
 // A Pool is not safe for concurrent use; each worker goroutine owns its own.
 type Pool struct {
 	// Poison, when set, fills every released buffer with NaN. A stale-read
-	// bug (using a state after release, or trusting pool contents before
+	// bug (using a vector after release, or trusting pool contents before
 	// initialization) then corrupts results loudly instead of silently;
 	// tests enable it as a canary.
 	Poison bool
 
-	free map[int][]State
+	free map[int][]Vector
 
 	gets, reuses int
 }
 
 // NewPool returns an empty pool.
 func NewPool() *Pool {
-	return &Pool{free: make(map[int][]State)}
+	return &Pool{free: make(map[int][]Vector)}
 }
 
-// Get returns a buffer of exactly n amplitudes with unspecified contents,
+// Get returns a vector of exactly n amplitudes with unspecified contents,
 // reusing a released buffer of the same size when one is available.
-func (p *Pool) Get(n int) State {
+func (p *Pool) Get(n int) Vector {
 	p.gets++
 	if list := p.free[n]; len(list) > 0 {
-		s := list[len(list)-1]
+		v := list[len(list)-1]
 		p.free[n] = list[:len(list)-1]
 		p.reuses++
-		return s
+		return v
 	}
-	return make(State, n)
+	return MakeVector(n)
 }
 
-// GetZero returns the basis state |0...0> in an n-amplitude buffer.
-func (p *Pool) GetZero(n int) State {
-	s := p.Get(n)
-	clear(s)
-	s[0] = 1
-	return s
+// GetZero returns the basis state |0...0> in an n-amplitude vector.
+func (p *Pool) GetZero(n int) Vector {
+	v := p.Get(n)
+	v.SetBasis()
+	return v
 }
 
-// Put releases a buffer back to the pool. The caller must not use s
-// afterwards. Releasing nil is a no-op.
-func (p *Pool) Put(s State) {
-	if s == nil {
+// Put releases a vector back to the pool. The caller must not use v
+// afterwards. Releasing the zero Vector is a no-op.
+func (p *Pool) Put(v Vector) {
+	if v.Re == nil {
 		return
 	}
 	if p.Poison {
-		canary := complex(math.NaN(), math.NaN())
-		for i := range s {
-			s[i] = canary
+		nan := math.NaN()
+		for i := range v.Re {
+			v.Re[i] = nan
+			v.Im[i] = nan
 		}
 	}
-	p.free[len(s)] = append(p.free[len(s)], s)
+	p.free[v.Len()] = append(p.free[v.Len()], v)
 }
 
 // Stats reports how many Get calls the pool served and how many of those

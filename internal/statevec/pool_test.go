@@ -1,25 +1,28 @@
 package statevec
 
 import (
-	"math/cmplx"
+	"math"
 	"testing"
+	"unsafe"
 )
+
+func vecAddr(f []float64) unsafe.Pointer { return unsafe.Pointer(unsafe.SliceData(f)) }
 
 func TestPoolReusesSameSize(t *testing.T) {
 	p := NewPool()
 	a := p.Get(8)
 	b := p.Get(8)
-	if &a[0] == &b[0] {
+	if &a.Re[0] == &b.Re[0] {
 		t.Fatal("two live buffers share backing storage")
 	}
 	p.Put(a)
 	c := p.Get(8)
-	if &c[0] != &a[0] {
+	if &c.Re[0] != &a.Re[0] {
 		t.Fatal("released buffer was not reused for a same-size Get")
 	}
 	d := p.Get(16) // no 16-amplitude buffer released yet
-	if len(d) != 16 {
-		t.Fatalf("len = %d, want 16", len(d))
+	if d.Len() != 16 {
+		t.Fatalf("len = %d, want 16", d.Len())
 	}
 	gets, reuses := p.Stats()
 	if gets != 4 || reuses != 1 {
@@ -29,39 +32,56 @@ func TestPoolReusesSameSize(t *testing.T) {
 
 func TestPoolPutNil(t *testing.T) {
 	p := NewPool()
-	p.Put(nil) // must not panic or pollute the free lists
-	if s := p.Get(4); len(s) != 4 {
-		t.Fatalf("len = %d, want 4", len(s))
+	p.Put(Vector{}) // must not panic or pollute the free lists
+	if v := p.Get(4); v.Len() != 4 {
+		t.Fatalf("len = %d, want 4", v.Len())
 	}
 }
 
 // TestPoolPoisonCanary pins the canary mechanics: a poisoned release fills
-// the buffer with NaN, and GetZero hands the same storage back fully
+// both planes with NaN, and GetZero hands the same storage back fully
 // reinitialized.
 func TestPoolPoisonCanary(t *testing.T) {
 	p := NewPool()
 	p.Poison = true
-	s := p.Get(8)
-	for i := range s {
-		s[i] = complex(float64(i), 0)
+	v := p.Get(8)
+	for i := 0; i < v.Len(); i++ {
+		v.SetAmplitude(i, complex(float64(i), 0))
 	}
-	p.Put(s)
-	for i, v := range s {
-		if !cmplx.IsNaN(v) {
-			t.Fatalf("released s[%d] = %v, want NaN canary", i, v)
+	p.Put(v)
+	for i := 0; i < v.Len(); i++ {
+		if !math.IsNaN(v.Re[i]) || !math.IsNaN(v.Im[i]) {
+			t.Fatalf("released v[%d] = %v, want NaN canary", i, v.Amplitude(i))
 		}
 	}
 	z := p.GetZero(8)
-	if &z[0] != &s[0] {
+	if &z.Re[0] != &v.Re[0] {
 		t.Fatal("GetZero did not reuse the poisoned buffer")
 	}
-	for i, v := range z {
+	for i := 0; i < z.Len(); i++ {
 		want := complex128(0)
 		if i == 0 {
 			want = 1
 		}
-		if v != want {
-			t.Fatalf("z[%d] = %v, want %v (canary leaked through GetZero)", i, v, want)
+		if z.Amplitude(i) != want {
+			t.Fatalf("z[%d] = %v, want %v (canary leaked through GetZero)", i, z.Amplitude(i), want)
+		}
+	}
+}
+
+// TestVectorAlignment pins the allocator contract: on the span arm both
+// planes of every MakeVector start on a 64-byte boundary.
+func TestVectorAlignment(t *testing.T) {
+	if KernelISA() == "scalar" {
+		t.Skip("purego arm makes no alignment promise")
+	}
+	for _, n := range []int{1, 7, 64, 1 << 10} {
+		v := MakeVector(n)
+		if rem := uintptr(vecAddr(v.Re)) % 64; rem != 0 {
+			t.Fatalf("n=%d: Re plane misaligned by %d bytes", n, rem)
+		}
+		if rem := uintptr(vecAddr(v.Im)) % 64; rem != 0 {
+			t.Fatalf("n=%d: Im plane misaligned by %d bytes", n, rem)
 		}
 	}
 }

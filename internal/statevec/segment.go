@@ -75,10 +75,10 @@ func (cs *CompiledSegment) NumSteps() int { return len(cs.steps) }
 // NumQubits returns the register size the segment was compiled for.
 func (cs *CompiledSegment) NumQubits() int { return cs.n }
 
-// Apply runs the whole compiled segment over s.
-func (cs *CompiledSegment) Apply(s State) {
+// Apply runs the whole compiled segment over v.
+func (cs *CompiledSegment) Apply(v Vector) {
 	for i := range cs.steps {
-		cs.ApplyStep(s, i)
+		cs.ApplyStep(v, i)
 	}
 }
 
@@ -91,22 +91,23 @@ func (cs *CompiledSegment) borrow() (*[]complex128, []complex128) {
 	return getScratch(cs.scratch)
 }
 
-// ApplyStep runs sweep step i over s. Tiled steps iterate aligned
+// ApplyStep runs sweep step i over v. Tiled steps iterate aligned
 // 2^tileQ-amplitude tiles — each tile is a self-contained sub-register for
 // gates below the boundary — applying every gate of the run while the tile is
 // cache-hot; tiles are distributed across the parallelism budget. High gates
-// run as ordinary full-state passes.
-func (cs *CompiledSegment) ApplyStep(s State, i int) {
+// run as ordinary full-state passes. Tiles slice both SoA planes, so a tile
+// is itself a Vector and the kernels' span dispatch applies within it.
+func (cs *CompiledSegment) ApplyStep(v Vector, i int) {
 	st := &cs.steps[i]
 	if !st.tiled {
-		s.ApplyGate(&st.gates[0])
+		v.ApplyGate(&st.gates[0])
 		return
 	}
-	tiles := len(s) >> cs.tileQ
+	tiles := v.Len() >> cs.tileQ
 	if tiles <= 1 {
 		sp, buf := cs.borrow()
 		for g := range st.gates {
-			s.applyInline(&st.gates[g], buf)
+			v.applyInline(&st.gates[g], buf)
 		}
 		if sp != nil {
 			scratchPool.Put(sp)
@@ -116,7 +117,7 @@ func (cs *CompiledSegment) ApplyStep(s State, i int) {
 	if par.Inner() <= 1 {
 		sp, buf := cs.borrow()
 		for t := 0; t < tiles; t++ {
-			sub := s[t<<cs.tileQ : (t+1)<<cs.tileQ]
+			sub := v.Slice(t<<cs.tileQ, (t+1)<<cs.tileQ)
 			for g := range st.gates {
 				sub.applyInline(&st.gates[g], buf)
 			}
@@ -129,7 +130,7 @@ func (cs *CompiledSegment) ApplyStep(s State, i int) {
 	parallelRange(tiles, func(lo, hi int) {
 		sp, buf := cs.borrow()
 		for t := lo; t < hi; t++ {
-			sub := s[t<<cs.tileQ : (t+1)<<cs.tileQ]
+			sub := v.Slice(t<<cs.tileQ, (t+1)<<cs.tileQ)
 			for g := range st.gates {
 				sub.applyInline(&st.gates[g], buf)
 			}

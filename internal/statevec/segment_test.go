@@ -39,8 +39,8 @@ func TestCompileSegmentParity(t *testing.T) {
 		rng := rand.New(rand.NewSource(int64(n)))
 		gs := zooCircuit(rng, n)
 		want := randomState(rng, n)
-		got := want.Clone()
-		stepped := want.Clone()
+		got := FromComplex(want)
+		stepped := FromComplex(want)
 
 		ref := make([]gate.Gate, len(gs))
 		for i := range gs {
@@ -54,8 +54,8 @@ func TestCompileSegmentParity(t *testing.T) {
 			cs.ApplyStep(stepped, i)
 		}
 		for i := range want {
-			if cmplx.Abs(got[i]-want[i]) > parityTol || cmplx.Abs(stepped[i]-want[i]) > parityTol {
-				t.Fatalf("n=%d amplitude %d: apply %v stepped %v want %v", n, i, got[i], stepped[i], want[i])
+			if cmplx.Abs(got.Amplitude(i)-want[i]) > parityTol || cmplx.Abs(stepped.Amplitude(i)-want[i]) > parityTol {
+				t.Fatalf("n=%d amplitude %d: apply %v stepped %v want %v", n, i, got.Amplitude(i), stepped.Amplitude(i), want[i])
 			}
 		}
 	}
@@ -97,9 +97,9 @@ func TestCompileSegmentEmpty(t *testing.T) {
 	if cs.NumSteps() != 0 {
 		t.Fatalf("NumSteps = %d, want 0", cs.NumSteps())
 	}
-	s := NewState(5)
-	cs.Apply(s)
-	if s[0] != 1 {
+	v := NewVector(5)
+	cs.Apply(v)
+	if v.Amplitude(0) != 1 {
 		t.Fatal("empty segment mutated the state")
 	}
 }

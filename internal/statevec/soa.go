@@ -1,0 +1,375 @@
+package statevec
+
+// The SoA kernel seam. Every Vector gate kernel lowers its inner loop onto a
+// small set of span primitives — stride-1 operations over contiguous runs of
+// the split real/imag planes — dispatched through a package-level table
+// selected once at startup:
+//
+//   - default builds install the unrolled span arm (soa_native.go) and the
+//     kernels take the span path whenever a gate's contiguous run length
+//     reaches ops.spanMin;
+//   - `-tags purego` builds install the plain scalar arm (soa_purego.go) with
+//     spanMin=0, so every kernel runs its scalar fallback loop — the
+//     reference semantics, and the portability floor for exotic targets.
+//
+// Future Go-assembly kernels (AVX2/NEON) replace individual function pointers
+// in this table from an init gated on CPU feature detection; nothing above
+// the table changes. The primitives are chosen so each maps to one obvious
+// vertical SIMD loop: no lane shuffles, no horizontal reductions.
+
+// kernelOps is the startup-selected table of span primitives. All spans
+// passed to these functions are equal-length and non-aliasing (x and y spans
+// of one call never overlap; re/im planes are distinct arrays by
+// construction).
+type kernelOps struct {
+	// name identifies the installed arm (KernelISA reports it).
+	name string
+
+	// spanMin is the minimum contiguous run length at which kernels prefer
+	// the span path over their scalar loop. Zero disables span dispatch.
+	spanMin int
+
+	// scale: x *= c, elementwise over the span.
+	scale func(xr, xi []float64, cr, ci float64)
+
+	// rot2x2: (x, y) ← (a·x + b·y, c·x + d·y) — the 1q dense matvec over a
+	// pair of spans.
+	rot2x2 func(xr, xi, yr, yi []float64, ar, ai, br, bi, cr, ci, dr, di float64)
+
+	// swap: x ↔ y with no arithmetic (X gate, permutation transpositions).
+	swap func(xr, xi, yr, yi []float64)
+
+	// cross: (x, y) ← (b·y, c·x) — a phased transposition (Y gate, ISWAP).
+	cross func(xr, xi, yr, yi []float64, br, bi, cr, ci float64)
+
+	// axpy: dst += c·src — the HSF leaf accumulate primitive.
+	axpy func(dstRe, dstIm, srcRe, srcIm []float64, cr, ci float64)
+
+	// rot4x4: the 2q dense matvec over four spans; m is the row-major 4×4
+	// complex matrix.
+	rot4x4 func(x0r, x0i, x1r, x1i, x2r, x2i, x3r, x3i []float64, m []complex128)
+}
+
+// ops is the installed primitive table. The build-tag arms assign it in
+// init; there is no default, so forgetting an arm is an immediate nil
+// dereference in every test.
+var ops kernelOps
+
+// KernelISA reports which kernel arm this process selected at startup
+// ("span" on default builds, "scalar" under -tags purego). Telemetry and the
+// bench studies record it so artifacts say which arm produced them.
+func KernelISA() string { return ops.name }
+
+// --- scalar arm -------------------------------------------------------------
+//
+// Straight one-element-at-a-time loops: the reference semantics every span
+// implementation must reproduce (same per-element operation order, up to
+// exactly-zero terms the span arm's real-coefficient branches drop), and the
+// bodies the purego build runs everywhere.
+
+func scalarScale(xr, xi []float64, cr, ci float64) {
+	xi = xi[:len(xr)]
+	for i := range xr {
+		r, m := xr[i], xi[i]
+		xr[i] = cr*r - ci*m
+		xi[i] = cr*m + ci*r
+	}
+}
+
+func scalarRot2x2(xr, xi, yr, yi []float64, ar, ai, br, bi, cr, ci, dr, di float64) {
+	n := len(xr)
+	xi, yr, yi = xi[:n], yr[:n], yi[:n]
+	for i := range xr {
+		x, xm := xr[i], xi[i]
+		y, ym := yr[i], yi[i]
+		xr[i] = ar*x - ai*xm + br*y - bi*ym
+		xi[i] = ar*xm + ai*x + br*ym + bi*y
+		yr[i] = cr*x - ci*xm + dr*y - di*ym
+		yi[i] = cr*xm + ci*x + dr*ym + di*y
+	}
+}
+
+func scalarSwap(xr, xi, yr, yi []float64) {
+	n := len(xr)
+	xi, yr, yi = xi[:n], yr[:n], yi[:n]
+	for i := range xr {
+		xr[i], yr[i] = yr[i], xr[i]
+		xi[i], yi[i] = yi[i], xi[i]
+	}
+}
+
+func scalarCross(xr, xi, yr, yi []float64, br, bi, cr, ci float64) {
+	n := len(xr)
+	xi, yr, yi = xi[:n], yr[:n], yi[:n]
+	for i := range xr {
+		x, xm := xr[i], xi[i]
+		y, ym := yr[i], yi[i]
+		xr[i] = br*y - bi*ym
+		xi[i] = br*ym + bi*y
+		yr[i] = cr*x - ci*xm
+		yi[i] = cr*xm + ci*x
+	}
+}
+
+func scalarAxpy(dstRe, dstIm, srcRe, srcIm []float64, cr, ci float64) {
+	n := len(dstRe)
+	dstIm, srcRe, srcIm = dstIm[:n], srcRe[:n], srcIm[:n]
+	for i := range dstRe {
+		sr, si := srcRe[i], srcIm[i]
+		dstRe[i] += cr*sr - ci*si
+		dstIm[i] += cr*si + ci*sr
+	}
+}
+
+func scalarRot4x4(x0r, x0i, x1r, x1i, x2r, x2i, x3r, x3i []float64, m []complex128) {
+	n := len(x0r)
+	x0i, x1r, x1i = x0i[:n], x1r[:n], x1i[:n]
+	x2r, x2i, x3r, x3i = x2r[:n], x2i[:n], x3r[:n], x3i[:n]
+	for i := 0; i < n; i++ {
+		a0 := complex(x0r[i], x0i[i])
+		a1 := complex(x1r[i], x1i[i])
+		a2 := complex(x2r[i], x2i[i])
+		a3 := complex(x3r[i], x3i[i])
+		b0 := m[0]*a0 + m[1]*a1 + m[2]*a2 + m[3]*a3
+		b1 := m[4]*a0 + m[5]*a1 + m[6]*a2 + m[7]*a3
+		b2 := m[8]*a0 + m[9]*a1 + m[10]*a2 + m[11]*a3
+		b3 := m[12]*a0 + m[13]*a1 + m[14]*a2 + m[15]*a3
+		x0r[i], x0i[i] = real(b0), imag(b0)
+		x1r[i], x1i[i] = real(b1), imag(b1)
+		x2r[i], x2i[i] = real(b2), imag(b2)
+		x3r[i], x3i[i] = real(b3), imag(b3)
+	}
+}
+
+// --- span arm ---------------------------------------------------------------
+//
+// Manually 4-wide unrolled bodies over bounds-check-eliminated windows. gc
+// does not auto-vectorize, so the wins here are real but bounded: independent
+// FMA chains per unrolled lane, no complex128 shuffle traffic, pure stride-1
+// loads on both planes. These bodies are also the shape the future assembly
+// kernels replace — same signature, same span contract.
+//
+// Each body starts with a coefficient-shape check: purely real coefficients
+// (Hadamard and every X-basis rotation, CZ's −1, real controlled blocks)
+// drop the cross-plane terms and halve the arithmetic. The check runs once
+// per span, and the dropped terms are exact zeros, so results agree with the
+// scalar arm to the sign of zero.
+
+func spanScale(xr, xi []float64, cr, ci float64) {
+	n := len(xr)
+	xi = xi[:n]
+	i := 0
+	if ci == 0 {
+		if cr == -1 {
+			for ; i+4 <= n; i += 4 {
+				xr[i], xi[i] = -xr[i], -xi[i]
+				xr[i+1], xi[i+1] = -xr[i+1], -xi[i+1]
+				xr[i+2], xi[i+2] = -xr[i+2], -xi[i+2]
+				xr[i+3], xi[i+3] = -xr[i+3], -xi[i+3]
+			}
+			for ; i < n; i++ {
+				xr[i], xi[i] = -xr[i], -xi[i]
+			}
+			return
+		}
+		for ; i+4 <= n; i += 4 {
+			xr[i] *= cr
+			xi[i] *= cr
+			xr[i+1] *= cr
+			xi[i+1] *= cr
+			xr[i+2] *= cr
+			xi[i+2] *= cr
+			xr[i+3] *= cr
+			xi[i+3] *= cr
+		}
+		for ; i < n; i++ {
+			xr[i] *= cr
+			xi[i] *= cr
+		}
+		return
+	}
+	for ; i+4 <= n; i += 4 {
+		r0, m0 := xr[i], xi[i]
+		r1, m1 := xr[i+1], xi[i+1]
+		r2, m2 := xr[i+2], xi[i+2]
+		r3, m3 := xr[i+3], xi[i+3]
+		xr[i] = cr*r0 - ci*m0
+		xi[i] = cr*m0 + ci*r0
+		xr[i+1] = cr*r1 - ci*m1
+		xi[i+1] = cr*m1 + ci*r1
+		xr[i+2] = cr*r2 - ci*m2
+		xi[i+2] = cr*m2 + ci*r2
+		xr[i+3] = cr*r3 - ci*m3
+		xi[i+3] = cr*m3 + ci*r3
+	}
+	for ; i < n; i++ {
+		r, m := xr[i], xi[i]
+		xr[i] = cr*r - ci*m
+		xi[i] = cr*m + ci*r
+	}
+}
+
+func spanRot2x2(xr, xi, yr, yi []float64, ar, ai, br, bi, cr, ci, dr, di float64) {
+	n := len(xr)
+	xi, yr, yi = xi[:n], yr[:n], yi[:n]
+	i := 0
+	if ai == 0 && bi == 0 && ci == 0 && di == 0 {
+		for ; i+2 <= n; i += 2 {
+			x0, xm0 := xr[i], xi[i]
+			y0, ym0 := yr[i], yi[i]
+			x1, xm1 := xr[i+1], xi[i+1]
+			y1, ym1 := yr[i+1], yi[i+1]
+			xr[i] = ar*x0 + br*y0
+			xi[i] = ar*xm0 + br*ym0
+			yr[i] = cr*x0 + dr*y0
+			yi[i] = cr*xm0 + dr*ym0
+			xr[i+1] = ar*x1 + br*y1
+			xi[i+1] = ar*xm1 + br*ym1
+			yr[i+1] = cr*x1 + dr*y1
+			yi[i+1] = cr*xm1 + dr*ym1
+		}
+		for ; i < n; i++ {
+			x, xm := xr[i], xi[i]
+			y, ym := yr[i], yi[i]
+			xr[i] = ar*x + br*y
+			xi[i] = ar*xm + br*ym
+			yr[i] = cr*x + dr*y
+			yi[i] = cr*xm + dr*ym
+		}
+		return
+	}
+	for ; i+2 <= n; i += 2 {
+		x0, xm0 := xr[i], xi[i]
+		y0, ym0 := yr[i], yi[i]
+		x1, xm1 := xr[i+1], xi[i+1]
+		y1, ym1 := yr[i+1], yi[i+1]
+		xr[i] = ar*x0 - ai*xm0 + br*y0 - bi*ym0
+		xi[i] = ar*xm0 + ai*x0 + br*ym0 + bi*y0
+		yr[i] = cr*x0 - ci*xm0 + dr*y0 - di*ym0
+		yi[i] = cr*xm0 + ci*x0 + dr*ym0 + di*y0
+		xr[i+1] = ar*x1 - ai*xm1 + br*y1 - bi*ym1
+		xi[i+1] = ar*xm1 + ai*x1 + br*ym1 + bi*y1
+		yr[i+1] = cr*x1 - ci*xm1 + dr*y1 - di*ym1
+		yi[i+1] = cr*xm1 + ci*x1 + dr*ym1 + di*y1
+	}
+	for ; i < n; i++ {
+		x, xm := xr[i], xi[i]
+		y, ym := yr[i], yi[i]
+		xr[i] = ar*x - ai*xm + br*y - bi*ym
+		xi[i] = ar*xm + ai*x + br*ym + bi*y
+		yr[i] = cr*x - ci*xm + dr*y - di*ym
+		yi[i] = cr*xm + ci*x + dr*ym + di*y
+	}
+}
+
+func spanSwap(xr, xi, yr, yi []float64) {
+	n := len(xr)
+	xi, yr, yi = xi[:n], yr[:n], yi[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		xr[i], yr[i] = yr[i], xr[i]
+		xi[i], yi[i] = yi[i], xi[i]
+		xr[i+1], yr[i+1] = yr[i+1], xr[i+1]
+		xi[i+1], yi[i+1] = yi[i+1], xi[i+1]
+		xr[i+2], yr[i+2] = yr[i+2], xr[i+2]
+		xi[i+2], yi[i+2] = yi[i+2], xi[i+2]
+		xr[i+3], yr[i+3] = yr[i+3], xr[i+3]
+		xi[i+3], yi[i+3] = yi[i+3], xi[i+3]
+	}
+	for ; i < n; i++ {
+		xr[i], yr[i] = yr[i], xr[i]
+		xi[i], yi[i] = yi[i], xi[i]
+	}
+}
+
+func spanCross(xr, xi, yr, yi []float64, br, bi, cr, ci float64) {
+	n := len(xr)
+	xi, yr, yi = xi[:n], yr[:n], yi[:n]
+	i := 0
+	if bi == 0 && ci == 0 {
+		for ; i+2 <= n; i += 2 {
+			x0, xm0 := xr[i], xi[i]
+			x1, xm1 := xr[i+1], xi[i+1]
+			xr[i] = br * yr[i]
+			xi[i] = br * yi[i]
+			yr[i] = cr * x0
+			yi[i] = cr * xm0
+			xr[i+1] = br * yr[i+1]
+			xi[i+1] = br * yi[i+1]
+			yr[i+1] = cr * x1
+			yi[i+1] = cr * xm1
+		}
+		for ; i < n; i++ {
+			x, xm := xr[i], xi[i]
+			xr[i] = br * yr[i]
+			xi[i] = br * yi[i]
+			yr[i] = cr * x
+			yi[i] = cr * xm
+		}
+		return
+	}
+	for ; i+2 <= n; i += 2 {
+		x0, xm0 := xr[i], xi[i]
+		y0, ym0 := yr[i], yi[i]
+		x1, xm1 := xr[i+1], xi[i+1]
+		y1, ym1 := yr[i+1], yi[i+1]
+		xr[i] = br*y0 - bi*ym0
+		xi[i] = br*ym0 + bi*y0
+		yr[i] = cr*x0 - ci*xm0
+		yi[i] = cr*xm0 + ci*x0
+		xr[i+1] = br*y1 - bi*ym1
+		xi[i+1] = br*ym1 + bi*y1
+		yr[i+1] = cr*x1 - ci*xm1
+		yi[i+1] = cr*xm1 + ci*x1
+	}
+	for ; i < n; i++ {
+		x, xm := xr[i], xi[i]
+		y, ym := yr[i], yi[i]
+		xr[i] = br*y - bi*ym
+		xi[i] = br*ym + bi*y
+		yr[i] = cr*x - ci*xm
+		yi[i] = cr*xm + ci*x
+	}
+}
+
+func spanAxpy(dstRe, dstIm, srcRe, srcIm []float64, cr, ci float64) {
+	n := len(dstRe)
+	dstIm, srcRe, srcIm = dstIm[:n], srcRe[:n], srcIm[:n]
+	i := 0
+	if ci == 0 {
+		for ; i+4 <= n; i += 4 {
+			dstRe[i] += cr * srcRe[i]
+			dstIm[i] += cr * srcIm[i]
+			dstRe[i+1] += cr * srcRe[i+1]
+			dstIm[i+1] += cr * srcIm[i+1]
+			dstRe[i+2] += cr * srcRe[i+2]
+			dstIm[i+2] += cr * srcIm[i+2]
+			dstRe[i+3] += cr * srcRe[i+3]
+			dstIm[i+3] += cr * srcIm[i+3]
+		}
+		for ; i < n; i++ {
+			dstRe[i] += cr * srcRe[i]
+			dstIm[i] += cr * srcIm[i]
+		}
+		return
+	}
+	for ; i+4 <= n; i += 4 {
+		s0, t0 := srcRe[i], srcIm[i]
+		s1, t1 := srcRe[i+1], srcIm[i+1]
+		s2, t2 := srcRe[i+2], srcIm[i+2]
+		s3, t3 := srcRe[i+3], srcIm[i+3]
+		dstRe[i] += cr*s0 - ci*t0
+		dstIm[i] += cr*t0 + ci*s0
+		dstRe[i+1] += cr*s1 - ci*t1
+		dstIm[i+1] += cr*t1 + ci*s1
+		dstRe[i+2] += cr*s2 - ci*t2
+		dstIm[i+2] += cr*t2 + ci*s2
+		dstRe[i+3] += cr*s3 - ci*t3
+		dstIm[i+3] += cr*t3 + ci*s3
+	}
+	for ; i < n; i++ {
+		s, t := srcRe[i], srcIm[i]
+		dstRe[i] += cr*s - ci*t
+		dstIm[i] += cr*t + ci*s
+	}
+}

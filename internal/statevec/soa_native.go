@@ -1,0 +1,44 @@
+//go:build !purego
+
+package statevec
+
+import "unsafe"
+
+// Default arm: the unrolled span primitives plus 64-byte aligned plane
+// allocation, so the contiguous runs the kernels hand to the table start on
+// cache-line (and future AVX-512 register) boundaries.
+
+// nativeSpanMin is the run length at which span dispatch beats the inlined
+// scalar loop: below it, the call through the function pointer costs more
+// than the unrolling saves.
+const nativeSpanMin = 8
+
+func init() {
+	ops = kernelOps{
+		name:    "span",
+		spanMin: nativeSpanMin,
+		scale:   spanScale,
+		rot2x2:  spanRot2x2,
+		swap:    spanSwap,
+		cross:   spanCross,
+		axpy:    spanAxpy,
+		rot4x4:  scalarRot4x4,
+	}
+}
+
+// alignedFloats returns a zeroed n-element slice whose first element sits on
+// a 64-byte boundary. It over-allocates by one cache line and re-slices; the
+// returned slice points into the padded array, which keeps it live.
+func alignedFloats(n int) []float64 {
+	if n == 0 {
+		return []float64{}
+	}
+	const line = 64
+	buf := make([]float64, n+line/8)
+	addr := uintptr(unsafe.Pointer(unsafe.SliceData(buf)))
+	off := 0
+	if rem := addr % line; rem != 0 {
+		off = int((line - rem) / 8)
+	}
+	return buf[off : off+n : off+n]
+}

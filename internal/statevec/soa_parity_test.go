@@ -1,0 +1,340 @@
+package statevec
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"hsfsim/internal/cmat"
+	"hsfsim/internal/gate"
+)
+
+// SoA parity suite: every Vector kernel arm against the State (interleaved
+// complex128) kernels, which kernel_parity_test.go in turn pins against the
+// naive embedded matvec. The suite runs identically under the default (span)
+// and `-tags purego` (scalar) arms — CI runs both — so the two dispatch
+// paths are held to the same 1e-12 bound.
+
+// checkSoAParity applies g to the same random state through both layouts and
+// compares amplitudes.
+func checkSoAParity(t *testing.T, rng *rand.Rand, g *gate.Gate, n int) {
+	t.Helper()
+	s := randomState(rng, n)
+	want := s.Clone()
+	want.ApplyGate(g)
+	v := FromComplex(s)
+	v.ApplyGate(g)
+	for i := range want {
+		if cmplx.Abs(v.Amplitude(i)-want[i]) > parityTol {
+			t.Fatalf("%s on %v [%s arm]: amplitude %d: got %v want %v",
+				g.Name, g.Qubits, KernelISA(), i, v.Amplitude(i), want[i])
+		}
+	}
+}
+
+// TestSoAKernel1Parity sweeps the five single-qubit arms over every qubit
+// position of the register, so both the scalar fallback (low qubits, runs
+// shorter than spanMin) and the span path (high qubits) are exercised.
+func TestSoAKernel1Parity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 9
+	for q := 0; q < n; q++ {
+		for iter := 0; iter < 5; iter++ {
+			gates := []gate.Gate{
+				gate.P(rng.Float64()*6, q),
+				gate.RZ(rng.Float64()*6, q),
+				gate.X(q),
+				func() gate.Gate {
+					m := cmat.New(2, 2)
+					m.Set(1, 0, randPhase(rng))
+					m.Set(0, 1, randPhase(rng))
+					return gate.New("pp", m, nil, q)
+				}(),
+				gate.New("u", randUnitary(rng, 2), nil, q),
+			}
+			for i := range gates {
+				checkSoAParity(t, rng, &gates[i], n)
+			}
+		}
+	}
+}
+
+// TestSoAKernel2Parity sweeps the two-qubit arms over ordered and swapped
+// qubit pairs including adjacent low pairs (pure scalar), mixed (one span
+// boundary), and high pairs (full span path).
+func TestSoAKernel2Parity(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const n = 9
+	pairs := [][2]int{{0, 1}, {1, 0}, {0, n - 1}, {n - 1, 0}, {4, 7}, {n - 2, n - 1}}
+	for iter := 0; iter < 8; iter++ {
+		p := rng.Perm(n)
+		pairs = append(pairs, [2]int{p[0], p[1]})
+	}
+	for _, pr := range pairs {
+		q0, q1 := pr[0], pr[1]
+		gates := []gate.Gate{
+			randDiagGate(rng, 0, q0, q1),
+			randDiagGate(rng, 1, q0, q1),
+			randDiagGate(rng, 2, q0, q1),
+			randDiagGate(rng, 3, q0, q1),
+			gate.CNOT(q0, q1),
+			gate.SWAP(q0, q1),
+			gate.ISWAP(q0, q1),
+			randPermGate(rng, false, q0, q1),
+			randPermGate(rng, true, q0, q1),
+			randCtrlGate(rng, 1, q0, q1),
+			randCtrlGate(rng, 2, q0, q1),
+			gate.New("u4", randUnitary(rng, 4), nil, q0, q1),
+		}
+		for i := range gates {
+			checkSoAParity(t, rng, &gates[i], n)
+		}
+	}
+}
+
+// TestSoAKernelKParity sweeps every k-qubit plan kind — diagonal, controlled
+// diagonal, (phase-)permutation, controlled, sparse, dense — at k=3..5,
+// through both the on-the-fly and the prepared (cached-plan) paths.
+func TestSoAKernelKParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 10
+	for _, k := range []int{3, 4, 5} {
+		iters := 8
+		if k == 5 {
+			iters = 3 // 32×32 dense matvec; keep runtime bounded
+		}
+		for iter := 0; iter < iters; iter++ {
+			perm := rng.Perm(n)
+			qs := append([]int(nil), perm[:k]...)
+			kdim := 1 << k
+			gates := []gate.Gate{
+				randDiagGate(rng, 0, qs...),
+				randDiagGate(rng, 1<<rng.Intn(k), qs...),
+				randDiagGate(rng, kdim-1, qs...),
+				randPermGate(rng, false, qs...),
+				randPermGate(rng, true, qs...),
+				randCtrlGate(rng, 1, qs...),
+				randCtrlGate(rng, (kdim-1)&^2, qs...),
+				randSparseGate(rng, qs...),
+				gate.New(fmt.Sprintf("dense%d", k), randUnitary(rng, kdim), nil, qs...),
+			}
+			for i := range gates {
+				checkSoAParity(t, rng, &gates[i], n)
+				PrepareGate(&gates[i])
+				checkSoAParity(t, rng, &gates[i], n)
+			}
+		}
+	}
+}
+
+// TestSoAParityParallel reruns a kernel zoo on a state crossing
+// parallelThreshold, exercising the chunked parallelRange path of the Vector
+// kernels.
+func TestSoAParityParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state")
+	}
+	rng := rand.New(rand.NewSource(24))
+	const n = 16
+	gates := []gate.Gate{
+		gate.P(0.8, 13),
+		gate.RZ(0.4, 2),
+		gate.X(11),
+		gate.Y(6),
+		gate.H(15),
+		gate.CZ(3, 14),
+		gate.CRZ(1.2, 0, 12),
+		gate.CNOT(15, 0),
+		gate.SWAP(1, 13),
+		gate.ISWAP(5, 11),
+		randCtrlGate(rng, 2, 1, 12),
+		gate.New("u4", randUnitary(rng, 4), nil, 9, 2),
+		gate.CCX(4, 10, 15),
+		gate.CCZ(0, 7, 13),
+		randSparseGate(rng, 3, 9, 15),
+		gate.New("dense3", randUnitary(rng, 8), nil, 6, 1, 11),
+	}
+	PrepareGates(gates)
+	s := randomState(rng, n)
+	want := s.Clone()
+	want.ApplyAll(gates)
+	v := FromComplex(s)
+	v.ApplyAll(gates)
+	for i := range want {
+		if cmplx.Abs(v.Amplitude(i)-want[i]) > parityTol {
+			t.Fatalf("amplitude %d: got %v want %v", i, v.Amplitude(i), want[i])
+		}
+	}
+}
+
+// TestSoAApplyInlineMatchesApplyGate checks the Vector segment-sweep entry
+// point (shared scratch, no parallel split) against the standard dispatcher.
+func TestSoAApplyInlineMatchesApplyGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	const n = 8
+	gates := []gate.Gate{
+		gate.H(0),
+		gate.CNOT(0, 5),
+		gate.CCX(1, 3, 6),
+		randSparseGate(rng, 2, 4, 7),
+		gate.New("dense3", randUnitary(rng, 8), nil, 0, 2, 5),
+	}
+	PrepareGates(gates)
+	s := randomState(rng, n)
+	want := FromComplex(s)
+	want.ApplyAll(gates)
+	got := FromComplex(s)
+	_, scratch := getScratch(16)
+	for i := range gates {
+		got.applyInline(&gates[i], scratch)
+	}
+	got2 := FromComplex(s)
+	for i := range gates {
+		got2.applyInline(&gates[i], nil) // nil scratch borrows from the pool
+	}
+	if d := MaxAbsDiffVec(got, want); d > parityTol {
+		t.Fatalf("inline diverges from dispatch: max diff %g", d)
+	}
+	if d := MaxAbsDiffVec(got2, want); d > parityTol {
+		t.Fatalf("pooled inline diverges from dispatch: max diff %g", d)
+	}
+}
+
+// TestSoAPreparedKernelZeroAllocs: sequential Vector application of every
+// prepared kernel kind must not allocate — the dense HSF walker applies
+// every per-path gate through these kernels.
+func TestSoAPreparedKernelZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	const n = 10 // below parallelThreshold: sequential dispatch
+	gates := []gate.Gate{
+		gate.P(0.3, 4),
+		gate.X(1),
+		gate.Y(8),
+		gate.CZ(2, 8),
+		gate.CNOT(0, 9),
+		gate.SWAP(3, 9),
+		gate.CRX(0.5, 3, 7),
+		gate.New("u4", randUnitary(rng, 4), nil, 2, 9),
+		randDiagGate(rng, 0, 1, 4, 6),
+		gate.CCZ(0, 4, 9),
+		gate.CCX(1, 5, 8),
+		randCtrlGate(rng, 1, 2, 6, 9),
+		randSparseGate(rng, 0, 3, 7),
+		gate.New("dense3", randUnitary(rng, 8), nil, 2, 5, 8),
+	}
+	PrepareGates(gates)
+	v := FromComplex(randomState(rng, n))
+	v.ApplyAll(gates) // warm the scratch pool
+	for i := range gates {
+		g := &gates[i]
+		allocs := testing.AllocsPerRun(20, func() { v.ApplyGate(g) })
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", g.Name, allocs)
+		}
+	}
+}
+
+// TestAccumulateKronParity pins the SoA leaf accumulate (and its interleaved
+// edge-converting variant) against the naive complex tensor accumulation,
+// including a truncated accumulator (MaxAmplitudes cutting mid-block).
+func TestAccumulateKronParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	const nLower, nUpper = 4, 3
+	lo := randomState(rng, nLower)
+	up := randomState(rng, nUpper)
+	for _, m := range []int{1 << (nLower + nUpper), 100, 1 << nLower, 7} {
+		coeff := complex(rng.NormFloat64(), rng.NormFloat64())
+		want := make([]complex128, m)
+		for i := range want {
+			want[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		accSoA := FromComplex(want)
+		accCpx := FromComplex(want)
+		for x := 0; x < m; x++ {
+			want[x] += coeff * up[x>>nLower] * lo[x&(1<<nLower-1)]
+		}
+		AccumulateKron(accSoA, coeff, FromComplex(up), FromComplex(lo), nLower)
+		AccumulateKronComplex(accCpx, coeff, up, lo, nLower)
+		for i := range want {
+			if cmplx.Abs(accSoA.Amplitude(i)-want[i]) > parityTol {
+				t.Fatalf("m=%d AccumulateKron amplitude %d: got %v want %v", m, i, accSoA.Amplitude(i), want[i])
+			}
+			if cmplx.Abs(accCpx.Amplitude(i)-want[i]) > parityTol {
+				t.Fatalf("m=%d AccumulateKronComplex amplitude %d: got %v want %v", m, i, accCpx.Amplitude(i), want[i])
+			}
+		}
+	}
+}
+
+// TestVectorConversionRoundTrip pins the compatibility API: FromComplex /
+// ToComplex / CopyToComplex / AddToComplex / Amplitude agree with the
+// interleaved representation exactly (conversion must be lossless, not just
+// 1e-12-close).
+func TestVectorConversionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	s := randomState(rng, 6)
+	v := FromComplex(s)
+	if v.Len() != len(s) || v.NumQubits() != 6 {
+		t.Fatalf("Len/NumQubits = %d/%d, want %d/6", v.Len(), v.NumQubits(), len(s))
+	}
+	back := v.ToComplex()
+	for i := range s {
+		if back[i] != s[i] || v.Amplitude(i) != s[i] {
+			t.Fatalf("amplitude %d: round trip %v, Amplitude %v, want %v", i, back[i], v.Amplitude(i), s[i])
+		}
+	}
+	dst := make([]complex128, len(s))
+	v.CopyToComplex(dst)
+	acc := make([]complex128, len(s))
+	copy(acc, s)
+	v.AddToComplex(acc)
+	for i := range s {
+		if dst[i] != s[i] || acc[i] != s[i]+s[i] {
+			t.Fatalf("amplitude %d: copy %v add %v, want %v / %v", i, dst[i], acc[i], s[i], s[i]+s[i])
+		}
+	}
+	v.SetAmplitude(3, 2+3i)
+	if v.Amplitude(3) != 2+3i {
+		t.Fatalf("SetAmplitude: got %v", v.Amplitude(3))
+	}
+	if got, want := v.Probability(3), 13.0; got != want {
+		t.Fatalf("Probability = %v, want %v", got, want)
+	}
+}
+
+// TestVectorSchmidtMatchesState: the Vector entanglement diagnostics agree
+// with the State implementations on the same state.
+func TestVectorSchmidtMatchesState(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	s := randomState(rng, 6)
+	v := FromComplex(s)
+	for cut := 1; cut < 6; cut++ {
+		specS, err := s.SchmidtSpectrum(cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specV, err := v.SchmidtSpectrum(cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range specS {
+			if d := specS[i] - specV[i]; d > parityTol || d < -parityTol {
+				t.Fatalf("cut %d singular value %d: %v vs %v", cut, i, specS[i], specV[i])
+			}
+		}
+		eS, _ := s.EntanglementEntropy(cut)
+		eV, _ := v.EntanglementEntropy(cut)
+		if d := eS - eV; d > parityTol || d < -parityTol {
+			t.Fatalf("cut %d entropy: %v vs %v", cut, eS, eV)
+		}
+		rS, _ := s.SchmidtRank(cut, 0)
+		rV, _ := v.SchmidtRank(cut, 0)
+		if rS != rV {
+			t.Fatalf("cut %d rank: %d vs %d", cut, rS, rV)
+		}
+	}
+	if _, err := v.SchmidtSpectrum(0); err == nil {
+		t.Fatal("degenerate bipartition accepted")
+	}
+}

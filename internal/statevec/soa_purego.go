@@ -1,0 +1,26 @@
+//go:build purego
+
+package statevec
+
+// Fallback arm (`-tags purego`): every primitive is the plain scalar
+// reference body, spanMin=0 disables span dispatch entirely so the kernels
+// run their inline scalar fallback loops, and allocation needs no alignment
+// because nothing assumes it. This arm is the portability floor and the
+// semantics oracle the parity suite pins the span arm against.
+
+func init() {
+	ops = kernelOps{
+		name:    "scalar",
+		spanMin: 0,
+		scale:   scalarScale,
+		rot2x2:  scalarRot2x2,
+		swap:    scalarSwap,
+		cross:   scalarCross,
+		axpy:    scalarAxpy,
+		rot4x4:  scalarRot4x4,
+	}
+}
+
+func alignedFloats(n int) []float64 {
+	return make([]float64, n)
+}

@@ -2,6 +2,11 @@
 // full 2^n amplitude array with in-place k-qubit gate application. It is the
 // kernel shared by the Schrödinger baseline and the per-path subcircuit
 // simulations of the HSF engine, mirroring the role qsim plays in the paper.
+//
+// The canonical amplitude layout is Vector — split real/imag float64 planes
+// (SoA) driven by the startup-selected span kernels in soa.go — while State
+// ([]complex128, AoS) remains as the boundary representation and reference
+// implementation. See DESIGN.md § "Amplitude layout".
 package statevec
 
 import (
@@ -12,6 +17,13 @@ import (
 
 // State is a quantum statevector with 2^n amplitudes for an n-qubit register.
 // Amplitude index bit k is the value of qubit k (qubit 0 least significant).
+//
+// State is the interleaved-complex (AoS) compatibility representation: the
+// execution engine stores amplitudes as split real/imag planes (Vector) and
+// only converts at public boundaries (FromComplex/Vector.ToComplex). Direct
+// indexing of a State is deprecated outside those edges and the parity
+// oracles — new hot-path code should operate on Vector so it reaches the
+// span kernel dispatch; use Vector.Amplitude/SetAmplitude for point access.
 type State []complex128
 
 // NewState returns the all-zeros computational basis state |0...0> on n

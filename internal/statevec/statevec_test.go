@@ -374,3 +374,33 @@ func BenchmarkApplyDiagonalQ20(b *testing.B) {
 		s.ApplyGate(&g)
 	}
 }
+
+// SoA counterparts of the three State benchmarks above: same gates, same
+// size, split-plane layout through the selected dispatch arm.
+
+func BenchmarkApplyVec1Q20(b *testing.B) {
+	v := NewVector(20)
+	g := gate.H(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.ApplyGate(&g)
+	}
+}
+
+func BenchmarkApplyVec2Q20(b *testing.B) {
+	v := NewVector(20)
+	g := gate.CNOT(3, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.ApplyGate(&g)
+	}
+}
+
+func BenchmarkApplyVecDiagonalQ20(b *testing.B) {
+	v := NewVector(20)
+	g := gate.RZZ(0.4, 3, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.ApplyGate(&g)
+	}
+}

@@ -1,0 +1,235 @@
+package statevec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a statevector in split real/imaginary (structure-of-arrays)
+// layout: amplitude i is complex(Re[i], Im[i]). This is the canonical storage
+// of every hot path — the Schrödinger baseline, the HSF dense backend, the
+// path-tree accumulators — because stride-1 sweeps over two flat []float64
+// arrays are what the gate kernels (and the Go-assembly kernels planned
+// behind the same seam) vectorize over; the interleaved State layout defeats
+// that.
+//
+// The two slices always have equal length. Vector is a pair of slice
+// headers: copying a Vector aliases the same storage, exactly like a slice.
+// Conversions to and from the interleaved []complex128 layout happen only at
+// API edges (FromComplex/ToComplex, the checkpoint encoder, Result
+// amplitudes), never inside kernels.
+type Vector struct {
+	Re, Im []float64
+}
+
+// MakeVector returns a zeroed n-amplitude vector. The backing arrays are
+// 64-byte aligned on builds that support it (see alignedFloats), so SIMD
+// kernels can assume aligned loads on both planes.
+func MakeVector(n int) Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("statevec: invalid vector length %d", n))
+	}
+	return Vector{Re: alignedFloats(n), Im: alignedFloats(n)}
+}
+
+// NewVector returns the all-zeros computational basis state |0...0> on n
+// qubits in SoA layout — the Vector analogue of NewState.
+func NewVector(nQubits int) Vector {
+	if nQubits < 0 || nQubits > 62 {
+		panic(fmt.Sprintf("statevec: invalid qubit count %d", nQubits))
+	}
+	v := MakeVector(1 << nQubits)
+	v.Re[0] = 1
+	return v
+}
+
+// FromComplex converts an interleaved amplitude slice into a freshly
+// allocated SoA vector. It is the inbound edge conversion: call it once at an
+// API boundary, not inside a loop.
+func FromComplex(s []complex128) Vector {
+	v := MakeVector(len(s))
+	v.CopyFromComplex(s)
+	return v
+}
+
+// Len returns the number of amplitudes.
+func (v Vector) Len() int { return len(v.Re) }
+
+// NumQubits returns n for a vector of length 2^n.
+func (v Vector) NumQubits() int {
+	n := 0
+	for 1<<n < len(v.Re) {
+		n++
+	}
+	return n
+}
+
+// Amplitude returns amplitude i as a complex128. This is the element-access
+// compatibility API; kernels never use it — they sweep the planes directly.
+func (v Vector) Amplitude(i int) complex128 {
+	return complex(v.Re[i], v.Im[i])
+}
+
+// SetAmplitude stores a into amplitude i.
+func (v Vector) SetAmplitude(i int, a complex128) {
+	v.Re[i] = real(a)
+	v.Im[i] = imag(a)
+}
+
+// Clear zeroes every amplitude in place.
+func (v Vector) Clear() {
+	clear(v.Re)
+	clear(v.Im)
+}
+
+// SetBasis resets v to |0...0> in place.
+func (v Vector) SetBasis() {
+	v.Clear()
+	v.Re[0] = 1
+}
+
+// Clone returns an independent copy.
+func (v Vector) Clone() Vector {
+	c := MakeVector(v.Len())
+	c.CopyFrom(v)
+	return c
+}
+
+// CopyFrom copies u's amplitudes into v (lengths must match).
+func (v Vector) CopyFrom(u Vector) {
+	copy(v.Re, u.Re)
+	copy(v.Im, u.Im)
+}
+
+// Slice returns the sub-vector of amplitudes [lo, hi), sharing storage —
+// the Vector analogue of s[lo:hi]. Cache-blocked segment sweeps tile with it.
+func (v Vector) Slice(lo, hi int) Vector {
+	return Vector{Re: v.Re[lo:hi], Im: v.Im[lo:hi]}
+}
+
+// CopyFromComplex fills v from an interleaved slice of the same length.
+func (v Vector) CopyFromComplex(s []complex128) {
+	re, im := v.Re, v.Im
+	if len(s) != len(re) {
+		panic("statevec: CopyFromComplex length mismatch")
+	}
+	for i, a := range s {
+		re[i] = real(a)
+		im[i] = imag(a)
+	}
+}
+
+// ToComplex converts v into a freshly allocated interleaved State. It is the
+// outbound edge conversion (Result amplitudes, checkpoint encoding).
+func (v Vector) ToComplex() State {
+	s := make(State, v.Len())
+	v.CopyToComplex(s)
+	return s
+}
+
+// CopyToComplex interleaves v into dst (lengths must match).
+func (v Vector) CopyToComplex(dst []complex128) {
+	re, im := v.Re, v.Im
+	if len(dst) != len(re) {
+		panic("statevec: CopyToComplex length mismatch")
+	}
+	for i := range dst {
+		dst[i] = complex(re[i], im[i])
+	}
+}
+
+// AddToComplex adds v's amplitudes into dst: dst[i] += v[i]. The engine uses
+// it to merge a worker's SoA scratch accumulator into the interleaved
+// checkpoint accumulator at the merge (edge) boundary.
+func (v Vector) AddToComplex(dst []complex128) {
+	re, im := v.Re, v.Im
+	if len(dst) != len(re) {
+		panic("statevec: AddToComplex length mismatch")
+	}
+	for i := range dst {
+		dst[i] += complex(re[i], im[i])
+	}
+}
+
+// Norm returns the 2-norm of the vector.
+func (v Vector) Norm() float64 {
+	var sum float64
+	re, im := v.Re, v.Im
+	im = im[:len(re)]
+	for i, r := range re {
+		sum += r*r + im[i]*im[i]
+	}
+	return math.Sqrt(sum)
+}
+
+// Probability returns |v[i]|².
+func (v Vector) Probability(i int) float64 {
+	return v.Re[i]*v.Re[i] + v.Im[i]*v.Im[i]
+}
+
+// MaxAbsDiffVec returns max_i |a[i]-b[i]| for two vectors of equal length.
+func MaxAbsDiffVec(a, b Vector) float64 {
+	if a.Len() != b.Len() {
+		panic("statevec: MaxAbsDiffVec dimension mismatch")
+	}
+	var d float64
+	for i := range a.Re {
+		dr := a.Re[i] - b.Re[i]
+		di := a.Im[i] - b.Im[i]
+		if e := math.Hypot(dr, di); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// AccumulateKron adds coeff · (up ⊗ lo) to the first acc.Len() amplitudes of
+// acc: acc[a<<nLower|b] += coeff·up[a]·lo[b]. This is the HSF leaf-sweep hot
+// loop — per upper amplitude one stride-1 complex AXPY over the lower
+// partition, dispatched through the SoA kernel table.
+func AccumulateKron(acc Vector, coeff complex128, up, lo Vector, nLower int) {
+	m := acc.Len()
+	dimLo := 1 << nLower
+	cr, ci := real(coeff), imag(coeff)
+	for x0 := 0; x0 < m; x0 += dimLo {
+		upr, upi := up.Re[x0>>nLower], up.Im[x0>>nLower]
+		ur := cr*upr - ci*upi
+		ui := cr*upi + ci*upr
+		if ur == 0 && ui == 0 {
+			continue
+		}
+		end := x0 + dimLo
+		if end > m {
+			end = m
+		}
+		n := end - x0
+		ops.axpy(acc.Re[x0:end], acc.Im[x0:end], lo.Re[:n], lo.Im[:n], ur, ui)
+	}
+}
+
+// AccumulateKronComplex is AccumulateKron with interleaved up/lo factors. The
+// DD backend expands leaves into complex scratch buffers (the decision
+// diagram's natural output) and folds them into the SoA accumulator through
+// this edge conversion without materializing SoA copies.
+func AccumulateKronComplex(acc Vector, coeff complex128, up, lo []complex128, nLower int) {
+	m := acc.Len()
+	dimLo := 1 << nLower
+	for x0 := 0; x0 < m; x0 += dimLo {
+		u := coeff * up[x0>>nLower]
+		if u == 0 {
+			continue
+		}
+		ur, ui := real(u), imag(u)
+		end := x0 + dimLo
+		if end > m {
+			end = m
+		}
+		accRe, accIm := acc.Re[x0:end], acc.Im[x0:end]
+		block := lo[:end-x0]
+		for i, lv := range block {
+			lr, li := real(lv), imag(lv)
+			accRe[i] += ur*lr - ui*li
+			accIm[i] += ur*li + ui*lr
+		}
+	}
+}

@@ -37,7 +37,7 @@ func TestSchrodingerSegmentZeroAllocs(t *testing.T) {
 		t.Fatal("fusion produced no k≥3 gates; the guard would not exercise kernel plans")
 	}
 	seg := statevec.CompileSegment(gates, n)
-	s := statevec.NewState(n)
+	s := statevec.NewVector(n)
 	seg.Apply(s) // warm the scratch pool
 	allocs := testing.AllocsPerRun(10, func() { seg.Apply(s) })
 	if allocs != 0 {
