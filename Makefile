@@ -98,13 +98,13 @@ bench-kernels:
 bench-telemetry:
 	$(GO) run ./cmd/benchcore -study telemetry -o BENCH_telemetry.json
 
-# Quick kernel-bench smoke under GOAMD64=v3 (FMA/AVX2-era instruction
-# selection): one benchtime iteration over the statevec kernels to confirm
-# the span dispatch arm builds and runs with the wider instruction set CI's
-# default GOAMD64=v1 never exercises. Harmless on non-amd64 (the variable is
-# ignored).
+# Quick kernel-bench smoke: one benchtime iteration over the statevec
+# kernels under the best arm runtime dispatch selects (avx2/neon where the
+# CPU has it). The old GOAMD64=v3 override is obsolete — the hand-written
+# assembly arms carry the AVX2/FMA (and NEON) code on every build, and
+# HSFSIM_KERNEL_ISA forces a weaker arm when needed.
 bench-smoke:
-	GOAMD64=v3 $(GO) test -run=NONE -bench='Apply|Kernel|Segment' -benchtime=1x ./internal/statevec/
+	$(GO) test -run=NONE -bench='Apply|Kernel|Segment' -benchtime=1x ./internal/statevec/
 
 # Job-service serving study: N concurrent same-circuit jobs through the
 # manager (plan cache + batching) vs. fingerprint-distinct submissions, with

@@ -61,7 +61,11 @@ type report struct {
 func main() {
 	out := flag.String("o", "", "output file (- for stdout; default BENCH_<study>.json)")
 	study := flag.String("study", "core", "study to run: core | kernels | telemetry | serving")
+	isa := flag.String("kernel-isa", "", "force a kernel ISA for the whole run: scalar|span|avx2|neon (default: best available; equivalent to "+statevec.EnvKernelISA+")")
 	flag.Parse()
+	if *isa != "" {
+		fail(statevec.SelectKernelISA(*isa))
+	}
 
 	var rep any
 	switch *study {
@@ -187,19 +191,25 @@ func coreBenchmarks() []coreResult {
 // fallback on the same gate and state size, in both amplitude layouts:
 // spec_ns_per_op is the interleaved complex128 (AoS) kernel retained on
 // State, soa_ns_per_op the split real/imag (SoA) kernel on Vector — the
-// layout the engine actually runs — and aos_over_soa their ratio (> 1 means
-// the SoA layout is faster).
+// layout the engine actually runs, under the installed kernel arm — and
+// aos_over_soa their ratio (> 1 means the SoA layout is faster).
+// arm_ns_per_op re-measures the SoA side once per available kernel arm
+// (scalar, span, and the assembly arm when the CPU has it), and
+// simd_over_span is the assembly arm's gain over the unrolled-Go span arm —
+// the headline per-row number for the SIMD work.
 type kernelRow struct {
-	Name            string  `json:"name"`
-	Qubits          int     `json:"qubits"`
-	Class           string  `json:"class"`
-	SpecNsPerOp     float64 `json:"spec_ns_per_op"`
-	SoANsPerOp      float64 `json:"soa_ns_per_op"`
-	DenseNsPerOp    float64 `json:"dense_ns_per_op"`
-	Speedup         float64 `json:"speedup"`
-	AoSOverSoA      float64 `json:"aos_over_soa"`
-	SpecAllocsPerOp int64   `json:"spec_allocs_per_op"`
-	SoAAllocsPerOp  int64   `json:"soa_allocs_per_op"`
+	Name            string             `json:"name"`
+	Qubits          int                `json:"qubits"`
+	Class           string             `json:"class"`
+	SpecNsPerOp     float64            `json:"spec_ns_per_op"`
+	SoANsPerOp      float64            `json:"soa_ns_per_op"`
+	DenseNsPerOp    float64            `json:"dense_ns_per_op"`
+	Speedup         float64            `json:"speedup"`
+	AoSOverSoA      float64            `json:"aos_over_soa"`
+	ArmNsPerOp      map[string]float64 `json:"arm_ns_per_op,omitempty"`
+	SIMDOverSpan    float64            `json:"simd_over_span,omitempty"`
+	SpecAllocsPerOp int64              `json:"spec_allocs_per_op"`
+	SoAAllocsPerOp  int64              `json:"soa_allocs_per_op"`
 }
 
 type kernelReport struct {
@@ -210,8 +220,43 @@ type kernelReport struct {
 	Timestamp  time.Time    `json:"timestamp"`
 	TileQubits int          `json:"tile_qubits"`
 	KernelISA  string       `json:"kernel_isa"`
+	KernelISAs []string     `json:"kernel_isas"`
 	Kernels    []kernelRow  `json:"kernels"`
 	EndToEnd   []coreResult `json:"end_to_end"`
+}
+
+// perArm evaluates measure once per available kernel arm, best-first,
+// restoring the installed arm afterwards. It returns the per-arm timings
+// plus the installed arm's (ns, allocs) pair, so callers get their headline
+// soa columns from the same measurement.
+func perArm(measure func() (float64, int64)) (arm map[string]float64, ns float64, allocs int64) {
+	orig := statevec.KernelISA()
+	defer func() { fail(statevec.SelectKernelISA(orig)) }()
+	arm = make(map[string]float64)
+	for _, name := range statevec.KernelISAs() {
+		fail(statevec.SelectKernelISA(name))
+		n, a := measure()
+		arm[name] = n
+		if name == orig {
+			ns, allocs = n, a
+		}
+	}
+	return arm, ns, allocs
+}
+
+// simdOverSpan extracts the assembly arm's gain over the span arm from a
+// per-arm timing map; 0 when either side is missing.
+func simdOverSpan(arm map[string]float64) float64 {
+	span, ok := arm["span"]
+	if !ok {
+		return 0
+	}
+	for _, simd := range []string{"avx2", "neon"} {
+		if ns, ok := arm[simd]; ok && ns > 0 {
+			return span / ns
+		}
+	}
+	return 0
 }
 
 // strippedDense clones g, erases its structure classification, and forces the
@@ -236,6 +281,23 @@ func ccrx(theta float64, c0, c1, t int) gate.Gate {
 	m.Set(7, 3, nisin)
 	m.Set(7, 7, cos)
 	return gate.New("ccrx", m, []float64{theta}, c0, c1, t)
+}
+
+// u4 builds an unstructured dense two-qubit unitary — kron(RX(θ), RY(φ)),
+// whose 16 entries are all nonzero with no diagonal, permutation, or control
+// structure — so its kernel is the dense 2q matvec (the rot4x4 span
+// primitive). This is the dedicated before/after row for the rot4x4 slot,
+// which ran through the scalar body before the span/SIMD bodies landed.
+func u4(q0, q1 int) gate.Gate {
+	rx := gate.RX(0.7, 0).Matrix
+	ry := gate.RY(1.1, 0).Matrix
+	m := cmat.New(4, 4)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			m.Set(r, c, rx.At(r>>1, c>>1)*ry.At(r&1, c&1))
+		}
+	}
+	return gate.New("u4", m, nil, q0, q1)
 }
 
 // sparse3 builds a multiplexed single-qubit rotation: a different 2×2 block
@@ -286,6 +348,7 @@ func kernelStudy() *kernelReport {
 		Timestamp:  time.Now().UTC(),
 		TileQubits: statevec.DefaultTileQubits,
 		KernelISA:  statevec.KernelISA(),
+		KernelISAs: statevec.KernelISAs(),
 	}
 	for _, n := range []int{16, 20} {
 		s := statevec.NewState(n)
@@ -314,13 +377,16 @@ func kernelStudy() *kernelReport {
 			{"ccx-3q", gate.CCX(a, b, c)},
 			{"ccrx-3q", ccrx(0.7, a, b, c)},
 			{"muxrot-3q", sparse3(a, b, c)},
+			{"u4-2q", u4(a, c)},
 		}
 		for i := range gates {
 			spec := gates[i].g
 			statevec.PrepareGate(&spec)
 			den := strippedDense(&spec)
 			specNs, specAllocs := benchApply(s, &spec)
-			soaNs, soaAllocs := benchApplyVec(v, &spec)
+			arm, soaNs, soaAllocs := perArm(func() (float64, int64) {
+				return benchApplyVec(v, &spec)
+			})
 			denseNs, _ := benchApply(s, &den)
 			rep.Kernels = append(rep.Kernels, kernelRow{
 				Name:            gates[i].name,
@@ -331,6 +397,8 @@ func kernelStudy() *kernelReport {
 				DenseNsPerOp:    denseNs,
 				Speedup:         denseNs / specNs,
 				AoSOverSoA:      specNs / soaNs,
+				ArmNsPerOp:      arm,
+				SIMDOverSpan:    simdOverSpan(arm),
 				SpecAllocsPerOp: specAllocs,
 				SoAAllocsPerOp:  soaAllocs,
 			})
@@ -386,14 +454,16 @@ func leafAccumulate() kernelRow {
 	})
 	accV := statevec.MakeVector(len(accC))
 	loV, upV := statevec.FromComplex(lo), statevec.FromComplex(up)
-	soa := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			statevec.AccumulateKron(accV, coeff, upV, loV, nLower)
-		}
+	arm, soaNs, soaAllocs := perArm(func() (float64, int64) {
+		soa := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				statevec.AccumulateKron(accV, coeff, upV, loV, nLower)
+			}
+		})
+		return float64(soa.T.Nanoseconds()) / float64(soa.N), soa.AllocsPerOp()
 	})
 	aosNs := float64(aos.T.Nanoseconds()) / float64(aos.N)
-	soaNs := float64(soa.T.Nanoseconds()) / float64(soa.N)
 	return kernelRow{
 		Name:           "leaf-accumulate-kron-20q",
 		Qubits:         nLower + nUpper,
@@ -401,7 +471,9 @@ func leafAccumulate() kernelRow {
 		SpecNsPerOp:    aosNs,
 		SoANsPerOp:     soaNs,
 		AoSOverSoA:     aosNs / soaNs,
-		SoAAllocsPerOp: soa.AllocsPerOp(),
+		ArmNsPerOp:     arm,
+		SIMDOverSpan:   simdOverSpan(arm),
+		SoAAllocsPerOp: soaAllocs,
 	}
 }
 
@@ -456,7 +528,9 @@ func e2eSchrodinger() kernelRow {
 		}
 	})
 	aosNs := float64(aosRun.T.Nanoseconds()) / float64(aosRun.N)
-	soaNs := run(c)
+	arm, soaNs, _ := perArm(func() (float64, int64) {
+		return run(c), 0
+	})
 	denseNs := run(stripped)
 	return kernelRow{
 		Name:         "e2e-schrodinger-20q",
@@ -467,6 +541,8 @@ func e2eSchrodinger() kernelRow {
 		DenseNsPerOp: denseNs,
 		Speedup:      denseNs / soaNs,
 		AoSOverSoA:   aosNs / soaNs,
+		ArmNsPerOp:   arm,
+		SIMDOverSpan: simdOverSpan(arm),
 	}
 }
 

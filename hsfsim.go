@@ -571,8 +571,17 @@ func (cp *CompiledPlan) runSchrodinger(ctx context.Context, opts Options) (*Resu
 		PathsSimulated: 1,
 		PreprocessTime: cp.compile,
 		SimTime:        simTime,
-		Report:         opts.Telemetry.Report(),
+		Report:         reportWithISA(opts.Telemetry.Report()),
 	}, nil
+}
+
+// reportWithISA stamps the active kernel arm onto a run report so artifacts
+// record which vector bodies produced them. Nil-safe: telemetry may be off.
+func reportWithISA(rep *telemetry.Report) *telemetry.Report {
+	if rep != nil {
+		rep.KernelISA = statevec.KernelISA()
+	}
+	return rep
 }
 
 // kernelClassCensus tallies the kernel classes of a gate list for direct
@@ -628,7 +637,7 @@ func (cp *CompiledPlan) runHSF(ctx context.Context, opts Options) (*Result, erro
 		NumSeparateCuts: plan.NumSeparateCuts(),
 		PreprocessTime:  cp.compile,
 		SimTime:         res.Elapsed,
-		Report:          opts.Telemetry.Report(),
+		Report:          reportWithISA(opts.Telemetry.Report()),
 	}, nil
 }
 

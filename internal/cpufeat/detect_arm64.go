@@ -1,0 +1,9 @@
+//go:build !purego
+
+package cpufeat
+
+func init() {
+	// Advanced SIMD with double-precision lanes is ARMv8-A baseline; every
+	// arm64 target Go supports has it.
+	ARM64.HasASIMD = true
+}

@@ -1,0 +1,6 @@
+//go:build purego || (!amd64 && !arm64)
+
+package cpufeat
+
+// No detection: every feature stays false, so the kernel dispatch falls back
+// to the portable span/scalar arms.

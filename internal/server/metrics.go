@@ -22,6 +22,7 @@ import (
 
 	"hsfsim/internal/dist"
 	"hsfsim/internal/jobs"
+	"hsfsim/internal/statevec"
 	"hsfsim/internal/telemetry"
 )
 
@@ -141,6 +142,12 @@ func int64Field(read func(jobs.StatsSnapshot) int) func(jobs.StatsSnapshot) int6
 func (s *service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", telemetry.PrometheusContentType)
 
+	telemetry.WriteInfoGauge(w, "hsfsimd_build_info",
+		"Build and runtime properties of this daemon; value is always 1.",
+		[][2]string{
+			{"go_version", runtime.Version()},
+			{"kernel_isa", statevec.KernelISA()},
+		})
 	telemetry.WriteCounter(w, "hsfsimd_requests_total",
 		"HTTP requests received across all endpoints.", metricRequests.Value())
 	telemetry.WriteCounter(w, "hsfsimd_simulations_total",

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
 
 	"hsfsim/internal/dist"
+	"hsfsim/internal/statevec"
 	"hsfsim/internal/telemetry"
 )
 
@@ -205,6 +207,16 @@ func TestPrometheusMetricsScrape(t *testing.T) {
 			t.Fatalf("gauge %s missing or malformed: %+v", name, f)
 		}
 	}
+	info := fams["hsfsimd_build_info"]
+	if info == nil || info.typ != "gauge" || !info.help || len(info.samples) != 1 {
+		t.Fatalf("hsfsimd_build_info missing or malformed: %+v", info)
+	}
+	if s := info.samples[0]; s.value != 1 ||
+		!strings.Contains(s.labels, `go_version="`+runtime.Version()+`"`) ||
+		!strings.Contains(s.labels, `kernel_isa="`+statevec.KernelISA()+`"`) {
+		t.Fatalf("hsfsimd_build_info sample %+v, want value 1 with go_version and kernel_isa labels", s)
+	}
+
 	checkHistogram(t, fams, "hsfsimd_leaf_latency_seconds")
 	checkHistogram(t, fams, "hsfsimd_segment_sweep_seconds")
 	checkHistogram(t, fams, "hsfsimd_dist_lease_duration_seconds")

@@ -121,6 +121,10 @@ func (v Vector) phase1(d complex128, q, lo, hi int) {
 		}
 		return
 	}
+	if q < 2 && ops.diag1lo != nil {
+		ops.diag1lo(v.Re, v.Im, q, lo, hi, 1, 0, dr, di)
+		return
+	}
 	re, im := v.Re, v.Im
 	for o := lo; o < hi; o++ {
 		i := (o>>q)<<(q+1) | (o & (mask - 1)) | mask
@@ -150,6 +154,10 @@ func (v Vector) diag1(a, d complex128, q, lo, hi int) {
 			ops.scale(re[i1:i1+n], im[i1:i1+n], dr, di)
 			o = end
 		}
+		return
+	}
+	if q < 2 && ops.diag1lo != nil {
+		ops.diag1lo(v.Re, v.Im, q, lo, hi, ar, ai, dr, di)
 		return
 	}
 	re, im := v.Re, v.Im
@@ -248,6 +256,10 @@ func (v Vector) rot1(a, b, c, d complex128, q, lo, hi int) {
 				ar, ai, br, bi, cr, ci, dr, di)
 			o = end
 		}
+		return
+	}
+	if q < 2 && ops.rot1lo != nil {
+		ops.rot1lo(v.Re, v.Im, q, lo, hi, ar, ai, br, bi, cr, ci, dr, di)
 		return
 	}
 	re, im := v.Re, v.Im
@@ -608,6 +620,50 @@ func (v Vector) ctrlDiagK(p *kernelPlan, lo, hi int) {
 
 func (v Vector) permK(p *kernelPlan, lo, hi int) {
 	re, im := v.Re, v.Im
+	// Single-transposition fast path (CCX and friends): one 2-cycle plus
+	// optional fixed-state phases. Free-bit runs below the lowest gate qubit
+	// are contiguous, so the cycle is a paired-span swap/cross and each fixed
+	// phase a span scale — the same shape perm2 uses for CNOT.
+	if len(p.cycStart) == 2 && p.cycStart[1]-p.cycStart[0] == 2 {
+		pLo := p.sorted[0]
+		if sm := ops.spanMin; sm > 0 && 1<<pLo >= sm {
+			offA, offB := p.cycNode[0], p.cycNode[1]
+			pa, pb := complex128(1), complex128(1)
+			if p.cycPhase != nil {
+				pa, pb = p.cycPhase[0], p.cycPhase[1]
+			}
+			pure := pa == 1 && pb == 1
+			for o := lo; o < hi; {
+				g := o >> pLo
+				end := (g + 1) << pLo
+				if end > hi {
+					end = hi
+				}
+				base := o
+				for _, q := range p.sorted {
+					base = (base>>q)<<(q+1) | (base & (1<<q - 1))
+				}
+				ia, ib := base|offA, base|offB
+				n := end - o
+				if pure {
+					ops.swap(re[ia:ia+n], im[ia:ia+n], re[ib:ib+n], im[ib:ib+n])
+				} else {
+					// The cycle moves pa·old[a] into b and the carried
+					// pb·old[b] into a: with x = span a and y = span b that
+					// is cross's x' = pb·y, y' = pa·x.
+					ops.cross(re[ia:ia+n], im[ia:ia+n], re[ib:ib+n], im[ib:ib+n],
+						real(pb), imag(pb), real(pa), imag(pa))
+				}
+				for i, off := range p.fixOff {
+					idx := base | off
+					ops.scale(re[idx:idx+n], im[idx:idx+n],
+						real(p.fixPhase[i]), imag(p.fixPhase[i]))
+				}
+				o = end
+			}
+			return
+		}
+	}
 	for o := lo; o < hi; o++ {
 		base := o
 		for _, q := range p.sorted {

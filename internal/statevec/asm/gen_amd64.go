@@ -1,0 +1,379 @@
+//go:build ignore
+
+// Command gen_amd64 regenerates ../soa_amd64.s with avo. See README.md for
+// how to run it (avo is intentionally not a module dependency; the committed
+// assembly is authoritative). The emitted bodies must keep the contract
+// documented there: n > 0, n%4 == 0 (n%8 == 0 for the interleaved low-qubit
+// kernels), unaligned VMOVUPD, NOSPLIT $0, VZEROUPPER before RET.
+package main
+
+import (
+	"fmt"
+
+	. "github.com/mmcloughlin/avo/build"
+	. "github.com/mmcloughlin/avo/operand"
+	. "github.com/mmcloughlin/avo/reg"
+)
+
+// loop emits the canonical span loop around body: index in AX, bound in CX
+// (both set up by the caller), 4 lanes per iteration.
+func loop(body func(idx GPVirtual)) {
+	idx := GP64()
+	XORQ(idx, idx)
+	n := Load(Param("n"), GP64())
+	Label("loop")
+	body(idx)
+	ADDQ(Imm(4), idx)
+	CMPQ(idx, n)
+	JLT(LabelRef("loop"))
+	VZEROUPPER()
+	RET()
+}
+
+// span loads a pointer parameter.
+func span(name string) GPVirtual { return Load(Param(name), GP64()) }
+
+// bcast broadcasts a float64 parameter into a fresh YMM register.
+func bcast(name string) VecVirtual {
+	y := YMM()
+	VBROADCASTSD(NewParamAddr(name, 0), y) // offset resolved by avo
+	return y
+}
+
+// at returns the memory operand base[idx*8].
+func at(base GPVirtual, idx GPVirtual) Mem {
+	return Mem{Base: base, Index: idx, Scale: 8}
+}
+
+// cmul emits acc_re/acc_im = (cr + i·ci)·(re + i·im) with fresh accumulators.
+func cmul(cr, ci, re, im VecVirtual) (VecVirtual, VecVirtual) {
+	ar, ai := YMM(), YMM()
+	VMULPD(cr, re, ar)
+	VFNMADD231PD(ci, im, ar)
+	VMULPD(cr, im, ai)
+	VFMADD231PD(ci, re, ai)
+	return ar, ai
+}
+
+// cfma accumulates (cr + i·ci)·(re + i·im) into (ar, ai).
+func cfma(cr, ci, re, im, ar, ai VecVirtual) {
+	VFMADD231PD(cr, re, ar)
+	VFNMADD231PD(ci, im, ar)
+	VFMADD231PD(cr, im, ai)
+	VFMADD231PD(ci, re, ai)
+}
+
+func genScale() {
+	TEXT("avx2ScaleRe", NOSPLIT, "func(xr, xi *float64, n int, cr float64)")
+	xr, xi, cr := span("xr"), span("xi"), bcast("cr")
+	loop(func(i GPVirtual) {
+		for _, p := range []GPVirtual{xr, xi} {
+			v := YMM()
+			VMOVUPD(at(p, i), v)
+			VMULPD(cr, v, v)
+			VMOVUPD(v, at(p, i))
+		}
+	})
+
+	TEXT("avx2ScaleCx", NOSPLIT, "func(xr, xi *float64, n int, cr, ci float64)")
+	xr, xi = span("xr"), span("xi")
+	cr, ci := bcast("cr"), bcast("ci")
+	loop(func(i GPVirtual) {
+		r, m := YMM(), YMM()
+		VMOVUPD(at(xr, i), r)
+		VMOVUPD(at(xi, i), m)
+		or, oi := cmul(cr, ci, r, m)
+		VMOVUPD(or, at(xr, i))
+		VMOVUPD(oi, at(xi, i))
+	})
+}
+
+func genSwap() {
+	TEXT("avx2SwapN", NOSPLIT, "func(xr, xi, yr, yi *float64, n int)")
+	xr, xi, yr, yi := span("xr"), span("xi"), span("yr"), span("yi")
+	loop(func(i GPVirtual) {
+		for _, pair := range [][2]GPVirtual{{xr, yr}, {xi, yi}} {
+			a, b := YMM(), YMM()
+			VMOVUPD(at(pair[0], i), a)
+			VMOVUPD(at(pair[1], i), b)
+			VMOVUPD(b, at(pair[0], i))
+			VMOVUPD(a, at(pair[1], i))
+		}
+	})
+}
+
+func genCross() {
+	TEXT("avx2CrossRe", NOSPLIT, "func(xr, xi, yr, yi *float64, n int, br, cr float64)")
+	xr, xi, yr, yi := span("xr"), span("xi"), span("yr"), span("yi")
+	br, cr := bcast("br"), bcast("cr")
+	loop(func(i GPVirtual) {
+		x, xm, y, ym := YMM(), YMM(), YMM(), YMM()
+		VMOVUPD(at(xr, i), x)
+		VMOVUPD(at(xi, i), xm)
+		VMOVUPD(at(yr, i), y)
+		VMOVUPD(at(yi, i), ym)
+		VMULPD(br, y, y)
+		VMULPD(br, ym, ym)
+		VMULPD(cr, x, x)
+		VMULPD(cr, xm, xm)
+		VMOVUPD(y, at(xr, i))
+		VMOVUPD(ym, at(xi, i))
+		VMOVUPD(x, at(yr, i))
+		VMOVUPD(xm, at(yi, i))
+	})
+
+	TEXT("avx2CrossCx", NOSPLIT, "func(xr, xi, yr, yi *float64, n int, br, bi, cr, ci float64)")
+	xr, xi, yr, yi = span("xr"), span("xi"), span("yr"), span("yi")
+	brv, biv, crv, civ := bcast("br"), bcast("bi"), bcast("cr"), bcast("ci")
+	loop(func(i GPVirtual) {
+		x, xm, y, ym := YMM(), YMM(), YMM(), YMM()
+		VMOVUPD(at(xr, i), x)
+		VMOVUPD(at(xi, i), xm)
+		VMOVUPD(at(yr, i), y)
+		VMOVUPD(at(yi, i), ym)
+		nxr, nxi := cmul(brv, biv, y, ym)
+		nyr, nyi := cmul(crv, civ, x, xm)
+		VMOVUPD(nxr, at(xr, i))
+		VMOVUPD(nxi, at(xi, i))
+		VMOVUPD(nyr, at(yr, i))
+		VMOVUPD(nyi, at(yi, i))
+	})
+}
+
+func genAxpy() {
+	TEXT("avx2AxpyRe", NOSPLIT, "func(dstRe, dstIm, srcRe, srcIm *float64, n int, cr float64)")
+	dr, di, sr, si := span("dstRe"), span("dstIm"), span("srcRe"), span("srcIm")
+	cr := bcast("cr")
+	loop(func(i GPVirtual) {
+		for _, pair := range [][2]GPVirtual{{dr, sr}, {di, si}} {
+			s, d := YMM(), YMM()
+			VMOVUPD(at(pair[1], i), s)
+			VMOVUPD(at(pair[0], i), d)
+			VFMADD231PD(cr, s, d)
+			VMOVUPD(d, at(pair[0], i))
+		}
+	})
+
+	TEXT("avx2AxpyCx", NOSPLIT, "func(dstRe, dstIm, srcRe, srcIm *float64, n int, cr, ci float64)")
+	dr, di, sr, si = span("dstRe"), span("dstIm"), span("srcRe"), span("srcIm")
+	crv, civ := bcast("cr"), bcast("ci")
+	loop(func(i GPVirtual) {
+		s, t, ar, ai := YMM(), YMM(), YMM(), YMM()
+		VMOVUPD(at(sr, i), s)
+		VMOVUPD(at(si, i), t)
+		VMOVUPD(at(dr, i), ar)
+		VMOVUPD(at(di, i), ai)
+		cfma(crv, civ, s, t, ar, ai)
+		VMOVUPD(ar, at(dr, i))
+		VMOVUPD(ai, at(di, i))
+	})
+}
+
+func genRot2x2() {
+	TEXT("avx2Rot2x2Re", NOSPLIT, "func(xr, xi, yr, yi *float64, n int, ar, br, cr, dr float64)")
+	xr, xi, yr, yi := span("xr"), span("xi"), span("yr"), span("yi")
+	a, b, c, d := bcast("ar"), bcast("br"), bcast("cr"), bcast("dr")
+	loop(func(i GPVirtual) {
+		x, xm, y, ym := YMM(), YMM(), YMM(), YMM()
+		VMOVUPD(at(xr, i), x)
+		VMOVUPD(at(xi, i), xm)
+		VMOVUPD(at(yr, i), y)
+		VMOVUPD(at(yi, i), ym)
+		for _, row := range []struct {
+			p, q   VecVirtual // row coefficients
+			r0, r1 GPVirtual  // output spans (re, im)
+		}{{a, b, xr, xi}, {c, d, yr, yi}} {
+			or, oi := YMM(), YMM()
+			VMULPD(row.p, x, or)
+			VFMADD231PD(row.q, y, or)
+			VMULPD(row.p, xm, oi)
+			VFMADD231PD(row.q, ym, oi)
+			VMOVUPD(or, at(row.r0, i))
+			VMOVUPD(oi, at(row.r1, i))
+		}
+	})
+
+	TEXT("avx2Rot2x2Cx", NOSPLIT, "func(xr, xi, yr, yi *float64, n int, ar, ai, br, bi, cr, ci, dr, di float64)")
+	xr, xi, yr, yi = span("xr"), span("xi"), span("yr"), span("yi")
+	ar, ai := bcast("ar"), bcast("ai")
+	br, bi := bcast("br"), bcast("bi")
+	cr, ci := bcast("cr"), bcast("ci")
+	dr, di := bcast("dr"), bcast("di")
+	loop(func(i GPVirtual) {
+		x, xm, y, ym := YMM(), YMM(), YMM(), YMM()
+		VMOVUPD(at(xr, i), x)
+		VMOVUPD(at(xi, i), xm)
+		VMOVUPD(at(yr, i), y)
+		VMOVUPD(at(yi, i), ym)
+		nxr, nxi := cmul(ar, ai, x, xm)
+		cfma(br, bi, y, ym, nxr, nxi)
+		nyr, nyi := cmul(cr, ci, x, xm)
+		cfma(dr, di, y, ym, nyr, nyi)
+		VMOVUPD(nxr, at(xr, i))
+		VMOVUPD(nxi, at(xi, i))
+		VMOVUPD(nyr, at(yr, i))
+		VMOVUPD(nyi, at(yi, i))
+	})
+}
+
+func genRot4x4() {
+	TEXT("avx2Rot4x4N", NOSPLIT, "func(x0r, x0i, x1r, x1i, x2r, x2i, x3r, x3i *float64, n int, m *complex128)")
+	ptrs := make([]GPVirtual, 8)
+	for k, name := range []string{"x0r", "x0i", "x1r", "x1i", "x2r", "x2i", "x3r", "x3i"} {
+		ptrs[k] = span(name)
+	}
+	m := span("m")
+	loop(func(i GPVirtual) {
+		in := make([]VecVirtual, 8)
+		for k := range in {
+			in[k] = YMM()
+			VMOVUPD(at(ptrs[k], i), in[k])
+		}
+		for row := 0; row < 4; row++ {
+			ar, ai := YMM(), YMM()
+			for col := 0; col < 4; col++ {
+				mre, mim := YMM(), YMM()
+				off := (row*4 + col) * 16
+				VBROADCASTSD(Mem{Base: m, Disp: off}, mre)
+				VBROADCASTSD(Mem{Base: m, Disp: off + 8}, mim)
+				re, im := in[2*col], in[2*col+1]
+				if col == 0 {
+					VMULPD(mre, re, ar)
+					VFNMADD231PD(mim, im, ar)
+					VMULPD(mre, im, ai)
+					VFMADD231PD(mim, re, ai)
+				} else {
+					cfma(mre, mim, re, im, ar, ai)
+				}
+			}
+			VMOVUPD(ar, at(ptrs[2*row], i))
+			VMOVUPD(ai, at(ptrs[2*row+1], i))
+		}
+	})
+}
+
+// deint splits the x/y halves of two loaded group registers for the
+// interleaved low-qubit kernels: element unpacks for q=0 (pairs alternate
+// element-wise), lane shuffles for q=1 (pairs alternate 128-bit lanes).
+func deint(q int, a, b VecVirtual) (VecVirtual, VecVirtual) {
+	x, y := YMM(), YMM()
+	if q == 0 {
+		VUNPCKLPD(b, a, x)
+		VUNPCKHPD(b, a, y)
+	} else {
+		VPERM2F128(Imm(0x20), b, a, x)
+		VPERM2F128(Imm(0x31), b, a, y)
+	}
+	return x, y
+}
+
+// reint is the inverse of deint: interleave the transformed x/y halves back
+// into two storable group registers. The shuffle set is self-inverse, so the
+// emitted instructions are the same with the roles of the operands swapped.
+func reint(q int, x, y VecVirtual) (VecVirtual, VecVirtual) {
+	return deint(q, x, y)
+}
+
+// loLoop emits the 8-elements-per-iteration loop the low-qubit kernels use
+// (two YMM registers per plane per step).
+func loLoop(body func(idx GPVirtual)) {
+	idx := GP64()
+	XORQ(idx, idx)
+	n := Load(Param("n"), GP64())
+	Label("loop")
+	body(idx)
+	ADDQ(Imm(8), idx)
+	CMPQ(idx, n)
+	JLT(LabelRef("loop"))
+	VZEROUPPER()
+	RET()
+}
+
+func genRot1Lo() {
+	for q := 0; q < 2; q++ {
+		TEXT(fmt.Sprintf("avx2Rot1LoQ%dRe", q), NOSPLIT, "func(p *float64, n int, ar, br, cr, dr float64)")
+		p := span("p")
+		a, b, c, d := bcast("ar"), bcast("br"), bcast("cr"), bcast("dr")
+		loLoop(func(i GPVirtual) {
+			g0, g1 := YMM(), YMM()
+			VMOVUPD(at(p, i), g0)
+			VMOVUPD(at(p, i).Offset(32), g1)
+			xs, ys := deint(q, g0, g1)
+			nx, ny := YMM(), YMM()
+			VMULPD(xs, a, nx)
+			VFMADD231PD(ys, b, nx)
+			VMULPD(xs, c, ny)
+			VFMADD231PD(ys, d, ny)
+			o0, o1 := reint(q, nx, ny)
+			VMOVUPD(o0, at(p, i))
+			VMOVUPD(o1, at(p, i).Offset(32))
+		})
+	}
+	for q := 0; q < 2; q++ {
+		TEXT(fmt.Sprintf("avx2Rot1LoQ%dCx", q), NOSPLIT, "func(re, im *float64, n int, ar, ai, br, bi, cr, ci, dr, di float64)")
+		re, im := span("re"), span("im")
+		ar, ai := bcast("ar"), bcast("ai")
+		br, bi := bcast("br"), bcast("bi")
+		cr, ci := bcast("cr"), bcast("ci")
+		dr, di := bcast("dr"), bcast("di")
+		loLoop(func(i GPVirtual) {
+			r0, r1, m0, m1 := YMM(), YMM(), YMM(), YMM()
+			VMOVUPD(at(re, i), r0)
+			VMOVUPD(at(re, i).Offset(32), r1)
+			VMOVUPD(at(im, i), m0)
+			VMOVUPD(at(im, i).Offset(32), m1)
+			xr, yr := deint(q, r0, r1)
+			xm, ym := deint(q, m0, m1)
+			nxr, nxi := cmul(ar, ai, xr, xm)
+			cfma(br, bi, yr, ym, nxr, nxi)
+			nyr, nyi := cmul(cr, ci, xr, xm)
+			cfma(dr, di, yr, ym, nyr, nyi)
+			o0, o1 := reint(q, nxr, nyr)
+			p0, p1 := reint(q, nxi, nyi)
+			VMOVUPD(o0, at(re, i))
+			VMOVUPD(o1, at(re, i).Offset(32))
+			VMOVUPD(p0, at(im, i))
+			VMOVUPD(p1, at(im, i).Offset(32))
+		})
+	}
+}
+
+func genDiag1Lo() {
+	for q := 0; q < 2; q++ {
+		TEXT(fmt.Sprintf("avx2Diag1LoQ%d", q), NOSPLIT, "func(re, im *float64, n int, ar, ai, dr, di float64)")
+		re, im := span("re"), span("im")
+		ar, ai := bcast("ar"), bcast("ai")
+		dr, di := bcast("dr"), bcast("di")
+		loLoop(func(i GPVirtual) {
+			r0, r1, m0, m1 := YMM(), YMM(), YMM(), YMM()
+			VMOVUPD(at(re, i), r0)
+			VMOVUPD(at(re, i).Offset(32), r1)
+			VMOVUPD(at(im, i), m0)
+			VMOVUPD(at(im, i).Offset(32), m1)
+			xr, yr := deint(q, r0, r1)
+			xm, ym := deint(q, m0, m1)
+			nxr, nxi := cmul(ar, ai, xr, xm)
+			nyr, nyi := cmul(dr, di, yr, ym)
+			o0, o1 := reint(q, nxr, nyr)
+			p0, p1 := reint(q, nxi, nyi)
+			VMOVUPD(o0, at(re, i))
+			VMOVUPD(o1, at(re, i).Offset(32))
+			VMOVUPD(p0, at(im, i))
+			VMOVUPD(p1, at(im, i).Offset(32))
+		})
+	}
+}
+
+func main() {
+	Package("hsfsim/internal/statevec")
+	ConstraintExpr("!purego")
+	genScale()
+	genSwap()
+	genCross()
+	genAxpy()
+	genRot2x2()
+	genRot4x4()
+	genRot1Lo()
+	genDiag1Lo()
+	Generate()
+}

@@ -5,17 +5,19 @@ package statevec
 // the split real/imag planes — dispatched through a package-level table
 // selected once at startup:
 //
-//   - default builds install the unrolled span arm (soa_native.go) and the
-//     kernels take the span path whenever a gate's contiguous run length
-//     reaches ops.spanMin;
+//   - default builds install the best available arm (soa_dispatch.go):
+//     Go-assembly vector bodies — AVX2+FMA on amd64 (soa_amd64.s), NEON on
+//     arm64 (soa_arm64.s) — when the CPU feature probe admits them, else the
+//     unrolled-Go span arm (this file); kernels take the span path whenever
+//     a gate's contiguous run length reaches ops.spanMin;
 //   - `-tags purego` builds install the plain scalar arm (soa_purego.go) with
 //     spanMin=0, so every kernel runs its scalar fallback loop — the
 //     reference semantics, and the portability floor for exotic targets.
 //
-// Future Go-assembly kernels (AVX2/NEON) replace individual function pointers
-// in this table from an init gated on CPU feature detection; nothing above
-// the table changes. The primitives are chosen so each maps to one obvious
-// vertical SIMD loop: no lane shuffles, no horizontal reductions.
+// The HSFSIM_KERNEL_ISA environment variable (or SelectKernelISA) forces a
+// weaker arm; see soa_dispatch.go. The primitives are chosen so each maps to
+// one obvious vertical SIMD loop: no lane shuffles, no horizontal
+// reductions.
 
 // kernelOps is the startup-selected table of span primitives. All spans
 // passed to these functions are equal-length and non-aliasing (x and y spans
@@ -48,17 +50,41 @@ type kernelOps struct {
 	// rot4x4: the 2q dense matvec over four spans; m is the row-major 4×4
 	// complex matrix.
 	rot4x4 func(x0r, x0i, x1r, x1i, x2r, x2i, x3r, x3i []float64, m []complex128)
+
+	// rot1lo and diag1lo are optional interleaved-pair kernels for 1q gates
+	// on qubits 0 and 1, whose runs (length 1 and 2) never reach spanMin.
+	// The assembly arms vectorize them with in-register shuffles — a trick
+	// the span primitives above cannot express — over the half-block pairs
+	// [lo,hi) of rot1/diag1. Nil on arms without them; callers must check.
+	rot1lo  func(re, im []float64, q, lo, hi int, ar, ai, br, bi, cr, ci, dr, di float64)
+	diag1lo func(re, im []float64, q, lo, hi int, ar, ai, dr, di float64)
 }
 
-// ops is the installed primitive table. The build-tag arms assign it in
-// init; there is no default, so forgetting an arm is an immediate nil
-// dereference in every test.
+// ops is the installed primitive table. soa_dispatch.go assigns it in init
+// from the build's candidate arms; there is no default, so forgetting an arm
+// is an immediate nil dereference in every test.
 var ops kernelOps
 
-// KernelISA reports which kernel arm this process selected at startup
-// ("span" on default builds, "scalar" under -tags purego). Telemetry and the
-// bench studies record it so artifacts say which arm produced them.
+// KernelISA reports which kernel arm this process is running: "avx2" or
+// "neon" when the assembly arm is live, "span" for the unrolled-Go fallback,
+// "scalar" under -tags purego or a forced override. Telemetry and the bench
+// studies record it so artifacts say which arm produced them.
 func KernelISA() string { return ops.name }
+
+// scalarArm is the reference arm: plain one-element loops, span dispatch
+// disabled. Always last in the candidate list, always available.
+func scalarArm() kernelOps {
+	return kernelOps{
+		name:    "scalar",
+		spanMin: 0,
+		scale:   scalarScale,
+		rot2x2:  scalarRot2x2,
+		swap:    scalarSwap,
+		cross:   scalarCross,
+		axpy:    scalarAxpy,
+		rot4x4:  scalarRot4x4,
+	}
+}
 
 // --- scalar arm -------------------------------------------------------------
 //
@@ -87,6 +113,35 @@ func scalarRot2x2(xr, xi, yr, yi []float64, ar, ai, br, bi, cr, ci, dr, di float
 		yr[i] = cr*x - ci*xm + dr*y - di*ym
 		yi[i] = cr*xm + ci*x + dr*ym + di*y
 	}
+}
+
+// rot1Pair applies the dense 1q rotation to the single half-block pair o for
+// qubit q: the per-pair body of rot1's scalar loop, shared by the assembly
+// arms' rot1lo wrappers for their unaligned head and sub-register tail pairs.
+func rot1Pair(re, im []float64, q, o int, ar, ai, br, bi, cr, ci, dr, di float64) {
+	mask := 1 << q
+	i0 := (o>>q)<<(q+1) | (o & (mask - 1))
+	i1 := i0 | mask
+	x, xm := re[i0], im[i0]
+	y, ym := re[i1], im[i1]
+	re[i0] = ar*x - ai*xm + br*y - bi*ym
+	im[i0] = ar*xm + ai*x + br*ym + bi*y
+	re[i1] = cr*x - ci*xm + dr*y - di*ym
+	im[i1] = cr*xm + ci*x + dr*ym + di*y
+}
+
+// diag1Pair is the per-pair body of diag1's scalar loop, same role as
+// rot1Pair for the diag1lo wrappers.
+func diag1Pair(re, im []float64, q, o int, ar, ai, dr, di float64) {
+	mask := 1 << q
+	i0 := (o>>q)<<(q+1) | (o & (mask - 1))
+	i1 := i0 | mask
+	r, m := re[i0], im[i0]
+	re[i0] = ar*r - ai*m
+	im[i0] = ar*m + ai*r
+	r, m = re[i1], im[i1]
+	re[i1] = dr*r - di*m
+	im[i1] = dr*m + di*r
 }
 
 func scalarSwap(xr, xi, yr, yi []float64) {
@@ -371,5 +426,54 @@ func spanAxpy(dstRe, dstIm, srcRe, srcIm []float64, cr, ci float64) {
 		s, t := srcRe[i], srcIm[i]
 		dstRe[i] += cr*s - ci*t
 		dstIm[i] += cr*t + ci*s
+	}
+}
+
+// spanRot4x4 is the 2q dense matvec with the 16 complex coefficients hoisted
+// into scalars once per span (scalarRot4x4 re-reads m and runs complex128
+// arithmetic per element). An all-real matrix — real 2q rotations, X-basis
+// entanglers — drops every cross-plane term, halving the flops.
+func spanRot4x4(x0r, x0i, x1r, x1i, x2r, x2i, x3r, x3i []float64, m []complex128) {
+	n := len(x0r)
+	x0i, x1r, x1i = x0i[:n], x1r[:n], x1i[:n]
+	x2r, x2i, x3r, x3i = x2r[:n], x2i[:n], x3r[:n], x3i[:n]
+	var mr, mi [16]float64
+	allReal := true
+	for k, c := range m[:16] {
+		mr[k], mi[k] = real(c), imag(c)
+		if mi[k] != 0 {
+			allReal = false
+		}
+	}
+	if allReal {
+		for i := 0; i < n; i++ {
+			a0, b0 := x0r[i], x0i[i]
+			a1, b1 := x1r[i], x1i[i]
+			a2, b2 := x2r[i], x2i[i]
+			a3, b3 := x3r[i], x3i[i]
+			x0r[i] = mr[0]*a0 + mr[1]*a1 + mr[2]*a2 + mr[3]*a3
+			x0i[i] = mr[0]*b0 + mr[1]*b1 + mr[2]*b2 + mr[3]*b3
+			x1r[i] = mr[4]*a0 + mr[5]*a1 + mr[6]*a2 + mr[7]*a3
+			x1i[i] = mr[4]*b0 + mr[5]*b1 + mr[6]*b2 + mr[7]*b3
+			x2r[i] = mr[8]*a0 + mr[9]*a1 + mr[10]*a2 + mr[11]*a3
+			x2i[i] = mr[8]*b0 + mr[9]*b1 + mr[10]*b2 + mr[11]*b3
+			x3r[i] = mr[12]*a0 + mr[13]*a1 + mr[14]*a2 + mr[15]*a3
+			x3i[i] = mr[12]*b0 + mr[13]*b1 + mr[14]*b2 + mr[15]*b3
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		a0, b0 := x0r[i], x0i[i]
+		a1, b1 := x1r[i], x1i[i]
+		a2, b2 := x2r[i], x2i[i]
+		a3, b3 := x3r[i], x3i[i]
+		x0r[i] = mr[0]*a0 - mi[0]*b0 + mr[1]*a1 - mi[1]*b1 + mr[2]*a2 - mi[2]*b2 + mr[3]*a3 - mi[3]*b3
+		x0i[i] = mr[0]*b0 + mi[0]*a0 + mr[1]*b1 + mi[1]*a1 + mr[2]*b2 + mi[2]*a2 + mr[3]*b3 + mi[3]*a3
+		x1r[i] = mr[4]*a0 - mi[4]*b0 + mr[5]*a1 - mi[5]*b1 + mr[6]*a2 - mi[6]*b2 + mr[7]*a3 - mi[7]*b3
+		x1i[i] = mr[4]*b0 + mi[4]*a0 + mr[5]*b1 + mi[5]*a1 + mr[6]*b2 + mi[6]*a2 + mr[7]*b3 + mi[7]*a3
+		x2r[i] = mr[8]*a0 - mi[8]*b0 + mr[9]*a1 - mi[9]*b1 + mr[10]*a2 - mi[10]*b2 + mr[11]*a3 - mi[11]*b3
+		x2i[i] = mr[8]*b0 + mi[8]*a0 + mr[9]*b1 + mi[9]*a1 + mr[10]*b2 + mi[10]*a2 + mr[11]*b3 + mi[11]*a3
+		x3r[i] = mr[12]*a0 - mi[12]*b0 + mr[13]*a1 - mi[13]*b1 + mr[14]*a2 - mi[14]*b2 + mr[15]*a3 - mi[15]*b3
+		x3i[i] = mr[12]*b0 + mi[12]*a0 + mr[13]*b1 + mi[13]*a1 + mr[14]*b2 + mi[14]*a2 + mr[15]*b3 + mi[15]*a3
 	}
 }

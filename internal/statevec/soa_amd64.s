@@ -1,0 +1,694 @@
+//go:build !purego
+
+// AVX2+FMA span-primitive bodies. Generated shape: see asm/gen_amd64.go for
+// the avo generator these bodies are maintained against; the committed text
+// is authoritative so builds need no codegen step.
+//
+// Contract shared by every TEXT below: pointer arguments address the first
+// element of equal-length, non-aliasing float64 spans; n > 0 and n%4 == 0
+// (the Go wrappers in soa_amd64.go peel the sub-register tail); loads and
+// stores are unaligned (VMOVUPD) because spans start at arbitrary
+// gate-offset positions inside the 64-byte-aligned planes. No function
+// calls, no stack frame, YMM state cleared with VZEROUPPER before RET.
+
+#include "textflag.h"
+
+// func avx2ScaleRe(xr, xi *float64, n int, cr float64)
+// x *= cr on both planes: the all-real diagonal fast branch.
+TEXT ·avx2ScaleRe(SB), NOSPLIT, $0-32
+	MOVQ xr+0(FP), DI
+	MOVQ xi+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD cr+24(FP), Y0
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y1
+	VMOVUPD (SI)(AX*8), Y2
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, (SI)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2ScaleCx(xr, xi *float64, n int, cr, ci float64)
+// x *= (cr + i·ci): xr' = cr·r − ci·m, xi' = cr·m + ci·r.
+TEXT ·avx2ScaleCx(SB), NOSPLIT, $0-40
+	MOVQ xr+0(FP), DI
+	MOVQ xi+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD cr+24(FP), Y0
+	VBROADCASTSD ci+32(FP), Y1
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y2 // r
+	VMOVUPD (SI)(AX*8), Y3 // m
+	VMULPD       Y0, Y2, Y4 // cr·r
+	VFNMADD231PD Y1, Y3, Y4 // − ci·m
+	VMULPD       Y0, Y3, Y5 // cr·m
+	VFMADD231PD  Y1, Y2, Y5 // + ci·r
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, (SI)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2SwapN(xr, xi, yr, yi *float64, n int)
+// x ↔ y on both planes, no arithmetic.
+TEXT ·avx2SwapN(SB), NOSPLIT, $0-40
+	MOVQ xr+0(FP), DI
+	MOVQ xi+8(FP), SI
+	MOVQ yr+16(FP), R8
+	MOVQ yi+24(FP), R9
+	MOVQ n+32(FP), CX
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y0
+	VMOVUPD (R8)(AX*8), Y1
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD (R9)(AX*8), Y3
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y0, (R8)(AX*8)
+	VMOVUPD Y3, (SI)(AX*8)
+	VMOVUPD Y2, (R9)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2CrossRe(xr, xi, yr, yi *float64, n int, br, cr float64)
+// Real phased transposition: x' = br·y, y' = cr·x.
+TEXT ·avx2CrossRe(SB), NOSPLIT, $0-56
+	MOVQ xr+0(FP), DI
+	MOVQ xi+8(FP), SI
+	MOVQ yr+16(FP), R8
+	MOVQ yi+24(FP), R9
+	MOVQ n+32(FP), CX
+	VBROADCASTSD br+40(FP), Y0
+	VBROADCASTSD cr+48(FP), Y1
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y2 // x
+	VMOVUPD (SI)(AX*8), Y3 // xm
+	VMOVUPD (R8)(AX*8), Y4 // y
+	VMOVUPD (R9)(AX*8), Y5 // ym
+	VMULPD Y0, Y4, Y4      // br·y
+	VMULPD Y0, Y5, Y5      // br·ym
+	VMULPD Y1, Y2, Y2      // cr·x
+	VMULPD Y1, Y3, Y3      // cr·xm
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, (SI)(AX*8)
+	VMOVUPD Y2, (R8)(AX*8)
+	VMOVUPD Y3, (R9)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2CrossCx(xr, xi, yr, yi *float64, n int, br, bi, cr, ci float64)
+// Complex phased transposition: x' = (br+i·bi)·y, y' = (cr+i·ci)·x.
+TEXT ·avx2CrossCx(SB), NOSPLIT, $0-72
+	MOVQ xr+0(FP), DI
+	MOVQ xi+8(FP), SI
+	MOVQ yr+16(FP), R8
+	MOVQ yi+24(FP), R9
+	MOVQ n+32(FP), CX
+	VBROADCASTSD br+40(FP), Y0
+	VBROADCASTSD bi+48(FP), Y1
+	VBROADCASTSD cr+56(FP), Y2
+	VBROADCASTSD ci+64(FP), Y3
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y4 // x
+	VMOVUPD (SI)(AX*8), Y5 // xm
+	VMOVUPD (R8)(AX*8), Y6 // y
+	VMOVUPD (R9)(AX*8), Y7 // ym
+	VMULPD       Y0, Y6, Y8  // br·y
+	VFNMADD231PD Y1, Y7, Y8  // − bi·ym
+	VMULPD       Y0, Y7, Y9  // br·ym
+	VFMADD231PD  Y1, Y6, Y9  // + bi·y
+	VMULPD       Y2, Y4, Y10 // cr·x
+	VFNMADD231PD Y3, Y5, Y10 // − ci·xm
+	VMULPD       Y2, Y5, Y11 // cr·xm
+	VFMADD231PD  Y3, Y4, Y11 // + ci·x
+	VMOVUPD Y8, (DI)(AX*8)
+	VMOVUPD Y9, (SI)(AX*8)
+	VMOVUPD Y10, (R8)(AX*8)
+	VMOVUPD Y11, (R9)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2AxpyRe(dstRe, dstIm, srcRe, srcIm *float64, n int, cr float64)
+// dst += cr·src on both planes: the real-coefficient leaf accumulate.
+TEXT ·avx2AxpyRe(SB), NOSPLIT, $0-48
+	MOVQ dstRe+0(FP), DI
+	MOVQ dstIm+8(FP), SI
+	MOVQ srcRe+16(FP), R8
+	MOVQ srcIm+24(FP), R9
+	MOVQ n+32(FP), CX
+	VBROADCASTSD cr+40(FP), Y0
+	XORQ AX, AX
+loop:
+	VMOVUPD (R8)(AX*8), Y1 // s
+	VMOVUPD (R9)(AX*8), Y2 // t
+	VMOVUPD (DI)(AX*8), Y3
+	VMOVUPD (SI)(AX*8), Y4
+	VFMADD231PD Y0, Y1, Y3 // dstRe += cr·s
+	VFMADD231PD Y0, Y2, Y4 // dstIm += cr·t
+	VMOVUPD Y3, (DI)(AX*8)
+	VMOVUPD Y4, (SI)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2AxpyCx(dstRe, dstIm, srcRe, srcIm *float64, n int, cr, ci float64)
+// dst += (cr+i·ci)·src: the HSF leaf accumulate primitive.
+TEXT ·avx2AxpyCx(SB), NOSPLIT, $0-56
+	MOVQ dstRe+0(FP), DI
+	MOVQ dstIm+8(FP), SI
+	MOVQ srcRe+16(FP), R8
+	MOVQ srcIm+24(FP), R9
+	MOVQ n+32(FP), CX
+	VBROADCASTSD cr+40(FP), Y0
+	VBROADCASTSD ci+48(FP), Y1
+	XORQ AX, AX
+loop:
+	VMOVUPD (R8)(AX*8), Y2 // s
+	VMOVUPD (R9)(AX*8), Y3 // t
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD (SI)(AX*8), Y5
+	VFMADD231PD  Y0, Y2, Y4 // dstRe += cr·s
+	VFNMADD231PD Y1, Y3, Y4 // dstRe −= ci·t
+	VFMADD231PD  Y0, Y3, Y5 // dstIm += cr·t
+	VFMADD231PD  Y1, Y2, Y5 // dstIm += ci·s
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, (SI)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2Rot2x2Re(xr, xi, yr, yi *float64, n int, ar, br, cr, dr float64)
+// Real 1q dense matvec (Hadamard, X-basis rotations):
+// x' = ar·x + br·y, y' = cr·x + dr·y, per plane.
+TEXT ·avx2Rot2x2Re(SB), NOSPLIT, $0-72
+	MOVQ xr+0(FP), DI
+	MOVQ xi+8(FP), SI
+	MOVQ yr+16(FP), R8
+	MOVQ yi+24(FP), R9
+	MOVQ n+32(FP), CX
+	VBROADCASTSD ar+40(FP), Y0
+	VBROADCASTSD br+48(FP), Y1
+	VBROADCASTSD cr+56(FP), Y2
+	VBROADCASTSD dr+64(FP), Y3
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y4 // x
+	VMOVUPD (SI)(AX*8), Y5 // xm
+	VMOVUPD (R8)(AX*8), Y6 // y
+	VMOVUPD (R9)(AX*8), Y7 // ym
+	VMULPD      Y0, Y4, Y8  // ar·x
+	VFMADD231PD Y1, Y6, Y8  // + br·y
+	VMULPD      Y0, Y5, Y9  // ar·xm
+	VFMADD231PD Y1, Y7, Y9  // + br·ym
+	VMULPD      Y2, Y4, Y10 // cr·x
+	VFMADD231PD Y3, Y6, Y10 // + dr·y
+	VMULPD      Y2, Y5, Y11 // cr·xm
+	VFMADD231PD Y3, Y7, Y11 // + dr·ym
+	VMOVUPD Y8, (DI)(AX*8)
+	VMOVUPD Y9, (SI)(AX*8)
+	VMOVUPD Y10, (R8)(AX*8)
+	VMOVUPD Y11, (R9)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2Rot2x2Cx(xr, xi, yr, yi *float64, n int, ar, ai, br, bi, cr, ci, dr, di float64)
+// Full complex 1q dense matvec:
+// x' = (ar+i·ai)·x + (br+i·bi)·y, y' = (cr+i·ci)·x + (dr+i·di)·y.
+TEXT ·avx2Rot2x2Cx(SB), NOSPLIT, $0-104
+	MOVQ xr+0(FP), DI
+	MOVQ xi+8(FP), SI
+	MOVQ yr+16(FP), R8
+	MOVQ yi+24(FP), R9
+	MOVQ n+32(FP), CX
+	VBROADCASTSD ar+40(FP), Y0
+	VBROADCASTSD ai+48(FP), Y1
+	VBROADCASTSD br+56(FP), Y2
+	VBROADCASTSD bi+64(FP), Y3
+	VBROADCASTSD cr+72(FP), Y4
+	VBROADCASTSD ci+80(FP), Y5
+	VBROADCASTSD dr+88(FP), Y6
+	VBROADCASTSD di+96(FP), Y7
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y8  // x
+	VMOVUPD (SI)(AX*8), Y9  // xm
+	VMOVUPD (R8)(AX*8), Y10 // y
+	VMOVUPD (R9)(AX*8), Y11 // ym
+	VMULPD       Y0, Y8, Y12   // ar·x
+	VFNMADD231PD Y1, Y9, Y12   // − ai·xm
+	VFMADD231PD  Y2, Y10, Y12  // + br·y
+	VFNMADD231PD Y3, Y11, Y12  // − bi·ym
+	VMULPD       Y0, Y9, Y13   // ar·xm
+	VFMADD231PD  Y1, Y8, Y13   // + ai·x
+	VFMADD231PD  Y2, Y11, Y13  // + br·ym
+	VFMADD231PD  Y3, Y10, Y13  // + bi·y
+	VMULPD       Y4, Y8, Y14   // cr·x
+	VFNMADD231PD Y5, Y9, Y14   // − ci·xm
+	VFMADD231PD  Y6, Y10, Y14  // + dr·y
+	VFNMADD231PD Y7, Y11, Y14  // − di·ym
+	VMULPD       Y4, Y9, Y15   // cr·xm
+	VFMADD231PD  Y5, Y8, Y15   // + ci·x
+	VFMADD231PD  Y6, Y11, Y15  // + dr·ym
+	VFMADD231PD  Y7, Y10, Y15  // + di·y
+	VMOVUPD Y12, (DI)(AX*8)
+	VMOVUPD Y13, (SI)(AX*8)
+	VMOVUPD Y14, (R8)(AX*8)
+	VMOVUPD Y15, (R9)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2Rot4x4N(x0r, x0i, x1r, x1i, x2r, x2i, x3r, x3i *float64, n int, m *complex128)
+// 2q dense matvec over four span quadruples. The 16 complex coefficients are
+// broadcast from m (row-major, interleaved re/im) per row; all eight input
+// vectors are held in registers, so each output row stores immediately.
+TEXT ·avx2Rot4x4N(SB), NOSPLIT, $0-80
+	MOVQ x0r+0(FP), DI
+	MOVQ x0i+8(FP), SI
+	MOVQ x1r+16(FP), R8
+	MOVQ x1i+24(FP), R9
+	MOVQ x2r+32(FP), R10
+	MOVQ x2i+40(FP), R11
+	MOVQ x3r+48(FP), R12
+	MOVQ x3i+56(FP), R13
+	MOVQ n+64(FP), CX
+	MOVQ m+72(FP), BX
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y0  // x0 re
+	VMOVUPD (SI)(AX*8), Y1  // x0 im
+	VMOVUPD (R8)(AX*8), Y2  // x1 re
+	VMOVUPD (R9)(AX*8), Y3  // x1 im
+	VMOVUPD (R10)(AX*8), Y4 // x2 re
+	VMOVUPD (R11)(AX*8), Y5 // x2 im
+	VMOVUPD (R12)(AX*8), Y6 // x3 re
+	VMOVUPD (R13)(AX*8), Y7 // x3 im
+
+	// row 0: b0 = m00·x0 + m01·x1 + m02·x2 + m03·x3
+	VBROADCASTSD 0(BX), Y10
+	VBROADCASTSD 8(BX), Y11
+	VMULPD       Y10, Y0, Y8
+	VFNMADD231PD Y11, Y1, Y8
+	VMULPD       Y10, Y1, Y9
+	VFMADD231PD  Y11, Y0, Y9
+	VBROADCASTSD 16(BX), Y10
+	VBROADCASTSD 24(BX), Y11
+	VFMADD231PD  Y10, Y2, Y8
+	VFNMADD231PD Y11, Y3, Y8
+	VFMADD231PD  Y10, Y3, Y9
+	VFMADD231PD  Y11, Y2, Y9
+	VBROADCASTSD 32(BX), Y10
+	VBROADCASTSD 40(BX), Y11
+	VFMADD231PD  Y10, Y4, Y8
+	VFNMADD231PD Y11, Y5, Y8
+	VFMADD231PD  Y10, Y5, Y9
+	VFMADD231PD  Y11, Y4, Y9
+	VBROADCASTSD 48(BX), Y10
+	VBROADCASTSD 56(BX), Y11
+	VFMADD231PD  Y10, Y6, Y8
+	VFNMADD231PD Y11, Y7, Y8
+	VFMADD231PD  Y10, Y7, Y9
+	VFMADD231PD  Y11, Y6, Y9
+	VMOVUPD Y8, (DI)(AX*8)
+	VMOVUPD Y9, (SI)(AX*8)
+
+	// row 1
+	VBROADCASTSD 64(BX), Y10
+	VBROADCASTSD 72(BX), Y11
+	VMULPD       Y10, Y0, Y8
+	VFNMADD231PD Y11, Y1, Y8
+	VMULPD       Y10, Y1, Y9
+	VFMADD231PD  Y11, Y0, Y9
+	VBROADCASTSD 80(BX), Y10
+	VBROADCASTSD 88(BX), Y11
+	VFMADD231PD  Y10, Y2, Y8
+	VFNMADD231PD Y11, Y3, Y8
+	VFMADD231PD  Y10, Y3, Y9
+	VFMADD231PD  Y11, Y2, Y9
+	VBROADCASTSD 96(BX), Y10
+	VBROADCASTSD 104(BX), Y11
+	VFMADD231PD  Y10, Y4, Y8
+	VFNMADD231PD Y11, Y5, Y8
+	VFMADD231PD  Y10, Y5, Y9
+	VFMADD231PD  Y11, Y4, Y9
+	VBROADCASTSD 112(BX), Y10
+	VBROADCASTSD 120(BX), Y11
+	VFMADD231PD  Y10, Y6, Y8
+	VFNMADD231PD Y11, Y7, Y8
+	VFMADD231PD  Y10, Y7, Y9
+	VFMADD231PD  Y11, Y6, Y9
+	VMOVUPD Y8, (R8)(AX*8)
+	VMOVUPD Y9, (R9)(AX*8)
+
+	// row 2
+	VBROADCASTSD 128(BX), Y10
+	VBROADCASTSD 136(BX), Y11
+	VMULPD       Y10, Y0, Y8
+	VFNMADD231PD Y11, Y1, Y8
+	VMULPD       Y10, Y1, Y9
+	VFMADD231PD  Y11, Y0, Y9
+	VBROADCASTSD 144(BX), Y10
+	VBROADCASTSD 152(BX), Y11
+	VFMADD231PD  Y10, Y2, Y8
+	VFNMADD231PD Y11, Y3, Y8
+	VFMADD231PD  Y10, Y3, Y9
+	VFMADD231PD  Y11, Y2, Y9
+	VBROADCASTSD 160(BX), Y10
+	VBROADCASTSD 168(BX), Y11
+	VFMADD231PD  Y10, Y4, Y8
+	VFNMADD231PD Y11, Y5, Y8
+	VFMADD231PD  Y10, Y5, Y9
+	VFMADD231PD  Y11, Y4, Y9
+	VBROADCASTSD 176(BX), Y10
+	VBROADCASTSD 184(BX), Y11
+	VFMADD231PD  Y10, Y6, Y8
+	VFNMADD231PD Y11, Y7, Y8
+	VFMADD231PD  Y10, Y7, Y9
+	VFMADD231PD  Y11, Y6, Y9
+	VMOVUPD Y8, (R10)(AX*8)
+	VMOVUPD Y9, (R11)(AX*8)
+
+	// row 3
+	VBROADCASTSD 192(BX), Y10
+	VBROADCASTSD 200(BX), Y11
+	VMULPD       Y10, Y0, Y8
+	VFNMADD231PD Y11, Y1, Y8
+	VMULPD       Y10, Y1, Y9
+	VFMADD231PD  Y11, Y0, Y9
+	VBROADCASTSD 208(BX), Y10
+	VBROADCASTSD 216(BX), Y11
+	VFMADD231PD  Y10, Y2, Y8
+	VFNMADD231PD Y11, Y3, Y8
+	VFMADD231PD  Y10, Y3, Y9
+	VFMADD231PD  Y11, Y2, Y9
+	VBROADCASTSD 224(BX), Y10
+	VBROADCASTSD 232(BX), Y11
+	VFMADD231PD  Y10, Y4, Y8
+	VFNMADD231PD Y11, Y5, Y8
+	VFMADD231PD  Y10, Y5, Y9
+	VFMADD231PD  Y11, Y4, Y9
+	VBROADCASTSD 240(BX), Y10
+	VBROADCASTSD 248(BX), Y11
+	VFMADD231PD  Y10, Y6, Y8
+	VFNMADD231PD Y11, Y7, Y8
+	VFMADD231PD  Y10, Y7, Y9
+	VFMADD231PD  Y11, Y6, Y9
+	VMOVUPD Y8, (R12)(AX*8)
+	VMOVUPD Y9, (R13)(AX*8)
+
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// --- interleaved low-qubit 1q kernels ---------------------------------------
+//
+// Qubits 0 and 1 never produce runs long enough for the span bodies above, so
+// these kernels vectorize the pair structure itself: load two YMM registers
+// per plane (8 float64 = 4 amplitude pairs), deinterleave the x/y halves with
+// in-register shuffles, run the same rot2x2/diag arithmetic, and interleave
+// back. q=0 pairs alternate element-wise (VUNPCKLPD/VUNPCKHPD); q=1 pairs
+// alternate 128-bit lanes (VPERM2F128). n counts float64 elements per plane,
+// n > 0 and n%8 == 0; the wrappers peel unaligned head and tail pairs.
+
+// func avx2Rot1LoQ0Re(p *float64, n int, ar, br, cr, dr float64)
+// Real 1q rotation on qubit 0 over one plane (planes are independent when
+// every coefficient is real): x' = ar·x + br·y, y' = cr·x + dr·y.
+TEXT ·avx2Rot1LoQ0Re(SB), NOSPLIT, $0-48
+	MOVQ p+0(FP), DI
+	MOVQ n+8(FP), CX
+	VBROADCASTSD ar+16(FP), Y8
+	VBROADCASTSD br+24(FP), Y9
+	VBROADCASTSD cr+32(FP), Y10
+	VBROADCASTSD dr+40(FP), Y11
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y0   // [x0 y0 x1 y1]
+	VMOVUPD 32(DI)(AX*8), Y1 // [x2 y2 x3 y3]
+	VUNPCKLPD Y1, Y0, Y2 // xs = [x0 x2 x1 x3]
+	VUNPCKHPD Y1, Y0, Y3 // ys = [y0 y2 y1 y3]
+	VMULPD      Y2, Y8, Y4  // ar·xs
+	VFMADD231PD Y3, Y9, Y4  // + br·ys
+	VMULPD      Y2, Y10, Y5 // cr·xs
+	VFMADD231PD Y3, Y11, Y5 // + dr·ys
+	VUNPCKLPD Y5, Y4, Y0
+	VUNPCKHPD Y5, Y4, Y1
+	VMOVUPD Y0, (DI)(AX*8)
+	VMOVUPD Y1, 32(DI)(AX*8)
+	ADDQ $8, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2Rot1LoQ1Re(p *float64, n int, ar, br, cr, dr float64)
+// As Q0Re for qubit 1: x/y halves are the 128-bit lanes of each group.
+TEXT ·avx2Rot1LoQ1Re(SB), NOSPLIT, $0-48
+	MOVQ p+0(FP), DI
+	MOVQ n+8(FP), CX
+	VBROADCASTSD ar+16(FP), Y8
+	VBROADCASTSD br+24(FP), Y9
+	VBROADCASTSD cr+32(FP), Y10
+	VBROADCASTSD dr+40(FP), Y11
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y0   // [x0 x1 y0 y1]
+	VMOVUPD 32(DI)(AX*8), Y1 // [x2 x3 y2 y3]
+	VPERM2F128 $0x20, Y1, Y0, Y2 // xs = [x0 x1 x2 x3]
+	VPERM2F128 $0x31, Y1, Y0, Y3 // ys = [y0 y1 y2 y3]
+	VMULPD      Y2, Y8, Y4  // ar·xs
+	VFMADD231PD Y3, Y9, Y4  // + br·ys
+	VMULPD      Y2, Y10, Y5 // cr·xs
+	VFMADD231PD Y3, Y11, Y5 // + dr·ys
+	VPERM2F128 $0x20, Y5, Y4, Y0
+	VPERM2F128 $0x31, Y5, Y4, Y1
+	VMOVUPD Y0, (DI)(AX*8)
+	VMOVUPD Y1, 32(DI)(AX*8)
+	ADDQ $8, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2Rot1LoQ0Cx(re, im *float64, n int, ar, ai, br, bi, cr, ci, dr, di float64)
+// Complex 1q rotation on qubit 0: full rot2x2 arithmetic on deinterleaved
+// pairs of both planes.
+TEXT ·avx2Rot1LoQ0Cx(SB), NOSPLIT, $0-88
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD ar+24(FP), Y8
+	VBROADCASTSD ai+32(FP), Y9
+	VBROADCASTSD br+40(FP), Y10
+	VBROADCASTSD bi+48(FP), Y11
+	VBROADCASTSD cr+56(FP), Y12
+	VBROADCASTSD ci+64(FP), Y13
+	VBROADCASTSD dr+72(FP), Y14
+	VBROADCASTSD di+80(FP), Y15
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y0
+	VMOVUPD 32(DI)(AX*8), Y1
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD 32(SI)(AX*8), Y3
+	VUNPCKLPD Y1, Y0, Y4 // xr
+	VUNPCKHPD Y1, Y0, Y5 // yr
+	VUNPCKLPD Y3, Y2, Y6 // xm
+	VUNPCKHPD Y3, Y2, Y7 // ym
+	VMULPD       Y4, Y8, Y0  // nxr = ar·xr
+	VFNMADD231PD Y6, Y9, Y0  // − ai·xm
+	VFMADD231PD  Y5, Y10, Y0 // + br·yr
+	VFNMADD231PD Y7, Y11, Y0 // − bi·ym
+	VMULPD       Y6, Y8, Y1  // nxi = ar·xm
+	VFMADD231PD  Y4, Y9, Y1  // + ai·xr
+	VFMADD231PD  Y7, Y10, Y1 // + br·ym
+	VFMADD231PD  Y5, Y11, Y1 // + bi·yr
+	VMULPD       Y4, Y12, Y2 // nyr = cr·xr
+	VFNMADD231PD Y6, Y13, Y2 // − ci·xm
+	VFMADD231PD  Y5, Y14, Y2 // + dr·yr
+	VFNMADD231PD Y7, Y15, Y2 // − di·ym
+	VMULPD       Y6, Y12, Y3 // nyi = cr·xm
+	VFMADD231PD  Y4, Y13, Y3 // + ci·xr
+	VFMADD231PD  Y7, Y14, Y3 // + dr·ym
+	VFMADD231PD  Y5, Y15, Y3 // + di·yr
+	VUNPCKLPD Y2, Y0, Y4
+	VUNPCKHPD Y2, Y0, Y5
+	VUNPCKLPD Y3, Y1, Y6
+	VUNPCKHPD Y3, Y1, Y7
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, 32(DI)(AX*8)
+	VMOVUPD Y6, (SI)(AX*8)
+	VMOVUPD Y7, 32(SI)(AX*8)
+	ADDQ $8, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2Rot1LoQ1Cx(re, im *float64, n int, ar, ai, br, bi, cr, ci, dr, di float64)
+// As Q0Cx for qubit 1 (lane shuffles instead of element unpacks).
+TEXT ·avx2Rot1LoQ1Cx(SB), NOSPLIT, $0-88
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD ar+24(FP), Y8
+	VBROADCASTSD ai+32(FP), Y9
+	VBROADCASTSD br+40(FP), Y10
+	VBROADCASTSD bi+48(FP), Y11
+	VBROADCASTSD cr+56(FP), Y12
+	VBROADCASTSD ci+64(FP), Y13
+	VBROADCASTSD dr+72(FP), Y14
+	VBROADCASTSD di+80(FP), Y15
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y0
+	VMOVUPD 32(DI)(AX*8), Y1
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD 32(SI)(AX*8), Y3
+	VPERM2F128 $0x20, Y1, Y0, Y4 // xr
+	VPERM2F128 $0x31, Y1, Y0, Y5 // yr
+	VPERM2F128 $0x20, Y3, Y2, Y6 // xm
+	VPERM2F128 $0x31, Y3, Y2, Y7 // ym
+	VMULPD       Y4, Y8, Y0
+	VFNMADD231PD Y6, Y9, Y0
+	VFMADD231PD  Y5, Y10, Y0
+	VFNMADD231PD Y7, Y11, Y0
+	VMULPD       Y6, Y8, Y1
+	VFMADD231PD  Y4, Y9, Y1
+	VFMADD231PD  Y7, Y10, Y1
+	VFMADD231PD  Y5, Y11, Y1
+	VMULPD       Y4, Y12, Y2
+	VFNMADD231PD Y6, Y13, Y2
+	VFMADD231PD  Y5, Y14, Y2
+	VFNMADD231PD Y7, Y15, Y2
+	VMULPD       Y6, Y12, Y3
+	VFMADD231PD  Y4, Y13, Y3
+	VFMADD231PD  Y7, Y14, Y3
+	VFMADD231PD  Y5, Y15, Y3
+	VPERM2F128 $0x20, Y2, Y0, Y4
+	VPERM2F128 $0x31, Y2, Y0, Y5
+	VPERM2F128 $0x20, Y3, Y1, Y6
+	VPERM2F128 $0x31, Y3, Y1, Y7
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, 32(DI)(AX*8)
+	VMOVUPD Y6, (SI)(AX*8)
+	VMOVUPD Y7, 32(SI)(AX*8)
+	ADDQ $8, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2Diag1LoQ0(re, im *float64, n int, ar, ai, dr, di float64)
+// diag(a, d) on qubit 0: x *= a, y *= d on deinterleaved pairs.
+TEXT ·avx2Diag1LoQ0(SB), NOSPLIT, $0-56
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD ar+24(FP), Y8
+	VBROADCASTSD ai+32(FP), Y9
+	VBROADCASTSD dr+40(FP), Y10
+	VBROADCASTSD di+48(FP), Y11
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y0
+	VMOVUPD 32(DI)(AX*8), Y1
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD 32(SI)(AX*8), Y3
+	VUNPCKLPD Y1, Y0, Y4 // xr
+	VUNPCKHPD Y1, Y0, Y5 // yr
+	VUNPCKLPD Y3, Y2, Y6 // xm
+	VUNPCKHPD Y3, Y2, Y7 // ym
+	VMULPD       Y4, Y8, Y0  // ar·xr
+	VFNMADD231PD Y6, Y9, Y0  // − ai·xm
+	VMULPD       Y6, Y8, Y1  // ar·xm
+	VFMADD231PD  Y4, Y9, Y1  // + ai·xr
+	VMULPD       Y5, Y10, Y2 // dr·yr
+	VFNMADD231PD Y7, Y11, Y2 // − di·ym
+	VMULPD       Y7, Y10, Y3 // dr·ym
+	VFMADD231PD  Y5, Y11, Y3 // + di·yr
+	VUNPCKLPD Y2, Y0, Y4
+	VUNPCKHPD Y2, Y0, Y5
+	VUNPCKLPD Y3, Y1, Y6
+	VUNPCKHPD Y3, Y1, Y7
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, 32(DI)(AX*8)
+	VMOVUPD Y6, (SI)(AX*8)
+	VMOVUPD Y7, 32(SI)(AX*8)
+	ADDQ $8, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET
+
+// func avx2Diag1LoQ1(re, im *float64, n int, ar, ai, dr, di float64)
+// As Diag1LoQ0 for qubit 1.
+TEXT ·avx2Diag1LoQ1(SB), NOSPLIT, $0-56
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD ar+24(FP), Y8
+	VBROADCASTSD ai+32(FP), Y9
+	VBROADCASTSD dr+40(FP), Y10
+	VBROADCASTSD di+48(FP), Y11
+	XORQ AX, AX
+loop:
+	VMOVUPD (DI)(AX*8), Y0
+	VMOVUPD 32(DI)(AX*8), Y1
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD 32(SI)(AX*8), Y3
+	VPERM2F128 $0x20, Y1, Y0, Y4 // xr
+	VPERM2F128 $0x31, Y1, Y0, Y5 // yr
+	VPERM2F128 $0x20, Y3, Y2, Y6 // xm
+	VPERM2F128 $0x31, Y3, Y2, Y7 // ym
+	VMULPD       Y4, Y8, Y0
+	VFNMADD231PD Y6, Y9, Y0
+	VMULPD       Y6, Y8, Y1
+	VFMADD231PD  Y4, Y9, Y1
+	VMULPD       Y5, Y10, Y2
+	VFNMADD231PD Y7, Y11, Y2
+	VMULPD       Y7, Y10, Y3
+	VFMADD231PD  Y5, Y11, Y3
+	VPERM2F128 $0x20, Y2, Y0, Y4
+	VPERM2F128 $0x31, Y2, Y0, Y5
+	VPERM2F128 $0x20, Y3, Y1, Y6
+	VPERM2F128 $0x31, Y3, Y1, Y7
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, 32(DI)(AX*8)
+	VMOVUPD Y6, (SI)(AX*8)
+	VMOVUPD Y7, 32(SI)(AX*8)
+	ADDQ $8, AX
+	CMPQ AX, CX
+	JLT  loop
+	VZEROUPPER
+	RET

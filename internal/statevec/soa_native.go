@@ -4,17 +4,26 @@ package statevec
 
 import "unsafe"
 
-// Default arm: the unrolled span primitives plus 64-byte aligned plane
-// allocation, so the contiguous runs the kernels hand to the table start on
-// cache-line (and future AVX-512 register) boundaries.
+// Default build: candidate arms are the architecture's assembly arm (when
+// the CPU feature probe admits it — see soa_amd64.go / soa_arm64.go), the
+// unrolled-Go span arm, and the scalar reference arm, best-first. Plane
+// allocation is 64-byte aligned so the contiguous runs the kernels hand to
+// the table start on cache-line (and full-register) boundaries.
 
 // nativeSpanMin is the run length at which span dispatch beats the inlined
 // scalar loop: below it, the call through the function pointer costs more
 // than the unrolling saves.
 const nativeSpanMin = 8
 
-func init() {
-	ops = kernelOps{
+func buildArms() []kernelOps {
+	return append(archArms(), spanArm(), scalarArm())
+}
+
+// spanArm is the portable unrolled-Go arm: the fallback when the CPU lacks
+// the assembly arm's extensions, and the baseline the per-arm benchmarks
+// compare the assembly against.
+func spanArm() kernelOps {
+	return kernelOps{
 		name:    "span",
 		spanMin: nativeSpanMin,
 		scale:   spanScale,
@@ -22,7 +31,7 @@ func init() {
 		swap:    spanSwap,
 		cross:   spanCross,
 		axpy:    spanAxpy,
-		rot4x4:  scalarRot4x4,
+		rot4x4:  spanRot4x4,
 	}
 }
 

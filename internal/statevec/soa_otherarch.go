@@ -1,0 +1,8 @@
+//go:build !purego && !amd64 && !arm64
+
+package statevec
+
+// No assembly arm on this architecture: the span arm is the best candidate.
+func archArms() []kernelOps {
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/cmplx"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"hsfsim/internal/cmat"
@@ -300,6 +301,311 @@ func TestVectorConversionRoundTrip(t *testing.T) {
 	}
 	if got, want := v.Probability(3), 13.0; got != want {
 		t.Fatalf("Probability = %v, want %v", got, want)
+	}
+}
+
+// realHH is H⊗H: a real orthogonal 4×4 dense matrix, chosen so the u4 kernel
+// hits the all-real rot4x4 fast path in every arm.
+func realHH() *cmat.Matrix {
+	m := cmat.New(4, 4)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			sign := 1.0
+			if r&c&1 != 0 {
+				sign = -sign
+			}
+			if (r>>1)&(c>>1)&1 != 0 {
+				sign = -sign
+			}
+			m.Set(r, c, complex(sign*0.5, 0))
+		}
+	}
+	return m
+}
+
+// TestSoAParityAllArms re-runs a condensed gate zoo under every kernel arm
+// this process has (scalar always; span and the assembly arm when compiled
+// in and the CPU supports it), switching arms with SelectKernelISA. The zoo
+// deliberately covers both coefficient classes of each primitive: real
+// (Hadamard, X, CZ, H⊗H) and complex (phases, ISWAP, random unitaries).
+func TestSoAParityAllArms(t *testing.T) {
+	orig := KernelISA()
+	defer func() {
+		if err := SelectKernelISA(orig); err != nil {
+			t.Fatalf("restoring arm %q: %v", orig, err)
+		}
+	}()
+	for _, isa := range KernelISAs() {
+		t.Run(isa, func(t *testing.T) {
+			if err := SelectKernelISA(isa); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(30))
+			const n = 9
+			for q := 0; q < n; q++ {
+				q2, q3 := (q+3)%n, (q+6)%n
+				gates := []gate.Gate{
+					gate.H(q),
+					gate.X(q),
+					gate.RZ(rng.Float64()*6, q),
+					gate.RX(rng.Float64()*6, q),
+					gate.P(rng.Float64()*6, q),
+					gate.New("u", randUnitary(rng, 2), nil, q),
+					gate.CZ(q, q2),
+					gate.CNOT(q, q2),
+					gate.SWAP(q, q2),
+					gate.ISWAP(q, q2),
+					gate.New("hh", realHH(), nil, q, q2),
+					gate.New("u4", randUnitary(rng, 4), nil, q, q2),
+					gate.CCX(q, q2, q3),
+					gate.New("cphaseswap", phasedPerm3(), nil, q, q2, q3),
+				}
+				for i := range gates {
+					checkSoAParity(t, rng, &gates[i], n)
+				}
+			}
+		})
+	}
+}
+
+// phasedPerm3 builds a 3q phased permutation — one 2-cycle carrying phase i
+// on both moves plus a fixed state with phase −1 — so permK's
+// single-transposition fast path exercises both its cross branch and its
+// fixed-phase span scaling, under every arm.
+func phasedPerm3() *cmat.Matrix {
+	m := cmat.New(8, 8)
+	for i := 0; i < 8; i++ {
+		m.Set(i, i, 1)
+	}
+	m.Set(5, 5, 0)
+	m.Set(6, 6, 0)
+	m.Set(5, 6, 1i)
+	m.Set(6, 5, 1i)
+	m.Set(7, 7, -1)
+	return m
+}
+
+// TestLoQubitKernelsAllArms pins the interleaved low-qubit kernels (rot1lo /
+// diag1lo, installed by the assembly arms for qubits 0 and 1) against the
+// scalar pair bodies over uneven [lo,hi) splits — including the odd-lo
+// starts parallelRange can produce, which force the q=1 group-alignment
+// peel — for both coefficient classes. Arms without the kernels run their
+// scalar fallbacks and must agree too.
+func TestLoQubitKernelsAllArms(t *testing.T) {
+	orig := KernelISA()
+	defer func() {
+		if err := SelectKernelISA(orig); err != nil {
+			t.Fatalf("restoring arm %q: %v", orig, err)
+		}
+	}()
+	rng := rand.New(rand.NewSource(33))
+	const n = 6
+	half := 1 << (n - 1)
+	splits := [][2]int{{0, half}, {1, half}, {0, half - 1}, {3, half - 3}, {5, 29}, {7, 8}, {9, 10}}
+	coeffs := func(re bool) [8]float64 {
+		var c [8]float64
+		for i := range c {
+			if re || i%2 == 0 {
+				c[i] = rng.NormFloat64()
+			}
+		}
+		return c
+	}
+	for _, isa := range KernelISAs() {
+		t.Run(isa, func(t *testing.T) {
+			if err := SelectKernelISA(isa); err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < 2; q++ {
+				for _, sp := range splits {
+					lo, hi := sp[0], sp[1]
+					for _, re := range []bool{true, false} {
+						c := coeffs(re)
+						s := randomState(rng, n)
+						got, want := FromComplex(s), FromComplex(s)
+						got.rot1(complex(c[0], c[1]), complex(c[2], c[3]),
+							complex(c[4], c[5]), complex(c[6], c[7]), q, lo, hi)
+						for o := lo; o < hi; o++ {
+							rot1Pair(want.Re, want.Im, q, o, c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7])
+						}
+						for i := 0; i < want.Len(); i++ {
+							if cmplx.Abs(got.Amplitude(i)-want.Amplitude(i)) > parityTol {
+								t.Fatalf("rot1 q=%d lo=%d hi=%d re=%v: amplitude %d: got %v want %v",
+									q, lo, hi, re, i, got.Amplitude(i), want.Amplitude(i))
+							}
+						}
+						got, want = FromComplex(s), FromComplex(s)
+						got.diag1(complex(c[0], c[1]), complex(c[6], c[7]), q, lo, hi)
+						for o := lo; o < hi; o++ {
+							diag1Pair(want.Re, want.Im, q, o, c[0], c[1], c[6], c[7])
+						}
+						for i := 0; i < want.Len(); i++ {
+							if cmplx.Abs(got.Amplitude(i)-want.Amplitude(i)) > parityTol {
+								t.Fatalf("diag1 q=%d lo=%d hi=%d re=%v: amplitude %d: got %v want %v",
+									q, lo, hi, re, i, got.Amplitude(i), want.Amplitude(i))
+							}
+						}
+						got, want = FromComplex(s), FromComplex(s)
+						got.phase1(complex(c[6], c[7]), q, lo, hi)
+						for o := lo; o < hi; o++ {
+							diag1Pair(want.Re, want.Im, q, o, 1, 0, c[6], c[7])
+						}
+						for i := 0; i < want.Len(); i++ {
+							if cmplx.Abs(got.Amplitude(i)-want.Amplitude(i)) > parityTol {
+								t.Fatalf("phase1 q=%d lo=%d hi=%d re=%v: amplitude %d: got %v want %v",
+									q, lo, hi, re, i, got.Amplitude(i), want.Amplitude(i))
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpanPrimitivesAllArms hammers the six span primitives of every arm
+// directly against the scalar reference bodies, over lengths below spanMin,
+// odd lengths, and unaligned offsets — the span shapes kernel dispatch
+// produces at low qubit positions and odd gate offsets. Both coefficient
+// classes (real-only and complex) are exercised so the Re/Cx assembly entry
+// points and their tail epilogues are all covered.
+func TestSpanPrimitivesAllArms(t *testing.T) {
+	ref := scalarArm()
+	lengths := []int{1, 2, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 31, 33, 100}
+	offsets := []int{0, 1, 3}
+	rng := rand.New(rand.NewSource(31))
+	window := func(n, off int) []float64 {
+		buf := alignedFloats(n + off)
+		for i := range buf {
+			buf[i] = rng.NormFloat64()
+		}
+		return buf[off:]
+	}
+	maxDiff := func(a, b []float64) float64 {
+		d := 0.0
+		for i := range a {
+			if e := a[i] - b[i]; e > d {
+				d = e
+			} else if -e > d {
+				d = -e
+			}
+		}
+		return d
+	}
+	check := func(t *testing.T, what string, n, off int, got, want [][]float64) {
+		t.Helper()
+		for p := range got {
+			if d := maxDiff(got[p], want[p]); d > parityTol {
+				t.Fatalf("%s n=%d off=%d plane %d: max diff %g", what, n, off, p, d)
+			}
+		}
+	}
+	for _, arm := range arms {
+		arm := arm
+		t.Run(arm.name, func(t *testing.T) {
+			for _, n := range lengths {
+				for _, off := range offsets {
+					planes := func(k int) (a, b [][]float64) {
+						a = make([][]float64, k)
+						b = make([][]float64, k)
+						for p := 0; p < k; p++ {
+							a[p] = window(n, off)
+							b[p] = append([]float64(nil), a[p]...)
+						}
+						return a, b
+					}
+					cr, ci := rng.NormFloat64(), rng.NormFloat64()
+					br, bi := rng.NormFloat64(), rng.NormFloat64()
+					ar, ai := rng.NormFloat64(), rng.NormFloat64()
+					dr, di := rng.NormFloat64(), rng.NormFloat64()
+
+					for _, im := range []float64{0, ci} {
+						g, w := planes(2)
+						arm.scale(g[0], g[1], cr, im)
+						ref.scale(w[0], w[1], cr, im)
+						check(t, "scale", n, off, g, w)
+					}
+					{
+						g, w := planes(4)
+						arm.swap(g[0], g[1], g[2], g[3])
+						ref.swap(w[0], w[1], w[2], w[3])
+						check(t, "swap", n, off, g, w)
+					}
+					for _, im := range []float64{0, 1} {
+						g, w := planes(4)
+						arm.cross(g[0], g[1], g[2], g[3], br, bi*im, cr, ci*im)
+						ref.cross(w[0], w[1], w[2], w[3], br, bi*im, cr, ci*im)
+						check(t, "cross", n, off, g, w)
+						g, w = planes(4)
+						arm.axpy(g[0], g[1], g[2], g[3], cr, ci*im)
+						ref.axpy(w[0], w[1], w[2], w[3], cr, ci*im)
+						check(t, "axpy", n, off, g, w)
+						g, w = planes(4)
+						arm.rot2x2(g[0], g[1], g[2], g[3], ar, ai*im, br, bi*im, cr, ci*im, dr, di*im)
+						ref.rot2x2(w[0], w[1], w[2], w[3], ar, ai*im, br, bi*im, cr, ci*im, dr, di*im)
+						check(t, "rot2x2", n, off, g, w)
+					}
+					for _, im := range []float64{0, 1} {
+						m := make([]complex128, 16)
+						for k := range m {
+							m[k] = complex(rng.NormFloat64(), im*rng.NormFloat64())
+						}
+						g, w := planes(8)
+						arm.rot4x4(g[0], g[1], g[2], g[3], g[4], g[5], g[6], g[7], m)
+						ref.rot4x4(w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], m)
+						check(t, "rot4x4", n, off, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSelectKernelISA pins the override surface: the installed arm is always
+// one of KernelISAs, scalar is always available, every available arm can be
+// selected and reported, an unavailable-but-known arm errors with "not
+// available" (leaving the installed arm unchanged), and an unknown name
+// errors with "unknown".
+func TestSelectKernelISA(t *testing.T) {
+	orig := KernelISA()
+	defer func() {
+		if err := SelectKernelISA(orig); err != nil {
+			t.Fatalf("restoring arm %q: %v", orig, err)
+		}
+	}()
+	avail := map[string]bool{}
+	for _, name := range KernelISAs() {
+		avail[name] = true
+	}
+	if !avail[orig] {
+		t.Fatalf("installed arm %q not in KernelISAs %v", orig, KernelISAs())
+	}
+	if !avail["scalar"] {
+		t.Fatalf("scalar arm missing from KernelISAs %v", KernelISAs())
+	}
+	if err := SelectKernelISA("sse9"); err == nil || !strings.Contains(err.Error(), "unknown kernel ISA") {
+		t.Fatalf("unknown arm: err = %v", err)
+	}
+	if got := KernelISA(); got != orig {
+		t.Fatalf("failed select changed the arm to %q", got)
+	}
+	for _, known := range kernelISANames {
+		if avail[known] {
+			if err := SelectKernelISA(known); err != nil {
+				t.Fatalf("selecting available arm %q: %v", known, err)
+			}
+			if got := KernelISA(); got != known {
+				t.Fatalf("KernelISA() = %q after selecting %q", got, known)
+			}
+		} else {
+			before := KernelISA()
+			if err := SelectKernelISA(known); err == nil || !strings.Contains(err.Error(), "not available") {
+				t.Fatalf("unavailable arm %q: err = %v", known, err)
+			}
+			if got := KernelISA(); got != before {
+				t.Fatalf("failed select changed the arm to %q", got)
+			}
+		}
 	}
 }
 

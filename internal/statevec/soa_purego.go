@@ -2,23 +2,14 @@
 
 package statevec
 
-// Fallback arm (`-tags purego`): every primitive is the plain scalar
-// reference body, spanMin=0 disables span dispatch entirely so the kernels
+// Fallback build (`-tags purego`): the only arm is the plain scalar
+// reference one — spanMin=0 disables span dispatch entirely so the kernels
 // run their inline scalar fallback loops, and allocation needs no alignment
 // because nothing assumes it. This arm is the portability floor and the
-// semantics oracle the parity suite pins the span arm against.
+// semantics oracle the parity suite pins every other arm against.
 
-func init() {
-	ops = kernelOps{
-		name:    "scalar",
-		spanMin: 0,
-		scale:   scalarScale,
-		rot2x2:  scalarRot2x2,
-		swap:    scalarSwap,
-		cross:   scalarCross,
-		axpy:    scalarAxpy,
-		rot4x4:  scalarRot4x4,
-	}
+func buildArms() []kernelOps {
+	return []kernelOps{scalarArm()}
 }
 
 func alignedFloats(n int) []float64 {

@@ -24,6 +24,21 @@ func WriteGauge(w io.Writer, name, help string, v float64) {
 		name, help, name, name, formatFloat(v))
 }
 
+// WriteInfoGauge emits one gauge-typed metric with constant value 1 and the
+// given label pairs — the Prometheus "info metric" idiom (build_info and
+// friends), where the payload lives in the labels. Label values are quoted
+// with strconv.Quote, which matches the exposition format's escaping rules.
+func WriteInfoGauge(w io.Writer, name, help string, labels [][2]string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s{", name, help, name, name)
+	for i, kv := range labels {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		fmt.Fprintf(w, "%s=%s", kv[0], strconv.Quote(kv[1]))
+	}
+	io.WriteString(w, "} 1\n")
+}
+
 // WriteHistogramSnapshot emits one histogram-typed metric with cumulative
 // le-labelled buckets, _sum, and _count series.
 func WriteHistogramSnapshot(w io.Writer, name, help string, s HistogramSnapshot) {

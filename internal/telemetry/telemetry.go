@@ -378,6 +378,7 @@ type ParStats struct {
 type Report struct {
 	StartTime      time.Time         `json:"start_time"`
 	WallMs         float64           `json:"wall_ms"`
+	KernelISA      string            `json:"kernel_isa,omitempty"`
 	Spans          []SpanRecord      `json:"spans,omitempty"`
 	Paths          PathStats         `json:"paths"`
 	Counters       Counters          `json:"counters"`
