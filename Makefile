@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-purego race race-core race-sweep race-telemetry fuzz dist-test chaos-test jobs-test vet cover bench bench-core bench-kernels bench-telemetry bench-serving bench-smoke bench-tables examples fmt clean
+.PHONY: all build test test-purego race race-core race-sweep race-telemetry trace-test fuzz dist-test chaos-test jobs-test vet cover bench bench-core bench-kernels bench-telemetry bench-serving bench-dist bench-smoke bench-tables examples fmt clean
 
 all: build vet test
 
@@ -49,6 +49,17 @@ race-telemetry:
 	$(GO) test -race ./internal/telemetry/
 	$(GO) test -race -run 'Telemetry|Prometheus|DistStats' -count=1 ./internal/hsf/ ./internal/dist/ ./internal/server/ .
 	$(GO) test -run 'TestZeroAllocsPerLeafWithTelemetry' -count=1 ./internal/hsf/
+
+# Tracing suite under the race detector: traceparent propagation over
+# loopback and real HTTP, span continuity across transport retries and work
+# stealing, the chaos-run fleet timeline's wall-clock coverage, flight
+# recorder eviction, and /debug/trace addressing. The zero-alloc guard with
+# tracing enabled runs without -race (the detector's instrumentation
+# allocates).
+trace-test:
+	$(GO) test -race ./internal/telemetry/trace/
+	$(GO) test -race -run 'Trace|Span|Timeline|Recorder|Tenant|DebugTrace' -count=1 ./internal/dist/ ./internal/server/ ./internal/jobs/ ./internal/hsf/
+	$(GO) test -run 'TestZeroAllocsPerLeafWithTracing' -count=1 ./internal/hsf/
 
 # Short fuzz pass over the daemon's untrusted input surface.
 fuzz:
@@ -111,6 +122,13 @@ bench-smoke:
 # throughput and p50/p99 latency per scenario.
 bench-serving:
 	$(GO) run ./cmd/benchcore -study serving -o BENCH_serving.json
+
+# Distributed scaling study: loopback fleets at 2/4/8/16 workers (adaptive
+# vs. fixed batch sizing) plus a real-HTTP variant, with lease overhead,
+# steal efficiency, and utilization computed from the trace spans the run
+# itself recorded. Closes the ROADMAP [scale] item.
+bench-dist:
+	$(GO) run ./cmd/benchcore -study dist -o BENCH_dist.json
 
 # Regenerate every table and figure at laptop scale.
 bench-tables:

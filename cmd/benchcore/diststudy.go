@@ -1,0 +1,232 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"time"
+
+	"hsfsim/internal/dist"
+	"hsfsim/internal/server"
+	"hsfsim/internal/telemetry/trace"
+)
+
+func quietDistLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// distRow is one distributed run, measured entirely from its trace spans:
+// the run's wall clock is the dist-run root span, lease overhead compares
+// coordinator-side lease spans against the worker-exec windows nested in
+// them, and steals are the lease spans carrying a Link to their victim.
+type distRow struct {
+	Name      string  `json:"name"`
+	Transport string  `json:"transport"` // loopback | http
+	Workers   int     `json:"workers"`
+	Mode      string  `json:"mode"` // adaptive | fixed batch sizing
+	WallMs    float64 `json:"wall_ms"`
+	Paths     int64   `json:"paths"`
+	// Leases/Steals/Resplits count lease spans (steals are the ones whose
+	// span links a victim).
+	Leases int `json:"leases"`
+	Steals int `json:"steals"`
+	// LeaseOverheadPct is (Σ lease − Σ worker-exec) / Σ lease × 100: the
+	// share of coordinator-observed lease time not spent executing on the
+	// worker (transport, queueing, merge, clock skew residue).
+	LeaseOverheadPct float64 `json:"lease_overhead_pct"`
+	// StealEfficiencyPct is the share of steal leases that completed and
+	// merged (no error), i.e. steals that turned idle time into progress.
+	// -1 when the run had no steals.
+	StealEfficiencyPct float64 `json:"steal_efficiency_pct"`
+	// UtilizationPct is Σ lease span time / (workers × wall) × 100 — how
+	// busy the fleet was keeping the lease pipeline full.
+	UtilizationPct float64 `json:"utilization_pct"`
+	SpansRecorded  int     `json:"spans_recorded"`
+}
+
+// distScaling is the adaptive-vs-fixed comparison at one fleet size, the
+// number the adaptive BatchSize sizer has to justify itself with.
+type distScaling struct {
+	Workers        int     `json:"workers"`
+	AdaptiveWallMs float64 `json:"adaptive_wall_ms"`
+	FixedWallMs    float64 `json:"fixed_wall_ms"`
+	// AdaptiveWinPct is (fixed − adaptive) / fixed × 100; positive means
+	// adaptive sizing beat the fixed baseline.
+	AdaptiveWinPct float64 `json:"adaptive_win_pct"`
+}
+
+type distReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Timestamp  time.Time     `json:"timestamp"`
+	Rows       []distRow     `json:"rows"`
+	Scaling    []distScaling `json:"scaling"`
+}
+
+// distQASM builds the study workload: a QAOA-style circuit whose crossing
+// RZZ entanglers give joint cutting a real prefix-task space to shard.
+func distQASM(n, edges int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	fmt.Fprintf(&b, "qreg q[%d];\n", n)
+	for q := 0; q < n; q++ {
+		fmt.Fprintf(&b, "h q[%d];\n", q)
+	}
+	for i := 0; i < edges; i++ {
+		a := rng.Intn(n)
+		c := (a + 1 + rng.Intn(n-1)) % n
+		fmt.Fprintf(&b, "rzz(%.6f) q[%d],q[%d];\n", rng.Float64()*2, a, c)
+	}
+	for q := 0; q < n; q++ {
+		fmt.Fprintf(&b, "rx(%.6f) q[%d];\n", rng.Float64(), q)
+	}
+	return b.String()
+}
+
+// distJob is the study workload: standard cutting keeps every crossing gate
+// a separate cut, giving a 8192-path prefix space — enough tasks that even
+// the 16-worker fleet sees multiple lease rounds and the adaptive sizer has
+// room to differentiate workers.
+func distJob() *dist.Job {
+	return &dist.Job{QASM: distQASM(12, 32, 7), Method: "standard", CutPos: 5}
+}
+
+// runDistOnce executes one distributed run under a fresh flight recorder and
+// reduces the recorded spans to a row. batchSize 0 is the adaptive sizer.
+func runDistOnce(name, transport string, workers int, co *dist.Coordinator, batchSize int) distRow {
+	trc := trace.NewRecorder(0)
+	ctx := trace.NewContext(context.Background(), trc, trace.SpanContext{})
+	res, err := co.Run(ctx, distJob(), dist.RunOptions{})
+	fail(err)
+
+	mode := "adaptive"
+	if batchSize > 0 {
+		mode = "fixed"
+	}
+	row := distRow{
+		Name:               name,
+		Transport:          transport,
+		Workers:            workers,
+		Mode:               mode,
+		Paths:              res.PathsSimulated,
+		StealEfficiencyPct: -1,
+	}
+	var wallNS, leaseNS, execNS int64
+	var stealsOK int
+	events := trc.Snapshot()
+	row.SpansRecorded = len(events)
+	for i := range events {
+		ev := &events[i]
+		switch ev.Name {
+		case "dist-run":
+			wallNS = ev.Dur
+		case "lease":
+			row.Leases++
+			leaseNS += ev.Dur
+			if ev.Link.Valid() {
+				row.Steals++
+				if ev.Str("err") == "" {
+					stealsOK++
+				}
+			}
+		case "worker-exec":
+			execNS += ev.Dur
+		}
+	}
+	row.WallMs = float64(wallNS) / 1e6
+	if leaseNS > 0 {
+		row.LeaseOverheadPct = float64(leaseNS-execNS) / float64(leaseNS) * 100
+	}
+	if row.Steals > 0 {
+		row.StealEfficiencyPct = float64(stealsOK) / float64(row.Steals) * 100
+	}
+	if wallNS > 0 && workers > 0 {
+		row.UtilizationPct = float64(leaseNS) / (float64(wallNS) * float64(workers)) * 100
+	}
+	return row
+}
+
+// loopbackRun builds a heterogeneous loopback fleet (every other worker
+// delivers replies late, so the adaptive sizer and the stealer both have
+// something to react to) and runs the workload once.
+func loopbackRun(workers, batchSize int) distRow {
+	lb := dist.NewLoopback()
+	for i := 0; i < workers; i++ {
+		name := fmt.Sprintf("w%d", i)
+		lb.AddWorker(name, dist.ExecOptions{Workers: 1})
+		if i%2 == 1 {
+			lb.Delay(name, 10*time.Millisecond)
+		}
+	}
+	co, err := dist.New(dist.Config{
+		Transport:    lb,
+		LeaseTimeout: 30 * time.Second,
+		StealDelay:   20 * time.Millisecond,
+		BatchSize:    batchSize,
+		Logger:       quietDistLogger(),
+	})
+	fail(err)
+	for i := 0; i < workers; i++ {
+		co.AddWorker(fmt.Sprintf("w%d", i))
+	}
+	mode := "adaptive"
+	if batchSize > 0 {
+		mode = "fixed"
+	}
+	return runDistOnce(fmt.Sprintf("loopback-%dw-%s", workers, mode), "loopback", workers, co, batchSize)
+}
+
+// httpRun shards the same workload across real hsfsimd handler trees behind
+// httptest listeners, driven by the production HTTPTransport — the
+// single-machine stand-in for a real fleet, including traceparent headers
+// and worker-exec clock estimation from response headers.
+func httpRun(workers int) distRow {
+	var addrs []string
+	for i := 0; i < workers; i++ {
+		srv := httptest.NewServer(server.NewWithConfig(server.Config{Logger: quietDistLogger()}))
+		defer srv.Close()
+		addrs = append(addrs, strings.TrimPrefix(srv.URL, "http://"))
+	}
+	co, err := dist.New(dist.Config{
+		Transport:    &dist.HTTPTransport{},
+		LeaseTimeout: 30 * time.Second,
+		Logger:       quietDistLogger(),
+	})
+	fail(err)
+	for _, a := range addrs {
+		co.AddWorker(a)
+	}
+	return runDistOnce(fmt.Sprintf("http-%dw-adaptive", workers), "http", workers, co, 0)
+}
+
+// distStudy drives the distributed runtime end to end at 2/4/8/16 loopback
+// workers — adaptive and fixed batch sizing at each size — plus a real-HTTP
+// variant, computing the protocol numbers from the flight recorder's spans.
+func distStudy() *distReport {
+	rep := &distReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC(),
+	}
+	loopbackRun(2, 0) // warm the engine pools so row 1 doesn't pay cold costs
+	for _, w := range []int{2, 4, 8, 16} {
+		ad := loopbackRun(w, 0)
+		fx := loopbackRun(w, 4)
+		rep.Rows = append(rep.Rows, ad, fx)
+		rep.Scaling = append(rep.Scaling, distScaling{
+			Workers:        w,
+			AdaptiveWallMs: ad.WallMs,
+			FixedWallMs:    fx.WallMs,
+			AdaptiveWinPct: (fx.WallMs - ad.WallMs) / fx.WallMs * 100,
+		})
+	}
+	rep.Rows = append(rep.Rows, httpRun(4))
+	return rep
+}

@@ -6,7 +6,8 @@
 //	benchcore -study kernels -o BENCH_kernels.json
 //	benchcore -study telemetry -o BENCH_telemetry.json
 //	benchcore -study serving -o BENCH_serving.json
-//	make bench-core bench-kernels bench-telemetry bench-serving
+//	benchcore -study dist -o BENCH_dist.json
+//	make bench-core bench-kernels bench-telemetry bench-serving bench-dist
 //
 // The core study's allocs_per_op column is the headline number: steady-state
 // walking must stay at zero allocations per replay (see internal/hsf
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +41,7 @@ import (
 	"hsfsim/internal/hsf"
 	"hsfsim/internal/statevec"
 	"hsfsim/internal/telemetry"
+	"hsfsim/internal/telemetry/trace"
 )
 
 type coreResult struct {
@@ -60,7 +63,7 @@ type report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (- for stdout; default BENCH_<study>.json)")
-	study := flag.String("study", "core", "study to run: core | kernels | telemetry | serving")
+	study := flag.String("study", "core", "study to run: core | kernels | telemetry | serving | dist")
 	isa := flag.String("kernel-isa", "", "force a kernel ISA for the whole run: scalar|span|avx2|neon (default: best available; equivalent to "+statevec.EnvKernelISA+")")
 	flag.Parse()
 	if *isa != "" {
@@ -87,8 +90,10 @@ func main() {
 		rep = telemetryStudy()
 	case "serving":
 		rep = servingStudy()
+	case "dist":
+		rep = distStudy()
 	default:
-		fail(fmt.Errorf("unknown study %q (want core, kernels, telemetry, or serving)", *study))
+		fail(fmt.Errorf("unknown study %q (want core, kernels, telemetry, serving, or dist)", *study))
 	}
 	if *out == "" {
 		*out = "BENCH_" + *study + ".json"
@@ -583,11 +588,17 @@ func e2eRuns() []coreResult {
 // on. overhead_pct is the headline number: the telemetry design budgets ≤ 2%
 // on the leaf loop (per-worker plain counters, 1-in-64 sampled timings).
 type telemetryRow struct {
-	Name               string  `json:"name"`
-	Paths              uint64  `json:"paths"`
-	DisabledNsPerPath  float64 `json:"disabled_ns_per_path"`
-	EnabledNsPerPath   float64 `json:"enabled_ns_per_path"`
+	Name              string  `json:"name"`
+	Paths             uint64  `json:"paths"`
+	DisabledNsPerPath float64 `json:"disabled_ns_per_path"`
+	EnabledNsPerPath  float64 `json:"enabled_ns_per_path"`
+	// OverheadPct prices the full observability stack (telemetry recorder
+	// plus trace flight recorder) against a bare run; TraceOverheadPct is
+	// the marginal cost of the flight recorder alone (traced vs. untraced
+	// with telemetry on in both arms) — the number the ≤2%% tracing budget
+	// gates on.
 	OverheadPct        float64 `json:"overhead_pct"`
+	TraceOverheadPct   float64 `json:"trace_overhead_pct"`
 	EnabledAllocsPerOp int64   `json:"enabled_allocs_per_op"`
 	EnabledBytesPerOp  int64   `json:"enabled_bytes_per_op"`
 }
@@ -602,52 +613,65 @@ type telemetryReport struct {
 	Runs              []telemetryRow `json:"runs"`
 }
 
-// measureTelemetry benchmarks plan under opts with and without a recorder.
-// The two variants are interleaved sample by sample and compared by median,
-// so scheduler and thermal drift cancel instead of landing on one side of
-// the comparison — single best-of-N runs swing several percent on a busy
-// box, far more than the effect being measured.
+// measureTelemetry benchmarks plan under opts with and without observability
+// attached — the "enabled" arm carries both the telemetry recorder and the
+// trace flight recorder (prefix-batch spans), so overhead_pct prices the
+// full production observability stack. The two variants are interleaved
+// sample by sample and compared by median, so scheduler and thermal drift
+// cancel instead of landing on one side of the comparison — single best-of-N
+// runs swing several percent on a busy box, far more than the effect being
+// measured.
 func measureTelemetry(name string, plan *cut.Plan, opts hsf.Options) telemetryRow {
 	enabled := opts
 	enabled.Telemetry = telemetry.New()
-	run := func(o hsf.Options, n int) time.Duration {
+	trc := trace.NewRecorder(0)
+	tracedCtx := trace.NewContext(context.Background(), trc, trace.SpanContext{})
+	run := func(ctx context.Context, o hsf.Options, n int) time.Duration {
 		start := time.Now()
 		for i := 0; i < n; i++ {
-			if _, err := hsf.Run(plan, o); err != nil {
+			if _, err := hsf.RunContext(ctx, plan, o); err != nil {
 				fail(err)
 			}
 		}
 		return time.Since(start)
 	}
+	bg := context.Background()
 
-	// Warm pools and caches, then size each sample to ~80 ms of work.
-	run(opts, 2)
-	run(enabled, 2)
-	per := run(opts, 3) / 3
-	runsPerSample := int(80*time.Millisecond/per) + 1
-	if runsPerSample > 200 {
-		runsPerSample = 200
+	// Warm pools and caches, then size each sample to ~150 ms of work —
+	// long enough that scheduler hiccups land well under the percent-level
+	// effects being measured.
+	run(bg, opts, 2)
+	run(tracedCtx, enabled, 2)
+	per := run(bg, opts, 3) / 3
+	runsPerSample := int(150*time.Millisecond/per) + 1
+	if runsPerSample > 400 {
+		runsPerSample = 400
 	}
 
-	// Each sample is a back-to-back disabled/enabled pair; the per-pair ratio
-	// cancels whatever drift both halves share, and the median of ratios is
-	// the overhead estimate.
-	const samples = 21
+	// Each sample is a back-to-back disabled / telemetry-only / traced
+	// triple; the per-sample ratios cancel whatever drift the arms share,
+	// and the median of ratios is the overhead estimate. The traced-over-
+	// telemetry ratio isolates the flight recorder's marginal cost.
+	const samples = 31
 	dis := make([]float64, 0, samples)
 	ratios := make([]float64, 0, samples)
+	traceRatios := make([]float64, 0, samples)
 	for k := 0; k < samples; k++ {
-		d := float64(run(opts, runsPerSample))
-		e := float64(run(enabled, runsPerSample))
+		d := float64(run(bg, opts, runsPerSample))
+		e1 := float64(run(bg, enabled, runsPerSample))
+		e2 := float64(run(tracedCtx, enabled, runsPerSample))
 		dis = append(dis, d)
-		ratios = append(ratios, e/d)
+		ratios = append(ratios, e2/d)
+		traceRatios = append(traceRatios, e2/e1)
 	}
 	disMed := median(dis)
 	enMed := disMed * median(ratios)
+	traceOverheadPct := (median(traceRatios) - 1) * 100
 
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := hsf.Run(plan, enabled); err != nil {
+			if _, err := hsf.RunContext(tracedCtx, plan, enabled); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -661,6 +685,7 @@ func measureTelemetry(name string, plan *cut.Plan, opts hsf.Options) telemetryRo
 		DisabledNsPerPath:  disMed / perPath,
 		EnabledNsPerPath:   enMed / perPath,
 		OverheadPct:        (enMed - disMed) / disMed * 100,
+		TraceOverheadPct:   traceOverheadPct,
 		EnabledAllocsPerOp: r.AllocsPerOp(),
 		EnabledBytesPerOp:  r.AllocedBytesPerOp(),
 	}

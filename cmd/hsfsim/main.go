@@ -45,7 +45,43 @@ import (
 	"hsfsim/internal/hsf"
 	"hsfsim/internal/mps"
 	"hsfsim/internal/qasm"
+	"hsfsim/internal/telemetry/trace"
 )
+
+// -trace wiring: one process-wide flight recorder plus a root span that
+// every engine/coordinator span parents under. Nil when -trace is unset,
+// which makes every hook below a no-op.
+var (
+	traceRec  *trace.Recorder
+	traceRoot trace.Span
+)
+
+// withTrace attaches the recorder and root span to a run context so the
+// engine (and, distributed, the coordinator) record into the flight
+// recorder.
+func withTrace(ctx context.Context) context.Context {
+	if traceRec == nil {
+		return ctx
+	}
+	return trace.NewContext(ctx, traceRec, traceRoot.Context())
+}
+
+// writeTrace ends the root span and dumps the recorder as Chrome
+// trace-event JSON, loadable in chrome://tracing.
+func writeTrace(path string) {
+	if traceRec == nil {
+		return
+	}
+	traceRoot.End()
+	f, err := os.Create(path)
+	fail(err)
+	err = trace.WriteChromeTrace(f, traceRec.Snapshot())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	fail(err)
+	fmt.Fprintf(os.Stderr, "hsfsim: trace written to %s\n", path)
+}
 
 func main() {
 	// Job subcommands talk to a running hsfsimd instead of simulating
@@ -81,6 +117,7 @@ func main() {
 		fusion    = flag.Int("fusion", 0, "max fused gate qubits (0: default, <0: disable fusion and run per-gate structure kernels)")
 		report    = flag.String("report", "", "write a JSON telemetry report (spans, counters, histograms) here after the run")
 		progress  = flag.Duration("progress", 0, "print a live progress line to stderr at this interval (0: off)")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON dump (load in chrome://tracing) here after the run")
 	)
 	flag.Parse()
 	if *takeover {
@@ -172,6 +209,10 @@ func main() {
 		stopProgress = opts.Progress.Go(os.Stderr, *progress) // idempotent
 		defer stopProgress()
 	}
+	if *tracePath != "" {
+		traceRec = trace.NewRecorder(0)
+		traceRoot = traceRec.Start(trace.SpanContext{}, "hsfsim")
+	}
 
 	if *distrib != "" {
 		if opts.Method == hsfsim.Schrodinger {
@@ -179,6 +220,7 @@ func main() {
 		}
 		runDistributed(string(src), c, &opts, *method, *strategy, *distrib, *ckptPath, *resume, *storeDir, *runID, *amps, *quiet)
 		writeReport(*report, rec)
+		writeTrace(*tracePath)
 		return
 	}
 
@@ -199,6 +241,7 @@ func main() {
 	// Ctrl-C / SIGTERM cancel the simulation cooperatively.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx = withTrace(ctx)
 
 	var res *hsfsim.Result
 	if opts.Method == hsfsim.Schrodinger && *backend != "array" && *backend != "dense" {
@@ -220,6 +263,7 @@ func main() {
 	fail(err)
 	stopProgress()
 	writeReport(*report, rec)
+	writeTrace(*tracePath)
 	if opts.Method == hsfsim.Schrodinger && *backend != "array" && *backend != "dense" {
 		fmt.Printf("backend:         %s\n", *backend)
 	} else if opts.Method != hsfsim.Schrodinger && opts.Backend != hsfsim.BackendDense {
@@ -269,6 +313,7 @@ func writeReport(path string, rec *hsfsim.TelemetryRecorder) {
 func runDistributed(src string, c *hsfsim.Circuit, opts *hsfsim.Options, method, strategy, workersCSV, ckptPath, resumePath, storeDir, runID string, ampsN int, quiet bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx = withTrace(ctx)
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeoutCause(ctx, opts.Timeout, hsfsim.ErrTimeout)

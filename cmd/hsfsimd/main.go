@@ -92,6 +92,7 @@ func run(args []string) int {
 		tenantQuota   = fs.Int("tenant-quota", 0, "max outstanding jobs per tenant (0: unlimited)")
 		tenantQuotas  = fs.String("tenant-quotas", "", "per-tenant overrides as name=N,name=N")
 		jobFlush      = fs.Duration("job-flush", 0, "mid-run job checkpoint flush cadence (0: 2s)")
+		traceBuffer   = fs.Int("trace-buffer", 0, "flight-recorder capacity in span events (0: 16384, <0: disable tracing)")
 	)
 	_ = fs.Parse(args)
 	if *worker && *join == "" {
@@ -128,6 +129,7 @@ func run(args []string) int {
 		TenantQuota:       *tenantQuota,
 		TenantQuotas:      quotas,
 		JobFlushInterval:  *jobFlush,
+		TraceCapacity:     *traceBuffer,
 	}
 	if err := cfg.Validate(); err != nil {
 		logger.Printf("%v", err)

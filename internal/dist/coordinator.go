@@ -12,6 +12,7 @@ import (
 
 	"hsfsim/internal/hsf"
 	"hsfsim/internal/telemetry"
+	"hsfsim/internal/telemetry/trace"
 )
 
 // Stats are process-wide counters a coordinator updates; a daemon exposes
@@ -225,6 +226,21 @@ func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Resu
 	opts.Progress.Start(npClamped, resumedPaths, nil)
 	start := time.Now()
 
+	// The flight recorder rides the caller's context; a durable run with no
+	// recorder gets a private one so the fleet timeline in the store never
+	// silently goes missing.
+	trc, parentSC := trace.FromContext(ctx)
+	if trc == nil && opts.Store != nil {
+		trc = trace.NewRecorder(0)
+	}
+	rootSpan := trc.Start(parentSC, "dist-run")
+	rootSpan.SetStr("run", runID)
+	rootSpan.SetInt("prefixes", int64(len(pending)))
+	rootSpan.SetInt("workers", int64(len(workers)))
+	if rid := trace.RequestID(ctx); rid != "" {
+		rootSpan.SetStr("req", rid)
+	}
+
 	s := &session{
 		co:       c,
 		job:      job,
@@ -239,6 +255,8 @@ func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Resu
 		workers:  make(map[string]*sessWorker),
 		poke:     make(chan struct{}, 1),
 		tel:      opts.Telemetry,
+		trc:      trc,
+		root:     rootSpan.Context(),
 		progress: opts.Progress,
 		start:    start,
 	}
@@ -256,6 +274,12 @@ func (c *Coordinator) Run(ctx context.Context, job *Job, opts RunOptions) (*Resu
 	}
 
 	finish := func() {
+		rootSpan.End()
+		if opts.Store != nil {
+			// The merged fleet timeline lands next to the checkpoints, after
+			// the root span closes so the snapshot includes it.
+			s.saveTimeline(opts.Store, runID)
+		}
 		opts.Telemetry.FinishRun(telemetry.RunTotals{
 			TotalPaths: npClamped,
 			Log2Paths:  plan.Log2Paths(),
@@ -389,6 +413,12 @@ type session struct {
 	tel       *telemetry.Recorder
 	progress  *telemetry.Tracker
 	start     time.Time
+
+	// trc records the run's spans (lease grant→resolve, lease-wait, merge,
+	// store flushes, reconstructed worker execution windows); root is the
+	// dist-run span they all hang under. Nil/zero when the run is untraced.
+	trc  *trace.Recorder
+	root trace.SpanContext
 }
 
 // lease is one in-flight grant: a set of prefixes executing on one worker.
@@ -400,11 +430,18 @@ type lease struct {
 	started  time.Time
 	stolen   bool // a thief has already re-leased part of this work
 	isSteal  bool // this lease was created by stealing
+
+	// span covers grant→resolve on the coordinator timeline; sc is its
+	// propagation context — it rides the traceparent header to the worker,
+	// and a thief's lease span links the victim's sc.
+	span trace.Span
+	sc   trace.SpanContext
 }
 
 // sessWorker is one worker's standing in the session.
 type sessWorker struct {
 	addr         string
+	lane         int  // timeline row in trace output (1-based; 0 is the coordinator)
 	running      bool // loop goroutine alive
 	leaving      bool // dropped out of the registry; drains, may rejoin
 	retired      bool // struck out; sticky for the run
@@ -413,6 +450,11 @@ type sessWorker struct {
 	// hist observes successful lease durations; with prefixesDone it yields
 	// the per-prefix rate the adaptive sizer uses.
 	hist telemetry.Histogram
+	// Clock-offset estimate (worker clock − coordinator clock) from lease
+	// round trips; the sample with the least transport overhead wins.
+	clockSet   bool
+	clockOffNS int64
+	clockRTTNS int64
 }
 
 func (s *session) spawnedCount() int {
@@ -433,6 +475,7 @@ func (s *session) addWorkerLocked(addr string, initial bool) {
 		w = &sessWorker{addr: addr}
 		s.workers[addr] = w
 		s.spawned++
+		w.lane = s.spawned // stable 1-based timeline row; lane 0 is the coordinator
 		if !initial {
 			s.joined.Add(1)
 			s.co.cfg.Stats.WorkersJoined.Add(1)
@@ -531,7 +574,9 @@ func (s *session) flushStore(store Store, runID string) {
 	snap := s.ck.Clone()
 	s.mu.Unlock()
 	end := s.tel.Span("store-flush")
+	fsp := s.trc.Start(s.root, "store-flush")
 	err := store.SaveCheckpoint(runID, snap)
+	fsp.End()
 	end()
 	if err != nil {
 		s.co.cfg.Logger.Printf("dist: flushing checkpoint for run %s: %v", runID, err)
@@ -614,6 +659,12 @@ func (s *session) runWorker(w *sessWorker) {
 		cfg.Stats.InFlightLeases.Add(1)
 		t0 := time.Now()
 		lctx, lcancel := context.WithTimeout(s.runCtx, cfg.LeaseTimeout+leaseGrace(cfg.LeaseTimeout))
+		// The lease span context rides to the worker (traceparent over HTTP,
+		// the context itself over loopback); the metadata carrier brings the
+		// worker's execution window back for clock-offset estimation.
+		lctx = trace.NewContext(lctx, s.trc, l.sc)
+		meta := &leaseMeta{}
+		lctx = withLeaseMeta(lctx, meta)
 		part, err := cfg.Transport.Run(lctx, w.addr, &RunRequest{
 			Job:          *s.job,
 			PlanHash:     s.planHash,
@@ -623,9 +674,16 @@ func (s *session) runWorker(w *sessWorker) {
 			AllowPartial: true,
 		})
 		lcancel()
+		received := time.Now()
 		cfg.Stats.InFlightLeases.Add(-1)
+		if s.trc != nil {
+			s.mu.Lock()
+			off := w.observeClock(t0, received, meta)
+			s.mu.Unlock()
+			s.recordWorkerExec(w, l, meta, off)
+		}
 		s.emit(w.addr, l, t0, part, err)
-		s.resolve(w, l, part, err, time.Since(t0))
+		s.resolve(w, l, part, err, received.Sub(t0))
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"hsfsim/internal/hsf"
+	"hsfsim/internal/telemetry/trace"
 )
 
 // nextLease blocks until the worker can be granted a lease (from the pool,
@@ -30,6 +31,12 @@ import (
 func (s *session) nextLease(w *sessWorker) *lease {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// An idle worker shows up on the fleet timeline as a lease-wait span,
+	// started lazily before the first block so the uncontended fast path
+	// records nothing.
+	var wait trace.Span
+	waiting := false
+	defer wait.End()
 	for {
 		if s.done || s.firstErr != nil || s.runCtx.Err() != nil || w.retired {
 			return nil
@@ -46,6 +53,12 @@ func (s *session) nextLease(w *sessWorker) *lease {
 		if s.unmerged == 0 {
 			return nil
 		}
+		if !waiting {
+			wait = s.trc.Start(s.root, "lease-wait")
+			wait.SetStr("worker", w.addr)
+			wait.SetLane(w.lane)
+			waiting = true
+		}
 		s.cond.Wait()
 	}
 }
@@ -60,20 +73,30 @@ func (s *session) takeFromPoolLocked(w *sessWorker) *lease {
 	prefixes := make([][]int, n)
 	copy(prefixes, s.pool[:n])
 	s.pool = s.pool[n:]
-	return s.grantLocked(w, prefixes, false)
+	return s.grantLocked(w, prefixes, nil)
 }
 
-// grantLocked registers a new lease over the given prefixes.
-func (s *session) grantLocked(w *sessWorker, prefixes [][]int, steal bool) *lease {
+// grantLocked registers a new lease over the given prefixes. A non-nil
+// victim marks this a steal: the new lease's span links the victim's, so
+// the timeline shows which grant the thief re-split.
+func (s *session) grantLocked(w *sessWorker, prefixes [][]int, victim *lease) *lease {
 	l := &lease{
 		id:       s.nextID,
 		prefixes: prefixes,
 		keys:     make([]string, len(prefixes)),
 		worker:   w.addr,
 		started:  time.Now(),
-		isSteal:  steal,
+		isSteal:  victim != nil,
 	}
 	s.nextID++
+	l.span = s.trc.Start(s.root, "lease")
+	l.span.SetStr("worker", w.addr)
+	l.span.SetInt("prefixes", int64(len(prefixes)))
+	l.span.SetLane(w.lane)
+	if victim != nil {
+		l.span.Link(victim.sc)
+	}
+	l.sc = l.span.Context()
 	for i, p := range prefixes {
 		k := hsf.PrefixKey(p)
 		l.keys[i] = k
@@ -164,7 +187,7 @@ func (s *session) stealLocked(w *sessWorker) *lease {
 	}
 	s.co.cfg.Logger.Printf("dist: %s stealing %d/%d prefixes of lease %d from %s",
 		w.addr, len(take), len(victim.prefixes), victim.id, victim.worker)
-	return s.grantLocked(w, prefixes, true)
+	return s.grantLocked(w, prefixes, victim)
 }
 
 // stealableKeysLocked returns the indices of the lease's prefixes that are
@@ -206,6 +229,12 @@ func (s *session) resolve(w *sessWorker, l *lease, part *hsf.Checkpoint, err err
 			s.inflight[k]--
 		}
 	}
+	if err != nil {
+		l.span.SetStr("err", "failed")
+	} else if part != nil {
+		l.span.SetInt("paths", part.PathsSimulated)
+	}
+	l.span.End() // grant→resolve, whatever the outcome
 
 	if err != nil {
 		if context.Cause(s.runCtx) != nil {
@@ -236,8 +265,12 @@ func (s *session) resolve(w *sessWorker, l *lease, part *hsf.Checkpoint, err err
 		}
 		s.strikeLocked(w, l, fmt.Sprintf("lease %d on %s returned an empty partial", l.id, w.addr))
 	case dup == 0:
-		if err := s.ck.Merge(part); err != nil {
-			s.failLocked(fmt.Errorf("dist: lease %d: %w", l.id, err))
+		msp := s.trc.Start(l.sc, "merge")
+		msp.SetInt("prefixes", int64(fresh))
+		mergeErr := s.ck.Merge(part)
+		msp.End()
+		if mergeErr != nil {
+			s.failLocked(fmt.Errorf("dist: lease %d: %w", l.id, mergeErr))
 			return
 		}
 		for _, p := range part.Prefixes {

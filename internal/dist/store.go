@@ -251,6 +251,39 @@ func (d *DirStore) LoadCheckpoint(runID string) (*hsf.Checkpoint, error) {
 	return nil, fmt.Errorf("dist: no readable checkpoint for run %s: %w", runID, firstErr)
 }
 
+// SaveTimeline implements TimelineStore: the run's merged fleet timeline
+// (Chrome trace-event JSON) lands as timeline.json next to the
+// checkpoints, atomically like everything else in the run directory.
+func (d *DirStore) SaveTimeline(runID string, data []byte) error {
+	dir, err := d.runDir(runID)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dist: creating run dir: %w", err)
+	}
+	return writeAtomic(filepath.Join(dir, "timeline.json"), func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// LoadTimeline implements TimelineStore.
+func (d *DirStore) LoadTimeline(runID string) ([]byte, error) {
+	dir, err := d.runDir(runID)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "timeline.json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoRun, runID)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: reading timeline: %w", err)
+	}
+	return data, nil
+}
+
 // Runs implements Store.
 func (d *DirStore) Runs() ([]string, error) {
 	entries, err := os.ReadDir(d.root)

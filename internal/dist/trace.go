@@ -1,0 +1,122 @@
+// Distributed tracing support: lease execution metadata (the worker-side
+// execution window, reported back through the transport), NTP-style worker
+// clock-offset estimation from lease round-trips, and assembly of the
+// merged fleet timeline written next to the run's checkpoints.
+package dist
+
+import (
+	"bytes"
+	"context"
+	"time"
+
+	"hsfsim/internal/telemetry/trace"
+)
+
+// Worker-execution-window headers: the /dist/run handler stamps its local
+// wall clock around ExecuteRun, the HTTPTransport carries them back, and
+// the coordinator turns them into offset-corrected worker-exec spans.
+// Exported so the HTTP server sets them without reaching into dist internals.
+const (
+	WorkerStartHeader = "X-Hsfsim-Worker-Start-Ns"
+	WorkerEndHeader   = "X-Hsfsim-Worker-End-Ns"
+)
+
+// leaseMeta rides a lease's context from the coordinator through the
+// transport: whichever side actually executes the lease fills in the
+// worker's wall-clock execution window. Loopback execution writes it
+// directly (one process, one clock); the HTTP transport fills it from the
+// reply headers. Written before the transport call returns and read only
+// after, so plain fields suffice.
+type leaseMeta struct {
+	workerStartNS int64
+	workerEndNS   int64
+}
+
+type leaseMetaKey struct{}
+
+// withLeaseMeta attaches the metadata carrier to a lease context.
+func withLeaseMeta(ctx context.Context, m *leaseMeta) context.Context {
+	return context.WithValue(ctx, leaseMetaKey{}, m)
+}
+
+// leaseMetaFrom returns the lease's metadata carrier, or nil.
+func leaseMetaFrom(ctx context.Context) *leaseMeta {
+	m, _ := ctx.Value(leaseMetaKey{}).(*leaseMeta)
+	return m
+}
+
+// TimelineStore is the optional Store extension that persists the merged
+// fleet timeline (Chrome trace-event JSON) next to a run's checkpoints.
+// It is a separate interface so existing Store implementations keep
+// compiling; DirStore implements it.
+type TimelineStore interface {
+	// SaveTimeline durably replaces the run's fleet timeline.
+	SaveTimeline(runID string, data []byte) error
+	// LoadTimeline returns the run's fleet timeline or ErrNoRun.
+	LoadTimeline(runID string) ([]byte, error)
+}
+
+// observeClock folds one lease round-trip into the worker's clock-offset
+// estimate. The NTP-style estimate from a single round trip is
+//
+//	offset = ((workerStart − sent) + (workerEnd − received)) / 2
+//
+// with error bounded by half the non-execution round-trip time, so the
+// sample from the lease with the smallest transport overhead wins.
+// Returns the worker's current best offset (worker clock − coordinator
+// clock). Caller holds s.mu.
+func (w *sessWorker) observeClock(sent, received time.Time, m *leaseMeta) int64 {
+	if m == nil || m.workerStartNS == 0 || m.workerEndNS == 0 {
+		return w.clockOffNS
+	}
+	exec := m.workerEndNS - m.workerStartNS
+	overhead := received.Sub(sent).Nanoseconds() - exec
+	if overhead < 0 {
+		overhead = 0
+	}
+	if !w.clockSet || overhead < w.clockRTTNS {
+		w.clockRTTNS = overhead
+		w.clockOffNS = ((m.workerStartNS - sent.UnixNano()) + (m.workerEndNS - received.UnixNano())) / 2
+		w.clockSet = true
+	}
+	return w.clockOffNS
+}
+
+// recordWorkerExec synthesizes the worker-side execution span on the
+// coordinator's timeline, shifted onto the coordinator's clock by the
+// worker's estimated offset and parented to the lease span.
+func (s *session) recordWorkerExec(w *sessWorker, l *lease, m *leaseMeta, offNS int64) {
+	if s.trc == nil || m == nil || m.workerStartNS == 0 || m.workerEndNS == 0 {
+		return
+	}
+	start := time.Unix(0, m.workerStartNS-offNS)
+	end := start.Add(time.Duration(m.workerEndNS - m.workerStartNS))
+	sp := s.trc.StartAt(l.sc, "worker-exec", start)
+	sp.SetStr("worker", w.addr)
+	sp.SetInt("offset_ns", offNS)
+	sp.SetLane(w.lane)
+	sp.EndAt(end)
+}
+
+// saveTimeline assembles the run's merged fleet timeline from the flight
+// recorder — coordinator spans plus offset-corrected worker execution
+// windows, one timeline lane per worker — and persists it when the store
+// supports timelines. Failures are logged, never fatal.
+func (s *session) saveTimeline(store Store, runID string) {
+	ts, ok := store.(TimelineStore)
+	if !ok || s.trc == nil || !s.root.Valid() {
+		return
+	}
+	events := s.trc.SnapshotTrace(s.root.Trace)
+	if len(events) == 0 {
+		return
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, events); err != nil {
+		s.co.cfg.Logger.Printf("dist: encoding timeline for run %s: %v", runID, err)
+		return
+	}
+	if err := ts.SaveTimeline(runID, buf.Bytes()); err != nil {
+		s.co.cfg.Logger.Printf("dist: saving timeline for run %s: %v", runID, err)
+	}
+}

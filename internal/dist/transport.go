@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hsfsim/internal/hsf"
+	"hsfsim/internal/telemetry/trace"
 )
 
 // Transport executes one lease on a worker. Implementations must be safe for
@@ -210,6 +211,14 @@ func (t *HTTPTransport) attempt(ctx context.Context, addr, url string, body []by
 		return nil, Permanent(fmt.Errorf("dist: building lease request: %w", err)), false
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Correlation headers are set here, per attempt, so a retried lease
+	// carries the same trace context as the original try.
+	if rec, sc := trace.FromContext(ctx); rec != nil && sc.Valid() {
+		hreq.Header.Set(trace.Header, trace.FormatTraceparent(sc))
+	}
+	if rid := trace.RequestID(ctx); rid != "" {
+		hreq.Header.Set("X-Request-Id", rid)
+	}
 	resp, err := t.client().Do(hreq)
 	if err != nil {
 		// Connection refused, reset, attempt timeout: retryable unless the
@@ -217,6 +226,17 @@ func (t *HTTPTransport) attempt(ctx context.Context, addr, url string, body []by
 		return nil, fmt.Errorf("dist: worker %s: %w", addr, err), ctx.Err() == nil
 	}
 	defer resp.Body.Close()
+	// The worker's execution-window headers feed the coordinator's
+	// clock-offset estimate; absent or malformed values simply leave the
+	// lease without a worker-exec span.
+	if m := leaseMetaFrom(ctx); m != nil {
+		if v, err := strconv.ParseInt(resp.Header.Get(WorkerStartHeader), 10, 64); err == nil {
+			m.workerStartNS = v
+		}
+		if v, err := strconv.ParseInt(resp.Header.Get(WorkerEndHeader), 10, 64); err == nil {
+			m.workerEndNS = v
+		}
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		err := error(fmt.Errorf("dist: worker %s: status %d: %s", addr, resp.StatusCode, bytes.TrimSpace(msg)))

@@ -68,6 +68,14 @@ func ExecuteRun(ctx context.Context, req *RunRequest, opts ExecOptions) (*hsf.Ch
 		// SIGTERM'd worker hands its work back rather than abandoning it.
 		run = hsf.RunPrefixesPartialContext
 	}
+	// Report the local execution window to whichever side is estimating
+	// this worker's clock offset: the loopback transport shares the
+	// coordinator's context directly, the HTTP handler copies the window
+	// into reply headers.
+	meta := leaseMetaFrom(ctx)
+	if meta != nil {
+		meta.workerStartNS = time.Now().UnixNano()
+	}
 	ck, err := run(ctx, plan, hsf.Options{
 		MaxAmplitudes:   req.Job.MaxAmplitudes,
 		Backend:         backend,
@@ -77,6 +85,9 @@ func ExecuteRun(ctx context.Context, req *RunRequest, opts ExecOptions) (*hsf.Ch
 		MaxPaths:        opts.MaxPaths,
 		Telemetry:       opts.Telemetry,
 	}, req.SplitLevels, req.Prefixes)
+	if meta != nil {
+		meta.workerEndNS = time.Now().UnixNano()
+	}
 	if err != nil {
 		if errors.Is(err, hsf.ErrBudget) {
 			return nil, Permanent(err)

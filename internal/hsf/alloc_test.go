@@ -8,6 +8,7 @@ import (
 
 	"hsfsim/internal/cut"
 	"hsfsim/internal/statevec"
+	"hsfsim/internal/telemetry/trace"
 )
 
 // allocHarness compiles a many-cut plan and returns a dense-backend walker
@@ -79,6 +80,42 @@ func TestZeroAllocsPerLeaf(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state walk allocated %.1f times per replay (%d leaves), want 0", allocs, leaves)
+	}
+}
+
+// TestZeroAllocsPerLeafWithTracing re-runs the allocation guard with the
+// flight recorder attached, exercising exactly what runTasks does per
+// prefix task: start a span, walk the subtree, annotate, end. Tracing is
+// recorded at prefix-batch granularity only, so the leaf loop — and the
+// span lifecycle wrapped around it — must stay at zero allocations.
+func TestZeroAllocsPerLeafWithTracing(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	walk, scratch := allocHarness(t)
+	e := walk.e
+	e.trc = trace.NewRecorder(512)
+	root := e.trc.Start(trace.SpanContext{}, "walk")
+	e.tsc = root.Context()
+	defer root.End()
+
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(10, func() {
+		scratch.Clear()
+		sp := e.trc.Start(e.tsc, "prefix")
+		sp.SetLane(1)
+		n, err := walk.runPrefix(ctx, nil, scratch)
+		sp.SetInt("leaves", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("traced steady-state walk allocated %.1f times per replay, want 0", allocs)
+	}
+	if e.trc.Len() == 0 {
+		t.Fatal("no spans recorded: the guard exercised nothing")
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"hsfsim/internal/par"
 	"hsfsim/internal/statevec"
 	"hsfsim/internal/telemetry"
+	"hsfsim/internal/telemetry/trace"
 )
 
 // ErrTimeout is returned when the simulation exceeds Options.Timeout. A
@@ -168,12 +169,26 @@ type engine struct {
 	onCkpt    func(*Checkpoint)
 
 	tel *telemetry.Recorder
+	// trc/tsc carry the flight-recorder trace context threaded through the
+	// run's context.Context: trc records phase and per-prefix-task spans,
+	// tsc is the parent they hang under (the walk-phase span once the walk
+	// starts). Both are nil/zero for untraced runs; the recorder is
+	// nil-safe, so no call site checks.
+	trc *trace.Recorder
+	tsc trace.SpanContext
 	// parReserved/parInner snapshot the process parallelism budget while the
 	// worker pool holds its reservation (written in runTasks before the
 	// workers start, read for the telemetry run totals afterwards).
 	parReserved int
 	parInner    int
 }
+
+// spanLeafBudget is the leaf count a lane's coalesced "prefix" span covers
+// before it is closed and a fresh one opened. It bounds span overhead on
+// plans whose prefix tasks are only a few leaves each (the two clock reads
+// plus the ring-buffer copy per span amortize over at least this much leaf
+// work) while leaving one span per task on any task at or above the budget.
+const spanLeafBudget = 64
 
 // Run executes the plan without external cancellation.
 func Run(plan *cut.Plan, opts Options) (*Result, error) {
@@ -205,8 +220,13 @@ func RunContext(ctx context.Context, plan *cut.Plan, opts Options) (*Result, err
 	e := &engine{backend: opts.Backend, nLower: nLower, nUpper: nUpper, m: m,
 		failAfter: opts.FailAfterPaths, hook: opts.testHookLeaf,
 		onCkpt: opts.OnCheckpoint, tel: opts.Telemetry}
+	e.trc, e.tsc = trace.FromContext(ctx)
 	endCompile := opts.Telemetry.Span("compile")
+	csp := e.trc.Start(e.tsc, "compile")
 	e.compile(plan, opts.FusionMaxQubits)
+	csp.SetInt("segments", int64(len(e.segs)))
+	csp.SetInt("cuts", int64(len(e.cuts)))
+	csp.End()
 	endCompile()
 
 	if opts.Resume != nil {
@@ -229,7 +249,13 @@ func RunContext(ctx context.Context, plan *cut.Plan, opts Options) (*Result, err
 	opts.Progress.Start(saturateInt64(np), resumedPaths, &e.leaves)
 
 	start := time.Now()
+	wsp := e.trc.Start(e.tsc, "walk")
+	e.tsc = wsp.Context() // prefix-task spans parent to the walk phase
 	amps, ck, err := e.run(ctx, workers, opts.Resume, plan)
+	if ck != nil {
+		wsp.SetInt("paths", ck.PathsSimulated)
+	}
+	wsp.End()
 	elapsed := time.Since(start)
 	if ck != nil {
 		e.finishTelemetry(opts.Telemetry, np, plan.Log2Paths(), ck.PathsSimulated, resumedPaths, workers, elapsed)
@@ -493,7 +519,7 @@ func (e *engine) runTasks(ctx context.Context, workers int, pending [][]int, ck 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			ws, err := e.newWorkspace()
 			if err != nil {
@@ -505,15 +531,48 @@ func (e *engine) runTasks(ctx context.Context, workers int, pending [][]int, ck 
 			// the interleaved checkpoint accumulator is only touched at the
 			// merge below (the layout's edge-conversion boundary).
 			scratch := statevec.MakeVector(e.m)
+			// Prefix spans coalesce adjacent small tasks: the lane keeps one
+			// span open and folds tasks into it until the span has covered
+			// spanLeafBudget leaves, so tiny tasks (a handful of leaves
+			// each) don't pay a Start/End per task. Tasks at or above the
+			// budget still get a span each — the granularity that matters
+			// when reading a timeline. The leaf loop inside runPrefix
+			// records nothing, keeping the zero-allocations-per-leaf guard
+			// intact.
+			var (
+				sp       trace.Span
+				spTasks  int64
+				spLeaves int64
+			)
+			closeSpan := func() {
+				if spTasks == 0 {
+					return
+				}
+				sp.SetInt("leaves", spLeaves)
+				sp.SetInt("tasks", spTasks)
+				sp.End()
+				spTasks, spLeaves = 0, 0
+			}
 			for prefix := range taskCh {
 				if stopped(runCtx) != nil {
 					continue // drain
 				}
 				scratch.Clear()
+				if spTasks == 0 {
+					sp = e.trc.Start(e.tsc, "prefix")
+					sp.SetLane(lane + 1)
+				}
 				nLeaves, err := walk.runPrefixRecover(runCtx, prefix, scratch)
+				spTasks++
+				spLeaves += nLeaves
 				if err != nil {
+					sp.SetStr("err", "failed")
+					closeSpan()
 					fail(err)
 					continue
+				}
+				if spLeaves >= spanLeafBudget {
+					closeSpan()
 				}
 				mu.Lock()
 				scratch.AddToComplex(ck.Acc)
@@ -524,13 +583,14 @@ func (e *engine) runTasks(ctx context.Context, workers int, pending [][]int, ck 
 				}
 				mu.Unlock()
 			}
+			closeSpan()
 			if walk.wc != nil {
 				if ps, ok := ws.(interface{ poolStats() (int, int) }); ok {
 					walk.wc.AddPool(ps.poolStats())
 				}
 				e.tel.Flush(walk.wc)
 			}
-		}()
+		}(w)
 	}
 	for _, p := range pending {
 		taskCh <- p

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hsfsim/internal/cut"
+	"hsfsim/internal/telemetry/trace"
 )
 
 // PrefixKey encodes a prefix choice vector into a collision-free string key.
@@ -149,8 +150,13 @@ func runPrefixes(ctx context.Context, plan *cut.Plan, opts Options, splitLevels 
 
 	e := &engine{backend: opts.Backend, nLower: nLower, nUpper: nUpper, m: m,
 		failAfter: opts.FailAfterPaths, hook: opts.testHookLeaf, tel: opts.Telemetry}
+	e.trc, e.tsc = trace.FromContext(ctx)
 	endCompile := opts.Telemetry.Span("compile")
+	csp := e.trc.Start(e.tsc, "compile")
 	e.compile(plan, opts.FusionMaxQubits)
+	csp.SetInt("segments", int64(len(e.segs)))
+	csp.SetInt("cuts", int64(len(e.cuts)))
+	csp.End()
 	endCompile()
 
 	if opts.Timeout > 0 {
@@ -173,7 +179,12 @@ func runPrefixes(ctx context.Context, plan *cut.Plan, opts Options, splitLevels 
 		return ck, nil
 	}
 	start := time.Now()
+	wsp := e.trc.Start(e.tsc, "walk")
+	wsp.SetInt("prefixes", int64(len(prefixes)))
+	e.tsc = wsp.Context() // prefix-task spans parent to the walk phase
 	err = e.runTasks(ctx, workers, prefixes, ck)
+	wsp.SetInt("paths", ck.PathsSimulated)
+	wsp.End()
 	np, _ := plan.NumPaths()
 	e.finishTelemetry(opts.Telemetry, np, plan.Log2Paths(), ck.PathsSimulated, 0, workers, time.Since(start))
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"hsfsim"
+	"hsfsim/internal/telemetry/trace"
 )
 
 // State is a job's lifecycle position.
@@ -139,6 +140,10 @@ type Request struct {
 	// correlation token); it is propagated into logs and snapshots so a
 	// job's compile/walk phases are attributable end to end.
 	RequestID string
+	// TraceParent, when valid, parents the job's lifecycle spans under the
+	// submitting request's span, so one trace covers submission, queue
+	// wait, and the batch walk. A zero value roots a fresh trace.
+	TraceParent trace.SpanContext
 	// QASM is the OpenQASM 2.0 source — the durable form of the circuit.
 	// Optional if Circuit is set (the manager serializes it for the store).
 	QASM string

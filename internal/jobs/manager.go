@@ -15,6 +15,7 @@ import (
 	"hsfsim/internal/hsf"
 	"hsfsim/internal/qasm"
 	"hsfsim/internal/telemetry"
+	"hsfsim/internal/telemetry/trace"
 )
 
 // Config tunes a Manager; the zero value selects sane defaults.
@@ -53,6 +54,26 @@ type Config struct {
 	// coordinator owns its own plan — but keep queueing, quotas, and
 	// durability. When nil, distributed submissions are rejected.
 	RunDistributed func(ctx context.Context, qasmSrc string, opts hsfsim.Options) (*hsfsim.Result, error)
+	// Trace, when non-nil, records job lifecycle spans (queued wait, batch
+	// execution) into the flight recorder, and batch walks run under a
+	// trace context so engine spans join the job's trace.
+	Trace *trace.Recorder
+}
+
+// maxTenantLabels caps the distinct tenants tracked for per-tenant metrics;
+// tenants beyond the cap aggregate into the "_other" bucket so a tenant-ID
+// churn cannot blow up metric cardinality.
+const maxTenantLabels = 64
+
+// otherTenant is the overflow bucket label.
+const otherTenant = "_other"
+
+// tenantCounters is one tenant's lifetime counters, guarded by Manager.mu.
+type tenantCounters struct {
+	submitted int64
+	completed int64
+	failed    int64
+	cancelled int64
 }
 
 type batchKey = uint64
@@ -69,6 +90,11 @@ type job struct {
 	opts       hsfsim.Options
 	fp         uint64
 	distribute bool
+
+	// queued is the job's open queue-wait span (created → popped); sc is
+	// the job's trace context, under which its batch execution records.
+	queued trace.Span
+	sc     trace.SpanContext
 
 	state      State
 	created    time.Time
@@ -120,6 +146,7 @@ type Manager struct {
 	jobs        map[string]*job
 	outstanding map[string]int // per-tenant queued+running
 	running     map[*batch]struct{}
+	tenants     map[string]*tenantCounters // capped at maxTenantLabels
 	closed      bool
 
 	wg sync.WaitGroup
@@ -158,6 +185,7 @@ func New(cfg Config) (*Manager, error) {
 		jobs:        map[string]*job{},
 		outstanding: map[string]int{},
 		running:     map[*batch]struct{}{},
+		tenants:     map[string]*tenantCounters{},
 	}
 	m.cond = sync.NewCond(&m.mu)
 	if m.store != nil {
@@ -319,6 +347,16 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 		state:      StateQueued,
 		created:    time.Now(),
 	}
+	// The queue-wait span opens now and ends when a runner pops the job;
+	// a provided parent (the submitting HTTP request's span) stitches the
+	// job's whole lifecycle into that request's trace.
+	j.queued = m.cfg.Trace.Start(req.TraceParent, "job-queued")
+	j.queued.SetStr("job", j.id)
+	j.queued.SetStr("tenant", tenant)
+	if j.requestID != "" {
+		j.queued.SetStr("req", j.requestID)
+	}
+	j.sc = j.queued.Context()
 
 	m.mu.Lock()
 	if m.closed {
@@ -331,6 +369,7 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 	}
 	m.q.push(j)
 	m.outstanding[tenant]++
+	m.tenantCountersLocked(tenant).submitted++
 	m.jobs[j.id] = j
 	snap := m.snapshotLocked(j)
 	man := m.manifestOf(j)
@@ -341,6 +380,34 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 	m.logf("jobs: queued job=%s req=%s tenant=%s prio=%d fp=%016x", j.id, j.requestID, tenant, j.priority, fp)
 	m.cond.Signal()
 	return snap, nil
+}
+
+// tenantCountersLocked returns the tenant's counter block, folding tenants
+// beyond the cardinality cap into the shared overflow bucket.
+func (m *Manager) tenantCountersLocked(tenant string) *tenantCounters {
+	if tc := m.tenants[tenant]; tc != nil {
+		return tc
+	}
+	if len(m.tenants) >= maxTenantLabels {
+		tc := m.tenants[otherTenant]
+		if tc == nil {
+			tc = &tenantCounters{}
+			m.tenants[otherTenant] = tc
+		}
+		return tc
+	}
+	tc := &tenantCounters{}
+	m.tenants[tenant] = tc
+	return tc
+}
+
+// tenantLabelLocked maps a tenant onto its metrics label: its own name
+// while under the cardinality cap, the overflow bucket beyond it.
+func (m *Manager) tenantLabelLocked(tenant string) string {
+	if _, ok := m.tenants[tenant]; ok {
+		return tenant
+	}
+	return otherTenant
 }
 
 // admitLocked enforces queue capacity and tenant quota.
@@ -463,13 +530,23 @@ func (m *Manager) runner() {
 		}
 		for i, j := range members {
 			m.waitHist.Observe(now.Sub(j.created))
+			j.queued.End() // queue wait is over; the batch span takes it from here
 			m.persist(j, mans[i])
 			m.notify(j)
 			m.logf("jobs: running job=%s req=%s tenant=%s batch=%d resume=%t", j.id, j.requestID, j.tenant, len(members), resumed)
 		}
 
+		// The batch span parents the leader's trace; the walk runs under its
+		// context, so engine compile/walk/prefix spans join the job's trace.
+		bsp := m.cfg.Trace.Start(leader.sc, "job-batch")
+		bsp.SetStr("job", leader.id)
+		bsp.SetInt("jobs", int64(len(members)))
+		if m.cfg.Trace != nil {
+			ctx = trace.NewContext(ctx, m.cfg.Trace, bsp.Context())
+		}
 		start := time.Now()
 		m.execute(ctx, b, tracker, resumed)
+		bsp.End()
 		cancel()
 		dur := time.Since(start)
 		m.runHist.Observe(dur)
@@ -675,6 +752,7 @@ func (m *Manager) finishOK(b *batch, res *hsfsim.Result, amps []complex128, numQ
 		j.state = StateDone
 		j.finished = now
 		m.outstanding[j.tenant]--
+		m.tenantCountersLocked(j.tenant).completed++
 		finished = append(finished, j)
 		mans = append(mans, m.manifestOf(j))
 		snaps = append(snaps, m.snapshotLocked(j))
@@ -728,6 +806,7 @@ func (m *Manager) finishErr(b *batch, err error) {
 		j.err = err
 		j.finished = now
 		m.outstanding[j.tenant]--
+		m.tenantCountersLocked(j.tenant).failed++
 		finished = append(finished, j)
 		mans = append(mans, m.manifestOf(j))
 		n++
@@ -757,8 +836,11 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 		m.q.remove(id)
 		j.state = StateCancelled
 		j.finished = time.Now()
+		j.queued.SetStr("err", "cancelled")
+		j.queued.End()
 		m.outstanding[j.tenant]--
 		m.cancelledN.Add(1)
+		m.tenantCountersLocked(j.tenant).cancelled++
 		man = m.manifestOf(j)
 	case StateRunning:
 		if !j.cancelled {
@@ -768,6 +850,7 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 			m.outstanding[j.tenant]--
 			m.runningN.Add(-1)
 			m.cancelledN.Add(1)
+			m.tenantCountersLocked(j.tenant).cancelled++
 			b := j.batch
 			b.live--
 			if b.live == 0 {
@@ -1002,6 +1085,62 @@ func (m *Manager) Stats() StatsSnapshot {
 		QueueWait:      m.waitHist.Snapshot(),
 		BatchDurations: m.runHist.Snapshot(),
 	}
+}
+
+// TenantStats is one tenant's point-in-time standing for per-tenant
+// metrics: lifetime counters plus live queue state. The "_other" row
+// aggregates every tenant beyond the cardinality cap.
+type TenantStats struct {
+	Tenant    string `json:"tenant"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	Submitted int64  `json:"submitted"`
+	Completed int64  `json:"completed"`
+	Failed    int64  `json:"failed"`
+	Cancelled int64  `json:"cancelled"`
+	// OldestQueuedAgeSeconds is how long the tenant's oldest queued job
+	// has been waiting (0 when nothing is queued) — the queue-age gauge
+	// that makes one tenant's backlog visible next to fleet totals.
+	OldestQueuedAgeSeconds float64 `json:"oldest_queued_age_seconds"`
+}
+
+// TenantStats returns per-tenant counters and queue ages, sorted by tenant
+// label. Cardinality is bounded by maxTenantLabels plus the overflow row.
+func (m *Manager) TenantStats() []TenantStats {
+	now := time.Now()
+	m.mu.Lock()
+	rows := make(map[string]*TenantStats, len(m.tenants))
+	for label, tc := range m.tenants {
+		rows[label] = &TenantStats{
+			Tenant:    label,
+			Submitted: tc.submitted,
+			Completed: tc.completed,
+			Failed:    tc.failed,
+			Cancelled: tc.cancelled,
+		}
+	}
+	for _, j := range m.jobs {
+		row := rows[m.tenantLabelLocked(j.tenant)]
+		if row == nil {
+			continue // tenant loaded from the store without new submissions
+		}
+		switch j.state {
+		case StateQueued:
+			row.Queued++
+			if age := now.Sub(j.created).Seconds(); age > row.OldestQueuedAgeSeconds {
+				row.OldestQueuedAgeSeconds = age
+			}
+		case StateRunning:
+			row.Running++
+		}
+	}
+	m.mu.Unlock()
+	out := make([]TenantStats, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Tenant < out[k].Tenant })
+	return out
 }
 
 // Close stops the manager: running walks are cancelled (their final

@@ -1,0 +1,120 @@
+// Per-tenant accounting: TenantStats rows, the cardinality cap folding
+// excess tenants into the overflow bucket, and job lifecycle spans joining
+// a submitted trace parent.
+package jobs
+
+import (
+	"fmt"
+	"testing"
+
+	"hsfsim/internal/telemetry/trace"
+)
+
+func TestTenantStatsCardinalityCap(t *testing.T) {
+	m, err := New(Config{Runners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	const tenants = maxTenantLabels + 8
+	var last string
+	for i := 0; i < tenants; i++ {
+		snap, err := m.Submit(Request{
+			Tenant:  fmt.Sprintf("tenant-%03d", i),
+			Circuit: crossCircuit(int64(100+i), 6, 2),
+			Opts:    hsfOpts(6),
+		})
+		if err != nil {
+			t.Fatalf("submit for tenant %d: %v", i, err)
+		}
+		last = snap.ID
+	}
+	waitState(t, m, last, StateDone)
+
+	rows := m.TenantStats()
+	if len(rows) > maxTenantLabels+1 {
+		t.Fatalf("TenantStats has %d rows, want <= %d (cap plus overflow bucket)", len(rows), maxTenantLabels+1)
+	}
+	var total int64
+	var other *TenantStats
+	for i := range rows {
+		total += rows[i].Submitted
+		if rows[i].Tenant == otherTenant {
+			other = &rows[i]
+		}
+	}
+	if total != tenants {
+		t.Fatalf("summed Submitted = %d, want %d (no submission may vanish under the cap)", total, tenants)
+	}
+	if other == nil {
+		t.Fatalf("no %q overflow row despite %d tenants over the %d cap", otherTenant, tenants, maxTenantLabels)
+	}
+	if want := int64(tenants - maxTenantLabels); other.Submitted != want {
+		t.Fatalf("overflow bucket Submitted = %d, want %d", other.Submitted, want)
+	}
+	// Overflowed tenants must not have gotten their own rows.
+	for _, r := range rows {
+		if r.Tenant > fmt.Sprintf("tenant-%03d", maxTenantLabels-1) && r.Tenant != otherTenant {
+			t.Fatalf("tenant %q has its own row but arrived after the cap", r.Tenant)
+		}
+	}
+	// Everything ran to completion, so nothing is queued and ages are zero.
+	for _, r := range rows {
+		if r.Queued != 0 || r.OldestQueuedAgeSeconds != 0 {
+			t.Fatalf("tenant %q reports queued=%d age=%.3f after drain, want zeros", r.Tenant, r.Queued, r.OldestQueuedAgeSeconds)
+		}
+	}
+}
+
+// TestJobSpansParentSubmittedTrace hands Submit a trace parent and asserts
+// the job-queued span joins it and the job-batch span nests under job-queued.
+func TestJobSpansParentSubmittedTrace(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	m, err := New(Config{Runners: 1, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, m)
+
+	root := rec.Start(trace.SpanContext{}, "submit-root")
+	rc := root.Context()
+	snap, err := m.Submit(Request{
+		Tenant:      "acme",
+		RequestID:   "req-42",
+		TraceParent: rc,
+		Circuit:     crossCircuit(200, 6, 3),
+		Opts:        hsfOpts(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, snap.ID, StateDone)
+	root.End()
+
+	var queued, batch *trace.Event
+	events := rec.Snapshot()
+	for i := range events {
+		switch events[i].Name {
+		case "job-queued":
+			queued = &events[i]
+		case "job-batch":
+			batch = &events[i]
+		}
+	}
+	if queued == nil || batch == nil {
+		t.Fatalf("missing lifecycle spans: job-queued=%v job-batch=%v", queued != nil, batch != nil)
+	}
+	if queued.Trace != rc.Trace || queued.Parent != rc.Span {
+		t.Fatalf("job-queued (trace %s parent %s) does not join the submitted parent (trace %s span %s)",
+			queued.Trace, queued.Parent, rc.Trace, rc.Span)
+	}
+	if batch.Trace != rc.Trace || batch.Parent != queued.Span {
+		t.Fatalf("job-batch (trace %s parent %s) does not nest under job-queued (span %s)",
+			batch.Trace, batch.Parent, queued.Span)
+	}
+	if queued.Str("job") != snap.ID || queued.Str("req") != "req-42" || queued.Str("tenant") != "acme" {
+		t.Fatalf("job-queued attrs job=%q req=%q tenant=%q, want the submitted identifiers",
+			queued.Str("job"), queued.Str("req"), queued.Str("tenant"))
+	}
+}

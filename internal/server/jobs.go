@@ -27,6 +27,7 @@ import (
 	"hsfsim"
 	"hsfsim/internal/dist"
 	"hsfsim/internal/jobs"
+	"hsfsim/internal/telemetry/trace"
 )
 
 // JobEventChunk bounds the amplitudes carried by one SSE "amplitudes" event.
@@ -89,6 +90,7 @@ func (s *service) newJobsManager() (*jobs.Manager, error) {
 		TenantQuota:   s.cfg.TenantQuota,
 		Quotas:        s.cfg.TenantQuotas,
 		FlushInterval: s.cfg.JobFlushInterval,
+		Trace:         s.trace,
 		Logf: func(format string, args ...any) {
 			s.cfg.Logger.Printf(format, args...)
 		},
@@ -189,14 +191,16 @@ func (s *service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Timeout = d
 	}
+	_, parentSC := trace.FromContext(r.Context())
 	snap, err := s.jobs.Submit(jobs.Request{
-		Tenant:     req.Tenant,
-		Priority:   req.Priority,
-		RequestID:  reqID,
-		QASM:       req.QASM,
-		Circuit:    c,
-		Distribute: req.Distribute,
-		Opts:       opts,
+		Tenant:      req.Tenant,
+		Priority:    req.Priority,
+		RequestID:   reqID,
+		TraceParent: parentSC,
+		QASM:        req.QASM,
+		Circuit:     c,
+		Distribute:  req.Distribute,
+		Opts:        opts,
 	})
 	if err != nil {
 		s.writeJobSubmitErr(w, err, reqID)

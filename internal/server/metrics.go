@@ -232,6 +232,7 @@ func (s *service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Time jobs spent queued before their walk started.", jst.QueueWait)
 	telemetry.WriteHistogramSnapshot(w, "hsfsimd_jobs_batch_duration_seconds",
 		"Wall time of executed job batches.", jst.BatchDurations)
+	writeTenantMetrics(w, s.jobs.TenantStats())
 
 	telemetry.WriteHistogram(w, "hsfsimd_leaf_latency_seconds",
 		"Sampled per-leaf latency (segment sweep + accumulate) of local runs.",
@@ -255,6 +256,44 @@ func (s *service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	telemetry.WriteGauge(w, "hsfsimd_goroutines",
 		"Current number of goroutines.", float64(runtime.NumGoroutine()))
 	_, _ = fmt.Fprintf(w, "")
+}
+
+// writeTenantMetrics emits the per-tenant job families. They use distinct
+// metric names from the unlabeled hsfsimd_jobs_* aggregates (a family may not
+// appear twice in one exposition), and their cardinality is bounded by the
+// manager's tenant-label cap — overflow tenants collapse into "_other".
+func writeTenantMetrics(w http.ResponseWriter, rows []jobs.TenantStats) {
+	if len(rows) == 0 {
+		return
+	}
+	series := func(read func(jobs.TenantStats) float64) []telemetry.LabeledValue {
+		out := make([]telemetry.LabeledValue, len(rows))
+		for i, row := range rows {
+			out[i] = telemetry.LabeledValue{Label: row.Tenant, Value: read(row)}
+		}
+		return out
+	}
+	telemetry.WriteLabeledGauge(w, "hsfsimd_jobs_tenant_queued",
+		"Jobs waiting in the async queue, by tenant.", "tenant",
+		series(func(r jobs.TenantStats) float64 { return float64(r.Queued) }))
+	telemetry.WriteLabeledGauge(w, "hsfsimd_jobs_tenant_running",
+		"Jobs currently executing, by tenant.", "tenant",
+		series(func(r jobs.TenantStats) float64 { return float64(r.Running) }))
+	telemetry.WriteLabeledGauge(w, "hsfsimd_jobs_tenant_queue_age_seconds",
+		"Age of the oldest queued job, by tenant (0 when none queued).", "tenant",
+		series(func(r jobs.TenantStats) float64 { return r.OldestQueuedAgeSeconds }))
+	telemetry.WriteLabeledCounter(w, "hsfsimd_jobs_tenant_submitted_total",
+		"Jobs admitted into the queue, by tenant.", "tenant",
+		series(func(r jobs.TenantStats) float64 { return float64(r.Submitted) }))
+	telemetry.WriteLabeledCounter(w, "hsfsimd_jobs_tenant_completed_total",
+		"Jobs finished successfully, by tenant.", "tenant",
+		series(func(r jobs.TenantStats) float64 { return float64(r.Completed) }))
+	telemetry.WriteLabeledCounter(w, "hsfsimd_jobs_tenant_failed_total",
+		"Jobs that ended in failure, by tenant.", "tenant",
+		series(func(r jobs.TenantStats) float64 { return float64(r.Failed) }))
+	telemetry.WriteLabeledCounter(w, "hsfsimd_jobs_tenant_cancelled_total",
+		"Jobs cancelled by callers, by tenant.", "tenant",
+		series(func(r jobs.TenantStats) float64 { return float64(r.Cancelled) }))
 }
 
 // mergeRunTelemetry folds one request-scoped recorder's histograms into the

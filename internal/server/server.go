@@ -34,6 +34,7 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,7 @@ import (
 	"hsfsim/internal/jobs"
 	"hsfsim/internal/qasm"
 	"hsfsim/internal/telemetry"
+	"hsfsim/internal/telemetry/trace"
 )
 
 // MaxRequestBytes bounds the accepted QASM payload.
@@ -108,6 +110,12 @@ type Config struct {
 	TenantQuotas map[string]int
 	// JobFlushInterval rate-limits mid-run job checkpoint flushes (0: 2s).
 	JobFlushInterval time.Duration
+
+	// TraceCapacity sizes the service's span flight recorder, in events
+	// (0: the trace package default; negative: tracing disabled). The
+	// recorder is fixed-memory and oldest-evicted, so it is safe to leave
+	// on in production; /debug/trace serves its contents.
+	TraceCapacity int
 }
 
 // Validate reports whether the configuration would be rejected by the
@@ -261,6 +269,10 @@ type service struct {
 	leafLatency    telemetry.Histogram
 	segmentSweep   telemetry.Histogram
 	leaseDurations telemetry.Histogram
+
+	// trace is the process flight recorder behind /debug/trace; nil when
+	// disabled, which every span call site tolerates.
+	trace *trace.Recorder
 }
 
 // Service couples the HTTP handler tree with the fleet management the
@@ -335,12 +347,16 @@ func (s *service) routes() http.Handler {
 	mux.HandleFunc("/dist/deregister", s.handleDistDeregister)
 	mux.HandleFunc("/dist/workers", s.handleDistWorkers)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return s.instrument(mux)
 }
 
 func newService(cfg Config) *service {
 	s := &service{cfg: cfg.withDefaults(), distStats: newDistStats()}
+	if s.cfg.TraceCapacity >= 0 {
+		s.trace = trace.NewRecorder(s.cfg.TraceCapacity)
+	}
 	if s.cfg.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
 	}
@@ -361,14 +377,32 @@ func newService(cfg Config) *service {
 	return s
 }
 
-// instrument assigns a request ID and converts handler panics into 500 JSON
-// envelopes instead of letting net/http kill the connection.
+// instrument assigns a request ID, opens the request span, and converts
+// handler panics into 500 JSON envelopes instead of letting net/http kill
+// the connection. An incoming X-Request-Id (a coordinator forwarding its
+// own) is kept so worker logs correlate with the originating request, and
+// an incoming traceparent header parents the request span, stitching
+// worker-side spans into the coordinator's trace.
 func (s *service) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		metricRequests.Add(1)
-		id := fmt.Sprintf("req-%08x", s.reqSeq.Add(1))
+		id := r.Header.Get("X-Request-Id")
+		if id == "" || len(id) > 64 {
+			id = fmt.Sprintf("req-%08x", s.reqSeq.Add(1))
+		}
 		w.Header().Set("X-Request-Id", id)
-		r = r.WithContext(withRequestID(r.Context(), id))
+		ctx := withRequestID(r.Context(), id)
+		var parent trace.SpanContext
+		if v := r.Header.Get(trace.Header); v != "" {
+			if sc, err := trace.ParseTraceparent(v); err == nil {
+				parent = sc
+			}
+		}
+		sp := s.trace.Start(parent, r.URL.Path)
+		sp.SetStr("req", id)
+		sp.SetStr("method", r.Method)
+		defer sp.End()
+		r = r.WithContext(trace.NewContext(ctx, s.trace, sp.Context()))
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.cfg.Logger.Printf("%s %s %s: panic: %v", id, r.Method, r.URL.Path, rec)
@@ -378,6 +412,50 @@ func (s *service) instrument(next http.Handler) http.Handler {
 		}()
 		next.ServeHTTP(w, r)
 	})
+}
+
+// handleDebugTrace dumps the flight recorder as Chrome trace-event JSON,
+// loadable in chrome://tracing or Perfetto. ?run= narrows the dump to one
+// trace, addressed either by 32-hex trace ID or by any identifier a span
+// carries as its "run", "req", or "job" attribute (distributed run IDs,
+// request IDs, job IDs).
+func (s *service) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if s.trace == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("tracing disabled"), requestID(r.Context()))
+		return
+	}
+	events := s.trace.Snapshot()
+	if q := r.URL.Query().Get("run"); q != "" {
+		var id trace.TraceID
+		found := false
+		if err := id.UnmarshalHex(q); err == nil {
+			found = true
+		} else {
+			for i := range events {
+				ev := &events[i]
+				if ev.Str("run") == q || ev.Str("req") == q || ev.Str("job") == q {
+					id = ev.Trace
+					found = true
+					break
+				}
+			}
+		}
+		filtered := events[:0]
+		for _, ev := range events {
+			if ev.Trace == id {
+				filtered = append(filtered, ev)
+			}
+		}
+		events = filtered
+		if !found || len(events) == 0 {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no recorded spans for %q", q), requestID(r.Context()))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := trace.WriteChromeTrace(w, events); err != nil {
+		s.cfg.Logger.Printf("%s /debug/trace: writing trace: %v", requestID(r.Context()), err)
+	}
 }
 
 // limited wraps a simulation handler in the concurrency semaphore: requests
@@ -411,15 +489,14 @@ func (s *service) limited(h http.HandlerFunc) http.Handler {
 	})
 }
 
-type requestIDKey struct{}
-
+// Request IDs live in the trace package's context slot so the dist
+// transport forwards them to workers without importing this package.
 func withRequestID(ctx context.Context, id string) context.Context {
-	return context.WithValue(ctx, requestIDKey{}, id)
+	return trace.WithRequestID(ctx, id)
 }
 
 func requestID(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey{}).(string)
-	return id
+	return trace.RequestID(ctx)
 }
 
 func handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -805,16 +882,25 @@ func (s *service) handleDistRun(w http.ResponseWriter, r *http.Request) {
 	defer stopDrainWatch()
 	rec := telemetry.New()
 	defer s.mergeRunTelemetry(rec)
+	// The execution window, stamped on this worker's own clock, rides the
+	// reply headers back so the coordinator can estimate our clock offset
+	// and place this lease's execution on its merged fleet timeline.
+	execStart := time.Now()
 	ck, err := dist.ExecuteRun(ctx, &req, dist.ExecOptions{
 		Workers:      s.cfg.Workers,
 		MemoryBudget: s.cfg.MemoryBudget,
 		MaxPaths:     s.cfg.MaxPaths,
 		Telemetry:    rec,
 	})
+	execEnd := time.Now()
+	w.Header().Set(dist.WorkerStartHeader, strconv.FormatInt(execStart.UnixNano(), 10))
+	w.Header().Set(dist.WorkerEndHeader, strconv.FormatInt(execEnd.UnixNano(), 10))
 	if err != nil {
 		s.writeDistRunErr(w, r, err)
 		return
 	}
+	s.cfg.Logger.Printf("%s /dist/run: %d prefixes, %d paths in %v",
+		reqID, len(req.Prefixes), ck.PathsSimulated, execEnd.Sub(execStart).Round(time.Millisecond))
 	metricWorkerRuns.Add(1)
 	metricPathsSimulated.Add(ck.PathsSimulated)
 	w.Header().Set("Content-Type", "application/octet-stream")

@@ -1,0 +1,201 @@
+// Tests of the observability surfaces: /debug/trace addressing spans by
+// request and job IDs, job lifecycle spans joining the submitting request's
+// trace, and the per-tenant jobs metrics exposed on /metrics.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hsfsim/internal/jobs"
+)
+
+// chromeDump is the subset of the Chrome trace-event format the tests read.
+type chromeDump struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func getTrace(t *testing.T, srv *httptest.Server, query string) (chromeDump, int) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/debug/trace" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dump chromeDump
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+			t.Fatalf("decoding trace dump: %v", err)
+		}
+	}
+	return dump, resp.StatusCode
+}
+
+func spanNames(dump chromeDump) map[string]int {
+	names := map[string]int{}
+	for _, ev := range dump.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name]++
+		}
+	}
+	return names
+}
+
+func TestDebugTraceByRequestID(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+
+	cutPos := 0
+	resp := post(t, srv, "/simulate", SimulateRequest{QASM: bellQASM, Method: "joint", CutPos: &cutPos})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/simulate status %d, want 200", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("/simulate response has no X-Request-Id")
+	}
+
+	// Addressed by request ID, the dump is the one trace that request
+	// opened: its request span plus the engine spans under it.
+	dump, status := getTrace(t, srv, "?run="+reqID)
+	if status != http.StatusOK {
+		t.Fatalf("GET /debug/trace?run=%s: status %d, want 200", reqID, status)
+	}
+	names := spanNames(dump)
+	if names["/simulate"] == 0 {
+		t.Fatalf("filtered dump has no /simulate request span; spans: %v", names)
+	}
+	if names["compile"] == 0 || names["walk"] == 0 {
+		t.Fatalf("filtered dump is missing engine spans; spans: %v", names)
+	}
+	var traceID string
+	for _, ev := range dump.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		id, _ := ev.Args["trace"].(string)
+		if traceID == "" {
+			traceID = id
+		} else if id != traceID {
+			t.Fatalf("span %q is on trace %s, dump mixes traces (want only %s)", ev.Name, id, traceID)
+		}
+	}
+
+	// The same trace must be addressable by its 32-hex trace ID directly.
+	byID, status := getTrace(t, srv, "?run="+traceID)
+	if status != http.StatusOK {
+		t.Fatalf("GET /debug/trace?run=<trace id>: status %d, want 200", status)
+	}
+	if got, want := len(byID.TraceEvents), len(dump.TraceEvents); got != want {
+		t.Fatalf("trace-ID dump has %d events, request-ID dump has %d", got, want)
+	}
+
+	// Unknown identifiers are a 404, not an empty dump.
+	if _, status := getTrace(t, srv, "?run=no-such-run"); status != http.StatusNotFound {
+		t.Fatalf("GET /debug/trace?run=no-such-run: status %d, want 404", status)
+	}
+
+	// The unfiltered dump serves the whole recorder.
+	full, status := getTrace(t, srv, "")
+	if status != http.StatusOK {
+		t.Fatalf("GET /debug/trace: status %d, want 200", status)
+	}
+	if len(full.TraceEvents) < len(dump.TraceEvents) {
+		t.Fatalf("full dump (%d events) smaller than one filtered trace (%d)", len(full.TraceEvents), len(dump.TraceEvents))
+	}
+}
+
+func TestDebugTraceDisabled(t *testing.T) {
+	cfg := quietConfig()
+	cfg.TraceCapacity = -1
+	srv := httptest.NewServer(NewService(cfg).Handler())
+	defer srv.Close()
+	if _, status := getTrace(t, srv, ""); status != http.StatusNotFound {
+		t.Fatalf("GET /debug/trace with tracing disabled: status %d, want 404", status)
+	}
+}
+
+// TestJobSpansJoinRequestTrace submits an async job and asserts its
+// lifecycle spans (job-queued, job-batch) landed on the same trace as the
+// POST /jobs request that created it — addressable by the job ID.
+func TestJobSpansJoinRequestTrace(t *testing.T) {
+	_, srv := newJobsTestServer(t, quietConfig())
+
+	snap, resp := submitJob(t, srv, JobSubmitRequest{
+		SimulateRequest: SimulateRequest{QASM: bellQASM, Method: "joint"},
+		Tenant:          "acme",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	waitJobState(t, srv, snap.ID, jobs.StateDone)
+
+	dump, status := getTrace(t, srv, "?run="+snap.ID)
+	if status != http.StatusOK {
+		t.Fatalf("GET /debug/trace?run=%s: status %d, want 200", snap.ID, status)
+	}
+	names := spanNames(dump)
+	for _, want := range []string{"job-queued", "job-batch", "/jobs"} {
+		if names[want] == 0 {
+			t.Fatalf("job trace is missing a %q span (job lifecycle did not join the request trace); spans: %v", want, names)
+		}
+	}
+}
+
+// TestTenantMetricsExposed drives jobs under two tenants and asserts the
+// per-tenant families show up on /metrics with tenant labels.
+func TestTenantMetricsExposed(t *testing.T) {
+	_, srv := newJobsTestServer(t, quietConfig())
+
+	for _, tenant := range []string{"acme", "globex"} {
+		snap, resp := submitJob(t, srv, JobSubmitRequest{
+			SimulateRequest: SimulateRequest{QASM: bellQASM, Method: "joint"},
+			Tenant:          tenant,
+		})
+		resp.Body.Close()
+		waitJobState(t, srv, snap.ID, jobs.StateDone)
+	}
+
+	families := scrapeMetrics(t, srv.URL+"/metrics")
+	sampleFor := func(family, tenant string) (float64, bool) {
+		f := families[family]
+		if f == nil {
+			t.Fatalf("family %s missing from /metrics", family)
+		}
+		for _, s := range f.samples {
+			if strings.Contains(s.labels, `tenant="`+tenant+`"`) {
+				return s.value, true
+			}
+		}
+		return 0, false
+	}
+	for _, tenant := range []string{"acme", "globex"} {
+		if v, ok := sampleFor("hsfsimd_jobs_tenant_submitted_total", tenant); !ok || v < 1 {
+			t.Fatalf("hsfsimd_jobs_tenant_submitted_total{tenant=%q} = %v (present=%t), want >= 1", tenant, v, ok)
+		}
+		if v, ok := sampleFor("hsfsimd_jobs_tenant_completed_total", tenant); !ok || v < 1 {
+			t.Fatalf("hsfsimd_jobs_tenant_completed_total{tenant=%q} = %v (present=%t), want >= 1", tenant, v, ok)
+		}
+	}
+	// The gauges exist for every tracked tenant, even at rest.
+	for _, family := range []string{"hsfsimd_jobs_tenant_queued", "hsfsimd_jobs_tenant_running", "hsfsimd_jobs_tenant_queue_age_seconds"} {
+		f := families[family]
+		if f == nil {
+			t.Fatalf("family %s missing from /metrics", family)
+		}
+		if f.typ != "gauge" {
+			t.Fatalf("family %s has type %q, want gauge", family, f.typ)
+		}
+		if _, ok := sampleFor(family, "acme"); !ok {
+			t.Fatalf("family %s has no sample for tenant=acme", family)
+		}
+	}
+}

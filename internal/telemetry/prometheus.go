@@ -39,6 +39,34 @@ func WriteInfoGauge(w io.Writer, name, help string, labels [][2]string) {
 	io.WriteString(w, "} 1\n")
 }
 
+// LabeledValue is one series of a labelled metric family: the label value
+// and the sample. Values render with full float precision, which is exact
+// for integer counters as well.
+type LabeledValue struct {
+	Label string
+	Value float64
+}
+
+// writeLabeledFamily emits one metric family with a single label key and
+// one series per value. Families must be bounded-cardinality at the call
+// site (e.g. the jobs manager caps distinct tenant labels).
+func writeLabeledFamily(w io.Writer, name, help, typ, labelKey string, series []LabeledValue) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range series {
+		fmt.Fprintf(w, "%s{%s=%s} %s\n", name, labelKey, strconv.Quote(s.Label), formatFloat(s.Value))
+	}
+}
+
+// WriteLabeledCounter emits one counter family with a label per series.
+func WriteLabeledCounter(w io.Writer, name, help, labelKey string, series []LabeledValue) {
+	writeLabeledFamily(w, name, help, "counter", labelKey, series)
+}
+
+// WriteLabeledGauge emits one gauge family with a label per series.
+func WriteLabeledGauge(w io.Writer, name, help, labelKey string, series []LabeledValue) {
+	writeLabeledFamily(w, name, help, "gauge", labelKey, series)
+}
+
 // WriteHistogramSnapshot emits one histogram-typed metric with cumulative
 // le-labelled buckets, _sum, and _count series.
 func WriteHistogramSnapshot(w io.Writer, name, help string, s HistogramSnapshot) {

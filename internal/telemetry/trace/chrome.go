@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (chrome://tracing, also readable by Perfetto). Timestamps and
+// durations are microseconds; ph "X" is a complete (start+duration)
+// event, ph "M" a metadata record naming processes and threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	// DisplayTimeUnit keeps chrome://tracing in ms mode, the readable
+	// scale for lease-length spans.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes events as Chrome trace-event JSON. All
+// events share pid 1; Event.Lane becomes the tid (the timeline row), so
+// a fleet timeline shows one row per worker. Timestamps are rebased to
+// the earliest event so the viewer opens at t=0.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var base int64
+	lanes := map[int32]bool{}
+	for i := range events {
+		if base == 0 || events[i].Start < base {
+			base = events[i].Start
+		}
+		lanes[events[i].Lane] = true
+	}
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "hsfsim"},
+	})
+	laneList := make([]int32, 0, len(lanes))
+	for l := range lanes {
+		laneList = append(laneList, l)
+	}
+	sort.Slice(laneList, func(i, k int) bool { return laneList[i] < laneList[k] })
+	for _, l := range laneList {
+		name := "main"
+		if l > 0 {
+			name = fmt.Sprintf("lane %d", l)
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: int64(l),
+			Args: map[string]any{"name": name},
+		})
+	}
+	for i := range events {
+		ev := &events[i]
+		args := map[string]any{
+			"trace": ev.Trace.String(),
+			"span":  ev.Span.String(),
+		}
+		if !ev.Parent.IsZero() {
+			args["parent"] = ev.Parent.String()
+		}
+		if ev.Link.Valid() {
+			args["link"] = ev.Link.Trace.String() + "/" + ev.Link.Span.String()
+		}
+		for _, a := range ev.AttrList() {
+			if a.Str != "" {
+				args[a.Key] = a.Str
+			} else {
+				args[a.Key] = a.Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: ev.Name,
+			Cat:  "hsfsim",
+			Ph:   "X",
+			Ts:   float64(ev.Start-base) / 1e3,
+			Dur:  float64(ev.Dur) / 1e3,
+			Pid:  1,
+			Tid:  int64(ev.Lane),
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,46 @@
+package trace
+
+import "context"
+
+// ctxKey keys the trace values inside a context.Context.
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	requestIDKey
+)
+
+// ctxVal bundles the recorder and current span context so layer
+// boundaries pay one context lookup, not two.
+type ctxVal struct {
+	rec *Recorder
+	sc  SpanContext
+}
+
+// NewContext returns ctx carrying the recorder and the current span
+// context. Child layers derive spans under sc and record into rec.
+func NewContext(ctx context.Context, rec *Recorder, sc SpanContext) context.Context {
+	return context.WithValue(ctx, traceKey, ctxVal{rec: rec, sc: sc})
+}
+
+// FromContext returns the recorder and current span context threaded
+// through ctx, or (nil, zero) when the request is untraced. The nil
+// recorder is safe to use directly: every method no-ops.
+func FromContext(ctx context.Context) (*Recorder, SpanContext) {
+	v, _ := ctx.Value(traceKey).(ctxVal)
+	return v.rec, v.sc
+}
+
+// WithRequestID returns ctx carrying the request correlation ID (the
+// X-Request-Id value). It lives here, not in the server package, so the
+// dist coordinator can forward it to workers without an import cycle.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request correlation ID threaded through ctx,
+// or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}

@@ -1,0 +1,111 @@
+// Package trace is a dependency-free, allocation-bounded tracing layer for
+// the simulator: 128-bit trace IDs, span start/end events with a fixed
+// number of inline attributes, recorded into a per-process lock-sharded
+// ring-buffer flight recorder (fixed memory, oldest events evicted).
+//
+// The design constraints come from the execution core: the walker's leaf
+// loop is guarded to zero allocations per leaf, so spans are only recorded
+// at prefix-batch granularity and above, and starting/ending a span must
+// itself be allocation-free in steady state. Span is therefore a value
+// type whose event is assembled on the caller's stack and copied into the
+// ring under a shard mutex at End; attribute storage is a fixed inline
+// array, and IDs come from a seeded splitmix64 counter rather than
+// crypto/rand (uniqueness, not unpredictability, is the requirement).
+//
+// Trace context crosses process boundaries as a W3C-style traceparent
+// header (see traceparent.go) and crosses API layers inside a
+// context.Context (see context.go). Recorded events export as Chrome
+// trace-event JSON loadable in chrome://tracing (see chrome.go).
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one logical run end-to-end: 128 bits, hex-encoded as
+// 32 lowercase digits in traceparent headers and trace dumps.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String returns the 32-digit lowercase hex form.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// UnmarshalHex parses the 32-digit hex form (the String inverse); a
+// malformed or all-zero input leaves the receiver untouched and errors.
+func (t *TraceID) UnmarshalHex(s string) error {
+	var id TraceID
+	if len(s) != 32 {
+		return errTraceparent
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil || id.IsZero() {
+		return errTraceparent
+	}
+	*t = id
+	return nil
+}
+
+// SpanID identifies one span within a trace: 64 bits, 16 hex digits.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the 16-digit lowercase hex form.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated half of a span: enough to parent a child
+// span locally or across a traceparent hop.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether both halves are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && !sc.Span.IsZero() }
+
+// idState is the process-wide splitmix64 counter behind ID generation.
+// Seeded once from the clock and pid so concurrent processes on one
+// machine (a coordinator plus its loopback or localhost workers) draw
+// from distinct streams.
+var idState atomic.Uint64
+
+func init() {
+	seed := uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32 ^ 0x2545f4914f6cdd1d
+	idState.Store(seed)
+}
+
+// nextID advances the splitmix64 stream. Weyl-sequence increment plus the
+// finalizer gives 64 well-mixed bits per call with a single atomic add.
+func nextID() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1 // the all-zero ID is reserved as invalid
+	}
+	return x
+}
+
+// NewTraceID returns a fresh non-zero 128-bit trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	binary.BigEndian.PutUint64(t[:8], nextID())
+	binary.BigEndian.PutUint64(t[8:], nextID())
+	return t
+}
+
+// NewSpanID returns a fresh non-zero 64-bit span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], nextID())
+	return s
+}

@@ -1,0 +1,305 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDsUniqueAndNonZero(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if id.IsZero() {
+			t.Fatal("zero trace ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+	spans := map[SpanID]bool{}
+	for i := 0; i < 10000; i++ {
+		id := NewSpanID()
+		if id.IsZero() {
+			t.Fatal("zero span ID")
+		}
+		if spans[id] {
+			t.Fatalf("duplicate span ID %s after %d draws", id, i)
+		}
+		spans[id] = true
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	h := FormatTraceparent(sc)
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("bad traceparent shape %q", h)
+	}
+	got, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v want %+v", got, sc)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short",
+		"ff-0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+		"00-00000000000000000000000000000000-0123456789abcdef-01",
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01",
+		"00-0123456789abcdef0123456789abcdeX-0123456789abcdef-01",
+		"00x0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", s)
+		}
+	}
+	// Future versions with the 00 layout must parse (W3C forward compat).
+	ok := "42-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+	if _, err := ParseTraceparent(ok); err != nil {
+		t.Errorf("ParseTraceparent rejected future version: %v", err)
+	}
+}
+
+func TestSpanParentingAndAttrs(t *testing.T) {
+	r := NewRecorder(64)
+	root := r.Start(SpanContext{}, "root")
+	rc := root.Context()
+	if !rc.Valid() {
+		t.Fatal("root context invalid")
+	}
+	child := r.Start(rc, "child")
+	child.SetInt("batch", 7)
+	child.SetStr("worker", "w3")
+	child.SetLane(3)
+	victim := SpanContext{Trace: rc.Trace, Span: NewSpanID()}
+	child.Link(victim)
+	child.End()
+	root.End()
+
+	evs := r.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	var ce *Event
+	for i := range evs {
+		if evs[i].Name == "child" {
+			ce = &evs[i]
+		}
+	}
+	if ce == nil {
+		t.Fatal("child event missing")
+	}
+	if ce.Trace != rc.Trace || ce.Parent != rc.Span {
+		t.Fatalf("child not parented to root: %+v", ce)
+	}
+	if ce.Int("batch", -1) != 7 || ce.Str("worker") != "w3" || ce.Lane != 3 {
+		t.Fatalf("attributes lost: %+v", ce)
+	}
+	if ce.Link != victim {
+		t.Fatalf("link lost: %+v", ce.Link)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	sp := r.Start(SpanContext{}, "x")
+	sp.SetInt("a", 1)
+	sp.SetStr("b", "c")
+	sp.Link(SpanContext{})
+	sp.SetLane(2)
+	if sp.Context().Valid() {
+		t.Fatal("nil recorder span has valid context")
+	}
+	sp.End()
+	sp.End() // double End stays a no-op
+	if r.Len() != 0 || r.Evicted() != 0 || r.Snapshot() != nil || r.Capacity() != 0 {
+		t.Fatal("nil recorder not empty")
+	}
+}
+
+func TestRingEvictionUnderOverflow(t *testing.T) {
+	r := NewRecorder(numShards * 4) // 4 events per shard
+	capTotal := r.Capacity()
+	total := capTotal * 3
+	for i := 0; i < total; i++ {
+		sp := r.Start(SpanContext{}, "ev")
+		sp.SetInt("seq", int64(i))
+		sp.End()
+	}
+	if got := r.Len(); got != capTotal {
+		t.Fatalf("Len = %d, want capacity %d", got, capTotal)
+	}
+	if got := r.Evicted(); got != uint64(total-capTotal) {
+		t.Fatalf("Evicted = %d, want %d", got, total-capTotal)
+	}
+	// The survivors must be the newest events: round-robin sharding keeps
+	// per-shard order, so every surviving seq must be from the newest
+	// 2*capacity writes (exact set depends on shard interleaving, but
+	// nothing from the oldest third may survive).
+	for _, ev := range r.Snapshot() {
+		if seq := ev.Int("seq", -1); seq < int64(total-2*capTotal) {
+			t.Fatalf("stale event survived eviction: seq=%d", seq)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			parent := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+			for i := 0; i < 500; i++ {
+				sp := r.Start(parent, "work")
+				sp.SetInt("g", int64(g))
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 1024 {
+		t.Fatalf("Len = %d, want full capacity 1024", r.Len())
+	}
+	if r.Evicted() != 8*500-1024 {
+		t.Fatalf("Evicted = %d, want %d", r.Evicted(), 8*500-1024)
+	}
+}
+
+func TestSnapshotTraceFilters(t *testing.T) {
+	r := NewRecorder(128)
+	a := r.Start(SpanContext{}, "a")
+	at := a.Context().Trace
+	a.End()
+	b := r.Start(SpanContext{}, "b")
+	b.End()
+	evs := r.SnapshotTrace(at)
+	if len(evs) != 1 || evs[0].Name != "a" {
+		t.Fatalf("SnapshotTrace = %+v, want only span a", evs)
+	}
+}
+
+func TestStartAtEndAtExplicitTimes(t *testing.T) {
+	r := NewRecorder(16)
+	start := time.Unix(100, 0)
+	sp := r.StartAt(SpanContext{}, "reconstructed", start)
+	sp.EndAt(start.Add(250 * time.Millisecond))
+	ev := r.Snapshot()[0]
+	if ev.Start != start.UnixNano() {
+		t.Fatalf("Start = %d, want %d", ev.Start, start.UnixNano())
+	}
+	if ev.Dur != int64(250*time.Millisecond) {
+		t.Fatalf("Dur = %d, want 250ms", ev.Dur)
+	}
+}
+
+func TestContextThreading(t *testing.T) {
+	r := NewRecorder(16)
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	ctx := NewContext(context.Background(), r, sc)
+	ctx = WithRequestID(ctx, "req-42")
+	gr, gsc := FromContext(ctx)
+	if gr != r || gsc != sc {
+		t.Fatal("trace context lost")
+	}
+	if RequestID(ctx) != "req-42" {
+		t.Fatal("request ID lost")
+	}
+	gr2, gsc2 := FromContext(context.Background())
+	if gr2 != nil || gsc2.Valid() {
+		t.Fatal("empty context not empty")
+	}
+}
+
+func TestChromeTraceOutput(t *testing.T) {
+	r := NewRecorder(64)
+	root := r.Start(SpanContext{}, "dist-run")
+	lease := r.Start(root.Context(), "lease")
+	lease.SetStr("worker", "w1")
+	lease.SetLane(1)
+	time.Sleep(time.Millisecond)
+	lease.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Snapshot()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	var leases, roots, meta int
+	for _, ev := range out.TraceEvents {
+		switch ev["name"] {
+		case "lease":
+			leases++
+			if ev["ph"] != "X" {
+				t.Fatalf("lease ph = %v", ev["ph"])
+			}
+			if ev["tid"] != float64(1) {
+				t.Fatalf("lease tid = %v, want lane 1", ev["tid"])
+			}
+			args := ev["args"].(map[string]any)
+			if args["worker"] != "w1" {
+				t.Fatalf("lease args = %v", args)
+			}
+			if args["parent"] == nil || args["trace"] == nil {
+				t.Fatalf("lease missing trace linkage: %v", args)
+			}
+			if ev["dur"].(float64) <= 0 {
+				t.Fatal("lease has no duration")
+			}
+		case "dist-run":
+			roots++
+		case "process_name", "thread_name":
+			meta++
+		}
+	}
+	if leases != 1 || roots != 1 || meta < 2 {
+		t.Fatalf("event mix: leases=%d roots=%d meta=%d", leases, roots, meta)
+	}
+}
+
+// TestSpanZeroAlloc guards the recorder's core promise: starting,
+// annotating, and ending a span allocates nothing in steady state.
+func TestSpanZeroAlloc(t *testing.T) {
+	r := NewRecorder(256)
+	parent := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.Start(parent, "leaf-batch")
+		sp.SetInt("prefixes", 32)
+		sp.SetStr("worker", "w0")
+		sp.SetLane(1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("span lifecycle allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+func BenchmarkSpan(b *testing.B) {
+	r := NewRecorder(4096)
+	parent := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.Start(parent, "bench")
+		sp.SetInt("i", int64(i))
+		sp.End()
+	}
+}

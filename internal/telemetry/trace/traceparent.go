@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"encoding/hex"
+	"errors"
+)
+
+// Header is the HTTP header name carrying trace context between the
+// coordinator and its workers, W3C Trace Context style.
+const Header = "traceparent"
+
+var errTraceparent = errors.New("trace: malformed traceparent")
+
+// FormatTraceparent renders a W3C-style traceparent header value:
+// version 00, the 32-hex trace ID, the 16-hex span ID of the caller's
+// current span, and flags 01 (sampled — the flight recorder records
+// everything it is handed).
+func FormatTraceparent(sc SpanContext) string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], sc.Trace[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.Span[:])
+	b[52], b[53], b[54] = '-', '0', '1'
+	return string(b[:])
+}
+
+// ParseTraceparent parses a traceparent header value. Unknown versions
+// are accepted as long as the 00-version prefix layout holds (the W3C
+// forward-compatibility rule); zero IDs are rejected.
+func ParseTraceparent(s string) (SpanContext, error) {
+	var sc SpanContext
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, errTraceparent
+	}
+	if s[0] == 'f' && s[1] == 'f' {
+		return sc, errTraceparent // version 0xff is explicitly invalid
+	}
+	if _, err := hex.Decode(sc.Trace[:], []byte(s[3:35])); err != nil {
+		return SpanContext{}, errTraceparent
+	}
+	if _, err := hex.Decode(sc.Span[:], []byte(s[36:52])); err != nil {
+		return SpanContext{}, errTraceparent
+	}
+	if !sc.Valid() {
+		return SpanContext{}, errTraceparent
+	}
+	return sc, nil
+}
